@@ -1,0 +1,53 @@
+//! Algebra evaluation errors.
+
+use lyric_constraint::ConstraintError;
+use std::fmt;
+
+/// Errors raised while evaluating an algebra program.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AlgebraError {
+    /// A primitive received a value of the wrong shape (with a
+    /// description of what it expected).
+    Type { expected: &'static str, got: String },
+    /// Tuple index out of bounds.
+    Index { index: usize, arity: usize },
+    /// A referenced class does not exist.
+    UnknownClass(String),
+    /// Optimization of an unbounded objective.
+    Unbounded,
+    /// Optimization over an empty set.
+    Empty,
+    /// Underlying constraint-engine error.
+    Constraint(ConstraintError),
+}
+
+impl AlgebraError {
+    pub(crate) fn type_err(expected: &'static str, got: &impl fmt::Display) -> AlgebraError {
+        AlgebraError::Type { expected, got: got.to_string() }
+    }
+}
+
+impl From<ConstraintError> for AlgebraError {
+    fn from(e: ConstraintError) -> Self {
+        AlgebraError::Constraint(e)
+    }
+}
+
+impl fmt::Display for AlgebraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgebraError::Type { expected, got } => {
+                write!(f, "type error: expected {expected}, got {got}")
+            }
+            AlgebraError::Index { index, arity } => {
+                write!(f, "tuple index {index} out of bounds for arity {arity}")
+            }
+            AlgebraError::UnknownClass(c) => write!(f, "unknown class {c}"),
+            AlgebraError::Unbounded => write!(f, "objective is unbounded"),
+            AlgebraError::Empty => write!(f, "optimization over an empty constraint set"),
+            AlgebraError::Constraint(e) => write!(f, "constraint error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AlgebraError {}

@@ -1,0 +1,71 @@
+//! The FP-style constraint algebra — §5's announced "more sophisticated
+//! implementation", built out as a working prototype.
+//!
+//! The paper sketches it precisely:
+//!
+//! > "a constraint algebra in which higher-order operators manipulate
+//! > collections of objects (e.g. sets, lists) some of whose elements may
+//! > be constraints. Thus, the algebra is an FP-like language \[Bac78,
+//! > BK93\] in which functional forms capture common data collections
+//! > processing abstractions such as filtering elements, and applying a
+//! > function to all elements of a collection, and primitive functions
+//! > manipulate objects of different types such as intersecting
+//! > constraints. … the algebra will have to accommodate some new
+//! > optimization frameworks, such as the one in \[BJM93\]."
+//!
+//! This crate provides exactly that:
+//!
+//! * [`Value`] — oids (including constraint objects), tuples, and
+//!   collections;
+//! * [`Func`] — point-free programs: FP functional forms (`Compose`,
+//!   `Construct`, `ApplyToAll` (Backus's α), `Filter`, `Insert`
+//!   (Backus's /)) over primitive functions on the database
+//!   (`Extent`, `AttrValues`) and on constraints (`CstAnd`, `CstOr`,
+//!   `CstProject`, `Satisfiable`, `Implies`, `Canonicalize`, `Maximize`);
+//! * [`eval`] — the evaluator, over a read-only [`Database`];
+//! * [`optimize`] — a rewrite-based optimizer in the BJM93 spirit:
+//!   composition flattening, map fusion, filter fusion, and
+//!   **constraint-selection pushdown** (filters commute ahead of
+//!   expensive per-element maps), with semantics-preservation tested by
+//!   property tests.
+
+//! # Example
+//!
+//! ```
+//! use lyric_algebra::{eval, optimize, Func, Value};
+//! use lyric_constraint::{Atom, Conjunction, CstObject, LinExpr, Var};
+//! use lyric_oodb::{Database, Schema};
+//!
+//! let db = Database::new(Schema::new()).unwrap();
+//! let x = || LinExpr::var(Var::new("x"));
+//! let region = |lo: i64| CstObject::from_conjunction(
+//!     vec![Var::new("x")],
+//!     Conjunction::of([Atom::ge(x(), LinExpr::from(lo))]),
+//! );
+//!
+//! // Filter(sat) ∘ α(canonicalize): keep the feasible regions.
+//! let prog = Func::Compose(vec![
+//!     Func::Filter(Box::new(Func::Satisfiable)),
+//!     Func::ApplyToAll(Box::new(Func::Canonicalize)),
+//! ]);
+//! let input = Value::Coll(vec![
+//!     Value::cst(region(0)),
+//!     Value::cst(CstObject::bottom(vec![Var::new("x")])),
+//! ]);
+//! let out = eval(&prog, &db, &input).unwrap();
+//! assert_eq!(out.as_coll().unwrap().len(), 1);
+//!
+//! // The optimizer hoists the filter ahead of the (sat-preserving) map.
+//! let optimized = optimize(&prog);
+//! assert_eq!(eval(&optimized, &db, &input).unwrap(), out);
+//! ```
+
+mod error;
+mod func;
+mod optimize;
+mod value;
+
+pub use error::AlgebraError;
+pub use func::{eval, Func};
+pub use optimize::optimize;
+pub use value::Value;

@@ -1,0 +1,118 @@
+//! Values of the constraint algebra.
+
+use lyric_constraint::CstObject;
+use lyric_oodb::Oid;
+use std::fmt;
+
+/// An algebra value: an oid (which may itself be a constraint object, a
+/// number, a string, …), a tuple, or a collection. Collections are
+/// ordered and may contain duplicates (the paper's "sets, lists"); the
+/// primitives that need set semantics deduplicate explicitly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    Oid(Oid),
+    Tuple(Vec<Value>),
+    Coll(Vec<Value>),
+}
+
+impl Value {
+    /// A boolean as an oid value.
+    pub fn bool(b: bool) -> Value {
+        Value::Oid(Oid::Bool(b))
+    }
+
+    /// A constraint object as an oid value (canonicalizing).
+    pub fn cst(c: CstObject) -> Value {
+        Value::Oid(Oid::cst(c))
+    }
+
+    /// The truth value, if this is a boolean oid.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Oid(Oid::Bool(b)) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The constraint object, if this is a constraint oid.
+    pub fn as_cst(&self) -> Option<&CstObject> {
+        match self {
+            Value::Oid(o) => o.as_cst(),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is a collection.
+    pub fn as_coll(&self) -> Option<&[Value]> {
+        match self {
+            Value::Coll(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The components, if this is a tuple.
+    pub fn as_tuple(&self) -> Option<&[Value]> {
+        match self {
+            Value::Tuple(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+impl From<Oid> for Value {
+    fn from(o: Oid) -> Value {
+        Value::Oid(o)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Oid(o) => write!(f, "{o}"),
+            Value::Tuple(items) => {
+                write!(f, "<")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ">")
+            }
+            Value::Coll(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Oid(Oid::Int(3)).as_bool(), None);
+        let t = Value::Tuple(vec![Value::bool(false), Value::Oid(Oid::Int(1))]);
+        assert_eq!(t.as_tuple().unwrap().len(), 2);
+        assert!(t.as_coll().is_none());
+        let c = Value::Coll(vec![t.clone()]);
+        assert_eq!(c.as_coll().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn display() {
+        let t = Value::Tuple(vec![Value::Oid(Oid::Int(1)), Value::Oid(Oid::str("a"))]);
+        assert_eq!(t.to_string(), "<1, 'a'>");
+        let c = Value::Coll(vec![Value::Oid(Oid::Int(1)), Value::Oid(Oid::Int(2))]);
+        assert_eq!(c.to_string(), "[1, 2]");
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests: `optimize` preserves semantics on randomly generated
+//! well-typed programs over collections of random constraint objects.
+
+use lyric_algebra::{eval, optimize, Func, Value};
+use lyric_constraint::{Atom, Conjunction, CstObject, LinExpr, Var};
+use lyric_oodb::Database;
+use proptest::prelude::*;
+
+fn x() -> Var {
+    Var::new("x")
+}
+fn y() -> Var {
+    Var::new("y")
+}
+
+/// A random 2-D constraint object (possibly empty, possibly a union).
+fn cst_strategy() -> impl Strategy<Value = CstObject> {
+    let atom = (-4..=4i32, -4..=4i32, -8..=8i32, 0..3u8).prop_map(|(a, b, c, op)| {
+        let e = LinExpr::term(x(), lyric_arith::Rational::from_int(a as i64))
+            + LinExpr::term(y(), lyric_arith::Rational::from_int(b as i64));
+        let rhs = LinExpr::from(c as i64);
+        match op {
+            0 => Atom::le(e, rhs),
+            1 => Atom::lt(e, rhs),
+            _ => Atom::ge(e, rhs),
+        }
+    });
+    proptest::collection::vec(proptest::collection::vec(atom, 0..4), 1..3).prop_map(|dss| {
+        CstObject::new(
+            vec![x(), y()],
+            dss.into_iter().map(Conjunction::of),
+        )
+    })
+}
+
+/// Element-level functions `Cst → Cst`.
+fn elem_fn_strategy() -> impl Strategy<Value = Func> {
+    let leaf = prop_oneof![
+        Just(Func::Id),
+        Just(Func::Canonicalize),
+        cst_strategy().prop_map(Func::CstAndConst),
+        // Arity-preserving rebinding (arity-changing projections would
+        // make randomly composed predicates ill-typed).
+        Just(Func::CstProject(vec![Var::new("x"), Var::new("y")])),
+    ];
+    proptest::collection::vec(leaf, 1..3).prop_map(Func::Compose)
+}
+
+/// Predicates `Cst → Bool`.
+fn pred_strategy() -> impl Strategy<Value = Func> {
+    prop_oneof![
+        Just(Func::Satisfiable),
+        cst_strategy().prop_map(Func::ImpliesConst),
+        (cst_strategy(), Just(Func::Satisfiable)).prop_map(|(k, _)| {
+            // sat(c ∧ k): a composed predicate exercising pushdown output
+            // shapes as input shapes.
+            Func::Compose(vec![Func::Satisfiable, Func::CstAndConst(k)])
+        }),
+    ]
+}
+
+/// Collection-level pipelines `Coll<Cst> → Coll<Cst>`.
+fn pipeline_strategy() -> impl Strategy<Value = Func> {
+    let stage = prop_oneof![
+        elem_fn_strategy().prop_map(|f| Func::ApplyToAll(Box::new(f))),
+        pred_strategy().prop_map(|p| Func::Filter(Box::new(p))),
+        Just(Func::Distinct),
+    ];
+    proptest::collection::vec(stage, 1..5).prop_map(Func::Compose)
+}
+
+fn input_strategy() -> impl Strategy<Value = Vec<CstObject>> {
+    proptest::collection::vec(cst_strategy(), 0..4)
+}
+
+fn empty_db() -> Database {
+    Database::new(lyric_oodb::Schema::new()).expect("empty schema validates")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The optimizer never changes a pipeline's output (or its failure).
+    #[test]
+    fn optimize_preserves_semantics(prog in pipeline_strategy(), input in input_strategy()) {
+        let db = empty_db();
+        let v = Value::Coll(input.into_iter().map(Value::cst).collect());
+        let direct = eval(&prog, &db, &v);
+        let optimized_prog = optimize(&prog);
+        let optimized = eval(&optimized_prog, &db, &v);
+        match (direct, optimized) {
+            (Ok(a), Ok(b)) => {
+                // Compare by point-set semantics element-wise: oid values
+                // of constraint objects are canonical forms, which cheap
+                // rewrites may or may not reach — compare denotations.
+                let (ac, bc) = (a.as_coll().unwrap(), b.as_coll().unwrap());
+                prop_assert_eq!(ac.len(), bc.len());
+                for (av, bv) in ac.iter().zip(bc) {
+                    let (ao, bo) = (av.as_cst().unwrap(), bv.as_cst().unwrap());
+                    prop_assert_eq!(ao.arity(), bo.arity(),
+                        "arity drift: {} vs {}", ao, bo);
+                    prop_assert!(ao.denotes_same(&bo.align_to(ao.free())),
+                        "denotation drift: {} vs {}", ao, bo);
+                }
+            }
+            (Err(e1), Err(e2)) => prop_assert_eq!(e1, e2),
+            (a, b) => prop_assert!(false, "divergence: {a:?} vs {b:?}"),
+        }
+    }
+
+    /// Optimization reaches a fixed point (idempotence).
+    #[test]
+    fn optimize_idempotent(prog in pipeline_strategy()) {
+        let once = optimize(&prog);
+        prop_assert_eq!(optimize(&once), once);
+    }
+}

@@ -1,0 +1,787 @@
+//! Sign-magnitude arbitrary-precision integers.
+//!
+//! Representation: little-endian `u64` limbs with no trailing zero limb;
+//! the empty limb vector is zero and always carries [`Sign::Zero`].
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Sign {
+    Neg,
+    Zero,
+    Pos,
+}
+
+/// An arbitrary-precision signed integer.
+///
+/// All arithmetic is exact; operations never overflow. Construction from
+/// primitive integers is provided through `From` impls, decimal round-trip
+/// through [`FromStr`] and [`fmt::Display`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BigInt {
+    sign: Sign,
+    /// Little-endian magnitude; invariant: no trailing (most-significant)
+    /// zero limb; empty iff `sign == Sign::Zero`.
+    mag: Vec<u64>,
+}
+
+impl BigInt {
+    /// The integer 0.
+    pub fn zero() -> Self {
+        BigInt { sign: Sign::Zero, mag: Vec::new() }
+    }
+
+    /// The integer 1.
+    pub fn one() -> Self {
+        BigInt::from(1i64)
+    }
+
+    /// True iff `self == 0`.
+    pub fn is_zero(&self) -> bool {
+        self.sign == Sign::Zero
+    }
+
+    /// True iff `self > 0`.
+    pub fn is_positive(&self) -> bool {
+        self.sign == Sign::Pos
+    }
+
+    /// True iff `self < 0`.
+    pub fn is_negative(&self) -> bool {
+        self.sign == Sign::Neg
+    }
+
+    /// Sign as -1, 0, or 1.
+    pub fn signum(&self) -> i32 {
+        match self.sign {
+            Sign::Neg => -1,
+            Sign::Zero => 0,
+            Sign::Pos => 1,
+        }
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> BigInt {
+        BigInt {
+            sign: if self.sign == Sign::Zero { Sign::Zero } else { Sign::Pos },
+            mag: self.mag.clone(),
+        }
+    }
+
+    fn from_mag(sign: Sign, mut mag: Vec<u64>) -> BigInt {
+        while mag.last() == Some(&0) {
+            mag.pop();
+        }
+        if mag.is_empty() {
+            BigInt::zero()
+        } else {
+            debug_assert!(sign != Sign::Zero);
+            BigInt { sign, mag }
+        }
+    }
+
+    /// Number of significant bits of the magnitude (0 for zero).
+    pub fn bit_len(&self) -> usize {
+        match self.mag.last() {
+            None => 0,
+            Some(&top) => (self.mag.len() - 1) * 64 + (64 - top.leading_zeros() as usize),
+        }
+    }
+
+    fn bit(&self, i: usize) -> bool {
+        let limb = i / 64;
+        if limb >= self.mag.len() {
+            return false;
+        }
+        (self.mag[limb] >> (i % 64)) & 1 == 1
+    }
+
+    /// `self + other` computed via magnitude arithmetic.
+    fn add_signed(&self, other: &BigInt) -> BigInt {
+        match (self.sign, other.sign) {
+            (Sign::Zero, _) => other.clone(),
+            (_, Sign::Zero) => self.clone(),
+            (a, b) if a == b => BigInt::from_mag(a, mag_add(&self.mag, &other.mag)),
+            (a, _) => match mag_cmp(&self.mag, &other.mag) {
+                Ordering::Equal => BigInt::zero(),
+                Ordering::Greater => BigInt::from_mag(a, mag_sub(&self.mag, &other.mag)),
+                Ordering::Less => {
+                    BigInt::from_mag(other.sign, mag_sub(&other.mag, &self.mag))
+                }
+            },
+        }
+    }
+
+    /// Truncated division with remainder: returns `(q, r)` with
+    /// `self == q * other + r`, `|r| < |other|`, and `r` having the sign of
+    /// `self` (or zero). Panics if `other` is zero.
+    pub fn div_rem(&self, other: &BigInt) -> (BigInt, BigInt) {
+        assert!(!other.is_zero(), "BigInt division by zero");
+        if self.is_zero() {
+            return (BigInt::zero(), BigInt::zero());
+        }
+        if mag_cmp(&self.mag, &other.mag) == Ordering::Less {
+            return (BigInt::zero(), self.clone());
+        }
+        let (qm, rm) = mag_divrem(&self.mag, &other.mag);
+        let qsign = if self.sign == other.sign { Sign::Pos } else { Sign::Neg };
+        (BigInt::from_mag(qsign, qm), BigInt::from_mag(self.sign, rm))
+    }
+
+    /// Exact quotient; panics (in debug) if the division has a remainder.
+    pub fn div_exact(&self, other: &BigInt) -> BigInt {
+        let (q, r) = self.div_rem(other);
+        debug_assert!(r.is_zero(), "div_exact with nonzero remainder");
+        q
+    }
+
+    /// Greatest common divisor of the magnitudes (always non-negative;
+    /// `gcd(0, x) == |x|`). Binary (Stein) algorithm — no division needed.
+    pub fn gcd(&self, other: &BigInt) -> BigInt {
+        let mut a = self.mag.clone();
+        let mut b = other.mag.clone();
+        if a.is_empty() {
+            return BigInt::from_mag(bool_sign(!b.is_empty()), b);
+        }
+        if b.is_empty() {
+            return BigInt::from_mag(Sign::Pos, a);
+        }
+        let sa = mag_trailing_zeros(&a);
+        let sb = mag_trailing_zeros(&b);
+        let shift = sa.min(sb);
+        mag_shr(&mut a, sa);
+        mag_shr(&mut b, sb);
+        // Invariant: a, b odd.
+        loop {
+            match mag_cmp(&a, &b) {
+                Ordering::Equal => break,
+                Ordering::Less => std::mem::swap(&mut a, &mut b),
+                Ordering::Greater => {}
+            }
+            a = mag_sub(&a, &b);
+            let tz = mag_trailing_zeros(&a);
+            mag_shr(&mut a, tz);
+        }
+        mag_shl(&mut a, shift);
+        BigInt::from_mag(Sign::Pos, a)
+    }
+
+    /// `self * 2^n`.
+    pub fn shl(&self, n: usize) -> BigInt {
+        if self.is_zero() {
+            return BigInt::zero();
+        }
+        let mut mag = self.mag.clone();
+        mag_shl(&mut mag, n);
+        BigInt::from_mag(self.sign, mag)
+    }
+
+    /// Raise to a small power.
+    pub fn pow(&self, mut exp: u32) -> BigInt {
+        let mut base = self.clone();
+        let mut acc = BigInt::one();
+        while exp > 0 {
+            if exp & 1 == 1 {
+                acc = &acc * &base;
+            }
+            base = &base * &base;
+            exp >>= 1;
+        }
+        acc
+    }
+
+    /// Lossy conversion to `f64` (used only for reporting, never inside the
+    /// exact engine).
+    pub fn to_f64(&self) -> f64 {
+        let mut v = 0.0f64;
+        for &limb in self.mag.iter().rev() {
+            v = v * 1.8446744073709552e19 + limb as f64;
+        }
+        if self.sign == Sign::Neg {
+            -v
+        } else {
+            v
+        }
+    }
+
+    /// Checked conversion to `i64`.
+    pub fn to_i64(&self) -> Option<i64> {
+        match self.mag.len() {
+            0 => Some(0),
+            1 => {
+                let m = self.mag[0];
+                match self.sign {
+                    Sign::Pos if m <= i64::MAX as u64 => Some(m as i64),
+                    Sign::Neg if m <= i64::MAX as u64 + 1 => Some(-(m as i128) as i64),
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+fn bool_sign(pos: bool) -> Sign {
+    if pos {
+        Sign::Pos
+    } else {
+        Sign::Zero
+    }
+}
+
+// ---- magnitude (unsigned little-endian limb vector) helpers ----
+
+fn mag_cmp(a: &[u64], b: &[u64]) -> Ordering {
+    if a.len() != b.len() {
+        return a.len().cmp(&b.len());
+    }
+    for i in (0..a.len()).rev() {
+        match a[i].cmp(&b[i]) {
+            Ordering::Equal => {}
+            ord => return ord,
+        }
+    }
+    Ordering::Equal
+}
+
+#[allow(clippy::needless_range_loop)]
+fn mag_add(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
+    let mut out = Vec::with_capacity(long.len() + 1);
+    let mut carry = 0u64;
+    for i in 0..long.len() {
+        let s = short.get(i).copied().unwrap_or(0);
+        let (x, c1) = long[i].overflowing_add(s);
+        let (y, c2) = x.overflowing_add(carry);
+        out.push(y);
+        carry = (c1 as u64) + (c2 as u64);
+    }
+    if carry > 0 {
+        out.push(carry);
+    }
+    out
+}
+
+/// Requires `a >= b`.
+#[allow(clippy::needless_range_loop)]
+fn mag_sub(a: &[u64], b: &[u64]) -> Vec<u64> {
+    debug_assert!(mag_cmp(a, b) != Ordering::Less);
+    let mut out = Vec::with_capacity(a.len());
+    let mut borrow = 0u64;
+    for i in 0..a.len() {
+        let s = b.get(i).copied().unwrap_or(0);
+        let (x, b1) = a[i].overflowing_sub(s);
+        let (y, b2) = x.overflowing_sub(borrow);
+        out.push(y);
+        borrow = (b1 as u64) + (b2 as u64);
+    }
+    debug_assert_eq!(borrow, 0);
+    while out.last() == Some(&0) {
+        out.pop();
+    }
+    out
+}
+
+fn mag_mul(a: &[u64], b: &[u64]) -> Vec<u64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let mut out = vec![0u64; a.len() + b.len()];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry = 0u128;
+        for (j, &bj) in b.iter().enumerate() {
+            let cur = out[i + j] as u128 + ai as u128 * bj as u128 + carry;
+            out[i + j] = cur as u64;
+            carry = cur >> 64;
+        }
+        let mut k = i + b.len();
+        while carry > 0 {
+            let cur = out[k] as u128 + carry;
+            out[k] = cur as u64;
+            carry = cur >> 64;
+            k += 1;
+        }
+    }
+    while out.last() == Some(&0) {
+        out.pop();
+    }
+    out
+}
+
+fn mag_trailing_zeros(a: &[u64]) -> usize {
+    for (i, &limb) in a.iter().enumerate() {
+        if limb != 0 {
+            return i * 64 + limb.trailing_zeros() as usize;
+        }
+    }
+    0
+}
+
+fn mag_shr(a: &mut Vec<u64>, n: usize) {
+    if n == 0 || a.is_empty() {
+        return;
+    }
+    let limbs = n / 64;
+    let bits = n % 64;
+    if limbs >= a.len() {
+        a.clear();
+        return;
+    }
+    a.drain(..limbs);
+    if bits > 0 {
+        let mut carry = 0u64;
+        for limb in a.iter_mut().rev() {
+            let new_carry = *limb << (64 - bits);
+            *limb = (*limb >> bits) | carry;
+            carry = new_carry;
+        }
+    }
+    while a.last() == Some(&0) {
+        a.pop();
+    }
+}
+
+fn mag_shl(a: &mut Vec<u64>, n: usize) {
+    if n == 0 || a.is_empty() {
+        return;
+    }
+    let limbs = n / 64;
+    let bits = n % 64;
+    if bits > 0 {
+        let mut carry = 0u64;
+        for limb in a.iter_mut() {
+            let new_carry = *limb >> (64 - bits);
+            *limb = (*limb << bits) | carry;
+            carry = new_carry;
+        }
+        if carry > 0 {
+            a.push(carry);
+        }
+    }
+    if limbs > 0 {
+        let mut shifted = vec![0u64; limbs];
+        shifted.extend_from_slice(a);
+        *a = shifted;
+    }
+}
+
+/// Binary long division of magnitudes: returns `(quotient, remainder)`.
+/// `b` must be nonzero. O(bits(a) · limbs(b)); adequate for the small
+/// coefficients produced by gcd-normalized constraints.
+fn mag_divrem(a: &[u64], b: &[u64]) -> (Vec<u64>, Vec<u64>) {
+    debug_assert!(!b.is_empty());
+    // Fast path: single-limb divisor.
+    if b.len() == 1 {
+        let d = b[0] as u128;
+        let mut q = vec![0u64; a.len()];
+        let mut rem = 0u128;
+        for i in (0..a.len()).rev() {
+            let cur = (rem << 64) | a[i] as u128;
+            q[i] = (cur / d) as u64;
+            rem = cur % d;
+        }
+        while q.last() == Some(&0) {
+            q.pop();
+        }
+        let r = if rem == 0 { Vec::new() } else { vec![rem as u64] };
+        return (q, r);
+    }
+    let a_bits = BigInt { sign: Sign::Pos, mag: a.to_vec() };
+    let nbits = a_bits.bit_len();
+    let mut q = vec![0u64; a.len()];
+    let mut r: Vec<u64> = Vec::new();
+    for i in (0..nbits).rev() {
+        mag_shl(&mut r, 1);
+        if a_bits.bit(i) {
+            if r.is_empty() {
+                r.push(1);
+            } else {
+                r[0] |= 1;
+            }
+        }
+        if mag_cmp(&r, b) != Ordering::Less {
+            r = mag_sub(&r, b);
+            q[i / 64] |= 1u64 << (i % 64);
+        }
+    }
+    while q.last() == Some(&0) {
+        q.pop();
+    }
+    (q, r)
+}
+
+// ---- trait impls ----
+
+impl From<i64> for BigInt {
+    fn from(v: i64) -> Self {
+        match v.cmp(&0) {
+            Ordering::Equal => BigInt::zero(),
+            Ordering::Greater => BigInt { sign: Sign::Pos, mag: vec![v as u64] },
+            Ordering::Less => {
+                BigInt { sign: Sign::Neg, mag: vec![(v as i128).unsigned_abs() as u64] }
+            }
+        }
+    }
+}
+
+impl From<u64> for BigInt {
+    fn from(v: u64) -> Self {
+        if v == 0 {
+            BigInt::zero()
+        } else {
+            BigInt { sign: Sign::Pos, mag: vec![v] }
+        }
+    }
+}
+
+impl From<i32> for BigInt {
+    fn from(v: i32) -> Self {
+        BigInt::from(v as i64)
+    }
+}
+
+impl From<i128> for BigInt {
+    fn from(v: i128) -> Self {
+        let sign = match v.cmp(&0) {
+            Ordering::Equal => return BigInt::zero(),
+            Ordering::Greater => Sign::Pos,
+            Ordering::Less => Sign::Neg,
+        };
+        let m = v.unsigned_abs();
+        BigInt::from_mag(sign, vec![m as u64, (m >> 64) as u64])
+    }
+}
+
+impl Neg for &BigInt {
+    type Output = BigInt;
+    fn neg(self) -> BigInt {
+        BigInt {
+            sign: match self.sign {
+                Sign::Neg => Sign::Pos,
+                Sign::Zero => Sign::Zero,
+                Sign::Pos => Sign::Neg,
+            },
+            mag: self.mag.clone(),
+        }
+    }
+}
+
+impl Neg for BigInt {
+    type Output = BigInt;
+    fn neg(mut self) -> BigInt {
+        self.sign = match self.sign {
+            Sign::Neg => Sign::Pos,
+            Sign::Zero => Sign::Zero,
+            Sign::Pos => Sign::Neg,
+        };
+        self
+    }
+}
+
+impl Add for &BigInt {
+    type Output = BigInt;
+    fn add(self, other: &BigInt) -> BigInt {
+        self.add_signed(other)
+    }
+}
+
+impl Sub for &BigInt {
+    type Output = BigInt;
+    fn sub(self, other: &BigInt) -> BigInt {
+        self.add_signed(&-other)
+    }
+}
+
+impl Mul for &BigInt {
+    type Output = BigInt;
+    fn mul(self, other: &BigInt) -> BigInt {
+        let sign = match (self.sign, other.sign) {
+            (Sign::Zero, _) | (_, Sign::Zero) => return BigInt::zero(),
+            (a, b) if a == b => Sign::Pos,
+            _ => Sign::Neg,
+        };
+        BigInt::from_mag(sign, mag_mul(&self.mag, &other.mag))
+    }
+}
+
+macro_rules! forward_owned_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait for BigInt {
+            type Output = BigInt;
+            fn $method(self, other: BigInt) -> BigInt {
+                (&self).$method(&other)
+            }
+        }
+        impl $trait<&BigInt> for BigInt {
+            type Output = BigInt;
+            fn $method(self, other: &BigInt) -> BigInt {
+                (&self).$method(other)
+            }
+        }
+        impl $trait<BigInt> for &BigInt {
+            type Output = BigInt;
+            fn $method(self, other: BigInt) -> BigInt {
+                self.$method(&other)
+            }
+        }
+    };
+}
+
+forward_owned_binop!(Add, add);
+forward_owned_binop!(Sub, sub);
+forward_owned_binop!(Mul, mul);
+
+impl AddAssign<&BigInt> for BigInt {
+    fn add_assign(&mut self, other: &BigInt) {
+        *self = &*self + other;
+    }
+}
+
+impl SubAssign<&BigInt> for BigInt {
+    fn sub_assign(&mut self, other: &BigInt) {
+        *self = &*self - other;
+    }
+}
+
+impl MulAssign<&BigInt> for BigInt {
+    fn mul_assign(&mut self, other: &BigInt) {
+        *self = &*self * other;
+    }
+}
+
+impl Ord for BigInt {
+    fn cmp(&self, other: &Self) -> Ordering {
+        match (self.sign, other.sign) {
+            (Sign::Neg, Sign::Neg) => mag_cmp(&other.mag, &self.mag),
+            (Sign::Neg, _) => Ordering::Less,
+            (Sign::Zero, Sign::Neg) => Ordering::Greater,
+            (Sign::Zero, Sign::Zero) => Ordering::Equal,
+            (Sign::Zero, Sign::Pos) => Ordering::Less,
+            (Sign::Pos, Sign::Pos) => mag_cmp(&self.mag, &other.mag),
+            (Sign::Pos, _) => Ordering::Greater,
+        }
+    }
+}
+
+impl PartialOrd for BigInt {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl std::hash::Hash for BigInt {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.signum().hash(state);
+        self.mag.hash(state);
+    }
+}
+
+impl fmt::Display for BigInt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        if self.sign == Sign::Neg {
+            write!(f, "-")?;
+        }
+        // Peel off 19 decimal digits at a time (10^19 fits in u64).
+        const CHUNK: u64 = 10_000_000_000_000_000_000;
+        let mut mag = self.mag.clone();
+        let mut chunks: Vec<u64> = Vec::new();
+        while !mag.is_empty() {
+            let (q, r) = mag_divrem(&mag, &[CHUNK]);
+            chunks.push(r.first().copied().unwrap_or(0));
+            mag = q;
+        }
+        let mut iter = chunks.iter().rev();
+        if let Some(first) = iter.next() {
+            write!(f, "{}", first)?;
+        }
+        for chunk in iter {
+            write!(f, "{:019}", chunk)?;
+        }
+        Ok(())
+    }
+}
+
+/// Error when parsing a [`BigInt`] from a string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseBigIntError;
+
+impl fmt::Display for ParseBigIntError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid integer literal")
+    }
+}
+
+impl std::error::Error for ParseBigIntError {}
+
+impl FromStr for BigInt {
+    type Err = ParseBigIntError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (neg, digits) = match s.strip_prefix('-') {
+            Some(rest) => (true, rest),
+            None => (false, s.strip_prefix('+').unwrap_or(s)),
+        };
+        if digits.is_empty() || !digits.bytes().all(|b| b.is_ascii_digit()) {
+            return Err(ParseBigIntError);
+        }
+        let ten_pow_19 = BigInt::from(10_000_000_000_000_000_000u64);
+        let mut acc = BigInt::zero();
+        let bytes = digits.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            let take = (bytes.len() - i).min(19);
+            let chunk: u64 = digits[i..i + take].parse().map_err(|_| ParseBigIntError)?;
+            let scale = if take == 19 {
+                ten_pow_19.clone()
+            } else {
+                BigInt::from(10u64).pow(take as u32)
+            };
+            acc = &acc * &scale + BigInt::from(chunk);
+            i += take;
+        }
+        Ok(if neg { -acc } else { acc })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn b(v: i64) -> BigInt {
+        BigInt::from(v)
+    }
+
+    #[test]
+    fn zero_identities() {
+        assert!(BigInt::zero().is_zero());
+        assert_eq!(&b(5) + &BigInt::zero(), b(5));
+        assert_eq!(&BigInt::zero() + &b(-5), b(-5));
+        assert_eq!(&b(5) * &BigInt::zero(), BigInt::zero());
+    }
+
+    #[test]
+    fn small_arithmetic() {
+        assert_eq!(&b(2) + &b(3), b(5));
+        assert_eq!(&b(2) - &b(3), b(-1));
+        assert_eq!(&b(-2) * &b(3), b(-6));
+        assert_eq!(&b(-2) * &b(-3), b(6));
+        assert_eq!(-b(7), b(-7));
+    }
+
+    #[test]
+    fn carry_and_borrow_across_limbs() {
+        let big = BigInt::from(u64::MAX);
+        let sum = &big + &b(1);
+        assert_eq!(sum.to_string(), "18446744073709551616");
+        assert_eq!(&sum - &b(1), big);
+    }
+
+    #[test]
+    fn multiplication_multi_limb() {
+        let a = BigInt::from_str("123456789012345678901234567890").unwrap();
+        let bq = BigInt::from_str("987654321098765432109876543210").unwrap();
+        let p = &a * &bq;
+        assert_eq!(
+            p.to_string(),
+            "121932631137021795226185032733622923332237463801111263526900"
+        );
+    }
+
+    #[test]
+    fn div_rem_signs_follow_truncation() {
+        for (a, d) in [(7i64, 2i64), (-7, 2), (7, -2), (-7, -2)] {
+            let (q, r) = b(a).div_rem(&b(d));
+            assert_eq!(q, b(a / d), "quotient of {a}/{d}");
+            assert_eq!(r, b(a % d), "remainder of {a}/{d}");
+        }
+    }
+
+    #[test]
+    fn div_rem_large() {
+        let a = BigInt::from_str("340282366920938463463374607431768211455").unwrap();
+        let d = BigInt::from_str("18446744073709551629").unwrap();
+        let (q, r) = a.div_rem(&d);
+        assert_eq!(&(&q * &d) + &r, a);
+        assert!(r.abs() < d.abs());
+    }
+
+    #[test]
+    #[should_panic(expected = "division by zero")]
+    fn div_by_zero_panics() {
+        let _ = b(1).div_rem(&BigInt::zero());
+    }
+
+    #[test]
+    fn gcd_basic() {
+        assert_eq!(b(12).gcd(&b(18)), b(6));
+        assert_eq!(b(-12).gcd(&b(18)), b(6));
+        assert_eq!(b(0).gcd(&b(-7)), b(7));
+        assert_eq!(b(7).gcd(&b(0)), b(7));
+        assert_eq!(b(1).gcd(&b(1)), b(1));
+        assert_eq!(b(17).gcd(&b(13)), b(1));
+    }
+
+    #[test]
+    fn ordering_total() {
+        let mut v = vec![b(3), b(-1), b(0), b(100), b(-100)];
+        v.sort();
+        assert_eq!(v, vec![b(-100), b(-1), b(0), b(3), b(100)]);
+    }
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        for s in ["0", "1", "-1", "18446744073709551616", "-99999999999999999999999999"] {
+            let v = BigInt::from_str(s).unwrap();
+            assert_eq!(v.to_string(), s);
+        }
+        assert!(BigInt::from_str("").is_err());
+        assert!(BigInt::from_str("12a").is_err());
+        assert!(BigInt::from_str("-").is_err());
+    }
+
+    #[test]
+    fn pow_small() {
+        assert_eq!(b(2).pow(10), b(1024));
+        assert_eq!(b(10).pow(0), b(1));
+        assert_eq!(b(-3).pow(3), b(-27));
+        assert_eq!(b(10).pow(25).to_string(), "10000000000000000000000000");
+    }
+
+    #[test]
+    fn to_i64_bounds() {
+        assert_eq!(b(i64::MAX).to_i64(), Some(i64::MAX));
+        assert_eq!(b(i64::MIN).to_i64(), Some(i64::MIN));
+        assert_eq!((&b(i64::MAX) + &b(1)).to_i64(), None);
+        assert_eq!(BigInt::zero().to_i64(), Some(0));
+    }
+
+    #[test]
+    fn to_f64_reasonable() {
+        assert_eq!(b(5).to_f64(), 5.0);
+        assert_eq!(b(-5).to_f64(), -5.0);
+        let big = BigInt::from_str("18446744073709551616").unwrap();
+        assert!((big.to_f64() - 1.8446744073709552e19).abs() < 1e5);
+    }
+
+    #[test]
+    fn shl_matches_pow2_multiplication() {
+        assert_eq!(b(3).shl(70), &b(3) * &b(2).pow(70));
+        assert_eq!(BigInt::zero().shl(100), BigInt::zero());
+    }
+
+    #[test]
+    fn i128_conversion() {
+        let v = BigInt::from(i128::MAX);
+        assert_eq!(v.to_string(), i128::MAX.to_string());
+        let v = BigInt::from(i128::MIN);
+        assert_eq!(v.to_string(), i128::MIN.to_string());
+    }
+}

@@ -1,0 +1,235 @@
+//! Rationals extended with a symbolic infinitesimal ε.
+//!
+//! `EpsRational` represents `a + b·ε` where ε is an arbitrarily small
+//! positive quantity. The order is lexicographic: `a + b·ε < c + d·ε` iff
+//! `a < c`, or `a == c` and `b < d`. This makes strict linear inequalities
+//! expressible as non-strict ones (`x < c` ⇔ `x ≤ c − ε`), which is how the
+//! `lyric-simplex` solver supports the `<` and `>` relops of the paper's
+//! linear arithmetic constraints without any case analysis.
+//!
+//! `EpsRational` is a module over [`Rational`] (addition, subtraction,
+//! scaling by a rational); it is *not* closed under multiplication because
+//! ε² terms are dropped — the simplex algorithm only ever scales rows by
+//! rational pivot coefficients, so this is exactly the structure needed.
+
+use crate::Rational;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Neg, Sub, SubAssign};
+
+/// `real + inf·ε` with ε an infinitesimal; ordered lexicographically.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct EpsRational {
+    /// The standard (real) part.
+    pub real: Rational,
+    /// The coefficient of ε.
+    pub inf: Rational,
+}
+
+impl EpsRational {
+    /// 0.
+    pub fn zero() -> Self {
+        EpsRational { real: Rational::zero(), inf: Rational::zero() }
+    }
+
+    /// A pure rational (ε-coefficient zero).
+    pub fn from_rational(r: Rational) -> Self {
+        EpsRational { real: r, inf: Rational::zero() }
+    }
+
+    /// The infinitesimal ε itself.
+    pub fn epsilon() -> Self {
+        EpsRational { real: Rational::zero(), inf: Rational::one() }
+    }
+
+    /// Construct `real + inf·ε`.
+    pub fn new(real: Rational, inf: Rational) -> Self {
+        EpsRational { real, inf }
+    }
+
+    pub fn is_zero(&self) -> bool {
+        self.real.is_zero() && self.inf.is_zero()
+    }
+
+    /// True iff the value has no ε component — i.e. it is an ordinary
+    /// rational and, when it is the optimum of an LP, the bound is attained.
+    pub fn is_exact(&self) -> bool {
+        self.inf.is_zero()
+    }
+
+    /// Scale by a rational: `(a + b·ε)·c = ac + bc·ε`.
+    pub fn scale(&self, c: &Rational) -> EpsRational {
+        EpsRational { real: &self.real * c, inf: &self.inf * c }
+    }
+
+    /// Evaluate at a concrete positive value of ε.
+    pub fn evaluate_at(&self, eps: &Rational) -> Rational {
+        &self.real + &(&self.inf * eps)
+    }
+
+    /// Sign of the value (using the lexicographic order): -1, 0, or 1.
+    pub fn signum(&self) -> i32 {
+        match self.real.signum() {
+            0 => self.inf.signum(),
+            s => s,
+        }
+    }
+
+    pub fn is_positive(&self) -> bool {
+        self.signum() > 0
+    }
+
+    pub fn is_negative(&self) -> bool {
+        self.signum() < 0
+    }
+}
+
+impl From<Rational> for EpsRational {
+    fn from(r: Rational) -> Self {
+        EpsRational::from_rational(r)
+    }
+}
+
+impl From<i64> for EpsRational {
+    fn from(v: i64) -> Self {
+        EpsRational::from_rational(Rational::from_int(v))
+    }
+}
+
+impl Add for &EpsRational {
+    type Output = EpsRational;
+    fn add(self, other: &EpsRational) -> EpsRational {
+        EpsRational { real: &self.real + &other.real, inf: &self.inf + &other.inf }
+    }
+}
+
+impl Sub for &EpsRational {
+    type Output = EpsRational;
+    fn sub(self, other: &EpsRational) -> EpsRational {
+        EpsRational { real: &self.real - &other.real, inf: &self.inf - &other.inf }
+    }
+}
+
+impl Add for EpsRational {
+    type Output = EpsRational;
+    fn add(self, other: EpsRational) -> EpsRational {
+        &self + &other
+    }
+}
+
+impl Sub for EpsRational {
+    type Output = EpsRational;
+    fn sub(self, other: EpsRational) -> EpsRational {
+        &self - &other
+    }
+}
+
+impl AddAssign<&EpsRational> for EpsRational {
+    fn add_assign(&mut self, other: &EpsRational) {
+        self.real += &other.real;
+        self.inf += &other.inf;
+    }
+}
+
+impl SubAssign<&EpsRational> for EpsRational {
+    fn sub_assign(&mut self, other: &EpsRational) {
+        self.real -= &other.real;
+        self.inf -= &other.inf;
+    }
+}
+
+impl Neg for &EpsRational {
+    type Output = EpsRational;
+    fn neg(self) -> EpsRational {
+        EpsRational { real: -&self.real, inf: -&self.inf }
+    }
+}
+
+impl Neg for EpsRational {
+    type Output = EpsRational;
+    fn neg(self) -> EpsRational {
+        -&self
+    }
+}
+
+impl Ord for EpsRational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.real.cmp(&other.real).then_with(|| self.inf.cmp(&other.inf))
+    }
+}
+
+impl PartialOrd for EpsRational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for EpsRational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.inf.is_zero() {
+            write!(f, "{}", self.real)
+        } else if self.real.is_zero() {
+            write!(f, "{}ε", self.inf)
+        } else if self.inf.is_negative() {
+            write!(f, "{} - {}ε", self.real, self.inf.abs())
+        } else {
+            write!(f, "{} + {}ε", self.real, self.inf)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(a: i64, b: i64) -> EpsRational {
+        EpsRational::new(Rational::from_int(a), Rational::from_int(b))
+    }
+
+    #[test]
+    fn lexicographic_order() {
+        assert!(e(1, 0) < e(2, -100));
+        assert!(e(1, -1) < e(1, 0));
+        assert!(e(1, 0) < e(1, 1));
+        assert!(EpsRational::epsilon() > EpsRational::zero());
+        assert!(EpsRational::epsilon() < EpsRational::from(1));
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(&e(1, 2) + &e(3, -1), e(4, 1));
+        assert_eq!(&e(1, 2) - &e(3, -1), e(-2, 3));
+        assert_eq!(-&e(1, -2), e(-1, 2));
+        assert_eq!(e(2, 4).scale(&Rational::from_pair(1, 2)), e(1, 2));
+    }
+
+    #[test]
+    fn signum_uses_eps_on_tie() {
+        assert_eq!(e(0, 0).signum(), 0);
+        assert_eq!(e(0, 1).signum(), 1);
+        assert_eq!(e(0, -1).signum(), -1);
+        assert_eq!(e(-1, 100).signum(), -1);
+        assert!(e(0, 1).is_positive());
+        assert!(e(0, -3).is_negative());
+    }
+
+    #[test]
+    fn evaluate_at_concrete_eps() {
+        let v = e(2, -3);
+        assert_eq!(v.evaluate_at(&Rational::from_pair(1, 6)), Rational::from_pair(3, 2));
+    }
+
+    #[test]
+    fn exactness_flag() {
+        assert!(e(5, 0).is_exact());
+        assert!(!e(5, -1).is_exact());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(e(3, 0).to_string(), "3");
+        assert_eq!(e(0, 2).to_string(), "2ε");
+        assert_eq!(e(3, -1).to_string(), "3 - 1ε");
+        assert_eq!(e(3, 2).to_string(), "3 + 2ε");
+    }
+}

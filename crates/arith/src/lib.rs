@@ -1,0 +1,50 @@
+//! Exact arithmetic substrate for the LyriC constraint engine.
+//!
+//! Linear-constraint manipulation — Fourier–Motzkin elimination, exact
+//! simplex pivoting, canonical-form normalization — multiplies and divides
+//! rational coefficients repeatedly. With fixed-width integers the
+//! intermediate numerators/denominators overflow quickly (FM squares the
+//! number of constraints per step and multiplies coefficients pairwise), so
+//! the engine is built on arbitrary-precision integers and exact rationals.
+//!
+//! Three types are exported:
+//!
+//! * [`BigInt`] — sign-magnitude arbitrary-precision integer.
+//! * [`Rational`] — always-normalized fraction of two [`BigInt`]s.
+//! * [`EpsRational`] — `a + b·ε` with ε an infinitesimal, ordered
+//!   lexicographically. Used by the simplex solver to treat strict
+//!   inequalities (`x < c` becomes `x ≤ c − ε`) without case analysis, in
+//!   the style of the Simplex-for-SMT literature.
+//!
+//! ```
+//! use lyric_arith::{BigInt, Rational, EpsRational};
+//! use std::str::FromStr;
+//!
+//! // Exact rationals: no drift, structural equality after normalization.
+//! let a = Rational::from_pair(1, 3);
+//! let b = "2/6".parse::<Rational>().unwrap();
+//! assert_eq!(a, b);
+//! assert_eq!((&a + &b).to_string(), "2/3");
+//!
+//! // Arbitrary precision: 2^200 round-trips through decimal.
+//! let big = BigInt::from(2i64).pow(200);
+//! assert_eq!(BigInt::from_str(&big.to_string()).unwrap(), big);
+//!
+//! // ε-extended values order lexicographically: 1 − ε < 1.
+//! let below_one = EpsRational::new(Rational::one(), -Rational::one());
+//! assert!(below_one < EpsRational::from_rational(Rational::one()));
+//! ```
+//!
+//! The implementation deliberately favours simplicity and auditability over
+//! raw throughput: schoolbook multiplication, binary long division, binary
+//! GCD. Coefficients arising from gcd-normalized constraint atoms stay small
+//! in practice, and the benchmark suite (crate `lyric-bench`) measures the
+//! engine end-to-end with this arithmetic.
+
+mod bigint;
+mod eps;
+mod rational;
+
+pub use bigint::BigInt;
+pub use eps::EpsRational;
+pub use rational::{ParseRationalError, Rational};

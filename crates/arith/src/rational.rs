@@ -1,0 +1,436 @@
+//! Exact rational numbers over [`BigInt`].
+
+use crate::BigInt;
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+use std::str::FromStr;
+
+/// An exact rational number.
+///
+/// Invariants: the denominator is strictly positive, and
+/// `gcd(|num|, den) == 1` (zero is represented as `0/1`). Every constructor
+/// and operation re-establishes these, so two `Rational`s are equal iff they
+/// are structurally equal — which lets the constraint engine use `Rational`
+/// directly as a map key and in canonical forms.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Rational {
+    num: BigInt,
+    den: BigInt,
+}
+
+impl Rational {
+    /// 0.
+    pub fn zero() -> Self {
+        Rational { num: BigInt::zero(), den: BigInt::one() }
+    }
+
+    /// 1.
+    pub fn one() -> Self {
+        Rational { num: BigInt::one(), den: BigInt::one() }
+    }
+
+    /// Construct `num / den`, normalizing. Panics if `den == 0`.
+    pub fn new(num: BigInt, den: BigInt) -> Self {
+        assert!(!den.is_zero(), "Rational with zero denominator");
+        let mut r = Rational { num, den };
+        r.normalize();
+        r
+    }
+
+    /// Construct from an integer pair, e.g. `Rational::from_pair(1, 2)`.
+    pub fn from_pair(num: i64, den: i64) -> Self {
+        Rational::new(BigInt::from(num), BigInt::from(den))
+    }
+
+    /// Construct from an integer.
+    pub fn from_int(v: i64) -> Self {
+        Rational { num: BigInt::from(v), den: BigInt::one() }
+    }
+
+    fn normalize(&mut self) {
+        if self.den.is_negative() {
+            self.num = -std::mem::replace(&mut self.num, BigInt::zero());
+            self.den = -std::mem::replace(&mut self.den, BigInt::zero());
+        }
+        if self.num.is_zero() {
+            self.den = BigInt::one();
+            return;
+        }
+        let g = self.num.gcd(&self.den);
+        if g != BigInt::one() {
+            self.num = self.num.div_exact(&g);
+            self.den = self.den.div_exact(&g);
+        }
+    }
+
+    /// Numerator (sign-carrying).
+    pub fn numer(&self) -> &BigInt {
+        &self.num
+    }
+
+    /// Denominator (always positive).
+    pub fn denom(&self) -> &BigInt {
+        &self.den
+    }
+
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    pub fn is_positive(&self) -> bool {
+        self.num.is_positive()
+    }
+
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// True iff the denominator is 1.
+    pub fn is_integer(&self) -> bool {
+        self.den == BigInt::one()
+    }
+
+    /// Sign as -1, 0, or 1.
+    pub fn signum(&self) -> i32 {
+        self.num.signum()
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> Rational {
+        Rational { num: self.num.abs(), den: self.den.clone() }
+    }
+
+    /// Multiplicative inverse; panics on zero.
+    pub fn recip(&self) -> Rational {
+        assert!(!self.is_zero(), "reciprocal of zero");
+        Rational::new(self.den.clone(), self.num.clone())
+    }
+
+    /// Lossy conversion for reporting.
+    pub fn to_f64(&self) -> f64 {
+        self.num.to_f64() / self.den.to_f64()
+    }
+
+    /// Largest integer `<= self`.
+    pub fn floor(&self) -> BigInt {
+        let (q, r) = self.num.div_rem(&self.den);
+        if r.is_negative() {
+            &q - &BigInt::one()
+        } else {
+            q
+        }
+    }
+
+    /// Smallest integer `>= self`.
+    pub fn ceil(&self) -> BigInt {
+        let (q, r) = self.num.div_rem(&self.den);
+        if r.is_positive() {
+            &q + &BigInt::one()
+        } else {
+            q
+        }
+    }
+
+    /// Minimum of two rationals by value.
+    pub fn min(self, other: Rational) -> Rational {
+        if self <= other {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Maximum of two rationals by value.
+    pub fn max(self, other: Rational) -> Rational {
+        if self >= other {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Default for Rational {
+    fn default() -> Self {
+        Rational::zero()
+    }
+}
+
+impl From<i64> for Rational {
+    fn from(v: i64) -> Self {
+        Rational::from_int(v)
+    }
+}
+
+impl From<i32> for Rational {
+    fn from(v: i32) -> Self {
+        Rational::from_int(v as i64)
+    }
+}
+
+impl From<BigInt> for Rational {
+    fn from(v: BigInt) -> Self {
+        Rational { num: v, den: BigInt::one() }
+    }
+}
+
+impl Add for &Rational {
+    type Output = Rational;
+    fn add(self, other: &Rational) -> Rational {
+        Rational::new(
+            &self.num * &other.den + &other.num * &self.den,
+            &self.den * &other.den,
+        )
+    }
+}
+
+impl Sub for &Rational {
+    type Output = Rational;
+    fn sub(self, other: &Rational) -> Rational {
+        Rational::new(
+            &self.num * &other.den - &other.num * &self.den,
+            &self.den * &other.den,
+        )
+    }
+}
+
+impl Mul for &Rational {
+    type Output = Rational;
+    fn mul(self, other: &Rational) -> Rational {
+        Rational::new(&self.num * &other.num, &self.den * &other.den)
+    }
+}
+
+impl Div for &Rational {
+    type Output = Rational;
+    fn div(self, other: &Rational) -> Rational {
+        assert!(!other.is_zero(), "Rational division by zero");
+        Rational::new(&self.num * &other.den, &self.den * &other.num)
+    }
+}
+
+macro_rules! forward_owned_binop {
+    ($trait:ident, $method:ident) => {
+        impl $trait for Rational {
+            type Output = Rational;
+            fn $method(self, other: Rational) -> Rational {
+                (&self).$method(&other)
+            }
+        }
+        impl $trait<&Rational> for Rational {
+            type Output = Rational;
+            fn $method(self, other: &Rational) -> Rational {
+                (&self).$method(other)
+            }
+        }
+        impl $trait<Rational> for &Rational {
+            type Output = Rational;
+            fn $method(self, other: Rational) -> Rational {
+                self.$method(&other)
+            }
+        }
+    };
+}
+
+forward_owned_binop!(Add, add);
+forward_owned_binop!(Sub, sub);
+forward_owned_binop!(Mul, mul);
+forward_owned_binop!(Div, div);
+
+impl AddAssign<&Rational> for Rational {
+    fn add_assign(&mut self, other: &Rational) {
+        *self = &*self + other;
+    }
+}
+
+impl SubAssign<&Rational> for Rational {
+    fn sub_assign(&mut self, other: &Rational) {
+        *self = &*self - other;
+    }
+}
+
+impl MulAssign<&Rational> for Rational {
+    fn mul_assign(&mut self, other: &Rational) {
+        *self = &*self * other;
+    }
+}
+
+impl Neg for &Rational {
+    type Output = Rational;
+    fn neg(self) -> Rational {
+        Rational { num: -&self.num, den: self.den.clone() }
+    }
+}
+
+impl Neg for Rational {
+    type Output = Rational;
+    fn neg(mut self) -> Rational {
+        self.num = -self.num;
+        self
+    }
+}
+
+impl Ord for Rational {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Denominators are positive, so cross-multiplication preserves order.
+        (&self.num * &other.den).cmp(&(&other.num * &self.den))
+    }
+}
+
+impl PartialOrd for Rational {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Display for Rational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_integer() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+/// Error when parsing a [`Rational`] literal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRationalError;
+
+impl fmt::Display for ParseRationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid rational literal")
+    }
+}
+
+impl std::error::Error for ParseRationalError {}
+
+impl FromStr for Rational {
+    type Err = ParseRationalError;
+
+    /// Accepts integers (`-3`), fractions (`1/2`), and decimals (`2.75`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some((n, d)) = s.split_once('/') {
+            let num: BigInt = n.trim().parse().map_err(|_| ParseRationalError)?;
+            let den: BigInt = d.trim().parse().map_err(|_| ParseRationalError)?;
+            if den.is_zero() {
+                return Err(ParseRationalError);
+            }
+            return Ok(Rational::new(num, den));
+        }
+        if let Some((int_part, frac_part)) = s.split_once('.') {
+            let (neg, int_digits) = match int_part.strip_prefix('-') {
+                Some(rest) => (true, rest),
+                None => (false, int_part.strip_prefix('+').unwrap_or(int_part)),
+            };
+            if frac_part.is_empty() || !frac_part.bytes().all(|b| b.is_ascii_digit()) {
+                return Err(ParseRationalError);
+            }
+            let int_val: BigInt = if int_digits.is_empty() {
+                BigInt::zero()
+            } else {
+                int_digits.parse().map_err(|_| ParseRationalError)?
+            };
+            let frac_val: BigInt = frac_part.parse().map_err(|_| ParseRationalError)?;
+            let scale = BigInt::from(10i64).pow(frac_part.len() as u32);
+            let num = &int_val * &scale + frac_val;
+            let r = Rational::new(num, scale);
+            return Ok(if neg { -r } else { r });
+        }
+        let num: BigInt = s.parse().map_err(|_| ParseRationalError)?;
+        Ok(Rational::from(num))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> Rational {
+        Rational::from_pair(n, d)
+    }
+
+    #[test]
+    fn normalization() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(-2, -4), r(1, 2));
+        assert_eq!(r(2, -4), r(-1, 2));
+        assert_eq!(r(0, 5), Rational::zero());
+        assert!(r(0, -5).denom() == &BigInt::one());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = r(1, 0);
+    }
+
+    #[test]
+    fn field_operations() {
+        assert_eq!(r(1, 2) + r(1, 3), r(5, 6));
+        assert_eq!(r(1, 2) - r(1, 3), r(1, 6));
+        assert_eq!(r(2, 3) * r(3, 4), r(1, 2));
+        assert_eq!(r(1, 2) / r(1, 4), r(2, 1));
+        assert_eq!(-r(1, 2), r(-1, 2));
+        assert_eq!(r(1, 2).recip(), r(2, 1));
+        assert_eq!(r(-2, 3).recip(), r(-3, 2));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < r(-1, 3));
+        assert!(r(7, 7) == Rational::one());
+        assert!(r(-5, 2) < Rational::zero());
+        assert_eq!(r(3, 4).max(r(2, 3)), r(3, 4));
+        assert_eq!(r(3, 4).min(r(2, 3)), r(2, 3));
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(r(7, 2).floor(), BigInt::from(3i64));
+        assert_eq!(r(7, 2).ceil(), BigInt::from(4i64));
+        assert_eq!(r(-7, 2).floor(), BigInt::from(-4i64));
+        assert_eq!(r(-7, 2).ceil(), BigInt::from(-3i64));
+        assert_eq!(r(6, 2).floor(), BigInt::from(3i64));
+        assert_eq!(r(6, 2).ceil(), BigInt::from(3i64));
+    }
+
+    #[test]
+    fn parse_forms() {
+        assert_eq!("3".parse::<Rational>().unwrap(), r(3, 1));
+        assert_eq!("-3".parse::<Rational>().unwrap(), r(-3, 1));
+        assert_eq!("1/2".parse::<Rational>().unwrap(), r(1, 2));
+        assert_eq!("-6/4".parse::<Rational>().unwrap(), r(-3, 2));
+        assert_eq!("2.75".parse::<Rational>().unwrap(), r(11, 4));
+        assert_eq!("-0.5".parse::<Rational>().unwrap(), r(-1, 2));
+        assert_eq!(".5".parse::<Rational>().unwrap(), r(1, 2));
+        assert!("1/0".parse::<Rational>().is_err());
+        assert!("abc".parse::<Rational>().is_err());
+        assert!("1.".parse::<Rational>().is_err());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(r(4, 2).to_string(), "2");
+        assert_eq!(r(1, 2).to_string(), "1/2");
+        assert_eq!(r(-1, 2).to_string(), "-1/2");
+    }
+
+    #[test]
+    fn to_f64() {
+        assert_eq!(r(1, 2).to_f64(), 0.5);
+        assert_eq!(r(-3, 4).to_f64(), -0.75);
+    }
+
+    #[test]
+    fn signum_and_predicates() {
+        assert_eq!(r(-3, 7).signum(), -1);
+        assert_eq!(Rational::zero().signum(), 0);
+        assert!(r(5, 1).is_integer());
+        assert!(!r(5, 2).is_integer());
+        assert!(r(1, 9).is_positive());
+        assert!(r(-1, 9).is_negative());
+    }
+}

@@ -1,0 +1,157 @@
+//! Property-based tests for the exact-arithmetic substrate.
+//!
+//! `BigInt` is checked against `i128` as a reference model on values that
+//! fit, and against algebraic laws on values that don't. `Rational` is
+//! checked against field axioms, and `EpsRational` against ordered-module
+//! laws.
+
+use lyric_arith::{BigInt, EpsRational, Rational};
+use proptest::prelude::*;
+use std::str::FromStr;
+
+fn bigint_strategy() -> impl Strategy<Value = BigInt> {
+    // Mix small values (edge cases near zero / limb boundaries) with
+    // multi-limb values built from decimal strings.
+    prop_oneof![
+        any::<i64>().prop_map(BigInt::from),
+        (any::<i128>()).prop_map(BigInt::from),
+        proptest::collection::vec(any::<u64>(), 1..5).prop_map(|limbs| {
+            let mut acc = BigInt::zero();
+            for l in limbs {
+                acc = acc.shl(64) + BigInt::from(l);
+            }
+            acc
+        }),
+    ]
+}
+
+fn rational_strategy() -> impl Strategy<Value = Rational> {
+    (any::<i64>(), 1..10_000i64).prop_map(|(n, d)| Rational::from_pair(n, d))
+}
+
+proptest! {
+    #[test]
+    fn bigint_matches_i128_model(a in any::<i64>(), b in any::<i64>()) {
+        let (ba, bb) = (BigInt::from(a), BigInt::from(b));
+        prop_assert_eq!(&ba + &bb, BigInt::from(a as i128 + b as i128));
+        prop_assert_eq!(&ba - &bb, BigInt::from(a as i128 - b as i128));
+        prop_assert_eq!(&ba * &bb, BigInt::from(a as i128 * b as i128));
+        prop_assert_eq!(ba.cmp(&bb), a.cmp(&b));
+    }
+
+    #[test]
+    fn bigint_div_rem_reconstructs(a in bigint_strategy(), b in bigint_strategy()) {
+        prop_assume!(!b.is_zero());
+        let (q, r) = a.div_rem(&b);
+        prop_assert_eq!(&(&q * &b) + &r, a.clone());
+        prop_assert!(r.abs() < b.abs());
+        // Truncated division: remainder sign matches dividend (or zero).
+        prop_assert!(r.is_zero() || r.signum() == a.signum());
+    }
+
+    #[test]
+    fn bigint_gcd_divides_both(a in bigint_strategy(), b in bigint_strategy()) {
+        let g = a.gcd(&b);
+        if g.is_zero() {
+            prop_assert!(a.is_zero() && b.is_zero());
+        } else {
+            prop_assert!(a.div_rem(&g).1.is_zero());
+            prop_assert!(b.div_rem(&g).1.is_zero());
+            prop_assert!(g.is_positive());
+        }
+    }
+
+    #[test]
+    fn bigint_ring_axioms(a in bigint_strategy(), b in bigint_strategy(), c in bigint_strategy()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&a * &b, &b * &a);
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+        prop_assert_eq!(&(&a * &b) * &c, &a * &(&b * &c));
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        prop_assert_eq!(&a - &a, BigInt::zero());
+    }
+
+    #[test]
+    fn bigint_display_parse_roundtrip(a in bigint_strategy()) {
+        let s = a.to_string();
+        prop_assert_eq!(BigInt::from_str(&s).unwrap(), a);
+    }
+
+    #[test]
+    fn rational_field_axioms(a in rational_strategy(), b in rational_strategy(), c in rational_strategy()) {
+        prop_assert_eq!(&a + &b, &b + &a);
+        prop_assert_eq!(&(&a + &b) + &c, &a + &(&b + &c));
+        prop_assert_eq!(&a * &(&b + &c), &(&a * &b) + &(&a * &c));
+        prop_assert_eq!(&a - &a, Rational::zero());
+        if !b.is_zero() {
+            prop_assert_eq!(&(&a / &b) * &b, a.clone());
+            prop_assert_eq!(&b * &b.recip(), Rational::one());
+        }
+    }
+
+    #[test]
+    fn rational_order_compatible_with_ops(a in rational_strategy(), b in rational_strategy(), c in rational_strategy()) {
+        if a < b {
+            prop_assert!(&a + &c < &b + &c);
+            if c.is_positive() {
+                prop_assert!(&a * &c < &b * &c);
+            } else if c.is_negative() {
+                prop_assert!(&a * &c > &b * &c);
+            }
+        }
+    }
+
+    #[test]
+    fn rational_floor_ceil_bracket(a in rational_strategy()) {
+        let fl = Rational::from(a.floor());
+        let ce = Rational::from(a.ceil());
+        prop_assert!(fl <= a && a <= ce);
+        prop_assert!(&ce - &fl <= Rational::one());
+        if a.is_integer() {
+            prop_assert_eq!(fl, ce);
+        }
+    }
+
+    #[test]
+    fn rational_display_parse_roundtrip(a in rational_strategy()) {
+        let s = a.to_string();
+        prop_assert_eq!(s.parse::<Rational>().unwrap(), a);
+    }
+
+    #[test]
+    fn eps_order_is_lexicographic(ar in rational_strategy(), ai in rational_strategy(),
+                                  br in rational_strategy(), bi in rational_strategy()) {
+        let a = EpsRational::new(ar.clone(), ai.clone());
+        let b = EpsRational::new(br.clone(), bi.clone());
+        let expected = ar.cmp(&br).then(ai.cmp(&bi));
+        prop_assert_eq!(a.cmp(&b), expected);
+    }
+
+    #[test]
+    fn eps_module_laws(ar in rational_strategy(), ai in rational_strategy(), s in rational_strategy()) {
+        let a = EpsRational::new(ar, ai);
+        prop_assert_eq!(&a + &(-&a), EpsRational::zero());
+        prop_assert_eq!(a.scale(&Rational::one()), a.clone());
+        let doubled = &a + &a;
+        prop_assert_eq!(a.scale(&Rational::from_int(2)), doubled);
+        prop_assert_eq!(a.scale(&s).evaluate_at(&Rational::one()),
+                        &a.evaluate_at(&Rational::one()) * &s);
+    }
+
+    #[test]
+    fn eps_evaluate_small_enough_preserves_sign(ar in rational_strategy(), ai in rational_strategy()) {
+        let a = EpsRational::new(ar, ai);
+        // For a strictly positive eps-value there is a concrete small ε
+        // making the evaluation positive: the defining property of the
+        // infinitesimal encoding.
+        if a.is_positive() {
+            let eps = if a.real.is_positive() && a.inf.is_negative() {
+                // need ε < real/|inf|
+                (&a.real / &a.inf.abs()) * Rational::from_pair(1, 2)
+            } else {
+                Rational::one()
+            };
+            prop_assert!(a.evaluate_at(&eps).is_positive());
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! E3 — constraint technology vs ad hoc direct representations (§1.1).
+//!
+//! Intersection-emptiness and containment on d-dimensional boxes: the
+//! constraint engine (LP-backed, resolution-independent) against the
+//! rasterized-bitmap strawman at several resolutions, including the
+//! rasterization cost any stored-object update would pay.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lyric_bench::gridrep::Grid;
+use lyric_constraint::{Atom, Conjunction, CstObject, LinExpr, Var};
+use std::hint::black_box;
+
+fn mk_box(dims: usize, lo: i64, hi: i64) -> CstObject {
+    let axes = ["x", "y", "z", "t"];
+    let atoms = axes[..dims].iter().flat_map(|a| {
+        [
+            Atom::ge(LinExpr::var(Var::new(*a)), LinExpr::from(lo)),
+            Atom::le(LinExpr::var(Var::new(*a)), LinExpr::from(hi)),
+        ]
+    });
+    CstObject::from_conjunction(
+        axes[..dims].iter().map(|a| Var::new(*a)).collect(),
+        Conjunction::of(atoms),
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    for dims in [2usize, 3, 4] {
+        let a = mk_box(dims, 0, 10);
+        let b = mk_box(dims, 5, 15);
+        let inner = mk_box(dims, 6, 9);
+
+        let mut group = c.benchmark_group(format!("e3_{dims}d"));
+        group.sample_size(20);
+        group.bench_function("constraint_and_sat", |bch| {
+            bch.iter(|| black_box(a.and(&b).satisfiable()))
+        });
+        group.bench_function("constraint_implies", |bch| {
+            bch.iter(|| black_box(inner.implies(&a)))
+        });
+        let resolutions: &[usize] = match dims {
+            2 => &[32, 128],
+            3 => &[16, 32],
+            _ => &[8, 16],
+        };
+        for &res in resolutions {
+            let ga = Grid::rasterize(&a, 0, 16, res);
+            let gb = Grid::rasterize(&b, 0, 16, res);
+            let gi = Grid::rasterize(&inner, 0, 16, res);
+            group.bench_with_input(
+                BenchmarkId::new("grid_rasterize", res),
+                &res,
+                |bch, &res| bch.iter(|| black_box(Grid::rasterize(&a, 0, 16, res))),
+            );
+            group.bench_with_input(
+                BenchmarkId::new("grid_intersect_empty", res),
+                &res,
+                |bch, _| bch.iter(|| black_box(ga.intersect(&gb).is_empty())),
+            );
+            group.bench_with_input(BenchmarkId::new("grid_contains", res), &res, |bch, _| {
+                bch.iter(|| black_box(ga.contains(&gi)))
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! E4 — canonical forms (§3.1): the paper's cheap simplification
+//! (inconsistent-disjunct deletion + syntactic dedup) against strong
+//! LP-based redundancy removal, on random DNFs salted with removable
+//! disjuncts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lyric_bench::workload::{random_dnf, rng};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_canonical_forms");
+    group.sample_size(10);
+    for &k in &[8usize, 16, 32] {
+        let mut r = rng(100 + k as u64);
+        let dnf = random_dnf(&mut r, k, 6, 3);
+        group.bench_with_input(BenchmarkId::new("cheap_simplify", k), &k, |b, _| {
+            b.iter(|| black_box(dnf.simplify()))
+        });
+        group.bench_with_input(BenchmarkId::new("strong_simplify", k), &k, |b, _| {
+            b.iter(|| black_box(dnf.strong_simplify()))
+        });
+    }
+    // Per-conjunction redundancy removal (the BJM93 conjunctive canonical
+    // form), as a separate series.
+    for &m in &[8usize, 16, 32] {
+        let mut r = rng(200 + m as u64);
+        let conj = lyric_bench::workload::random_satisfiable_conjunction(&mut r, 4, m);
+        group.bench_with_input(BenchmarkId::new("remove_redundant_atoms", m), &m, |b, _| {
+            b.iter(|| black_box(conj.remove_redundant()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! E5 — projection (§3.1): one restricted elimination step is cheap and
+//! polynomial; composing unrestricted eliminations grows the
+//! representation super-polynomially. This is the measured rationale for
+//! the paper's one-or-all-but-one projection rule and for lazy
+//! existential quantification.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lyric_bench::workload::{random_satisfiable_conjunction, rng};
+use lyric_constraint::Var;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_projection");
+    group.sample_size(10);
+    let nvars = 9;
+    let mut r = rng(7);
+    let conj = random_satisfiable_conjunction(&mut r, nvars, 24);
+    let all_vars: Vec<Var> = (0..nvars).map(|i| Var::new(format!("v{i}"))).collect();
+    // k = 1 is the restricted step; larger k shows the growth.
+    for &k in &[1usize, 2, 3, 4] {
+        let victims: Vec<&Var> = all_vars.iter().take(k).collect();
+        group.bench_with_input(BenchmarkId::new("eliminate_k_vars", k), &k, |b, _| {
+            b.iter(|| black_box(conj.eliminate_all(victims.iter().copied()).expect("no neq")))
+        });
+    }
+    // All-but-one (the other legal restricted form): project onto v8.
+    group.bench_function("project_all_but_one", |b| {
+        b.iter(|| {
+            black_box(
+                conj.project_restricted(&[all_vars[nvars - 1].clone()]).expect("restricted"),
+            )
+        })
+    });
+    // Equality substitution path (cheap regardless of arity).
+    let mut r2 = rng(8);
+    let with_eqs = {
+        use lyric_constraint::{Atom, Conjunction, LinExpr};
+        let base = random_satisfiable_conjunction(&mut r2, 6, 12);
+        let mut atoms: Vec<Atom> = base.atoms().to_vec();
+        for i in 0..5 {
+            atoms.push(Atom::eq(
+                LinExpr::var(Var::new(format!("v{i}"))),
+                LinExpr::var(Var::new(format!("v{}", i + 1))) + LinExpr::from(1),
+            ));
+        }
+        Conjunction::of(atoms)
+    };
+    let victims: Vec<Var> = (0..5).map(|i| Var::new(format!("v{i}"))).collect();
+    group.bench_function("eliminate_by_equality_substitution", |b| {
+        b.iter(|| black_box(with_eqs.eliminate_all(victims.iter()).expect("no neq")))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! E8 (ablation) — the §5 future-work constraint algebra: effect of the
+//! BJM93-style rewrites (filter hoisting, map fusion, filter fusion) on a
+//! realistic pipeline.
+//!
+//! The pipeline mirrors a spatial query plan over *quantified* regions
+//! (Minkowski-style footprints `∃ offsets. shape(offsets) ∧ bounds`):
+//! intersect with a selective query window, then eagerly eliminate the
+//! quantifiers for output — written naively as
+//! `Filter(sat) ∘ α(eliminate_bound) ∘ α(∧window)`. Fourier–Motzkin
+//! elimination is expensive even on unsatisfiable inputs (it is purely
+//! syntactic), while the feasibility test is one cheap LP that handles
+//! quantifiers natively; the optimizer hoists the filter past the
+//! elimination, so the expensive step runs only on the few regions that
+//! intersect the window.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lyric_algebra::{eval, optimize, Func, Value};
+use lyric_bench::workload::{quantified_region, rng};
+use lyric_constraint::{Atom, Conjunction, CstObject, LinExpr, Var};
+use lyric_oodb::{Database, Schema};
+use std::hint::black_box;
+
+fn v(n: &str) -> LinExpr {
+    LinExpr::var(Var::new(n))
+}
+
+/// A selective query window: most regions miss it.
+fn window() -> CstObject {
+    CstObject::from_conjunction(
+        vec![Var::new("v0"), Var::new("v1")],
+        Conjunction::of([
+            Atom::ge(v("v0"), LinExpr::from(14)),
+            Atom::le(v("v0"), LinExpr::from(15)),
+            Atom::ge(v("v1"), LinExpr::from(14)),
+            Atom::le(v("v1"), LinExpr::from(15)),
+        ]),
+    )
+}
+
+fn pipeline() -> Func {
+    Func::Compose(vec![
+        Func::Filter(Box::new(Func::Satisfiable)),
+        Func::ApplyToAll(Box::new(Func::EliminateBound)),
+        Func::ApplyToAll(Box::new(Func::CstAndConst(window()))),
+    ])
+}
+
+fn inputs(n: usize) -> Value {
+    let mut r = rng(99);
+    Value::Coll((0..n).map(|_| Value::cst(quantified_region(&mut r))).collect())
+}
+
+fn bench(c: &mut Criterion) {
+    let db = Database::new(Schema::new()).expect("empty schema");
+    let naive = pipeline();
+    let optimized = optimize(&naive);
+
+    // Engine level: the hoist rewrite in isolation (see the E8 report).
+    let mut group = c.benchmark_group("e8_engine_level");
+    group.sample_size(10);
+    {
+        let mut r = rng(99);
+        let regions: Vec<CstObject> = (0..4).map(|_| quantified_region(&mut r)).collect();
+        let windowed: Vec<CstObject> = regions.iter().map(|c| c.and(&window())).collect();
+        group.bench_function("eliminate_then_filter", |bch| {
+            bch.iter(|| {
+                black_box(
+                    windowed
+                        .iter()
+                        .map(|c| c.eliminate_bound())
+                        .filter(|c| c.satisfiable())
+                        .count(),
+                )
+            })
+        });
+        group.bench_function("filter_then_eliminate", |bch| {
+            bch.iter(|| {
+                black_box(
+                    windowed
+                        .iter()
+                        .filter(|c| c.satisfiable())
+                        .map(|c| c.eliminate_bound())
+                        .collect::<Vec<_>>()
+                        .len(),
+                )
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("e8_algebra_optimizer");
+    group.sample_size(10);
+    for &n in &[8usize, 16] {
+        let input = inputs(n);
+        let a = eval(&naive, &db, &input).expect("naive evaluates");
+        let b = eval(&optimized, &db, &input).expect("optimized evaluates");
+        assert_eq!(
+            a.as_coll().map(<[Value]>::len),
+            b.as_coll().map(<[Value]>::len),
+            "optimizer must preserve cardinality"
+        );
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |bch, _| {
+            bch.iter(|| black_box(eval(&naive, &db, &input).expect("evaluates")))
+        });
+        group.bench_with_input(BenchmarkId::new("optimized", n), &n, |bch, _| {
+            bch.iter(|| black_box(eval(&optimized, &db, &input).expect("evaluates")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

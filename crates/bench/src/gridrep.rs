@@ -1,0 +1,188 @@
+//! The "ad hoc direct representation" comparator (experiment E3).
+//!
+//! §1.1 claims linear-constraint technology "can perform an order of
+//! magnitude better than ad hoc methods working on direct representations
+//! of CST-objects". The natural direct representation is a rasterized
+//! point set: a d-dimensional bitmap over a bounding box, with pointwise
+//! intersection and containment. This module implements that strawman
+//! exactly, with exact rational evaluation at cell centers so the
+//! comparison is about *representation*, not float error.
+
+use lyric_arith::Rational;
+use lyric_constraint::{Assignment, CstObject, Var};
+
+/// A rasterized point set: `res` cells per axis over `[lo, hi]^dims`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Grid {
+    dims: usize,
+    res: usize,
+    lo: i64,
+    hi: i64,
+    cells: Vec<bool>,
+}
+
+impl Grid {
+    /// Rasterize a quantifier-free constraint object by evaluating its
+    /// disjuncts at every cell center.
+    ///
+    /// Panics if the object still carries existential quantifiers (the
+    /// direct representation has no way to express them — itself part of
+    /// the point the paper makes).
+    #[allow(clippy::needless_range_loop)]
+    pub fn rasterize(obj: &CstObject, lo: i64, hi: i64, res: usize) -> Grid {
+        assert!(
+            !obj.has_bound_vars(),
+            "cannot rasterize a quantified object; eliminate bound variables first"
+        );
+        assert!(res >= 1 && hi > lo);
+        let dims = obj.arity();
+        let n_cells = res.pow(dims as u32);
+        let mut cells = vec![false; n_cells];
+        let vars: Vec<Var> = obj.free().to_vec();
+        let width = Rational::from_int(hi - lo);
+        let res_r = Rational::from_int(res as i64);
+        let mut idx = vec![0usize; dims];
+        for (flat, cell) in cells.iter_mut().enumerate() {
+            // Decode the flat index into per-axis cell indices.
+            let mut rest = flat;
+            for i in 0..dims {
+                idx[i] = rest % res;
+                rest /= res;
+            }
+            let mut point = Assignment::new();
+            for i in 0..dims {
+                // Cell center: lo + (idx + 1/2) / res * (hi - lo)
+                let frac = &(&Rational::from_int(idx[i] as i64)
+                    + &Rational::from_pair(1, 2))
+                    / &res_r;
+                let coord = &Rational::from_int(lo) + &(&frac * &width);
+                point.insert(vars[i].clone(), coord);
+            }
+            *cell = obj.disjuncts().iter().any(|d| d.eval(&point));
+        }
+        Grid { dims, res, lo, hi, cells }
+    }
+
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    pub fn count_filled(&self) -> usize {
+        self.cells.iter().filter(|c| **c).count()
+    }
+
+    fn check_compatible(&self, other: &Grid) {
+        assert!(
+            self.dims == other.dims
+                && self.res == other.res
+                && self.lo == other.lo
+                && self.hi == other.hi,
+            "grids must share shape"
+        );
+    }
+
+    /// Pointwise intersection — the ad hoc equivalent of constraint
+    /// conjunction.
+    pub fn intersect(&self, other: &Grid) -> Grid {
+        self.check_compatible(other);
+        Grid {
+            dims: self.dims,
+            res: self.res,
+            lo: self.lo,
+            hi: self.hi,
+            cells: self
+                .cells
+                .iter()
+                .zip(&other.cells)
+                .map(|(a, b)| *a && *b)
+                .collect(),
+        }
+    }
+
+    /// Pointwise union.
+    pub fn union(&self, other: &Grid) -> Grid {
+        self.check_compatible(other);
+        Grid {
+            dims: self.dims,
+            res: self.res,
+            lo: self.lo,
+            hi: self.hi,
+            cells: self.cells.iter().zip(&other.cells).map(|(a, b)| *a || *b).collect(),
+        }
+    }
+
+    /// Approximate containment `other ⊆ self` — the ad hoc equivalent of
+    /// entailment.
+    pub fn contains(&self, other: &Grid) -> bool {
+        self.check_compatible(other);
+        self.cells.iter().zip(&other.cells).all(|(a, b)| !b || *a)
+    }
+
+    /// Approximate emptiness — the ad hoc equivalent of satisfiability.
+    pub fn is_empty(&self) -> bool {
+        self.cells.iter().all(|c| !c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lyric::paper_example::box2;
+
+    #[test]
+    fn rasterize_box_counts() {
+        // The box [0,8]×[0,8] in [0,16]² at res 16: half the cells per
+        // axis → a quarter of all cells.
+        let g = Grid::rasterize(&box2("x", "y", 0, 8, 0, 8), 0, 16, 16);
+        assert_eq!(g.num_cells(), 256);
+        assert_eq!(g.count_filled(), 64);
+    }
+
+    #[test]
+    fn intersection_matches_geometry() {
+        let a = Grid::rasterize(&box2("x", "y", 0, 8, 0, 8), 0, 16, 16);
+        let b = Grid::rasterize(&box2("x", "y", 4, 12, 0, 8), 0, 16, 16);
+        let i = a.intersect(&b);
+        // Overlap is [4,8]×[0,8]: 4×8 cells at unit resolution.
+        assert_eq!(i.count_filled(), 32);
+        assert!(!i.is_empty());
+        let far = Grid::rasterize(&box2("x", "y", 12, 16, 12, 16), 0, 16, 16);
+        assert!(a.intersect(&far).is_empty());
+        let u = a.union(&b);
+        assert_eq!(u.count_filled(), 64 + 64 - 32);
+    }
+
+    #[test]
+    fn containment_matches_geometry() {
+        let big = Grid::rasterize(&box2("x", "y", 0, 12, 0, 12), 0, 16, 16);
+        let small = Grid::rasterize(&box2("x", "y", 2, 6, 2, 6), 0, 16, 16);
+        assert!(big.contains(&small));
+        assert!(!small.contains(&big));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantified")]
+    fn quantified_objects_rejected() {
+        use lyric_constraint::{Atom, Conjunction, LinExpr};
+        let quantified = CstObject::new(
+            vec![Var::new("x")],
+            [Conjunction::of([Atom::le(
+                LinExpr::var(Var::new("x")),
+                LinExpr::var(Var::new("hidden")),
+            )])],
+        );
+        let _ = Grid::rasterize(&quantified, 0, 16, 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "share shape")]
+    fn incompatible_grids_rejected() {
+        let a = Grid::rasterize(&box2("x", "y", 0, 8, 0, 8), 0, 16, 16);
+        let b = Grid::rasterize(&box2("x", "y", 0, 8, 0, 8), 0, 16, 8);
+        let _ = a.intersect(&b);
+    }
+}

@@ -1,0 +1,23 @@
+//! Workloads, baselines and measurement harness for the LyriC
+//! reproduction benchmarks (experiments E1–E7 of DESIGN.md).
+//!
+//! The paper (SIGMOD 1995) reports no measured tables; its quantitative
+//! content is (a) worked examples with printed answers, (b) the PTIME
+//! data-complexity argument of §5, (c) the §1.1 claim that linear
+//! constraint technology beats "ad hoc methods working on direct
+//! representations", and (d) the §3.1 design of constraint families around
+//! polynomial canonical forms and restricted projection. This crate
+//! provides everything needed to measure those claims:
+//!
+//! * [`workload`] — synthetic office databases (scaling §4.1 queries),
+//!   chemical-factory LP databases (§1.2), and random constraint
+//!   generators for the canonical-form and projection experiments;
+//! * [`gridrep`] — the "ad hoc direct representation" strawman: rasterized
+//!   point sets with bitmap intersection/containment.
+//!
+//! The `report` binary (`cargo run -p lyric-bench --bin report --release`)
+//! prints every experiment as a markdown table; the Criterion benches
+//! (`cargo bench`) measure the same operations with statistical rigor.
+
+pub mod gridrep;
+pub mod workload;

@@ -1,0 +1,753 @@
+//! CST objects — the paper's constraint/spatio-temporal objects (§3.2).
+//!
+//! A [`CstObject`] is a (possibly infinite) set of points in
+//! `ℝ^arity`, represented as a **dimension schema** (the ordered list of
+//! free variables, e.g. `(w, z)` for a desk's `extent : CST(w,z)`
+//! attribute) plus a disjunction of conjunctions in which every variable
+//! outside the schema is implicitly existentially quantified. This single
+//! representation covers all four §3.1 families; [`CstObject::family`]
+//! classifies an object into the smallest family containing it.
+//!
+//! Existential quantification is kept **lazy** (the paper's explicit design
+//! choice: eager elimination can explode exponentially) and discharged by
+//! [`CstObject::canonicalize`]'s simplifying eliminations — equality
+//! substitution and non-expanding Fourier–Motzkin steps, in the style the
+//! paper attributes to CLP(R) output simplification.
+
+use crate::atom::Atom;
+use crate::conjunction::{Conjunction, Extremum};
+use crate::dnf::Dnf;
+use crate::error::ConstraintError;
+use crate::linexpr::LinExpr;
+use crate::var::Var;
+use lyric_arith::Rational;
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static FRESH: AtomicUsize = AtomicUsize::new(0);
+
+fn fresh_counter() -> usize {
+    FRESH.fetch_add(1, Ordering::Relaxed)
+}
+
+/// The four §3.1 constraint families, ordered by inclusion
+/// (`Conjunctive ⊂ {ExistentialConjunctive, Disjunctive} ⊂
+/// DisjunctiveExistential`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CstFamily {
+    Conjunctive,
+    ExistentialConjunctive,
+    Disjunctive,
+    DisjunctiveExistential,
+}
+
+/// A constraint object: an `arity()`-dimensional point set.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CstObject {
+    /// The dimension schema: ordered, distinct free variables.
+    free: Vec<Var>,
+    /// Disjuncts; variables outside `free` are existentially quantified
+    /// per-disjunct. Sorted and deduplicated; empty means the empty set.
+    disjuncts: Vec<Conjunction>,
+}
+
+impl CstObject {
+    /// Build from a schema and disjuncts. Panics if `free` contains
+    /// duplicates.
+    pub fn new(free: Vec<Var>, disjuncts: impl IntoIterator<Item = Conjunction>) -> CstObject {
+        let distinct: BTreeSet<&Var> = free.iter().collect();
+        assert_eq!(distinct.len(), free.len(), "duplicate variable in CST schema");
+        let mut ds: Vec<Conjunction> =
+            disjuncts.into_iter().filter(|d| !d.is_syntactically_false()).collect();
+        ds.sort();
+        ds.dedup();
+        CstObject { free, disjuncts: ds }
+    }
+
+    /// The full space `ℝ^|free|`.
+    pub fn top(free: Vec<Var>) -> CstObject {
+        CstObject::new(free, [Conjunction::top()])
+    }
+
+    /// The empty point set.
+    pub fn bottom(free: Vec<Var>) -> CstObject {
+        CstObject::new(free, [])
+    }
+
+    /// A single-conjunction object.
+    pub fn from_conjunction(free: Vec<Var>, c: Conjunction) -> CstObject {
+        CstObject::new(free, [c])
+    }
+
+    /// From a quantifier-free DNF.
+    pub fn from_dnf(free: Vec<Var>, d: &Dnf) -> CstObject {
+        CstObject::new(free, d.disjuncts().iter().cloned())
+    }
+
+    /// A single point `(values…)` over the given schema, as the conjunction
+    /// of equalities — used by `MAX_POINT`/`MIN_POINT`.
+    pub fn point(free: Vec<Var>, values: &[Rational]) -> CstObject {
+        assert_eq!(free.len(), values.len());
+        let atoms = free
+            .iter()
+            .zip(values)
+            .map(|(v, val)| Atom::eq(LinExpr::var(v.clone()), LinExpr::constant(val.clone())));
+        let c = Conjunction::of(atoms);
+        CstObject::new(free, [c])
+    }
+
+    /// The dimension schema.
+    pub fn free(&self) -> &[Var] {
+        &self.free
+    }
+
+    /// Dimension of the point set.
+    pub fn arity(&self) -> usize {
+        self.free.len()
+    }
+
+    pub fn disjuncts(&self) -> &[Conjunction] {
+        &self.disjuncts
+    }
+
+    /// Existentially quantified variables of a disjunct.
+    pub fn bound_vars(&self, d: &Conjunction) -> BTreeSet<Var> {
+        d.vars().into_iter().filter(|v| !self.free.contains(v)).collect()
+    }
+
+    /// Does any disjunct carry existential quantifiers?
+    pub fn has_bound_vars(&self) -> bool {
+        self.disjuncts.iter().any(|d| !self.bound_vars(d).is_empty())
+    }
+
+    /// Smallest §3.1 family containing this object.
+    pub fn family(&self) -> CstFamily {
+        let disjunctive = self.disjuncts.len() > 1;
+        let existential = self.has_bound_vars();
+        match (disjunctive, existential) {
+            (false, false) => CstFamily::Conjunctive,
+            (false, true) => CstFamily::ExistentialConjunctive,
+            (true, false) => CstFamily::Disjunctive,
+            (true, true) => CstFamily::DisjunctiveExistential,
+        }
+    }
+
+    /// α-rename every bound variable to a globally fresh name, so that
+    /// conjoining two objects can never capture.
+    fn freshen_bound(&self) -> CstObject {
+        let disjuncts = self
+            .disjuncts
+            .iter()
+            .map(|d| {
+                let map: BTreeMap<Var, Var> = self
+                    .bound_vars(d)
+                    .into_iter()
+                    .map(|v| {
+                        let fresh = Var::fresh(v.name(), fresh_counter());
+                        (v, fresh)
+                    })
+                    .collect();
+                d.rename(&map)
+            })
+            .collect::<Vec<_>>();
+        CstObject::new(self.free.clone(), disjuncts)
+    }
+
+    /// Logical conjunction (geometric intersection on shared variables,
+    /// natural join otherwise): the schema of the result is `self.free`
+    /// followed by the new variables of `other.free`. Bound variables are
+    /// α-renamed apart first.
+    pub fn and(&self, other: &CstObject) -> CstObject {
+        let a = self.freshen_bound();
+        let b = other.freshen_bound();
+        let mut free = a.free.clone();
+        for v in &b.free {
+            if !free.contains(v) {
+                free.push(v.clone());
+            }
+        }
+        let mut ds = Vec::with_capacity(a.disjuncts.len() * b.disjuncts.len());
+        for da in &a.disjuncts {
+            for db in &b.disjuncts {
+                ds.push(da.and(db));
+            }
+        }
+        CstObject::new(free, ds)
+    }
+
+    /// Logical disjunction (union); schemas are merged like [`and`](Self::and).
+    pub fn or(&self, other: &CstObject) -> CstObject {
+        let mut free = self.free.clone();
+        for v in &other.free {
+            if !free.contains(v) {
+                free.push(v.clone());
+            }
+        }
+        CstObject::new(
+            free,
+            self.disjuncts.iter().chain(&other.disjuncts).cloned(),
+        )
+    }
+
+    /// Negation — defined for the conjunctive family only (§3.1 rule (a) of
+    /// the disjunctive family).
+    pub fn negate(&self) -> Result<CstObject, ConstraintError> {
+        if self.family() != CstFamily::Conjunctive && !self.disjuncts.is_empty() {
+            return Err(ConstraintError::NonConjunctiveNegation);
+        }
+        if self.disjuncts.is_empty() {
+            return Ok(CstObject::top(self.free.clone()));
+        }
+        let neg = Dnf::negate_conjunction(&self.disjuncts[0]);
+        Ok(CstObject::from_dnf(self.free.clone(), &neg))
+    }
+
+    /// The projection connective `((new_free) | self)` of §3.1/§4.2 in its
+    /// **lazy** form: variables dropped from the schema become
+    /// existentially quantified; variables added are unconstrained new
+    /// dimensions. Always cheap; discharge quantifiers later with
+    /// [`canonicalize`](Self::canonicalize) or [`project_eager`](Self::project_eager).
+    pub fn project(&self, new_free: Vec<Var>) -> CstObject {
+        CstObject::new(new_free, self.disjuncts.clone())
+    }
+
+    /// Eager projection: like [`project`](Self::project) but immediately
+    /// eliminates all quantified variables by equality substitution,
+    /// Fourier–Motzkin, and disequation case-splitting. Total, but may grow
+    /// the representation — the restricted families exist precisely to
+    /// bound this (benchmark E5).
+    pub fn project_eager(&self, new_free: Vec<Var>) -> CstObject {
+        let lazy = self.project(new_free);
+        lazy.eliminate_bound()
+    }
+
+    /// The paper's restricted projection for quantifier-free objects:
+    /// eliminates at most one variable or all but one per step (§3.1).
+    pub fn project_restricted(&self, new_free: Vec<Var>) -> Result<CstObject, ConstraintError> {
+        let eliminated: Vec<&Var> =
+            self.free.iter().filter(|v| !new_free.contains(v)).collect();
+        let k = eliminated.len();
+        let n = self.free.len();
+        if !(k <= 1 || n - k <= 1) {
+            return Err(ConstraintError::RestrictedProjection { eliminate: k, free: n });
+        }
+        Ok(self.project_eager(new_free))
+    }
+
+    /// Eliminate every bound variable eagerly, yielding a quantifier-free
+    /// (conjunctive or disjunctive) object.
+    pub fn eliminate_bound(&self) -> CstObject {
+        let mut out: Vec<Conjunction> = Vec::new();
+        for d in &self.disjuncts {
+            let bound = self.bound_vars(d);
+            let dnf = Dnf::from_conjunction(d.clone()).eliminate_all(bound.iter());
+            out.extend(dnf.disjuncts().iter().cloned());
+        }
+        CstObject::new(self.free.clone(), out)
+    }
+
+    /// Exact emptiness test (quantifiers do not affect satisfiability).
+    pub fn satisfiable(&self) -> bool {
+        self.disjuncts.iter().any(Conjunction::satisfiable)
+    }
+
+    /// Membership test for a concrete point over the schema: substitute and
+    /// decide the residual existential conjunction.
+    pub fn contains_point(&self, values: &[Rational]) -> bool {
+        assert_eq!(values.len(), self.free.len(), "point dimension mismatch");
+        self.disjuncts.iter().any(|d| {
+            let mut g = d.clone();
+            for (v, val) in self.free.iter().zip(values) {
+                g = g.substitute(v, &LinExpr::constant(val.clone()));
+            }
+            g.satisfiable()
+        })
+    }
+
+    /// A concrete point of the set, if nonempty: values follow the schema
+    /// order.
+    pub fn find_point(&self) -> Option<Vec<Rational>> {
+        for d in &self.disjuncts {
+            if let Some(p) = d.find_point() {
+                return Some(
+                    self.free
+                        .iter()
+                        .map(|v| p.get(v).cloned().unwrap_or_else(Rational::zero))
+                        .collect(),
+                );
+            }
+        }
+        None
+    }
+
+    /// Entailment `self |= other` — point-set containment. The schemas are
+    /// aligned **positionally** (§4.1: "CST expressions are invariant to
+    /// variable names"); arities must match. Operands are eagerly projected
+    /// to quantifier-free form first, per §4.2's restriction of `|=` to
+    /// disjunctive formulas.
+    pub fn implies(&self, other: &CstObject) -> bool {
+        assert_eq!(
+            self.arity(),
+            other.arity(),
+            "|= requires objects of equal dimension"
+        );
+        let lhs = self.eliminate_bound();
+        let rhs = other.align_to(&self.free).eliminate_bound();
+        let l = Dnf::of(lhs.disjuncts.iter().cloned());
+        let r = Dnf::of(rhs.disjuncts.iter().cloned());
+        l.implies(&r)
+    }
+
+    /// Same point set? (Mutual entailment; the semantic comparison behind
+    /// CST-object identity, since canonical forms are not unique — §3.1.)
+    pub fn denotes_same(&self, other: &CstObject) -> bool {
+        self.implies(other) && other.implies(self)
+    }
+
+    /// Rename this object's schema positionally to `target`, α-renaming
+    /// bound variables out of the way first.
+    pub fn align_to(&self, target: &[Var]) -> CstObject {
+        assert_eq!(target.len(), self.free.len());
+        if target == self.free {
+            return self.clone();
+        }
+        let fresh = self.freshen_bound();
+        let map: BTreeMap<Var, Var> = fresh
+            .free
+            .iter()
+            .cloned()
+            .zip(target.iter().cloned())
+            .collect();
+        CstObject::new(
+            target.to_vec(),
+            fresh.disjuncts.iter().map(|d| d.rename(&map)),
+        )
+    }
+
+    /// Rename schema variables (positionally-preserving); `map` entries for
+    /// bound variables are ignored.
+    pub fn rename_free(&self, map: &BTreeMap<Var, Var>) -> CstObject {
+        let target: Vec<Var> =
+            self.free.iter().map(|v| map.get(v).unwrap_or(v).clone()).collect();
+        self.align_to(&target)
+    }
+
+    /// Substitute a schema variable by a constant, dropping it from the
+    /// schema (a geometric *slice*, e.g. the paper's "projection of their
+    /// cut at the height of 1/2 feet").
+    pub fn slice(&self, v: &Var, value: &Rational) -> CstObject {
+        let free: Vec<Var> = self.free.iter().filter(|f| *f != v).cloned().collect();
+        CstObject::new(
+            free,
+            self.disjuncts
+                .iter()
+                .map(|d| d.substitute(v, &LinExpr::constant(value.clone()))),
+        )
+    }
+
+    /// Maximize a linear objective over the point set (the `MAX … SUBJECT
+    /// TO` operator). The objective may only mention schema variables.
+    pub fn maximize(&self, objective: &LinExpr) -> Extremum {
+        self.optimize(objective, true)
+    }
+
+    /// Minimize a linear objective over the point set.
+    pub fn minimize(&self, objective: &LinExpr) -> Extremum {
+        self.optimize(objective, false)
+    }
+
+    fn optimize(&self, objective: &LinExpr, maximize: bool) -> Extremum {
+        // α-rename bound vars away from objective variables, then optimize
+        // each disjunct over all its variables: optimizing a function of
+        // the free variables over the lifted set equals optimizing over the
+        // projection.
+        let obj_vars = objective.vars();
+        assert!(
+            obj_vars.iter().all(|v| self.free.contains(v)),
+            "objective mentions non-schema variables"
+        );
+        let safe = self.freshen_bound();
+        let mut best: Option<Extremum> = None;
+        for d in &safe.disjuncts {
+            // Ground objective vars that the disjunct leaves unconstrained
+            // would be unbounded — Conjunction::optimize handles that; but a
+            // schema var absent from the disjunct must still be seen as
+            // free, which it is.
+            let e = if maximize { d.maximize(objective) } else { d.minimize(objective) };
+            match e {
+                Extremum::Infeasible => continue,
+                Extremum::Unbounded => return Extremum::Unbounded,
+                Extremum::Finite { bound, attained, witness } => {
+                    let replace = match &best {
+                        None => true,
+                        Some(Extremum::Finite { bound: b, attained: a, .. }) => {
+                            if maximize {
+                                bound > *b || (bound == *b && attained && !a)
+                            } else {
+                                bound < *b || (bound == *b && attained && !a)
+                            }
+                        }
+                        Some(_) => false,
+                    };
+                    if replace {
+                        best = Some(Extremum::Finite { bound, attained, witness });
+                    }
+                }
+            }
+        }
+        best.unwrap_or(Extremum::Infeasible)
+    }
+
+    /// Per-dimension bounds of the point set: `(min, max)` per schema
+    /// variable, `None` for an unbounded side. Empty sets return `None`
+    /// overall.
+    #[allow(clippy::type_complexity)]
+    pub fn bounding_box(&self) -> Option<Vec<(Option<Rational>, Option<Rational>)>> {
+        if !self.satisfiable() {
+            return None;
+        }
+        let mut out = Vec::with_capacity(self.free.len());
+        for v in &self.free {
+            let e = LinExpr::var(v.clone());
+            let lo = match self.minimize(&e) {
+                Extremum::Finite { bound, .. } => Some(bound),
+                _ => None,
+            };
+            let hi = match self.maximize(&e) {
+                Extremum::Finite { bound, .. } => Some(bound),
+                _ => None,
+            };
+            out.push((lo, hi));
+        }
+        Some(out)
+    }
+}
+
+impl fmt::Display for CstObject {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "((")?;
+        for (i, v) in self.free.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ") | ")?;
+        if self.disjuncts.is_empty() {
+            write!(f, "false")?;
+        }
+        for (i, d) in self.disjuncts.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ∨ ")?;
+            }
+            let bound = self.bound_vars(d);
+            if bound.is_empty() {
+                write!(f, "{d}")?;
+            } else {
+                write!(f, "∃")?;
+                for (j, b) in bound.iter().enumerate() {
+                    if j > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{b}")?;
+                }
+                write!(f, ". {d}")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn v(n: &str) -> Var {
+        Var::new(n)
+    }
+    fn e(n: &str) -> LinExpr {
+        LinExpr::var(v(n))
+    }
+    fn c(n: i64) -> LinExpr {
+        LinExpr::constant(Rational::from_int(n))
+    }
+    fn r(n: i64) -> Rational {
+        Rational::from_int(n)
+    }
+
+    /// The desk extent of Figure 2: −4 ≤ w ≤ 4 ∧ −2 ≤ z ≤ 2.
+    fn desk_extent() -> CstObject {
+        CstObject::from_conjunction(
+            vec![v("w"), v("z")],
+            Conjunction::of([
+                Atom::ge(e("w"), c(-4)),
+                Atom::le(e("w"), c(4)),
+                Atom::ge(e("z"), c(-2)),
+                Atom::le(e("z"), c(2)),
+            ]),
+        )
+    }
+
+    /// The desk translation of Figure 2: u = x + w ∧ v = y + z.
+    fn desk_translation() -> CstObject {
+        CstObject::from_conjunction(
+            vec![v("w"), v("z"), v("x"), v("y"), v("u"), v("v")],
+            Conjunction::of([
+                Atom::eq(e("u"), e("x") + e("w")),
+                Atom::eq(e("v"), e("y") + e("z")),
+            ]),
+        )
+    }
+
+    #[test]
+    fn family_classification() {
+        assert_eq!(desk_extent().family(), CstFamily::Conjunctive);
+        let two = desk_extent().or(&desk_extent().slice(&v("z"), &r(0)).project(vec![v("w"), v("z")]));
+        // (slice + reproject keeps it quantifier-free; two distinct disjuncts)
+        assert!(matches!(two.family(), CstFamily::Disjunctive | CstFamily::Conjunctive));
+        let lazy = desk_translation().project(vec![v("u"), v("v")]);
+        assert_eq!(lazy.family(), CstFamily::ExistentialConjunctive);
+    }
+
+    #[test]
+    fn paper_worked_example_extent_in_room_coordinates() {
+        // ((u,v) | E(w,z) ∧ D(w,z,x,y,u,v) ∧ x = 6 ∧ y = 4), §4.1 —
+        // must denote 2 ≤ u ≤ 10 ∧ 2 ≤ v ≤ 6.
+        let formula = desk_extent()
+            .and(&desk_translation())
+            .and(&CstObject::from_conjunction(
+                vec![v("x"), v("y")],
+                Conjunction::of([Atom::eq(e("x"), c(6)), Atom::eq(e("y"), c(4))]),
+            ));
+        let projected = formula.project_eager(vec![v("u"), v("v")]);
+        let expected = CstObject::from_conjunction(
+            vec![v("u"), v("v")],
+            Conjunction::of([
+                Atom::ge(e("u"), c(2)),
+                Atom::le(e("u"), c(10)),
+                Atom::ge(e("v"), c(2)),
+                Atom::le(e("v"), c(6)),
+            ]),
+        );
+        assert!(projected.denotes_same(&expected), "got {projected}");
+        // The lazy projection denotes the same set without eliminating.
+        let lazy = formula.project(vec![v("u"), v("v")]);
+        assert!(lazy.denotes_same(&expected));
+    }
+
+    #[test]
+    fn and_joins_on_shared_names_or_renames_bound_apart() {
+        // Two unit intervals on the same variable intersect...
+        let a = CstObject::from_conjunction(
+            vec![v("t")],
+            Conjunction::of([Atom::ge(e("t"), c(0)), Atom::le(e("t"), c(10))]),
+        );
+        let b = CstObject::from_conjunction(
+            vec![v("t")],
+            Conjunction::of([Atom::ge(e("t"), c(5)), Atom::le(e("t"), c(20))]),
+        );
+        let both = a.and(&b);
+        assert_eq!(both.arity(), 1);
+        assert!(both.contains_point(&[r(7)]));
+        assert!(!both.contains_point(&[r(2)]));
+        // ...while bound variables never capture: ∃q. t = q over [0,1]
+        // conjoined with ∃q. t = -q over [0,1] stays satisfiable.
+        let c1 = CstObject::new(
+            vec![v("t")],
+            [Conjunction::of([
+                Atom::eq(e("t"), e("q")),
+                Atom::ge(e("q"), c(0)),
+                Atom::le(e("q"), c(1)),
+            ])],
+        );
+        let c2 = CstObject::new(
+            vec![v("t")],
+            [Conjunction::of([
+                Atom::eq(e("t"), -&e("q")),
+                Atom::ge(e("q"), c(-1)),
+                Atom::le(e("q"), c(0)),
+            ])],
+        );
+        let j = c1.and(&c2);
+        // t ∈ [0,1] via q, and t ∈ [0,1] via the second q′: nonempty.
+        assert!(j.satisfiable());
+        assert!(j.contains_point(&[Rational::from_pair(1, 2)]));
+    }
+
+    #[test]
+    fn or_union_and_membership() {
+        let left = CstObject::from_conjunction(
+            vec![v("x")],
+            Conjunction::of([Atom::ge(e("x"), c(0)), Atom::le(e("x"), c(1))]),
+        );
+        let right = CstObject::from_conjunction(
+            vec![v("x")],
+            Conjunction::of([Atom::ge(e("x"), c(5)), Atom::le(e("x"), c(6))]),
+        );
+        let u = left.or(&right);
+        assert!(u.contains_point(&[r(0)]));
+        assert!(u.contains_point(&[r(6)]));
+        assert!(!u.contains_point(&[r(3)]));
+        assert_eq!(u.family(), CstFamily::Disjunctive);
+    }
+
+    #[test]
+    fn negation_rules() {
+        let box1 = desk_extent();
+        let neg = box1.negate().unwrap();
+        assert!(!neg.contains_point(&[r(0), r(0)]));
+        assert!(neg.contains_point(&[r(9), r(0)]));
+        // Disjunctive objects refuse negation.
+        let u = box1.or(&CstObject::from_conjunction(
+            vec![v("w"), v("z")],
+            Conjunction::of([Atom::ge(e("w"), c(100))]),
+        ));
+        assert_eq!(u.negate(), Err(ConstraintError::NonConjunctiveNegation));
+        // Bottom negates to top.
+        let bot = CstObject::bottom(vec![v("w")]);
+        assert!(bot.negate().unwrap().contains_point(&[r(42)]));
+    }
+
+    #[test]
+    fn projection_adds_and_removes_dimensions() {
+        // §3.1: "a projection can add new free variables".
+        let seg = CstObject::from_conjunction(
+            vec![v("x")],
+            Conjunction::of([Atom::ge(e("x"), c(0)), Atom::le(e("x"), c(1))]),
+        );
+        let cyl = seg.project(vec![v("x"), v("y")]);
+        assert_eq!(cyl.arity(), 2);
+        assert!(cyl.contains_point(&[r(0), r(999)])); // y unconstrained
+        // Dropping a dimension quantifies it.
+        let shadow = cyl.project_eager(vec![v("y")]);
+        assert!(shadow.contains_point(&[r(-5)]));
+    }
+
+    #[test]
+    fn restricted_projection_rule_on_objects() {
+        let cube = CstObject::from_conjunction(
+            vec![v("a"), v("b"), v("c"), v("d")],
+            Conjunction::of([
+                Atom::le(e("a") + e("b") + e("c") + e("d"), c(1)),
+                Atom::ge(e("a"), c(0)),
+                Atom::ge(e("b"), c(0)),
+                Atom::ge(e("c"), c(0)),
+                Atom::ge(e("d"), c(0)),
+            ]),
+        );
+        assert!(cube.project_restricted(vec![v("a"), v("b"), v("c")]).is_ok());
+        assert!(cube.project_restricted(vec![v("a")]).is_ok());
+        assert!(matches!(
+            cube.project_restricted(vec![v("a"), v("b")]),
+            Err(ConstraintError::RestrictedProjection { .. })
+        ));
+    }
+
+    #[test]
+    fn implies_is_positional() {
+        let named_uv = CstObject::from_conjunction(
+            vec![v("u"), v("v")],
+            Conjunction::of([Atom::ge(e("u"), c(0)), Atom::ge(e("v"), c(0))]),
+        );
+        let named_ab = CstObject::from_conjunction(
+            vec![v("a"), v("b")],
+            Conjunction::of([Atom::ge(e("a"), c(1)), Atom::ge(e("b"), c(1))]),
+        );
+        assert!(named_ab.implies(&named_uv));
+        assert!(!named_uv.implies(&named_ab));
+        assert!(named_uv.denotes_same(&named_uv.align_to(&[v("p"), v("q")])));
+    }
+
+    #[test]
+    fn implies_discharges_quantifiers() {
+        // ∃w. (u = w + 1 ∧ 0 ≤ w ≤ 1) |= 1 ≤ u ≤ 2.
+        let lifted = CstObject::new(
+            vec![v("u")],
+            [Conjunction::of([
+                Atom::eq(e("u"), e("w") + c(1)),
+                Atom::ge(e("w"), c(0)),
+                Atom::le(e("w"), c(1)),
+            ])],
+        );
+        let direct = CstObject::from_conjunction(
+            vec![v("u")],
+            Conjunction::of([Atom::ge(e("u"), c(1)), Atom::le(e("u"), c(2))]),
+        );
+        assert!(lifted.denotes_same(&direct));
+    }
+
+    #[test]
+    fn slice_cut_at_height() {
+        // The §1.2 query: "show a projection of their cut at the height of
+        // 1/2 feet" — slice z = 1/2 of the desk extent.
+        let cut = desk_extent().slice(&v("z"), &Rational::from_pair(1, 2));
+        assert_eq!(cut.arity(), 1);
+        assert!(cut.contains_point(&[r(4)]));
+        assert!(!cut.contains_point(&[r(5)]));
+        // Slicing outside the extent gives the empty set.
+        let empty = desk_extent().slice(&v("z"), &r(3));
+        assert!(!empty.satisfiable());
+    }
+
+    #[test]
+    fn optimization_over_union() {
+        let u = CstObject::from_conjunction(
+            vec![v("x")],
+            Conjunction::of([Atom::ge(e("x"), c(0)), Atom::le(e("x"), c(1))]),
+        )
+        .or(&CstObject::from_conjunction(
+            vec![v("x")],
+            Conjunction::of([Atom::ge(e("x"), c(5)), Atom::lt(e("x"), c(7))]),
+        ));
+        match u.maximize(&e("x")) {
+            Extremum::Finite { bound, attained, .. } => {
+                assert_eq!(bound, r(7));
+                assert!(!attained);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        match u.minimize(&e("x")) {
+            Extremum::Finite { bound, attained, .. } => {
+                assert_eq!(bound, r(0));
+                assert!(attained);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bounding_box() {
+        let bb = desk_extent().bounding_box().unwrap();
+        assert_eq!(bb[0], (Some(r(-4)), Some(r(4))));
+        assert_eq!(bb[1], (Some(r(-2)), Some(r(2))));
+        let half = CstObject::from_conjunction(
+            vec![v("x")],
+            Conjunction::of([Atom::ge(e("x"), c(0))]),
+        );
+        assert_eq!(half.bounding_box().unwrap()[0], (Some(r(0)), None));
+        assert!(CstObject::bottom(vec![v("x")]).bounding_box().is_none());
+    }
+
+    #[test]
+    fn point_constructor_and_membership() {
+        let p = CstObject::point(vec![v("x"), v("y")], &[r(3), r(-1)]);
+        assert!(p.contains_point(&[r(3), r(-1)]));
+        assert!(!p.contains_point(&[r(3), r(0)]));
+        assert_eq!(p.find_point(), Some(vec![r(3), r(-1)]));
+    }
+
+    #[test]
+    fn display_shows_schema_and_quantifiers() {
+        let lazy = desk_translation().project(vec![v("u"), v("v")]);
+        let s = lazy.to_string();
+        assert!(s.starts_with("((u,v) |"), "{s}");
+        assert!(s.contains("∃"), "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate variable")]
+    fn duplicate_schema_rejected() {
+        let _ = CstObject::top(vec![v("x"), v("x")]);
+    }
+}

@@ -1,0 +1,69 @@
+//! Errors of the constraint engine.
+
+use crate::var::Var;
+use std::fmt;
+
+/// Why an operation on a constraint family was rejected.
+///
+/// These mirror the closure rules of §3.1 of the paper: each family is
+/// defined by exactly the operations that keep its representation
+/// polynomial, and asking for anything else is an error rather than a
+/// silent blow-up.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConstraintError {
+    /// Eliminating a variable that occurs in a `≠` atom cannot stay within
+    /// a single conjunction; the disjunctive families case-split instead.
+    DisequationElimination(Var),
+    /// The §3.1 restricted-projection rule for conjunctive / disjunctive
+    /// constraints: a single projection may eliminate either at most one
+    /// variable or all but one.
+    RestrictedProjection {
+        /// Variables the caller asked to eliminate.
+        eliminate: usize,
+        /// Free variables of the constraint.
+        free: usize,
+    },
+    /// Entailment (`|=`) is defined on *disjunctive* formulas (§4.2); an
+    /// operand still carrying existential quantifiers must be eagerly
+    /// projected first.
+    NonDisjunctiveEntailment,
+    /// Negation is defined on conjunctive constraints (§3.1 rule (a) of the
+    /// disjunctive family).
+    NonConjunctiveNegation,
+    /// A projection of a disjunctive-existential constraint must retain all
+    /// free variables (§3.1 rule (b) of that family).
+    DisjunctiveExistentialProjection,
+    /// A geometric operation received an object of the wrong shape
+    /// (dimension, quantifiers, boundedness) — details in the message.
+    Geometry(String),
+}
+
+impl fmt::Display for ConstraintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConstraintError::DisequationElimination(v) => write!(
+                f,
+                "cannot eliminate {v} within a conjunction: it occurs in a disequation \
+                 (case-split into a disjunction first)"
+            ),
+            ConstraintError::RestrictedProjection { eliminate, free } => write!(
+                f,
+                "restricted projection violated: eliminating {eliminate} of {free} free \
+                 variables (only one, or all but one, may be eliminated per step)"
+            ),
+            ConstraintError::NonDisjunctiveEntailment => {
+                write!(f, "|= requires disjunctive (quantifier-free) operands")
+            }
+            ConstraintError::NonConjunctiveNegation => {
+                write!(f, "negation is only defined for conjunctive constraints")
+            }
+            ConstraintError::DisjunctiveExistentialProjection => write!(
+                f,
+                "projection of a disjunctive existential constraint must retain all free variables"
+            ),
+            ConstraintError::Geometry(msg) => write!(f, "geometry: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ConstraintError {}

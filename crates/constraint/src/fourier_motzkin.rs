@@ -1,0 +1,301 @@
+//! Variable elimination for conjunctions: equality substitution plus
+//! Fourier–Motzkin.
+//!
+//! This implements the *projection* connective `((x₁,…,xₙ) | φ)` of §3.1
+//! for the conjunctive family. A single elimination step is polynomial
+//! (at worst `|L|·|U|` new atoms from `|L|+|U|` old ones); it is the
+//! *composition* of many steps that can explode, which is precisely why the
+//! paper restricts conjunctive/disjunctive projection to "one or all but
+//! one" variables per operator and keeps general existential quantification
+//! lazy. The unrestricted [`eliminate_all`] entry point is still provided —
+//! the existential family uses it for *simplifying* eliminations, and the
+//! E5 benchmark measures the growth boundary the families are designed
+//! around.
+
+use crate::atom::{Atom, NormOp};
+use crate::conjunction::Conjunction;
+use crate::error::ConstraintError;
+use crate::linexpr::LinExpr;
+use crate::var::Var;
+
+impl Conjunction {
+    /// Eliminate a single variable: `∃v. self`, as a conjunction.
+    ///
+    /// Strategy: if `v` occurs in an equality atom, solve it for `v` and
+    /// substitute (exact, size-non-increasing); otherwise combine every
+    /// lower bound on `v` with every upper bound (Fourier–Motzkin), the
+    /// result being strict iff either side is strict.
+    ///
+    /// Fails with [`ConstraintError::DisequationElimination`] when `v`
+    /// occurs in a `≠` atom and no equality can substitute it away: the
+    /// projection of a punctured polyhedron is not in general a single
+    /// conjunction. (DNF-level elimination case-splits instead.)
+    pub fn eliminate(&self, v: &Var) -> Result<Conjunction, ConstraintError> {
+        // Equality substitution first: an equality `c·v + e = 0` gives
+        // `v = -e/c`, valid for every other atom including disequations.
+        if let Some(eq) = self
+            .atoms()
+            .iter()
+            .find(|a| a.op() == NormOp::Eq && a.contains(v))
+        {
+            let solved = solve_for(eq.expr(), v);
+            let eq = eq.clone();
+            return Ok(Conjunction::of(
+                self.atoms()
+                    .iter()
+                    .filter(|a| **a != eq)
+                    .map(|a| a.substitute(v, &solved)),
+            ));
+        }
+        if self
+            .atoms()
+            .iter()
+            .any(|a| a.op() == NormOp::Neq && a.contains(v))
+        {
+            return Err(ConstraintError::DisequationElimination(v.clone()));
+        }
+        // Fourier–Motzkin over the inequalities.
+        let mut lowers: Vec<(LinExpr, bool)> = Vec::new(); // (bound, strict): bound ⊲ v
+        let mut uppers: Vec<(LinExpr, bool)> = Vec::new(); // v ⊲ bound
+        let mut rest: Vec<Atom> = Vec::new();
+        for a in self.atoms() {
+            let c = a.expr().coeff(v);
+            if c.is_zero() {
+                rest.push(a.clone());
+                continue;
+            }
+            let strict = a.op() == NormOp::Lt;
+            // Atom is c·v + e ⊲ 0, i.e. v ⊲ -e/c (c > 0) or -e/c ⊲ v (c < 0).
+            let e = a.expr().substitute(v, &LinExpr::zero());
+            let bound = e.scale(&(-c.recip()));
+            if c.is_positive() {
+                uppers.push((bound, strict));
+            } else {
+                lowers.push((bound, strict));
+            }
+        }
+        // A side with no bound leaves v unconstrained there: all of v's
+        // atoms project away.
+        if !lowers.is_empty() && !uppers.is_empty() {
+            for (lo, lo_strict) in &lowers {
+                for (hi, hi_strict) in &uppers {
+                    let op = if *lo_strict || *hi_strict { NormOp::Lt } else { NormOp::Le };
+                    rest.push(Atom::normalized(lo - hi, op));
+                }
+            }
+        }
+        Ok(Conjunction::of(rest))
+    }
+
+    /// Eliminate every variable in `vs`, in order. Unrestricted — see the
+    /// module docs for when this is appropriate.
+    pub fn eliminate_all<'a>(
+        &self,
+        vs: impl IntoIterator<Item = &'a Var>,
+    ) -> Result<Conjunction, ConstraintError> {
+        let mut acc = self.clone();
+        for v in vs {
+            acc = acc.eliminate(v)?;
+        }
+        Ok(acc)
+    }
+
+    /// The paper's restricted projection for the conjunctive family: keep
+    /// exactly the variables in `keep`, requiring that the step eliminates
+    /// at most one variable or all but one (§3.1).
+    pub fn project_restricted(&self, keep: &[Var]) -> Result<Conjunction, ConstraintError> {
+        let vars = self.vars();
+        let eliminate: Vec<Var> = vars.iter().filter(|v| !keep.contains(v)).cloned().collect();
+        let n = vars.len();
+        let k = eliminate.len();
+        if !(k <= 1 || n - k <= 1) {
+            return Err(ConstraintError::RestrictedProjection { eliminate: k, free: n });
+        }
+        self.eliminate_all(&eliminate)
+    }
+}
+
+/// Solve the equality expression `e = 0` for `v`: returns the expression
+/// `(-e + c·v)/c` where `c` is `v`'s coefficient. Panics if `v` is absent.
+pub(crate) fn solve_for(e: &LinExpr, v: &Var) -> LinExpr {
+    let c = e.coeff(v);
+    assert!(!c.is_zero(), "solve_for: variable not present");
+    let without = e.substitute(v, &LinExpr::zero());
+    without.scale(&(-c.recip()))
+}
+
+/// Convenience: `∃v. conj` for use in tests — checks whether a point over
+/// the remaining variables extends to the eliminated one.
+#[cfg(test)]
+fn has_extension(conj: &Conjunction, v: &Var, partial: &crate::linexpr::Assignment) -> bool {
+    let mut grounded = conj.clone();
+    for (var, val) in partial {
+        if var != v {
+            grounded = grounded.substitute(var, &LinExpr::constant(val.clone()));
+        }
+    }
+    grounded.satisfiable()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linexpr::Assignment;
+    use lyric_arith::Rational;
+
+    fn v(n: &str) -> Var {
+        Var::new(n)
+    }
+    fn x() -> LinExpr {
+        LinExpr::var(v("x"))
+    }
+    fn y() -> LinExpr {
+        LinExpr::var(v("y"))
+    }
+    fn z() -> LinExpr {
+        LinExpr::var(v("z"))
+    }
+    fn c(n: i64) -> LinExpr {
+        LinExpr::constant(Rational::from_int(n))
+    }
+    fn r(n: i64) -> Rational {
+        Rational::from_int(n)
+    }
+
+    #[test]
+    fn fm_basic_interval() {
+        // ∃x. y <= x ∧ x <= 5  ⇒  y <= 5
+        let cj = Conjunction::of([Atom::le(y(), x()), Atom::le(x(), c(5))]);
+        let out = cj.eliminate(&v("x")).unwrap();
+        assert_eq!(out, Conjunction::of([Atom::le(y(), c(5))]));
+    }
+
+    #[test]
+    fn fm_strictness_propagates() {
+        // ∃x. y < x ∧ x <= 5  ⇒  y < 5
+        let cj = Conjunction::of([Atom::lt(y(), x()), Atom::le(x(), c(5))]);
+        let out = cj.eliminate(&v("x")).unwrap();
+        assert_eq!(out, Conjunction::of([Atom::lt(y(), c(5))]));
+        // Both non-strict stays non-strict.
+        let cj = Conjunction::of([Atom::le(y(), x()), Atom::le(x(), c(5))]);
+        assert_eq!(cj.eliminate(&v("x")).unwrap(), Conjunction::of([Atom::le(y(), c(5))]));
+    }
+
+    #[test]
+    fn fm_unbounded_side_drops_constraints() {
+        // ∃x. x <= y (no lower bound on x) ⇒ true
+        let cj = Conjunction::of([Atom::le(x(), y())]);
+        assert!(cj.eliminate(&v("x")).unwrap().is_top());
+    }
+
+    #[test]
+    fn fm_detects_emptiness() {
+        // ∃x. 5 <= x ∧ x <= 3 ⇒ 5 <= 3 ⇒ false
+        let cj = Conjunction::of([Atom::ge(x(), c(5)), Atom::le(x(), c(3))]);
+        let out = cj.eliminate(&v("x")).unwrap();
+        assert!(!out.satisfiable());
+    }
+
+    #[test]
+    fn equality_substitution_path() {
+        // ∃x. x = y + 1 ∧ x <= 5 ∧ x ≠ 3  ⇒  y <= 4 ∧ y ≠ 2
+        let cj = Conjunction::of([
+            Atom::eq(x(), y() + c(1)),
+            Atom::le(x(), c(5)),
+            Atom::neq(x(), c(3)),
+        ]);
+        let out = cj.eliminate(&v("x")).unwrap();
+        assert!(out.implies_atom(&Atom::le(y(), c(4))));
+        assert!(out.implies_atom(&Atom::neq(y(), c(2))));
+        assert!(!out.vars().contains(&v("x")));
+    }
+
+    #[test]
+    fn disequation_without_equality_blocks() {
+        let cj = Conjunction::of([Atom::neq(x(), c(0)), Atom::le(x(), y())]);
+        assert_eq!(
+            cj.eliminate(&v("x")),
+            Err(ConstraintError::DisequationElimination(v("x")))
+        );
+    }
+
+    #[test]
+    fn solve_for_coefficients() {
+        // 2x + 3y - 6 = 0 solved for x gives x = 3 - 3y/2
+        let e = x().scale(&r(2)) + y().scale(&r(3)) - c(6);
+        let s = solve_for(&e, &v("x"));
+        assert_eq!(s.coeff(&v("y")), Rational::from_pair(-3, 2));
+        assert_eq!(s.constant_term(), &r(3));
+    }
+
+    #[test]
+    fn paper_example_translation_projection() {
+        // The §4.1 worked example: extent −4 ≤ w ≤ 4 ∧ −2 ≤ z ≤ 2, with
+        // u = x + w, v = y + z, x = 6, y = 4; projecting on (u, v) must give
+        // 2 ≤ u ≤ 10 ∧ 2 ≤ v ≤ 6.
+        let w = LinExpr::var(v("w"));
+        let zz = LinExpr::var(v("z"));
+        let u = LinExpr::var(v("u"));
+        let vv = LinExpr::var(v("v"));
+        let cj = Conjunction::of([
+            Atom::ge(w.clone(), c(-4)),
+            Atom::le(w.clone(), c(4)),
+            Atom::ge(zz.clone(), c(-2)),
+            Atom::le(zz.clone(), c(2)),
+            Atom::eq(u.clone(), x() + w.clone()),
+            Atom::eq(vv.clone(), y() + zz.clone()),
+            Atom::eq(x(), c(6)),
+            Atom::eq(y(), c(4)),
+        ]);
+        let out = cj
+            .eliminate_all([v("w"), v("z"), v("x"), v("y")].iter())
+            .unwrap();
+        let expected = Conjunction::of([
+            Atom::ge(u.clone(), c(2)),
+            Atom::le(u, c(10)),
+            Atom::ge(vv.clone(), c(2)),
+            Atom::le(vv, c(6)),
+        ]);
+        assert!(out.equivalent(&expected), "got {out}");
+    }
+
+    #[test]
+    fn restricted_projection_rule() {
+        // 3 variables: eliminating 1 is fine, keeping 1 is fine,
+        // eliminating 2 of 4 is rejected.
+        let cj = Conjunction::of([
+            Atom::le(x() + y(), c(1)),
+            Atom::le(y() + z(), c(1)),
+            Atom::le(x() + z(), c(1)),
+        ]);
+        assert!(cj.project_restricted(&[v("x"), v("y")]).is_ok()); // eliminate 1
+        assert!(cj.project_restricted(&[v("x")]).is_ok()); // all but one
+        let four = cj.and_atom(Atom::le(LinExpr::var(v("q")), c(0)));
+        assert_eq!(
+            four.project_restricted(&[v("x"), v("y")]),
+            Err(ConstraintError::RestrictedProjection { eliminate: 2, free: 4 })
+        );
+    }
+
+    #[test]
+    fn elimination_is_sound_and_complete_on_samples() {
+        // ∃x. (x >= y ∧ x <= z ∧ x >= 0): projection should equal
+        // {(y,z) : y <= z ∧ z >= 0}.
+        let cj = Conjunction::of([
+            Atom::ge(x(), y()),
+            Atom::le(x(), z()),
+            Atom::ge(x(), c(0)),
+        ]);
+        let proj = cj.eliminate(&v("x")).unwrap();
+        for yy in -3..=3i64 {
+            for zz in -3..=3i64 {
+                let mut p = Assignment::new();
+                p.insert(v("y"), r(yy));
+                p.insert(v("z"), r(zz));
+                let in_proj = proj.eval(&p);
+                let extends = has_extension(&cj, &v("x"), &p);
+                assert_eq!(in_proj, extends, "mismatch at y={yy} z={zz}");
+            }
+        }
+    }
+}

@@ -1,0 +1,293 @@
+//! Exact 2-D geometry on constraint objects: vertex enumeration.
+//!
+//! The paper positions constraints as the *conceptual* representation of
+//! spatial data, with "the best known data structures and algorithms" for
+//! low-dimensional manipulation (§1.1). This module provides the bridge
+//! back to explicit geometry for 2-D objects: the vertices of each
+//! disjunct's polygon, computed exactly — what a renderer or a
+//! computational-geometry pipeline downstream of a LyriC query needs.
+
+use crate::atom::{Atom, NormOp};
+use crate::conjunction::Conjunction;
+use crate::cst_object::CstObject;
+use crate::error::ConstraintError;
+use crate::linexpr::{Assignment, LinExpr};
+use crate::var::Var;
+use lyric_arith::Rational;
+
+impl CstObject {
+    /// The vertices of each disjunct of a **two-dimensional, bounded,
+    /// quantifier-free** object, in counter-clockwise order around the
+    /// disjunct's centroid, as `(x, y)` pairs following the schema order.
+    ///
+    /// Vertices are computed exactly: every pair of boundary lines is
+    /// intersected, and intersection points satisfying the whole
+    /// conjunction (ignoring strictness: the *closure* of the disjunct)
+    /// are kept. Degenerate disjuncts (segments, points) yield their
+    /// endpoints. Unbounded or empty disjuncts yield an error / are
+    /// skipped respectively.
+    ///
+    /// Disequations are ignored (they only remove measure-zero slices and
+    /// do not change the closure's vertex set).
+    pub fn vertices_2d(&self) -> Result<Vec<Vec<(Rational, Rational)>>, ConstraintError> {
+        if self.arity() != 2 || self.has_bound_vars() {
+            return Err(ConstraintError::Geometry(
+                "vertex enumeration requires a 2-D quantifier-free object".into(),
+            ));
+        }
+        let x = self.free()[0].clone();
+        let y = self.free()[1].clone();
+        let mut out = Vec::new();
+        for d in self.disjuncts() {
+            if !d.satisfiable() {
+                continue;
+            }
+            // Boundedness check per axis.
+            for v in [&x, &y] {
+                let e = LinExpr::var(v.clone());
+                for extremum in [d.maximize(&e), d.minimize(&e)] {
+                    if matches!(extremum, crate::conjunction::Extremum::Unbounded) {
+                        return Err(ConstraintError::Geometry(format!(
+                            "disjunct is unbounded in {v}: {d}"
+                        )));
+                    }
+                }
+            }
+            out.push(disjunct_vertices(d, &x, &y));
+        }
+        Ok(out)
+    }
+}
+
+fn disjunct_vertices(d: &Conjunction, x: &Var, y: &Var) -> Vec<(Rational, Rational)> {
+    // The closure: strict atoms weakened, disequations dropped.
+    let closed = Conjunction::of(d.atoms().iter().filter_map(|a| match a.op() {
+        NormOp::Le | NormOp::Eq => Some(a.clone()),
+        NormOp::Lt => Some(Atom::normalized(a.expr().clone(), NormOp::Le)),
+        NormOp::Neq => None,
+    }));
+    let lines: Vec<&Atom> = closed.atoms().iter().collect();
+    let mut vertices: Vec<(Rational, Rational)> = Vec::new();
+    for (i, a) in lines.iter().enumerate() {
+        for b in lines.iter().skip(i + 1) {
+            if let Some((px, py)) = intersect(a, b, x, y) {
+                let mut point = Assignment::new();
+                point.insert(x.clone(), px.clone());
+                point.insert(y.clone(), py.clone());
+                if closed.eval(&point) && !vertices.contains(&(px.clone(), py.clone())) {
+                    vertices.push((px, py));
+                }
+            }
+        }
+    }
+    // Degenerate cases (a single equality bounding box collapses to a
+    // segment with endpoints found above; a single point may come from an
+    // equality pair). If fewer than 3 vertices, nothing to order.
+    if vertices.len() < 3 {
+        vertices.sort();
+        return vertices;
+    }
+    // Counter-clockwise order around the centroid, comparing polar angles
+    // exactly via cross products per half-plane.
+    let n = Rational::from_int(vertices.len() as i64);
+    let cx = vertices.iter().map(|(a, _)| a.clone()).fold(Rational::zero(), |s, v| s + v) / n.clone();
+    let cy = vertices.iter().map(|(_, b)| b.clone()).fold(Rational::zero(), |s, v| s + v) / n;
+    vertices.sort_by(|p, q| {
+        let (pdx, pdy) = (&p.0 - &cx, &p.1 - &cy);
+        let (qdx, qdy) = (&q.0 - &cx, &q.1 - &cy);
+        let half =
+            |dx: &Rational, dy: &Rational| if dy.is_negative() || (dy.is_zero() && dx.is_negative()) { 1u8 } else { 0 };
+        let (hp, hq) = (half(&pdx, &pdy), half(&qdx, &qdy));
+        hp.cmp(&hq).then_with(|| {
+            // Same half-plane: cross(p, q) > 0 means q is CCW of p, so p
+            // comes first.
+            let cross = &pdx * &qdy - &pdy * &qdx;
+            Rational::zero().cmp(&cross).then_with(|| {
+                // Collinear with the centroid: nearer point first.
+                let dp = &pdx * &pdx + &pdy * &pdy;
+                let dq = &qdx * &qdx + &qdy * &qdy;
+                dp.cmp(&dq)
+            })
+        })
+    });
+    vertices
+}
+
+/// Exact intersection of the boundary lines of two atoms
+/// (`e = 0` for each), when unique.
+fn intersect(a: &Atom, b: &Atom, x: &Var, y: &Var) -> Option<(Rational, Rational)> {
+    // a: a1 x + a2 y + a0 = 0 ; b: b1 x + b2 y + b0 = 0.
+    let (a1, a2, a0) = (a.expr().coeff(x), a.expr().coeff(y), a.expr().constant_term().clone());
+    let (b1, b2, b0) = (b.expr().coeff(x), b.expr().coeff(y), b.expr().constant_term().clone());
+    let det = &a1 * &b2 - &a2 * &b1;
+    if det.is_zero() {
+        return None;
+    }
+    // Cramer: x = (a2 b0 − b2 a0)/det, y = (b1 a0 − a1 b0)/det.
+    let px = (&a2 * &b0 - &b2 * &a0) / det.clone();
+    let py = (&b1 * &a0 - &a1 * &b0) / det;
+    Some((px, py))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atom::Atom;
+
+    fn v(n: &str) -> Var {
+        Var::new(n)
+    }
+    fn e(n: &str) -> LinExpr {
+        LinExpr::var(Var::new(n))
+    }
+    fn c(n: i64) -> LinExpr {
+        LinExpr::from(n)
+    }
+    fn r(n: i64) -> Rational {
+        Rational::from_int(n)
+    }
+
+    fn box2(x0: i64, x1: i64, y0: i64, y1: i64) -> CstObject {
+        CstObject::from_conjunction(
+            vec![v("x"), v("y")],
+            Conjunction::of([
+                Atom::ge(e("x"), c(x0)),
+                Atom::le(e("x"), c(x1)),
+                Atom::ge(e("y"), c(y0)),
+                Atom::le(e("y"), c(y1)),
+            ]),
+        )
+    }
+
+    #[test]
+    fn box_vertices_ccw() {
+        let vs = box2(0, 4, 0, 2).vertices_2d().unwrap();
+        assert_eq!(vs.len(), 1);
+        assert_eq!(
+            vs[0],
+            vec![
+                (r(4), r(2)),
+                (r(0), r(2)),
+                (r(0), r(0)),
+                (r(4), r(0)),
+            ]
+        );
+    }
+
+    #[test]
+    fn triangle_with_fractional_vertex() {
+        // x >= 0, y >= 0, 2x + 3y <= 5: vertices (0,0), (5/2,0), (0,5/3).
+        let t = CstObject::from_conjunction(
+            vec![v("x"), v("y")],
+            Conjunction::of([
+                Atom::ge(e("x"), c(0)),
+                Atom::ge(e("y"), c(0)),
+                Atom::le(e("x").scale(&r(2)) + e("y").scale(&r(3)), c(5)),
+            ]),
+        );
+        let vs = t.vertices_2d().unwrap();
+        assert_eq!(vs[0].len(), 3);
+        assert!(vs[0].contains(&(Rational::from_pair(5, 2), r(0))));
+        assert!(vs[0].contains(&(r(0), Rational::from_pair(5, 3))));
+        assert!(vs[0].contains(&(r(0), r(0))));
+    }
+
+    #[test]
+    fn redundant_atoms_add_no_vertices() {
+        let redundant = CstObject::from_conjunction(
+            vec![v("x"), v("y")],
+            Conjunction::of([
+                Atom::ge(e("x"), c(0)),
+                Atom::le(e("x"), c(4)),
+                Atom::ge(e("y"), c(0)),
+                Atom::le(e("y"), c(2)),
+                Atom::le(e("x") + e("y"), c(100)), // redundant
+            ]),
+        );
+        let vs = redundant.vertices_2d().unwrap();
+        assert_eq!(vs[0].len(), 4);
+    }
+
+    #[test]
+    fn strictness_uses_closure() {
+        let open = CstObject::from_conjunction(
+            vec![v("x"), v("y")],
+            Conjunction::of([
+                Atom::gt(e("x"), c(0)),
+                Atom::lt(e("x"), c(1)),
+                Atom::gt(e("y"), c(0)),
+                Atom::lt(e("y"), c(1)),
+            ]),
+        );
+        let vs = open.vertices_2d().unwrap();
+        assert_eq!(vs[0].len(), 4); // closure vertices
+    }
+
+    #[test]
+    fn degenerate_segment_and_point() {
+        let segment = CstObject::from_conjunction(
+            vec![v("x"), v("y")],
+            Conjunction::of([
+                Atom::eq(e("y"), c(1)),
+                Atom::ge(e("x"), c(0)),
+                Atom::le(e("x"), c(3)),
+            ]),
+        );
+        let vs = segment.vertices_2d().unwrap();
+        assert_eq!(vs[0], vec![(r(0), r(1)), (r(3), r(1))]);
+        let point = CstObject::point(vec![v("x"), v("y")], &[r(2), r(5)]);
+        let vs = point.vertices_2d().unwrap();
+        assert_eq!(vs[0], vec![(r(2), r(5))]);
+    }
+
+    #[test]
+    fn union_yields_polygon_per_disjunct() {
+        let u = box2(0, 1, 0, 1).or(&box2(5, 6, 5, 6));
+        let vs = u.vertices_2d().unwrap();
+        assert_eq!(vs.len(), 2);
+        assert_eq!(vs[0].len(), 4);
+        assert_eq!(vs[1].len(), 4);
+        // Empty disjuncts are skipped.
+        let with_empty = box2(0, 1, 0, 1).or(&CstObject::from_conjunction(
+            vec![v("x"), v("y")],
+            Conjunction::of([Atom::ge(e("x"), c(5)), Atom::le(e("x"), c(4))]),
+        ));
+        assert_eq!(with_empty.vertices_2d().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn errors_on_unbounded_or_wrong_shape() {
+        let half = CstObject::from_conjunction(
+            vec![v("x"), v("y")],
+            Conjunction::of([Atom::ge(e("x"), c(0))]),
+        );
+        assert!(matches!(half.vertices_2d(), Err(ConstraintError::Geometry(_))));
+        let three_d = CstObject::top(vec![v("x"), v("y"), v("z")]);
+        assert!(matches!(three_d.vertices_2d(), Err(ConstraintError::Geometry(_))));
+        let quantified = CstObject::new(
+            vec![v("x"), v("y")],
+            [Conjunction::of([Atom::le(e("x"), e("hidden"))])],
+        );
+        assert!(matches!(quantified.vertices_2d(), Err(ConstraintError::Geometry(_))));
+    }
+
+    #[test]
+    fn diamond_vertices() {
+        let w = e("x");
+        let z = e("y");
+        let diamond = CstObject::from_conjunction(
+            vec![v("x"), v("y")],
+            Conjunction::of([
+                Atom::le(&w + &z, c(2)),
+                Atom::le(&w - &z, c(2)),
+                Atom::le(&(-&w) + &z, c(2)),
+                Atom::le(&(-&w) - &z, c(2)),
+            ]),
+        );
+        let vs = diamond.vertices_2d().unwrap();
+        assert_eq!(vs[0].len(), 4);
+        for p in [(r(2), r(0)), (r(0), r(2)), (r(-2), r(0)), (r(0), r(-2))] {
+            assert!(vs[0].contains(&p), "missing vertex {p:?}");
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Property-based tests for the constraint engine.
+//!
+//! The oracle throughout is point semantics: a constraint denotes a set of
+//! rational points, and every operation must respect membership of sampled
+//! points.
+
+use lyric_arith::Rational;
+use lyric_constraint::{
+    Assignment, Atom, Conjunction, CstObject, Dnf, LinExpr, NormOp, RelOp, Var,
+};
+use proptest::prelude::*;
+
+const NVARS: usize = 3;
+
+fn var(i: usize) -> Var {
+    Var::new(format!("v{i}"))
+}
+
+#[derive(Debug, Clone)]
+struct RawAtom {
+    coeffs: Vec<i32>,
+    op: RelOp,
+    rhs: i32,
+}
+
+fn relop_strategy() -> impl Strategy<Value = RelOp> {
+    prop_oneof![
+        4 => Just(RelOp::Le),
+        2 => Just(RelOp::Lt),
+        2 => Just(RelOp::Ge),
+        1 => Just(RelOp::Gt),
+        2 => Just(RelOp::Eq),
+        1 => Just(RelOp::Neq),
+    ]
+}
+
+fn atom_strategy() -> impl Strategy<Value = RawAtom> {
+    (proptest::collection::vec(-3..=3i32, NVARS), relop_strategy(), -8..=8i32)
+        .prop_map(|(coeffs, op, rhs)| RawAtom { coeffs, op, rhs })
+}
+
+fn build_atom(raw: &RawAtom) -> Atom {
+    let mut e = LinExpr::zero();
+    for (i, &c) in raw.coeffs.iter().enumerate() {
+        if c != 0 {
+            e = e + LinExpr::term(var(i), Rational::from_int(c as i64));
+        }
+    }
+    Atom::new(e, raw.op, LinExpr::from(raw.rhs as i64))
+}
+
+fn conj_strategy() -> impl Strategy<Value = Vec<RawAtom>> {
+    proptest::collection::vec(atom_strategy(), 0..6)
+}
+
+fn build_conj(raws: &[RawAtom]) -> Conjunction {
+    Conjunction::of(raws.iter().map(build_atom))
+}
+
+fn point_strategy() -> impl Strategy<Value = Vec<i32>> {
+    proptest::collection::vec(-5..=5i32, NVARS)
+}
+
+fn assignment(p: &[i32]) -> Assignment {
+    p.iter()
+        .enumerate()
+        .map(|(i, &v)| (var(i), Rational::from_int(v as i64)))
+        .collect()
+}
+
+proptest! {
+    /// A sampled satisfying point proves satisfiability; a solver witness
+    /// satisfies the conjunction.
+    #[test]
+    fn satisfiability_against_point_semantics(raws in conj_strategy(), p in point_strategy()) {
+        let c = build_conj(&raws);
+        if c.eval(&assignment(&p)) {
+            prop_assert!(c.satisfiable(), "point {p:?} satisfies {c} but solver says unsat");
+        }
+        match c.find_point() {
+            Some(w) => {
+                prop_assert!(c.eval(&w), "witness {w:?} does not satisfy {c}");
+                prop_assert!(c.satisfiable());
+            }
+            None => prop_assert!(!c.satisfiable()),
+        }
+    }
+
+    /// Atom negation is a complement pointwise; conjunction negation (as a
+    /// DNF) is a complement pointwise.
+    #[test]
+    fn negation_complement(raws in conj_strategy(), p in point_strategy()) {
+        let c = build_conj(&raws);
+        let point = assignment(&p);
+        let neg = Dnf::negate_conjunction(&c);
+        prop_assert_ne!(c.eval(&point), neg.eval(&point),
+                        "complement failed for {} at {:?}", c, p);
+    }
+
+    /// `implies` is sound on sampled points: if P |= Q, every sampled
+    /// point of P is a point of Q.
+    #[test]
+    fn entailment_sound(raws1 in conj_strategy(), raws2 in conj_strategy(), p in point_strategy()) {
+        let a = build_conj(&raws1);
+        let b = build_conj(&raws2);
+        let point = assignment(&p);
+        if a.implies(&b) && a.eval(&point) {
+            prop_assert!(b.eval(&point), "{} |= {} but {:?} ∈ lhs \\ rhs", a, b, p);
+        }
+        // Reflexivity and bottom.
+        prop_assert!(a.implies(&a));
+        prop_assert!(Conjunction::bottom().implies(&a));
+    }
+
+    /// Variable elimination is sound and complete against point semantics:
+    /// a point over the remaining variables is in the projection iff it
+    /// extends to the eliminated variable.
+    #[test]
+    fn elimination_matches_exists(raws in conj_strategy(), p in point_strategy()) {
+        let c = build_conj(&raws);
+        let v0 = var(0);
+        // DNF-level elimination is total (splits disequations).
+        let projected = Dnf::from_conjunction(c.clone()).eliminate(&v0);
+        // Ground the remaining variables.
+        let mut grounded = c.clone();
+        let mut proj_grounded = projected.clone();
+        for (i, &val) in p.iter().enumerate().skip(1) {
+            let e = LinExpr::constant(Rational::from_int(val as i64));
+            grounded = grounded.substitute(&var(i), &e);
+            proj_grounded = proj_grounded.substitute(&var(i), &e);
+        }
+        let has_extension = grounded.satisfiable();
+        let in_projection = proj_grounded.satisfiable();
+        prop_assert_eq!(in_projection, has_extension,
+                        "projection mismatch for {} at {:?}", c, p);
+    }
+
+    /// DNF conjunction and disjunction respect point semantics.
+    #[test]
+    fn dnf_lattice_ops(raws1 in conj_strategy(), raws2 in conj_strategy(), p in point_strategy()) {
+        let a = Dnf::from_conjunction(build_conj(&raws1));
+        let b = Dnf::from_conjunction(build_conj(&raws2));
+        let point = assignment(&p);
+        prop_assert_eq!(a.and(&b).eval(&point), a.eval(&point) && b.eval(&point));
+        prop_assert_eq!(a.or(&b).eval(&point), a.eval(&point) || b.eval(&point));
+    }
+
+    /// The paper's cheap simplification and the strong canonical form both
+    /// preserve denotation.
+    #[test]
+    fn simplification_preserves_denotation(raws1 in conj_strategy(), raws2 in conj_strategy(),
+                                           p in point_strategy()) {
+        let d = Dnf::of([build_conj(&raws1), build_conj(&raws2)]);
+        let point = assignment(&p);
+        prop_assert_eq!(d.simplify().eval(&point), d.eval(&point));
+        prop_assert_eq!(d.strong_simplify().eval(&point), d.eval(&point));
+        let c = build_conj(&raws1);
+        prop_assert_eq!(c.remove_redundant().eval(&point), c.eval(&point));
+    }
+
+    /// CST objects: `and` is intersection, `or` is union on sampled
+    /// points; canonicalization preserves membership.
+    #[test]
+    fn cst_object_set_semantics(raws1 in conj_strategy(), raws2 in conj_strategy(),
+                                p in point_strategy()) {
+        let free: Vec<Var> = (0..NVARS).map(var).collect();
+        let a = CstObject::from_conjunction(free.clone(), build_conj(&raws1));
+        let b = CstObject::from_conjunction(free.clone(), build_conj(&raws2));
+        let pt: Vec<Rational> = p.iter().map(|&v| Rational::from_int(v as i64)).collect();
+        let in_a = a.contains_point(&pt);
+        let in_b = b.contains_point(&pt);
+        prop_assert_eq!(a.and(&b).contains_point(&pt), in_a && in_b);
+        prop_assert_eq!(a.or(&b).contains_point(&pt), in_a || in_b);
+        prop_assert_eq!(a.canonicalize().contains_point(&pt), in_a);
+    }
+
+    /// Lazy projection and eager elimination denote the same set.
+    #[test]
+    fn lazy_and_eager_projection_agree(raws in conj_strategy(), p in point_strategy()) {
+        let free: Vec<Var> = (0..NVARS).map(var).collect();
+        let obj = CstObject::from_conjunction(free, build_conj(&raws));
+        let keep: Vec<Var> = (1..NVARS).map(var).collect();
+        let lazy = obj.project(keep.clone());
+        let eager = lazy.eliminate_bound();
+        let pt: Vec<Rational> =
+            p.iter().skip(1).map(|&v| Rational::from_int(v as i64)).collect();
+        prop_assert_eq!(lazy.contains_point(&pt), eager.contains_point(&pt),
+                        "lazy vs eager at {:?} on {}", p, obj);
+    }
+
+    /// Optimization: the reported supremum dominates the objective at
+    /// every sampled satisfying point.
+    #[test]
+    fn maximize_dominates_points(raws in conj_strategy(),
+                                 obj_coeffs in proptest::collection::vec(-3..=3i32, NVARS),
+                                 p in point_strategy()) {
+        let c = build_conj(&raws);
+        let mut objective = LinExpr::zero();
+        for (i, &k) in obj_coeffs.iter().enumerate() {
+            if k != 0 {
+                objective = objective + LinExpr::term(var(i), Rational::from_int(k as i64));
+            }
+        }
+        let point = assignment(&p);
+        match c.maximize(&objective) {
+            lyric_constraint::Extremum::Infeasible => prop_assert!(!c.eval(&point)),
+            lyric_constraint::Extremum::Unbounded => {}
+            lyric_constraint::Extremum::Finite { bound, attained, witness } => {
+                if c.eval(&point) {
+                    prop_assert!(objective.eval(&point) <= bound);
+                }
+                prop_assert!(c.eval(&witness), "witness must satisfy the conjunction");
+                if attained {
+                    prop_assert_eq!(objective.eval(&witness), bound);
+                }
+            }
+        }
+    }
+
+    /// Atom normalization is scale-invariant and negation is involutive.
+    #[test]
+    fn atom_normal_form(raw in atom_strategy(), scale in 1..=4i32) {
+        let a = build_atom(&raw);
+        // Scaling both sides by a positive constant normalizes away.
+        let mut e = LinExpr::zero();
+        for (i, &c) in raw.coeffs.iter().enumerate() {
+            if c != 0 {
+                e = e + LinExpr::term(var(i), Rational::from_int((c * scale) as i64));
+            }
+        }
+        let scaled = Atom::new(e, raw.op, LinExpr::from((raw.rhs * scale) as i64));
+        prop_assert_eq!(&scaled, &a);
+        prop_assert_eq!(a.negate().negate(), a);
+    }
+
+    /// Disequation handling: puncturing a conjunction by one of its
+    /// interior points keeps it satisfiable and keeps entailment of the
+    /// unpunctured set.
+    #[test]
+    fn disequation_puncture(raws in conj_strategy()) {
+        let c = build_conj(&raws);
+        if let Some(w) = c.find_point() {
+            // Puncture at the witness: v0 ≠ w[v0] removes at most a
+            // hyperplane.
+            let v0val = w.get(&var(0)).cloned().unwrap_or_else(Rational::zero);
+            let punctured = c.and_atom(Atom::neq(
+                LinExpr::var(var(0)),
+                LinExpr::constant(v0val),
+            ));
+            // The punctured set entails the original.
+            prop_assert!(punctured.implies(&c));
+            // Membership at the witness itself is gone.
+            prop_assert!(!punctured.eval(&w));
+        }
+    }
+}
+
+/// Non-proptest regression: the four-family classification matches the
+/// §3.1 definitions on constructed examples.
+#[test]
+fn family_classification_examples() {
+    use lyric_constraint::CstFamily;
+    let x = var(0);
+    let conj = CstObject::from_conjunction(
+        vec![x.clone()],
+        Conjunction::of([Atom::ge(LinExpr::var(x.clone()), LinExpr::from(0))]),
+    );
+    assert_eq!(conj.family(), CstFamily::Conjunctive);
+    let exist = conj.and(&CstObject::new(
+        vec![x.clone()],
+        [Conjunction::of([Atom::le(
+            LinExpr::var(x.clone()),
+            LinExpr::var(Var::new("hidden")),
+        )])],
+    ));
+    assert_eq!(exist.family(), CstFamily::ExistentialConjunctive);
+    let disj = conj.or(&CstObject::from_conjunction(
+        vec![x.clone()],
+        Conjunction::of([Atom::le(LinExpr::var(x.clone()), LinExpr::from(-5))]),
+    ));
+    assert_eq!(disj.family(), CstFamily::Disjunctive);
+    let both = disj.or(&exist);
+    assert_eq!(both.family(), CstFamily::DisjunctiveExistential);
+    // NormOp surface check.
+    assert_eq!(Atom::neq(LinExpr::var(x), LinExpr::from(0)).op(), NormOp::Neq);
+}

@@ -1,0 +1,219 @@
+//! Abstract syntax of LyriC queries (§4.2).
+
+use lyric_arith::Rational;
+
+/// A complete LyriC statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Query {
+    Select(SelectQuery),
+    CreateView(ViewQuery),
+}
+
+/// `CREATE VIEW name AS SUBCLASS OF parent <select>`. When `name` is a
+/// variable declared in the SELECT's FROM clause, one view class is created
+/// per binding of that variable (the paper's Region classification
+/// example).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViewQuery {
+    pub name: String,
+    pub parent: String,
+    pub select: SelectQuery,
+}
+
+/// A SELECT query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectQuery {
+    pub items: Vec<SelectItem>,
+    /// `SIGNATURE attr => Class` / `attr =>> Class` declarations for view
+    /// output objects.
+    pub signature: Vec<SigItem>,
+    /// `FROM Class Var` pairs.
+    pub from: Vec<FromItem>,
+    /// `OID FUNCTION OF X,Y`: output objects get id-function oids over the
+    /// listed variables.
+    pub oid_function: Option<Vec<String>>,
+    pub where_clause: Option<Cond>,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct FromItem {
+    pub class: String,
+    pub var: String,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub struct SigItem {
+    pub attr: String,
+    pub is_set: bool,
+    pub class: String,
+}
+
+/// One SELECT output column, optionally labelled (`name = X.name`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectItem {
+    pub label: Option<String>,
+    pub value: SelectValue,
+}
+
+/// What a SELECT column computes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectValue {
+    /// A path expression (its tail oid).
+    Path(PathExpr),
+    /// A CST formula creating a new constraint object — §4.2 item 1.
+    Formula(Formula),
+    /// `MAX/MIN/MAX_POINT/MIN_POINT (objective SUBJECT TO formula)` —
+    /// §4.2 items 2 and 3.
+    Optimize { kind: OptKind, objective: Arith, formula: Formula },
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OptKind {
+    Max,
+    Min,
+    MaxPoint,
+    MinPoint,
+}
+
+// ---------------------------------------------------------------- paths
+
+/// An XSQL extended path expression:
+/// `selector0.Attr1[sel1].Attr2[sel2]…` (§2.2).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PathExpr {
+    pub root: Selector,
+    pub steps: Vec<Step>,
+}
+
+impl PathExpr {
+    /// A bare variable path.
+    pub fn var(name: impl Into<String>) -> PathExpr {
+        PathExpr { root: Selector::Var(name.into()), steps: Vec::new() }
+    }
+
+    /// All variables occurring in selector positions.
+    pub fn selector_vars(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        if let Selector::Var(v) = &self.root {
+            out.push(v.as_str());
+        }
+        for s in &self.steps {
+            if let Some(Selector::Var(v)) = &s.selector {
+                out.push(v.as_str());
+            }
+        }
+        out
+    }
+}
+
+/// A selector: a variable or a ground oid literal.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Selector {
+    Var(String),
+    Lit(OidLit),
+}
+
+/// Ground oid literals appearing in queries.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum OidLit {
+    Named(String),
+    Int(i64),
+    Str(String),
+    Bool(bool),
+}
+
+/// One path step: an attribute (name or attribute variable) with an
+/// optional selector.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Step {
+    pub attr: String,
+    pub selector: Option<Selector>,
+}
+
+// ------------------------------------------------------------ conditions
+
+/// WHERE-clause conditions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Cond {
+    And(Box<Cond>, Box<Cond>),
+    Or(Box<Cond>, Box<Cond>),
+    Not(Box<Cond>),
+    /// A path expression used as a Boolean predicate: true iff some
+    /// database path satisfies a ground instance (§2.2). Binds its
+    /// selector variables.
+    PathPred(PathExpr),
+    /// Comparison of path-expression values / literals.
+    Compare { lhs: CmpOperand, op: CmpOp, rhs: CmpOperand },
+    /// Satisfiability predicate: a parenthesized CST formula (§4.2 item 1
+    /// of WHERE predicates).
+    Sat(Formula),
+    /// Entailment predicate `φ |= ψ` (§4.2 item 2).
+    Entails(Formula, Formula),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+pub enum CmpOperand {
+    Path(PathExpr),
+    Num(Rational),
+    Str(String),
+    Bool(bool),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Neq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// Set containment of path-expression values.
+    Contains,
+}
+
+// -------------------------------------------------------------- formulas
+
+/// CST formulas (§4.2): the syntactic families of §3.1 extended with
+/// pseudo-linear atoms and CST-object references.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Formula {
+    And(Box<Formula>, Box<Formula>),
+    Or(Box<Formula>, Box<Formula>),
+    Not(Box<Formula>),
+    /// Projection `((x₁,…,xₙ) | φ)`.
+    Proj { vars: Vec<String>, body: Box<Formula> },
+    /// A CST-object reference `O(x₁,…,xₙ)` or bare `O`, where `O` is a path
+    /// expression. With `vars: None` the variable names are "simply copied
+    /// from the schema" (§4.2).
+    Pred { path: PathExpr, vars: Option<Vec<String>> },
+    /// A chained pseudo-linear constraint `a₁ op₁ a₂ op₂ … aₖ`
+    /// (e.g. `-4 <= w <= 4`), denoting the conjunction of adjacent pairs.
+    Chain { first: Arith, rest: Vec<(CRelOp, Arith)> },
+}
+
+/// Relational operators in constraint atoms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CRelOp {
+    Eq,
+    Neq,
+    Le,
+    Lt,
+    Ge,
+    Gt,
+}
+
+/// Pseudo-linear arithmetic: constants, constraint variables, and path
+/// expressions that must evaluate to numeric constants (§4.2).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Arith {
+    Num(Rational),
+    /// A bare identifier: a constraint variable, unless the evaluator
+    /// resolves it to a FROM-bound object (then it must be numeric).
+    Var(String),
+    /// A multi-step path used as a numeric constant.
+    PathConst(PathExpr),
+    Add(Box<Arith>, Box<Arith>),
+    Sub(Box<Arith>, Box<Arith>),
+    Mul(Box<Arith>, Box<Arith>),
+    Neg(Box<Arith>),
+}

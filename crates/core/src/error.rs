@@ -1,0 +1,92 @@
+//! Errors of the LyriC language layer.
+
+use lyric_constraint::ConstraintError;
+use lyric_oodb::DbError;
+use std::fmt;
+
+/// Any error raised while lexing, parsing, or evaluating a LyriC query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LyricError {
+    /// Lexical error.
+    Lex(String),
+    /// Syntax error with the offending token and expectation.
+    Parse(String),
+    /// A variable was used before anything bound it (XSQL evaluates
+    /// conjunctions left to right; see the evaluator docs).
+    UnboundVariable(String),
+    /// A path step used an attribute the class does not declare.
+    UnknownAttribute { class: String, attr: String },
+    /// FROM referenced a class missing from the schema.
+    UnknownClass(String),
+    /// A pseudo-linear formula used a path that did not evaluate to a
+    /// numeric constant, or a CST predicate path that did not evaluate to a
+    /// constraint object.
+    TypeError(String),
+    /// A CST predicate's explicit variable list does not match the
+    /// dimension of the referenced object.
+    DimensionMismatch { expected: usize, got: usize, what: String },
+    /// `MAX`/`MIN` over an unbounded objective.
+    Unbounded,
+    /// `MAX_POINT`/`MIN_POINT` when the optimum is a supremum that no point
+    /// attains (strict constraints).
+    NotAttained,
+    /// `MAX`/`MIN` over an empty constraint set.
+    EmptyOptimization,
+    /// Underlying database error (e.g. during view materialization).
+    Db(DbError),
+    /// Underlying constraint-engine error.
+    Constraint(ConstraintError),
+}
+
+impl LyricError {
+    pub fn lex(msg: impl Into<String>) -> LyricError {
+        LyricError::Lex(msg.into())
+    }
+    pub fn parse(msg: impl Into<String>) -> LyricError {
+        LyricError::Parse(msg.into())
+    }
+    pub fn type_error(msg: impl Into<String>) -> LyricError {
+        LyricError::TypeError(msg.into())
+    }
+}
+
+impl From<DbError> for LyricError {
+    fn from(e: DbError) -> Self {
+        LyricError::Db(e)
+    }
+}
+
+impl From<ConstraintError> for LyricError {
+    fn from(e: ConstraintError) -> Self {
+        LyricError::Constraint(e)
+    }
+}
+
+impl fmt::Display for LyricError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LyricError::Lex(m) => write!(f, "lex error: {m}"),
+            LyricError::Parse(m) => write!(f, "parse error: {m}"),
+            LyricError::UnboundVariable(v) => write!(f, "variable {v} is not bound"),
+            LyricError::UnknownAttribute { class, attr } => {
+                write!(f, "class {class} has no attribute {attr}")
+            }
+            LyricError::UnknownClass(c) => write!(f, "unknown class {c}"),
+            LyricError::TypeError(m) => write!(f, "type error: {m}"),
+            LyricError::DimensionMismatch { expected, got, what } => {
+                write!(f, "{what}: expected {expected} variables, got {got}")
+            }
+            LyricError::Unbounded => write!(f, "objective is unbounded"),
+            LyricError::NotAttained => {
+                write!(f, "optimum is a supremum not attained by any point")
+            }
+            LyricError::EmptyOptimization => {
+                write!(f, "optimization over an empty constraint set")
+            }
+            LyricError::Db(e) => write!(f, "database error: {e}"),
+            LyricError::Constraint(e) => write!(f, "constraint error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LyricError {}

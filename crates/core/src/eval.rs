@@ -1,0 +1,736 @@
+//! Query evaluation — the XSQL-extension semantics of §2.2/§4.2.
+//!
+//! Evaluation follows the paper's declarative definition ("all
+//! substitutions of oids for variables are considered … consistent with
+//! the FROM clause") with one practical refinement: WHERE conjunctions are
+//! processed left to right, and path predicates *extend* the current
+//! binding with their selector variables, so
+//! `X.drawer[Y] AND Y.color['red']` binds `Y` before using it. A variable
+//! read before anything binds it is an [`LyricError::UnboundVariable`].
+//!
+//! Path walks also record interface-renaming facts (`drawer : (p,q)`
+//! against `Drawer(x,y)`) into the binding, from which CST-formula
+//! instantiation derives the paper's implicit equality constraints.
+
+use crate::ast::*;
+use crate::error::LyricError;
+use crate::formula::{arith_to_linexpr, display_path, entails, instantiate};
+use crate::parser::parse_query;
+use crate::scope::{ScopeKey, ScopeLink};
+use lyric_arith::Rational;
+use lyric_constraint::{CstObject, Extremum, Var};
+use lyric_oodb::{AttrDef, AttrTarget, ClassDef, Database, Oid, Value};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// The answer of a query: column names and rows of oids.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResult {
+    pub columns: Vec<String>,
+    pub rows: Vec<Vec<Oid>>,
+}
+
+impl fmt::Display for QueryResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.columns.join(" | "))?;
+        for row in &self.rows {
+            let cells: Vec<String> = row.iter().map(|o| o.to_string()).collect();
+            writeln!(f, "{}", cells.join(" | "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Parse and execute a LyriC statement against a database. `CREATE VIEW`
+/// statements mutate the database (new class + extent) and also return the
+/// selected rows.
+pub fn execute(db: &mut Database, src: &str) -> Result<QueryResult, LyricError> {
+    let q = parse_query(src)?;
+    execute_parsed(db, &q)
+}
+
+/// Execute an already-parsed statement.
+pub fn execute_parsed(db: &mut Database, q: &Query) -> Result<QueryResult, LyricError> {
+    match q {
+        Query::Select(s) => {
+            let ctx = Ctx::new(db, s, None);
+            let (columns, rows) = eval_select(&ctx, s)?;
+            let mut out_rows = Vec::new();
+            for (binding, row) in rows {
+                let mut r = Vec::new();
+                if let Some(vars) = &s.oid_function {
+                    r.push(oid_function_value("f", vars, &binding)?);
+                }
+                r.extend(row);
+                if !out_rows.contains(&r) {
+                    out_rows.push(r);
+                }
+            }
+            let mut cols = Vec::new();
+            if s.oid_function.is_some() {
+                cols.push("oid".to_string());
+            }
+            cols.extend(columns);
+            Ok(QueryResult { columns: cols, rows: out_rows })
+        }
+        Query::CreateView(v) => execute_view(db, v),
+    }
+}
+
+fn execute_view(db: &mut Database, v: &ViewQuery) -> Result<QueryResult, LyricError> {
+    let grouped = v.select.from.iter().any(|f| f.var == v.name);
+    let (columns, rows) = {
+        let ctx = Ctx::new(db, &v.select, Some(&v.name));
+        eval_select(&ctx, &v.select)?
+    };
+
+    if grouped {
+        // One view class per binding of the view-name variable (the
+        // paper's Region classification example). The class is named by
+        // the oid it is keyed on.
+        let mut groups: BTreeMap<Oid, Vec<Oid>> = BTreeMap::new();
+        for (binding, row) in &rows {
+            let key = binding
+                .get(&v.name)
+                .ok_or_else(|| LyricError::UnboundVariable(v.name.clone()))?
+                .clone();
+            let member = row.first().cloned().ok_or_else(|| {
+                LyricError::type_error("view query must select at least one column")
+            })?;
+            groups.entry(key).or_default().push(member);
+        }
+        let mut out_rows = Vec::new();
+        for (key, members) in groups {
+            let class_name = key.to_string();
+            if db.schema().has_class(&class_name) {
+                continue; // idempotent re-creation
+            }
+            db.create_view_class(&class_name, Some(&v.parent), members.clone())?;
+            for m in members {
+                out_rows.push(vec![Oid::str(class_name.clone()), m]);
+            }
+        }
+        return Ok(QueryResult { columns: vec!["class".into(), "member".into()], rows: out_rows });
+    }
+
+    // Fixed-name view.
+    let mut def = ClassDef::new(&v.name).is_a(&v.parent);
+    if v.select.oid_function.is_some() {
+        // Output objects carry the labelled columns as attributes, typed by
+        // the SIGNATURE clause (defaulting to `object`).
+        for item in &v.select.items {
+            if let Some(label) = &item.label {
+                let sig = v.select.signature.iter().find(|s| &s.attr == label);
+                let (is_set, class) = match sig {
+                    Some(s) => (s.is_set, s.class.clone()),
+                    None => (false, "object".to_string()),
+                };
+                let target = AttrTarget::class(class);
+                def = def.attr(if is_set {
+                    AttrDef::set(label.clone(), target)
+                } else {
+                    AttrDef::scalar(label.clone(), target)
+                });
+            }
+        }
+    } else if let Some(pd) = db.schema().class(&v.parent) {
+        let _ = pd; // dimension marker handled by create_view_class
+    }
+    db.add_class(def)?;
+
+    let mut out_rows = Vec::new();
+    if let Some(vars) = &v.select.oid_function {
+        let mut seen = BTreeSet::new();
+        for (binding, row) in &rows {
+            let oid = oid_function_value(&v.name, vars, binding)?;
+            if !seen.insert(oid.clone()) {
+                continue;
+            }
+            let attrs: Vec<(String, Value)> = v
+                .select
+                .items
+                .iter()
+                .zip(row)
+                .filter_map(|(item, val)| {
+                    item.label.clone().map(|l| (l, Value::Scalar(val.clone())))
+                })
+                .collect();
+            db.insert(oid.clone(), &v.name, attrs)?;
+            let mut r = vec![oid];
+            r.extend(row.clone());
+            out_rows.push(r);
+        }
+    } else {
+        let mut seen = BTreeSet::new();
+        for (_, row) in &rows {
+            let member = row.first().cloned().ok_or_else(|| {
+                LyricError::type_error("view query must select at least one column")
+            })?;
+            if seen.insert(member.clone()) {
+                db.declare_instance(&v.name, member.clone())?;
+                out_rows.push(vec![member]);
+            }
+        }
+    }
+    let mut cols = Vec::new();
+    if v.select.oid_function.is_some() {
+        cols.push("oid".into());
+        cols.extend(columns);
+    } else {
+        cols.push("member".into());
+    }
+    Ok(QueryResult { columns: cols, rows: out_rows })
+}
+
+fn oid_function_value(
+    fname: &str,
+    vars: &[String],
+    binding: &Binding,
+) -> Result<Oid, LyricError> {
+    let mut args = Vec::with_capacity(vars.len());
+    for v in vars {
+        args.push(
+            binding
+                .get(v)
+                .cloned()
+                .ok_or_else(|| LyricError::UnboundVariable(v.clone()))?,
+        );
+    }
+    Ok(Oid::func(fname, args))
+}
+
+// --------------------------------------------------------------- bindings
+
+/// A partial assignment of query variables to oids, plus the provenance
+/// needed for CST semantics: for selector variables bound to constraint
+/// objects, the owning object and the attribute's declared variable list;
+/// and every interface-renaming fact discovered while walking paths.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Binding {
+    vals: BTreeMap<String, Oid>,
+    /// Access-path scope of each bound variable (see `scope`).
+    scopes: BTreeMap<String, ScopeKey>,
+    cst_prov: BTreeMap<String, (ScopeKey, Vec<Var>)>,
+    pub(crate) links: Vec<ScopeLink>,
+}
+
+impl Binding {
+    pub(crate) fn get(&self, name: &str) -> Option<&Oid> {
+        self.vals.get(name)
+    }
+
+    pub(crate) fn cst_provenance(&self, name: &str) -> Option<&(ScopeKey, Vec<Var>)> {
+        self.cst_prov.get(name)
+    }
+
+    fn bind(&mut self, name: &str, oid: Oid, scope: ScopeKey) {
+        self.vals.insert(name.to_string(), oid);
+        self.scopes.insert(name.to_string(), scope);
+    }
+
+    fn add_link(&mut self, link: ScopeLink) {
+        if !self.links.contains(&link) {
+            self.links.push(link);
+        }
+    }
+
+    /// Equality key: the visible variable assignment (provenance is
+    /// derived data).
+    fn key(&self) -> &BTreeMap<String, Oid> {
+        &self.vals
+    }
+}
+
+/// Evaluation context: the database plus the set of declared variables
+/// (FROM variables, bracket selector variables, and the view-name variable
+/// when present). Identifiers outside this set denote ground oids.
+pub(crate) struct Ctx<'a> {
+    pub(crate) db: &'a Database,
+    declared: BTreeSet<String>,
+}
+
+impl<'a> Ctx<'a> {
+    fn new(db: &'a Database, q: &SelectQuery, view_var: Option<&str>) -> Ctx<'a> {
+        let mut declared: BTreeSet<String> = q.from.iter().map(|f| f.var.clone()).collect();
+        if let Some(v) = view_var {
+            declared.insert(v.to_string());
+        }
+        // Bracket selector variables anywhere in the query.
+        fn scan_path(p: &PathExpr, out: &mut BTreeSet<String>) {
+            for s in &p.steps {
+                if let Some(Selector::Var(v)) = &s.selector {
+                    out.insert(v.clone());
+                }
+            }
+        }
+        fn scan_arith(a: &Arith, out: &mut BTreeSet<String>) {
+            match a {
+                Arith::PathConst(p) => scan_path(p, out),
+                Arith::Add(x, y) | Arith::Sub(x, y) | Arith::Mul(x, y) => {
+                    scan_arith(x, out);
+                    scan_arith(y, out);
+                }
+                Arith::Neg(x) => scan_arith(x, out),
+                Arith::Num(_) | Arith::Var(_) => {}
+            }
+        }
+        fn scan_formula(f: &Formula, out: &mut BTreeSet<String>) {
+            match f {
+                Formula::And(a, b) | Formula::Or(a, b) => {
+                    scan_formula(a, out);
+                    scan_formula(b, out);
+                }
+                Formula::Not(a) | Formula::Proj { body: a, .. } => scan_formula(a, out),
+                Formula::Pred { path, .. } => scan_path(path, out),
+                Formula::Chain { first, rest } => {
+                    scan_arith(first, out);
+                    for (_, a) in rest {
+                        scan_arith(a, out);
+                    }
+                }
+            }
+        }
+        fn scan_cond(c: &Cond, out: &mut BTreeSet<String>) {
+            match c {
+                Cond::And(a, b) | Cond::Or(a, b) => {
+                    scan_cond(a, out);
+                    scan_cond(b, out);
+                }
+                Cond::Not(a) => scan_cond(a, out),
+                Cond::PathPred(p) => scan_path(p, out),
+                Cond::Compare { lhs, rhs, .. } => {
+                    for op in [lhs, rhs] {
+                        if let CmpOperand::Path(p) = op {
+                            scan_path(p, out);
+                        }
+                    }
+                }
+                Cond::Sat(f) => scan_formula(f, out),
+                Cond::Entails(a, b) => {
+                    scan_formula(a, out);
+                    scan_formula(b, out);
+                }
+            }
+        }
+        if let Some(w) = &q.where_clause {
+            scan_cond(w, &mut declared);
+        }
+        for item in &q.items {
+            match &item.value {
+                SelectValue::Path(p) => scan_path(p, &mut declared),
+                SelectValue::Formula(f) => scan_formula(f, &mut declared),
+                SelectValue::Optimize { objective, formula, .. } => {
+                    scan_arith(objective, &mut declared);
+                    scan_formula(formula, &mut declared);
+                }
+            }
+        }
+        Ctx { db, declared }
+    }
+}
+
+// ------------------------------------------------------------------ paths
+
+/// One satisfying database path: the (possibly extended) binding, the tail
+/// oid, and — when the tail came off a CST attribute — the owning object
+/// and declared variable list.
+pub(crate) struct PathHit {
+    pub binding: Binding,
+    pub value: Oid,
+    /// Access-path scope of the tail value.
+    pub scope: ScopeKey,
+    /// For CST-attribute tails: (owner scope, declared vars).
+    pub cst_info: Option<(ScopeKey, Vec<Var>)>,
+}
+
+/// Enumerate the database paths satisfying ground instances of `path`
+/// under `binding` (§2.2), extending the binding at variable selectors.
+pub(crate) fn eval_path(
+    ctx: &Ctx<'_>,
+    path: &PathExpr,
+    binding: &Binding,
+) -> Result<Vec<PathHit>, LyricError> {
+    let root = match &path.root {
+        Selector::Var(name) => match binding.get(name) {
+            Some(o) => o.clone(),
+            None if ctx.declared.contains(name) => {
+                return Err(LyricError::UnboundVariable(name.clone()))
+            }
+            None => Oid::Named(name.clone()),
+        },
+        Selector::Lit(l) => lit_to_oid(l),
+    };
+    let root_info = match (&path.root, &root) {
+        (Selector::Var(name), Oid::Cst(_)) => binding.cst_provenance(name).cloned(),
+        _ => None,
+    };
+    let root_scope = match &path.root {
+        Selector::Var(name) => binding
+            .scopes
+            .get(name)
+            .cloned()
+            .unwrap_or_else(|| vec![root.clone()]),
+        Selector::Lit(_) => vec![root.clone()],
+    };
+    let mut states: Vec<PathHit> = vec![PathHit {
+        binding: binding.clone(),
+        value: root,
+        scope: root_scope,
+        cst_info: root_info,
+    }];
+    for step in &path.steps {
+        let mut next: Vec<PathHit> = Vec::new();
+        for state in &states {
+            let Some(data) = ctx.db.object(&state.value) else { continue };
+            let class = data.class().to_string();
+            // Attribute name, attribute variable (bound or free).
+            let candidates: Vec<String> = if ctx.db.schema().attribute(&class, &step.attr).is_some()
+            {
+                vec![step.attr.clone()]
+            } else if let Some(Oid::Str(bound)) = state.binding.get(&step.attr) {
+                vec![bound.clone()]
+            } else if step.attr.chars().next().is_some_and(|c| c.is_uppercase()) {
+                // Attribute variable: ranges over the object's stored
+                // attributes (§2.2 higher-order variables).
+                data.attrs().map(|(n, _)| n.to_string()).collect()
+            } else {
+                return Err(LyricError::UnknownAttribute {
+                    class: class.clone(),
+                    attr: step.attr.clone(),
+                });
+            };
+            let is_attr_var = ctx.db.schema().attribute(&class, &step.attr).is_none();
+            for attr_name in candidates {
+                let Some(decl) = ctx.db.schema().attribute(&class, &attr_name) else {
+                    continue;
+                };
+                let decl_target = decl.target.clone();
+                let Some(value) = data.attr(&attr_name) else { continue };
+                for member in value.iter() {
+                    let mut b = state.binding.clone();
+                    let child_scope: ScopeKey = {
+                        let mut s = state.scope.clone();
+                        s.push(member.clone());
+                        s
+                    };
+                    if is_attr_var {
+                        b.bind(&step.attr, Oid::str(attr_name.clone()), child_scope.clone());
+                    }
+                    // Selector filtering / binding.
+                    match &step.selector {
+                        None => {}
+                        Some(Selector::Var(v)) => match b.get(v).cloned() {
+                            Some(existing) => {
+                                if &existing != member {
+                                    continue;
+                                }
+                            }
+                            None => {
+                                b.bind(v, member.clone(), child_scope.clone());
+                                if let (Oid::Cst(_), AttrTarget::Cst { vars }) =
+                                    (member, &decl_target)
+                                {
+                                    b.cst_prov.insert(
+                                        v.clone(),
+                                        (state.scope.clone(), vars.clone()),
+                                    );
+                                }
+                            }
+                        },
+                        Some(Selector::Lit(l)) if &lit_to_oid(l) != member => continue,
+                        Some(Selector::Lit(_)) => {}
+                    }
+                    // Interface-renaming link for class-valued steps.
+                    if let AttrTarget::Class { class: target_class, actuals } = &decl_target {
+                        if let Some(target_def) = ctx.db.schema().class(target_class) {
+                            if !target_def.interface.is_empty() {
+                                let formals = target_def.interface.clone();
+                                let acts = actuals.clone().unwrap_or_else(|| formals.clone());
+                                b.add_link(ScopeLink {
+                                    parent: state.scope.clone(),
+                                    child: child_scope.clone(),
+                                    pairs: acts.into_iter().zip(formals).collect(),
+                                });
+                            }
+                        }
+                    }
+                    let cst_info = match &decl_target {
+                        AttrTarget::Cst { vars } => Some((state.scope.clone(), vars.clone())),
+                        _ => None,
+                    };
+                    next.push(PathHit {
+                        binding: b,
+                        value: member.clone(),
+                        scope: child_scope,
+                        cst_info,
+                    });
+                }
+            }
+        }
+        states = next;
+    }
+    Ok(states)
+}
+
+fn lit_to_oid(l: &OidLit) -> Oid {
+    match l {
+        OidLit::Named(n) => Oid::Named(n.clone()),
+        OidLit::Int(i) => Oid::Int(*i),
+        OidLit::Str(s) => Oid::Str(s.clone()),
+        OidLit::Bool(b) => Oid::Bool(*b),
+    }
+}
+
+// ------------------------------------------------------------- conditions
+
+/// Evaluate a condition, returning the bindings (extensions of `binding`)
+/// under which it holds.
+fn eval_cond(ctx: &Ctx<'_>, cond: &Cond, binding: &Binding) -> Result<Vec<Binding>, LyricError> {
+    match cond {
+        Cond::And(a, b) => {
+            let mut out = Vec::new();
+            for b1 in eval_cond(ctx, a, binding)? {
+                out.extend(eval_cond(ctx, b, &b1)?);
+            }
+            Ok(dedup_bindings(out))
+        }
+        Cond::Or(a, b) => {
+            let mut out = eval_cond(ctx, a, binding)?;
+            out.extend(eval_cond(ctx, b, binding)?);
+            Ok(dedup_bindings(out))
+        }
+        Cond::Not(a) => {
+            if eval_cond(ctx, a, binding)?.is_empty() {
+                Ok(vec![binding.clone()])
+            } else {
+                Ok(vec![])
+            }
+        }
+        Cond::PathPred(p) => {
+            let hits = eval_path(ctx, p, binding)?;
+            Ok(dedup_bindings(hits.into_iter().map(|h| h.binding).collect()))
+        }
+        Cond::Compare { lhs, op, rhs } => {
+            let l = operand_values(ctx, lhs, binding)?;
+            let r = operand_values(ctx, rhs, binding)?;
+            let holds = compare_sets(&l, *op, &r)?;
+            Ok(if holds { vec![binding.clone()] } else { vec![] })
+        }
+        Cond::Sat(f) => {
+            let obj = instantiate(ctx, f, binding)?;
+            Ok(if obj.satisfiable() { vec![binding.clone()] } else { vec![] })
+        }
+        Cond::Entails(f1, f2) => {
+            let holds = entails(ctx, f1, f2, binding)?;
+            Ok(if holds { vec![binding.clone()] } else { vec![] })
+        }
+    }
+}
+
+fn dedup_bindings(bindings: Vec<Binding>) -> Vec<Binding> {
+    let mut seen: BTreeSet<BTreeMap<String, Oid>> = BTreeSet::new();
+    let mut out = Vec::new();
+    for b in bindings {
+        if seen.insert(b.key().clone()) {
+            out.push(b);
+        }
+    }
+    out
+}
+
+/// The value set of a comparison operand. Numeric oids are normalized to
+/// rationals so `3` and `3.0` compare equal.
+fn operand_values(
+    ctx: &Ctx<'_>,
+    op: &CmpOperand,
+    binding: &Binding,
+) -> Result<BTreeSet<Oid>, LyricError> {
+    let normalize = |o: &Oid| match o {
+        Oid::Int(i) => Oid::Rat(Rational::from_int(*i)),
+        other => other.clone(),
+    };
+    match op {
+        CmpOperand::Num(n) => Ok([Oid::Rat(n.clone())].into()),
+        CmpOperand::Str(s) => Ok([Oid::str(s.clone())].into()),
+        CmpOperand::Bool(b) => Ok([Oid::Bool(*b)].into()),
+        CmpOperand::Path(p) => {
+            let hits = eval_path(ctx, p, binding)?;
+            Ok(hits.iter().map(|h| normalize(&h.value)).collect())
+        }
+    }
+}
+
+fn compare_sets(l: &BTreeSet<Oid>, op: CmpOp, r: &BTreeSet<Oid>) -> Result<bool, LyricError> {
+    match op {
+        CmpOp::Eq => Ok(l == r),
+        CmpOp::Neq => Ok(l != r),
+        CmpOp::Contains => Ok(r.is_subset(l)),
+        CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
+            let (a, b) = match (l.iter().next(), r.iter().next()) {
+                (Some(a), Some(b)) if l.len() == 1 && r.len() == 1 => (a, b),
+                _ => {
+                    return Err(LyricError::type_error(
+                        "ordered comparison requires singleton values",
+                    ))
+                }
+            };
+            let (a, b) = match (a.as_rational(), b.as_rational()) {
+                (Some(a), Some(b)) => (a, b),
+                _ => {
+                    return Err(LyricError::type_error(
+                        "ordered comparison requires numeric values",
+                    ))
+                }
+            };
+            Ok(match op {
+                CmpOp::Lt => a < b,
+                CmpOp::Le => a <= b,
+                CmpOp::Gt => a > b,
+                CmpOp::Ge => a >= b,
+                _ => unreachable!(),
+            })
+        }
+    }
+}
+
+// ----------------------------------------------------------------- select
+
+type SelectRows = Vec<(Binding, Vec<Oid>)>;
+
+fn eval_select(ctx: &Ctx<'_>, q: &SelectQuery) -> Result<(Vec<String>, SelectRows), LyricError> {
+    // FROM: cross product of class extents.
+    for f in &q.from {
+        if !ctx.db.schema().has_class(&f.class) {
+            return Err(LyricError::UnknownClass(f.class.clone()));
+        }
+    }
+    let mut bindings: Vec<Binding> = vec![Binding::default()];
+    for f in &q.from {
+        let extent = ctx.db.extent(&f.class);
+        let mut next = Vec::with_capacity(bindings.len() * extent.len());
+        for b in &bindings {
+            for oid in &extent {
+                let mut b2 = b.clone();
+                b2.bind(&f.var, oid.clone(), vec![oid.clone()]);
+                next.push(b2);
+            }
+        }
+        bindings = next;
+    }
+    // WHERE.
+    if let Some(w) = &q.where_clause {
+        let mut filtered = Vec::new();
+        for b in bindings {
+            filtered.extend(eval_cond(ctx, w, &b)?);
+        }
+        bindings = dedup_bindings(filtered);
+    }
+    // SELECT items.
+    let columns: Vec<String> = q
+        .items
+        .iter()
+        .enumerate()
+        .map(|(i, item)| column_name(i, item))
+        .collect();
+    let mut rows: SelectRows = Vec::new();
+    for b in bindings {
+        let mut per_item: Vec<Vec<Oid>> = Vec::with_capacity(q.items.len());
+        for item in &q.items {
+            per_item.push(eval_item(ctx, item, &b)?);
+        }
+        if per_item.iter().any(|v| v.is_empty()) {
+            continue;
+        }
+        // Cross product of multi-valued items.
+        let mut combos: Vec<Vec<Oid>> = vec![Vec::new()];
+        for vals in &per_item {
+            let mut next = Vec::with_capacity(combos.len() * vals.len());
+            for c in &combos {
+                for v in vals {
+                    let mut c2 = c.clone();
+                    c2.push(v.clone());
+                    next.push(c2);
+                }
+            }
+            combos = next;
+        }
+        for c in combos {
+            rows.push((b.clone(), c));
+        }
+    }
+    Ok((columns, rows))
+}
+
+fn column_name(i: usize, item: &SelectItem) -> String {
+    if let Some(l) = &item.label {
+        return l.clone();
+    }
+    match &item.value {
+        SelectValue::Path(p) => display_path(p),
+        SelectValue::Formula(_) => format!("cst_{i}"),
+        SelectValue::Optimize { kind, .. } => match kind {
+            OptKind::Max => format!("max_{i}"),
+            OptKind::Min => format!("min_{i}"),
+            OptKind::MaxPoint => format!("max_point_{i}"),
+            OptKind::MinPoint => format!("min_point_{i}"),
+        },
+    }
+}
+
+fn eval_item(ctx: &Ctx<'_>, item: &SelectItem, b: &Binding) -> Result<Vec<Oid>, LyricError> {
+    match &item.value {
+        SelectValue::Path(p) => {
+            let hits = eval_path(ctx, p, b)?;
+            let mut vals: Vec<Oid> = Vec::new();
+            for h in hits {
+                if !vals.contains(&h.value) {
+                    vals.push(h.value);
+                }
+            }
+            Ok(vals)
+        }
+        SelectValue::Formula(f) => {
+            let obj = instantiate(ctx, f, b)?;
+            Ok(vec![Oid::cst(obj)])
+        }
+        SelectValue::Optimize { kind, objective, formula } => {
+            let obj = instantiate(ctx, formula, b)?;
+            let goal = arith_to_linexpr(ctx, objective, b)?;
+            // The LP operators optimize over the formula's point set; the
+            // objective must range over its dimensions.
+            let missing: Vec<Var> = goal
+                .vars()
+                .into_iter()
+                .filter(|v| !obj.free().contains(v))
+                .collect();
+            if !missing.is_empty() {
+                return Err(LyricError::type_error(format!(
+                    "objective variable {} is not a dimension of the SUBJECT TO formula",
+                    missing[0]
+                )));
+            }
+            let extremum = match kind {
+                OptKind::Max | OptKind::MaxPoint => obj.maximize(&goal),
+                OptKind::Min | OptKind::MinPoint => obj.minimize(&goal),
+            };
+            match extremum {
+                Extremum::Infeasible => Err(LyricError::EmptyOptimization),
+                Extremum::Unbounded => Err(LyricError::Unbounded),
+                Extremum::Finite { bound, attained, witness } => match kind {
+                    OptKind::Max | OptKind::Min => Ok(vec![Oid::Rat(bound)]),
+                    OptKind::MaxPoint | OptKind::MinPoint => {
+                        if !attained {
+                            return Err(LyricError::NotAttained);
+                        }
+                        let values: Vec<Rational> = obj
+                            .free()
+                            .iter()
+                            .map(|v| witness.get(v).cloned().unwrap_or_else(Rational::zero))
+                            .collect();
+                        Ok(vec![Oid::cst(CstObject::point(obj.free().to_vec(), &values))])
+                    }
+                },
+            }
+        }
+    }
+}

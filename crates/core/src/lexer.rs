@@ -1,0 +1,307 @@
+//! Hand-written lexer for LyriC.
+//!
+//! Notable choices, all aligned with the paper's notation:
+//!
+//! * `∧` / `∨` / `¬` lex as `AND` / `OR` / `NOT`, so queries can be typed
+//!   exactly as printed in §4.1.
+//! * `≤` / `≥` / `≠` lex as `<=` / `>=` / `!=`.
+//! * `|=` is the entailment operator; a lone `|` is the projection bar of
+//!   `((x,y) | φ)`.
+//! * Numbers are exact: `0.5` lexes as the rational `1/2`.
+
+use crate::error::LyricError;
+use crate::token::Token;
+use lyric_arith::Rational;
+
+/// Tokenize a query string.
+pub fn lex(src: &str) -> Result<Vec<Token>, LyricError> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            ' ' | '\t' | '\n' | '\r' => i += 1,
+            '-' if chars.get(i + 1) == Some(&'-') => {
+                // SQL-style line comment.
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '[' => {
+                out.push(Token::LBracket);
+                i += 1;
+            }
+            ']' => {
+                out.push(Token::RBracket);
+                i += 1;
+            }
+            '.' if !matches!(chars.get(i + 1), Some(d) if d.is_ascii_digit()) => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '|' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Token::Entails);
+                    i += 2;
+                } else {
+                    out.push(Token::Bar);
+                    i += 1;
+                }
+            }
+            '⊨' => {
+                out.push(Token::Entails);
+                i += 1;
+            }
+            '∧' => {
+                out.push(Token::And);
+                i += 1;
+            }
+            '∨' => {
+                out.push(Token::Or);
+                i += 1;
+            }
+            '¬' => {
+                out.push(Token::Not);
+                i += 1;
+            }
+            '=' => {
+                if chars.get(i + 1) == Some(&'>') {
+                    if chars.get(i + 2) == Some(&'>') {
+                        out.push(Token::ArrowSet);
+                        i += 3;
+                    } else {
+                        out.push(Token::ArrowScalar);
+                        i += 2;
+                    }
+                } else {
+                    out.push(Token::Eq);
+                    i += 1;
+                }
+            }
+            '!' if chars.get(i + 1) == Some(&'=') => {
+                out.push(Token::Neq);
+                i += 2;
+            }
+            '≠' => {
+                out.push(Token::Neq);
+                i += 1;
+            }
+            '≤' => {
+                out.push(Token::Le);
+                i += 1;
+            }
+            '≥' => {
+                out.push(Token::Ge);
+                i += 1;
+            }
+            '<' => match chars.get(i + 1) {
+                Some('=') => {
+                    out.push(Token::Le);
+                    i += 2;
+                }
+                Some('>') => {
+                    out.push(Token::Neq);
+                    i += 2;
+                }
+                _ => {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            },
+            '>' => {
+                if chars.get(i + 1) == Some(&'=') {
+                    out.push(Token::Ge);
+                    i += 2;
+                } else {
+                    out.push(Token::Gt);
+                    i += 1;
+                }
+            }
+            '\'' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < chars.len() && chars[j] != '\'' {
+                    j += 1;
+                }
+                if j >= chars.len() {
+                    return Err(LyricError::lex("unterminated string literal"));
+                }
+                out.push(Token::Str(chars[start..j].iter().collect()));
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() || c == '.' => {
+                let start = i;
+                let mut j = i;
+                let mut seen_dot = false;
+                while j < chars.len()
+                    && (chars[j].is_ascii_digit() || (chars[j] == '.' && !seen_dot))
+                {
+                    if chars[j] == '.' {
+                        // A dot not followed by a digit is a path separator.
+                        if !matches!(chars.get(j + 1), Some(d) if d.is_ascii_digit()) {
+                            break;
+                        }
+                        seen_dot = true;
+                    }
+                    j += 1;
+                }
+                let text: String = chars[start..j].iter().collect();
+                let value: Rational = text
+                    .parse()
+                    .map_err(|_| LyricError::lex(format!("bad number literal {text}")))?;
+                out.push(Token::Number(value));
+                i = j;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
+                    j += 1;
+                }
+                let word: String = chars[start..j].iter().collect();
+                // MAX_POINT / MIN_POINT are single identifiers with an
+                // underscore; keyword() sees the full word.
+                match Token::keyword(&word) {
+                    Some(k) => out.push(k),
+                    None => out.push(Token::Ident(word)),
+                }
+                i = j;
+            }
+            other => {
+                return Err(LyricError::lex(format!("unexpected character {other:?}")));
+            }
+        }
+    }
+    out.push(Token::Eof);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Token> {
+        lex(src).unwrap()
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert_eq!(toks("select")[0], Token::Select);
+        assert_eq!(toks("SELECT")[0], Token::Select);
+        assert_eq!(toks("Select")[0], Token::Select);
+        assert_eq!(toks("max_point")[0], Token::MaxPoint);
+    }
+
+    #[test]
+    fn idents_and_paths() {
+        let t = toks("X.drawer[Y].color['red']");
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("X".into()),
+                Token::Dot,
+                Token::Ident("drawer".into()),
+                Token::LBracket,
+                Token::Ident("Y".into()),
+                Token::RBracket,
+                Token::Dot,
+                Token::Ident("color".into()),
+                Token::LBracket,
+                Token::Str("red".into()),
+                Token::RBracket,
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_exact() {
+        assert_eq!(toks("0.5")[0], Token::Number(Rational::from_pair(1, 2)));
+        assert_eq!(toks("12")[0], Token::Number(Rational::from_int(12)));
+        // A trailing dot is a path separator, not a decimal point.
+        let t = toks("x.y");
+        assert_eq!(t[1], Token::Dot);
+    }
+
+    #[test]
+    fn operators() {
+        assert_eq!(
+            toks("<= < >= > = != <> |= |")[..9],
+            [
+                Token::Le,
+                Token::Lt,
+                Token::Ge,
+                Token::Gt,
+                Token::Eq,
+                Token::Neq,
+                Token::Neq,
+                Token::Entails,
+                Token::Bar
+            ]
+        );
+    }
+
+    #[test]
+    fn unicode_paper_notation() {
+        assert_eq!(
+            toks("x ≤ 1 ∧ y ≥ 0 ∨ ¬ z ≠ 2 ⊨ w")[..11],
+            [
+                Token::Ident("x".into()),
+                Token::Le,
+                Token::Number(Rational::from_int(1)),
+                Token::And,
+                Token::Ident("y".into()),
+                Token::Ge,
+                Token::Number(Rational::from_int(0)),
+                Token::Or,
+                Token::Not,
+                Token::Ident("z".into()),
+                Token::Neq,
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_and_errors() {
+        assert_eq!(toks("'standard desk'")[0], Token::Str("standard desk".into()));
+        assert!(lex("'unterminated").is_err());
+        assert!(lex("x # y").is_err());
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let t = toks("SELECT -- a comment\n X");
+        assert_eq!(t, vec![Token::Select, Token::Ident("X".into()), Token::Eof]);
+    }
+
+    #[test]
+    fn signature_arrows() {
+        assert_eq!(toks("=>")[0], Token::ArrowScalar);
+        assert_eq!(toks("=>>")[0], Token::ArrowSet);
+    }
+}

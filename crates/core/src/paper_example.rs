@@ -1,0 +1,284 @@
+//! The paper's running example: the office-design schema of **Figure 1**
+//! and the `my_desk` instance of **Figure 2**.
+//!
+//! The schema (two-dimensional world, §2.1):
+//!
+//! ```text
+//! Object_In_Room           inv_number : string
+//!                          location   : CST(x,y)
+//!                          catalog_object : (x,y) → Office_Object
+//! Office_Object(x,y)       name : string,  color : Color
+//!                          extent      : CST(w,z)
+//!                          translation : CST(w,z,x,y,u,v)
+//! Desk ⊑ Office_Object     drawer_center : CST(p,q)
+//!                          drawer : (p,q) → Drawer
+//! File_Cabinet ⊑ Office_Object
+//!                          drawer_center* : CST(p1,q1)   (set-valued)
+//!                          drawer : (p1,q1) → Drawer
+//! Drawer(x,y)              extent      : CST(w,z)
+//!                          translation : CST(w,z,x,y,u,v)
+//! ```
+//!
+//! The instance (Figure 2):
+//!
+//! ```text
+//! my_desk.inv_number        = '22-354'
+//! my_desk.location          = ((x,y) | x = 6 ∧ y = 4)
+//! my_desk.catalog_object[standard_desk]
+//! standard_desk.name        = 'standard desk'      color = 'red'
+//! standard_desk.extent      = ((w,z) | −4 ≤ w ≤ 4 ∧ −2 ≤ z ≤ 2)
+//! standard_desk.translation = ((w,z,x,y,u,v) | u = x+w ∧ v = y+z)
+//! standard_desk.drawer_center = ((p,q) | p = −2 ∧ −2 ≤ q ≤ 0)
+//! standard_desk.drawer[standard_drawer]
+//! standard_drawer.extent    = ((w,z) | −1 ≤ w ≤ 1 ∧ −1 ≤ z ≤ 1)
+//! standard_drawer.translation = ((w,z,x,y,u,v) | u = x+w ∧ v = y+z)
+//! ```
+//!
+//! A file cabinet (with a *set* of drawer centers, exercising the
+//! set-valued `drawer_center*` of Figure 1) is added alongside.
+
+use lyric_arith::Rational;
+use lyric_constraint::{Atom, Conjunction, CstObject, LinExpr, Var};
+use lyric_oodb::{AttrDef, AttrTarget, ClassDef, Database, Oid, Schema, Value};
+
+fn v(n: &str) -> Var {
+    Var::new(n)
+}
+
+fn ev(n: &str) -> LinExpr {
+    LinExpr::var(Var::new(n))
+}
+
+fn c(n: i64) -> LinExpr {
+    LinExpr::constant(Rational::from_int(n))
+}
+
+/// An axis-aligned box `x0 ≤ vx ≤ x1 ∧ y0 ≤ vy ≤ y1`.
+pub fn box2(vx: &str, vy: &str, x0: i64, x1: i64, y0: i64, y1: i64) -> CstObject {
+    CstObject::from_conjunction(
+        vec![v(vx), v(vy)],
+        Conjunction::of([
+            Atom::ge(ev(vx), c(x0)),
+            Atom::le(ev(vx), c(x1)),
+            Atom::ge(ev(vy), c(y0)),
+            Atom::le(ev(vy), c(y1)),
+        ]),
+    )
+}
+
+/// The coordinate-system translation of Figures 1–2:
+/// `((w,z,x,y,u,v) | u = x + w ∧ v = y + z)` — local point `(w,z)`, origin
+/// `(x,y)`, global point `(u,v)`.
+pub fn translation2() -> CstObject {
+    CstObject::from_conjunction(
+        vec![v("w"), v("z"), v("x"), v("y"), v("u"), v("v")],
+        Conjunction::of([
+            Atom::eq(ev("u"), ev("x") + ev("w")),
+            Atom::eq(ev("v"), ev("y") + ev("z")),
+        ]),
+    )
+}
+
+/// A single 2-D point as a constraint object.
+pub fn point2(vx: &str, vy: &str, x: i64, y: i64) -> CstObject {
+    CstObject::point(vec![v(vx), v(vy)], &[Rational::from_int(x), Rational::from_int(y)])
+}
+
+/// The Figure 1 schema.
+pub fn schema() -> Schema {
+    let mut s = Schema::new();
+    s.add_class(ClassDef::new("Color")).expect("fresh schema");
+    s.add_class(
+        ClassDef::new("Object_In_Room")
+            .attr(AttrDef::scalar("inv_number", AttrTarget::class("string")))
+            .attr(AttrDef::scalar("location", AttrTarget::cst(["x", "y"])))
+            .attr(AttrDef::scalar(
+                "catalog_object",
+                AttrTarget::class_renamed("Office_Object", vec![v("x"), v("y")]),
+            )),
+    )
+    .expect("fresh schema");
+    s.add_class(
+        ClassDef::new("Office_Object")
+            .interface(["x", "y"])
+            .attr(AttrDef::scalar("name", AttrTarget::class("string")))
+            .attr(AttrDef::scalar("color", AttrTarget::class("Color")))
+            .attr(AttrDef::scalar("extent", AttrTarget::cst(["w", "z"])))
+            .attr(AttrDef::scalar(
+                "translation",
+                AttrTarget::cst(["w", "z", "x", "y", "u", "v"]),
+            )),
+    )
+    .expect("fresh schema");
+    s.add_class(
+        ClassDef::new("Drawer")
+            .interface(["x", "y"])
+            .attr(AttrDef::scalar("extent", AttrTarget::cst(["w", "z"])))
+            .attr(AttrDef::scalar(
+                "translation",
+                AttrTarget::cst(["w", "z", "x", "y", "u", "v"]),
+            )),
+    )
+    .expect("fresh schema");
+    s.add_class(
+        ClassDef::new("Desk")
+            .is_a("Office_Object")
+            .attr(AttrDef::scalar("drawer_center", AttrTarget::cst(["p", "q"])))
+            .attr(AttrDef::scalar(
+                "drawer",
+                AttrTarget::class_renamed("Drawer", vec![v("p"), v("q")]),
+            )),
+    )
+    .expect("fresh schema");
+    s.add_class(
+        ClassDef::new("File_Cabinet")
+            .is_a("Office_Object")
+            .attr(AttrDef::set("drawer_center", AttrTarget::cst(["p1", "q1"])))
+            .attr(AttrDef::scalar(
+                "drawer",
+                AttrTarget::class_renamed("Drawer", vec![v("p1"), v("q1")]),
+            )),
+    )
+    .expect("fresh schema");
+    // The Region CST class used by the §4.1 view example.
+    s.add_class(ClassDef::new("Region").cst_class(2)).expect("fresh schema");
+    s
+}
+
+/// The Figure 2 database: `my_desk` (plus a file cabinet).
+pub fn database() -> Database {
+    let mut db = Database::new(schema()).expect("schema validates");
+    for color in ["red", "blue", "grey"] {
+        db.declare_instance("Color", Oid::str(color)).expect("Color exists");
+    }
+
+    // Catalog objects.
+    db.insert(
+        Oid::named("standard_drawer"),
+        "Drawer",
+        [
+            ("extent", Value::Scalar(Oid::cst(box2("w", "z", -1, 1, -1, 1)))),
+            ("translation", Value::Scalar(Oid::cst(translation2()))),
+        ],
+    )
+    .expect("valid insert");
+    db.insert(
+        Oid::named("standard_desk"),
+        "Desk",
+        [
+            ("name", Value::Scalar(Oid::str("standard desk"))),
+            ("color", Value::Scalar(Oid::str("red"))),
+            ("extent", Value::Scalar(Oid::cst(box2("w", "z", -4, 4, -2, 2)))),
+            ("translation", Value::Scalar(Oid::cst(translation2()))),
+            (
+                "drawer_center",
+                Value::Scalar(Oid::cst(CstObject::from_conjunction(
+                    vec![v("p"), v("q")],
+                    Conjunction::of([
+                        Atom::eq(ev("p"), c(-2)),
+                        Atom::ge(ev("q"), c(-2)),
+                        Atom::le(ev("q"), c(0)),
+                    ]),
+                ))),
+            ),
+            ("drawer", Value::Scalar(Oid::named("standard_drawer"))),
+        ],
+    )
+    .expect("valid insert");
+
+    // In-room instance.
+    db.insert(
+        Oid::named("my_desk"),
+        "Object_In_Room",
+        [
+            ("inv_number", Value::Scalar(Oid::str("22-354"))),
+            ("location", Value::Scalar(Oid::cst(point2("x", "y", 6, 4)))),
+            ("catalog_object", Value::Scalar(Oid::named("standard_desk"))),
+        ],
+    )
+    .expect("valid insert");
+
+    // A file cabinet with two drawers sharing one catalog drawer shape and
+    // a *set* of possible drawer centers.
+    db.insert(
+        Oid::named("cabinet_drawer"),
+        "Drawer",
+        [
+            ("extent", Value::Scalar(Oid::cst(box2("w", "z", -1, 1, -1, 1)))),
+            ("translation", Value::Scalar(Oid::cst(translation2()))),
+        ],
+    )
+    .expect("valid insert");
+    let center = |y0: i64, y1: i64| {
+        Oid::cst(CstObject::from_conjunction(
+            vec![v("p1"), v("q1")],
+            Conjunction::of([
+                Atom::eq(ev("p1"), c(0)),
+                Atom::ge(ev("q1"), c(y0)),
+                Atom::le(ev("q1"), c(y1)),
+            ]),
+        ))
+    };
+    db.insert(
+        Oid::named("standard_cabinet"),
+        "File_Cabinet",
+        [
+            ("name", Value::Scalar(Oid::str("file cabinet"))),
+            ("color", Value::Scalar(Oid::str("grey"))),
+            ("extent", Value::Scalar(Oid::cst(box2("w", "z", -1, 1, -2, 2)))),
+            ("translation", Value::Scalar(Oid::cst(translation2()))),
+            ("drawer_center", Value::set([center(-2, -1), center(1, 2)])),
+            ("drawer", Value::Scalar(Oid::named("cabinet_drawer"))),
+        ],
+    )
+    .expect("valid insert");
+    db.insert(
+        Oid::named("my_cabinet"),
+        "Object_In_Room",
+        [
+            ("inv_number", Value::Scalar(Oid::str("22-355"))),
+            ("location", Value::Scalar(Oid::cst(point2("x", "y", 15, 8)))),
+            ("catalog_object", Value::Scalar(Oid::named("standard_cabinet"))),
+        ],
+    )
+    .expect("valid insert");
+
+    db.validate_references().expect("no dangling references");
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn database_builds_and_validates() {
+        let db = database();
+        assert_eq!(db.extent("Object_In_Room").len(), 2);
+        assert_eq!(db.extent("Office_Object").len(), 2); // desk + cabinet
+        assert_eq!(db.extent("Desk").len(), 1);
+        assert_eq!(db.extent("Drawer").len(), 2);
+    }
+
+    #[test]
+    fn figure2_values() {
+        let db = database();
+        let desk = Oid::named("standard_desk");
+        let extent = db.attr(&desk, "extent").unwrap().as_scalar().unwrap().as_cst().unwrap();
+        assert!(extent.contains_point(&[4.into(), 2.into()]));
+        assert!(!extent.contains_point(&[5.into(), 0.into()]));
+        let dc = db.attr(&desk, "drawer_center").unwrap().as_scalar().unwrap().as_cst().unwrap();
+        assert!(dc.contains_point(&[Rational::from_int(-2), Rational::from_int(-1)]));
+        assert!(!dc.contains_point(&[Rational::from_int(0), Rational::from_int(-1)]));
+    }
+
+    #[test]
+    fn set_valued_drawer_centers() {
+        let db = database();
+        let cab = Oid::named("standard_cabinet");
+        match db.attr(&cab, "drawer_center").unwrap() {
+            Value::Set(s) => assert_eq!(s.len(), 2),
+            other => panic!("expected set, got {other}"),
+        }
+    }
+}

@@ -1,0 +1,388 @@
+//! Pretty-printing of LyriC ASTs back to concrete syntax.
+//!
+//! The printer produces text the parser accepts, and round-trips: for any
+//! parseable query `q`, `parse(print(parse(q))) == parse(q)` (verified by
+//! property tests). It is also what `Display` on the AST types uses, so
+//! query plans and error contexts render as real LyriC.
+
+use crate::ast::*;
+use std::fmt;
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Query::Select(s) => write!(f, "{s}"),
+            Query::CreateView(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+impl fmt::Display for ViewQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CREATE VIEW {} AS SUBCLASS OF {} {}", self.name, self.parent, self.select)
+    }
+}
+
+impl fmt::Display for SelectQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "SELECT ")?;
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{item}")?;
+        }
+        if !self.signature.is_empty() {
+            write!(f, " SIGNATURE ")?;
+            for (i, sig) in self.signature.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(
+                    f,
+                    "{} {} {}",
+                    sig.attr,
+                    if sig.is_set { "=>>" } else { "=>" },
+                    sig.class
+                )?;
+            }
+        }
+        write!(f, " FROM ")?;
+        for (i, fi) in self.from.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", fi.class, fi.var)?;
+        }
+        if let Some(vars) = &self.oid_function {
+            write!(f, " OID FUNCTION OF {}", vars.join(", "))?;
+        }
+        if let Some(w) = &self.where_clause {
+            write!(f, " WHERE {w}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for SelectItem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(l) = &self.label {
+            write!(f, "{l} = ")?;
+        }
+        write!(f, "{}", self.value)
+    }
+}
+
+impl fmt::Display for SelectValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SelectValue::Path(p) => write!(f, "{p}"),
+            SelectValue::Formula(formula) => write!(f, "{formula}"),
+            SelectValue::Optimize { kind, objective, formula } => {
+                let name = match kind {
+                    OptKind::Max => "MAX",
+                    OptKind::Min => "MIN",
+                    OptKind::MaxPoint => "MAX_POINT",
+                    OptKind::MinPoint => "MIN_POINT",
+                };
+                write!(f, "{name}({objective} SUBJECT TO {formula})")
+            }
+        }
+    }
+}
+
+impl fmt::Display for PathExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.root)?;
+        for step in &self.steps {
+            write!(f, ".{}", step.attr)?;
+            if let Some(sel) = &step.selector {
+                write!(f, "[{sel}]")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Selector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Selector::Var(v) => write!(f, "{v}"),
+            Selector::Lit(l) => write!(f, "{l}"),
+        }
+    }
+}
+
+impl fmt::Display for OidLit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OidLit::Named(n) => write!(f, "{n}"),
+            OidLit::Int(i) => write!(f, "{i}"),
+            OidLit::Str(s) => write!(f, "'{s}'"),
+            OidLit::Bool(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cond::And(a, b) => {
+                write_cond_operand(f, a, matches!(a.as_ref(), Cond::Or(..)))?;
+                write!(f, " AND ")?;
+                write_cond_operand(f, b, matches!(b.as_ref(), Cond::Or(..) | Cond::And(..)))
+            }
+            Cond::Or(a, b) => {
+                write!(f, "{a} OR ")?;
+                write_cond_operand(f, b, matches!(b.as_ref(), Cond::Or(..)))
+            }
+            Cond::Not(a) => {
+                write!(f, "NOT ")?;
+                write_cond_operand(
+                    f,
+                    a,
+                    matches!(a.as_ref(), Cond::Or(..) | Cond::And(..)),
+                )
+            }
+            Cond::PathPred(p) => write!(f, "{p}"),
+            Cond::Compare { lhs, op, rhs } => write!(f, "{lhs} {op} {rhs}"),
+            Cond::Sat(formula) => write!(f, "({formula})"),
+            Cond::Entails(a, b) => write!(f, "({a} |= {b})"),
+        }
+    }
+}
+
+fn write_cond_operand(f: &mut fmt::Formatter<'_>, c: &Cond, parens: bool) -> fmt::Result {
+    if parens {
+        // A parenthesized Boolean group re-parses as a condition only when
+        // it is not formula-shaped; conditions containing comparisons or
+        // path predicates are safe.
+        write!(f, "({c})")
+    } else {
+        write!(f, "{c}")
+    }
+}
+
+impl fmt::Display for CmpOperand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CmpOperand::Path(p) => write!(f, "{p}"),
+            CmpOperand::Num(n) => write!(f, "{n}"),
+            CmpOperand::Str(s) => write!(f, "'{s}'"),
+            CmpOperand::Bool(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CmpOp::Eq => write!(f, "="),
+            CmpOp::Neq => write!(f, "!="),
+            CmpOp::Lt => write!(f, "<"),
+            CmpOp::Le => write!(f, "<="),
+            CmpOp::Gt => write!(f, ">"),
+            CmpOp::Ge => write!(f, ">="),
+            CmpOp::Contains => write!(f, "CONTAINS"),
+        }
+    }
+}
+
+impl fmt::Display for Formula {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Formula::And(a, b) => {
+                write_formula_operand(f, a, matches!(a.as_ref(), Formula::Or(..)))?;
+                write!(f, " AND ")?;
+                write_formula_operand(
+                    f,
+                    b,
+                    matches!(b.as_ref(), Formula::Or(..) | Formula::And(..)),
+                )
+            }
+            Formula::Or(a, b) => {
+                write!(f, "{a} OR ")?;
+                write_formula_operand(f, b, matches!(b.as_ref(), Formula::Or(..)))
+            }
+            Formula::Not(a) => {
+                write!(f, "NOT ")?;
+                write_formula_operand(
+                    f,
+                    a,
+                    matches!(a.as_ref(), Formula::Or(..) | Formula::And(..)),
+                )
+            }
+            Formula::Proj { vars, body } => {
+                write!(f, "(({}) | {body})", vars.join(","))
+            }
+            Formula::Pred { path, vars } => {
+                write!(f, "{path}")?;
+                if let Some(vs) = vars {
+                    write!(f, "({})", vs.join(","))?;
+                }
+                Ok(())
+            }
+            Formula::Chain { first, rest } => {
+                write!(f, "{first}")?;
+                for (op, a) in rest {
+                    let op_str = match op {
+                        CRelOp::Eq => "=",
+                        CRelOp::Neq => "!=",
+                        CRelOp::Le => "<=",
+                        CRelOp::Lt => "<",
+                        CRelOp::Ge => ">=",
+                        CRelOp::Gt => ">",
+                    };
+                    write!(f, " {op_str} {a}")?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+fn write_formula_operand(f: &mut fmt::Formatter<'_>, x: &Formula, parens: bool) -> fmt::Result {
+    if parens {
+        write!(f, "({x})")
+    } else {
+        write!(f, "{x}")
+    }
+}
+
+impl fmt::Display for Arith {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Arith::Num(n) => write!(f, "{n}"),
+            Arith::Var(v) => write!(f, "{v}"),
+            Arith::PathConst(p) => write!(f, "{p}"),
+            Arith::Add(a, b) => write!(f, "{a} + {}", arith_operand(b, Ctx::AddRhs)),
+            Arith::Sub(a, b) => write!(f, "{a} - {}", arith_operand(b, Ctx::AddRhs)),
+            Arith::Mul(a, b) => write!(
+                f,
+                "{} * {}",
+                arith_operand(a, Ctx::MulLhs),
+                arith_operand(b, Ctx::MulRhs)
+            ),
+            Arith::Neg(a) => write!(f, "-{}", arith_operand(a, Ctx::Neg)),
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Ctx {
+    /// Right operand of `+`/`-` (the parser is left-associative, so a
+    /// nested additive or a leading-minus term must be grouped).
+    AddRhs,
+    /// Left operand of `*` (left-associative nesting is fine; additive
+    /// operands bind looser).
+    MulLhs,
+    /// Right operand of `*` (nested `*` must be grouped to survive
+    /// left-associative re-parsing; `-x` re-parses as `Neg` here, fine).
+    MulRhs,
+    /// Operand of unary minus: `- a * b` re-parses as `(-a) * b`, so any
+    /// binary operand must be grouped.
+    Neg,
+}
+
+/// Parenthesize sub-expressions whose shape would re-parse differently in
+/// the given context.
+fn arith_operand(a: &Arith, ctx: Ctx) -> String {
+    let needs = match a {
+        Arith::Add(..) | Arith::Sub(..) => true,
+        Arith::Mul(..) => matches!(ctx, Ctx::MulRhs | Ctx::Neg),
+        // `--x` would lex as a line comment; `-x * y` re-parses as
+        // `(-x) * y`.
+        Arith::Neg(..) => matches!(ctx, Ctx::MulLhs | Ctx::Neg),
+        _ => false,
+    };
+    if needs {
+        format!("({a})")
+    } else {
+        format!("{a}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parser::{parse_formula, parse_query};
+
+    /// Round-trip: parse → print → parse yields the same AST.
+    fn roundtrip_query(src: &str) {
+        let q1 = parse_query(src).expect("first parse");
+        let printed = q1.to_string();
+        let q2 = parse_query(&printed).unwrap_or_else(|e| {
+            panic!("printed form failed to parse: {printed}\nerror: {e}")
+        });
+        assert_eq!(q1, q2, "round-trip drift via: {printed}");
+    }
+
+    fn roundtrip_formula(src: &str) {
+        let f1 = parse_formula(src).expect("first parse");
+        let printed = f1.to_string();
+        let f2 = parse_formula(&printed).unwrap_or_else(|e| {
+            panic!("printed form failed to parse: {printed}\nerror: {e}")
+        });
+        assert_eq!(f1, f2, "round-trip drift via: {printed}");
+    }
+
+    #[test]
+    fn paper_queries_roundtrip() {
+        roundtrip_query("SELECT Y FROM Desk X WHERE X.drawer[Y].color['red']");
+        roundtrip_query(
+            "SELECT CO, ((u,v) | E AND D AND x = 6 AND y = 4)
+             FROM Office_Object CO WHERE CO.extent[E] AND CO.translation[D]",
+        );
+        roundtrip_query(
+            "SELECT DSK, ((w,z) | DSK.drawer.extent(w,z) AND z >= w)
+             FROM Desk DSK
+             WHERE DSK.color = 'red' AND DSK.drawer_center[C] AND (C(p,q) |= p = 0)",
+        );
+        roundtrip_query(
+            "CREATE VIEW Overlap AS SUBCLASS OF Thing
+             SELECT first = X, second = Y
+             SIGNATURE first => Office_Object, second =>> Office_Object
+             FROM Office_Object X, Office_Object Y
+             OID FUNCTION OF X, Y
+             WHERE X.extent[U] AND Y.extent[V]",
+        );
+        roundtrip_query(
+            "SELECT MAX(2*x + y SUBJECT TO ((x,y) | C(x,y) AND x >= 0)) FROM Catalog C2",
+        );
+    }
+
+    #[test]
+    fn boolean_structure_roundtrips() {
+        roundtrip_query(
+            "SELECT X FROM Desk X WHERE (X.color = 'red' OR X.color = 'blue') AND X.drawer[D]",
+        );
+        roundtrip_query("SELECT X FROM Desk X WHERE NOT X.color = 'red'");
+        roundtrip_query(
+            "SELECT X FROM Desk X WHERE NOT (X.color = 'red' AND X.color = 'blue')",
+        );
+    }
+
+    #[test]
+    fn formulas_roundtrip() {
+        roundtrip_formula("-4 <= w AND w <= 4");
+        roundtrip_formula("0 <= x <= 10");
+        roundtrip_formula("((u,v) | E AND D AND x = 6)");
+        roundtrip_formula("E(w,z) OR D(w,z) AND q = 1");
+        roundtrip_formula("(E(w,z) OR D(w,z)) AND q = 1");
+        roundtrip_formula("NOT (x <= 1 OR y >= 2)");
+        roundtrip_formula("(x + 1) * 2 <= y - 3");
+        roundtrip_formula("x - -1 = 0");
+        roundtrip_formula("((u) | ((v) | u = v AND v >= 0))");
+    }
+
+    #[test]
+    fn printer_output_is_readable() {
+        let q = parse_query(
+            "SELECT CO, ((u,v) | E AND D) FROM Office_Object CO WHERE CO.extent[E]",
+        )
+        .unwrap();
+        assert_eq!(
+            q.to_string(),
+            "SELECT CO, ((u,v) | E AND D) FROM Office_Object CO WHERE CO.extent[E]"
+        );
+    }
+}

@@ -1,0 +1,222 @@
+//! Schema-derived implicit equality constraints (§3.2 / §4.1).
+//!
+//! LyriC's most distinctive semantic rule: CST attributes are declared with
+//! variable lists (`drawer_center : CST(p,q)`), classes export a variable
+//! *interface* (`Drawer(x,y)`), and attributes ranging over a class may
+//! *rename* that interface (`drawer : (p,q)`). When CST attributes are used
+//! together inside one query formula, the equalities implied by these
+//! declarations are conjoined automatically — the paper's example derives
+//! `p = x1 ∧ q = y1` from `DSK.drawer_center[DC]` and
+//! `DSK.drawer.translation` renamed to `(w1,z1,x1,y1,u1,v1)`.
+//!
+//! The implementation models a **scope** per *access path* to an object
+//! (the chain of oids from the path root): each CST attribute's declared
+//! variables live in its owner's scope, and an interface renaming links
+//! `(owner, actualᵢ)` to `(part, interfaceᵢ)`. Keying scopes by access
+//! chain rather than bare object identity matters when one catalog object
+//! is shared by several in-room objects: each usage has its own coordinate
+//! variables, so the two rooms' desks must *not* have their local frames
+//! unified merely because they share `standard_desk`. A query formula attaches *query variables* to
+//! scope nodes positionally (via the `O(x₁,…,xₙ)` lists, or the schema
+//! names when the list is omitted). A union–find over the links then emits
+//! one equality atom per pair of distinct query variables that land in the
+//! same node class.
+
+use lyric_constraint::{Atom, LinExpr, Var};
+use lyric_oodb::Oid;
+use std::collections::BTreeMap;
+
+/// A scope: the access chain of oids leading to an object.
+pub(crate) type ScopeKey = Vec<Oid>;
+
+/// An interface-renaming fact discovered while walking a path:
+/// `(parent scope, pairs.i.0) ≡ (child scope, pairs.i.1)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct ScopeLink {
+    pub parent: ScopeKey,
+    pub child: ScopeKey,
+    pub pairs: Vec<(Var, Var)>,
+}
+
+/// A CST-object reference of a formula, resolved against a binding.
+#[derive(Debug, Clone)]
+pub(crate) struct ResolvedPred {
+    /// Positional query-variable names.
+    pub query_vars: Vec<Var>,
+    /// The owning scope (access chain) of the declared variables.
+    pub owner: ScopeKey,
+    /// The attribute's declared variable list (schema names).
+    pub declared: Vec<Var>,
+}
+
+/// Node key: a declared variable in an access-path scope.
+type Node = (ScopeKey, Var);
+
+/// Union–find over scope nodes with attached query variables.
+#[derive(Default)]
+struct UnionFind {
+    parent: BTreeMap<Node, Node>,
+}
+
+impl UnionFind {
+    fn find(&mut self, n: &Node) -> Node {
+        let p = match self.parent.get(n) {
+            None => return n.clone(),
+            Some(p) => p.clone(),
+        };
+        if &p == n {
+            return p;
+        }
+        let root = self.find(&p);
+        self.parent.insert(n.clone(), root.clone());
+        root
+    }
+
+    fn union(&mut self, a: &Node, b: &Node) {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra != rb {
+            self.parent.insert(ra, rb);
+        }
+    }
+}
+
+/// Derive the implicit equality atoms for one formula: `preds` are its
+/// resolved CST references, `links` every renaming fact in scope (gathered
+/// from all path walks of the query so far).
+pub(crate) fn implicit_equalities(preds: &[ResolvedPred], links: &[ScopeLink]) -> Vec<Atom> {
+    let mut uf = UnionFind::default();
+    for link in links {
+        for (pv, cv) in &link.pairs {
+            uf.union(
+                &(link.parent.clone(), pv.clone()),
+                &(link.child.clone(), cv.clone()),
+            );
+        }
+    }
+    // Attach query variables to node classes.
+    let mut attached: BTreeMap<Node, Vec<Var>> = BTreeMap::new();
+    for p in preds {
+        debug_assert_eq!(p.query_vars.len(), p.declared.len());
+        for (decl, qv) in p.declared.iter().zip(&p.query_vars) {
+            let root = uf.find(&(p.owner.clone(), decl.clone()));
+            let entry = attached.entry(root).or_default();
+            if !entry.contains(qv) {
+                entry.push(qv.clone());
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for (_, qvars) in attached {
+        for other in &qvars[1..] {
+            out.push(Atom::eq(
+                LinExpr::var(qvars[0].clone()),
+                LinExpr::var(other.clone()),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lyric_constraint::Conjunction;
+
+    fn v(n: &str) -> Var {
+        Var::new(n)
+    }
+
+    fn pred(owner: &[Oid], declared: &[&str], query: &[&str]) -> ResolvedPred {
+        ResolvedPred {
+            query_vars: query.iter().map(|s| v(s)).collect(),
+            owner: owner.to_vec(),
+            declared: declared.iter().map(|s| v(s)).collect(),
+        }
+    }
+
+    #[test]
+    fn paper_desk_drawer_equalities() {
+        // DSK.drawer_center declared CST(p,q), queried as DC(p,q);
+        // drawer : (p,q) renames Drawer(x,y);
+        // drawer.translation declared CST(w,z,x,y,u,v), queried with
+        // (w1,z1,x1,y1,u1,v1). Expect p = x1 and q = y1.
+        let dsk = vec![Oid::named("dsk")];
+        let drw = vec![Oid::named("dsk"), Oid::named("drw")];
+        let preds = vec![
+            pred(&dsk, &["p", "q"], &["p", "q"]),
+            pred(
+                &drw,
+                &["w", "z", "x", "y", "u", "v"],
+                &["w1", "z1", "x1", "y1", "u1", "v1"],
+            ),
+        ];
+        let links = vec![ScopeLink {
+            parent: dsk.clone(),
+            child: drw.clone(),
+            pairs: vec![(v("p"), v("x")), (v("q"), v("y"))],
+        }];
+        let eqs = implicit_equalities(&preds, &links);
+        let got = Conjunction::of(eqs);
+        let want = Conjunction::of([
+            Atom::eq(LinExpr::var(v("p")), LinExpr::var(v("x1"))),
+            Atom::eq(LinExpr::var(v("q")), LinExpr::var(v("y1"))),
+        ]);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn same_attribute_two_query_names() {
+        // The same attribute referenced twice with different query variables
+        // forces those variables equal.
+        let o = vec![Oid::named("o")];
+        let preds = vec![pred(&o, &["w"], &["a"]), pred(&o, &["w"], &["b"])];
+        let eqs = implicit_equalities(&preds, &[]);
+        assert_eq!(eqs, vec![Atom::eq(LinExpr::var(v("a")), LinExpr::var(v("b")))]);
+    }
+
+    #[test]
+    fn distinct_objects_do_not_unify() {
+        // Two different desks' (p,q): no equality even with equal names in
+        // the schema (each instance has its own scope).
+        let d1 = vec![Oid::named("d1")];
+        let d2 = vec![Oid::named("d2")];
+        let preds = vec![pred(&d1, &["p"], &["a"]), pred(&d2, &["p"], &["b"])];
+        assert!(implicit_equalities(&preds, &[]).is_empty());
+    }
+
+    #[test]
+    fn transitive_links() {
+        // room → desk → drawer chain of renamings: query vars at both ends
+        // must be equated.
+        let room = vec![Oid::named("room")];
+        let desk = vec![Oid::named("room"), Oid::named("desk")];
+        let drawer = vec![Oid::named("room"), Oid::named("desk"), Oid::named("drawer")];
+        let links = vec![
+            ScopeLink {
+                parent: room.clone(),
+                child: desk.clone(),
+                pairs: vec![(v("a"), v("b"))],
+            },
+            ScopeLink {
+                parent: desk.clone(),
+                child: drawer.clone(),
+                pairs: vec![(v("b"), v("c"))],
+            },
+        ];
+        let preds = vec![
+            pred(&room, &["a"], &["qa"]),
+            pred(&drawer, &["c"], &["qc"]),
+        ];
+        let eqs = implicit_equalities(&preds, &links);
+        assert_eq!(eqs.len(), 1);
+        assert_eq!(eqs[0], Atom::eq(LinExpr::var(v("qa")), LinExpr::var(v("qc"))));
+    }
+
+    #[test]
+    fn same_query_var_attached_twice_emits_nothing() {
+        let o = vec![Oid::named("o")];
+        let preds = vec![pred(&o, &["w"], &["a"]), pred(&o, &["w"], &["a"])];
+        assert!(implicit_equalities(&preds, &[]).is_empty());
+    }
+}

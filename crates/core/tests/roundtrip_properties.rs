@@ -1,0 +1,229 @@
+//! Generative round-trip property: for random well-formed ASTs,
+//! `parse(print(ast)) == ast`. This pins the printer and parser to each
+//! other across the whole grammar, far beyond the hand-picked §4.1
+//! examples.
+
+use lyric::ast::*;
+use lyric::{parse_formula, parse_query};
+use lyric_arith::Rational;
+use proptest::prelude::*;
+
+// Identifier pools chosen to avoid keywords and stay parseable.
+const CLASSES: &[&str] = &["Desk", "Drawer", "Office_Object", "Region"];
+const OBJ_VARS: &[&str] = &["X", "Y", "CO", "DSK"];
+const ATTRS: &[&str] = &["extent", "translation", "color", "drawer", "location"];
+const CVARS: &[&str] = &["w", "z", "u", "v", "p", "q"];
+
+fn ident(pool: &'static [&'static str]) -> impl Strategy<Value = String> {
+    (0..pool.len()).prop_map(move |i| pool[i].to_string())
+}
+
+fn selector_strategy() -> impl Strategy<Value = Selector> {
+    // No `Lit(Named)` selectors: the parser always reads bare identifiers
+    // as `Var` (resolution to ground named oids happens at evaluation), so
+    // `Lit(Named)` cannot round-trip textually.
+    prop_oneof![
+        ident(OBJ_VARS).prop_map(Selector::Var),
+        (-99..=99i64).prop_map(|i| Selector::Lit(OidLit::Int(i))),
+        Just(Selector::Lit(OidLit::Str("red".into()))),
+        any::<bool>().prop_map(|b| Selector::Lit(OidLit::Bool(b))),
+    ]
+}
+
+fn path_strategy() -> impl Strategy<Value = PathExpr> {
+    (
+        ident(OBJ_VARS),
+        proptest::collection::vec(
+            (ident(ATTRS), proptest::option::of(selector_strategy())),
+            0..3,
+        ),
+    )
+        .prop_map(|(root, steps)| PathExpr {
+            root: Selector::Var(root),
+            steps: steps
+                .into_iter()
+                .map(|(attr, selector)| Step { attr, selector })
+                .collect(),
+        })
+}
+
+fn arith_strategy() -> impl Strategy<Value = Arith> {
+    let leaf = prop_oneof![
+        // Non-negative integers only: "-3" re-parses as Neg(3).
+        (0..=50i64).prop_map(|n| Arith::Num(Rational::from_int(n))),
+        ident(CVARS).prop_map(Arith::Var),
+        path_strategy().prop_filter("paths with steps only (bare idents parse as Var)",
+            |p| !p.steps.is_empty()).prop_map(Arith::PathConst),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Arith::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Arith::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Arith::Mul(Box::new(a), Box::new(b))),
+            inner.prop_map(|a| Arith::Neg(Box::new(a))),
+        ]
+    })
+}
+
+fn crelop_strategy() -> impl Strategy<Value = CRelOp> {
+    prop_oneof![
+        Just(CRelOp::Eq),
+        Just(CRelOp::Neq),
+        Just(CRelOp::Le),
+        Just(CRelOp::Lt),
+        Just(CRelOp::Ge),
+        Just(CRelOp::Gt),
+    ]
+}
+
+fn formula_strategy() -> impl Strategy<Value = Formula> {
+    let chain = (
+        arith_strategy(),
+        proptest::collection::vec((crelop_strategy(), arith_strategy()), 1..3),
+    )
+        .prop_map(|(first, rest)| Formula::Chain { first, rest });
+    let pred = (
+        path_strategy(),
+        proptest::option::of(proptest::collection::vec(ident(CVARS), 1..3)),
+    )
+        .prop_map(|(path, vars)| Formula::Pred { path, vars });
+    let leaf = prop_oneof![chain, pred];
+    leaf.prop_recursive(3, 20, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Formula::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| Formula::Or(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| Formula::Not(Box::new(a))),
+            (proptest::collection::vec(ident(CVARS), 1..3), inner)
+                .prop_map(|(mut vars, body)| {
+                    vars.dedup();
+                    Formula::Proj { vars, body: Box::new(body) }
+                }),
+        ]
+    })
+}
+
+fn cmp_operand_strategy() -> impl Strategy<Value = CmpOperand> {
+    prop_oneof![
+        path_strategy().prop_map(CmpOperand::Path),
+        (0..=50i64).prop_map(|n| CmpOperand::Num(Rational::from_int(n))),
+        (-50..=-1i64).prop_map(|n| CmpOperand::Num(Rational::from_int(n))),
+        Just(CmpOperand::Str("red".into())),
+        any::<bool>().prop_map(CmpOperand::Bool),
+    ]
+}
+
+fn cmp_op_strategy() -> impl Strategy<Value = CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Neq),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+        Just(CmpOp::Contains),
+    ]
+}
+
+/// Conditions are generated in the parenthesis-free normal form the
+/// printer emits without grouping: left-folded OR-chains of left-folded
+/// AND-chains of (possibly negated) leaves. Parenthesized Boolean groups
+/// are intentionally excluded: a group like `(X.a = 1 OR Y.b = 2)` is
+/// *defined* to re-parse as a CST satisfiability predicate when it is
+/// formula-shaped (the parser's documented formula-first policy, matching
+/// the paper's convention of parenthesizing CST predicates).
+fn cond_strategy() -> impl Strategy<Value = Cond> {
+    let leaf = prop_oneof![
+        // A bare path predicate must have at least one step: a bare
+        // variable would be ambiguous with other leaves when reprinted.
+        path_strategy()
+            .prop_filter("non-trivial path", |p| !p.steps.is_empty())
+            .prop_map(Cond::PathPred),
+        (cmp_operand_strategy(), cmp_op_strategy(), cmp_operand_strategy())
+            .prop_map(|(lhs, op, rhs)| Cond::Compare { lhs, op, rhs }),
+        formula_strategy().prop_map(Cond::Sat),
+        (formula_strategy(), formula_strategy())
+            .prop_map(|(a, b)| Cond::Entails(a, b)),
+    ];
+    let maybe_not = prop_oneof![
+        3 => leaf.clone(),
+        1 => leaf.prop_map(|c| Cond::Not(Box::new(c))),
+    ];
+    let and_chain = proptest::collection::vec(maybe_not, 1..4).prop_map(|leaves| {
+        leaves
+            .into_iter()
+            .reduce(|a, b| Cond::And(Box::new(a), Box::new(b)))
+            .expect("non-empty")
+    });
+    proptest::collection::vec(and_chain, 1..3).prop_map(|chains| {
+        chains
+            .into_iter()
+            .reduce(|a, b| Cond::Or(Box::new(a), Box::new(b)))
+            .expect("non-empty")
+    })
+}
+
+fn select_value_strategy() -> impl Strategy<Value = SelectValue> {
+    prop_oneof![
+        path_strategy().prop_map(SelectValue::Path),
+        (proptest::collection::vec(ident(CVARS), 1..3), formula_strategy()).prop_map(
+            |(mut vars, body)| {
+                vars.dedup();
+                SelectValue::Formula(Formula::Proj { vars, body: Box::new(body) })
+            }
+        ),
+        (arith_strategy(), formula_strategy()).prop_map(|(objective, formula)| {
+            SelectValue::Optimize { kind: OptKind::Max, objective, formula }
+        }),
+    ]
+}
+
+fn query_strategy() -> impl Strategy<Value = Query> {
+    (
+        proptest::collection::vec(select_value_strategy(), 1..3),
+        proptest::collection::vec((ident(CLASSES), ident(OBJ_VARS)), 1..3),
+        proptest::option::of(cond_strategy()),
+    )
+        .prop_map(|(values, mut from, where_clause)| {
+            // Distinct FROM variables keep the query well-formed.
+            from.sort_by(|a, b| a.1.cmp(&b.1));
+            from.dedup_by(|a, b| a.1 == b.1);
+            Query::Select(SelectQuery {
+                items: values
+                    .into_iter()
+                    .map(|value| SelectItem { label: None, value })
+                    .collect(),
+                signature: vec![],
+                from: from
+                    .into_iter()
+                    .map(|(class, var)| FromItem { class, var })
+                    .collect(),
+                oid_function: None,
+                where_clause,
+            })
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn formulas_roundtrip(f in formula_strategy()) {
+        let printed = f.to_string();
+        let reparsed = parse_formula(&printed)
+            .unwrap_or_else(|e| panic!("unparseable print: {printed}\n{e}"));
+        prop_assert_eq!(&reparsed, &f, "drift via {}", printed);
+    }
+
+    #[test]
+    fn queries_roundtrip(q in query_strategy()) {
+        let printed = q.to_string();
+        let reparsed = parse_query(&printed)
+            .unwrap_or_else(|e| panic!("unparseable print: {printed}\n{e}"));
+        prop_assert_eq!(&reparsed, &q, "drift via {}", printed);
+    }
+}

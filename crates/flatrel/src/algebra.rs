@@ -1,0 +1,305 @@
+//! Relational algebra over constraint relations (SQL with linear
+//! constraints, KKR93/BJM93).
+//!
+//! Every operator is constraint-aware:
+//!
+//! * **selection** may filter on oid columns *or* conjoin constraint atoms
+//!   (dropping tuples that become unsatisfiable — the paper's canonical
+//!   "deletion of inconsistent disjuncts");
+//! * **join** concatenates oid columns and conjoins constraints (shared
+//!   constraint variable names unify, exactly the natural-join analogy of
+//!   §3.2);
+//! * **projection** keeps a subset of oid columns and a subset of
+//!   constraint variables, eliminating the dropped ones per tuple with
+//!   equality substitution + Fourier–Motzkin (disequation case-splits
+//!   produce extra tuples, which DNF-at-the-relation-level makes legal).
+
+use crate::relation::Relation;
+use lyric_constraint::{Atom, Conjunction, Dnf, Var};
+use lyric_oodb::Oid;
+use std::collections::BTreeMap;
+
+/// Equality join condition: pairs of (left column, right column).
+pub type JoinOn<'a> = &'a [(&'a str, &'a str)];
+
+impl Relation {
+    /// σ: keep tuples whose column equals the oid.
+    pub fn select_eq(&self, column: &str, value: &Oid) -> Relation {
+        let idx = self.col(column).expect("unknown column in select_eq");
+        let mut out = Relation::new(
+            self.name().to_string(),
+            self.columns().to_vec(),
+            self.cst_vars().to_vec(),
+        );
+        for t in self.tuples() {
+            if &t.values[idx] == value {
+                out.push(t.values.clone(), t.constraint.clone());
+            }
+        }
+        out
+    }
+
+    /// σ: conjoin constraint atoms to every tuple, dropping tuples that
+    /// become unsatisfiable (one feasibility check per tuple).
+    pub fn select_constraint(&self, atoms: &[Atom]) -> Relation {
+        let extra = Conjunction::of(atoms.iter().cloned());
+        let mut out = Relation::new(
+            self.name().to_string(),
+            self.columns().to_vec(),
+            self.cst_vars().to_vec(),
+        );
+        for t in self.tuples() {
+            let c = t.constraint.and(&extra);
+            if c.satisfiable() {
+                out.push(t.values.clone(), c);
+            }
+        }
+        out
+    }
+
+    /// ⋈: natural join on explicit oid-column pairs; constraints conjoin
+    /// (shared constraint variables unify by name).
+    pub fn join(&self, other: &Relation, on: JoinOn<'_>) -> Relation {
+        let left_idx: Vec<usize> =
+            on.iter().map(|(l, _)| self.col(l).expect("left join column")).collect();
+        let right_idx: Vec<usize> =
+            on.iter().map(|(_, r)| other.col(r).expect("right join column")).collect();
+        // Output columns: all left + right-except-join-columns. Name
+        // clashes on non-join columns are prefixed with the relation name.
+        let mut columns = self.columns().to_vec();
+        let mut kept_right: Vec<usize> = Vec::new();
+        for (i, c) in other.columns().iter().enumerate() {
+            if right_idx.contains(&i) {
+                continue;
+            }
+            kept_right.push(i);
+            if columns.contains(c) {
+                columns.push(format!("{}.{}", other.name(), c));
+            } else {
+                columns.push(c.clone());
+            }
+        }
+        let mut cst_vars = self.cst_vars().to_vec();
+        for v in other.cst_vars() {
+            if !cst_vars.contains(v) {
+                cst_vars.push(v.clone());
+            }
+        }
+        let mut out = Relation::new(
+            format!("({}⋈{})", self.name(), other.name()),
+            columns,
+            cst_vars,
+        );
+        for lt in self.tuples() {
+            for rt in other.tuples() {
+                if left_idx
+                    .iter()
+                    .zip(&right_idx)
+                    .any(|(&li, &ri)| lt.values[li] != rt.values[ri])
+                {
+                    continue;
+                }
+                let mut values = lt.values.clone();
+                for &i in &kept_right {
+                    values.push(rt.values[i].clone());
+                }
+                let c = lt.constraint.and(&rt.constraint);
+                if c.satisfiable() {
+                    out.push(values, c);
+                }
+            }
+        }
+        out
+    }
+
+    /// π: keep the named oid columns and constraint variables, eliminating
+    /// dropped constraint variables tuple-by-tuple (case-splitting
+    /// disequations into extra tuples).
+    pub fn project(&self, columns: &[&str], keep_vars: &[Var]) -> Relation {
+        let idx: Vec<usize> =
+            columns.iter().map(|c| self.col(c).expect("unknown column in project")).collect();
+        let drop_vars: Vec<Var> =
+            self.cst_vars().iter().filter(|v| !keep_vars.contains(v)).cloned().collect();
+        let mut out = Relation::new(
+            self.name().to_string(),
+            columns.iter().map(|s| s.to_string()).collect(),
+            keep_vars.to_vec(),
+        );
+        for t in self.tuples() {
+            let values: Vec<Oid> = idx.iter().map(|&i| t.values[i].clone()).collect();
+            let dnf = Dnf::from_conjunction(t.constraint.clone()).eliminate_all(drop_vars.iter());
+            for d in dnf.disjuncts() {
+                out.push(values.clone(), d.clone());
+            }
+        }
+        out.dedup();
+        out
+    }
+
+    /// ρ: rename constraint variables.
+    pub fn rename_vars(&self, map: &BTreeMap<Var, Var>) -> Relation {
+        let cst_vars: Vec<Var> =
+            self.cst_vars().iter().map(|v| map.get(v).unwrap_or(v).clone()).collect();
+        let mut out =
+            Relation::new(self.name().to_string(), self.columns().to_vec(), cst_vars);
+        for t in self.tuples() {
+            out.push(t.values.clone(), t.constraint.rename(map));
+        }
+        out
+    }
+
+    /// ρ: rename a column.
+    pub fn rename_col(&self, from: &str, to: &str) -> Relation {
+        let columns: Vec<String> = self
+            .columns()
+            .iter()
+            .map(|c| if c == from { to.to_string() } else { c.clone() })
+            .collect();
+        let mut out =
+            Relation::new(self.name().to_string(), columns, self.cst_vars().to_vec());
+        for t in self.tuples() {
+            out.push(t.values.clone(), t.constraint.clone());
+        }
+        out
+    }
+
+    /// ∪: union of compatible relations.
+    pub fn union(&self, other: &Relation) -> Relation {
+        assert_eq!(self.columns(), other.columns(), "union schema mismatch");
+        let mut out = self.clone();
+        for t in other.tuples() {
+            out.push(t.values.clone(), t.constraint.clone());
+        }
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lyric_constraint::LinExpr;
+
+    fn x() -> LinExpr {
+        LinExpr::var(Var::new("x"))
+    }
+    fn y() -> LinExpr {
+        LinExpr::var(Var::new("y"))
+    }
+
+    fn interval_rel(name: &str, entries: &[(i64, i64, i64)]) -> Relation {
+        // (id; x) with lo <= x <= hi
+        let mut r = Relation::new(name, vec!["id".into()], vec![Var::new("x")]);
+        for &(id, lo, hi) in entries {
+            r.push(
+                vec![Oid::Int(id)],
+                Conjunction::of([
+                    Atom::ge(x(), LinExpr::from(lo)),
+                    Atom::le(x(), LinExpr::from(hi)),
+                ]),
+            );
+        }
+        r
+    }
+
+    #[test]
+    fn select_eq_and_constraint() {
+        let r = interval_rel("R", &[(1, 0, 10), (2, 20, 30)]);
+        assert_eq!(r.select_eq("id", &Oid::Int(1)).len(), 1);
+        // x >= 15 keeps only the second tuple.
+        let s = r.select_constraint(&[Atom::ge(x(), LinExpr::from(15))]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.tuples()[0].values[0], Oid::Int(2));
+    }
+
+    #[test]
+    fn join_unifies_constraint_vars() {
+        let r = interval_rel("R", &[(1, 0, 10)]);
+        let mut s = Relation::new("S", vec!["id".into()], vec![Var::new("x")]);
+        s.push(
+            vec![Oid::Int(1)],
+            Conjunction::of([Atom::ge(x(), LinExpr::from(5))]),
+        );
+        // Same id, constraints on the same variable x: conjunction is
+        // 5 <= x <= 10.
+        let j = r.join(&s, &[("id", "id")]);
+        assert_eq!(j.len(), 1);
+        assert!(j.tuples()[0].constraint.implies_atom(&Atom::ge(x(), LinExpr::from(5))));
+        assert!(j.tuples()[0].constraint.implies_atom(&Atom::le(x(), LinExpr::from(10))));
+        // Disjoint id: no tuples.
+        let mut s2 = Relation::new("S2", vec!["id".into()], vec![]);
+        s2.push(vec![Oid::Int(9)], Conjunction::top());
+        assert!(r.join(&s2, &[("id", "id")]).is_empty());
+        // Unsatisfiable combination dropped.
+        let mut s3 = Relation::new("S3", vec!["id".into()], vec![Var::new("x")]);
+        s3.push(
+            vec![Oid::Int(1)],
+            Conjunction::of([Atom::ge(x(), LinExpr::from(99))]),
+        );
+        assert!(r.join(&s3, &[("id", "id")]).is_empty());
+    }
+
+    #[test]
+    fn projection_eliminates_variables() {
+        // R(id; x, y) with y = x + 1, 0 <= x <= 10; project out x.
+        let mut r = Relation::new(
+            "R",
+            vec!["id".into()],
+            vec![Var::new("x"), Var::new("y")],
+        );
+        r.push(
+            vec![Oid::Int(1)],
+            Conjunction::of([
+                Atom::eq(y(), x() + LinExpr::from(1)),
+                Atom::ge(x(), LinExpr::from(0)),
+                Atom::le(x(), LinExpr::from(10)),
+            ]),
+        );
+        let p = r.project(&["id"], &[Var::new("y")]);
+        assert_eq!(p.len(), 1);
+        let c = &p.tuples()[0].constraint;
+        assert!(c.implies_atom(&Atom::ge(y(), LinExpr::from(1))));
+        assert!(c.implies_atom(&Atom::le(y(), LinExpr::from(11))));
+        assert!(!c.vars().contains(&Var::new("x")));
+    }
+
+    #[test]
+    fn projection_splits_disequations() {
+        // 0 <= x <= 10 ∧ y <= x ∧ x ≠ 5: eliminating x case-splits.
+        let mut r = Relation::new("R", vec![], vec![Var::new("x"), Var::new("y")]);
+        r.push(
+            vec![],
+            Conjunction::of([
+                Atom::ge(x(), LinExpr::from(0)),
+                Atom::le(x(), LinExpr::from(10)),
+                Atom::le(y(), x()),
+                Atom::neq(x(), LinExpr::from(5)),
+            ]),
+        );
+        let p = r.project(&[], &[Var::new("y")]);
+        // The union of the disjuncts is y <= 10.
+        let union = p
+            .tuples()
+            .iter()
+            .fold(Dnf::bottom(), |acc, t| acc.or(&Dnf::from_conjunction(t.constraint.clone())));
+        let expect =
+            Dnf::from_conjunction(Conjunction::of([Atom::le(y(), LinExpr::from(10))]));
+        assert!(union.equivalent(&expect), "got {union}");
+    }
+
+    #[test]
+    fn rename_and_union() {
+        let r = interval_rel("R", &[(1, 0, 1)]);
+        let mut map = BTreeMap::new();
+        map.insert(Var::new("x"), Var::new("t"));
+        let renamed = r.rename_vars(&map);
+        assert_eq!(renamed.cst_vars(), &[Var::new("t")]);
+        let r2 = interval_rel("R", &[(2, 5, 6)]);
+        let u = r.union(&r2);
+        assert_eq!(u.len(), 2);
+        // Union dedups.
+        assert_eq!(u.union(&r2).len(), 2);
+        let rc = r.rename_col("id", "obj");
+        assert_eq!(rc.col("obj"), Some(0));
+    }
+}

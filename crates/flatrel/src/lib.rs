@@ -1,0 +1,52 @@
+//! Flat constraint relations — the §5 substrate of the LyriC paper.
+//!
+//! §5 argues LyriC's PTIME data complexity by translation: a constraint
+//! object base "is essentially a collection of flat relations" (class
+//! extents plus attribute relations, set-valued ones unnested), and a
+//! LyriC query flattens into SQL **with linear constraints** in the style
+//! of KKR93/BJM93, where each tuple carries a conjunction of constraints
+//! and a relation denotes the disjunction of its tuples.
+//!
+//! This crate implements that substrate from scratch:
+//!
+//! * [`Relation`] / [`ConstraintTuple`] — generalized relations whose
+//!   tuples combine ordinary oid columns with a conjunctive constraint
+//!   over named real variables;
+//! * a relational **algebra** with constraint-aware selection, natural
+//!   join (conjoining constraints), projection (with restricted variable
+//!   elimination), union, and renaming;
+//! * [`FlatDb::from_database`] — the §5 translation of an object database
+//!   into flat relations;
+//! * it serves as the *naive baseline* of experiment E7: paper queries
+//!   expressed as algebra plans over the translation must return exactly
+//!   the answers of the direct object evaluator.
+
+//! # Example
+//!
+//! ```
+//! use lyric_flatrel::Relation;
+//! use lyric_constraint::{Atom, Conjunction, LinExpr, Var};
+//! use lyric_oodb::Oid;
+//!
+//! // R(id; x): each tuple pairs an oid with a constraint over x.
+//! let mut r = Relation::new("R", vec!["id".into()], vec![Var::new("x")]);
+//! let x = || LinExpr::var(Var::new("x"));
+//! r.push(vec![Oid::Int(1)],
+//!        Conjunction::of([Atom::ge(x(), LinExpr::from(0)),
+//!                         Atom::le(x(), LinExpr::from(10))]));
+//! r.push(vec![Oid::Int(2)],
+//!        Conjunction::of([Atom::ge(x(), LinExpr::from(20))]));
+//!
+//! // Constraint selection drops tuples that become infeasible.
+//! let hot = r.select_constraint(&[Atom::ge(x(), LinExpr::from(15))]);
+//! assert_eq!(hot.len(), 1);
+//! assert_eq!(hot.tuples()[0].values[0], Oid::Int(2));
+//! ```
+
+mod algebra;
+mod relation;
+mod translate;
+
+pub use algebra::JoinOn;
+pub use relation::{ConstraintTuple, Relation};
+pub use translate::FlatDb;

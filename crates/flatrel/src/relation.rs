@@ -1,0 +1,160 @@
+//! Generalized (constraint) relations.
+
+use lyric_constraint::{Conjunction, Var};
+use lyric_oodb::Oid;
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// One generalized tuple: oid values for the ordinary columns plus a
+/// conjunction of linear constraints over the relation's constraint
+/// variables. Per KKR93, the tuple denotes the (possibly infinite) set of
+/// real instantiations of the constraint variables satisfying the
+/// conjunction, tagged by the oid values; a relation denotes the
+/// disjunction of its tuples.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ConstraintTuple {
+    pub values: Vec<Oid>,
+    pub constraint: Conjunction,
+}
+
+/// A flat constraint relation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Relation {
+    name: String,
+    columns: Vec<String>,
+    /// The constraint variables this relation's tuples may constrain.
+    cst_vars: Vec<Var>,
+    tuples: Vec<ConstraintTuple>,
+}
+
+impl Relation {
+    /// An empty relation with the given schema.
+    pub fn new(
+        name: impl Into<String>,
+        columns: Vec<String>,
+        cst_vars: Vec<Var>,
+    ) -> Relation {
+        let columns_set: BTreeSet<&String> = columns.iter().collect();
+        assert_eq!(columns_set.len(), columns.len(), "duplicate column name");
+        Relation { name: name.into(), columns, cst_vars, tuples: Vec::new() }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    pub fn columns(&self) -> &[String] {
+        &self.columns
+    }
+
+    pub fn cst_vars(&self) -> &[Var] {
+        &self.cst_vars
+    }
+
+    pub fn tuples(&self) -> &[ConstraintTuple] {
+        &self.tuples
+    }
+
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Index of a column by name.
+    pub fn col(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c == name)
+    }
+
+    /// Append a tuple. Panics on arity mismatch; tuples whose constraint
+    /// is syntactically false are dropped.
+    pub fn push(&mut self, values: Vec<Oid>, constraint: Conjunction) {
+        assert_eq!(values.len(), self.columns.len(), "tuple arity mismatch");
+        if constraint.is_syntactically_false() {
+            return;
+        }
+        self.tuples.push(ConstraintTuple { values, constraint });
+    }
+
+    /// Append preserving duplicates policy: sorted/deduped on demand.
+    pub fn dedup(&mut self) {
+        self.tuples.sort();
+        self.tuples.dedup();
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, c) in self.columns.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{c}")?;
+        }
+        if !self.cst_vars.is_empty() {
+            write!(f, "; ")?;
+            for (i, v) in self.cst_vars.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                write!(f, "{v}")?;
+            }
+        }
+        writeln!(f, ") [{} tuples]", self.tuples.len())?;
+        for t in &self.tuples {
+            write!(f, "  (")?;
+            for (i, v) in t.values.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{v}")?;
+            }
+            writeln!(f, ") | {}", t.constraint)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lyric_constraint::{Atom, LinExpr};
+
+    #[test]
+    fn schema_and_push() {
+        let mut r = Relation::new("R", vec!["a".into(), "b".into()], vec![Var::new("x")]);
+        assert_eq!(r.col("b"), Some(1));
+        assert_eq!(r.col("z"), None);
+        r.push(vec![Oid::Int(1), Oid::Int(2)], Conjunction::top());
+        assert_eq!(r.len(), 1);
+        // Syntactically false constraints are dropped at insert.
+        r.push(vec![Oid::Int(3), Oid::Int(4)], Conjunction::bottom());
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_checked() {
+        let mut r = Relation::new("R", vec!["a".into()], vec![]);
+        r.push(vec![Oid::Int(1), Oid::Int(2)], Conjunction::top());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicate_columns_rejected() {
+        let _ = Relation::new("R", vec!["a".into(), "a".into()], vec![]);
+    }
+
+    #[test]
+    fn dedup() {
+        let mut r = Relation::new("R", vec!["a".into()], vec![Var::new("x")]);
+        let c = Conjunction::of([Atom::ge(LinExpr::var(Var::new("x")), LinExpr::from(0))]);
+        r.push(vec![Oid::Int(1)], c.clone());
+        r.push(vec![Oid::Int(1)], c);
+        r.dedup();
+        assert_eq!(r.len(), 1);
+    }
+}

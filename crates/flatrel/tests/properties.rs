@@ -1,0 +1,153 @@
+//! Property tests for the flat constraint algebra: operators respect the
+//! KKR93 point-set semantics (a tuple denotes the instantiations of its
+//! constraint variables; a relation denotes the disjunction of its
+//! tuples).
+
+use lyric_arith::Rational;
+use lyric_constraint::{Assignment, Atom, Conjunction, LinExpr, RelOp, Var};
+use lyric_flatrel::Relation;
+use lyric_oodb::Oid;
+use proptest::prelude::*;
+
+const NVARS: usize = 2;
+
+fn var(i: usize) -> Var {
+    Var::new(format!("x{i}"))
+}
+
+#[derive(Debug, Clone)]
+struct RawAtom {
+    coeffs: Vec<i32>,
+    op: u8,
+    rhs: i32,
+}
+
+fn atom_strategy() -> impl Strategy<Value = RawAtom> {
+    (proptest::collection::vec(-3..=3i32, NVARS), 0..3u8, -6..=6i32)
+        .prop_map(|(coeffs, op, rhs)| RawAtom { coeffs, op, rhs })
+}
+
+fn build_atom(raw: &RawAtom) -> Atom {
+    let mut e = LinExpr::zero();
+    for (i, &c) in raw.coeffs.iter().enumerate() {
+        if c != 0 {
+            e = e + LinExpr::term(var(i), Rational::from_int(c as i64));
+        }
+    }
+    let relop = match raw.op {
+        0 => RelOp::Le,
+        1 => RelOp::Ge,
+        _ => RelOp::Eq,
+    };
+    Atom::new(e, relop, LinExpr::from(raw.rhs as i64))
+}
+
+/// A relation with one oid column `id` and constraint variables x0, x1.
+fn relation_strategy(
+    name: &'static str,
+) -> impl Strategy<Value = (Relation, Vec<(i64, Vec<RawAtom>)>)> {
+    proptest::collection::vec(
+        (0..4i64, proptest::collection::vec(atom_strategy(), 0..3)),
+        0..4,
+    )
+    .prop_map(move |tuples| {
+        let mut r = Relation::new(
+            name,
+            vec!["id".into()],
+            (0..NVARS).map(var).collect(),
+        );
+        for (id, atoms) in &tuples {
+            r.push(
+                vec![Oid::Int(*id)],
+                Conjunction::of(atoms.iter().map(build_atom)),
+            );
+        }
+        (r, tuples)
+    })
+}
+
+fn assignment(p: &[i32]) -> Assignment {
+    p.iter()
+        .enumerate()
+        .map(|(i, &v)| (var(i), Rational::from_int(v as i64)))
+        .collect()
+}
+
+/// Does (id, point) belong to the relation's denotation?
+fn denotes(raw: &[(i64, Vec<RawAtom>)], id: i64, point: &Assignment) -> bool {
+    raw.iter().any(|(tid, atoms)| {
+        *tid == id && atoms.iter().all(|a| build_atom(a).eval(point))
+    })
+}
+
+proptest! {
+    /// Join semantics: (idL, idR, point) is in the join's denotation iff
+    /// it is in both operands' (with equal join keys and a shared point).
+    #[test]
+    fn join_pointwise(l in relation_strategy("L"), r in relation_strategy("R"),
+                      id in 0..4i64, p in proptest::collection::vec(-4..=4i32, NVARS)) {
+        let (lrel, lraw) = l;
+        let (rrel, rraw) = r;
+        let j = lrel.join(&rrel, &[("id", "id")]);
+        let point = assignment(&p);
+        let in_join = j.tuples().iter().any(|t| {
+            t.values[0] == Oid::Int(id) && t.constraint.eval(&point)
+        });
+        let in_both = denotes(&lraw, id, &point) && denotes(&rraw, id, &point);
+        prop_assert_eq!(in_join, in_both, "join mismatch at id={} {:?}", id, p);
+    }
+
+    /// Constraint selection: denotation intersects the selection atom.
+    #[test]
+    fn select_constraint_pointwise(rel in relation_strategy("R"), sel in atom_strategy(),
+                                   id in 0..4i64,
+                                   p in proptest::collection::vec(-4..=4i32, NVARS)) {
+        let (r, raw) = rel;
+        let atom = build_atom(&sel);
+        let s = r.select_constraint(std::slice::from_ref(&atom));
+        let point = assignment(&p);
+        let in_sel = s.tuples().iter().any(|t| {
+            t.values[0] == Oid::Int(id) && t.constraint.eval(&point)
+        });
+        let expect = denotes(&raw, id, &point) && atom.eval(&point);
+        prop_assert_eq!(in_sel, expect);
+    }
+
+    /// Projection of a constraint variable: (id, x1) is in the projection
+    /// iff some x0 extends it.
+    #[test]
+    fn project_pointwise(rel in relation_strategy("R"), id in 0..4i64, x1 in -4..=4i32) {
+        let (r, raw) = rel;
+        let projected = r.project(&["id"], &[var(1)]);
+        let mut point = Assignment::new();
+        point.insert(var(1), Rational::from_int(x1 as i64));
+        let in_proj = projected.tuples().iter().any(|t| {
+            t.values[0] == Oid::Int(id) && t.constraint.eval(&point)
+        });
+        // Reference: ground x1 in each tuple and test satisfiability over x0.
+        let has_extension = raw.iter().any(|(tid, atoms)| {
+            *tid == id && {
+                let c = Conjunction::of(atoms.iter().map(build_atom))
+                    .substitute(&var(1), &LinExpr::from(x1 as i64));
+                c.satisfiable()
+            }
+        });
+        prop_assert_eq!(in_proj, has_extension, "projection mismatch id={} x1={}", id, x1);
+    }
+
+    /// Union is denotation union and is idempotent after dedup.
+    #[test]
+    fn union_pointwise(a in relation_strategy("A"), id in 0..4i64,
+                       p in proptest::collection::vec(-4..=4i32, NVARS)) {
+        let (ra, raw) = a;
+        let u = ra.union(&ra);
+        let mut base = ra.clone();
+        base.dedup();
+        prop_assert_eq!(u.len(), base.len(), "self-union equals deduped original");
+        let point = assignment(&p);
+        let in_u = u.tuples().iter().any(|t| {
+            t.values[0] == Oid::Int(id) && t.constraint.eval(&point)
+        });
+        prop_assert_eq!(in_u, denotes(&raw, id, &point));
+    }
+}

@@ -1,0 +1,63 @@
+//! The object-oriented data model underlying LyriC (§2 and §3.2 of the
+//! paper).
+//!
+//! This crate provides the XSQL-style object-oriented substrate that the
+//! LyriC language queries:
+//!
+//! * [`Oid`] — logical object identities: literals (integers, rationals,
+//!   strings, booleans), named objects (`desk123`), id-function terms
+//!   (`secretary(dept77)`, used by `OID FUNCTION OF`), and **constraint
+//!   objects** ([`CstOid`]), whose identity is their canonical form (§3.1).
+//! * [`Schema`] / [`ClassDef`] / [`AttrDef`] — classes with an acyclic IS-A
+//!   hierarchy, scalar and set-valued attributes, **CST attributes with
+//!   declared variable lists** (`extent : CST(w,z)`), **class interfaces**
+//!   (`Drawer(x,y)`) and **interface renaming** (`drawer : (p,q)`), the
+//!   §3.2 mechanism from which LyriC derives implicit inter-object
+//!   equality constraints.
+//! * [`Database`] — a typed instance store with class extents, inheritance
+//!   -aware attribute resolution, and view classes (the `CREATE VIEW … AS
+//!   SUBCLASS OF` target).
+
+//! # Example
+//!
+//! ```
+//! use lyric_oodb::{AttrDef, AttrTarget, ClassDef, Database, Oid, Schema, Value};
+//! use lyric_constraint::{CstObject, Conjunction, Atom, LinExpr, Var};
+//!
+//! let mut schema = Schema::new();
+//! schema.add_class(
+//!     ClassDef::new("Zone")
+//!         .attr(AttrDef::scalar("name", AttrTarget::class("string")))
+//!         .attr(AttrDef::scalar("area", AttrTarget::cst(["u", "v"]))),
+//! ).unwrap();
+//! let mut db = Database::new(schema).unwrap();
+//!
+//! let area = CstObject::from_conjunction(
+//!     vec![Var::new("u"), Var::new("v")],
+//!     Conjunction::of([
+//!         Atom::ge(LinExpr::var(Var::new("u")), LinExpr::from(0)),
+//!         Atom::le(LinExpr::var(Var::new("u")), LinExpr::from(5)),
+//!     ]),
+//! );
+//! db.insert(Oid::named("z1"), "Zone", [
+//!     ("name", Value::Scalar(Oid::str("loading dock"))),
+//!     ("area", Value::Scalar(Oid::cst(area))),
+//! ]).unwrap();
+//!
+//! assert_eq!(db.extent("Zone").len(), 1);
+//! let stored = db.attr(&Oid::named("z1"), "area").unwrap();
+//! assert!(stored.as_scalar().unwrap().as_cst().unwrap().contains_point(
+//!     &[3.into(), 100.into()]));
+//! ```
+
+mod database;
+mod error;
+mod oid;
+mod schema;
+mod value;
+
+pub use database::{Database, ObjectData};
+pub use error::DbError;
+pub use oid::{CstOid, Oid};
+pub use schema::{AttrDef, AttrTarget, ClassDef, Schema};
+pub use value::Value;

@@ -1,0 +1,60 @@
+//! Exact linear programming for the LyriC constraint engine.
+//!
+//! This crate implements a two-phase primal simplex solver working entirely
+//! in exact arithmetic ([`lyric_arith::Rational`] coefficients,
+//! [`lyric_arith::EpsRational`] right-hand sides and solution values). It is
+//! the computational core behind:
+//!
+//! * the **satisfiability predicate** of LyriC WHERE clauses (§4.2 of the
+//!   paper): a conjunction of linear constraints is satisfiable iff phase 1
+//!   finds a feasible basis;
+//! * the **entailment predicate `|=`**: `P |= (e ≤ c)` iff the maximum of
+//!   `e` over `P` is at most `c`;
+//! * the **`MAX`/`MIN`/`MAX_POINT`/`MIN_POINT … SUBJECT TO`** operators of
+//!   LyriC SELECT clauses, the paper's generalization of classical linear
+//!   programming to constraint databases;
+//! * **canonical forms**: LP-based redundant-atom removal (BJM93).
+//!
+//! # Strict inequalities
+//!
+//! The paper's linear arithmetic constraints allow `<` and `>`. Rather than
+//! case-splitting, strict constraints are encoded with a symbolic
+//! infinitesimal: `e < c` becomes `e ≤ c − ε`. The solver pivots over
+//! `a + b·ε` values; an optimum whose ε-coefficient is nonzero is a
+//! **supremum that is not attained** (e.g. `MAX x SUBJECT TO x < 1` reports
+//! supremum 1, `attained = false`). [`LpOptimum::concrete_point`] recovers
+//! an ordinary rational witness by choosing a concrete, sufficiently small
+//! positive ε.
+//!
+//! # Anti-cycling
+//!
+//! Pivot selection uses Bland's rule, so termination is guaranteed even on
+//! degenerate problems.
+//!
+//! # Example
+//!
+//! ```
+//! use lyric_arith::Rational;
+//! use lyric_simplex::{LpProblem, LpOutcome, Relop};
+//!
+//! // max x + y  s.t.  x + 2y <= 4,  x <= 3,  x >= 0, y >= 0.
+//! // (Variables are free by default, so bounds are explicit constraints.)
+//! let mut lp = LpProblem::new(2);
+//! let r = |v: i64| Rational::from_int(v);
+//! lp.push(vec![r(1), r(2)], Relop::Le, r(4));
+//! lp.push(vec![r(1), r(0)], Relop::Le, r(3));
+//! lp.push(vec![r(-1), r(0)], Relop::Le, r(0)); // x >= 0
+//! lp.push(vec![r(0), r(-1)], Relop::Le, r(0)); // y >= 0
+//! match lp.maximize(&[r(1), r(1)]) {
+//!     LpOutcome::Optimal(opt) => {
+//!         assert_eq!(opt.supremum(), &Rational::from_pair(7, 2));
+//!         assert!(opt.attained());
+//!     }
+//!     other => panic!("unexpected {other:?}"),
+//! }
+//! ```
+
+mod problem;
+mod tableau;
+
+pub use problem::{Constraint, LpOptimum, LpOutcome, LpProblem, Relop};

@@ -1,0 +1,439 @@
+//! LP problem description and solution types.
+
+use crate::tableau::Tableau;
+use lyric_arith::{EpsRational, Rational};
+use std::fmt;
+
+/// Relational operator of a normalized LP constraint row.
+///
+/// `Ge`/`Gt` do not appear here: callers flip them to `Le`/`Lt` by negating
+/// both sides (the constraint-engine layer does this during atom
+/// normalization). Disequations (`≠`) are handled above the LP layer by the
+/// convexity argument described in `lyric-constraint`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Relop {
+    /// `Σ aᵢxᵢ ≤ b`
+    Le,
+    /// `Σ aᵢxᵢ < b` (encoded internally as `≤ b − ε`)
+    Lt,
+    /// `Σ aᵢxᵢ = b`
+    Eq,
+}
+
+impl fmt::Display for Relop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Relop::Le => write!(f, "<="),
+            Relop::Lt => write!(f, "<"),
+            Relop::Eq => write!(f, "="),
+        }
+    }
+}
+
+/// A single linear constraint `Σ coeffs[i]·xᵢ relop rhs` over the problem's
+/// variables. `coeffs.len()` always equals the problem's variable count.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Constraint {
+    pub coeffs: Vec<Rational>,
+    pub relop: Relop,
+    pub rhs: Rational,
+}
+
+impl Constraint {
+    /// Margin `rhs − Σ coeffs·point` as an ε-polynomial, for a point whose
+    /// coordinates may carry ε components.
+    fn margin(&self, point: &[EpsRational]) -> EpsRational {
+        let mut lhs = EpsRational::zero();
+        for (c, x) in self.coeffs.iter().zip(point) {
+            lhs += &x.scale(c);
+        }
+        EpsRational::from_rational(self.rhs.clone()) - lhs
+    }
+
+    /// Does a fully concrete point satisfy this constraint?
+    pub fn satisfied_by(&self, point: &[Rational]) -> bool {
+        let mut lhs = Rational::zero();
+        for (c, x) in self.coeffs.iter().zip(point) {
+            lhs += &(c * x);
+        }
+        match self.relop {
+            Relop::Le => lhs <= self.rhs,
+            Relop::Lt => lhs < self.rhs,
+            Relop::Eq => lhs == self.rhs,
+        }
+    }
+}
+
+/// A linear program over `num_vars` **free** (unrestricted-sign) variables.
+///
+/// LyriC constraint variables range over all of ℝ, so the solver does not
+/// assume non-negativity; internally each variable is split into a
+/// difference of two non-negative ones.
+#[derive(Debug, Clone, Default)]
+pub struct LpProblem {
+    num_vars: usize,
+    constraints: Vec<Constraint>,
+}
+
+/// Result of solving an [`LpProblem`].
+#[derive(Debug, Clone)]
+pub enum LpOutcome {
+    /// The constraint system has no solution.
+    Infeasible,
+    /// The objective is unbounded in the requested direction.
+    Unbounded,
+    /// A finite optimum (possibly an unattained supremum/infimum).
+    Optimal(LpOptimum),
+}
+
+impl LpOutcome {
+    /// Convenience accessor for tests and callers that expect an optimum.
+    pub fn optimal(self) -> Option<LpOptimum> {
+        match self {
+            LpOutcome::Optimal(o) => Some(o),
+            _ => None,
+        }
+    }
+}
+
+/// An optimal LP solution in ε-extended arithmetic.
+#[derive(Debug, Clone)]
+pub struct LpOptimum {
+    /// Optimal objective value `p + q·ε`. For maximization `p` is the true
+    /// supremum of the objective over the (possibly topologically open)
+    /// feasible set and `q ≤ 0`; symmetrically for minimization.
+    pub value: EpsRational,
+    /// The optimal point, coordinates possibly carrying ε components.
+    pub point: Vec<EpsRational>,
+}
+
+impl LpOptimum {
+    /// The supremum (for `maximize`) / infimum (for `minimize`) of the
+    /// objective as an ordinary rational.
+    pub fn supremum(&self) -> &Rational {
+        &self.value.real
+    }
+
+    /// Whether the bound is attained by an actual feasible point. `false`
+    /// exactly when strict inequalities make the optimum an open bound.
+    pub fn attained(&self) -> bool {
+        self.value.is_exact()
+    }
+
+    /// A concrete rational feasible point witnessing feasibility (and, when
+    /// [`attained`](Self::attained), optimality). Chooses a small positive
+    /// value for ε that keeps every constraint of `problem` satisfied.
+    pub fn concrete_point(&self, problem: &LpProblem) -> Vec<Rational> {
+        let eps = problem.admissible_epsilon(&self.point);
+        self.point.iter().map(|x| x.evaluate_at(&eps)).collect()
+    }
+}
+
+impl LpProblem {
+    /// A problem over `num_vars` free variables and no constraints yet.
+    pub fn new(num_vars: usize) -> Self {
+        LpProblem { num_vars, constraints: Vec::new() }
+    }
+
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// Add `Σ coeffs·x relop rhs`. Panics if `coeffs.len() != num_vars`.
+    pub fn push(&mut self, coeffs: Vec<Rational>, relop: Relop, rhs: Rational) {
+        assert_eq!(
+            coeffs.len(),
+            self.num_vars,
+            "constraint arity does not match problem variable count"
+        );
+        self.constraints.push(Constraint { coeffs, relop, rhs });
+    }
+
+    /// Phase-1 feasibility test.
+    pub fn is_feasible(&self) -> bool {
+        self.find_point().is_some()
+    }
+
+    /// A feasible point in ε-extended coordinates, if one exists.
+    pub fn find_point(&self) -> Option<Vec<EpsRational>> {
+        let mut t = Tableau::build(self);
+        if !t.phase1() {
+            return None;
+        }
+        Some(t.extract_point(self.num_vars))
+    }
+
+    /// A fully concrete rational feasible point, if one exists.
+    pub fn find_concrete_point(&self) -> Option<Vec<Rational>> {
+        let point = self.find_point()?;
+        let eps = self.admissible_epsilon(&point);
+        Some(point.iter().map(|x| x.evaluate_at(&eps)).collect())
+    }
+
+    /// Maximize `Σ objective·x` subject to the constraints.
+    pub fn maximize(&self, objective: &[Rational]) -> LpOutcome {
+        self.optimize(objective, true)
+    }
+
+    /// Minimize `Σ objective·x` subject to the constraints.
+    pub fn minimize(&self, objective: &[Rational]) -> LpOutcome {
+        self.optimize(objective, false)
+    }
+
+    fn optimize(&self, objective: &[Rational], maximize: bool) -> LpOutcome {
+        assert_eq!(
+            objective.len(),
+            self.num_vars,
+            "objective arity does not match problem variable count"
+        );
+        let mut t = Tableau::build(self);
+        if !t.phase1() {
+            return LpOutcome::Infeasible;
+        }
+        // Internally minimize: negate the objective for maximization.
+        let costs: Vec<Rational> =
+            if maximize { objective.iter().map(|c| -c).collect() } else { objective.to_vec() };
+        if !t.phase2(&costs) {
+            return LpOutcome::Unbounded;
+        }
+        let point = t.extract_point(self.num_vars);
+        let mut value = EpsRational::zero();
+        for (c, x) in objective.iter().zip(&point) {
+            value += &x.scale(c);
+        }
+        LpOutcome::Optimal(LpOptimum { value, point })
+    }
+
+    /// Largest step `ε₀ ∈ (0, 1]` such that replacing ε by ε₀ in `point`
+    /// keeps every constraint satisfied. Assumes `point` is symbolically
+    /// feasible (margins lexicographically correct), which every point
+    /// produced by the solver is.
+    fn admissible_epsilon(&self, point: &[EpsRational]) -> Rational {
+        let mut eps = Rational::one();
+        let half = Rational::from_pair(1, 2);
+        for c in &self.constraints {
+            let m = c.margin(point);
+            match c.relop {
+                // Equality margins are identically zero for solver points;
+                // nothing to bound.
+                Relop::Eq => {}
+                Relop::Le | Relop::Lt => {
+                    // Need m(ε₀) ≥ 0 (or > 0). Symbolic feasibility gives
+                    // m ⪰ 0 lexicographically; the only risk is
+                    // real > 0 with a negative ε-slope.
+                    if m.real.is_positive() && m.inf.is_negative() {
+                        let bound = &(&m.real / &m.inf.abs()) * &half;
+                        if bound < eps {
+                            eps = bound;
+                        }
+                    }
+                }
+            }
+        }
+        eps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(v: i64) -> Rational {
+        Rational::from_int(v)
+    }
+
+    fn rp(n: i64, d: i64) -> Rational {
+        Rational::from_pair(n, d)
+    }
+
+    #[test]
+    fn trivial_feasible_empty() {
+        let lp = LpProblem::new(2);
+        assert!(lp.is_feasible());
+    }
+
+    #[test]
+    fn basic_maximization() {
+        // max 3x + 2y  s.t. x + y <= 4, x + 3y <= 6, x >= 0, y >= 0 → 12 at (4,0)
+        let mut lp = LpProblem::new(2);
+        lp.push(vec![r(1), r(1)], Relop::Le, r(4));
+        lp.push(vec![r(1), r(3)], Relop::Le, r(6));
+        lp.push(vec![r(-1), r(0)], Relop::Le, r(0));
+        lp.push(vec![r(0), r(-1)], Relop::Le, r(0));
+        let opt = lp.maximize(&[r(3), r(2)]).optimal().unwrap();
+        assert_eq!(opt.supremum(), &r(12));
+        assert!(opt.attained());
+        let p = opt.concrete_point(&lp);
+        assert_eq!(p, vec![r(4), r(0)]);
+    }
+
+    #[test]
+    fn basic_minimization() {
+        // min x + y s.t. x >= 1, y >= 2 → 3
+        let mut lp = LpProblem::new(2);
+        lp.push(vec![r(-1), r(0)], Relop::Le, r(-1));
+        lp.push(vec![r(0), r(-1)], Relop::Le, r(-2));
+        let opt = lp.minimize(&[r(1), r(1)]).optimal().unwrap();
+        assert_eq!(opt.supremum(), &r(3));
+        assert!(opt.attained());
+    }
+
+    #[test]
+    fn infeasible_system() {
+        let mut lp = LpProblem::new(1);
+        lp.push(vec![r(1)], Relop::Le, r(0));
+        lp.push(vec![r(-1)], Relop::Le, r(-1)); // x >= 1
+        assert!(!lp.is_feasible());
+        assert!(matches!(lp.maximize(&[r(1)]), LpOutcome::Infeasible));
+    }
+
+    #[test]
+    fn unbounded_objective() {
+        let mut lp = LpProblem::new(1);
+        lp.push(vec![r(-1)], Relop::Le, r(0)); // x >= 0
+        assert!(matches!(lp.maximize(&[r(1)]), LpOutcome::Unbounded));
+        // ...but bounded below.
+        let opt = lp.minimize(&[r(1)]).optimal().unwrap();
+        assert_eq!(opt.supremum(), &r(0));
+    }
+
+    #[test]
+    fn strict_inequality_supremum_not_attained() {
+        // max x s.t. x < 1 → sup 1, not attained; witness strictly below 1.
+        let mut lp = LpProblem::new(1);
+        lp.push(vec![r(1)], Relop::Lt, r(1));
+        lp.push(vec![r(-1)], Relop::Le, r(0));
+        let opt = lp.maximize(&[r(1)]).optimal().unwrap();
+        assert_eq!(opt.supremum(), &r(1));
+        assert!(!opt.attained());
+        let p = opt.concrete_point(&lp);
+        assert!(p[0] < r(1) && p[0] >= r(0));
+        assert!(lp.constraints()[0].satisfied_by(&p));
+    }
+
+    #[test]
+    fn strict_infeasibility_detected() {
+        // x < 1 and x > 1 is infeasible; x <= 1 and x >= 1 is x = 1.
+        let mut open = LpProblem::new(1);
+        open.push(vec![r(1)], Relop::Lt, r(1));
+        open.push(vec![r(-1)], Relop::Lt, r(-1));
+        assert!(!open.is_feasible());
+
+        let mut closed = LpProblem::new(1);
+        closed.push(vec![r(1)], Relop::Le, r(1));
+        closed.push(vec![r(-1)], Relop::Le, r(-1));
+        let p = closed.find_concrete_point().unwrap();
+        assert_eq!(p, vec![r(1)]);
+    }
+
+    #[test]
+    fn strict_point_vs_closed_point() {
+        // x <= 1, x >= 1, x < 1 → infeasible (closed point excluded by strict).
+        let mut lp = LpProblem::new(1);
+        lp.push(vec![r(1)], Relop::Le, r(1));
+        lp.push(vec![r(-1)], Relop::Le, r(-1));
+        lp.push(vec![r(1)], Relop::Lt, r(1));
+        assert!(!lp.is_feasible());
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // x + y = 2, x - y = 0 → x = y = 1
+        let mut lp = LpProblem::new(2);
+        lp.push(vec![r(1), r(1)], Relop::Eq, r(2));
+        lp.push(vec![r(1), r(-1)], Relop::Eq, r(0));
+        let p = lp.find_concrete_point().unwrap();
+        assert_eq!(p, vec![r(1), r(1)]);
+    }
+
+    #[test]
+    fn free_variables_take_negative_values() {
+        // min x s.t. x >= -5 → -5
+        let mut lp = LpProblem::new(1);
+        lp.push(vec![r(-1)], Relop::Le, r(5));
+        let opt = lp.minimize(&[r(1)]).optimal().unwrap();
+        assert_eq!(opt.supremum(), &r(-5));
+    }
+
+    #[test]
+    fn fractional_optimum() {
+        // max x + y s.t. 2x + y <= 2, x + 2y <= 2, nonneg → 4/3 at (2/3, 2/3)
+        let mut lp = LpProblem::new(2);
+        lp.push(vec![r(2), r(1)], Relop::Le, r(2));
+        lp.push(vec![r(1), r(2)], Relop::Le, r(2));
+        lp.push(vec![r(-1), r(0)], Relop::Le, r(0));
+        lp.push(vec![r(0), r(-1)], Relop::Le, r(0));
+        let opt = lp.maximize(&[r(1), r(1)]).optimal().unwrap();
+        assert_eq!(opt.supremum(), &rp(4, 3));
+        assert_eq!(opt.concrete_point(&lp), vec![rp(2, 3), rp(2, 3)]);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Classic degeneracy: multiple constraints active at the optimum.
+        let mut lp = LpProblem::new(2);
+        lp.push(vec![r(1), r(0)], Relop::Le, r(1));
+        lp.push(vec![r(0), r(1)], Relop::Le, r(1));
+        lp.push(vec![r(1), r(1)], Relop::Le, r(2));
+        lp.push(vec![r(1), r(-1)], Relop::Le, r(0));
+        lp.push(vec![r(-1), r(0)], Relop::Le, r(0));
+        lp.push(vec![r(0), r(-1)], Relop::Le, r(0));
+        let opt = lp.maximize(&[r(1), r(1)]).optimal().unwrap();
+        assert_eq!(opt.supremum(), &r(2));
+    }
+
+    #[test]
+    fn redundant_equalities_do_not_break_phase1() {
+        // x = 1 stated twice plus implied sum.
+        let mut lp = LpProblem::new(2);
+        lp.push(vec![r(1), r(0)], Relop::Eq, r(1));
+        lp.push(vec![r(1), r(0)], Relop::Eq, r(1));
+        lp.push(vec![r(2), r(0)], Relop::Eq, r(2));
+        lp.push(vec![r(0), r(1)], Relop::Eq, r(7));
+        let p = lp.find_concrete_point().unwrap();
+        assert_eq!(p, vec![r(1), r(7)]);
+    }
+
+    #[test]
+    fn open_polytope_witness_satisfies_all_strict_constraints() {
+        // 0 < x < 1, 0 < y < 1, x + y < 1
+        let mut lp = LpProblem::new(2);
+        lp.push(vec![r(1), r(0)], Relop::Lt, r(1));
+        lp.push(vec![r(-1), r(0)], Relop::Lt, r(0));
+        lp.push(vec![r(0), r(1)], Relop::Lt, r(1));
+        lp.push(vec![r(0), r(-1)], Relop::Lt, r(0));
+        lp.push(vec![r(1), r(1)], Relop::Lt, r(1));
+        let p = lp.find_concrete_point().unwrap();
+        for c in lp.constraints() {
+            assert!(c.satisfied_by(&p), "violated: {c:?} at {p:?}");
+        }
+    }
+
+    #[test]
+    fn objective_with_strict_binding_constraint() {
+        // max 2x + 3y s.t. x < 2, y <= 1, x >= 0, y >= 0 → sup 7 unattained.
+        let mut lp = LpProblem::new(2);
+        lp.push(vec![r(1), r(0)], Relop::Lt, r(2));
+        lp.push(vec![r(0), r(1)], Relop::Le, r(1));
+        lp.push(vec![r(-1), r(0)], Relop::Le, r(0));
+        lp.push(vec![r(0), r(-1)], Relop::Le, r(0));
+        let opt = lp.maximize(&[r(2), r(3)]).optimal().unwrap();
+        assert_eq!(opt.supremum(), &r(7));
+        assert!(!opt.attained());
+        let p = opt.concrete_point(&lp);
+        for c in lp.constraints() {
+            assert!(c.satisfied_by(&p));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut lp = LpProblem::new(2);
+        lp.push(vec![r(1)], Relop::Le, r(1));
+    }
+}

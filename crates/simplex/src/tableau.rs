@@ -1,0 +1,290 @@
+//! Dense two-phase simplex tableau over exact arithmetic.
+//!
+//! Column layout: `2·num_vars` structural columns (each free variable `xⱼ`
+//! is the difference of the non-negative pair at columns `2j`, `2j+1`),
+//! followed by one slack column per inequality row, followed by phase-1
+//! artificial columns. Right-hand sides are [`EpsRational`] so strict
+//! inequalities participate as `b − ε`; all tableau coefficients stay
+//! ordinary rationals (pivoting never multiplies two ε values).
+
+use crate::problem::{LpProblem, Relop};
+use lyric_arith::{EpsRational, Rational};
+
+struct Row {
+    coeffs: Vec<Rational>,
+    rhs: EpsRational,
+}
+
+pub(crate) struct Tableau {
+    rows: Vec<Row>,
+    /// Column basic in each row.
+    basis: Vec<usize>,
+    /// Total column count including artificials.
+    ncols: usize,
+    /// Columns `0..n_nonartificial` are structural + slack; the rest are
+    /// phase-1 artificials.
+    n_nonartificial: usize,
+}
+
+impl Tableau {
+    pub(crate) fn build(problem: &LpProblem) -> Tableau {
+        let n = problem.num_vars();
+        let nstruct = 2 * n;
+        let n_slacks =
+            problem.constraints().iter().filter(|c| c.relop != Relop::Eq).count();
+        let n_nonartificial = nstruct + n_slacks;
+
+        // First pass: build rows with structural + slack coefficients,
+        // normalizing to non-negative RHS.
+        let mut rows: Vec<Row> = Vec::with_capacity(problem.constraints().len());
+        let mut basis: Vec<Option<usize>> = Vec::with_capacity(rows.capacity());
+        let mut next_slack = nstruct;
+        for c in problem.constraints() {
+            let mut coeffs = vec![Rational::zero(); n_nonartificial];
+            for (j, a) in c.coeffs.iter().enumerate() {
+                if !a.is_zero() {
+                    coeffs[2 * j] = a.clone();
+                    coeffs[2 * j + 1] = -a;
+                }
+            }
+            let mut rhs = match c.relop {
+                Relop::Lt => EpsRational::new(c.rhs.clone(), -Rational::one()),
+                _ => EpsRational::from_rational(c.rhs.clone()),
+            };
+            let slack = if c.relop == Relop::Eq {
+                None
+            } else {
+                let col = next_slack;
+                next_slack += 1;
+                coeffs[col] = Rational::one();
+                Some(col)
+            };
+            let negate = rhs.is_negative();
+            if negate {
+                for a in &mut coeffs {
+                    if !a.is_zero() {
+                        *a = -&*a;
+                    }
+                }
+                rhs = -rhs;
+            }
+            // The slack is a valid initial basic variable only when its
+            // coefficient stayed +1 (row not negated).
+            let basic = match slack {
+                Some(col) if !negate => Some(col),
+                _ => None,
+            };
+            rows.push(Row { coeffs, rhs });
+            basis.push(basic);
+        }
+
+        // Second pass: artificial columns for rows lacking a basic variable.
+        let n_artificial = basis.iter().filter(|b| b.is_none()).count();
+        let ncols = n_nonartificial + n_artificial;
+        let mut next_art = n_nonartificial;
+        let mut final_basis = Vec::with_capacity(rows.len());
+        for (row, b) in rows.iter_mut().zip(&basis) {
+            row.coeffs.resize(ncols, Rational::zero());
+            match b {
+                Some(col) => final_basis.push(*col),
+                None => {
+                    row.coeffs[next_art] = Rational::one();
+                    final_basis.push(next_art);
+                    next_art += 1;
+                }
+            }
+        }
+
+        Tableau { rows, basis: final_basis, ncols, n_nonartificial }
+    }
+
+    /// Reduced-cost row `r_j = c_j − Σᵢ c_{basis[i]}·T[i][j]` for the given
+    /// cost vector (padded with zeros beyond its length).
+    fn reduced_costs(&self, costs: &[Rational]) -> Vec<Rational> {
+        let cost_of = |col: usize| costs.get(col).cloned().unwrap_or_else(Rational::zero);
+        let mut reduced: Vec<Rational> = (0..self.ncols).map(cost_of).collect();
+        for (i, row) in self.rows.iter().enumerate() {
+            let cb = cost_of(self.basis[i]);
+            if cb.is_zero() {
+                continue;
+            }
+            for (j, a) in row.coeffs.iter().enumerate() {
+                if !a.is_zero() {
+                    reduced[j] -= &(&cb * a);
+                }
+            }
+        }
+        reduced
+    }
+
+    /// Current objective value `Σᵢ c_{basis[i]}·rhsᵢ`.
+    fn objective_value(&self, costs: &[Rational]) -> EpsRational {
+        let mut z = EpsRational::zero();
+        for (i, row) in self.rows.iter().enumerate() {
+            if let Some(c) = costs.get(self.basis[i]) {
+                if !c.is_zero() {
+                    z += &row.rhs.scale(c);
+                }
+            }
+        }
+        z
+    }
+
+    fn pivot(&mut self, r: usize, q: usize, reduced: &mut [Rational]) {
+        // Scale pivot row to make the pivot 1.
+        let piv = self.rows[r].coeffs[q].clone();
+        debug_assert!(!piv.is_zero());
+        if piv != Rational::one() {
+            let inv = piv.recip();
+            for a in &mut self.rows[r].coeffs {
+                if !a.is_zero() {
+                    *a *= &inv;
+                }
+            }
+            self.rows[r].rhs = self.rows[r].rhs.scale(&inv);
+        }
+        // Eliminate the pivot column from all other rows.
+        for i in 0..self.rows.len() {
+            if i == r {
+                continue;
+            }
+            let f = self.rows[i].coeffs[q].clone();
+            if f.is_zero() {
+                continue;
+            }
+            let delta_rhs = self.rows[r].rhs.scale(&f);
+            // Split borrow: copy the pivot row coefficients we need.
+            let pivot_coeffs: Vec<(usize, Rational)> = self.rows[r]
+                .coeffs
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| !a.is_zero())
+                .map(|(j, a)| (j, a.clone()))
+                .collect();
+            for (j, a) in &pivot_coeffs {
+                self.rows[i].coeffs[*j] -= &(&f * a);
+            }
+            self.rows[i].rhs -= &delta_rhs;
+        }
+        // Update the reduced-cost row the same way.
+        let f = reduced[q].clone();
+        if !f.is_zero() {
+            for (j, a) in self.rows[r].coeffs.iter().enumerate() {
+                if !a.is_zero() {
+                    reduced[j] -= &(&f * a);
+                }
+            }
+        }
+        self.basis[r] = q;
+    }
+
+    /// Bland's-rule minimization over columns `0..allowed_cols`.
+    /// Returns `false` on unboundedness.
+    fn optimize(&mut self, costs: &[Rational], allowed_cols: usize) -> bool {
+        let mut reduced = self.reduced_costs(costs);
+        loop {
+            // Entering column: smallest index with negative reduced cost.
+            let Some(q) = (0..allowed_cols).find(|&j| reduced[j].is_negative()) else {
+                return true;
+            };
+            // Leaving row: minimum ratio rhs/a over rows with a > 0;
+            // ties broken by smallest basic column index (Bland).
+            let mut best: Option<(usize, EpsRational)> = None;
+            for (i, row) in self.rows.iter().enumerate() {
+                let a = &row.coeffs[q];
+                if !a.is_positive() {
+                    continue;
+                }
+                let ratio = row.rhs.scale(&a.recip());
+                let better = match &best {
+                    None => true,
+                    Some((bi, br)) => {
+                        ratio < *br || (ratio == *br && self.basis[i] < self.basis[*bi])
+                    }
+                };
+                if better {
+                    best = Some((i, ratio));
+                }
+            }
+            let Some((r, _)) = best else {
+                return false;
+            };
+            self.pivot(r, q, &mut reduced);
+        }
+    }
+
+    /// Phase 1: drive artificial variables to zero. Returns `false` when the
+    /// problem is infeasible. On success, artificial columns are removed.
+    pub(crate) fn phase1(&mut self) -> bool {
+        if self.ncols > self.n_nonartificial {
+            let mut costs = vec![Rational::zero(); self.ncols];
+            for c in costs.iter_mut().skip(self.n_nonartificial) {
+                *c = Rational::one();
+            }
+            // Sum of artificials is bounded below by 0: never unbounded.
+            let bounded = self.optimize(&costs, self.ncols);
+            debug_assert!(bounded);
+            if self.objective_value(&costs).is_positive() {
+                return false;
+            }
+            self.evict_artificials();
+        }
+        true
+    }
+
+    /// Pivot basic artificials (at value zero) out of the basis, dropping
+    /// redundant rows, then truncate artificial columns.
+    fn evict_artificials(&mut self) {
+        let mut i = 0;
+        while i < self.rows.len() {
+            if self.basis[i] >= self.n_nonartificial {
+                let q = (0..self.n_nonartificial)
+                    .find(|&j| !self.rows[i].coeffs[j].is_zero());
+                match q {
+                    Some(q) => {
+                        // Reduced costs are irrelevant here; use a scratch row.
+                        let mut scratch = vec![Rational::zero(); self.ncols];
+                        self.pivot(i, q, &mut scratch);
+                    }
+                    None => {
+                        // Row is zero over real columns: redundant constraint.
+                        debug_assert!(self.rows[i].rhs.is_zero());
+                        self.rows.swap_remove(i);
+                        self.basis.swap_remove(i);
+                        continue;
+                    }
+                }
+            }
+            i += 1;
+        }
+        for row in &mut self.rows {
+            row.coeffs.truncate(self.n_nonartificial);
+        }
+        self.ncols = self.n_nonartificial;
+    }
+
+    /// Phase 2: minimize the cost vector (over structural columns; slack
+    /// columns cost zero). Returns `false` on unboundedness. `costs` is
+    /// indexed by *original problem variable*, length `num_vars`.
+    pub(crate) fn phase2(&mut self, costs: &[Rational]) -> bool {
+        debug_assert_eq!(self.ncols, self.n_nonartificial, "phase1 must run first");
+        let mut split = vec![Rational::zero(); self.ncols];
+        for (j, c) in costs.iter().enumerate() {
+            split[2 * j] = c.clone();
+            split[2 * j + 1] = -c;
+        }
+        self.optimize(&split, self.ncols)
+    }
+
+    /// Read the current basic solution back as values of the original
+    /// `num_vars` free variables.
+    pub(crate) fn extract_point(&self, num_vars: usize) -> Vec<EpsRational> {
+        let mut col_value = vec![EpsRational::zero(); self.ncols];
+        for (i, &b) in self.basis.iter().enumerate() {
+            col_value[b] = self.rows[i].rhs.clone();
+        }
+        (0..num_vars)
+            .map(|j| &col_value[2 * j] - &col_value[2 * j + 1])
+            .collect()
+    }
+}

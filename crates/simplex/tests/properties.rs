@@ -1,0 +1,173 @@
+//! Property-based tests for the exact simplex solver.
+//!
+//! The oracle is the definition of an LP: any sampled point that satisfies
+//! all constraints proves feasibility and lower-bounds the maximum; any
+//! solver-produced point must itself satisfy the constraints; maximizing f
+//! must equal the negation of minimizing −f.
+
+use lyric_arith::Rational;
+use lyric_simplex::{LpOutcome, LpProblem, Relop};
+use proptest::prelude::*;
+
+const NVARS: usize = 3;
+
+#[derive(Debug, Clone)]
+struct RawConstraint {
+    coeffs: Vec<i32>,
+    relop: Relop,
+    rhs: i32,
+}
+
+fn relop_strategy() -> impl Strategy<Value = Relop> {
+    prop_oneof![Just(Relop::Le), Just(Relop::Lt), Just(Relop::Eq)]
+}
+
+fn constraint_strategy() -> impl Strategy<Value = RawConstraint> {
+    (
+        proptest::collection::vec(-4..=4i32, NVARS),
+        relop_strategy(),
+        -10..=10i32,
+    )
+        .prop_map(|(coeffs, relop, rhs)| RawConstraint { coeffs, relop, rhs })
+}
+
+fn problem_strategy() -> impl Strategy<Value = Vec<RawConstraint>> {
+    proptest::collection::vec(constraint_strategy(), 0..8)
+}
+
+fn build(raw: &[RawConstraint]) -> LpProblem {
+    let mut lp = LpProblem::new(NVARS);
+    for c in raw {
+        lp.push(
+            c.coeffs.iter().map(|&v| Rational::from_int(v as i64)).collect(),
+            c.relop,
+            Rational::from_int(c.rhs as i64),
+        );
+    }
+    lp
+}
+
+fn satisfies(raw: &[RawConstraint], point: &[Rational]) -> bool {
+    raw.iter().all(|c| {
+        let lhs: Rational = c
+            .coeffs
+            .iter()
+            .zip(point)
+            .map(|(&a, x)| &Rational::from_int(a as i64) * x)
+            .fold(Rational::zero(), |acc, t| acc + t);
+        let rhs = Rational::from_int(c.rhs as i64);
+        match c.relop {
+            Relop::Le => lhs <= rhs,
+            Relop::Lt => lhs < rhs,
+            Relop::Eq => lhs == rhs,
+        }
+    })
+}
+
+fn objective_at(obj: &[i32], point: &[Rational]) -> Rational {
+    obj.iter()
+        .zip(point)
+        .map(|(&c, x)| &Rational::from_int(c as i64) * x)
+        .fold(Rational::zero(), |acc, t| acc + t)
+}
+
+proptest! {
+    /// If a sampled integer point satisfies the system, the solver must
+    /// agree the system is feasible.
+    #[test]
+    fn feasibility_complete(raw in problem_strategy(),
+                            candidate in proptest::collection::vec(-6..=6i32, NVARS)) {
+        let point: Vec<Rational> =
+            candidate.iter().map(|&v| Rational::from_int(v as i64)).collect();
+        if satisfies(&raw, &point) {
+            prop_assert!(build(&raw).is_feasible(),
+                         "solver said infeasible but {point:?} satisfies {raw:?}");
+        }
+    }
+
+    /// Any point the solver produces must satisfy every constraint
+    /// (soundness of feasibility + concretization of ε).
+    #[test]
+    fn produced_points_are_feasible(raw in problem_strategy()) {
+        let lp = build(&raw);
+        if let Some(p) = lp.find_concrete_point() {
+            prop_assert!(satisfies(&raw, &p),
+                         "solver point {p:?} violates {raw:?}");
+        }
+    }
+
+    /// The reported maximum dominates the objective at every feasible
+    /// sampled point, and the optimum point (when attained) achieves it.
+    #[test]
+    fn maximum_dominates_samples(raw in problem_strategy(),
+                                 obj in proptest::collection::vec(-3..=3i32, NVARS),
+                                 candidate in proptest::collection::vec(-6..=6i32, NVARS)) {
+        let lp = build(&raw);
+        let objective: Vec<Rational> =
+            obj.iter().map(|&v| Rational::from_int(v as i64)).collect();
+        let point: Vec<Rational> =
+            candidate.iter().map(|&v| Rational::from_int(v as i64)).collect();
+        match lp.maximize(&objective) {
+            LpOutcome::Infeasible => {
+                prop_assert!(!satisfies(&raw, &point));
+            }
+            LpOutcome::Unbounded => {}
+            LpOutcome::Optimal(opt) => {
+                if satisfies(&raw, &point) {
+                    prop_assert!(objective_at(&obj, &point) <= *opt.supremum(),
+                                 "sampled point beats reported supremum");
+                }
+                let witness = opt.concrete_point(&lp);
+                prop_assert!(satisfies(&raw, &witness));
+                if opt.attained() {
+                    prop_assert_eq!(objective_at(&obj, &witness), opt.supremum().clone());
+                }
+            }
+        }
+    }
+
+    /// max f == −min(−f), including agreement on attainment.
+    #[test]
+    fn max_min_duality(raw in problem_strategy(),
+                       obj in proptest::collection::vec(-3..=3i32, NVARS)) {
+        let lp = build(&raw);
+        let objective: Vec<Rational> =
+            obj.iter().map(|&v| Rational::from_int(v as i64)).collect();
+        let neg: Vec<Rational> = objective.iter().map(|c| -c).collect();
+        match (lp.maximize(&objective), lp.minimize(&neg)) {
+            (LpOutcome::Infeasible, LpOutcome::Infeasible) => {}
+            (LpOutcome::Unbounded, LpOutcome::Unbounded) => {}
+            (LpOutcome::Optimal(a), LpOutcome::Optimal(b)) => {
+                prop_assert_eq!(a.supremum().clone(), -b.supremum());
+                prop_assert_eq!(a.attained(), b.attained());
+            }
+            (a, b) => prop_assert!(false, "asymmetric outcomes {a:?} vs {b:?}"),
+        }
+    }
+
+    /// Adding a constraint never improves the maximum.
+    #[test]
+    fn monotone_under_constraint_addition(raw in problem_strategy(),
+                                          extra in constraint_strategy(),
+                                          obj in proptest::collection::vec(-3..=3i32, NVARS)) {
+        let objective: Vec<Rational> =
+            obj.iter().map(|&v| Rational::from_int(v as i64)).collect();
+        let loose = build(&raw);
+        let mut tight_raw = raw.clone();
+        tight_raw.push(extra);
+        let tight = build(&tight_raw);
+        match (loose.maximize(&objective), tight.maximize(&objective)) {
+            (_, LpOutcome::Infeasible) => {}
+            (LpOutcome::Unbounded, _) => {}
+            (LpOutcome::Optimal(a), LpOutcome::Optimal(b)) => {
+                prop_assert!(b.value <= a.value);
+            }
+            (LpOutcome::Infeasible, other) => {
+                prop_assert!(false, "tightened problem became feasible: {other:?}");
+            }
+            (LpOutcome::Optimal(_), LpOutcome::Unbounded) => {
+                prop_assert!(false, "tightened problem became unbounded");
+            }
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Stress and adversarial tests for the exact simplex solver: worst-case
+//! pivoting paths (Klee–Minty), classic cycling examples (Beale), and
+//! exactness under coefficient growth.
+
+use lyric_arith::{BigInt, Rational};
+use lyric_simplex::{LpOutcome, LpProblem, Relop};
+
+fn r(v: i64) -> Rational {
+    Rational::from_int(v)
+}
+
+/// The Klee–Minty cube in dimension `n`:
+/// max Σ 2^(n-i) x_i  s.t.  2 Σ_{j<i} 2^(i-j) x_j + x_i ≤ 5^i, x ≥ 0.
+/// Dantzig's rule visits all 2^n vertices; any correct solver must land
+/// on the optimum 5^n.
+fn klee_minty(n: usize) -> (LpProblem, Vec<Rational>, Rational) {
+    let mut lp = LpProblem::new(n);
+    for i in 0..n {
+        let mut coeffs = vec![Rational::zero(); n];
+        for (j, c) in coeffs.iter_mut().enumerate().take(i) {
+            *c = Rational::from(BigInt::from(2i64).pow((i - j + 1) as u32));
+        }
+        coeffs[i] = Rational::one();
+        let rhs = Rational::from(BigInt::from(5i64).pow(i as u32 + 1));
+        lp.push(coeffs, Relop::Le, rhs);
+        // x_i >= 0
+        let mut nonneg = vec![Rational::zero(); n];
+        nonneg[i] = -Rational::one();
+        lp.push(nonneg, Relop::Le, Rational::zero());
+    }
+    let objective: Vec<Rational> = (0..n)
+        .map(|i| Rational::from(BigInt::from(2i64).pow((n - i - 1) as u32)))
+        .collect();
+    let optimum = Rational::from(BigInt::from(5i64).pow(n as u32));
+    (lp, objective, optimum)
+}
+
+#[test]
+fn klee_minty_cubes() {
+    for n in [2usize, 4, 6, 8] {
+        let (lp, objective, optimum) = klee_minty(n);
+        let opt = lp.maximize(&objective).optimal().unwrap_or_else(|| {
+            panic!("Klee–Minty n={n} must have an optimum")
+        });
+        assert_eq!(opt.supremum(), &optimum, "Klee–Minty n={n}");
+        assert!(opt.attained());
+    }
+}
+
+/// Beale's classic cycling example — degenerate pivots that loop forever
+/// under naive most-negative-cost pivoting. Bland's rule must terminate.
+#[test]
+fn beale_cycling_example_terminates() {
+    // min -3/4 x4 + 150 x5 - 1/50 x6 + 6 x7
+    // s.t. 1/4 x4 - 60 x5 - 1/25 x6 + 9 x7 <= 0
+    //      1/2 x4 - 90 x5 - 1/50 x6 + 3 x7 <= 0
+    //      x6 <= 1, x >= 0
+    let mut lp = LpProblem::new(4);
+    let q = Rational::from_pair;
+    lp.push(vec![q(1, 4), r(-60), q(-1, 25), r(9)], Relop::Le, r(0));
+    lp.push(vec![q(1, 2), r(-90), q(-1, 50), r(3)], Relop::Le, r(0));
+    lp.push(vec![r(0), r(0), r(1), r(0)], Relop::Le, r(1));
+    for i in 0..4 {
+        let mut nonneg = vec![Rational::zero(); 4];
+        nonneg[i] = -Rational::one();
+        lp.push(nonneg, Relop::Le, Rational::zero());
+    }
+    let objective = vec![q(-3, 4), r(150), q(-1, 50), r(6)];
+    let opt = lp.minimize(&objective).optimal().expect("Beale LP is bounded");
+    // Known optimum: -1/20 at x = (1/25, 0, 1, 0).
+    assert_eq!(opt.supremum(), &q(-1, 20));
+    let p = opt.concrete_point(&lp);
+    assert_eq!(p, vec![q(1, 25), r(0), r(1), r(0)]);
+}
+
+/// Exactness: a chain of constraints engineered so the optimum is a
+/// rational with large numerator/denominator; floating-point solvers
+/// cannot represent it, ours must return it exactly.
+#[test]
+fn exact_fractional_chain() {
+    // x_{i+1} = x_i / p_i (via equalities) with primes p_i; maximize x_n
+    // subject to x_0 = 1: optimum is 1/(p_0 ... p_{n-1}).
+    let primes = [3i64, 7, 11, 13, 17, 19, 23, 29];
+    let n = primes.len() + 1;
+    let mut lp = LpProblem::new(n);
+    let mut first = vec![Rational::zero(); n];
+    first[0] = Rational::one();
+    lp.push(first, Relop::Eq, r(1));
+    for (i, &p) in primes.iter().enumerate() {
+        let mut coeffs = vec![Rational::zero(); n];
+        coeffs[i] = Rational::one();
+        coeffs[i + 1] = -r(p);
+        lp.push(coeffs, Relop::Eq, r(0));
+    }
+    let mut objective = vec![Rational::zero(); n];
+    objective[n - 1] = Rational::one();
+    let opt = lp.maximize(&objective).optimal().expect("chain is a point");
+    let denom: i64 = primes.iter().product();
+    assert_eq!(opt.supremum(), &Rational::from_pair(1, denom));
+}
+
+/// A large sparse feasibility instance: difference constraints forming a
+/// consistent chain of 120 variables plus a closing constraint.
+#[test]
+fn large_difference_chain() {
+    let n = 120usize;
+    let mut lp = LpProblem::new(n);
+    // x_{i+1} - x_i >= 1  (i.e. x_i - x_{i+1} <= -1)
+    for i in 0..n - 1 {
+        let mut coeffs = vec![Rational::zero(); n];
+        coeffs[i] = Rational::one();
+        coeffs[i + 1] = -Rational::one();
+        lp.push(coeffs, Relop::Le, r(-1));
+    }
+    // x_{n-1} - x_0 <= 200 (consistent: minimum spread is n-1 = 119).
+    let mut closing = vec![Rational::zero(); n];
+    closing[n - 1] = Rational::one();
+    closing[0] = -Rational::one();
+    lp.push(closing, Relop::Le, r(200));
+    let point = lp.find_concrete_point().expect("chain is satisfiable");
+    for i in 0..n - 1 {
+        assert!(&point[i + 1] - &point[i] >= r(1));
+    }
+    // Tighten to inconsistency: spread must be >= 119 but <= 100.
+    let mut tight = LpProblem::new(n);
+    for i in 0..n - 1 {
+        let mut coeffs = vec![Rational::zero(); n];
+        coeffs[i] = Rational::one();
+        coeffs[i + 1] = -Rational::one();
+        tight.push(coeffs, Relop::Le, r(-1));
+    }
+    let mut closing = vec![Rational::zero(); n];
+    closing[n - 1] = Rational::one();
+    closing[0] = -Rational::one();
+    tight.push(closing, Relop::Le, r(100));
+    assert!(!tight.is_feasible());
+}
+
+/// Highly degenerate: many redundant copies of the binding constraints at
+/// the optimum must not trap Bland's rule.
+#[test]
+fn massive_degeneracy() {
+    let n = 6usize;
+    let mut lp = LpProblem::new(n);
+    for i in 0..n {
+        let mut nonneg = vec![Rational::zero(); n];
+        nonneg[i] = -Rational::one();
+        lp.push(nonneg, Relop::Le, Rational::zero());
+    }
+    // The same facet Σx <= 10, restated with scaled coefficients 12 times.
+    for k in 1..=12i64 {
+        lp.push(vec![r(k); n], Relop::Le, r(10 * k));
+    }
+    let opt = lp.maximize(&vec![r(1); n]).optimal().expect("bounded");
+    assert_eq!(opt.supremum(), &r(10));
+}
+
+/// Mixed strict/non-strict at scale: a strictly interior witness for a
+/// 40-dimensional open box, with all margins verified.
+#[test]
+fn high_dimensional_open_box() {
+    let n = 40usize;
+    let mut lp = LpProblem::new(n);
+    for i in 0..n {
+        let mut lo = vec![Rational::zero(); n];
+        lo[i] = -Rational::one();
+        lp.push(lo, Relop::Lt, r(0)); // x_i > 0
+        let mut hi = vec![Rational::zero(); n];
+        hi[i] = Rational::one();
+        lp.push(hi, Relop::Lt, r(1)); // x_i < 1
+    }
+    let p = lp.find_concrete_point().expect("open box is nonempty");
+    for x in &p {
+        assert!(x > &r(0) && x < &r(1), "strictly interior: {x}");
+    }
+    // And the supremum of Σx is n, not attained.
+    match lp.maximize(&vec![Rational::one(); n]) {
+        LpOutcome::Optimal(opt) => {
+            assert_eq!(opt.supremum(), &r(n as i64));
+            assert!(!opt.attained());
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}

@@ -1,0 +1,149 @@
+//! The chemical factory of §1.2: classical LP generalized to a database
+//! of constraint objects.
+//!
+//! Each manufacturing process is a constraint object relating raw-material
+//! consumption to product output. LyriC queries then answer the paper's
+//! questions: what is the best process for an order? how much raw material
+//! must be purchased? can the order be filled from inventory? what is the
+//! connection among producible quantities?
+//!
+//! ```sh
+//! cargo run --example factory_lp
+//! ```
+
+use lyric::execute;
+use lyric_arith::Rational;
+use lyric_constraint::{Atom, Conjunction, CstObject, LinExpr, Var};
+use lyric_oodb::{AttrDef, AttrTarget, ClassDef, Database, Oid, Schema, Value};
+
+/// Variables: m_acid, m_base (raw materials), p_solvent, p_resin
+/// (products), run (the process run length).
+fn process(
+    acid_rate: i64,
+    base_rate: i64,
+    solvent_rate: i64,
+    resin_rate: i64,
+    capacity: i64,
+) -> CstObject {
+    let v = |n: &str| LinExpr::var(Var::new(n));
+    let rate = |name: &str, r: i64| {
+        Atom::eq(v(name), LinExpr::term(Var::new("run"), Rational::from_int(r)))
+    };
+    CstObject::new(
+        vec![
+            Var::new("m_acid"),
+            Var::new("m_base"),
+            Var::new("p_solvent"),
+            Var::new("p_resin"),
+        ],
+        [Conjunction::of([
+            Atom::ge(v("run"), LinExpr::from(0)),
+            Atom::le(v("run"), LinExpr::from(capacity)),
+            rate("m_acid", acid_rate),
+            rate("m_base", base_rate),
+            rate("p_solvent", solvent_rate),
+            rate("p_resin", resin_rate),
+        ])],
+    )
+}
+
+fn main() {
+    let mut schema = Schema::new();
+    schema
+        .add_class(
+            ClassDef::new("Process")
+                .attr(AttrDef::scalar("name", AttrTarget::class("string")))
+                .attr(AttrDef::scalar(
+                    "constraint",
+                    AttrTarget::cst(["m_acid", "m_base", "p_solvent", "p_resin"]),
+                )),
+        )
+        .expect("schema");
+    let mut db = Database::new(schema).expect("validates");
+
+    // Three processes with different rates and capacities. Note the
+    // constraint objects keep `run` existentially quantified: the paper's
+    // lazy quantification at work.
+    for (name, c) in [
+        ("distillation", process(3, 1, 2, 0, 40)),
+        ("polymerization", process(1, 2, 0, 1, 60)),
+        ("combined", process(2, 2, 1, 1, 30)),
+    ] {
+        db.insert(
+            Oid::named(name),
+            "Process",
+            [
+                ("name", Value::Scalar(Oid::str(name))),
+                ("constraint", Value::Scalar(Oid::cst(c))),
+            ],
+        )
+        .expect("insert process");
+    }
+
+    println!("== Chemical factory (§1.2 LP application realm) ==\n");
+
+    // Profit: solvent sells at 5, resin at 8; acid costs 1, base costs 1.
+    // Stock: 80 units of acid, 90 of base.
+    let profit = "5 * p_solvent + 8 * p_resin - m_acid - m_base";
+    let stock = "m_acid <= 80 AND m_base <= 90";
+
+    // 1. Best achievable profit per process (MAX … SUBJECT TO).
+    let res = execute(
+        &mut db,
+        &format!(
+            "SELECT P.name, MAX({profit} SUBJECT TO
+                 ((m_acid,m_base,p_solvent,p_resin) | C AND {stock}))
+             FROM Process P WHERE P.constraint[C]"
+        ),
+    )
+    .expect("profit query");
+    println!("best profit per process under stock limits:\n{res}");
+
+    // 2. The operating point attaining it, per process.
+    let res = execute(
+        &mut db,
+        &format!(
+            "SELECT P.name, MAX_POINT({profit} SUBJECT TO
+                 ((m_acid,m_base,p_solvent,p_resin) | C AND {stock}))
+             FROM Process P WHERE P.constraint[C]"
+        ),
+    )
+    .expect("operating point query");
+    println!("optimal operating points:\n{res}");
+
+    // 3. "Can an order be filled only by using raw materials in
+    //    inventory?" — an order of 25 solvent: which processes have a
+    //    satisfiable operating point?
+    let res = execute(
+        &mut db,
+        &format!(
+            "SELECT P.name FROM Process P WHERE P.constraint[C]
+             AND (C AND {stock} AND p_solvent >= 25)"
+        ),
+    )
+    .expect("order feasibility query");
+    println!("processes able to fill an order of 25 solvent from stock:\n{res}");
+
+    // 4. "What is the connection among the quantities of all products that
+    //    can be produced?" — project each process onto the product space;
+    //    the answer is itself a constraint object.
+    let res = execute(
+        &mut db,
+        &format!(
+            "SELECT P.name, ((p_solvent, p_resin) | C AND {stock})
+             FROM Process P WHERE P.constraint[C]"
+        ),
+    )
+    .expect("product-space query");
+    println!("producible product combinations per process:\n{res}");
+
+    // 5. "For each order, what is the connection among the required raw
+    //    materials?" — fix the order, project onto the material space.
+    let res = execute(
+        &mut db,
+        "SELECT P.name, ((m_acid, m_base) | C AND p_solvent >= 20 AND p_resin >= 10)
+         FROM Process P WHERE P.constraint[C]",
+    )
+    .expect("material-space query");
+    println!("raw materials required to fill (>=20 solvent, >=10 resin):\n{res}");
+}

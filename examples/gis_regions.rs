@@ -1,0 +1,172 @@
+//! Spatial / GIS workload: constraint objects as named map regions, the
+//! paper's third application realm, including the §4.1 classification
+//! view (one view class per Region, with the view name given by a query
+//! variable).
+//!
+//! ```sh
+//! cargo run --example gis_regions
+//! ```
+
+use lyric::execute;
+use lyric_arith::Rational;
+use lyric_constraint::{Atom, Conjunction, CstObject, LinExpr, Var};
+use lyric_oodb::{AttrDef, AttrTarget, ClassDef, Database, Oid, Schema, Value};
+
+fn v(n: &str) -> LinExpr {
+    LinExpr::var(Var::new(n))
+}
+
+fn c(n: i64) -> LinExpr {
+    LinExpr::from(n)
+}
+
+/// A convex polygonal region over map coordinates (u, v).
+fn region(atoms: impl IntoIterator<Item = Atom>) -> CstObject {
+    CstObject::new(vec![Var::new("u"), Var::new("v")], [Conjunction::of(atoms)])
+}
+
+fn main() {
+    let mut schema = Schema::new();
+    // Region is a subclass of CST(2) — §3.2's CST classes — and carries a
+    // name attribute, as the paper suggests ("names of regions in a GIS").
+    schema
+        .add_class(
+            ClassDef::new("Region")
+                .cst_class(2)
+                .attr(AttrDef::scalar("name", AttrTarget::class("string"))),
+        )
+        .expect("schema");
+    schema
+        .add_class(
+            ClassDef::new("Site")
+                .attr(AttrDef::scalar("name", AttrTarget::class("string")))
+                .attr(AttrDef::scalar("footprint", AttrTarget::cst(["u", "v"]))),
+        )
+        .expect("schema");
+    let mut db = Database::new(schema).expect("validates");
+
+    // A 100×100 map: a triangular park, a rectangular harbor, and the
+    // city core.
+    let park = region([
+        Atom::ge(v("u"), c(10)),
+        Atom::ge(v("v"), c(10)),
+        Atom::le(v("u") + v("v"), c(60)),
+    ]);
+    let harbor = region([
+        Atom::ge(v("u"), c(70)),
+        Atom::le(v("u"), c(100)),
+        Atom::ge(v("v"), c(0)),
+        Atom::le(v("v"), c(30)),
+    ]);
+    let core = region([
+        Atom::ge(v("u"), c(30)),
+        Atom::le(v("u"), c(70)),
+        Atom::ge(v("v"), c(40)),
+        Atom::le(v("v"), c(80)),
+    ]);
+    for (name, r) in [("park", &park), ("harbor", &harbor), ("core", &core)] {
+        db.insert(
+            Oid::cst(r.clone()),
+            "Region",
+            [("name", Value::Scalar(Oid::str(name)))],
+        )
+        .expect("region insert");
+    }
+
+    // Sites with polygonal footprints.
+    let site = |u0: i64, u1: i64, v0: i64, v1: i64| {
+        region([
+            Atom::ge(v("u"), c(u0)),
+            Atom::le(v("u"), c(u1)),
+            Atom::ge(v("v"), c(v0)),
+            Atom::le(v("v"), c(v1)),
+        ])
+    };
+    for (name, fp) in [
+        ("bandstand", site(15, 20, 15, 20)),
+        ("pier_7", site(80, 90, 5, 15)),
+        ("warehouse", site(72, 95, 2, 28)),
+        ("city_hall", site(45, 55, 55, 65)),
+        ("border_market", site(65, 75, 25, 45)), // straddles regions
+    ] {
+        db.insert(
+            Oid::named(name),
+            "Site",
+            [
+                ("name", Value::Scalar(Oid::str(name))),
+                ("footprint", Value::Scalar(Oid::cst(fp))),
+            ],
+        )
+        .expect("site insert");
+    }
+
+    println!("== GIS regions over a 100x100 map ==\n");
+
+    // 1. Containment (the paper: "containment is expressed by
+    //    implication"): which sites lie entirely within which region?
+    let res = execute(
+        &mut db,
+        "SELECT S.name, R.name
+         FROM Site S, Region R
+         WHERE S.footprint[F] AND (F(u,v) |= R(u,v))",
+    )
+    .expect("containment query");
+    println!("site ⊆ region (entailment):\n{res}");
+
+    // 2. Intersection ("intersection is expressed by conjunction"): which
+    //    sites merely touch a region?
+    let res = execute(
+        &mut db,
+        "SELECT S.name, R.name
+         FROM Site S, Region R
+         WHERE S.footprint[F] AND (F(u,v) AND R(u,v))",
+    )
+    .expect("intersection query");
+    println!("site ∩ region nonempty (satisfiability):\n{res}");
+
+    // 3. The §4.1 classification view: one subclass of Site per region
+    //    containing the site. The view name is the query variable R.
+    let res = execute(
+        &mut db,
+        "CREATE VIEW R AS SUBCLASS OF Site
+         SELECT S
+         FROM Site S, Region R
+         WHERE S.footprint[F] AND (F(u,v) |= R(u,v))",
+    )
+    .expect("classification view");
+    println!("classification view created ({} memberships):\n{res}", res.rows.len());
+
+    // The park's view class now contains exactly the bandstand.
+    let park_class = Oid::cst(park.clone()).to_string();
+    println!(
+        "instances of the park's view class: {:?}",
+        db.extent(&park_class).iter().map(|o| o.to_string()).collect::<Vec<_>>()
+    );
+
+    // 4. Overlay analysis without stored objects: the part of the harbor
+    //    not covered by any site footprint, as a new constraint object.
+    let res = execute(
+        &mut db,
+        "SELECT R, ((u,v) | R(u,v) AND u <= 75) FROM Region R WHERE R.name = 'harbor'",
+    )
+    .expect("overlay query");
+    let strip = res.rows[0][1].as_cst().expect("cst");
+    println!("\nwestern strip of the harbor: {strip}");
+    println!(
+        "  area nonempty: {}, contains (72, 10): {}",
+        strip.satisfiable(),
+        strip.contains_point(&[Rational::from_int(72), Rational::from_int(10)])
+    );
+
+    // 5. Back to explicit geometry: exact polygon vertices of each region
+    //    (what a map renderer downstream of LyriC needs).
+    println!("\nregion polygons (exact, counter-clockwise):");
+    for (name, r) in [("park", &park), ("harbor", &harbor), ("core", &core)] {
+        let polygons = r.vertices_2d().expect("regions are bounded 2-D");
+        for poly in polygons {
+            let pts: Vec<String> =
+                poly.iter().map(|(x, y)| format!("({x},{y})")).collect();
+            println!("  {name}: {}", pts.join(" "));
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! The submarine Maneuver Decision Aid of §1.2 (BVCS93).
+//!
+//! The real MDA is a proprietary Naval Undersea Warfare Center system; per
+//! the reproduction's substitution rule we build a synthetic equivalent
+//! that exercises the same query shapes: maneuvers are points in the
+//! 4-dimensional space (course, speed, depth, time); goals such as "avoid
+//! the land obstacle", "maintain depth at 200 ft", "minimize speed" are
+//! constraint objects; queries find the best suitable maneuver regions
+//! under interrelated and possibly contradicting goals.
+//!
+//! ```sh
+//! cargo run --example mda_submarine
+//! ```
+
+use lyric::execute;
+use lyric_constraint::{Atom, Conjunction, CstObject, LinExpr, Var};
+use lyric_oodb::{AttrDef, AttrTarget, ClassDef, Database, Oid, Schema, Value};
+
+const DIMS: [&str; 4] = ["course", "speed", "depth", "time"];
+
+fn dims() -> Vec<Var> {
+    DIMS.iter().map(Var::new).collect()
+}
+
+fn v(n: &str) -> LinExpr {
+    LinExpr::var(Var::new(n))
+}
+
+fn c(n: i64) -> LinExpr {
+    LinExpr::from(n)
+}
+
+fn goal(atoms: impl IntoIterator<Item = Atom>) -> CstObject {
+    CstObject::new(dims(), [Conjunction::of(atoms)])
+}
+
+fn main() {
+    let mut schema = Schema::new();
+    schema
+        .add_class(
+            ClassDef::new("Goal")
+                .attr(AttrDef::scalar("name", AttrTarget::class("string")))
+                .attr(AttrDef::scalar("priority", AttrTarget::class("int")))
+                .attr(AttrDef::scalar(
+                    "region",
+                    AttrTarget::cst(DIMS),
+                )),
+        )
+        .expect("schema");
+    let mut db = Database::new(schema).expect("validates");
+
+    // Battle-management goals over (course °, speed kn, depth ft, time min).
+    let goals: Vec<(&str, i64, CstObject)> = vec![
+        (
+            "operational envelope",
+            1,
+            goal([
+                Atom::ge(v("course"), c(0)),
+                Atom::le(v("course"), c(360)),
+                Atom::ge(v("speed"), c(2)),
+                Atom::le(v("speed"), c(30)),
+                Atom::ge(v("depth"), c(50)),
+                Atom::le(v("depth"), c(800)),
+                Atom::ge(v("time"), c(0)),
+                Atom::le(v("time"), c(120)),
+            ]),
+        ),
+        (
+            "maintain depth near 200ft",
+            2,
+            goal([Atom::ge(v("depth"), c(150)), Atom::le(v("depth"), c(250))]),
+        ),
+        (
+            "avoid land obstacle to the east",
+            1,
+            // Heading must stay west of the shoal during the first hour:
+            // course between 180 and 300 while time <= 60.
+            goal([
+                Atom::ge(v("course"), c(180)),
+                Atom::le(v("course"), c(300)),
+                Atom::le(v("time"), c(60)),
+            ]),
+        ),
+        (
+            "quiet running",
+            3,
+            // Speed bounded by a depth-dependent noise budget:
+            // speed <= 5 + depth/50.
+            goal([Atom::le(
+                v("speed"),
+                c(5) + v("depth").scale(&lyric_arith::Rational::from_pair(1, 50)),
+            )]),
+        ),
+    ];
+    for (name, priority, region) in goals {
+        db.insert(
+            Oid::named(name.replace(' ', "_")),
+            "Goal",
+            [
+                ("name", Value::Scalar(Oid::str(name))),
+                ("priority", Value::Scalar(Oid::Int(priority))),
+                ("region", Value::Scalar(Oid::cst(region))),
+            ],
+        )
+        .expect("goal insert");
+    }
+
+    println!("== Maneuver Decision Aid (4-D: course, speed, depth, time) ==\n");
+
+    // 1. Pairwise compatibility of goals: which pairs admit a common
+    //    maneuver?
+    let res = execute(
+        &mut db,
+        "SELECT A.name, B.name
+         FROM Goal A, Goal B
+         WHERE A.region[RA] AND B.region[RB] AND A != B
+           AND (RA(course,speed,depth,time) AND RB(course,speed,depth,time))",
+    )
+    .expect("compatibility query");
+    println!("compatible goal pairs: {} of 12 ordered pairs\n", res.rows.len());
+
+    // 2. The joint maneuver region of all priority-1 and priority-2 goals,
+    //    as a new constraint object.
+    let res = execute(
+        &mut db,
+        "SELECT ((course,speed,depth,time) |
+                   A.region(course,speed,depth,time)
+               AND B.region(course,speed,depth,time)
+               AND C.region(course,speed,depth,time))
+         FROM Goal A, Goal B, Goal C
+         WHERE A.name = 'operational envelope'
+           AND B.name = 'maintain depth near 200ft'
+           AND C.name = 'avoid land obstacle to the east'",
+    )
+    .expect("joint region query");
+    let joint = res.rows[0][0].as_cst().expect("cst answer");
+    println!("joint maneuver region (priorities 1-2):\n  {joint}\n");
+
+    // 3. "Minimize speed" against the joint region (a goal expressed as an
+    //    objective, the paper's phrasing).
+    let res = execute(
+        &mut db,
+        "SELECT MIN(speed SUBJECT TO ((course,speed,depth,time) |
+                   A.region(course,speed,depth,time)
+               AND B.region(course,speed,depth,time)
+               AND D.region(course,speed,depth,time))),
+                MIN_POINT(speed SUBJECT TO ((course,speed,depth,time) |
+                   A.region(course,speed,depth,time)
+               AND B.region(course,speed,depth,time)
+               AND D.region(course,speed,depth,time)))
+         FROM Goal A, Goal B, Goal D
+         WHERE A.name = 'operational envelope'
+           AND B.name = 'maintain depth near 200ft'
+           AND D.name = 'quiet running'",
+    )
+    .expect("min speed query");
+    println!("slowest compliant maneuver:\n{res}");
+
+    // 4. Entailment: does the quiet-running budget already guarantee the
+    //    envelope's speed cap (speed <= 30) within the envelope's depths?
+    let res = execute(
+        &mut db,
+        "SELECT Q.name
+         FROM Goal Q, Goal E
+         WHERE Q.name = 'quiet running' AND E.name = 'operational envelope'
+           AND Q.region[RQ] AND E.region[RE]
+           AND ((RQ(course,speed,depth,time) AND depth <= 800) |= speed <= 30)",
+    )
+    .expect("entailment query");
+    println!(
+        "quiet running implies the 30kn cap below 800ft: {}",
+        if res.rows.is_empty() { "no" } else { "yes" }
+    );
+
+    // 5. A contradicting goal: sprint at 25+ kn while staying quiet at
+    //    shallow depth — the satisfiability predicate rejects it.
+    let res = execute(
+        &mut db,
+        "SELECT Q.name FROM Goal Q
+         WHERE Q.name = 'quiet running' AND Q.region[RQ]
+           AND (RQ(course,speed,depth,time) AND speed >= 25 AND depth <= 100)",
+    )
+    .expect("contradiction query");
+    println!(
+        "sprint-while-quiet-and-shallow is feasible: {}",
+        if res.rows.is_empty() { "no (goals contradict, as expected)" } else { "yes" }
+    );
+}

@@ -1,0 +1,169 @@
+//! An interactive LyriC shell over the paper's office database.
+//!
+//! ```sh
+//! cargo run --example repl
+//! ```
+//!
+//! Then type LyriC at the prompt (statements may span lines; end with `;`):
+//!
+//! ```text
+//! lyric> SELECT Y FROM Desk X WHERE X.drawer.extent[Y];
+//! lyric> SELECT CO, ((u,v) | E AND D AND x = 6 AND y = 4)
+//!    ...> FROM Office_Object CO WHERE CO.extent[E] AND CO.translation[D];
+//! ```
+//!
+//! Meta-commands: `:help`, `:schema`, `:classes`, `:extent <Class>`,
+//! `:save <file>`, `:load <file>`, `:quit`.
+
+use lyric::{execute, paper_example};
+use std::io::{self, BufRead, Write};
+
+fn main() {
+    let mut db = paper_example::database();
+    println!("LyriC shell — the Figure 2 office database is loaded.");
+    println!("End statements with ';'. Type :help for commands.\n");
+
+    let stdin = io::stdin();
+    let mut buffer = String::new();
+    prompt(buffer.is_empty());
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(l) => l,
+            Err(_) => break,
+        };
+        let trimmed = line.trim();
+        if buffer.is_empty() && trimmed.starts_with(':') {
+            if !meta_command(&mut db, trimmed) {
+                break;
+            }
+            prompt(true);
+            continue;
+        }
+        buffer.push_str(&line);
+        buffer.push('\n');
+        if trimmed.ends_with(';') {
+            let stmt = buffer.trim().trim_end_matches(';').to_string();
+            buffer.clear();
+            if !stmt.is_empty() {
+                match execute(&mut db, &stmt) {
+                    Ok(result) => {
+                        if result.rows.is_empty() {
+                            println!("(no rows)");
+                        } else {
+                            print!("{result}");
+                            println!("({} row{})", result.rows.len(), plural(result.rows.len()));
+                        }
+                    }
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+        }
+        prompt(buffer.is_empty());
+    }
+    println!();
+}
+
+fn prompt(fresh: bool) {
+    print!("{}", if fresh { "lyric> " } else { "   ...> " });
+    let _ = io::stdout().flush();
+}
+
+fn plural(n: usize) -> &'static str {
+    if n == 1 {
+        ""
+    } else {
+        "s"
+    }
+}
+
+/// Returns false when the shell should exit.
+fn meta_command(db: &mut lyric::oodb::Database, cmd: &str) -> bool {
+    let mut parts = cmd.split_whitespace();
+    match parts.next() {
+        Some(":quit") | Some(":q") | Some(":exit") => return false,
+        Some(":help") | Some(":h") => {
+            println!(":help             this help");
+            println!(":schema           list classes with their attributes");
+            println!(":classes          list class names");
+            println!(":extent <Class>   list the instances of a class");
+            println!(":save <file>      dump the database as text");
+            println!(":load <file>      replace the database from a dump");
+            println!(":quit             leave");
+            println!("anything else     a LyriC statement, terminated by ';'");
+        }
+        Some(":classes") => {
+            for name in db.schema().class_names() {
+                println!("{name}");
+            }
+        }
+        Some(":schema") => {
+            for name in db.schema().class_names() {
+                let def = db.schema().class(name).expect("listed class exists");
+                print!("{name}");
+                if !def.interface.is_empty() {
+                    let vars: Vec<&str> =
+                        def.interface.iter().map(|v| v.name()).collect();
+                    print!("({})", vars.join(","));
+                }
+                if !def.parents.is_empty() {
+                    print!(" : {}", def.parents.join(", "));
+                }
+                println!();
+                for (attr, decl) in db.schema().attributes_of(name) {
+                    let star = if decl.is_set { "*" } else { "" };
+                    match &decl.target {
+                        lyric::oodb::AttrTarget::Cst { vars } => {
+                            let vs: Vec<&str> = vars.iter().map(|v| v.name()).collect();
+                            println!("  {attr}{star} : CST({})", vs.join(","));
+                        }
+                        lyric::oodb::AttrTarget::Class { class, actuals } => {
+                            match actuals {
+                                Some(a) => {
+                                    let vs: Vec<&str> =
+                                        a.iter().map(|v| v.name()).collect();
+                                    println!("  {attr}{star} : ({}) -> {class}", vs.join(","));
+                                }
+                                None => println!("  {attr}{star} : {class}"),
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Some(":save") => match parts.next() {
+            Some(path) => match lyric::storage::save(db) {
+                Ok(text) => match std::fs::write(path, text) {
+                    Ok(()) => println!("saved to {path}"),
+                    Err(e) => println!("write failed: {e}"),
+                },
+                Err(e) => println!("serialize failed: {e}"),
+            },
+            None => println!("usage: :save <file>"),
+        },
+        Some(":load") => match parts.next() {
+            Some(path) => match std::fs::read_to_string(path) {
+                Ok(text) => match lyric::storage::load(&text) {
+                    Ok(loaded) => {
+                        *db = loaded;
+                        println!("loaded {path}");
+                    }
+                    Err(e) => println!("parse failed: {e}"),
+                },
+                Err(e) => println!("read failed: {e}"),
+            },
+            None => println!("usage: :load <file>"),
+        },
+        Some(":extent") => match parts.next() {
+            Some(class) if db.schema().has_class(class) => {
+                for oid in db.extent(class) {
+                    println!("{oid}");
+                }
+            }
+            Some(class) => println!("unknown class {class}"),
+            None => println!("usage: :extent <Class>"),
+        },
+        Some(other) => println!("unknown command {other} (try :help)"),
+        None => {}
+    }
+    true
+}

@@ -1,0 +1,20 @@
+//! Meta-crate for the LyriC reproduction workspace.
+//!
+//! Re-exports the user-facing crates so examples and integration tests can
+//! depend on a single package. See the individual crates for the real
+//! APIs:
+//!
+//! * [`lyric`] — the LyriC language (parser + evaluator) and the paper's
+//!   running example;
+//! * [`lyric_constraint`] — the linear-constraint engine (§3.1);
+//! * [`lyric_oodb`] — the object-oriented data model (§2/§3.2);
+//! * [`lyric_simplex`] — exact LP;
+//! * [`lyric_flatrel`] — flat constraint relations (§5);
+//! * [`lyric_arith`] — exact arithmetic.
+
+pub use lyric;
+pub use lyric_arith;
+pub use lyric_constraint;
+pub use lyric_flatrel;
+pub use lyric_oodb;
+pub use lyric_simplex;

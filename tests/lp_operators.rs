@@ -1,0 +1,199 @@
+//! The §4.2 LP operators (`MAX`/`MIN`/`MAX_POINT`/`MIN_POINT … SUBJECT
+//! TO`) across edge cases: open sets, unions, degenerate objectives,
+//! quantified formulas, and exactness of the answers.
+
+use lyric::paper_example::translation2;
+use lyric::{execute, LyricError};
+use lyric_arith::Rational;
+use lyric_constraint::{Atom, Conjunction, CstObject, LinExpr, Var};
+use lyric_oodb::{Database, Oid, Value};
+
+fn r(n: i64) -> Rational {
+    Rational::from_int(n)
+}
+
+fn db_with_extent(extent: CstObject) -> Database {
+    let mut db = Database::new(lyric::paper_example::schema()).unwrap();
+    db.declare_instance("Color", Oid::str("red")).unwrap();
+    db.insert(
+        Oid::named("obj"),
+        "Office_Object",
+        [
+            ("name", Value::Scalar(Oid::str("obj"))),
+            ("color", Value::Scalar(Oid::str("red"))),
+            ("extent", Value::Scalar(Oid::cst(extent))),
+            ("translation", Value::Scalar(Oid::cst(translation2()))),
+        ],
+    )
+    .unwrap();
+    db
+}
+
+fn diamond() -> CstObject {
+    // |w| + |z| <= 2 as four halfplanes.
+    let w = LinExpr::var(Var::new("w"));
+    let z = LinExpr::var(Var::new("z"));
+    CstObject::from_conjunction(
+        vec![Var::new("w"), Var::new("z")],
+        Conjunction::of([
+            Atom::le(&w + &z, LinExpr::from(2)),
+            Atom::le(&w - &z, LinExpr::from(2)),
+            Atom::le(-&w + z.clone(), LinExpr::from(2)),
+            Atom::le(&(-&w) - &z, LinExpr::from(2)),
+        ]),
+    )
+}
+
+#[test]
+fn fractional_exact_answers() {
+    // max 2w + 3z over the diamond: vertex answers are exact rationals.
+    let mut db = db_with_extent(diamond());
+    let res = execute(
+        &mut db,
+        "SELECT MAX(2*w + 3*z SUBJECT TO ((w,z) | E)),
+                MIN(w - z SUBJECT TO ((w,z) | E))
+         FROM Office_Object O WHERE O.extent[E]",
+    )
+    .unwrap();
+    // max 2w+3z on |w|+|z|<=2 is at (0,2): 6. min w−z at (0,2): −2? No:
+    // w−z minimal at (0,2) → −2, at (−2,0) → −2; both vertices give −2…
+    // actually (−1,1) interior edge values: w−z = −2 along the whole edge.
+    assert_eq!(res.rows[0][0], Oid::Rat(r(6)));
+    assert_eq!(res.rows[0][1], Oid::Rat(r(-2)));
+    // A fractional optimum: max w subject to 3w <= 2 within the diamond.
+    let res = execute(
+        &mut db,
+        "SELECT MAX(w SUBJECT TO ((w,z) | E AND 3*w <= 2)) FROM Office_Object O WHERE O.extent[E]",
+    )
+    .unwrap();
+    assert_eq!(res.rows[0][0], Oid::Rat(Rational::from_pair(2, 3)));
+}
+
+#[test]
+fn max_point_lands_on_vertex() {
+    let mut db = db_with_extent(diamond());
+    let res = execute(
+        &mut db,
+        "SELECT MAX_POINT(2*w + 3*z SUBJECT TO ((w,z) | E)) FROM Office_Object O WHERE O.extent[E]",
+    )
+    .unwrap();
+    let p = res.rows[0][0].as_cst().unwrap().find_point().unwrap();
+    assert_eq!(p, vec![r(0), r(2)]);
+}
+
+#[test]
+fn optimization_over_quantified_formula() {
+    // The SUBJECT TO formula can carry existential structure: maximize u
+    // over the translated extent without naming the local coordinates in
+    // the projection.
+    let mut db = db_with_extent(lyric::paper_example::box2("w", "z", -4, 4, -2, 2));
+    let res = execute(
+        &mut db,
+        "SELECT MAX(u SUBJECT TO ((u,v) | E AND D AND x = 6 AND y = 4))
+         FROM Office_Object O WHERE O.extent[E] AND O.translation[D]",
+    )
+    .unwrap();
+    assert_eq!(res.rows[0][0], Oid::Rat(r(10)));
+}
+
+#[test]
+fn objective_outside_formula_dimensions_is_an_error() {
+    let mut db = db_with_extent(diamond());
+    let err = execute(
+        &mut db,
+        "SELECT MAX(q SUBJECT TO ((w,z) | E)) FROM Office_Object O WHERE O.extent[E]",
+    )
+    .unwrap_err();
+    assert!(matches!(err, LyricError::TypeError(_)), "{err}");
+}
+
+#[test]
+fn empty_feasible_set_is_an_error() {
+    let mut db = db_with_extent(diamond());
+    let err = execute(
+        &mut db,
+        "SELECT MAX(w SUBJECT TO ((w,z) | E AND w >= 10)) FROM Office_Object O WHERE O.extent[E]",
+    )
+    .unwrap_err();
+    assert!(matches!(err, LyricError::EmptyOptimization), "{err}");
+}
+
+#[test]
+fn min_point_on_union_picks_best_disjunct() {
+    let left = lyric::paper_example::box2("w", "z", -4, -2, 0, 1);
+    let right = lyric::paper_example::box2("w", "z", 2, 4, 0, 1);
+    let mut db = db_with_extent(left.or(&right));
+    let res = execute(
+        &mut db,
+        "SELECT MIN(w SUBJECT TO ((w,z) | E)), MIN_POINT(w SUBJECT TO ((w,z) | E))
+         FROM Office_Object O WHERE O.extent[E]",
+    )
+    .unwrap();
+    assert_eq!(res.rows[0][0], Oid::Rat(r(-4)));
+    let p = res.rows[0][1].as_cst().unwrap().find_point().unwrap();
+    assert_eq!(p[0], r(-4));
+}
+
+#[test]
+fn constant_objective() {
+    let mut db = db_with_extent(diamond());
+    let res = execute(
+        &mut db,
+        "SELECT MAX(0 * w + 7 SUBJECT TO ((w,z) | E)) FROM Office_Object O WHERE O.extent[E]",
+    )
+    .unwrap();
+    assert_eq!(res.rows[0][0], Oid::Rat(r(7)));
+}
+
+#[test]
+fn lp_operators_per_row() {
+    // One MAX per FROM binding: two objects with different extents give
+    // different optima in the same query.
+    let mut db = db_with_extent(diamond());
+    db.insert(
+        Oid::named("obj2"),
+        "Office_Object",
+        [
+            ("name", Value::Scalar(Oid::str("obj2"))),
+            ("color", Value::Scalar(Oid::str("red"))),
+            (
+                "extent",
+                Value::Scalar(Oid::cst(lyric::paper_example::box2("w", "z", 0, 1, 0, 1))),
+            ),
+            ("translation", Value::Scalar(Oid::cst(translation2()))),
+        ],
+    )
+    .unwrap();
+    let res = execute(
+        &mut db,
+        "SELECT O.name, MAX(w + z SUBJECT TO ((w,z) | E))
+         FROM Office_Object O WHERE O.extent[E]",
+    )
+    .unwrap();
+    assert_eq!(res.rows.len(), 2);
+    let find = |name: &str| {
+        res.rows
+            .iter()
+            .find(|row| row[0] == Oid::str(name))
+            .map(|row| row[1].clone())
+            .unwrap()
+    };
+    assert_eq!(find("obj"), Oid::Rat(r(2)));
+    assert_eq!(find("obj2"), Oid::Rat(r(2)));
+    // Distinguish with a different objective.
+    let res = execute(
+        &mut db,
+        "SELECT O.name, MIN(w SUBJECT TO ((w,z) | E))
+         FROM Office_Object O WHERE O.extent[E]",
+    )
+    .unwrap();
+    let find = |name: &str| {
+        res.rows
+            .iter()
+            .find(|row| row[0] == Oid::str(name))
+            .map(|row| row[1].clone())
+            .unwrap()
+    };
+    assert_eq!(find("obj"), Oid::Rat(r(-2)));
+    assert_eq!(find("obj2"), Oid::Rat(r(0)));
+}
