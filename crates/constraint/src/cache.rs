@@ -1,0 +1,153 @@
+//! Memoization of satisfiability and entailment answers.
+//!
+//! Query evaluation re-asks the same questions constantly: the same stored
+//! constraint object is tested for feasibility once per binding, and
+//! entailment predicates re-derive `C ∧ ¬a` for every enumerated row. Both
+//! answers depend only on the conjunction itself — [`Conjunction`] is kept
+//! normalized and ordered by construction, so the value *is* its canonical
+//! cache key.
+//!
+//! The caches are thread-local and only consulted while an engine context
+//! with caching enabled is installed ([`lyric_engine::cache_enabled`]);
+//! standalone library use pays nothing. Entries are invalidated wholesale
+//! whenever [`lyric_engine::generation`] moves (a new context was
+//! installed), and each map is bounded: on overflow it is cleared rather
+//! than grown, keeping worst-case memory flat.
+
+use crate::atom::Atom;
+use crate::conjunction::Conjunction;
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Per-cache entry bound; crossing it clears the cache (cheap, and the
+/// generation mechanism already makes entries short-lived).
+const MAX_ENTRIES: usize = 16_384;
+
+struct Memo<K> {
+    generation: u64,
+    map: HashMap<K, bool>,
+}
+
+impl<K> Memo<K> {
+    fn new() -> Self {
+        Memo { generation: 0, map: HashMap::new() }
+    }
+}
+
+thread_local! {
+    static SAT: RefCell<Memo<Conjunction>> = RefCell::new(Memo::new());
+    static ENTAIL: RefCell<Memo<(Conjunction, Atom)>> = RefCell::new(Memo::new());
+}
+
+fn memoized<K: std::hash::Hash + Eq>(
+    cell: &'static std::thread::LocalKey<RefCell<Memo<K>>>,
+    key: impl FnOnce() -> K,
+    solve: impl FnOnce() -> bool,
+) -> bool {
+    if !lyric_engine::cache_enabled() {
+        return solve();
+    }
+    let generation = lyric_engine::generation();
+    let key = key();
+    let cached = cell.with(|c| {
+        let mut memo = c.borrow_mut();
+        if memo.generation != generation {
+            memo.generation = generation;
+            memo.map.clear();
+        }
+        memo.map.get(&key).copied()
+    });
+    if let Some(answer) = cached {
+        lyric_engine::note_cache(true);
+        return answer;
+    }
+    lyric_engine::note_cache(false);
+    // Solve *outside* the borrow: the solve path may recurse into another
+    // cached query (entailment probes satisfiability underneath).
+    let answer = solve();
+    cell.with(|c| {
+        let mut memo = c.borrow_mut();
+        if memo.map.len() >= MAX_ENTRIES {
+            memo.map.clear();
+        }
+        memo.map.insert(key, answer);
+    });
+    answer
+}
+
+/// Memoized satisfiability: `solve` runs on a miss and its answer is stored
+/// under `c`'s value.
+pub(crate) fn satisfiable(c: &Conjunction, solve: impl FnOnce() -> bool) -> bool {
+    memoized(&SAT, || c.clone(), solve)
+}
+
+/// Memoized single-atom entailment, keyed on the (conjunction, atom) pair.
+pub(crate) fn entails(c: &Conjunction, a: &Atom, solve: impl FnOnce() -> bool) -> bool {
+    memoized(&ENTAIL, || (c.clone(), a.clone()), solve)
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{Atom, Conjunction, LinExpr, Var};
+    use lyric_engine::{run_with, EngineBudget};
+
+    fn x_box() -> Conjunction {
+        let x = LinExpr::var(Var::new("x"));
+        Conjunction::of([
+            Atom::ge(x.clone(), LinExpr::from(0)),
+            Atom::le(x, LinExpr::from(10)),
+        ])
+    }
+
+    #[test]
+    fn repeated_sat_checks_hit_the_cache() {
+        let c = x_box();
+        let ((), stats) = run_with(EngineBudget::unlimited(), true, || {
+            assert!(c.satisfiable());
+            assert!(c.satisfiable());
+            assert!(c.satisfiable());
+        })
+        .unwrap();
+        assert_eq!(stats.sat_checks, 3);
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.cache_hits, 2);
+    }
+
+    #[test]
+    fn cache_disabled_context_never_probes() {
+        let c = x_box();
+        let ((), stats) = run_with(EngineBudget::unlimited(), false, || {
+            assert!(c.satisfiable());
+            assert!(c.satisfiable());
+        })
+        .unwrap();
+        assert_eq!(stats.cache_hits + stats.cache_misses, 0);
+        assert_eq!(stats.lp_runs, 2);
+    }
+
+    #[test]
+    fn entailment_answers_are_cached_per_atom() {
+        let c = x_box();
+        let a = Atom::le(LinExpr::var(Var::new("x")), LinExpr::from(20));
+        let ((), stats) = run_with(EngineBudget::unlimited(), true, || {
+            assert!(c.implies_atom(&a));
+            assert!(c.implies_atom(&a));
+        })
+        .unwrap();
+        assert_eq!(stats.entailment_checks, 2);
+        assert!(stats.cache_hits >= 1, "second probe must hit: {stats}");
+    }
+
+    #[test]
+    fn generations_isolate_contexts() {
+        let c = x_box();
+        let ((), first) =
+            run_with(EngineBudget::unlimited(), true, || assert!(c.satisfiable())).unwrap();
+        assert_eq!(first.cache_misses, 1);
+        // A fresh context must not see the previous context's entries.
+        let ((), second) =
+            run_with(EngineBudget::unlimited(), true, || assert!(c.satisfiable())).unwrap();
+        assert_eq!(second.cache_hits, 0);
+        assert_eq!(second.cache_misses, 1);
+    }
+}

@@ -29,7 +29,11 @@ impl Dnf {
     /// inconsistent disjuncts (one feasibility check each) and syntactic
     /// duplicates (already maintained by construction).
     pub fn simplify(&self) -> Dnf {
-        Dnf::of(self.disjuncts().iter().filter(|d| d.satisfiable()).cloned())
+        let out = Dnf::of(self.disjuncts().iter().filter(|d| d.satisfiable()).cloned());
+        lyric_engine::tally(|s| {
+            s.disjuncts_pruned += (self.disjuncts().len() - out.disjuncts().len()) as u64;
+        });
+        out
     }
 
     /// Strong (expensive) simplification: [`Dnf::simplify`] plus per-
@@ -83,6 +87,9 @@ impl CstObject {
             .map(|d| self.simplify_disjunct(d))
             .filter(|d| d.satisfiable())
             .collect();
+        lyric_engine::tally(|s| {
+            s.disjuncts_pruned += (self.disjuncts().len() - ds.len()) as u64;
+        });
         CstObject::new(self.free().to_vec(), ds)
     }
 

@@ -143,15 +143,19 @@ impl Conjunction {
         self.atoms.iter().partition(|a| a.op() != NormOp::Neq)
     }
 
-    /// Exact satisfiability over the reals.
+    /// Exact satisfiability over the reals. Answers are memoized under an
+    /// engine context with caching enabled (see `crate::cache`).
     pub fn satisfiable(&self) -> bool {
-        let (convex, neqs) = self.split_neq();
-        let lp = Lp::build(convex.iter().copied());
-        if !lp.problem.is_feasible() {
-            return false;
-        }
-        // Convexity lemma: check each disequation independently.
-        neqs.iter().all(|a| !lp.entails_eq_zero(a.expr()))
+        lyric_engine::tally(|s| s.sat_checks += 1);
+        crate::cache::satisfiable(self, || {
+            let (convex, neqs) = self.split_neq();
+            let lp = Lp::build(convex.iter().copied());
+            if !lp.problem.is_feasible() {
+                return false;
+            }
+            // Convexity lemma: check each disequation independently.
+            neqs.iter().all(|a| !lp.entails_eq_zero(a.expr()))
+        })
     }
 
     /// A satisfying point, if any. When disequations are present the convex
@@ -189,8 +193,10 @@ impl Conjunction {
 
     /// Entailment of a single atom: `self |= a` iff `self ∧ ¬a` is
     /// unsatisfiable. (An unsatisfiable conjunction entails everything.)
+    /// Answers are memoized under an engine context with caching enabled.
     pub fn implies_atom(&self, a: &Atom) -> bool {
-        !self.and_atom(a.negate()).satisfiable()
+        lyric_engine::tally(|s| s.entailment_checks += 1);
+        crate::cache::entails(self, a, || !self.and_atom(a.negate()).satisfiable())
     }
 
     /// Entailment between conjunctions: `self |= other` iff `self` entails

@@ -170,6 +170,7 @@ impl CstObject {
         let mut ds = Vec::with_capacity(a.disjuncts.len() * b.disjuncts.len());
         for da in &a.disjuncts {
             for db in &b.disjuncts {
+                lyric_engine::note(lyric_engine::Resource::Disjuncts);
                 ds.push(da.and(db));
             }
         }

@@ -68,6 +68,7 @@ impl Dnf {
         let mut out = Vec::with_capacity(self.disjuncts.len() * other.disjuncts.len());
         for a in &self.disjuncts {
             for b in &other.disjuncts {
+                lyric_engine::note(lyric_engine::Resource::Disjuncts);
                 out.push(a.and(b));
             }
         }
@@ -81,6 +82,10 @@ impl Dnf {
         if c.is_syntactically_false() {
             return Dnf::top();
         }
+        lyric_engine::note_many(
+            lyric_engine::Resource::Disjuncts,
+            c.atoms().len() as u64,
+        );
         Dnf::of(
             c.atoms()
                 .iter()
@@ -184,6 +189,7 @@ impl Dnf {
     /// cf. §3.1's remark on redundant-disjunct detection) but with eager
     /// unsatisfiability pruning at every node.
     pub fn implies(&self, other: &Dnf) -> bool {
+        lyric_engine::tally(|s| s.entailment_checks += 1);
         self.disjuncts.iter().all(|d| refute(d.clone(), &other.disjuncts))
     }
 

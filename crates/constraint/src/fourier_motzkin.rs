@@ -31,6 +31,7 @@ impl Conjunction {
     /// projection of a punctured polyhedron is not in general a single
     /// conjunction. (DNF-level elimination case-splits instead.)
     pub fn eliminate(&self, v: &Var) -> Result<Conjunction, ConstraintError> {
+        lyric_engine::tally(|s| s.eliminations += 1);
         // Equality substitution first: an equality `c·v + e = 0` gives
         // `v = -e/c`, valid for every other atom including disequations.
         if let Some(eq) = self
@@ -79,6 +80,7 @@ impl Conjunction {
         if !lowers.is_empty() && !uppers.is_empty() {
             for (lo, lo_strict) in &lowers {
                 for (hi, hi_strict) in &uppers {
+                    lyric_engine::note(lyric_engine::Resource::FmAtoms);
                     let op = if *lo_strict || *hi_strict { NormOp::Lt } else { NormOp::Le };
                     rest.push(Atom::normalized(lo - hi, op));
                 }

@@ -53,6 +53,7 @@
 //! ```
 
 mod atom;
+mod cache;
 mod canonical;
 mod conjunction;
 mod cst_object;

@@ -36,6 +36,10 @@ pub enum LyricError {
     Db(DbError),
     /// Underlying constraint-engine error.
     Constraint(ConstraintError),
+    /// The query crossed an [`EngineBudget`](lyric_engine::EngineBudget)
+    /// limit and was aborted. `limit`/`consumed` are in the resource's
+    /// native unit (counts, or milliseconds for the wall-clock deadline).
+    BudgetExceeded { resource: lyric_engine::Resource, limit: u64, consumed: u64 },
 }
 
 impl LyricError {
@@ -62,6 +66,16 @@ impl From<ConstraintError> for LyricError {
     }
 }
 
+impl From<lyric_engine::BudgetExceeded> for LyricError {
+    fn from(e: lyric_engine::BudgetExceeded) -> Self {
+        LyricError::BudgetExceeded {
+            resource: e.resource,
+            limit: e.limit,
+            consumed: e.consumed,
+        }
+    }
+}
+
 impl fmt::Display for LyricError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -85,6 +99,10 @@ impl fmt::Display for LyricError {
             }
             LyricError::Db(e) => write!(f, "database error: {e}"),
             LyricError::Constraint(e) => write!(f, "constraint error: {e}"),
+            LyricError::BudgetExceeded { resource, limit, consumed } => write!(
+                f,
+                "evaluation budget exceeded: {resource} (consumed {consumed} of limit {limit})"
+            ),
         }
     }
 }

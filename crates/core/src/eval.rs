@@ -23,11 +23,24 @@ use lyric_oodb::{AttrDef, AttrTarget, ClassDef, Database, Oid, Value};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-/// The answer of a query: column names and rows of oids.
-#[derive(Debug, Clone, PartialEq)]
+/// The answer of a query: column names, rows of oids, and the engine
+/// work counters accumulated while evaluating it.
+#[derive(Debug, Clone)]
 pub struct QueryResult {
     pub columns: Vec<String>,
     pub rows: Vec<Vec<Oid>>,
+    /// Pipeline statistics for this evaluation: simplex pivots, FM atoms,
+    /// DNF disjuncts, sat/entailment checks, memo-cache hits.
+    pub stats: lyric_engine::EngineStats,
+}
+
+/// Equality is over the *answer* (columns and rows) only: two evaluations
+/// of the same query are equal even when their work counters differ (e.g.
+/// warm vs cold memo cache).
+impl PartialEq for QueryResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.columns == other.columns && self.rows == other.rows
+    }
 }
 
 impl fmt::Display for QueryResult {
@@ -44,13 +57,61 @@ impl fmt::Display for QueryResult {
 /// Parse and execute a LyriC statement against a database. `CREATE VIEW`
 /// statements mutate the database (new class + extent) and also return the
 /// selected rows.
+///
+/// Runs under an unlimited [`EngineBudget`](lyric_engine::EngineBudget)
+/// with the memo cache enabled; the returned [`QueryResult::stats`] carry
+/// the work counters. Use [`execute_with_budget`] to bound the evaluation.
 pub fn execute(db: &mut Database, src: &str) -> Result<QueryResult, LyricError> {
     let q = parse_query(src)?;
     execute_parsed(db, &q)
 }
 
-/// Execute an already-parsed statement.
+/// Parse and execute a statement under an explicit evaluation budget.
+/// When a limit is crossed, evaluation aborts promptly and returns
+/// [`LyricError::BudgetExceeded`] with the limit and the amount consumed —
+/// adversarial constraint blowups degrade gracefully instead of hanging.
+pub fn execute_with_budget(
+    db: &mut Database,
+    src: &str,
+    budget: lyric_engine::EngineBudget,
+) -> Result<QueryResult, LyricError> {
+    let q = parse_query(src)?;
+    run_in_context(db, &q, budget)
+}
+
+/// Execute an already-parsed statement (unlimited budget, cache enabled).
+/// Composes with an outer [`lyric_engine::run_with`]: if a context is
+/// already installed, it is used as-is — its budget applies and the stats
+/// stamped on the result are the context's cumulative counters.
 pub fn execute_parsed(db: &mut Database, q: &Query) -> Result<QueryResult, LyricError> {
+    if lyric_engine::is_active() {
+        let mut res = execute_in_context(db, q)?;
+        if let Some(stats) = lyric_engine::snapshot() {
+            res.stats = stats;
+        }
+        return Ok(res);
+    }
+    run_in_context(db, q, lyric_engine::EngineBudget::unlimited())
+}
+
+/// Install an engine context around the evaluator and translate a budget
+/// abort into [`LyricError::BudgetExceeded`].
+fn run_in_context(
+    db: &mut Database,
+    q: &Query,
+    budget: lyric_engine::EngineBudget,
+) -> Result<QueryResult, LyricError> {
+    match lyric_engine::run_with(budget, true, || execute_in_context(db, q)) {
+        Ok((inner, stats)) => inner.map(|mut res| {
+            res.stats = stats;
+            res
+        }),
+        Err(exceeded) => Err(exceeded.into()),
+    }
+}
+
+/// The evaluator proper; runs inside whatever engine context is installed.
+fn execute_in_context(db: &mut Database, q: &Query) -> Result<QueryResult, LyricError> {
     match q {
         Query::Select(s) => {
             let ctx = Ctx::new(db, s, None);
@@ -71,7 +132,7 @@ pub fn execute_parsed(db: &mut Database, q: &Query) -> Result<QueryResult, Lyric
                 cols.push("oid".to_string());
             }
             cols.extend(columns);
-            Ok(QueryResult { columns: cols, rows: out_rows })
+            Ok(QueryResult { columns: cols, rows: out_rows, stats: Default::default() })
         }
         Query::CreateView(v) => execute_view(db, v),
     }
@@ -110,7 +171,11 @@ fn execute_view(db: &mut Database, v: &ViewQuery) -> Result<QueryResult, LyricEr
                 out_rows.push(vec![Oid::str(class_name.clone()), m]);
             }
         }
-        return Ok(QueryResult { columns: vec!["class".into(), "member".into()], rows: out_rows });
+        return Ok(QueryResult {
+            columns: vec!["class".into(), "member".into()],
+            rows: out_rows,
+            stats: Default::default(),
+        });
     }
 
     // Fixed-name view.
@@ -179,7 +244,7 @@ fn execute_view(db: &mut Database, v: &ViewQuery) -> Result<QueryResult, LyricEr
     } else {
         cols.push("member".into());
     }
-    Ok(QueryResult { columns: cols, rows: out_rows })
+    Ok(QueryResult { columns: cols, rows: out_rows, stats: Default::default() })
 }
 
 fn oid_function_value(

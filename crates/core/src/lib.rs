@@ -54,7 +54,7 @@ pub mod storage;
 mod token;
 
 pub use error::LyricError;
-pub use eval::{execute, execute_parsed, QueryResult};
+pub use eval::{execute, execute_parsed, execute_with_budget, QueryResult};
 pub use lexer::lex;
 pub use parser::{parse_formula, parse_query};
 pub use token::Token;
@@ -62,3 +62,8 @@ pub use token::Token;
 // Re-export the building blocks users need to construct databases.
 pub use lyric_constraint as constraint;
 pub use lyric_oodb as oodb;
+
+// Re-export the budget/statistics surface so downstream code does not need
+// a direct lyric-engine dependency.
+pub use lyric_engine as engine;
+pub use lyric_engine::{EngineBudget, EngineStats};

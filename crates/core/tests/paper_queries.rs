@@ -386,6 +386,33 @@ fn set_valued_paths() {
     assert_eq!(res.rows.len(), 2);
 }
 
+/// Every query result carries engine statistics: real LP work shows up as
+/// pivots, and a repeated entailment answers from the memo cache.
+#[test]
+fn engine_stats_are_reported() {
+    let mut db = db();
+    let res = execute(
+        &mut db,
+        "SELECT CO, ((u,v) | E AND D AND x = 6 AND y = 4)
+         FROM Office_Object CO WHERE CO.extent[E] AND CO.translation[D]",
+    )
+    .unwrap();
+    assert!(res.stats.pivots > 0, "simplex work must be counted: {}", res.stats);
+    assert!(res.stats.lp_runs > 0, "{}", res.stats);
+    assert!(res.stats.sat_checks > 0, "{}", res.stats);
+
+    // Two FROM bindings re-ask the same entailment: the second answer
+    // must come from the cache.
+    let res = execute(
+        &mut db,
+        "SELECT DSK FROM Desk DSK, Office_Object CO
+         WHERE DSK.drawer_center[C] AND (C(p,q) |= q <= 0)",
+    )
+    .unwrap();
+    assert!(res.stats.entailment_checks >= 2, "{}", res.stats);
+    assert!(res.stats.cache_hits > 0, "repeated entailment must hit: {}", res.stats);
+}
+
 /// Unbound variables are reported, not silently false: `Y` is declared by
 /// the bracket in the second conjunct but read by the first.
 #[test]

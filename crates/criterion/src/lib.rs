@@ -1,0 +1,224 @@
+//! A dependency-free stand-in for the subset of the `criterion` 0.5 API
+//! used by this workspace's `[[bench]]` targets. The build environment has
+//! no crates.io access, so external dependencies are replaced by in-tree
+//! shims (see `DESIGN.md`).
+//!
+//! Measurement model: each benchmark closure is warmed up once, then timed
+//! over enough iterations to fill a small measurement window; the median of
+//! several samples is printed as `ns/iter`. There is no statistical
+//! analysis, plotting, or baseline comparison — the point is that
+//! `cargo bench` compiles, runs, and emits one stable line per benchmark.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let samples = self.default_sample_size;
+        run_benchmark(&id.into_benchmark_id().0, samples, &mut f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        run_benchmark(&label, self.sample_size, &mut f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        let mut wrapped = |b: &mut Bencher| f(b, input);
+        run_benchmark(&label, self.sample_size, &mut wrapped);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId(format!("{}/{}", function_name.into(), parameter))
+    }
+
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self.to_string())
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self)
+    }
+}
+
+/// Units-of-work declaration; accepted and ignored.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Passed to benchmark closures; `iter` times the workload.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_count: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up and iteration-count calibration: aim for ~2ms per sample
+        // so fast routines are timed over many iterations.
+        let start = Instant::now();
+        std::hint::black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+
+        self.samples.clear();
+        for _ in 0..self.sample_count {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            self.samples.push(start.elapsed() / iters as u32);
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(label: &str, sample_count: usize, f: &mut F) {
+    let mut bencher = Bencher {
+        samples: Vec::new(),
+        sample_count,
+    };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{label:<60} (no measurement)");
+        return;
+    }
+    bencher.samples.sort();
+    let median = bencher.samples[bencher.samples.len() / 2];
+    println!("{label:<60} {:>12} ns/iter", median.as_nanos());
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        group.bench_function("sum", |b| {
+            b.iter(|| (0..100u64).sum::<u64>());
+        });
+        group.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &n| {
+            b.iter(|| n * 2);
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,482 @@
+//! Evaluation budgets and engine statistics for the LyriC constraint
+//! pipeline.
+//!
+//! The paper's central design tension is that every LyriC operation must
+//! stay tractable: it refuses eager quantifier elimination precisely
+//! because Fourier–Motzkin and DNF negation can explode exponentially.
+//! This crate is the engine's defense and its instrumentation: a
+//! per-query [`EngineBudget`] (pivots, FM atoms, DNF disjuncts, deadline)
+//! and an [`EngineStats`] counter set, carried in a thread-local
+//! [`context`] so the deep call graph (simplex pivot loop, FM product
+//! loop, DNF products) does not need threading a handle through every
+//! signature.
+//!
+//! # Usage
+//!
+//! Cost sites call [`note`] (or [`note_many`]) with a [`Resource`]; the
+//! active context counts the work and, when a budget limit is crossed,
+//! unwinds with a [`BudgetExceeded`] payload. [`run_with`] installs a
+//! context, catches that unwind at the boundary, and returns
+//! `Err(BudgetExceeded)` instead — ordinary panics propagate untouched.
+//! With no active context (`note` outside `run_with`) all accounting is a
+//! no-op, so library code is usable standalone at zero cost beyond one
+//! thread-local read.
+//!
+//! The unwind-based abort uses [`std::panic::panic_any`] with a private
+//! payload type; callers never observe it because `run_with` downcasts at
+//! the boundary. Cost sites therefore keep their existing infallible
+//! signatures — exactly the "degrade gracefully instead of hanging"
+//! contract from the roadmap.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::panic::{catch_unwind, panic_any, resume_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+/// The budgetable resources of the constraint pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Resource {
+    /// Simplex pivot steps (phase 1 + phase 2).
+    Pivots,
+    /// Atoms produced by Fourier–Motzkin elimination (the |L|·|U| product).
+    FmAtoms,
+    /// Disjuncts produced by DNF products (`and`) and negation.
+    Disjuncts,
+    /// Wall-clock evaluation time.
+    Time,
+}
+
+impl Resource {
+    pub fn name(self) -> &'static str {
+        match self {
+            Resource::Pivots => "simplex pivots",
+            Resource::FmAtoms => "fourier-motzkin atoms",
+            Resource::Disjuncts => "dnf disjuncts",
+            Resource::Time => "wall-clock time",
+        }
+    }
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Raised (as an `Err` from [`run_with`]) when a budget limit is crossed.
+/// `limit`/`consumed` are in the resource's native unit — counts for the
+/// counter resources, milliseconds for [`Resource::Time`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BudgetExceeded {
+    pub resource: Resource,
+    pub limit: u64,
+    pub consumed: u64,
+}
+
+impl fmt::Display for BudgetExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "evaluation budget exceeded: {} (consumed {} of limit {})",
+            self.resource, self.consumed, self.limit
+        )
+    }
+}
+
+impl std::error::Error for BudgetExceeded {}
+
+/// Per-query resource limits. `None` means unlimited. The default budget
+/// is fully unlimited so that installing a context for *statistics* never
+/// changes results.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineBudget {
+    pub max_pivots: Option<u64>,
+    pub max_fm_atoms: Option<u64>,
+    pub max_disjuncts: Option<u64>,
+    pub deadline: Option<Duration>,
+}
+
+impl EngineBudget {
+    /// Unlimited on every axis.
+    pub fn unlimited() -> Self {
+        EngineBudget::default()
+    }
+
+    /// A conservative interactive envelope: generous enough for every
+    /// paper query, small enough to stop adversarial blowups in well
+    /// under a second of wall-clock on current hardware.
+    pub fn interactive() -> Self {
+        EngineBudget {
+            max_pivots: Some(200_000),
+            max_fm_atoms: Some(50_000),
+            max_disjuncts: Some(20_000),
+            deadline: Some(Duration::from_secs(5)),
+        }
+    }
+
+    pub fn with_max_pivots(mut self, n: u64) -> Self {
+        self.max_pivots = Some(n);
+        self
+    }
+
+    pub fn with_max_fm_atoms(mut self, n: u64) -> Self {
+        self.max_fm_atoms = Some(n);
+        self
+    }
+
+    pub fn with_max_disjuncts(mut self, n: u64) -> Self {
+        self.max_disjuncts = Some(n);
+        self
+    }
+
+    pub fn with_deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
+    fn limit_for(&self, r: Resource) -> Option<u64> {
+        match r {
+            Resource::Pivots => self.max_pivots,
+            Resource::FmAtoms => self.max_fm_atoms,
+            Resource::Disjuncts => self.max_disjuncts,
+            Resource::Time => None, // handled via the deadline clock
+        }
+    }
+}
+
+/// Monotonic work counters for one engine context. All counters are
+/// cumulative over the context's lifetime; [`snapshot`] reads them out
+/// mid-run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Simplex pivot steps performed.
+    pub pivots: u64,
+    /// Number of simplex solves (phase-1/phase-2 runs counted once each).
+    pub lp_runs: u64,
+    /// Variables eliminated by Fourier–Motzkin / equality substitution.
+    pub eliminations: u64,
+    /// Atoms produced by FM elimination products.
+    pub fm_atoms: u64,
+    /// Disjuncts produced by DNF `and`/`negate` products.
+    pub disjuncts_produced: u64,
+    /// Disjuncts discarded as unsatisfiable or subsumed by simplification.
+    pub disjuncts_pruned: u64,
+    /// Conjunction satisfiability checks requested.
+    pub sat_checks: u64,
+    /// Entailment (`implies_atom`) checks requested.
+    pub entailment_checks: u64,
+    /// Memo-cache hits across the sat/entailment caches.
+    pub cache_hits: u64,
+    /// Memo-cache misses (an actual solve was performed and stored).
+    pub cache_misses: u64,
+}
+
+impl EngineStats {
+    /// Cache hit rate in `[0, 1]`, or `None` when no cacheable check ran.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let total = self.cache_hits + self.cache_misses;
+        (total > 0).then(|| self.cache_hits as f64 / total as f64)
+    }
+
+    /// Merge counters from another snapshot (used when aggregating
+    /// per-query stats into a report).
+    pub fn absorb(&mut self, other: &EngineStats) {
+        self.pivots += other.pivots;
+        self.lp_runs += other.lp_runs;
+        self.eliminations += other.eliminations;
+        self.fm_atoms += other.fm_atoms;
+        self.disjuncts_produced += other.disjuncts_produced;
+        self.disjuncts_pruned += other.disjuncts_pruned;
+        self.sat_checks += other.sat_checks;
+        self.entailment_checks += other.entailment_checks;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+    }
+}
+
+impl fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pivots={} lp_runs={} eliminations={} fm_atoms={} \
+             disjuncts={}(+{} pruned) sat_checks={} entailment_checks={} \
+             cache={}/{} hits",
+            self.pivots,
+            self.lp_runs,
+            self.eliminations,
+            self.fm_atoms,
+            self.disjuncts_produced,
+            self.disjuncts_pruned,
+            self.sat_checks,
+            self.entailment_checks,
+            self.cache_hits,
+            self.cache_hits + self.cache_misses,
+        )
+    }
+}
+
+/// How often the deadline clock is consulted, in `note` calls. Reading
+/// `Instant::now()` on every counted atom would dominate small solves.
+const DEADLINE_STRIDE: u64 = 64;
+
+struct ActiveContext {
+    budget: EngineBudget,
+    stats: EngineStats,
+    started: Instant,
+    notes_since_clock: u64,
+    cache_enabled: bool,
+}
+
+thread_local! {
+    static CONTEXT: RefCell<Option<ActiveContext>> = const { RefCell::new(None) };
+    /// Bumped every time a context is installed; memo caches in dependent
+    /// crates key their validity on this so entries never leak across
+    /// queries with different budgets or databases.
+    static GENERATION: RefCell<u64> = const { RefCell::new(0) };
+}
+
+/// Private unwind payload; `run_with` downcasts it at the boundary.
+struct BudgetUnwind(BudgetExceeded);
+
+/// The default panic hook prints a backtrace banner for every panic,
+/// including our internal budget unwind. Install (once, process-wide) a
+/// hook that stays silent for [`BudgetUnwind`] payloads and delegates to
+/// the previous hook otherwise.
+fn silence_budget_unwinds() {
+    static HOOK: std::sync::Once = std::sync::Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if info.payload().downcast_ref::<BudgetUnwind>().is_none() {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// True when an engine context is installed on this thread.
+pub fn is_active() -> bool {
+    CONTEXT.with(|c| c.borrow().is_some())
+}
+
+/// True when the sat/entailment memo cache should be consulted. False
+/// outside any context: standalone library use stays cache-free (and
+/// allocation-free).
+pub fn cache_enabled() -> bool {
+    CONTEXT.with(|c| c.borrow().as_ref().is_some_and(|a| a.cache_enabled))
+}
+
+/// The current cache generation. Memo caches must clear themselves when
+/// this changes.
+pub fn generation() -> u64 {
+    GENERATION.with(|g| *g.borrow())
+}
+
+/// Count `n` units of `r`, aborting the enclosing [`run_with`] when a
+/// budget limit is crossed. A no-op without an active context.
+pub fn note_many(r: Resource, n: u64) {
+    let exceeded = CONTEXT.with(|c| {
+        let mut borrow = c.borrow_mut();
+        let active = borrow.as_mut()?;
+        let counter = match r {
+            Resource::Pivots => {
+                active.stats.pivots += n;
+                active.stats.pivots
+            }
+            Resource::FmAtoms => {
+                active.stats.fm_atoms += n;
+                active.stats.fm_atoms
+            }
+            Resource::Disjuncts => {
+                active.stats.disjuncts_produced += n;
+                active.stats.disjuncts_produced
+            }
+            Resource::Time => 0,
+        };
+        if let Some(limit) = active.budget.limit_for(r) {
+            if counter > limit {
+                return Some(BudgetExceeded {
+                    resource: r,
+                    limit,
+                    consumed: counter,
+                });
+            }
+        }
+        // Deadline check, amortized over DEADLINE_STRIDE notes.
+        active.notes_since_clock += 1;
+        if active.notes_since_clock >= DEADLINE_STRIDE {
+            active.notes_since_clock = 0;
+            if let Some(deadline) = active.budget.deadline {
+                let elapsed = active.started.elapsed();
+                if elapsed > deadline {
+                    return Some(BudgetExceeded {
+                        resource: Resource::Time,
+                        limit: deadline.as_millis() as u64,
+                        consumed: elapsed.as_millis() as u64,
+                    });
+                }
+            }
+        }
+        None
+    });
+    if let Some(b) = exceeded {
+        panic_any(BudgetUnwind(b));
+    }
+}
+
+/// Count one unit of `r`. See [`note_many`].
+pub fn note(r: Resource) {
+    note_many(r, 1);
+}
+
+/// Record an uncapped statistic (no budget applies).
+pub fn tally(f: impl FnOnce(&mut EngineStats)) {
+    CONTEXT.with(|c| {
+        if let Some(active) = c.borrow_mut().as_mut() {
+            f(&mut active.stats);
+        }
+    });
+}
+
+/// Record a memo-cache probe outcome.
+pub fn note_cache(hit: bool) {
+    tally(|s| {
+        if hit {
+            s.cache_hits += 1;
+        } else {
+            s.cache_misses += 1;
+        }
+    });
+}
+
+/// Read the current context's counters, or `None` outside a context.
+pub fn snapshot() -> Option<EngineStats> {
+    CONTEXT.with(|c| c.borrow().as_ref().map(|a| a.stats))
+}
+
+/// Install `budget` for the duration of `f`, returning `f`'s value and
+/// the accumulated [`EngineStats`], or `Err(BudgetExceeded)` if a limit
+/// was crossed. Contexts do not nest: a `run_with` inside an active
+/// context would silently re-scope the outer budget, so it panics —
+/// callers gate on [`is_active`] instead.
+pub fn run_with<T>(
+    budget: EngineBudget,
+    cache: bool,
+    f: impl FnOnce() -> T,
+) -> Result<(T, EngineStats), BudgetExceeded> {
+    silence_budget_unwinds();
+    CONTEXT.with(|c| {
+        let mut borrow = c.borrow_mut();
+        assert!(
+            borrow.is_none(),
+            "engine contexts do not nest; check engine::is_active() first"
+        );
+        *borrow = Some(ActiveContext {
+            budget,
+            stats: EngineStats::default(),
+            started: Instant::now(),
+            notes_since_clock: 0,
+            cache_enabled: cache,
+        });
+    });
+    GENERATION.with(|g| *g.borrow_mut() += 1);
+
+    let outcome = catch_unwind(AssertUnwindSafe(f));
+    let stats = CONTEXT
+        .with(|c| c.borrow_mut().take())
+        .expect("context still installed")
+        .stats;
+
+    match outcome {
+        Ok(value) => Ok((value, stats)),
+        Err(payload) => match payload.downcast::<BudgetUnwind>() {
+            Ok(unwound) => Err(unwound.0),
+            Err(other) => resume_unwind(other),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_without_context() {
+        note_many(Resource::Pivots, 1_000_000);
+        assert!(snapshot().is_none());
+        assert!(!is_active());
+        assert!(!cache_enabled());
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let ((), stats) = run_with(EngineBudget::unlimited(), true, || {
+            note_many(Resource::Pivots, 7);
+            note_many(Resource::FmAtoms, 3);
+            note(Resource::Disjuncts);
+            note_cache(true);
+            note_cache(false);
+            tally(|s| s.sat_checks += 2);
+        })
+        .expect("unlimited budget");
+        assert_eq!(stats.pivots, 7);
+        assert_eq!(stats.fm_atoms, 3);
+        assert_eq!(stats.disjuncts_produced, 1);
+        assert_eq!(stats.cache_hits, 1);
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.sat_checks, 2);
+        assert_eq!(stats.cache_hit_rate(), Some(0.5));
+    }
+
+    #[test]
+    fn budget_aborts_with_payload() {
+        let err = run_with(
+            EngineBudget::unlimited().with_max_pivots(10),
+            false,
+            || {
+                for _ in 0..100 {
+                    note(Resource::Pivots);
+                }
+            },
+        )
+        .expect_err("limit of 10 must trip");
+        assert_eq!(err.resource, Resource::Pivots);
+        assert_eq!(err.limit, 10);
+        assert_eq!(err.consumed, 11);
+        // The context is cleaned up even after an abort.
+        assert!(!is_active());
+    }
+
+    #[test]
+    fn deadline_aborts() {
+        let err = run_with(
+            EngineBudget::unlimited().with_deadline(Duration::from_millis(1)),
+            false,
+            || loop {
+                note(Resource::Pivots);
+            },
+        )
+        .expect_err("deadline must trip");
+        assert_eq!(err.resource, Resource::Time);
+        assert!(err.consumed >= err.limit);
+    }
+
+    #[test]
+    fn ordinary_panics_pass_through() {
+        let caught = std::panic::catch_unwind(|| {
+            let _ = run_with(EngineBudget::unlimited(), false, || {
+                panic!("user panic");
+            });
+        });
+        assert!(caught.is_err());
+        assert!(!is_active());
+    }
+
+    #[test]
+    fn generation_bumps_per_context() {
+        let before = generation();
+        let _ = run_with(EngineBudget::unlimited(), true, || {});
+        let _ = run_with(EngineBudget::unlimited(), true, || {});
+        assert_eq!(generation(), before + 2);
+    }
+}

@@ -1,0 +1,616 @@
+//! A dependency-free stand-in for the subset of the `proptest` 1.x API used
+//! by this workspace. The build environment has no crates.io access, so
+//! external dev-dependencies are replaced by in-tree shims (see `DESIGN.md`).
+//!
+//! Scope and deliberate omissions:
+//!
+//! * Strategies generate values directly from a seeded RNG; there is **no
+//!   shrinking** and no `.proptest-regressions` persistence. A failing case
+//!   panics with the generated value via the normal assert message.
+//! * `prop_filter` retries its source locally instead of rejecting the whole
+//!   test case; `prop_assume` skips the current case (counted as a pass).
+//! * `prop_recursive` unrolls the recursion to the requested depth with a
+//!   leaf/branch mix at every level, rather than sizing trees by node count.
+//!
+//! Seeds are derived from the test name, so runs are deterministic.
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+    use std::sync::Arc;
+
+    /// How many times a filtered strategy re-samples before giving up and
+    /// reporting a rejection to the runner.
+    const FILTER_RETRIES: usize = 100;
+
+    /// A generator of random values. `generate` returns `None` when a
+    /// filter could not be satisfied; the runner re-samples on `None`.
+    pub trait Strategy {
+        type Value;
+
+        fn generate(&self, rng: &mut StdRng) -> Option<Self::Value>;
+
+        fn prop_map<T, F>(self, fun: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> T,
+        {
+            Map { source: self, fun }
+        }
+
+        fn prop_filter<F>(self, _whence: &'static str, fun: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter { source: self, fun }
+        }
+
+        fn prop_flat_map<S2, F>(self, fun: F) -> Flatten<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            Flatten { source: self, fun }
+        }
+
+        /// Unrolled recursion: at each of `depth` levels the result is a
+        /// weighted choice between the original leaf and one more layer of
+        /// `recurse` applied to the previous level.
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch_size: u32,
+            recurse: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + Clone + 'static,
+            Self::Value: 'static,
+            S2: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2,
+        {
+            let leaf: BoxedStrategy<Self::Value> = self.clone().boxed();
+            let mut current = leaf.clone();
+            for _ in 0..depth {
+                let deeper = recurse(current).boxed();
+                current = Union::new(vec![(1, leaf.clone()), (2, deeper)]).boxed();
+            }
+            current
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Arc::new(self))
+        }
+    }
+
+    /// Type-erased, cheaply clonable strategy handle.
+    pub struct BoxedStrategy<T>(Arc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> Option<T> {
+            self.0.generate(rng)
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        source: S,
+        fun: F,
+    }
+
+    impl<S, T, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> Option<T> {
+            self.source.generate(rng).map(&self.fun)
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct Filter<S, F> {
+        source: S,
+        fun: F,
+    }
+
+    impl<S, F> Strategy for Filter<S, F>
+    where
+        S: Strategy,
+        F: Fn(&S::Value) -> bool,
+    {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut StdRng) -> Option<S::Value> {
+            for _ in 0..FILTER_RETRIES {
+                if let Some(v) = self.source.generate(rng) {
+                    if (self.fun)(&v) {
+                        return Some(v);
+                    }
+                }
+            }
+            None
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct Flatten<S, F> {
+        source: S,
+        fun: F,
+    }
+
+    impl<S, S2, F> Strategy for Flatten<S, F>
+    where
+        S: Strategy,
+        S2: Strategy,
+        F: Fn(S::Value) -> S2,
+    {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut StdRng) -> Option<S2::Value> {
+            let seed = self.source.generate(rng)?;
+            (self.fun)(seed).generate(rng)
+        }
+    }
+
+    /// Weighted choice between type-erased alternatives (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u32,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            let total = arms.iter().map(|(w, _)| *w).sum();
+            assert!(total > 0, "prop_oneof! weights must not all be zero");
+            Union { arms, total }
+        }
+    }
+
+    impl<T> Clone for Union<T> {
+        fn clone(&self) -> Self {
+            Union {
+                arms: self.arms.clone(),
+                total: self.total,
+            }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> Option<T> {
+            let mut pick = rng.gen_range(0..self.total);
+            for (weight, arm) in &self.arms {
+                if pick < *weight {
+                    return arm.generate(rng);
+                }
+                pick -= weight;
+            }
+            unreachable!("weighted pick out of range")
+        }
+    }
+
+    /// Constant strategy.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> Option<T> {
+            Some(self.0.clone())
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> Option<$t> {
+                    Some(rng.gen_range(self.clone()))
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> Option<$t> {
+                    Some(rng.gen_range(self.clone()))
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($name:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Option<Self::Value> {
+                    let ($($name,)+) = self;
+                    Some(($($name.generate(rng)?,)+))
+                }
+            }
+        )*};
+    }
+
+    impl_tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+
+    /// A vector of strategies generates element-wise (used for per-index
+    /// strategies, e.g. random forest parents in the oodb tests).
+    impl<S: Strategy> Strategy for Vec<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Option<Self::Value> {
+            self.iter().map(|s| s.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive length bounds for collection strategies.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty collection size range");
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Option<Self::Value> {
+            let len = rng.gen_range(self.size.lo..=self.size.hi);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    #[derive(Clone)]
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Option<Option<S::Value>> {
+            if rng.gen_range(0..4usize) == 0 {
+                Some(None)
+            } else {
+                self.inner.generate(rng).map(Some)
+            }
+        }
+    }
+}
+
+pub mod arbitrary {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::{Rng, RngCore};
+    use std::marker::PhantomData;
+
+    /// Full-range value generation for `any::<T>()`, with a mild bias
+    /// toward boundary values (zero, ±1, MIN, MAX).
+    pub trait ArbitraryValue: Sized {
+        fn arbitrary_value(rng: &mut StdRng) -> Self;
+    }
+
+    pub struct Any<T>(PhantomData<fn() -> T>);
+
+    impl<T> Clone for Any<T> {
+        fn clone(&self) -> Self {
+            Any(PhantomData)
+        }
+    }
+
+    pub fn any<T: ArbitraryValue>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    impl<T: ArbitraryValue> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> Option<T> {
+            Some(T::arbitrary_value(rng))
+        }
+    }
+
+    impl ArbitraryValue for bool {
+        fn arbitrary_value(rng: &mut StdRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl ArbitraryValue for $t {
+                fn arbitrary_value(rng: &mut StdRng) -> $t {
+                    if rng.gen_range(0..8usize) == 0 {
+                        // (0 - 1) wraps to -1 for signed types and to MAX
+                        // for unsigned ones — both useful edge values.
+                        const EDGES: [$t; 5] =
+                            [0, 1, (0 as $t).wrapping_sub(1), <$t>::MIN, <$t>::MAX];
+                        EDGES[rng.gen_range(0..EDGES.len())]
+                    } else {
+                        let lo = rng.next_u64() as u128;
+                        let hi = rng.next_u64() as u128;
+                        ((hi << 64) | lo) as $t
+                    }
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(i8, i16, i32, i64, i128, u8, u16, u32, u64, u128, usize, isize);
+}
+
+pub mod test_runner {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Runner configuration. Only `cases` is honoured; the struct is
+    /// non-exhaustive-in-spirit to keep call sites source-compatible.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: 64,
+                max_global_rejects: 4096,
+            }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig {
+                cases,
+                ..ProptestConfig::default()
+            }
+        }
+    }
+
+    fn seed_from_name(name: &str) -> u64 {
+        // FNV-1a keeps runs deterministic per test without colliding
+        // across sibling tests in one binary.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+
+    pub fn run<S, F>(name: &str, config: &ProptestConfig, strategy: S, mut body: F)
+    where
+        S: Strategy,
+        F: FnMut(S::Value),
+    {
+        let mut rng = StdRng::seed_from_u64(seed_from_name(name));
+        let mut done = 0u32;
+        let mut rejects = 0u32;
+        while done < config.cases {
+            match strategy.generate(&mut rng) {
+                Some(value) => {
+                    body(value);
+                    done += 1;
+                }
+                None => {
+                    rejects += 1;
+                    assert!(
+                        rejects <= config.max_global_rejects,
+                        "test `{name}`: too many strategy rejections \
+                         ({rejects}); loosen the filters"
+                    );
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+pub use strategy::Strategy;
+
+/// Weighted or unweighted choice over heterogeneous strategies with a
+/// common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// The test-block macro: expands each `fn name(arg in strategy, ...)` item
+/// into a plain `#[test]` driving [`test_runner::run`].
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let strategy = ($($strat,)+);
+            $crate::test_runner::run(
+                stringify!($name),
+                &config,
+                strategy,
+                |($($arg,)+)| $body,
+            );
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)+) => { assert!($($args)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)+) => { assert_eq!($($args)+) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)+) => { assert_ne!($($args)+) };
+}
+
+/// Skips the current case when the hypothesis fails (counted as a pass —
+/// this shim has no rejection bookkeeping at the case level).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn union_respects_weights() {
+        use crate::strategy::Strategy;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let u = prop_oneof![9 => 0..1i32, 1 => 1..2i32];
+        let mut rng = StdRng::seed_from_u64(3);
+        let ones = (0..1000)
+            .filter(|_| u.generate(&mut rng) == Some(1))
+            .count();
+        assert!((50..200).contains(&ones), "got {ones}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(a in -5..=5i64, b in 0..10usize) {
+            prop_assert!((-5..=5).contains(&a));
+            prop_assert!(b < 10);
+        }
+
+        #[test]
+        fn filters_hold(v in (0..100i32).prop_filter("even", |v| v % 2 == 0)) {
+            prop_assert_eq!(v % 2, 0);
+        }
+
+        #[test]
+        fn vec_sizes_hold(v in crate::collection::vec(0..3u8, 1..4)) {
+            prop_assert!(!v.is_empty() && v.len() <= 3);
+            prop_assert!(v.iter().all(|&x| x < 3));
+        }
+
+        #[test]
+        fn assume_skips(v in 0..10i32) {
+            prop_assume!(v != 3);
+            prop_assert_ne!(v, 3);
+        }
+    }
+}

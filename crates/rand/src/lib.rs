@@ -1,0 +1,149 @@
+//! A tiny, dependency-free stand-in for the subset of the `rand` 0.8 API
+//! used by this workspace (`StdRng`, `SeedableRng::seed_from_u64`,
+//! `Rng::gen_range`, `Rng::gen_bool`).
+//!
+//! The build environment has no access to crates.io, so external
+//! dependencies are replaced by in-tree shims (see `DESIGN.md`). The
+//! generator is SplitMix64 — deterministic per seed, which is exactly what
+//! the seeded workload generators and property tests rely on. It is **not**
+//! cryptographically secure and not stream-compatible with the real
+//! `StdRng`; only the API shape and statistical adequacy are preserved.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seedable generators (only `seed_from_u64` is provided).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The sampling interface. Implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from a range. Mirrors `rand 0.8`'s
+    /// `gen_range(range)`, panicking on empty ranges.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self.next_u64())
+    }
+
+    /// Bernoulli trial with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        // 53 uniform mantissa bits, as the real implementation does.
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<T: RngCore + ?Sized> Rng for T {}
+
+/// The raw word source.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Types uniformly samplable from a range (primitive integers). A single
+/// blanket `SampleRange` impl per range shape keeps integer-literal
+/// inference working the same way it does with the real crate.
+pub trait SampleUniform: Copy + PartialOrd {
+    fn to_wide(self) -> i128;
+    fn from_wide(v: i128) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn to_wide(self) -> i128 {
+                self as i128
+            }
+            fn from_wide(v: i128) -> $t {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+/// A range that knows how to map one uniform word into itself.
+pub trait SampleRange<T> {
+    fn sample(self, word: u64) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample(self, word: u64) -> T {
+        let (lo, hi) = (self.start.to_wide(), self.end.to_wide());
+        assert!(lo < hi, "cannot sample empty range");
+        let span = (hi - lo) as u128;
+        T::from_wide(lo + (word as u128 % span) as i128)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, word: u64) -> T {
+        let (lo, hi) = (self.start().to_wide(), self.end().to_wide());
+        assert!(lo <= hi, "cannot sample empty range");
+        let span = (hi - lo) as u128 + 1;
+        T::from_wide(lo + (word as u128 % span) as i128)
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// SplitMix64 behind the `StdRng` name (see the crate docs for the
+    /// compatibility caveat).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1000), b.gen_range(0..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(-3..=3i64);
+            assert!((-3..=3).contains(&v));
+            let u = r.gen_range(0..3usize);
+            assert!(u < 3);
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes_and_mass() {
+        let mut r = StdRng::seed_from_u64(1);
+        assert!(!r.gen_bool(0.0));
+        assert!(r.gen_bool(1.0));
+        let hits = (0..2000).filter(|_| r.gen_bool(0.75)).count();
+        assert!((1300..1700).contains(&hits), "got {hits}");
+    }
+}

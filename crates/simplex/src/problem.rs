@@ -160,6 +160,7 @@ impl LpProblem {
 
     /// A feasible point in ε-extended coordinates, if one exists.
     pub fn find_point(&self) -> Option<Vec<EpsRational>> {
+        lyric_engine::tally(|s| s.lp_runs += 1);
         let mut t = Tableau::build(self);
         if !t.phase1() {
             return None;
@@ -185,6 +186,7 @@ impl LpProblem {
     }
 
     fn optimize(&self, objective: &[Rational], maximize: bool) -> LpOutcome {
+        lyric_engine::tally(|s| s.lp_runs += 1);
         assert_eq!(
             objective.len(),
             self.num_vars,

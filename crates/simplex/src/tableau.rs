@@ -209,6 +209,7 @@ impl Tableau {
             let Some((r, _)) = best else {
                 return false;
             };
+            lyric_engine::note(lyric_engine::Resource::Pivots);
             self.pivot(r, q, &mut reduced);
         }
     }

@@ -13,13 +13,24 @@
 //! ```
 //!
 //! Meta-commands: `:help`, `:schema`, `:classes`, `:extent <Class>`,
-//! `:save <file>`, `:load <file>`, `:quit`.
+//! `:stats`, `:save <file>`, `:load <file>`, `:quit`.
+//!
+//! Queries run under the engine's *interactive* evaluation budget, so an
+//! adversarial constraint blowup reports `evaluation budget exceeded`
+//! instead of hanging the shell. `:stats` toggles a per-query engine
+//! statistics line (pivots, FM atoms, disjuncts, cache hits).
 
-use lyric::{execute, paper_example};
+use lyric::{execute_with_budget, paper_example, EngineBudget};
 use std::io::{self, BufRead, Write};
+
+/// Shell state beyond the database itself.
+struct Session {
+    show_stats: bool,
+}
 
 fn main() {
     let mut db = paper_example::database();
+    let mut session = Session { show_stats: false };
     println!("LyriC shell — the Figure 2 office database is loaded.");
     println!("End statements with ';'. Type :help for commands.\n");
 
@@ -33,7 +44,7 @@ fn main() {
         };
         let trimmed = line.trim();
         if buffer.is_empty() && trimmed.starts_with(':') {
-            if !meta_command(&mut db, trimmed) {
+            if !meta_command(&mut db, &mut session, trimmed) {
                 break;
             }
             prompt(true);
@@ -45,13 +56,16 @@ fn main() {
             let stmt = buffer.trim().trim_end_matches(';').to_string();
             buffer.clear();
             if !stmt.is_empty() {
-                match execute(&mut db, &stmt) {
+                match execute_with_budget(&mut db, &stmt, EngineBudget::interactive()) {
                     Ok(result) => {
                         if result.rows.is_empty() {
                             println!("(no rows)");
                         } else {
                             print!("{result}");
                             println!("({} row{})", result.rows.len(), plural(result.rows.len()));
+                        }
+                        if session.show_stats {
+                            println!("[engine: {}]", result.stats);
                         }
                     }
                     Err(e) => println!("error: {e}"),
@@ -77,7 +91,7 @@ fn plural(n: usize) -> &'static str {
 }
 
 /// Returns false when the shell should exit.
-fn meta_command(db: &mut lyric::oodb::Database, cmd: &str) -> bool {
+fn meta_command(db: &mut lyric::oodb::Database, session: &mut Session, cmd: &str) -> bool {
     let mut parts = cmd.split_whitespace();
     match parts.next() {
         Some(":quit") | Some(":q") | Some(":exit") => return false,
@@ -86,10 +100,18 @@ fn meta_command(db: &mut lyric::oodb::Database, cmd: &str) -> bool {
             println!(":schema           list classes with their attributes");
             println!(":classes          list class names");
             println!(":extent <Class>   list the instances of a class");
+            println!(":stats            toggle the per-query engine statistics line");
             println!(":save <file>      dump the database as text");
             println!(":load <file>      replace the database from a dump");
             println!(":quit             leave");
             println!("anything else     a LyriC statement, terminated by ';'");
+        }
+        Some(":stats") => {
+            session.show_stats = !session.show_stats;
+            println!(
+                "engine statistics {}",
+                if session.show_stats { "on" } else { "off" }
+            );
         }
         Some(":classes") => {
             for name in db.schema().class_names() {

@@ -1,0 +1,138 @@
+//! Evaluation-budget enforcement: adversarial inputs that would otherwise
+//! run unbounded must abort promptly with `BudgetExceeded` carrying the
+//! limit and the amount consumed — and default (unlimited) budgets must
+//! leave every result unchanged.
+
+use lyric::engine::{run_with, EngineBudget, Resource};
+use lyric::{execute, execute_with_budget, LyricError};
+use lyric_bench::workload;
+use lyric_constraint::Var;
+use std::time::{Duration, Instant};
+
+/// A dense conjunction whose all-but-one-variable elimination is far
+/// outside the §3.1 restriction: Fourier–Motzkin compounds the |L|·|U|
+/// product at every step.
+fn dense_conjunction() -> (lyric_constraint::Conjunction, Vec<Var>) {
+    let mut r = workload::rng(4242);
+    let conj = workload::random_satisfiable_conjunction(&mut r, 10, 40);
+    let victims: Vec<Var> = (0..9).map(|i| Var::new(format!("v{i}"))).collect();
+    (conj, victims)
+}
+
+#[test]
+fn fm_blowup_aborts_under_atom_budget() {
+    let (conj, victims) = dense_conjunction();
+    let started = Instant::now();
+    let err = run_with(
+        EngineBudget::unlimited().with_max_fm_atoms(10_000),
+        false,
+        || conj.eliminate_all(victims.iter()),
+    )
+    .expect_err("40-atom elimination must cross the 10k FM-atom budget");
+    assert_eq!(err.resource, Resource::FmAtoms);
+    assert_eq!(err.limit, 10_000);
+    assert!(err.consumed > err.limit, "{err}");
+    // Graceful degradation means promptly, not after the blowup finishes.
+    assert!(started.elapsed() < Duration::from_secs(10), "abort was not prompt");
+}
+
+#[test]
+fn fm_blowup_aborts_under_deadline() {
+    let (conj, victims) = dense_conjunction();
+    let started = Instant::now();
+    let err = run_with(
+        EngineBudget::unlimited().with_deadline(Duration::from_millis(100)),
+        false,
+        || conj.eliminate_all(victims.iter()),
+    )
+    .expect_err("deadline must trip before the elimination completes");
+    assert_eq!(err.resource, Resource::Time);
+    assert!(err.consumed >= err.limit, "{err}");
+    // The clock is checked between atoms, so the overshoot is bounded by
+    // one FM step, not by the whole blowup.
+    assert!(started.elapsed() < Duration::from_secs(10), "abort was not prompt");
+}
+
+#[test]
+fn dnf_negation_aborts_under_disjunct_budget() {
+    // Negating a k-disjunct DNF multiplies out to ~m^k disjuncts — the
+    // exponential corner the paper excludes from the disjunctive family.
+    let mut r = workload::rng(7);
+    let dnf = workload::random_dnf(&mut r, 12, 6, 3);
+    let err = run_with(
+        EngineBudget::unlimited().with_max_disjuncts(20_000),
+        false,
+        || dnf.negate(),
+    )
+    .expect_err("negation of 12 disjuncts must cross the 20k disjunct budget");
+    assert_eq!(err.resource, Resource::Disjuncts);
+    assert!(err.consumed > err.limit, "{err}");
+}
+
+#[test]
+fn query_level_budget_returns_structured_error() {
+    let mut db = lyric::paper_example::database();
+    let query = "SELECT CO, ((u,v) | E AND D AND x = 6 AND y = 4)
+         FROM Office_Object CO WHERE CO.extent[E] AND CO.translation[D]";
+    let err = execute_with_budget(
+        &mut db,
+        query,
+        EngineBudget::unlimited().with_max_pivots(1),
+    )
+    .expect_err("1 pivot cannot evaluate a paper query");
+    match err {
+        LyricError::BudgetExceeded { resource, limit, consumed } => {
+            assert_eq!(resource, Resource::Pivots);
+            assert_eq!(limit, 1);
+            assert!(consumed > limit);
+        }
+        other => panic!("expected BudgetExceeded, got {other}"),
+    }
+    // The same query under the interactive envelope completes and reports
+    // its work.
+    let res = execute_with_budget(&mut db, query, EngineBudget::interactive())
+        .expect("interactive budget is generous enough for paper queries");
+    assert_eq!(res.rows.len(), 2);
+    assert!(res.stats.pivots > 0);
+}
+
+#[test]
+fn default_budget_leaves_results_unchanged() {
+    // The same statements through `execute` (unlimited budget, cache on)
+    // and `execute_with_budget(interactive)` answer identically.
+    let queries = [
+        "SELECT Y FROM Desk X WHERE X.drawer.extent[Y]",
+        "SELECT CO, ((u,v) | E AND D AND x = 6 AND y = 4)
+         FROM Office_Object CO WHERE CO.extent[E] AND CO.translation[D]",
+        "SELECT MAX(w + z SUBJECT TO ((w,z) | E)), MIN(w SUBJECT TO ((w,z) | E))
+         FROM Desk D WHERE D.extent[E]",
+    ];
+    for q in queries {
+        let mut db1 = lyric::paper_example::database();
+        let mut db2 = lyric::paper_example::database();
+        let unlimited = execute(&mut db1, q).expect("paper query evaluates");
+        let budgeted = execute_with_budget(&mut db2, q, EngineBudget::interactive())
+            .expect("interactive budget suffices");
+        assert_eq!(unlimited, budgeted, "answers must not depend on the budget");
+    }
+}
+
+#[test]
+fn library_results_identical_with_and_without_context() {
+    // Raw constraint operations answer the same inside and outside an
+    // engine context: instrumentation is observation, not behavior.
+    let mut r = workload::rng(99);
+    for _ in 0..10 {
+        let c = workload::random_conjunction(&mut r, 4, 8);
+        let d = workload::random_dnf(&mut r, 6, 4, 3);
+        let bare = (c.satisfiable(), d.simplify(), c.find_point());
+        let (ctx, stats) = run_with(EngineBudget::unlimited(), true, || {
+            (c.satisfiable(), d.simplify(), c.find_point())
+        })
+        .expect("unlimited budget");
+        assert_eq!(bare.0, ctx.0);
+        assert_eq!(bare.1, ctx.1);
+        assert_eq!(bare.2.is_some(), ctx.2.is_some());
+        assert!(stats.sat_checks > 0, "work was counted: {stats}");
+    }
+}
