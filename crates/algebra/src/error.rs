@@ -23,7 +23,10 @@ pub enum AlgebraError {
 
 impl AlgebraError {
     pub(crate) fn type_err(expected: &'static str, got: &impl fmt::Display) -> AlgebraError {
-        AlgebraError::Type { expected, got: got.to_string() }
+        AlgebraError::Type {
+            expected,
+            got: got.to_string(),
+        }
     }
 }
 

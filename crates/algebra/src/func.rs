@@ -144,10 +144,10 @@ pub fn eval(f: &Func, db: &Database, v: &Value) -> Result<Value, AlgebraError> {
             let items = v
                 .as_tuple()
                 .ok_or_else(|| AlgebraError::type_err("tuple", v))?;
-            items
-                .get(*i)
-                .cloned()
-                .ok_or(AlgebraError::Index { index: *i, arity: items.len() })
+            items.get(*i).cloned().ok_or(AlgebraError::Index {
+                index: *i,
+                arity: items.len(),
+            })
         }
         Func::Length => {
             let items = v
@@ -171,7 +171,9 @@ pub fn eval(f: &Func, db: &Database, v: &Value) -> Result<Value, AlgebraError> {
             if !db.schema().has_class(class) {
                 return Err(AlgebraError::UnknownClass(class.clone()));
             }
-            Ok(Value::Coll(db.extent(class).into_iter().map(Value::Oid).collect()))
+            Ok(Value::Coll(
+                db.extent(class).into_iter().map(Value::Oid).collect(),
+            ))
         }
         Func::AttrValues(attr) => {
             let oid = match v {
@@ -208,7 +210,11 @@ pub fn eval(f: &Func, db: &Database, v: &Value) -> Result<Value, AlgebraError> {
                 (Some(x), Some(y)) => (x, y),
                 _ => return Err(AlgebraError::type_err("tuple of two constraints", v)),
             };
-            let out = if matches!(f, Func::CstAnd) { ca.and(cb) } else { ca.or(cb) };
+            let out = if matches!(f, Func::CstAnd) {
+                ca.and(cb)
+            } else {
+                ca.or(cb)
+            };
             Ok(Value::cst(out))
         }
         Func::CstAndConst(k) => {
@@ -377,7 +383,10 @@ mod tests {
     fn constraint_primitives() {
         let db = db();
         let c = Value::cst(halfplane("x", 3));
-        assert_eq!(eval(&Func::Satisfiable, &db, &c).unwrap(), Value::bool(true));
+        assert_eq!(
+            eval(&Func::Satisfiable, &db, &c).unwrap(),
+            Value::bool(true)
+        );
         assert_eq!(
             eval(&Func::ImpliesConst(halfplane("x", 0)), &db, &c).unwrap(),
             Value::bool(true)

@@ -97,8 +97,7 @@ fn rebuild_compose(fs: Vec<Func>) -> Func {
                 // preserves satisfiability — run the cheap feasibility
                 // test first, the expensive map only on survivors.
                 (Func::Filter(p), Func::ApplyToAll(f1))
-                    if matches!(p.as_ref(), Func::Satisfiable)
-                        && preserves_satisfiability(f1) =>
+                    if matches!(p.as_ref(), Func::Satisfiable) && preserves_satisfiability(f1) =>
                 {
                     Some(vec![
                         Func::ApplyToAll(f1.clone()),
@@ -213,7 +212,10 @@ mod tests {
         }
         let d = db();
         let input = Value::Coll(vec![Value::cst(halfplane(2)), Value::cst(halfplane(-3))]);
-        assert_eq!(eval(&f, &d, &input).unwrap(), eval(&opt, &d, &input).unwrap());
+        assert_eq!(
+            eval(&f, &d, &input).unwrap(),
+            eval(&opt, &d, &input).unwrap()
+        );
     }
 
     #[test]
@@ -237,7 +239,10 @@ mod tests {
             Value::cst(empty()),
             Value::cst(halfplane(-3)),
         ]);
-        assert_eq!(eval(&f, &d, &input).unwrap(), eval(&opt, &d, &input).unwrap());
+        assert_eq!(
+            eval(&f, &d, &input).unwrap(),
+            eval(&opt, &d, &input).unwrap()
+        );
     }
 
     #[test]
@@ -250,14 +255,20 @@ mod tests {
         let opt = optimize(&f);
         match &opt {
             Func::Compose(fs) => {
-                assert!(matches!(fs[0], Func::Filter(_)), "must stay after the map: {opt:?}");
+                assert!(
+                    matches!(fs[0], Func::Filter(_)),
+                    "must stay after the map: {opt:?}"
+                );
                 assert!(matches!(fs[1], Func::ApplyToAll(_)));
             }
             other => panic!("unexpected {other:?}"),
         }
         let d = db();
         let input = Value::Coll(vec![Value::cst(halfplane(2)), Value::cst(halfplane(-3))]);
-        assert_eq!(eval(&f, &d, &input).unwrap(), eval(&opt, &d, &input).unwrap());
+        assert_eq!(
+            eval(&f, &d, &input).unwrap(),
+            eval(&opt, &d, &input).unwrap()
+        );
     }
 
     #[test]
@@ -274,7 +285,10 @@ mod tests {
             Value::cst(halfplane(-3)),
             Value::cst(empty()),
         ]);
-        assert_eq!(eval(&f, &d, &input).unwrap(), eval(&opt, &d, &input).unwrap());
+        assert_eq!(
+            eval(&f, &d, &input).unwrap(),
+            eval(&opt, &d, &input).unwrap()
+        );
     }
 
     #[test]

@@ -25,12 +25,8 @@ fn cst_strategy() -> impl Strategy<Value = CstObject> {
             _ => Atom::ge(e, rhs),
         }
     });
-    proptest::collection::vec(proptest::collection::vec(atom, 0..4), 1..3).prop_map(|dss| {
-        CstObject::new(
-            vec![x(), y()],
-            dss.into_iter().map(Conjunction::of),
-        )
-    })
+    proptest::collection::vec(proptest::collection::vec(atom, 0..4), 1..3)
+        .prop_map(|dss| CstObject::new(vec![x(), y()], dss.into_iter().map(Conjunction::of)))
 }
 
 /// Element-level functions `Cst → Cst`.

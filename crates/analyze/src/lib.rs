@@ -1,0 +1,30 @@
+//! `lyric-analyze` — the static semantic analyzer for LyriC queries.
+//!
+//! This crate is the stable façade over the analysis passes implemented in
+//! [`lyric::analyze`]: name resolution against the IS-A hierarchy, static
+//! typing of extended path expressions, §3.1 constraint-family inference
+//! with closure-rule checking, scope well-formedness, and cheap semantic
+//! lints (plus an opt-in LP-backed deep unsatisfiability check). Every
+//! finding is a [`Diagnostic`] with a stable `LYAxxx` code and a byte
+//! [`Span`] into the query source; [`render`] produces the caret-style
+//! text form the REPL's `:check` command prints.
+//!
+//! # Example
+//!
+//! ```
+//! use lyric_analyze::{analyze_src, AnalyzerOptions};
+//!
+//! let db = lyric::paper_example::database();
+//! let diags = analyze_src(
+//!     db.schema(),
+//!     "SELECT X FROM Desk X WHERE X.bogus[Y]",
+//!     &AnalyzerOptions::default(),
+//! );
+//! assert_eq!(diags[0].code, lyric_analyze::codes::UNKNOWN_ATTRIBUTE);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use lyric::analyze::{analyze, analyze_src, AnalyzerOptions};
+pub use lyric::diag::{codes, render, render_all, Diagnostic, Severity};
+pub use lyric::span::Span;

@@ -31,7 +31,10 @@ pub struct BigInt {
 impl BigInt {
     /// The integer 0.
     pub fn zero() -> Self {
-        BigInt { sign: Sign::Zero, mag: Vec::new() }
+        BigInt {
+            sign: Sign::Zero,
+            mag: Vec::new(),
+        }
     }
 
     /// The integer 1.
@@ -66,7 +69,11 @@ impl BigInt {
     /// Absolute value.
     pub fn abs(&self) -> BigInt {
         BigInt {
-            sign: if self.sign == Sign::Zero { Sign::Zero } else { Sign::Pos },
+            sign: if self.sign == Sign::Zero {
+                Sign::Zero
+            } else {
+                Sign::Pos
+            },
             mag: self.mag.clone(),
         }
     }
@@ -108,9 +115,7 @@ impl BigInt {
             (a, _) => match mag_cmp(&self.mag, &other.mag) {
                 Ordering::Equal => BigInt::zero(),
                 Ordering::Greater => BigInt::from_mag(a, mag_sub(&self.mag, &other.mag)),
-                Ordering::Less => {
-                    BigInt::from_mag(other.sign, mag_sub(&other.mag, &self.mag))
-                }
+                Ordering::Less => BigInt::from_mag(other.sign, mag_sub(&other.mag, &self.mag)),
             },
         }
     }
@@ -127,7 +132,11 @@ impl BigInt {
             return (BigInt::zero(), self.clone());
         }
         let (qm, rm) = mag_divrem(&self.mag, &other.mag);
-        let qsign = if self.sign == other.sign { Sign::Pos } else { Sign::Neg };
+        let qsign = if self.sign == other.sign {
+            Sign::Pos
+        } else {
+            Sign::Neg
+        };
         (BigInt::from_mag(qsign, qm), BigInt::from_mag(self.sign, rm))
     }
 
@@ -389,10 +398,17 @@ fn mag_divrem(a: &[u64], b: &[u64]) -> (Vec<u64>, Vec<u64>) {
         while q.last() == Some(&0) {
             q.pop();
         }
-        let r = if rem == 0 { Vec::new() } else { vec![rem as u64] };
+        let r = if rem == 0 {
+            Vec::new()
+        } else {
+            vec![rem as u64]
+        };
         return (q, r);
     }
-    let a_bits = BigInt { sign: Sign::Pos, mag: a.to_vec() };
+    let a_bits = BigInt {
+        sign: Sign::Pos,
+        mag: a.to_vec(),
+    };
     let nbits = a_bits.bit_len();
     let mut q = vec![0u64; a.len()];
     let mut r: Vec<u64> = Vec::new();
@@ -422,10 +438,14 @@ impl From<i64> for BigInt {
     fn from(v: i64) -> Self {
         match v.cmp(&0) {
             Ordering::Equal => BigInt::zero(),
-            Ordering::Greater => BigInt { sign: Sign::Pos, mag: vec![v as u64] },
-            Ordering::Less => {
-                BigInt { sign: Sign::Neg, mag: vec![(v as i128).unsigned_abs() as u64] }
-            }
+            Ordering::Greater => BigInt {
+                sign: Sign::Pos,
+                mag: vec![v as u64],
+            },
+            Ordering::Less => BigInt {
+                sign: Sign::Neg,
+                mag: vec![(v as i128).unsigned_abs() as u64],
+            },
         }
     }
 }
@@ -435,7 +455,10 @@ impl From<u64> for BigInt {
         if v == 0 {
             BigInt::zero()
         } else {
-            BigInt { sign: Sign::Pos, mag: vec![v] }
+            BigInt {
+                sign: Sign::Pos,
+                mag: vec![v],
+            }
         }
     }
 }
@@ -738,7 +761,13 @@ mod tests {
 
     #[test]
     fn display_and_parse_roundtrip() {
-        for s in ["0", "1", "-1", "18446744073709551616", "-99999999999999999999999999"] {
+        for s in [
+            "0",
+            "1",
+            "-1",
+            "18446744073709551616",
+            "-99999999999999999999999999",
+        ] {
             let v = BigInt::from_str(s).unwrap();
             assert_eq!(v.to_string(), s);
         }

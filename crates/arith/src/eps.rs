@@ -29,17 +29,26 @@ pub struct EpsRational {
 impl EpsRational {
     /// 0.
     pub fn zero() -> Self {
-        EpsRational { real: Rational::zero(), inf: Rational::zero() }
+        EpsRational {
+            real: Rational::zero(),
+            inf: Rational::zero(),
+        }
     }
 
     /// A pure rational (ε-coefficient zero).
     pub fn from_rational(r: Rational) -> Self {
-        EpsRational { real: r, inf: Rational::zero() }
+        EpsRational {
+            real: r,
+            inf: Rational::zero(),
+        }
     }
 
     /// The infinitesimal ε itself.
     pub fn epsilon() -> Self {
-        EpsRational { real: Rational::zero(), inf: Rational::one() }
+        EpsRational {
+            real: Rational::zero(),
+            inf: Rational::one(),
+        }
     }
 
     /// Construct `real + inf·ε`.
@@ -59,7 +68,10 @@ impl EpsRational {
 
     /// Scale by a rational: `(a + b·ε)·c = ac + bc·ε`.
     pub fn scale(&self, c: &Rational) -> EpsRational {
-        EpsRational { real: &self.real * c, inf: &self.inf * c }
+        EpsRational {
+            real: &self.real * c,
+            inf: &self.inf * c,
+        }
     }
 
     /// Evaluate at a concrete positive value of ε.
@@ -99,14 +111,20 @@ impl From<i64> for EpsRational {
 impl Add for &EpsRational {
     type Output = EpsRational;
     fn add(self, other: &EpsRational) -> EpsRational {
-        EpsRational { real: &self.real + &other.real, inf: &self.inf + &other.inf }
+        EpsRational {
+            real: &self.real + &other.real,
+            inf: &self.inf + &other.inf,
+        }
     }
 }
 
 impl Sub for &EpsRational {
     type Output = EpsRational;
     fn sub(self, other: &EpsRational) -> EpsRational {
-        EpsRational { real: &self.real - &other.real, inf: &self.inf - &other.inf }
+        EpsRational {
+            real: &self.real - &other.real,
+            inf: &self.inf - &other.inf,
+        }
     }
 }
 
@@ -141,7 +159,10 @@ impl SubAssign<&EpsRational> for EpsRational {
 impl Neg for &EpsRational {
     type Output = EpsRational;
     fn neg(self) -> EpsRational {
-        EpsRational { real: -&self.real, inf: -&self.inf }
+        EpsRational {
+            real: -&self.real,
+            inf: -&self.inf,
+        }
     }
 }
 
@@ -154,7 +175,9 @@ impl Neg for EpsRational {
 
 impl Ord for EpsRational {
     fn cmp(&self, other: &Self) -> Ordering {
-        self.real.cmp(&other.real).then_with(|| self.inf.cmp(&other.inf))
+        self.real
+            .cmp(&other.real)
+            .then_with(|| self.inf.cmp(&other.inf))
     }
 }
 
@@ -216,7 +239,10 @@ mod tests {
     #[test]
     fn evaluate_at_concrete_eps() {
         let v = e(2, -3);
-        assert_eq!(v.evaluate_at(&Rational::from_pair(1, 6)), Rational::from_pair(3, 2));
+        assert_eq!(
+            v.evaluate_at(&Rational::from_pair(1, 6)),
+            Rational::from_pair(3, 2)
+        );
     }
 
     #[test]

@@ -22,12 +22,18 @@ pub struct Rational {
 impl Rational {
     /// 0.
     pub fn zero() -> Self {
-        Rational { num: BigInt::zero(), den: BigInt::one() }
+        Rational {
+            num: BigInt::zero(),
+            den: BigInt::one(),
+        }
     }
 
     /// 1.
     pub fn one() -> Self {
-        Rational { num: BigInt::one(), den: BigInt::one() }
+        Rational {
+            num: BigInt::one(),
+            den: BigInt::one(),
+        }
     }
 
     /// Construct `num / den`, normalizing. Panics if `den == 0`.
@@ -45,7 +51,10 @@ impl Rational {
 
     /// Construct from an integer.
     pub fn from_int(v: i64) -> Self {
-        Rational { num: BigInt::from(v), den: BigInt::one() }
+        Rational {
+            num: BigInt::from(v),
+            den: BigInt::one(),
+        }
     }
 
     fn normalize(&mut self) {
@@ -98,7 +107,10 @@ impl Rational {
 
     /// Absolute value.
     pub fn abs(&self) -> Rational {
-        Rational { num: self.num.abs(), den: self.den.clone() }
+        Rational {
+            num: self.num.abs(),
+            den: self.den.clone(),
+        }
     }
 
     /// Multiplicative inverse; panics on zero.
@@ -171,7 +183,10 @@ impl From<i32> for Rational {
 
 impl From<BigInt> for Rational {
     fn from(v: BigInt) -> Self {
-        Rational { num: v, den: BigInt::one() }
+        Rational {
+            num: v,
+            den: BigInt::one(),
+        }
     }
 }
 
@@ -259,7 +274,10 @@ impl MulAssign<&Rational> for Rational {
 impl Neg for &Rational {
     type Output = Rational;
     fn neg(self) -> Rational {
-        Rational { num: -&self.num, den: self.den.clone() }
+        Rational {
+            num: -&self.num,
+            den: self.den.clone(),
+        }
     }
 }
 

@@ -13,7 +13,10 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("e1_paper_queries");
     group.sample_size(20);
     let queries: Vec<(&str, &str)> = vec![
-        ("q1_path_only", "SELECT Y FROM Desk X WHERE X.drawer.extent[Y]"),
+        (
+            "q1_path_only",
+            "SELECT Y FROM Desk X WHERE X.drawer.extent[Y]",
+        ),
         (
             "q2_projection_formula",
             "SELECT CO, ((u,v) | E AND D AND x = 6 AND y = 4)

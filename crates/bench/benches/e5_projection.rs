@@ -27,7 +27,8 @@ fn bench(c: &mut Criterion) {
     group.bench_function("project_all_but_one", |b| {
         b.iter(|| {
             black_box(
-                conj.project_restricted(&[all_vars[nvars - 1].clone()]).expect("restricted"),
+                conj.project_restricted(&[all_vars[nvars - 1].clone()])
+                    .expect("restricted"),
             )
         })
     });

@@ -36,15 +36,20 @@ fn bench(c: &mut Criterion) {
             coeffs[i] = Rational::from_int(-1);
             lp.push(coeffs, Relop::Le, Rational::zero());
         }
-        lp.push(vec![Rational::one(); n], Relop::Le, Rational::from_int(n as i64));
+        lp.push(
+            vec![Rational::one(); n],
+            Relop::Le,
+            Rational::from_int(n as i64),
+        );
         for i in 0..n - 1 {
             let mut coeffs = vec![Rational::zero(); n];
             coeffs[i] = Rational::from_int(2);
             coeffs[i + 1] = Rational::from_int(-1);
             lp.push(coeffs, Relop::Le, Rational::from_int(3));
         }
-        let objective: Vec<Rational> =
-            (0..n).map(|i| Rational::from_int((i % 3 + 1) as i64)).collect();
+        let objective: Vec<Rational> = (0..n)
+            .map(|i| Rational::from_int((i % 3 + 1) as i64))
+            .collect();
         group.bench_with_input(BenchmarkId::new("maximize", n), &n, |b, _| {
             b.iter(|| black_box(lp.maximize(&objective)))
         });

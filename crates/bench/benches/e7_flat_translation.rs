@@ -13,8 +13,13 @@ use std::hint::black_box;
 fn flat_plan(flat: &FlatDb) -> lyric_flatrel::Relation {
     let oir = flat.extent("Object_In_Room").expect("extent");
     let loc = flat.attr("Object_In_Room", "location").expect("location");
-    let cat = flat.attr("Object_In_Room", "catalog_object").expect("catalog");
-    let ext = flat.attr("Office_Object", "extent").expect("extent").rename_col("obj", "cat_obj");
+    let cat = flat
+        .attr("Object_In_Room", "catalog_object")
+        .expect("catalog");
+    let ext = flat
+        .attr("Office_Object", "extent")
+        .expect("extent")
+        .rename_col("obj", "cat_obj");
     let tr = flat
         .attr("Office_Object", "translation")
         .expect("translation")

@@ -47,7 +47,11 @@ fn pipeline() -> Func {
 
 fn inputs(n: usize) -> Value {
     let mut r = rng(99);
-    Value::Coll((0..n).map(|_| Value::cst(quantified_region(&mut r))).collect())
+    Value::Coll(
+        (0..n)
+            .map(|_| Value::cst(quantified_region(&mut r)))
+            .collect(),
+    )
 }
 
 fn bench(c: &mut Criterion) {

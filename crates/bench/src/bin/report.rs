@@ -45,7 +45,10 @@ fn e1() {
     println!("| query | rows | time (ms) | answer check |");
     println!("|---|---|---|---|");
     let queries: Vec<(&str, &str)> = vec![
-        ("q1 drawer extents", "SELECT Y FROM Desk X WHERE X.drawer.extent[Y]"),
+        (
+            "q1 drawer extents",
+            "SELECT Y FROM Desk X WHERE X.drawer.extent[Y]",
+        ),
         (
             "q2 extent in room coords",
             "SELECT CO, ((u,v) | E AND D AND x = 6 AND y = 4)
@@ -175,9 +178,11 @@ fn e3() {
     println!("## E3 — constraint ops vs ad hoc grid representation (§1.1 claim)\n");
     println!("| dims | resolution | cells | grid build (ms) | grid intersect+empty (ms) | grid contains (ms) | constraint and+sat (ms) | constraint implies (ms) |");
     println!("|---|---|---|---|---|---|---|---|");
-    for &(dims, resolutions) in
-        &[(2usize, &[32usize, 128, 512][..]), (3, &[16, 32, 64][..]), (4, &[8, 16, 24][..])]
-    {
+    for &(dims, resolutions) in &[
+        (2usize, &[32usize, 128, 512][..]),
+        (3, &[16, 32, 64][..]),
+        (4, &[8, 16, 24][..]),
+    ] {
         let axes: Vec<&str> = ["x", "y", "z", "t"][..dims].to_vec();
         let mk_box = |lo: i64, hi: i64| {
             let atoms = axes.iter().flat_map(|a| {
@@ -253,7 +258,8 @@ fn e5() {
         let victims: Vec<&Var> = all_vars.iter().take(k).collect();
         let restricted = k <= 1 || nvars - k <= 1;
         let (ms, out) = time_ms(2, || {
-            conj.eliminate_all(victims.iter().copied()).expect("no disequations")
+            conj.eliminate_all(victims.iter().copied())
+                .expect("no disequations")
         });
         println!(
             "| {k} | {} | {ms:.2} | {} | {} |",
@@ -298,7 +304,10 @@ fn e7() {
         let (tr_ms, flat) = time_ms(3, || FlatDb::from_database(&db));
         let (plan_ms, flat_regions) = time_ms(3, || flat_linear_plan(&flat));
         let equal = answers_match(&db, &direct, &flat_regions);
-        println!("| {n} | {direct_ms:.1} | {tr_ms:.1} | {plan_ms:.1} | {} |", equal);
+        println!(
+            "| {n} | {direct_ms:.1} | {tr_ms:.1} | {plan_ms:.1} | {} |",
+            equal
+        );
     }
     println!("\nthe flat plan computes the same per-object regions as the direct evaluator — the §5 translation argument — at a comparable polynomial cost.\n");
 }
@@ -307,8 +316,12 @@ fn e7() {
 /// extent translated to room coordinates.
 fn flat_linear_plan(flat: &FlatDb) -> Vec<(Oid, CstObject)> {
     let oir = flat.extent("Object_In_Room").expect("extent relation");
-    let loc = flat.attr("Object_In_Room", "location").expect("location relation");
-    let cat = flat.attr("Object_In_Room", "catalog_object").expect("catalog relation");
+    let loc = flat
+        .attr("Object_In_Room", "location")
+        .expect("location relation");
+    let cat = flat
+        .attr("Object_In_Room", "catalog_object")
+        .expect("catalog relation");
     let ext = flat
         .attr("Office_Object", "extent")
         .expect("extent relation")
@@ -381,8 +394,9 @@ fn e8() {
     println!("|---|---|---|---|---|");
     for &n in &[8usize, 16, 32] {
         let mut r = workload::rng(99);
-        let regions: Vec<CstObject> =
-            (0..n).map(|_| workload::quantified_region(&mut r)).collect();
+        let regions: Vec<CstObject> = (0..n)
+            .map(|_| workload::quantified_region(&mut r))
+            .collect();
         let windowed: Vec<CstObject> = regions.iter().map(|c| c.and(&window)).collect();
         let (naive_ms, kept_naive) = time_ms(2, || {
             windowed
@@ -419,13 +433,17 @@ fn e8() {
     for &n in &[8usize, 16, 32] {
         let mut r = workload::rng(99);
         let input = AlgValue::Coll(
-            (0..n).map(|_| AlgValue::cst(workload::quantified_region(&mut r))).collect(),
+            (0..n)
+                .map(|_| AlgValue::cst(workload::quantified_region(&mut r)))
+                .collect(),
         );
         let (naive_ms, out) = time_ms(2, || alg_eval(&naive, &db, &input).expect("evaluates"));
-        let (opt_ms, out2) =
-            time_ms(2, || alg_eval(&optimized, &db, &input).expect("evaluates"));
+        let (opt_ms, out2) = time_ms(2, || alg_eval(&optimized, &db, &input).expect("evaluates"));
         let survivors = out.as_coll().map(<[AlgValue]>::len).unwrap_or(0);
-        assert_eq!(survivors, out2.as_coll().map(<[AlgValue]>::len).unwrap_or(0));
+        assert_eq!(
+            survivors,
+            out2.as_coll().map(<[AlgValue]>::len).unwrap_or(0)
+        );
         println!(
             "| {n} | {survivors} | {naive_ms:.1} | {opt_ms:.1} | {:.2}x |",
             naive_ms / opt_ms
@@ -441,7 +459,9 @@ fn e9() {
     use lyric_constraint::Var;
     println!("## E9 — engine telemetry and evaluation budgets\n");
     println!("(a) work profile of the E2 linear query, per database size:\n");
-    println!("| n objects | lp runs | pivots | fm atoms | disjuncts | sat checks | cache hit rate |");
+    println!(
+        "| n objects | lp runs | pivots | fm atoms | disjuncts | sat checks | cache hit rate |"
+    );
     println!("|---|---|---|---|---|---|---|");
     for &n in &[8usize, 32, 128] {
         let db = workload::office_db(n, 42);
@@ -483,11 +503,7 @@ fn e9() {
     println!("\nthe telemetry quantifies the paper's tractability story (polynomially growing LP work, §5) and the budget enforces it against the exponential corners §3.1 excludes.\n");
 }
 
-fn answers_match(
-    db: &Database,
-    direct: &lyric::QueryResult,
-    flat: &[(Oid, CstObject)],
-) -> bool {
+fn answers_match(db: &Database, direct: &lyric::QueryResult, flat: &[(Oid, CstObject)]) -> bool {
     let _ = db;
     if direct.rows.len() != flat.len() {
         return false;

@@ -52,15 +52,20 @@ impl Grid {
             let mut point = Assignment::new();
             for i in 0..dims {
                 // Cell center: lo + (idx + 1/2) / res * (hi - lo)
-                let frac = &(&Rational::from_int(idx[i] as i64)
-                    + &Rational::from_pair(1, 2))
-                    / &res_r;
+                let frac =
+                    &(&Rational::from_int(idx[i] as i64) + &Rational::from_pair(1, 2)) / &res_r;
                 let coord = &Rational::from_int(lo) + &(&frac * &width);
                 point.insert(vars[i].clone(), coord);
             }
             *cell = obj.disjuncts().iter().any(|d| d.eval(&point));
         }
-        Grid { dims, res, lo, hi, cells }
+        Grid {
+            dims,
+            res,
+            lo,
+            hi,
+            cells,
+        }
     }
 
     pub fn dims(&self) -> usize {
@@ -111,7 +116,12 @@ impl Grid {
             res: self.res,
             lo: self.lo,
             hi: self.hi,
-            cells: self.cells.iter().zip(&other.cells).map(|(a, b)| *a || *b).collect(),
+            cells: self
+                .cells
+                .iter()
+                .zip(&other.cells)
+                .map(|(a, b)| *a || *b)
+                .collect(),
         }
     }
 

@@ -23,7 +23,8 @@ pub fn office_db(n: usize, seed: u64) -> Database {
     let mut r = rng(seed);
     let mut db = Database::new(lyric::paper_example::schema()).expect("schema validates");
     for color in ["red", "blue", "grey"] {
-        db.declare_instance("Color", Oid::str(color)).expect("color class");
+        db.declare_instance("Color", Oid::str(color))
+            .expect("color class");
     }
     for i in 0..n {
         let is_desk = i % 2 == 0;
@@ -33,14 +34,21 @@ pub fn office_db(n: usize, seed: u64) -> Database {
             Oid::named(&drawer),
             "Drawer",
             [
-                ("extent", Value::Scalar(Oid::cst(box2("w", "z", -1, 1, -1, 1)))),
+                (
+                    "extent",
+                    Value::Scalar(Oid::cst(box2("w", "z", -1, 1, -1, 1))),
+                ),
                 ("translation", Value::Scalar(Oid::cst(translation2()))),
             ],
         )
         .expect("drawer insert");
         let catalog = format!("catalog_{i}");
         let color = ["red", "blue", "grey"][r.gen_range(0..3)];
-        let (class, center_var) = if is_desk { ("Desk", ("p", "q")) } else { ("File_Cabinet", ("p1", "q1")) };
+        let (class, center_var) = if is_desk {
+            ("Desk", ("p", "q"))
+        } else {
+            ("File_Cabinet", ("p1", "q1"))
+        };
         let center = CstObject::from_conjunction(
             vec![Var::new(center_var.0), Var::new(center_var.1)],
             Conjunction::of([
@@ -133,7 +141,10 @@ pub fn factory_db(processes: usize, materials: usize, products: usize, seed: u64
     for j in 0..processes {
         let mut atoms = vec![
             Atom::ge(LinExpr::var(run.clone()), LinExpr::from(0)),
-            Atom::le(LinExpr::var(run.clone()), LinExpr::from(r.gen_range(50..150) as i64)),
+            Atom::le(
+                LinExpr::var(run.clone()),
+                LinExpr::from(r.gen_range(50..150) as i64),
+            ),
         ];
         // Each material consumed proportionally to the run length.
         for i in 0..materials {
@@ -146,7 +157,11 @@ pub fn factory_db(processes: usize, materials: usize, products: usize, seed: u64
         // Each product produced proportionally (some processes skip some
         // products: rate 0 fixes the output at zero).
         for i in 0..products {
-            let rate = if r.gen_bool(0.75) { r.gen_range(1..4) as i64 } else { 0 };
+            let rate = if r.gen_bool(0.75) {
+                r.gen_range(1..4) as i64
+            } else {
+                0
+            };
             atoms.push(Atom::eq(
                 LinExpr::var(vars[materials + i].clone()),
                 LinExpr::term(run.clone(), Rational::from_int(rate)),
@@ -174,8 +189,9 @@ pub fn factory_query(materials: usize, products: usize) -> String {
         .map(|i| format!("m{i}"))
         .chain((0..products).map(|i| format!("p{i}")))
         .collect();
-    let profit: Vec<String> =
-        (0..products).map(|i| format!("{} * p{i}", i % 3 + 1)).collect();
+    let profit: Vec<String> = (0..products)
+        .map(|i| format!("{} * p{i}", i % 3 + 1))
+        .collect();
     let stock: Vec<String> = (0..materials).map(|i| format!("m{i} <= 100")).collect();
     format!(
         "SELECT P, MAX({} SUBJECT TO (({}) | C AND {})) FROM Process P WHERE P.constraint[C]",
@@ -202,8 +218,7 @@ pub fn quantified_region(r: &mut StdRng) -> CstObject {
         let conj = random_satisfiable_conjunction(r, 6, 18);
         let obj = CstObject::new(vec![Var::new("v0"), Var::new("v1")], [conj]);
         let eliminated = obj.eliminate_bound();
-        let atoms: usize =
-            eliminated.disjuncts().iter().map(|d| d.atoms().len()).sum();
+        let atoms: usize = eliminated.disjuncts().iter().map(|d| d.atoms().len()).sum();
         if (50..5000).contains(&atoms) {
             return obj;
         }

@@ -314,7 +314,10 @@ mod tests {
         let b = Atom::le(x() + y().scale(&r(2)), LinExpr::constant(r(3)));
         assert_eq!(a, b);
         // Fractions are cleared: x/2 <= 1/3  ≡  3x <= 2.
-        let c = Atom::le(x().scale(&Rational::from_pair(1, 2)), LinExpr::constant(Rational::from_pair(1, 3)));
+        let c = Atom::le(
+            x().scale(&Rational::from_pair(1, 2)),
+            LinExpr::constant(Rational::from_pair(1, 3)),
+        );
         let d = Atom::le(x().scale(&r(3)), LinExpr::constant(r(2)));
         assert_eq!(c, d);
     }
@@ -333,10 +336,22 @@ mod tests {
 
     #[test]
     fn trivial_detection() {
-        assert_eq!(Atom::le(LinExpr::constant(r(1)), LinExpr::constant(r(2))).trivial(), Some(true));
-        assert_eq!(Atom::lt(LinExpr::constant(r(2)), LinExpr::constant(r(2))).trivial(), Some(false));
-        assert_eq!(Atom::eq(LinExpr::constant(r(2)), LinExpr::constant(r(2))).trivial(), Some(true));
-        assert_eq!(Atom::neq(LinExpr::constant(r(2)), LinExpr::constant(r(2))).trivial(), Some(false));
+        assert_eq!(
+            Atom::le(LinExpr::constant(r(1)), LinExpr::constant(r(2))).trivial(),
+            Some(true)
+        );
+        assert_eq!(
+            Atom::lt(LinExpr::constant(r(2)), LinExpr::constant(r(2))).trivial(),
+            Some(false)
+        );
+        assert_eq!(
+            Atom::eq(LinExpr::constant(r(2)), LinExpr::constant(r(2))).trivial(),
+            Some(true)
+        );
+        assert_eq!(
+            Atom::neq(LinExpr::constant(r(2)), LinExpr::constant(r(2))).trivial(),
+            Some(false)
+        );
         assert_eq!(Atom::le(x(), LinExpr::zero()).trivial(), None);
     }
 

@@ -30,7 +30,10 @@ struct Memo<K> {
 
 impl<K> Memo<K> {
     fn new() -> Self {
-        Memo { generation: 0, map: HashMap::new() }
+        Memo {
+            generation: 0,
+            map: HashMap::new(),
+        }
     }
 }
 

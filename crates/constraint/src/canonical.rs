@@ -98,8 +98,11 @@ impl CstObject {
     /// (on quantifier-free disjuncts).
     pub fn strong_canonical(&self) -> CstObject {
         let base = self.canonicalize();
-        let reduced: Vec<Conjunction> =
-            base.disjuncts().iter().map(Conjunction::remove_redundant).collect();
+        let reduced: Vec<Conjunction> = base
+            .disjuncts()
+            .iter()
+            .map(Conjunction::remove_redundant)
+            .collect();
         let pruned = prune_subsumed(reduced, |a, b| {
             // Only compare quantifier-free disjuncts; quantified ones would
             // need eager elimination (out of canonical-form budget).
@@ -121,11 +124,15 @@ impl CstObject {
             let bound = self.bound_vars(&cur);
             // Equality substitution first (always shrinking).
             let eq_var = bound.iter().find(|v| {
-                cur.atoms().iter().any(|a| a.op() == NormOp::Eq && a.contains(v))
+                cur.atoms()
+                    .iter()
+                    .any(|a| a.op() == NormOp::Eq && a.contains(v))
             });
             if let Some(v) = eq_var {
                 let v = v.clone();
-                cur = cur.eliminate(&v).expect("equality elimination cannot block");
+                cur = cur
+                    .eliminate(&v)
+                    .expect("equality elimination cannot block");
                 continue;
             }
             // Cheap FM next.
@@ -262,7 +269,10 @@ mod tests {
             ])],
         );
         let canon = obj.canonicalize();
-        assert!(!canon.has_bound_vars(), "quantifiers should be discharged: {canon}");
+        assert!(
+            !canon.has_bound_vars(),
+            "quantifiers should be discharged: {canon}"
+        );
         let expected = CstObject::from_conjunction(
             vec![v("u")],
             Conjunction::of([Atom::ge(e("u"), c(2)), Atom::le(e("u"), c(10))]),
@@ -279,10 +289,16 @@ mod tests {
             atoms.push(Atom::ge(e("q"), e(&format!("a{i}")) + c(i)));
             atoms.push(Atom::le(e("q"), e(&format!("b{i}")) - c(i)));
         }
-        let free: Vec<Var> = ["a1", "a2", "a3", "b1", "b2", "b3"].iter().map(|s| v(s)).collect();
+        let free: Vec<Var> = ["a1", "a2", "a3", "b1", "b2", "b3"]
+            .iter()
+            .map(|s| v(s))
+            .collect();
         let obj = CstObject::new(free, [Conjunction::of(atoms)]);
         let canon = obj.canonicalize();
-        assert!(canon.has_bound_vars(), "9-product FM must not fire: {canon}");
+        assert!(
+            canon.has_bound_vars(),
+            "9-product FM must not fire: {canon}"
+        );
         // But eager elimination still gets the same point set.
         assert!(canon.denotes_same(&obj.eliminate_bound()));
     }

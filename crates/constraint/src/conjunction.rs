@@ -61,7 +61,12 @@ impl Conjunction {
 
     /// The canonical always-false conjunction.
     pub fn bottom() -> Conjunction {
-        Conjunction { atoms: vec![Atom::le(LinExpr::constant(Rational::one()), LinExpr::zero())] }
+        Conjunction {
+            atoms: vec![Atom::le(
+                LinExpr::constant(Rational::one()),
+                LinExpr::zero(),
+            )],
+        }
     }
 
     /// Build from atoms, normalizing.
@@ -254,7 +259,11 @@ impl Conjunction {
                 continue;
             }
             let obj = lp.objective(objective);
-            let outcome = if maximize { lp.problem.maximize(&obj) } else { lp.problem.minimize(&obj) };
+            let outcome = if maximize {
+                lp.problem.maximize(&obj)
+            } else {
+                lp.problem.minimize(&obj)
+            };
             let ext = match outcome {
                 LpOutcome::Infeasible => continue,
                 LpOutcome::Unbounded => return Extremum::Unbounded,
@@ -263,14 +272,26 @@ impl Conjunction {
                     let bound = opt.supremum() + objective.constant_term();
                     let attained = opt.attained();
                     let witness = lp.assignment(&opt.concrete_point(&lp.problem));
-                    Extremum::Finite { bound, attained, witness }
+                    Extremum::Finite {
+                        bound,
+                        attained,
+                        witness,
+                    }
                 }
             };
             best = Some(match (best, ext) {
                 (None, e) => e,
                 (
-                    Some(Extremum::Finite { bound: b1, attained: a1, witness: w1 }),
-                    Extremum::Finite { bound: b2, attained: a2, witness: w2 },
+                    Some(Extremum::Finite {
+                        bound: b1,
+                        attained: a1,
+                        witness: w1,
+                    }),
+                    Extremum::Finite {
+                        bound: b2,
+                        attained: a2,
+                        witness: w2,
+                    },
                 ) => {
                     let pick_second = if maximize {
                         b2 > b1 || (b2 == b1 && a2 && !a1)
@@ -278,9 +299,17 @@ impl Conjunction {
                         b2 < b1 || (b2 == b1 && a2 && !a1)
                     };
                     if pick_second {
-                        Extremum::Finite { bound: b2, attained: a2, witness: w2 }
+                        Extremum::Finite {
+                            bound: b2,
+                            attained: a2,
+                            witness: w2,
+                        }
                     } else {
-                        Extremum::Finite { bound: b1, attained: a1, witness: w1 }
+                        Extremum::Finite {
+                            bound: b1,
+                            attained: a1,
+                            witness: w1,
+                        }
                     }
                 }
                 (Some(other), _) => other,
@@ -298,7 +327,10 @@ impl Conjunction {
         while i < kept.len() {
             let candidate = kept[i].clone();
             let rest = Conjunction::of(
-                kept.iter().enumerate().filter(|(j, _)| *j != i).map(|(_, a)| a.clone()),
+                kept.iter()
+                    .enumerate()
+                    .filter(|(j, _)| *j != i)
+                    .map(|(_, a)| a.clone()),
             );
             if rest.implies_atom(&candidate) {
                 kept.remove(i);
@@ -328,7 +360,10 @@ impl Lp {
         let index: BTreeMap<&Var, usize> = vars.iter().enumerate().map(|(i, v)| (v, i)).collect();
         let mut problem = LpProblem::new(vars.len());
         for a in atoms {
-            debug_assert!(a.op() != NormOp::Neq, "disequations must be split before LP");
+            debug_assert!(
+                a.op() != NormOp::Neq,
+                "disequations must be split before LP"
+            );
             let mut coeffs = vec![Rational::zero(); vars.len()];
             for (v, c) in a.expr().terms() {
                 coeffs[index[v]] = c.clone();
@@ -361,7 +396,11 @@ impl Lp {
 
     /// Translate a solver point back into a variable assignment.
     pub(crate) fn assignment(&self, point: &[Rational]) -> Assignment {
-        self.vars.iter().cloned().zip(point.iter().cloned()).collect()
+        self.vars
+            .iter()
+            .cloned()
+            .zip(point.iter().cloned())
+            .collect()
     }
 
     /// Does the polyhedron entail `e = 0`? (`sup e ≤ 0` and `inf e ≥ 0`.)
@@ -554,7 +593,11 @@ mod tests {
             Atom::le(y(), c(1)),
         ]);
         match square.maximize(&(x() + y())) {
-            Extremum::Finite { bound, attained, witness } => {
+            Extremum::Finite {
+                bound,
+                attained,
+                witness,
+            } => {
                 assert_eq!(bound, r(2));
                 assert!(attained);
                 assert_eq!(witness[&v("x")], r(1));
@@ -572,7 +615,11 @@ mod tests {
     fn optimization_open_and_unbounded() {
         let open = Conjunction::of([Atom::lt(x(), c(1)), Atom::ge(x(), c(0))]);
         match open.maximize(&x()) {
-            Extremum::Finite { bound, attained, witness } => {
+            Extremum::Finite {
+                bound,
+                attained,
+                witness,
+            } => {
                 assert_eq!(bound, r(1));
                 assert!(!attained);
                 assert!(open.eval(&witness));
@@ -604,7 +651,11 @@ mod tests {
             Atom::neq(x(), c(1)),
         ]);
         match cj.maximize(&x()) {
-            Extremum::Finite { bound, attained, witness } => {
+            Extremum::Finite {
+                bound,
+                attained,
+                witness,
+            } => {
                 assert_eq!(bound, r(1));
                 assert!(!attained);
                 assert!(cj.eval(&witness));

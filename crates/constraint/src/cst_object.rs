@@ -42,6 +42,113 @@ pub enum CstFamily {
     DisjunctiveExistential,
 }
 
+/// The §3.1 algebra operations whose family closure matters. Used by the
+/// static analyzer ([`CstFamily::apply`]) to predict operation legality
+/// and result family without building any constraint object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FamilyOp {
+    /// Conjunction of two objects.
+    Conjoin,
+    /// Disjunction of two objects.
+    Disjoin,
+    /// Negation of one object.
+    Negate,
+    /// Restricted projection (eliminate at most one variable, or all but
+    /// one); legality additionally depends on arities, which the table
+    /// cannot see.
+    ProjectRestricted,
+    /// Unrestricted (lazy) projection.
+    Project,
+}
+
+impl CstFamily {
+    /// Display name as used in the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CstFamily::Conjunctive => "conjunctive",
+            CstFamily::ExistentialConjunctive => "existential-conjunctive",
+            CstFamily::Disjunctive => "disjunctive",
+            CstFamily::DisjunctiveExistential => "disjunctive-existential",
+        }
+    }
+
+    /// Does the family admit more than one disjunct?
+    pub fn is_disjunctive(&self) -> bool {
+        matches!(
+            self,
+            CstFamily::Disjunctive | CstFamily::DisjunctiveExistential
+        )
+    }
+
+    /// Does the family admit existentially quantified variables?
+    pub fn is_existential(&self) -> bool {
+        matches!(
+            self,
+            CstFamily::ExistentialConjunctive | CstFamily::DisjunctiveExistential
+        )
+    }
+
+    /// Rebuild a family from its two capability bits.
+    fn from_bits(disjunctive: bool, existential: bool) -> CstFamily {
+        match (disjunctive, existential) {
+            (false, false) => CstFamily::Conjunctive,
+            (false, true) => CstFamily::ExistentialConjunctive,
+            (true, false) => CstFamily::Disjunctive,
+            (true, true) => CstFamily::DisjunctiveExistential,
+        }
+    }
+
+    /// Least upper bound in the inclusion lattice.
+    pub fn join(self, other: CstFamily) -> CstFamily {
+        CstFamily::from_bits(
+            self.is_disjunctive() || other.is_disjunctive(),
+            self.is_existential() || other.is_existential(),
+        )
+    }
+
+    /// Smallest family containing this one that admits quantifiers.
+    pub fn with_existential(self) -> CstFamily {
+        CstFamily::from_bits(self.is_disjunctive(), true)
+    }
+
+    /// Smallest family containing this one that admits disjunction.
+    pub fn with_disjunctive(self) -> CstFamily {
+        CstFamily::from_bits(true, self.is_existential())
+    }
+
+    /// Is the family closed under `op`, i.e. is the operation defined for
+    /// every member? (`ProjectRestricted` is additionally arity-limited,
+    /// which this table cannot express.)
+    pub fn closed_under(self, op: FamilyOp) -> bool {
+        self.apply(op, None).is_some()
+    }
+
+    /// The §3.1 closure table as a pure function: the family of the result
+    /// of `op` applied to an operand of family `self` (and `other` for
+    /// binary ops), or `None` when the operation is undefined for the
+    /// family — the analyzer turns `None` into a compile-time diagnostic
+    /// where the evaluator would raise a runtime
+    /// [`ConstraintError`](crate::ConstraintError).
+    pub fn apply(self, op: FamilyOp, other: Option<CstFamily>) -> Option<CstFamily> {
+        let rhs = other.unwrap_or(CstFamily::Conjunctive);
+        match op {
+            FamilyOp::Conjoin => Some(self.join(rhs)),
+            FamilyOp::Disjoin => Some(self.join(rhs).with_disjunctive()),
+            // §3.1: negation is defined for the conjunctive family only,
+            // and yields a disjunction of negated atoms.
+            FamilyOp::Negate => match self {
+                CstFamily::Conjunctive => Some(CstFamily::Disjunctive),
+                _ => None,
+            },
+            // Restricted projection stays inside the family (disequation
+            // elimination may case-split, hence the disjunctive join).
+            FamilyOp::ProjectRestricted => Some(self),
+            // Lazy projection introduces quantifiers.
+            FamilyOp::Project => Some(self.with_existential()),
+        }
+    }
+}
+
 /// A constraint object: an `arity()`-dimensional point set.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct CstObject {
@@ -57,12 +164,21 @@ impl CstObject {
     /// duplicates.
     pub fn new(free: Vec<Var>, disjuncts: impl IntoIterator<Item = Conjunction>) -> CstObject {
         let distinct: BTreeSet<&Var> = free.iter().collect();
-        assert_eq!(distinct.len(), free.len(), "duplicate variable in CST schema");
-        let mut ds: Vec<Conjunction> =
-            disjuncts.into_iter().filter(|d| !d.is_syntactically_false()).collect();
+        assert_eq!(
+            distinct.len(),
+            free.len(),
+            "duplicate variable in CST schema"
+        );
+        let mut ds: Vec<Conjunction> = disjuncts
+            .into_iter()
+            .filter(|d| !d.is_syntactically_false())
+            .collect();
         ds.sort();
         ds.dedup();
-        CstObject { free, disjuncts: ds }
+        CstObject {
+            free,
+            disjuncts: ds,
+        }
     }
 
     /// The full space `ℝ^|free|`.
@@ -113,12 +229,17 @@ impl CstObject {
 
     /// Existentially quantified variables of a disjunct.
     pub fn bound_vars(&self, d: &Conjunction) -> BTreeSet<Var> {
-        d.vars().into_iter().filter(|v| !self.free.contains(v)).collect()
+        d.vars()
+            .into_iter()
+            .filter(|v| !self.free.contains(v))
+            .collect()
     }
 
     /// Does any disjunct carry existential quantifiers?
     pub fn has_bound_vars(&self) -> bool {
-        self.disjuncts.iter().any(|d| !self.bound_vars(d).is_empty())
+        self.disjuncts
+            .iter()
+            .any(|d| !self.bound_vars(d).is_empty())
     }
 
     /// Smallest §3.1 family containing this object.
@@ -185,10 +306,7 @@ impl CstObject {
                 free.push(v.clone());
             }
         }
-        CstObject::new(
-            free,
-            self.disjuncts.iter().chain(&other.disjuncts).cloned(),
-        )
+        CstObject::new(free, self.disjuncts.iter().chain(&other.disjuncts).cloned())
     }
 
     /// Negation — defined for the conjunctive family only (§3.1 rule (a) of
@@ -226,12 +344,14 @@ impl CstObject {
     /// The paper's restricted projection for quantifier-free objects:
     /// eliminates at most one variable or all but one per step (§3.1).
     pub fn project_restricted(&self, new_free: Vec<Var>) -> Result<CstObject, ConstraintError> {
-        let eliminated: Vec<&Var> =
-            self.free.iter().filter(|v| !new_free.contains(v)).collect();
+        let eliminated: Vec<&Var> = self.free.iter().filter(|v| !new_free.contains(v)).collect();
         let k = eliminated.len();
         let n = self.free.len();
         if !(k <= 1 || n - k <= 1) {
-            return Err(ConstraintError::RestrictedProjection { eliminate: k, free: n });
+            return Err(ConstraintError::RestrictedProjection {
+                eliminate: k,
+                free: n,
+            });
         }
         Ok(self.project_eager(new_free))
     }
@@ -329,8 +449,11 @@ impl CstObject {
     /// Rename schema variables (positionally-preserving); `map` entries for
     /// bound variables are ignored.
     pub fn rename_free(&self, map: &BTreeMap<Var, Var>) -> CstObject {
-        let target: Vec<Var> =
-            self.free.iter().map(|v| map.get(v).unwrap_or(v).clone()).collect();
+        let target: Vec<Var> = self
+            .free
+            .iter()
+            .map(|v| map.get(v).unwrap_or(v).clone())
+            .collect();
         self.align_to(&target)
     }
 
@@ -375,14 +498,26 @@ impl CstObject {
             // would be unbounded — Conjunction::optimize handles that; but a
             // schema var absent from the disjunct must still be seen as
             // free, which it is.
-            let e = if maximize { d.maximize(objective) } else { d.minimize(objective) };
+            let e = if maximize {
+                d.maximize(objective)
+            } else {
+                d.minimize(objective)
+            };
             match e {
                 Extremum::Infeasible => continue,
                 Extremum::Unbounded => return Extremum::Unbounded,
-                Extremum::Finite { bound, attained, witness } => {
+                Extremum::Finite {
+                    bound,
+                    attained,
+                    witness,
+                } => {
                     let replace = match &best {
                         None => true,
-                        Some(Extremum::Finite { bound: b, attained: a, .. }) => {
+                        Some(Extremum::Finite {
+                            bound: b,
+                            attained: a,
+                            ..
+                        }) => {
                             if maximize {
                                 bound > *b || (bound == *b && attained && !a)
                             } else {
@@ -392,7 +527,11 @@ impl CstObject {
                         Some(_) => false,
                     };
                     if replace {
-                        best = Some(Extremum::Finite { bound, attained, witness });
+                        best = Some(Extremum::Finite {
+                            bound,
+                            attained,
+                            witness,
+                        });
                     }
                 }
             }
@@ -504,9 +643,14 @@ mod tests {
     #[test]
     fn family_classification() {
         assert_eq!(desk_extent().family(), CstFamily::Conjunctive);
-        let two = desk_extent().or(&desk_extent().slice(&v("z"), &r(0)).project(vec![v("w"), v("z")]));
+        let two = desk_extent().or(&desk_extent()
+            .slice(&v("z"), &r(0))
+            .project(vec![v("w"), v("z")]));
         // (slice + reproject keeps it quantifier-free; two distinct disjuncts)
-        assert!(matches!(two.family(), CstFamily::Disjunctive | CstFamily::Conjunctive));
+        assert!(matches!(
+            two.family(),
+            CstFamily::Disjunctive | CstFamily::Conjunctive
+        ));
         let lazy = desk_translation().project(vec![v("u"), v("v")]);
         assert_eq!(lazy.family(), CstFamily::ExistentialConjunctive);
     }
@@ -620,7 +764,7 @@ mod tests {
         let cyl = seg.project(vec![v("x"), v("y")]);
         assert_eq!(cyl.arity(), 2);
         assert!(cyl.contains_point(&[r(0), r(999)])); // y unconstrained
-        // Dropping a dimension quantifies it.
+                                                      // Dropping a dimension quantifies it.
         let shadow = cyl.project_eager(vec![v("y")]);
         assert!(shadow.contains_point(&[r(-5)]));
     }
@@ -637,7 +781,9 @@ mod tests {
                 Atom::ge(e("d"), c(0)),
             ]),
         );
-        assert!(cube.project_restricted(vec![v("a"), v("b"), v("c")]).is_ok());
+        assert!(cube
+            .project_restricted(vec![v("a"), v("b"), v("c")])
+            .is_ok());
         assert!(cube.project_restricted(vec![v("a")]).is_ok());
         assert!(matches!(
             cube.project_restricted(vec![v("a"), v("b")]),
@@ -702,14 +848,18 @@ mod tests {
             Conjunction::of([Atom::ge(e("x"), c(5)), Atom::lt(e("x"), c(7))]),
         ));
         match u.maximize(&e("x")) {
-            Extremum::Finite { bound, attained, .. } => {
+            Extremum::Finite {
+                bound, attained, ..
+            } => {
                 assert_eq!(bound, r(7));
                 assert!(!attained);
             }
             other => panic!("unexpected {other:?}"),
         }
         match u.minimize(&e("x")) {
-            Extremum::Finite { bound, attained, .. } => {
+            Extremum::Finite {
+                bound, attained, ..
+            } => {
                 assert_eq!(bound, r(0));
                 assert!(attained);
             }
@@ -722,10 +872,8 @@ mod tests {
         let bb = desk_extent().bounding_box().unwrap();
         assert_eq!(bb[0], (Some(r(-4)), Some(r(4))));
         assert_eq!(bb[1], (Some(r(-2)), Some(r(2))));
-        let half = CstObject::from_conjunction(
-            vec![v("x")],
-            Conjunction::of([Atom::ge(e("x"), c(0))]),
-        );
+        let half =
+            CstObject::from_conjunction(vec![v("x")], Conjunction::of([Atom::ge(e("x"), c(0))]));
         assert_eq!(half.bounding_box().unwrap()[0], (Some(r(0)), None));
         assert!(CstObject::bottom(vec![v("x")]).bounding_box().is_none());
     }

@@ -27,13 +27,17 @@ impl Dnf {
 
     /// The always-true DNF (one empty conjunction).
     pub fn top() -> Dnf {
-        Dnf { disjuncts: vec![Conjunction::top()] }
+        Dnf {
+            disjuncts: vec![Conjunction::top()],
+        }
     }
 
     /// Build from disjuncts, dropping syntactic falsities and duplicates.
     pub fn of(disjuncts: impl IntoIterator<Item = Conjunction>) -> Dnf {
-        let mut ds: Vec<Conjunction> =
-            disjuncts.into_iter().filter(|d| !d.is_syntactically_false()).collect();
+        let mut ds: Vec<Conjunction> = disjuncts
+            .into_iter()
+            .filter(|d| !d.is_syntactically_false())
+            .collect();
         ds.sort();
         ds.dedup();
         Dnf { disjuncts: ds }
@@ -82,15 +86,8 @@ impl Dnf {
         if c.is_syntactically_false() {
             return Dnf::top();
         }
-        lyric_engine::note_many(
-            lyric_engine::Resource::Disjuncts,
-            c.atoms().len() as u64,
-        );
-        Dnf::of(
-            c.atoms()
-                .iter()
-                .map(|a| Conjunction::of([a.negate()])),
-        )
+        lyric_engine::note_many(lyric_engine::Resource::Disjuncts, c.atoms().len() as u64);
+        Dnf::of(c.atoms().iter().map(|a| Conjunction::of([a.negate()])))
     }
 
     /// General DNF negation. **Exponential** in the number of disjuncts —
@@ -148,9 +145,7 @@ impl Dnf {
                         .find(|a| a.op() == NormOp::Neq && a.contains(v))
                         .expect("blocking disequation must exist")
                         .clone();
-                    let rest = Conjunction::of(
-                        d.atoms().iter().filter(|a| **a != neq).cloned(),
-                    );
+                    let rest = Conjunction::of(d.atoms().iter().filter(|a| **a != neq).cloned());
                     queue.push(rest.and_atom(Atom::normalized(neq.expr().clone(), NormOp::Lt)));
                     queue.push(rest.and_atom(Atom::normalized(-neq.expr(), NormOp::Lt)));
                 }
@@ -177,7 +172,10 @@ impl Dnf {
         let n = vars.len();
         let k = eliminate.len();
         if !(k <= 1 || n - k <= 1) {
-            return Err(ConstraintError::RestrictedProjection { eliminate: k, free: n });
+            return Err(ConstraintError::RestrictedProjection {
+                eliminate: k,
+                free: n,
+            });
         }
         Ok(self.eliminate_all(&eliminate))
     }
@@ -190,7 +188,9 @@ impl Dnf {
     /// unsatisfiability pruning at every node.
     pub fn implies(&self, other: &Dnf) -> bool {
         lyric_engine::tally(|s| s.entailment_checks += 1);
-        self.disjuncts.iter().all(|d| refute(d.clone(), &other.disjuncts))
+        self.disjuncts
+            .iter()
+            .all(|d| refute(d.clone(), &other.disjuncts))
     }
 
     /// Mutual entailment: same point set?
@@ -364,9 +364,10 @@ mod tests {
 
     #[test]
     fn restricted_projection_enforced() {
-        let d = Dnf::from_conjunction(Conjunction::of([
-            Atom::le(x() + y() + LinExpr::var(v("z")) + LinExpr::var(v("q")), c(1)),
-        ]));
+        let d = Dnf::from_conjunction(Conjunction::of([Atom::le(
+            x() + y() + LinExpr::var(v("z")) + LinExpr::var(v("q")),
+            c(1),
+        )]));
         assert!(d.project_restricted(&[v("x"), v("y"), v("z")]).is_ok());
         assert!(d.project_restricted(&[v("x")]).is_ok());
         assert!(matches!(

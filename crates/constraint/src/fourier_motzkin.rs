@@ -81,7 +81,11 @@ impl Conjunction {
             for (lo, lo_strict) in &lowers {
                 for (hi, hi_strict) in &uppers {
                     lyric_engine::note(lyric_engine::Resource::FmAtoms);
-                    let op = if *lo_strict || *hi_strict { NormOp::Lt } else { NormOp::Le };
+                    let op = if *lo_strict || *hi_strict {
+                        NormOp::Lt
+                    } else {
+                        NormOp::Le
+                    };
                     rest.push(Atom::normalized(lo - hi, op));
                 }
             }
@@ -111,7 +115,10 @@ impl Conjunction {
         let n = vars.len();
         let k = eliminate.len();
         if !(k <= 1 || n - k <= 1) {
-            return Err(ConstraintError::RestrictedProjection { eliminate: k, free: n });
+            return Err(ConstraintError::RestrictedProjection {
+                eliminate: k,
+                free: n,
+            });
         }
         self.eliminate_all(&eliminate)
     }
@@ -180,7 +187,10 @@ mod tests {
         assert_eq!(out, Conjunction::of([Atom::lt(y(), c(5))]));
         // Both non-strict stays non-strict.
         let cj = Conjunction::of([Atom::le(y(), x()), Atom::le(x(), c(5))]);
-        assert_eq!(cj.eliminate(&v("x")).unwrap(), Conjunction::of([Atom::le(y(), c(5))]));
+        assert_eq!(
+            cj.eliminate(&v("x")).unwrap(),
+            Conjunction::of([Atom::le(y(), c(5))])
+        );
     }
 
     #[test]
@@ -275,7 +285,10 @@ mod tests {
         let four = cj.and_atom(Atom::le(LinExpr::var(v("q")), c(0)));
         assert_eq!(
             four.project_restricted(&[v("x"), v("y")]),
-            Err(ConstraintError::RestrictedProjection { eliminate: 2, free: 4 })
+            Err(ConstraintError::RestrictedProjection {
+                eliminate: 2,
+                free: 4
+            })
         );
     }
 
@@ -283,11 +296,7 @@ mod tests {
     fn elimination_is_sound_and_complete_on_samples() {
         // ∃x. (x >= y ∧ x <= z ∧ x >= 0): projection should equal
         // {(y,z) : y <= z ∧ z >= 0}.
-        let cj = Conjunction::of([
-            Atom::ge(x(), y()),
-            Atom::le(x(), z()),
-            Atom::ge(x(), c(0)),
-        ]);
+        let cj = Conjunction::of([Atom::ge(x(), y()), Atom::le(x(), z()), Atom::ge(x(), c(0))]);
         let proj = cj.eliminate(&v("x")).unwrap();
         for yy in -3..=3i64 {
             for zz in -3..=3i64 {

@@ -90,13 +90,26 @@ fn disjunct_vertices(d: &Conjunction, x: &Var, y: &Var) -> Vec<(Rational, Ration
     // Counter-clockwise order around the centroid, comparing polar angles
     // exactly via cross products per half-plane.
     let n = Rational::from_int(vertices.len() as i64);
-    let cx = vertices.iter().map(|(a, _)| a.clone()).fold(Rational::zero(), |s, v| s + v) / n.clone();
-    let cy = vertices.iter().map(|(_, b)| b.clone()).fold(Rational::zero(), |s, v| s + v) / n;
+    let cx = vertices
+        .iter()
+        .map(|(a, _)| a.clone())
+        .fold(Rational::zero(), |s, v| s + v)
+        / n.clone();
+    let cy = vertices
+        .iter()
+        .map(|(_, b)| b.clone())
+        .fold(Rational::zero(), |s, v| s + v)
+        / n;
     vertices.sort_by(|p, q| {
         let (pdx, pdy) = (&p.0 - &cx, &p.1 - &cy);
         let (qdx, qdy) = (&q.0 - &cx, &q.1 - &cy);
-        let half =
-            |dx: &Rational, dy: &Rational| if dy.is_negative() || (dy.is_zero() && dx.is_negative()) { 1u8 } else { 0 };
+        let half = |dx: &Rational, dy: &Rational| {
+            if dy.is_negative() || (dy.is_zero() && dx.is_negative()) {
+                1u8
+            } else {
+                0
+            }
+        };
         let (hp, hq) = (half(&pdx, &pdy), half(&qdx, &qdy));
         hp.cmp(&hq).then_with(|| {
             // Same half-plane: cross(p, q) > 0 means q is CCW of p, so p
@@ -117,8 +130,16 @@ fn disjunct_vertices(d: &Conjunction, x: &Var, y: &Var) -> Vec<(Rational, Ration
 /// (`e = 0` for each), when unique.
 fn intersect(a: &Atom, b: &Atom, x: &Var, y: &Var) -> Option<(Rational, Rational)> {
     // a: a1 x + a2 y + a0 = 0 ; b: b1 x + b2 y + b0 = 0.
-    let (a1, a2, a0) = (a.expr().coeff(x), a.expr().coeff(y), a.expr().constant_term().clone());
-    let (b1, b2, b0) = (b.expr().coeff(x), b.expr().coeff(y), b.expr().constant_term().clone());
+    let (a1, a2, a0) = (
+        a.expr().coeff(x),
+        a.expr().coeff(y),
+        a.expr().constant_term().clone(),
+    );
+    let (b1, b2, b0) = (
+        b.expr().coeff(x),
+        b.expr().coeff(y),
+        b.expr().constant_term().clone(),
+    );
     let det = &a1 * &b2 - &a2 * &b1;
     if det.is_zero() {
         return None;
@@ -165,12 +186,7 @@ mod tests {
         assert_eq!(vs.len(), 1);
         assert_eq!(
             vs[0],
-            vec![
-                (r(4), r(2)),
-                (r(0), r(2)),
-                (r(0), r(0)),
-                (r(4), r(0)),
-            ]
+            vec![(r(4), r(2)), (r(0), r(2)), (r(0), r(0)), (r(4), r(0)),]
         );
     }
 
@@ -261,14 +277,23 @@ mod tests {
             vec![v("x"), v("y")],
             Conjunction::of([Atom::ge(e("x"), c(0))]),
         );
-        assert!(matches!(half.vertices_2d(), Err(ConstraintError::Geometry(_))));
+        assert!(matches!(
+            half.vertices_2d(),
+            Err(ConstraintError::Geometry(_))
+        ));
         let three_d = CstObject::top(vec![v("x"), v("y"), v("z")]);
-        assert!(matches!(three_d.vertices_2d(), Err(ConstraintError::Geometry(_))));
+        assert!(matches!(
+            three_d.vertices_2d(),
+            Err(ConstraintError::Geometry(_))
+        ));
         let quantified = CstObject::new(
             vec![v("x"), v("y")],
             [Conjunction::of([Atom::le(e("x"), e("hidden"))])],
         );
-        assert!(matches!(quantified.vertices_2d(), Err(ConstraintError::Geometry(_))));
+        assert!(matches!(
+            quantified.vertices_2d(),
+            Err(ConstraintError::Geometry(_))
+        ));
     }
 
     #[test]

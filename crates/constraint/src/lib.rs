@@ -66,7 +66,7 @@ mod var;
 
 pub use atom::{Atom, NormOp, RelOp};
 pub use conjunction::{Conjunction, Extremum};
-pub use cst_object::{CstFamily, CstObject};
+pub use cst_object::{CstFamily, CstObject, FamilyOp};
 pub use dnf::Dnf;
 pub use error::ConstraintError;
 pub use linexpr::{Assignment, LinExpr};

@@ -28,7 +28,10 @@ impl LinExpr {
 
     /// A constant expression.
     pub fn constant(c: impl Into<Rational>) -> LinExpr {
-        LinExpr { terms: BTreeMap::new(), constant: c.into() }
+        LinExpr {
+            terms: BTreeMap::new(),
+            constant: c.into(),
+        }
     }
 
     /// A single variable with coefficient 1.
@@ -43,7 +46,10 @@ impl LinExpr {
         if !c.is_zero() {
             terms.insert(v.into(), c);
         }
-        LinExpr { terms, constant: Rational::zero() }
+        LinExpr {
+            terms,
+            constant: Rational::zero(),
+        }
     }
 
     /// Coefficient of `v` (zero if absent).

@@ -73,7 +73,10 @@ mod tests {
     fn ordering_is_by_name() {
         let mut v = [Var::new("z"), Var::new("a"), Var::new("m")];
         v.sort();
-        assert_eq!(v.iter().map(Var::name).collect::<Vec<_>>(), vec!["a", "m", "z"]);
+        assert_eq!(
+            v.iter().map(Var::name).collect::<Vec<_>>(),
+            vec!["a", "m", "z"]
+        );
     }
 
     #[test]

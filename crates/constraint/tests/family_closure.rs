@@ -1,0 +1,209 @@
+//! Differential tests for the §3.1 family-closure table: the static
+//! prediction [`CstFamily::apply`] must be a sound upper bound for what
+//! the runtime operations actually produce, and must agree exactly with
+//! runtime *legality* (an op is `None` in the table iff the evaluator
+//! refuses it).
+//!
+//! Soundness direction: for every representative pair and every defined
+//! op, `actual.family() ≤ predicted` in the inclusion lattice — the
+//! runtime may land in a smaller family (e.g. a conjunction of two
+//! singleton disjunct sets stays conjunctive), never a larger one.
+
+use lyric_constraint::{Atom, Conjunction, CstFamily, CstObject, FamilyOp, LinExpr, Var};
+
+fn v(n: &str) -> LinExpr {
+    LinExpr::var(Var::new(n))
+}
+
+fn c(n: i64) -> LinExpr {
+    LinExpr::from(n)
+}
+
+fn xy() -> Vec<Var> {
+    vec![Var::new("x"), Var::new("y")]
+}
+
+/// One representative object per §3.1 family, all disequation-free so
+/// that eager projection cannot case-split.
+fn representatives() -> Vec<(CstFamily, CstObject)> {
+    let conj = CstObject::new(
+        xy(),
+        [Conjunction::of([
+            Atom::le(v("x"), c(1)),
+            Atom::le(v("y"), c(2)),
+        ])],
+    );
+    // `t` is not in the schema, so it is existentially quantified.
+    let exist = CstObject::new(
+        xy(),
+        [Conjunction::of([
+            Atom::le(v("x"), v("t")),
+            Atom::le(v("t"), c(5)),
+        ])],
+    );
+    let disj = CstObject::new(
+        xy(),
+        [
+            Conjunction::of([Atom::le(v("x"), c(0))]),
+            Conjunction::of([Atom::ge(v("x"), c(3))]),
+        ],
+    );
+    let disj_exist = CstObject::new(
+        xy(),
+        [
+            Conjunction::of([Atom::le(v("x"), v("t")), Atom::le(v("t"), c(0))]),
+            Conjunction::of([Atom::ge(v("y"), c(7))]),
+        ],
+    );
+    let reps = vec![
+        (CstFamily::Conjunctive, conj),
+        (CstFamily::ExistentialConjunctive, exist),
+        (CstFamily::Disjunctive, disj),
+        (CstFamily::DisjunctiveExistential, disj_exist),
+    ];
+    for (fam, obj) in &reps {
+        assert_eq!(obj.family(), *fam, "representative mislabeled");
+    }
+    reps
+}
+
+/// `sub` is contained in `sup` in the inclusion lattice.
+fn le(sub: CstFamily, sup: CstFamily) -> bool {
+    sub.join(sup) == sup
+}
+
+#[test]
+fn conjoin_prediction_bounds_runtime_and() {
+    for (fa, a) in representatives() {
+        for (fb, b) in representatives() {
+            let predicted = fa.apply(FamilyOp::Conjoin, Some(fb)).expect("total");
+            let actual = a.and(&b).family();
+            assert!(
+                le(actual, predicted),
+                "and: {} ⋀ {} produced {}, table predicts {}",
+                fa.name(),
+                fb.name(),
+                actual.name(),
+                predicted.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn disjoin_prediction_bounds_runtime_or() {
+    for (fa, a) in representatives() {
+        for (fb, b) in representatives() {
+            let predicted = fa.apply(FamilyOp::Disjoin, Some(fb)).expect("total");
+            let actual = a.or(&b).family();
+            assert!(
+                le(actual, predicted),
+                "or: {} ⋁ {} produced {}, table predicts {}",
+                fa.name(),
+                fb.name(),
+                actual.name(),
+                predicted.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn negate_legality_matches_the_table_exactly() {
+    for (fam, obj) in representatives() {
+        let predicted = fam.apply(FamilyOp::Negate, None);
+        let actual = obj.negate();
+        assert_eq!(
+            predicted.is_some(),
+            actual.is_ok(),
+            "negate legality diverges for {}",
+            fam.name()
+        );
+        assert_eq!(predicted.is_some(), fam.closed_under(FamilyOp::Negate));
+        if let (Some(p), Ok(n)) = (predicted, actual) {
+            assert!(
+                le(n.family(), p),
+                "negate: {} produced {}, table predicts {}",
+                fam.name(),
+                n.family().name(),
+                p.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn restricted_projection_stays_in_family() {
+    // Eliminate exactly one variable — legal for every arity.
+    for (fam, obj) in representatives() {
+        let predicted = fam.apply(FamilyOp::ProjectRestricted, None).expect("total");
+        let projected = obj
+            .project_restricted(vec![Var::new("x")])
+            .expect("eliminating one variable is restricted");
+        assert!(
+            le(projected.family(), predicted),
+            "project_restricted: {} produced {}, table predicts {}",
+            fam.name(),
+            projected.family().name(),
+            predicted.name()
+        );
+        // Eager elimination discharges all quantifiers: whatever the
+        // input family, the output is quantifier-free.
+        assert!(!projected.family().is_existential());
+    }
+}
+
+#[test]
+fn lazy_projection_is_bounded_by_with_existential() {
+    for (fam, obj) in representatives() {
+        let predicted = fam.apply(FamilyOp::Project, None).expect("total");
+        assert_eq!(predicted, fam.with_existential());
+        let projected = obj.project(vec![Var::new("x")]);
+        assert!(
+            le(projected.family(), predicted),
+            "project: {} produced {}, table predicts {}",
+            fam.name(),
+            projected.family().name(),
+            predicted.name()
+        );
+    }
+    // The canonical witness that lazy projection genuinely escalates:
+    // dropping a constrained dimension leaves it quantified.
+    let conj = CstObject::new(
+        xy(),
+        [Conjunction::of([
+            Atom::le(v("x"), v("y")),
+            Atom::le(v("y"), c(1)),
+        ])],
+    );
+    assert_eq!(conj.family(), CstFamily::Conjunctive);
+    assert_eq!(
+        conj.project(vec![Var::new("x")]).family(),
+        CstFamily::ExistentialConjunctive
+    );
+}
+
+/// The arity side of restricted projection is outside the table's reach:
+/// the table says the family is closed, but eliminating 2 of 4 dimensions
+/// (neither k ≤ 1 nor n−k ≤ 1) is still rejected at runtime.
+#[test]
+fn restricted_projection_arity_limit_is_orthogonal_to_the_table() {
+    let free: Vec<Var> = ["a", "b", "c", "d"].iter().map(Var::new).collect();
+    let obj = CstObject::new(
+        free,
+        [Conjunction::of([
+            Atom::le(v("a"), v("b")),
+            Atom::le(v("c"), v("d")),
+            Atom::le(v("d"), c(1)),
+        ])],
+    );
+    assert!(CstFamily::Conjunctive.closed_under(FamilyOp::ProjectRestricted));
+    assert!(obj
+        .project_restricted(vec![Var::new("a"), Var::new("b")])
+        .is_err());
+    // k = 1 and n − k = 1 are both fine.
+    assert!(obj
+        .project_restricted(vec![Var::new("a"), Var::new("b"), Var::new("c")])
+        .is_ok());
+    assert!(obj.project_restricted(vec![Var::new("a")]).is_ok());
+}

@@ -35,7 +35,11 @@ fn relop_strategy() -> impl Strategy<Value = RelOp> {
 }
 
 fn atom_strategy() -> impl Strategy<Value = RawAtom> {
-    (proptest::collection::vec(-3..=3i32, NVARS), relop_strategy(), -8..=8i32)
+    (
+        proptest::collection::vec(-3..=3i32, NVARS),
+        relop_strategy(),
+        -8..=8i32,
+    )
         .prop_map(|(coeffs, op, rhs)| RawAtom { coeffs, op, rhs })
 }
 
@@ -282,5 +286,8 @@ fn family_classification_examples() {
     let both = disj.or(&exist);
     assert_eq!(both.family(), CstFamily::DisjunctiveExistential);
     // NormOp surface check.
-    assert_eq!(Atom::neq(LinExpr::var(x), LinExpr::from(0)).op(), NormOp::Neq);
+    assert_eq!(
+        Atom::neq(LinExpr::var(x), LinExpr::from(0)).op(),
+        NormOp::Neq
+    );
 }

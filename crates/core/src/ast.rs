@@ -1,5 +1,6 @@
 //! Abstract syntax of LyriC queries (§4.2).
 
+use crate::span::Span;
 use lyric_arith::Rational;
 
 /// A complete LyriC statement.
@@ -16,7 +17,11 @@ pub enum Query {
 #[derive(Debug, Clone, PartialEq)]
 pub struct ViewQuery {
     pub name: String,
+    /// Span of the view name in the source.
+    pub name_span: Span,
     pub parent: String,
+    /// Span of the parent-class name in the source.
+    pub parent_span: Span,
     pub select: SelectQuery,
 }
 
@@ -32,13 +37,31 @@ pub struct SelectQuery {
     /// `OID FUNCTION OF X,Y`: output objects get id-function oids over the
     /// listed variables.
     pub oid_function: Option<Vec<String>>,
+    /// Spans parallel to `oid_function`'s variables (empty when absent).
+    pub oid_function_spans: Vec<Span>,
     pub where_clause: Option<Cond>,
 }
 
 #[derive(Debug, Clone, PartialEq)]
 pub struct FromItem {
     pub class: String,
+    /// Span of the class name in the source.
+    pub class_span: Span,
     pub var: String,
+    /// Span of the variable name in the source.
+    pub var_span: Span,
+}
+
+impl FromItem {
+    /// A FROM item with dummy spans (for programmatic construction).
+    pub fn new(class: impl Into<String>, var: impl Into<String>) -> FromItem {
+        FromItem {
+            class: class.into(),
+            class_span: Span::DUMMY,
+            var: var.into(),
+            var_span: Span::DUMMY,
+        }
+    }
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -46,6 +69,8 @@ pub struct SigItem {
     pub attr: String,
     pub is_set: bool,
     pub class: String,
+    /// Span of the target class name in the source.
+    pub class_span: Span,
 }
 
 /// One SELECT output column, optionally labelled (`name = X.name`).
@@ -53,6 +78,8 @@ pub struct SigItem {
 pub struct SelectItem {
     pub label: Option<String>,
     pub value: SelectValue,
+    /// Span of the whole item in the source.
+    pub span: Span,
 }
 
 /// What a SELECT column computes.
@@ -64,7 +91,11 @@ pub enum SelectValue {
     Formula(Formula),
     /// `MAX/MIN/MAX_POINT/MIN_POINT (objective SUBJECT TO formula)` —
     /// §4.2 items 2 and 3.
-    Optimize { kind: OptKind, objective: Arith, formula: Formula },
+    Optimize {
+        kind: OptKind,
+        objective: Arith,
+        formula: Formula,
+    },
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -83,12 +114,18 @@ pub enum OptKind {
 pub struct PathExpr {
     pub root: Selector,
     pub steps: Vec<Step>,
+    /// Span of the whole path in the source.
+    pub span: Span,
 }
 
 impl PathExpr {
     /// A bare variable path.
     pub fn var(name: impl Into<String>) -> PathExpr {
-        PathExpr { root: Selector::Var(name.into()), steps: Vec::new() }
+        PathExpr {
+            root: Selector::Var(name.into()),
+            steps: Vec::new(),
+            span: Span::DUMMY,
+        }
     }
 
     /// All variables occurring in selector positions.
@@ -128,6 +165,8 @@ pub enum OidLit {
 pub struct Step {
     pub attr: String,
     pub selector: Option<Selector>,
+    /// Span of this step (attribute plus selector) in the source.
+    pub span: Span,
 }
 
 // ------------------------------------------------------------ conditions
@@ -143,7 +182,11 @@ pub enum Cond {
     /// selector variables.
     PathPred(PathExpr),
     /// Comparison of path-expression values / literals.
-    Compare { lhs: CmpOperand, op: CmpOp, rhs: CmpOperand },
+    Compare {
+        lhs: CmpOperand,
+        op: CmpOp,
+        rhs: CmpOperand,
+    },
     /// Satisfiability predicate: a parenthesized CST formula (§4.2 item 1
     /// of WHERE predicates).
     Sat(Formula),
@@ -181,14 +224,41 @@ pub enum Formula {
     Or(Box<Formula>, Box<Formula>),
     Not(Box<Formula>),
     /// Projection `((x₁,…,xₙ) | φ)`.
-    Proj { vars: Vec<String>, body: Box<Formula> },
+    Proj {
+        vars: Vec<String>,
+        body: Box<Formula>,
+        span: Span,
+    },
     /// A CST-object reference `O(x₁,…,xₙ)` or bare `O`, where `O` is a path
     /// expression. With `vars: None` the variable names are "simply copied
     /// from the schema" (§4.2).
-    Pred { path: PathExpr, vars: Option<Vec<String>> },
+    Pred {
+        path: PathExpr,
+        vars: Option<Vec<String>>,
+    },
     /// A chained pseudo-linear constraint `a₁ op₁ a₂ op₂ … aₖ`
     /// (e.g. `-4 <= w <= 4`), denoting the conjunction of adjacent pairs.
-    Chain { first: Arith, rest: Vec<(CRelOp, Arith)> },
+    Chain {
+        first: Arith,
+        rest: Vec<(CRelOp, Arith)>,
+        span: Span,
+    },
+}
+
+impl Formula {
+    /// Best-effort source span of this formula: the join of the spans of
+    /// its parsed leaves (dummy for fully synthesized formulas).
+    pub fn span(&self) -> Span {
+        match self {
+            Formula::And(a, b) | Formula::Or(a, b) => a.span().join(b.span()),
+            Formula::Not(a) => a.span(),
+            Formula::Proj { span, body, .. } => span.join(body.span()),
+            Formula::Pred { path, .. } => path.span,
+            Formula::Chain { span, first, rest } => rest
+                .iter()
+                .fold(span.join(first.span()), |acc, (_, a)| acc.join(a.span())),
+        }
+    }
 }
 
 /// Relational operators in constraint atoms.
@@ -216,4 +286,41 @@ pub enum Arith {
     Sub(Box<Arith>, Box<Arith>),
     Mul(Box<Arith>, Box<Arith>),
     Neg(Box<Arith>),
+}
+
+impl Arith {
+    /// Best-effort source span: paths carry spans; bare variables and
+    /// literals do not, so this may be dummy.
+    pub fn span(&self) -> Span {
+        match self {
+            Arith::Num(_) | Arith::Var(_) => Span::DUMMY,
+            Arith::PathConst(p) => p.span,
+            Arith::Add(a, b) | Arith::Sub(a, b) | Arith::Mul(a, b) => a.span().join(b.span()),
+            Arith::Neg(a) => a.span(),
+        }
+    }
+}
+
+impl Cond {
+    /// Best-effort source span of this condition.
+    pub fn span(&self) -> Span {
+        match self {
+            Cond::And(a, b) | Cond::Or(a, b) => a.span().join(b.span()),
+            Cond::Not(a) => a.span(),
+            Cond::PathPred(p) => p.span,
+            Cond::Compare { lhs, rhs, .. } => lhs.span().join(rhs.span()),
+            Cond::Sat(f) => f.span(),
+            Cond::Entails(a, b) => a.span().join(b.span()),
+        }
+    }
+}
+
+impl CmpOperand {
+    /// Source span (dummy for literals, which carry no position).
+    pub fn span(&self) -> Span {
+        match self {
+            CmpOperand::Path(p) => p.span,
+            _ => Span::DUMMY,
+        }
+    }
 }

@@ -1,0 +1,243 @@
+//! Structured diagnostics for the static analyzer.
+//!
+//! Every analyzer finding is a [`Diagnostic`] with a stable `LYAxxx` code,
+//! a severity, a byte [`Span`] into the query source, a message, and an
+//! optional help line. [`render`] produces the caret-style text form shown
+//! by the REPL's `:check` command.
+
+use crate::span::Span;
+use std::fmt;
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory only: evaluation proceeds.
+    Warning,
+    /// The query is rejected before evaluation.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One static-analysis finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Stable code (`LYA000`–`LYA041`); see [`codes`].
+    pub code: &'static str,
+    /// Whether this rejects the query or merely warns.
+    pub severity: Severity,
+    /// Byte range in the query source the finding points at (dummy when no
+    /// position is known, e.g. for synthesized ASTs).
+    pub span: Span,
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// Optional suggestion for fixing the problem.
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    /// An error-severity diagnostic.
+    pub fn error(code: &'static str, span: Span, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            span,
+            message: message.into(),
+            help: None,
+        }
+    }
+
+    /// A warning-severity diagnostic.
+    pub fn warning(code: &'static str, span: Span, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: Severity::Warning,
+            span,
+            message: message.into(),
+            help: None,
+        }
+    }
+
+    /// Attach a help line.
+    pub fn with_help(mut self, help: impl Into<String>) -> Diagnostic {
+        self.help = Some(help.into());
+        self
+    }
+}
+
+/// The stable diagnostic codes emitted by the analyzer, with one-line
+/// descriptions. Golden tests pin every code listed in [`codes::ALL`].
+pub mod codes {
+    /// Lexical or syntax error surfaced through `analyze_src`.
+    pub const SYNTAX: &str = "LYA000";
+    /// FROM / SIGNATURE / view-parent names a class missing from the schema.
+    pub const UNKNOWN_CLASS: &str = "LYA001";
+    /// A path step names an attribute absent from the class cone.
+    pub const UNKNOWN_ATTRIBUTE: &str = "LYA002";
+    /// A variable is used before the left-to-right evaluation binds it.
+    pub const UNBOUND_VARIABLE: &str = "LYA003";
+    /// A CST predicate path has a static type that is not CST(n).
+    pub const NOT_A_CST: &str = "LYA010";
+    /// An ordered comparison or arithmetic term uses a non-numeric path.
+    pub const NON_NUMERIC: &str = "LYA011";
+    /// Explicit CST variable list length differs from the declared dimension.
+    pub const DIMENSION_MISMATCH: &str = "LYA012";
+    /// A product of two non-constant pseudo-linear terms.
+    pub const NONLINEAR_PRODUCT: &str = "LYA013";
+    /// MAX/MIN objective uses a variable outside the formula's dimensions.
+    pub const OBJECTIVE_DIMENSION: &str = "LYA014";
+    /// Negation applied outside the conjunctive family (§3.1 closure).
+    pub const NON_CONJUNCTIVE_NEGATION: &str = "LYA020";
+    /// (strict) Negation whose operand family cannot be determined statically.
+    pub const OPAQUE_NEGATION: &str = "LYA021";
+    /// (strict) Projection outside the restricted form (k>1 and n-k>1).
+    pub const UNRESTRICTED_PROJECTION: &str = "LYA022";
+    /// (strict) Projection eliminates a variable constrained by `!=`.
+    pub const DISEQUATION_ELIMINATION: &str = "LYA023";
+    /// Duplicate variable in a projection list or explicit CST var list.
+    pub const DUPLICATE_CST_VARIABLE: &str = "LYA030";
+    /// Two FROM items bind the same variable.
+    pub const DUPLICATE_FROM_VARIABLE: &str = "LYA031";
+    /// A FROM variable is bound but never used.
+    pub const UNUSED_BINDING: &str = "LYA032";
+    /// A conjunction of single-variable atoms is trivially unsatisfiable.
+    pub const TRIVIALLY_UNSAT: &str = "LYA040";
+    /// (opt-in) The LP-backed deep check found a ground formula infeasible.
+    pub const LP_UNSAT: &str = "LYA041";
+
+    /// Every code with its one-line description, in numeric order.
+    pub const ALL: &[(&str, &str)] = &[
+        (SYNTAX, "lexical or syntax error"),
+        (UNKNOWN_CLASS, "unknown class"),
+        (UNKNOWN_ATTRIBUTE, "unknown attribute"),
+        (UNBOUND_VARIABLE, "variable used before it is bound"),
+        (NOT_A_CST, "path is not a constraint object"),
+        (NON_NUMERIC, "non-numeric path in numeric position"),
+        (
+            DIMENSION_MISMATCH,
+            "CST variable list does not match dimension",
+        ),
+        (NONLINEAR_PRODUCT, "nonlinear product of constraint terms"),
+        (
+            OBJECTIVE_DIMENSION,
+            "objective variable outside formula dimensions",
+        ),
+        (
+            NON_CONJUNCTIVE_NEGATION,
+            "negation outside the conjunctive family",
+        ),
+        (
+            OPAQUE_NEGATION,
+            "negation of a formula with unknown family (strict)",
+        ),
+        (UNRESTRICTED_PROJECTION, "unrestricted projection (strict)"),
+        (
+            DISEQUATION_ELIMINATION,
+            "projection eliminates a != variable (strict)",
+        ),
+        (
+            DUPLICATE_CST_VARIABLE,
+            "duplicate variable in a CST variable list",
+        ),
+        (DUPLICATE_FROM_VARIABLE, "duplicate FROM variable"),
+        (UNUSED_BINDING, "unused FROM binding"),
+        (TRIVIALLY_UNSAT, "trivially unsatisfiable conjunction"),
+        (LP_UNSAT, "LP-backed infeasibility (opt-in deep check)"),
+    ];
+}
+
+/// Render one diagnostic in caret style against its source text.
+///
+/// ```text
+/// error[LYA001]: unknown class Nonexistent
+///   --> 1:15
+///    |
+///  1 | SELECT X FROM Nonexistent X
+///    |               ^^^^^^^^^^^
+///    = help: known classes are listed by :schema
+/// ```
+pub fn render(diag: &Diagnostic, src: &str) -> String {
+    let mut out = format!("{}[{}]: {}\n", diag.severity, diag.code, diag.message);
+    if !diag.span.is_dummy() && diag.span.start <= src.len() {
+        let start = diag.span.start.min(src.len());
+        let end = diag.span.end.clamp(start, src.len());
+        let line_no = src[..start].bytes().filter(|&b| b == b'\n').count() + 1;
+        let line_start = src[..start].rfind('\n').map_or(0, |p| p + 1);
+        let line_end = src[start..].find('\n').map_or(src.len(), |p| start + p);
+        let line = &src[line_start..line_end];
+        let col = src[line_start..start].chars().count() + 1;
+        let gutter = line_no.to_string();
+        let pad = " ".repeat(gutter.len());
+        out.push_str(&format!("  --> {line_no}:{col}\n"));
+        out.push_str(&format!(" {pad} |\n"));
+        out.push_str(&format!(" {gutter} | {line}\n"));
+        let caret_len = src[start..end.min(line_end).max(start)]
+            .chars()
+            .count()
+            .max(1);
+        out.push_str(&format!(
+            " {pad} | {}{}\n",
+            " ".repeat(col - 1),
+            "^".repeat(caret_len)
+        ));
+    }
+    if let Some(h) = &diag.help {
+        out.push_str(&format!("   = help: {h}\n"));
+    }
+    out
+}
+
+/// Render a batch of diagnostics, separated by blank lines.
+pub fn render_all(diags: &[Diagnostic], src: &str) -> String {
+    diags
+        .iter()
+        .map(|d| render(d, src))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn caret_points_at_span() {
+        let src = "SELECT X FROM Nonexistent X";
+        let d = Diagnostic::error(codes::UNKNOWN_CLASS, Span::new(14, 25), "unknown class")
+            .with_help("check the schema");
+        let r = render(&d, src);
+        assert!(r.contains("error[LYA001]"), "{r}");
+        assert!(r.contains("--> 1:15"), "{r}");
+        assert!(r.contains("^^^^^^^^^^^"), "{r}");
+        assert!(r.contains("= help: check the schema"), "{r}");
+    }
+
+    #[test]
+    fn dummy_span_renders_without_excerpt() {
+        let d = Diagnostic::warning(codes::UNUSED_BINDING, Span::DUMMY, "unused");
+        let r = render(&d, "SELECT X FROM Desk X");
+        assert!(r.starts_with("warning[LYA032]: unused"), "{r}");
+        assert!(!r.contains("-->"), "{r}");
+    }
+
+    #[test]
+    fn multiline_source_locates_line() {
+        let src = "SELECT X\nFROM Desk X\nWHERE X.bogus[Y]";
+        let start = src.find("bogus").unwrap();
+        let d = Diagnostic::error(
+            codes::UNKNOWN_ATTRIBUTE,
+            Span::new(start, start + 5),
+            "unknown attribute",
+        );
+        let r = render(&d, src);
+        assert!(r.contains("--> 3:9"), "{r}");
+        assert!(r.contains("WHERE X.bogus[Y]"), "{r}");
+    }
+}

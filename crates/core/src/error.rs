@@ -1,21 +1,57 @@
 //! Errors of the LyriC language layer.
 
+use crate::diag::Diagnostic;
+use crate::span::Span;
 use lyric_constraint::ConstraintError;
 use lyric_oodb::DbError;
 use std::fmt;
 
-/// Any error raised while lexing, parsing, or evaluating a LyriC query.
+/// Payload of [`LyricError::Lex`]: the message plus the offending byte
+/// range in the source text.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LexError {
+    /// Human-readable description of the lexical problem.
+    pub message: String,
+    /// Byte range of the offending input (dummy when unknown).
+    pub span: Span,
+}
+
+/// Payload of [`LyricError::Parse`]: the message, the offending byte range,
+/// and the token set the parser would have accepted at that point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable description of the syntax problem.
+    pub message: String,
+    /// Byte range of the offending token (dummy when unknown).
+    pub span: Span,
+    /// Display forms of the tokens that would have been accepted.
+    pub expected: Vec<String>,
+    /// Display form of the token actually found (empty when unknown).
+    pub found: String,
+}
+
+/// Any error raised while lexing, parsing, analyzing, or evaluating a
+/// LyriC query.
 #[derive(Debug, Clone, PartialEq)]
 pub enum LyricError {
     /// Lexical error.
-    Lex(String),
+    Lex(LexError),
     /// Syntax error with the offending token and expectation.
-    Parse(String),
+    Parse(ParseError),
+    /// The static analyzer rejected the query before evaluation. The
+    /// vector holds every error-severity [`Diagnostic`] found.
+    Analysis(Vec<Diagnostic>),
     /// A variable was used before anything bound it (XSQL evaluates
     /// conjunctions left to right; see the evaluator docs).
     UnboundVariable(String),
     /// A path step used an attribute the class does not declare.
-    UnknownAttribute { class: String, attr: String },
+    /// `searched` lists the full IS-A chain inspected, starting at the
+    /// declaring (static) class of the step.
+    UnknownAttribute {
+        class: String,
+        attr: String,
+        searched: Vec<String>,
+    },
     /// FROM referenced a class missing from the schema.
     UnknownClass(String),
     /// A pseudo-linear formula used a path that did not evaluate to a
@@ -24,7 +60,11 @@ pub enum LyricError {
     TypeError(String),
     /// A CST predicate's explicit variable list does not match the
     /// dimension of the referenced object.
-    DimensionMismatch { expected: usize, got: usize, what: String },
+    DimensionMismatch {
+        expected: usize,
+        got: usize,
+        what: String,
+    },
     /// `MAX`/`MIN` over an unbounded objective.
     Unbounded,
     /// `MAX_POINT`/`MIN_POINT` when the optimum is a supremum that no point
@@ -39,16 +79,53 @@ pub enum LyricError {
     /// The query crossed an [`EngineBudget`](lyric_engine::EngineBudget)
     /// limit and was aborted. `limit`/`consumed` are in the resource's
     /// native unit (counts, or milliseconds for the wall-clock deadline).
-    BudgetExceeded { resource: lyric_engine::Resource, limit: u64, consumed: u64 },
+    BudgetExceeded {
+        resource: lyric_engine::Resource,
+        limit: u64,
+        consumed: u64,
+    },
 }
 
 impl LyricError {
+    /// A lexical error with no span information.
     pub fn lex(msg: impl Into<String>) -> LyricError {
-        LyricError::Lex(msg.into())
+        LyricError::lex_at(msg, Span::DUMMY)
     }
+
+    /// A lexical error at a known byte range.
+    pub fn lex_at(msg: impl Into<String>, span: Span) -> LyricError {
+        LyricError::Lex(LexError {
+            message: msg.into(),
+            span,
+        })
+    }
+
+    /// A syntax error with no span information.
     pub fn parse(msg: impl Into<String>) -> LyricError {
-        LyricError::Parse(msg.into())
+        LyricError::Parse(ParseError {
+            message: msg.into(),
+            span: Span::DUMMY,
+            expected: Vec::new(),
+            found: String::new(),
+        })
     }
+
+    /// A syntax error at a known byte range, with the expected-token set.
+    pub fn parse_at(
+        msg: impl Into<String>,
+        span: Span,
+        expected: Vec<String>,
+        found: impl Into<String>,
+    ) -> LyricError {
+        LyricError::Parse(ParseError {
+            message: msg.into(),
+            span,
+            expected,
+            found: found.into(),
+        })
+    }
+
+    /// A type error (no span; runtime type errors are value-dependent).
     pub fn type_error(msg: impl Into<String>) -> LyricError {
         LyricError::TypeError(msg.into())
     }
@@ -79,15 +156,38 @@ impl From<lyric_engine::BudgetExceeded> for LyricError {
 impl fmt::Display for LyricError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            LyricError::Lex(m) => write!(f, "lex error: {m}"),
-            LyricError::Parse(m) => write!(f, "parse error: {m}"),
+            LyricError::Lex(e) => write!(f, "lex error: {}", e.message),
+            LyricError::Parse(e) => write!(f, "parse error: {}", e.message),
+            LyricError::Analysis(ds) => {
+                let errors = ds.len();
+                write!(
+                    f,
+                    "query rejected by static analysis ({errors} diagnostic(s))"
+                )?;
+                if let Some(d) = ds.first() {
+                    write!(f, ": [{}] {}", d.code, d.message)?;
+                }
+                Ok(())
+            }
             LyricError::UnboundVariable(v) => write!(f, "variable {v} is not bound"),
-            LyricError::UnknownAttribute { class, attr } => {
-                write!(f, "class {class} has no attribute {attr}")
+            LyricError::UnknownAttribute {
+                class,
+                attr,
+                searched,
+            } => {
+                write!(f, "class {class} has no attribute {attr}")?;
+                if searched.len() > 1 {
+                    write!(f, " (searched IS-A chain: {})", searched.join(" -> "))?;
+                }
+                Ok(())
             }
             LyricError::UnknownClass(c) => write!(f, "unknown class {c}"),
             LyricError::TypeError(m) => write!(f, "type error: {m}"),
-            LyricError::DimensionMismatch { expected, got, what } => {
+            LyricError::DimensionMismatch {
+                expected,
+                got,
+                what,
+            } => {
                 write!(f, "{what}: expected {expected} variables, got {got}")
             }
             LyricError::Unbounded => write!(f, "objective is unbounded"),
@@ -99,7 +199,11 @@ impl fmt::Display for LyricError {
             }
             LyricError::Db(e) => write!(f, "database error: {e}"),
             LyricError::Constraint(e) => write!(f, "constraint error: {e}"),
-            LyricError::BudgetExceeded { resource, limit, consumed } => write!(
+            LyricError::BudgetExceeded {
+                resource,
+                limit,
+                consumed,
+            } => write!(
                 f,
                 "evaluation budget exceeded: {resource} (consumed {consumed} of limit {limit})"
             ),

@@ -66,6 +66,15 @@ pub fn execute(db: &mut Database, src: &str) -> Result<QueryResult, LyricError> 
     execute_parsed(db, &q)
 }
 
+/// [`execute`] without the static-analysis gate: the query goes straight
+/// to the evaluator, so semantic errors surface as runtime errors
+/// mid-evaluation. Useful for differential testing of the analyzer and for
+/// callers that have already analyzed the query.
+pub fn execute_unchecked(db: &mut Database, src: &str) -> Result<QueryResult, LyricError> {
+    let q = parse_query(src)?;
+    execute_parsed_unchecked(db, &q)
+}
+
 /// Parse and execute a statement under an explicit evaluation budget.
 /// When a limit is crossed, evaluation aborts promptly and returns
 /// [`LyricError::BudgetExceeded`] with the limit and the amount consumed —
@@ -76,6 +85,7 @@ pub fn execute_with_budget(
     budget: lyric_engine::EngineBudget,
 ) -> Result<QueryResult, LyricError> {
     let q = parse_query(src)?;
+    check(db, &q)?;
     run_in_context(db, &q, budget)
 }
 
@@ -84,6 +94,13 @@ pub fn execute_with_budget(
 /// already installed, it is used as-is — its budget applies and the stats
 /// stamped on the result are the context's cumulative counters.
 pub fn execute_parsed(db: &mut Database, q: &Query) -> Result<QueryResult, LyricError> {
+    check(db, q)?;
+    execute_parsed_unchecked(db, q)
+}
+
+/// [`execute_parsed`] without the static-analysis gate; see
+/// [`execute_unchecked`].
+pub fn execute_parsed_unchecked(db: &mut Database, q: &Query) -> Result<QueryResult, LyricError> {
     if lyric_engine::is_active() {
         let mut res = execute_in_context(db, q)?;
         if let Some(stats) = lyric_engine::snapshot() {
@@ -92,6 +109,22 @@ pub fn execute_parsed(db: &mut Database, q: &Query) -> Result<QueryResult, Lyric
         return Ok(res);
     }
     run_in_context(db, q, lyric_engine::EngineBudget::unlimited())
+}
+
+/// The admission gate: run the static analyzer (default options) and
+/// reject the query on any error-severity diagnostic, *before* the
+/// evaluator — and before any engine budget — is touched.
+fn check(db: &Database, q: &Query) -> Result<(), LyricError> {
+    let diags: Vec<_> =
+        crate::analyze::analyze(db.schema(), q, &crate::analyze::AnalyzerOptions::default())
+            .into_iter()
+            .filter(|d| d.severity == crate::diag::Severity::Error)
+            .collect();
+    if diags.is_empty() {
+        Ok(())
+    } else {
+        Err(LyricError::Analysis(diags))
+    }
 }
 
 /// Install an engine context around the evaluator and translate a budget
@@ -132,7 +165,11 @@ fn execute_in_context(db: &mut Database, q: &Query) -> Result<QueryResult, Lyric
                 cols.push("oid".to_string());
             }
             cols.extend(columns);
-            Ok(QueryResult { columns: cols, rows: out_rows, stats: Default::default() })
+            Ok(QueryResult {
+                columns: cols,
+                rows: out_rows,
+                stats: Default::default(),
+            })
         }
         Query::CreateView(v) => execute_view(db, v),
     }
@@ -244,14 +281,14 @@ fn execute_view(db: &mut Database, v: &ViewQuery) -> Result<QueryResult, LyricEr
     } else {
         cols.push("member".into());
     }
-    Ok(QueryResult { columns: cols, rows: out_rows, stats: Default::default() })
+    Ok(QueryResult {
+        columns: cols,
+        rows: out_rows,
+        stats: Default::default(),
+    })
 }
 
-fn oid_function_value(
-    fname: &str,
-    vars: &[String],
-    binding: &Binding,
-) -> Result<Oid, LyricError> {
+fn oid_function_value(fname: &str, vars: &[String], binding: &Binding) -> Result<Oid, LyricError> {
     let mut args = Vec::with_capacity(vars.len());
     for v in vars {
         args.push(
@@ -347,7 +384,7 @@ impl<'a> Ctx<'a> {
                 }
                 Formula::Not(a) | Formula::Proj { body: a, .. } => scan_formula(a, out),
                 Formula::Pred { path, .. } => scan_path(path, out),
-                Formula::Chain { first, rest } => {
+                Formula::Chain { first, rest, .. } => {
                     scan_arith(first, out);
                     for (_, a) in rest {
                         scan_arith(a, out);
@@ -384,7 +421,9 @@ impl<'a> Ctx<'a> {
             match &item.value {
                 SelectValue::Path(p) => scan_path(p, &mut declared),
                 SelectValue::Formula(f) => scan_formula(f, &mut declared),
-                SelectValue::Optimize { objective, formula, .. } => {
+                SelectValue::Optimize {
+                    objective, formula, ..
+                } => {
                     scan_arith(objective, &mut declared);
                     scan_formula(formula, &mut declared);
                 }
@@ -446,7 +485,9 @@ pub(crate) fn eval_path(
     for step in &path.steps {
         let mut next: Vec<PathHit> = Vec::new();
         for state in &states {
-            let Some(data) = ctx.db.object(&state.value) else { continue };
+            let Some(data) = ctx.db.object(&state.value) else {
+                continue;
+            };
             let class = data.class().to_string();
             // Attribute name, attribute variable (bound or free).
             let candidates: Vec<String> = if ctx.db.schema().attribute(&class, &step.attr).is_some()
@@ -459,9 +500,20 @@ pub(crate) fn eval_path(
                 // attributes (§2.2 higher-order variables).
                 data.attrs().map(|(n, _)| n.to_string()).collect()
             } else {
+                // Report the whole IS-A chain that was searched, so the
+                // error names the declaring classes inspected rather than
+                // just the object's dynamic class.
+                let searched: Vec<String> = ctx
+                    .db
+                    .schema()
+                    .ancestors(&class)
+                    .into_iter()
+                    .map(String::from)
+                    .collect();
                 return Err(LyricError::UnknownAttribute {
                     class: class.clone(),
                     attr: step.attr.clone(),
+                    searched,
                 });
             };
             let is_attr_var = ctx.db.schema().attribute(&class, &step.attr).is_none();
@@ -470,7 +522,9 @@ pub(crate) fn eval_path(
                     continue;
                 };
                 let decl_target = decl.target.clone();
-                let Some(value) = data.attr(&attr_name) else { continue };
+                let Some(value) = data.attr(&attr_name) else {
+                    continue;
+                };
                 for member in value.iter() {
                     let mut b = state.binding.clone();
                     let child_scope: ScopeKey = {
@@ -495,10 +549,8 @@ pub(crate) fn eval_path(
                                 if let (Oid::Cst(_), AttrTarget::Cst { vars }) =
                                     (member, &decl_target)
                                 {
-                                    b.cst_prov.insert(
-                                        v.clone(),
-                                        (state.scope.clone(), vars.clone()),
-                                    );
+                                    b.cst_prov
+                                        .insert(v.clone(), (state.scope.clone(), vars.clone()));
                                 }
                             }
                         },
@@ -506,7 +558,11 @@ pub(crate) fn eval_path(
                         Some(Selector::Lit(_)) => {}
                     }
                     // Interface-renaming link for class-valued steps.
-                    if let AttrTarget::Class { class: target_class, actuals } = &decl_target {
+                    if let AttrTarget::Class {
+                        class: target_class,
+                        actuals,
+                    } = &decl_target
+                    {
                         if let Some(target_def) = ctx.db.schema().class(target_class) {
                             if !target_def.interface.is_empty() {
                                 let formals = target_def.interface.clone();
@@ -573,7 +629,9 @@ fn eval_cond(ctx: &Ctx<'_>, cond: &Cond, binding: &Binding) -> Result<Vec<Bindin
         }
         Cond::PathPred(p) => {
             let hits = eval_path(ctx, p, binding)?;
-            Ok(dedup_bindings(hits.into_iter().map(|h| h.binding).collect()))
+            Ok(dedup_bindings(
+                hits.into_iter().map(|h| h.binding).collect(),
+            ))
         }
         Cond::Compare { lhs, op, rhs } => {
             let l = operand_values(ctx, lhs, binding)?;
@@ -583,7 +641,11 @@ fn eval_cond(ctx: &Ctx<'_>, cond: &Cond, binding: &Binding) -> Result<Vec<Bindin
         }
         Cond::Sat(f) => {
             let obj = instantiate(ctx, f, binding)?;
-            Ok(if obj.satisfiable() { vec![binding.clone()] } else { vec![] })
+            Ok(if obj.satisfiable() {
+                vec![binding.clone()]
+            } else {
+                vec![]
+            })
         }
         Cond::Entails(f1, f2) => {
             let holds = entails(ctx, f1, f2, binding)?;
@@ -758,7 +820,11 @@ fn eval_item(ctx: &Ctx<'_>, item: &SelectItem, b: &Binding) -> Result<Vec<Oid>, 
             let obj = instantiate(ctx, f, b)?;
             Ok(vec![Oid::cst(obj)])
         }
-        SelectValue::Optimize { kind, objective, formula } => {
+        SelectValue::Optimize {
+            kind,
+            objective,
+            formula,
+        } => {
             let obj = instantiate(ctx, formula, b)?;
             let goal = arith_to_linexpr(ctx, objective, b)?;
             // The LP operators optimize over the formula's point set; the
@@ -781,7 +847,11 @@ fn eval_item(ctx: &Ctx<'_>, item: &SelectItem, b: &Binding) -> Result<Vec<Oid>, 
             match extremum {
                 Extremum::Infeasible => Err(LyricError::EmptyOptimization),
                 Extremum::Unbounded => Err(LyricError::Unbounded),
-                Extremum::Finite { bound, attained, witness } => match kind {
+                Extremum::Finite {
+                    bound,
+                    attained,
+                    witness,
+                } => match kind {
                     OptKind::Max | OptKind::Min => Ok(vec![Oid::Rat(bound)]),
                     OptKind::MaxPoint | OptKind::MinPoint => {
                         if !attained {
@@ -792,7 +862,10 @@ fn eval_item(ctx: &Ctx<'_>, item: &SelectItem, b: &Binding) -> Result<Vec<Oid>, 
                             .iter()
                             .map(|v| witness.get(v).cloned().unwrap_or_else(Rational::zero))
                             .collect();
-                        Ok(vec![Oid::cst(CstObject::point(obj.free().to_vec(), &values))])
+                        Ok(vec![Oid::cst(CstObject::point(
+                            obj.free().to_vec(),
+                            &values,
+                        ))])
                     }
                 },
             }

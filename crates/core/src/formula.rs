@@ -31,7 +31,7 @@ pub(crate) fn instantiate(
     let mut preds: Vec<ResolvedPred> = Vec::new();
     let mut links: Vec<ScopeLink> = binding.links.clone();
     let (proj, body) = match f {
-        Formula::Proj { vars, body } => (Some(vars), body.as_ref()),
+        Formula::Proj { vars, body, .. } => (Some(vars), body.as_ref()),
         _ => (None, f),
     };
     let obj = build(ctx, body, binding, &mut preds, &mut links)?;
@@ -137,7 +137,7 @@ fn build(
             let inner = build(ctx, a, binding, preds, links)?;
             Ok(inner.negate()?)
         }
-        Formula::Proj { vars, body } => {
+        Formula::Proj { vars, body, .. } => {
             // Nested projection: lazy re-binding (see the module docs of
             // `lyric_constraint::cst_object`); equality injection happens
             // once at the root.
@@ -162,10 +162,14 @@ fn build(
                 None => declared.clone(),
             };
             let aligned = object.align_to(&query_vars);
-            preds.push(ResolvedPred { query_vars, owner, declared });
+            preds.push(ResolvedPred {
+                query_vars,
+                owner,
+                declared,
+            });
             Ok(aligned)
         }
-        Formula::Chain { first, rest } => {
+        Formula::Chain { first, rest, .. } => {
             let mut atoms = Vec::new();
             let mut prev = arith_to_linexpr(ctx, first, binding)?;
             for (op, next) in rest {
@@ -208,10 +212,7 @@ fn resolve_cst_path(
             .value
             .as_cst()
             .ok_or_else(|| {
-                LyricError::type_error(format!(
-                    "{} is not a constraint object",
-                    display_path(path)
-                ))
+                LyricError::type_error(format!("{} is not a constraint object", display_path(path)))
             })?
             .clone();
         let (owner, declared) = match hit.cst_info {
@@ -281,9 +282,9 @@ pub(crate) fn arith_to_linexpr(
                     }
                 }
             }
-            value.map(LinExpr::constant).ok_or_else(|| {
-                LyricError::type_error(format!("{} has no value", display_path(p)))
-            })
+            value
+                .map(LinExpr::constant)
+                .ok_or_else(|| LyricError::type_error(format!("{} has no value", display_path(p))))
         }
         Arith::Add(x, y) => {
             Ok(&arith_to_linexpr(ctx, x, binding)? + &arith_to_linexpr(ctx, y, binding)?)

@@ -10,16 +10,38 @@
 //! * Numbers are exact: `0.5` lexes as the rational `1/2`.
 
 use crate::error::LyricError;
+use crate::span::Span;
 use crate::token::Token;
 use lyric_arith::Rational;
 
 /// Tokenize a query string.
 pub fn lex(src: &str) -> Result<Vec<Token>, LyricError> {
+    lex_spanned(src).map(|(toks, _)| toks)
+}
+
+/// Tokenize a query string, also returning the byte span of each token.
+///
+/// The two vectors are parallel: `spans[i]` covers `toks[i]` in `src`
+/// (half-open byte range). The trailing [`Token::Eof`] gets the empty span
+/// at the end of the input.
+pub fn lex_spanned(src: &str) -> Result<(Vec<Token>, Vec<Span>), LyricError> {
     let mut out = Vec::new();
+    let mut spans = Vec::new();
     let chars: Vec<char> = src.chars().collect();
+    // Byte offset of each char, plus one-past-the-end, so spans are byte
+    // ranges even in the presence of multi-byte paper notation (≤, ∧, …).
+    let mut byte_of: Vec<usize> = src.char_indices().map(|(b, _)| b).collect();
+    byte_of.push(src.len());
     let mut i = 0usize;
+    macro_rules! emit {
+        ($tok:expr, $start:expr) => {{
+            out.push($tok);
+            spans.push(Span::new(byte_of[$start], byte_of[i]));
+        }};
+    }
     while i < chars.len() {
         let c = chars[i];
+        let s = i;
         match c {
             ' ' | '\t' | '\n' | '\r' => i += 1,
             '-' if chars.get(i + 1) == Some(&'-') => {
@@ -29,117 +51,117 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LyricError> {
                 }
             }
             '(' => {
-                out.push(Token::LParen);
                 i += 1;
+                emit!(Token::LParen, s);
             }
             ')' => {
-                out.push(Token::RParen);
                 i += 1;
+                emit!(Token::RParen, s);
             }
             '[' => {
-                out.push(Token::LBracket);
                 i += 1;
+                emit!(Token::LBracket, s);
             }
             ']' => {
-                out.push(Token::RBracket);
                 i += 1;
+                emit!(Token::RBracket, s);
             }
             '.' if !matches!(chars.get(i + 1), Some(d) if d.is_ascii_digit()) => {
-                out.push(Token::Dot);
                 i += 1;
+                emit!(Token::Dot, s);
             }
             ',' => {
-                out.push(Token::Comma);
                 i += 1;
+                emit!(Token::Comma, s);
             }
             '+' => {
-                out.push(Token::Plus);
                 i += 1;
+                emit!(Token::Plus, s);
             }
             '-' => {
-                out.push(Token::Minus);
                 i += 1;
+                emit!(Token::Minus, s);
             }
             '*' => {
-                out.push(Token::Star);
                 i += 1;
+                emit!(Token::Star, s);
             }
             '|' => {
                 if chars.get(i + 1) == Some(&'=') {
-                    out.push(Token::Entails);
                     i += 2;
+                    emit!(Token::Entails, s);
                 } else {
-                    out.push(Token::Bar);
                     i += 1;
+                    emit!(Token::Bar, s);
                 }
             }
             '⊨' => {
-                out.push(Token::Entails);
                 i += 1;
+                emit!(Token::Entails, s);
             }
             '∧' => {
-                out.push(Token::And);
                 i += 1;
+                emit!(Token::And, s);
             }
             '∨' => {
-                out.push(Token::Or);
                 i += 1;
+                emit!(Token::Or, s);
             }
             '¬' => {
-                out.push(Token::Not);
                 i += 1;
+                emit!(Token::Not, s);
             }
             '=' => {
                 if chars.get(i + 1) == Some(&'>') {
                     if chars.get(i + 2) == Some(&'>') {
-                        out.push(Token::ArrowSet);
                         i += 3;
+                        emit!(Token::ArrowSet, s);
                     } else {
-                        out.push(Token::ArrowScalar);
                         i += 2;
+                        emit!(Token::ArrowScalar, s);
                     }
                 } else {
-                    out.push(Token::Eq);
                     i += 1;
+                    emit!(Token::Eq, s);
                 }
             }
             '!' if chars.get(i + 1) == Some(&'=') => {
-                out.push(Token::Neq);
                 i += 2;
+                emit!(Token::Neq, s);
             }
             '≠' => {
-                out.push(Token::Neq);
                 i += 1;
+                emit!(Token::Neq, s);
             }
             '≤' => {
-                out.push(Token::Le);
                 i += 1;
+                emit!(Token::Le, s);
             }
             '≥' => {
-                out.push(Token::Ge);
                 i += 1;
+                emit!(Token::Ge, s);
             }
             '<' => match chars.get(i + 1) {
                 Some('=') => {
-                    out.push(Token::Le);
                     i += 2;
+                    emit!(Token::Le, s);
                 }
                 Some('>') => {
-                    out.push(Token::Neq);
                     i += 2;
+                    emit!(Token::Neq, s);
                 }
                 _ => {
-                    out.push(Token::Lt);
                     i += 1;
+                    emit!(Token::Lt, s);
                 }
             },
             '>' => {
                 if chars.get(i + 1) == Some(&'=') {
-                    out.push(Token::Ge);
                     i += 2;
+                    emit!(Token::Ge, s);
                 } else {
-                    out.push(Token::Gt);
                     i += 1;
+                    emit!(Token::Gt, s);
                 }
             }
             '\'' => {
@@ -149,13 +171,15 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LyricError> {
                     j += 1;
                 }
                 if j >= chars.len() {
-                    return Err(LyricError::lex("unterminated string literal"));
+                    return Err(LyricError::lex_at(
+                        "unterminated string literal",
+                        Span::new(byte_of[s], src.len()),
+                    ));
                 }
-                out.push(Token::Str(chars[start..j].iter().collect()));
                 i = j + 1;
+                emit!(Token::Str(chars[start..j].iter().collect()), s);
             }
             c if c.is_ascii_digit() || c == '.' => {
-                let start = i;
                 let mut j = i;
                 let mut seen_dot = false;
                 while j < chars.len()
@@ -170,35 +194,41 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LyricError> {
                     }
                     j += 1;
                 }
-                let text: String = chars[start..j].iter().collect();
-                let value: Rational = text
-                    .parse()
-                    .map_err(|_| LyricError::lex(format!("bad number literal {text}")))?;
-                out.push(Token::Number(value));
+                let text: String = chars[s..j].iter().collect();
+                let value: Rational = text.parse().map_err(|_| {
+                    LyricError::lex_at(
+                        format!("bad number literal {text}"),
+                        Span::new(byte_of[s], byte_of[j]),
+                    )
+                })?;
                 i = j;
+                emit!(Token::Number(value), s);
             }
             c if c.is_alphabetic() || c == '_' => {
-                let start = i;
                 let mut j = i;
                 while j < chars.len() && (chars[j].is_alphanumeric() || chars[j] == '_') {
                     j += 1;
                 }
-                let word: String = chars[start..j].iter().collect();
+                let word: String = chars[s..j].iter().collect();
+                i = j;
                 // MAX_POINT / MIN_POINT are single identifiers with an
                 // underscore; keyword() sees the full word.
                 match Token::keyword(&word) {
-                    Some(k) => out.push(k),
-                    None => out.push(Token::Ident(word)),
+                    Some(k) => emit!(k, s),
+                    None => emit!(Token::Ident(word), s),
                 }
-                i = j;
             }
             other => {
-                return Err(LyricError::lex(format!("unexpected character {other:?}")));
+                return Err(LyricError::lex_at(
+                    format!("unexpected character {other:?}"),
+                    Span::new(byte_of[s], byte_of[s + 1]),
+                ));
             }
         }
     }
     out.push(Token::Eof);
-    Ok(out)
+    spans.push(Span::new(src.len(), src.len()));
+    Ok((out, spans))
 }
 
 #[cfg(test)]
@@ -288,7 +318,10 @@ mod tests {
 
     #[test]
     fn strings_and_errors() {
-        assert_eq!(toks("'standard desk'")[0], Token::Str("standard desk".into()));
+        assert_eq!(
+            toks("'standard desk'")[0],
+            Token::Str("standard desk".into())
+        );
         assert!(lex("'unterminated").is_err());
         assert!(lex("x # y").is_err());
     }

@@ -41,7 +41,9 @@
 //! * [`paper_example`] — the exact schema of Figure 1 and instance of
 //!   Figure 2, used by the test suite and benchmarks.
 
+pub mod analyze;
 pub mod ast;
+pub mod diag;
 mod error;
 mod eval;
 mod formula;
@@ -50,13 +52,20 @@ pub mod paper_example;
 mod parser;
 mod printer;
 mod scope;
+pub mod span;
 pub mod storage;
 mod token;
 
-pub use error::LyricError;
-pub use eval::{execute, execute_parsed, execute_with_budget, QueryResult};
-pub use lexer::lex;
+pub use analyze::{analyze, analyze_src, AnalyzerOptions};
+pub use diag::{Diagnostic, Severity};
+pub use error::{LexError, LyricError, ParseError};
+pub use eval::{
+    execute, execute_parsed, execute_parsed_unchecked, execute_unchecked, execute_with_budget,
+    QueryResult,
+};
+pub use lexer::{lex, lex_spanned};
 pub use parser::{parse_formula, parse_query};
+pub use span::Span;
 pub use token::Token;
 
 // Re-export the building blocks users need to construct databases.

@@ -81,7 +81,10 @@ pub fn translation2() -> CstObject {
 
 /// A single 2-D point as a constraint object.
 pub fn point2(vx: &str, vy: &str, x: i64, y: i64) -> CstObject {
-    CstObject::point(vec![v(vx), v(vy)], &[Rational::from_int(x), Rational::from_int(y)])
+    CstObject::point(
+        vec![v(vx), v(vy)],
+        &[Rational::from_int(x), Rational::from_int(y)],
+    )
 }
 
 /// The Figure 1 schema.
@@ -123,7 +126,10 @@ pub fn schema() -> Schema {
     s.add_class(
         ClassDef::new("Desk")
             .is_a("Office_Object")
-            .attr(AttrDef::scalar("drawer_center", AttrTarget::cst(["p", "q"])))
+            .attr(AttrDef::scalar(
+                "drawer_center",
+                AttrTarget::cst(["p", "q"]),
+            ))
             .attr(AttrDef::scalar(
                 "drawer",
                 AttrTarget::class_renamed("Drawer", vec![v("p"), v("q")]),
@@ -141,7 +147,8 @@ pub fn schema() -> Schema {
     )
     .expect("fresh schema");
     // The Region CST class used by the §4.1 view example.
-    s.add_class(ClassDef::new("Region").cst_class(2)).expect("fresh schema");
+    s.add_class(ClassDef::new("Region").cst_class(2))
+        .expect("fresh schema");
     s
 }
 
@@ -149,7 +156,8 @@ pub fn schema() -> Schema {
 pub fn database() -> Database {
     let mut db = Database::new(schema()).expect("schema validates");
     for color in ["red", "blue", "grey"] {
-        db.declare_instance("Color", Oid::str(color)).expect("Color exists");
+        db.declare_instance("Color", Oid::str(color))
+            .expect("Color exists");
     }
 
     // Catalog objects.
@@ -157,7 +165,10 @@ pub fn database() -> Database {
         Oid::named("standard_drawer"),
         "Drawer",
         [
-            ("extent", Value::Scalar(Oid::cst(box2("w", "z", -1, 1, -1, 1)))),
+            (
+                "extent",
+                Value::Scalar(Oid::cst(box2("w", "z", -1, 1, -1, 1))),
+            ),
             ("translation", Value::Scalar(Oid::cst(translation2()))),
         ],
     )
@@ -168,7 +179,10 @@ pub fn database() -> Database {
         [
             ("name", Value::Scalar(Oid::str("standard desk"))),
             ("color", Value::Scalar(Oid::str("red"))),
-            ("extent", Value::Scalar(Oid::cst(box2("w", "z", -4, 4, -2, 2)))),
+            (
+                "extent",
+                Value::Scalar(Oid::cst(box2("w", "z", -4, 4, -2, 2))),
+            ),
             ("translation", Value::Scalar(Oid::cst(translation2()))),
             (
                 "drawer_center",
@@ -204,7 +218,10 @@ pub fn database() -> Database {
         Oid::named("cabinet_drawer"),
         "Drawer",
         [
-            ("extent", Value::Scalar(Oid::cst(box2("w", "z", -1, 1, -1, 1)))),
+            (
+                "extent",
+                Value::Scalar(Oid::cst(box2("w", "z", -1, 1, -1, 1))),
+            ),
             ("translation", Value::Scalar(Oid::cst(translation2()))),
         ],
     )
@@ -225,7 +242,10 @@ pub fn database() -> Database {
         [
             ("name", Value::Scalar(Oid::str("file cabinet"))),
             ("color", Value::Scalar(Oid::str("grey"))),
-            ("extent", Value::Scalar(Oid::cst(box2("w", "z", -1, 1, -2, 2)))),
+            (
+                "extent",
+                Value::Scalar(Oid::cst(box2("w", "z", -1, 1, -2, 2))),
+            ),
             ("translation", Value::Scalar(Oid::cst(translation2()))),
             ("drawer_center", Value::set([center(-2, -1), center(1, 2)])),
             ("drawer", Value::Scalar(Oid::named("cabinet_drawer"))),
@@ -238,7 +258,10 @@ pub fn database() -> Database {
         [
             ("inv_number", Value::Scalar(Oid::str("22-355"))),
             ("location", Value::Scalar(Oid::cst(point2("x", "y", 15, 8)))),
-            ("catalog_object", Value::Scalar(Oid::named("standard_cabinet"))),
+            (
+                "catalog_object",
+                Value::Scalar(Oid::named("standard_cabinet")),
+            ),
         ],
     )
     .expect("valid insert");
@@ -264,10 +287,22 @@ mod tests {
     fn figure2_values() {
         let db = database();
         let desk = Oid::named("standard_desk");
-        let extent = db.attr(&desk, "extent").unwrap().as_scalar().unwrap().as_cst().unwrap();
+        let extent = db
+            .attr(&desk, "extent")
+            .unwrap()
+            .as_scalar()
+            .unwrap()
+            .as_cst()
+            .unwrap();
         assert!(extent.contains_point(&[4.into(), 2.into()]));
         assert!(!extent.contains_point(&[5.into(), 0.into()]));
-        let dc = db.attr(&desk, "drawer_center").unwrap().as_scalar().unwrap().as_cst().unwrap();
+        let dc = db
+            .attr(&desk, "drawer_center")
+            .unwrap()
+            .as_scalar()
+            .unwrap()
+            .as_cst()
+            .unwrap();
         assert!(dc.contains_point(&[Rational::from_int(-2), Rational::from_int(-1)]));
         assert!(!dc.contains_point(&[Rational::from_int(0), Rational::from_int(-1)]));
     }

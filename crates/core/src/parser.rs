@@ -12,13 +12,18 @@
 
 use crate::ast::*;
 use crate::error::LyricError;
-use crate::lexer::lex;
+use crate::lexer::lex_spanned;
+use crate::span::Span;
 use crate::token::Token;
 
 /// Parse a complete LyriC statement.
 pub fn parse_query(src: &str) -> Result<Query, LyricError> {
-    let toks = lex(src)?;
-    let mut p = Parser { toks, pos: 0 };
+    let (toks, spans) = lex_spanned(src)?;
+    let mut p = Parser {
+        toks,
+        spans,
+        pos: 0,
+    };
     let q = p.query()?;
     p.expect(Token::Eof)?;
     Ok(q)
@@ -26,8 +31,12 @@ pub fn parse_query(src: &str) -> Result<Query, LyricError> {
 
 /// Parse a standalone CST formula (used by tests and the library API).
 pub fn parse_formula(src: &str) -> Result<Formula, LyricError> {
-    let toks = lex(src)?;
-    let mut p = Parser { toks, pos: 0 };
+    let (toks, spans) = lex_spanned(src)?;
+    let mut p = Parser {
+        toks,
+        spans,
+        pos: 0,
+    };
     let f = p.formula()?;
     p.expect(Token::Eof)?;
     Ok(f)
@@ -35,12 +44,29 @@ pub fn parse_formula(src: &str) -> Result<Formula, LyricError> {
 
 struct Parser {
     toks: Vec<Token>,
+    /// Byte spans parallel to `toks`.
+    spans: Vec<Span>,
     pos: usize,
 }
 
 impl Parser {
     fn peek(&self) -> &Token {
         &self.toks[self.pos]
+    }
+
+    /// Span of the token about to be consumed.
+    fn cur_span(&self) -> Span {
+        self.spans[self.pos]
+    }
+
+    /// Span covering everything consumed since token position `start`.
+    fn span_from(&self, start: usize) -> Span {
+        let last = self
+            .pos
+            .saturating_sub(1)
+            .max(start)
+            .min(self.spans.len() - 1);
+        self.spans[start].join(self.spans[last])
     }
 
     fn peek2(&self) -> &Token {
@@ -69,14 +95,30 @@ impl Parser {
             self.bump();
             Ok(())
         } else {
-            Err(LyricError::parse(format!("expected {t}, found {}", self.peek())))
+            Err(LyricError::parse_at(
+                format!("expected {t}, found {}", self.peek()),
+                self.cur_span(),
+                vec![t.to_string()],
+                self.peek().to_string(),
+            ))
         }
     }
 
     fn ident(&mut self) -> Result<String, LyricError> {
+        self.ident_sp().map(|(s, _)| s)
+    }
+
+    /// An identifier together with its span.
+    fn ident_sp(&mut self) -> Result<(String, Span), LyricError> {
+        let sp = self.cur_span();
         match self.bump() {
-            Token::Ident(s) => Ok(s),
-            other => Err(LyricError::parse(format!("expected identifier, found {other}"))),
+            Token::Ident(s) => Ok((s, sp)),
+            other => Err(LyricError::parse_at(
+                format!("expected identifier, found {other}"),
+                sp,
+                vec!["identifier".into()],
+                other.to_string(),
+            )),
         }
     }
 
@@ -85,13 +127,19 @@ impl Parser {
     fn query(&mut self) -> Result<Query, LyricError> {
         if self.eat(&Token::Create) {
             self.expect(Token::View)?;
-            let name = self.ident()?;
+            let (name, name_span) = self.ident_sp()?;
             self.expect(Token::As)?;
             self.expect(Token::Subclass)?;
             self.expect(Token::Of)?;
-            let parent = self.ident()?;
+            let (parent, parent_span) = self.ident_sp()?;
             let select = self.select_query()?;
-            Ok(Query::CreateView(ViewQuery { name, parent, select }))
+            Ok(Query::CreateView(ViewQuery {
+                name,
+                name_span,
+                parent,
+                parent_span,
+                select,
+            }))
         } else {
             Ok(Query::Select(self.select_query()?))
         }
@@ -116,18 +164,34 @@ impl Parser {
             from.push(self.from_item()?);
         }
         let mut oid_function = None;
+        let mut oid_function_spans = Vec::new();
         if self.peek() == &Token::OidKw {
             self.bump();
             self.expect(Token::Function)?;
             self.expect(Token::Of)?;
-            let mut vars = vec![self.ident()?];
+            let (v0, s0) = self.ident_sp()?;
+            let mut vars = vec![v0];
+            oid_function_spans.push(s0);
             while self.eat(&Token::Comma) {
-                vars.push(self.ident()?);
+                let (v, sp) = self.ident_sp()?;
+                vars.push(v);
+                oid_function_spans.push(sp);
             }
             oid_function = Some(vars);
         }
-        let where_clause = if self.eat(&Token::Where) { Some(self.cond()?) } else { None };
-        Ok(SelectQuery { items, signature, from, oid_function, where_clause })
+        let where_clause = if self.eat(&Token::Where) {
+            Some(self.cond()?)
+        } else {
+            None
+        };
+        Ok(SelectQuery {
+            items,
+            signature,
+            from,
+            oid_function,
+            oid_function_spans,
+            where_clause,
+        })
     }
 
     fn sig_item(&mut self) -> Result<SigItem, LyricError> {
@@ -141,18 +205,29 @@ impl Parser {
                 )))
             }
         };
-        let class = self.ident()?;
-        Ok(SigItem { attr, is_set, class })
+        let (class, class_span) = self.ident_sp()?;
+        Ok(SigItem {
+            attr,
+            is_set,
+            class,
+            class_span,
+        })
     }
 
     #[allow(clippy::wrong_self_convention)]
     fn from_item(&mut self) -> Result<FromItem, LyricError> {
-        let class = self.ident()?;
-        let var = self.ident()?;
-        Ok(FromItem { class, var })
+        let (class, class_span) = self.ident_sp()?;
+        let (var, var_span) = self.ident_sp()?;
+        Ok(FromItem {
+            class,
+            class_span,
+            var,
+            var_span,
+        })
     }
 
     fn select_item(&mut self) -> Result<SelectItem, LyricError> {
+        let start = self.pos;
         // `label = value` when an identifier is directly followed by `=`
         // and the value is not itself a comparison (select items never
         // are).
@@ -164,7 +239,11 @@ impl Parser {
             None
         };
         let value = self.select_value()?;
-        Ok(SelectItem { label, value })
+        Ok(SelectItem {
+            label,
+            value,
+            span: self.span_from(start),
+        })
     }
 
     fn select_value(&mut self) -> Result<SelectValue, LyricError> {
@@ -183,7 +262,11 @@ impl Parser {
                 self.expect(Token::To)?;
                 let formula = self.formula()?;
                 self.expect(Token::RParen)?;
-                Ok(SelectValue::Optimize { kind, objective, formula })
+                Ok(SelectValue::Optimize {
+                    kind,
+                    objective,
+                    formula,
+                })
             }
             Token::LParen => Ok(SelectValue::Formula(self.formula()?)),
             _ => Ok(SelectValue::Path(self.path_expr()?)),
@@ -279,9 +362,9 @@ impl Parser {
                 self.bump();
                 match self.bump() {
                     Token::Number(n) => Ok(CmpOperand::Num(-n)),
-                    other => {
-                        Err(LyricError::parse(format!("expected number after '-', found {other}")))
-                    }
+                    other => Err(LyricError::parse(format!(
+                        "expected number after '-', found {other}"
+                    ))),
                 }
             }
             Token::Str(s) => {
@@ -407,11 +490,16 @@ impl Parser {
         }
         let body = self.formula()?;
         self.expect(Token::RParen)?;
-        Ok(Some(Formula::Proj { vars, body: Box::new(body) }))
+        Ok(Some(Formula::Proj {
+            vars,
+            body: Box::new(body),
+            span: self.span_from(save),
+        }))
     }
 
     /// A chained pseudo-linear constraint: `arith (relop arith)+`.
     fn chain(&mut self) -> Result<Formula, LyricError> {
+        let start = self.pos;
         let first = self.arith()?;
         let mut rest = Vec::new();
         while let Some(op) = self.crelop() {
@@ -419,12 +507,21 @@ impl Parser {
             rest.push((op, a));
         }
         if rest.is_empty() {
-            return Err(LyricError::parse(format!(
-                "expected relational operator, found {}",
-                self.peek()
-            )));
+            return Err(LyricError::parse_at(
+                format!("expected relational operator, found {}", self.peek()),
+                self.cur_span(),
+                ["=", "!=", "<=", "<", ">=", ">"]
+                    .iter()
+                    .map(|s| s.to_string())
+                    .collect(),
+                self.peek().to_string(),
+            ));
         }
-        Ok(Formula::Chain { first, rest })
+        Ok(Formula::Chain {
+            first,
+            rest,
+            span: self.span_from(start),
+        })
     }
 
     fn crelop(&mut self) -> Option<CRelOp> {
@@ -515,24 +612,32 @@ impl Parser {
                     Ok(Arith::PathConst(path))
                 }
             }
-            other => Err(LyricError::parse(format!("expected arithmetic term, found {other}"))),
+            other => Err(LyricError::parse(format!(
+                "expected arithmetic term, found {other}"
+            ))),
         }
     }
 
     // -------------------------------------------------------------- paths
 
     fn path_expr(&mut self) -> Result<PathExpr, LyricError> {
+        let start = self.pos;
+        let root_span = self.cur_span();
         let root = match self.bump() {
             Token::Ident(s) => Selector::Var(s),
             Token::Str(s) => Selector::Lit(OidLit::Str(s)),
             other => {
-                return Err(LyricError::parse(format!(
-                    "expected path expression, found {other}"
-                )))
+                return Err(LyricError::parse_at(
+                    format!("expected path expression, found {other}"),
+                    root_span,
+                    vec!["identifier".into(), "string literal".into()],
+                    other.to_string(),
+                ))
             }
         };
         let mut steps = Vec::new();
         while self.eat(&Token::Dot) {
+            let step_start = self.pos;
             let attr = self.ident()?;
             let selector = if self.eat(&Token::LBracket) {
                 let negative = self.eat(&Token::Minus);
@@ -542,11 +647,9 @@ impl Parser {
                     Token::Number(n) => {
                         let n = if negative { -n } else { n };
                         if n.is_integer() {
-                            Selector::Lit(OidLit::Int(
-                                n.numer().to_i64().ok_or_else(|| {
-                                    LyricError::parse("integer selector out of range")
-                                })?,
-                            ))
+                            Selector::Lit(OidLit::Int(n.numer().to_i64().ok_or_else(|| {
+                                LyricError::parse("integer selector out of range")
+                            })?))
                         } else {
                             return Err(LyricError::parse(
                                 "only integer numeric selectors are supported",
@@ -566,9 +669,17 @@ impl Parser {
             } else {
                 None
             };
-            steps.push(Step { attr, selector });
+            steps.push(Step {
+                attr,
+                selector,
+                span: self.span_from(step_start),
+            });
         }
-        Ok(PathExpr { root, steps })
+        Ok(PathExpr {
+            root,
+            steps,
+            span: self.span_from(start),
+        })
     }
 }
 
@@ -581,7 +692,7 @@ mod tests {
         let q = parse_query("SELECT Y FROM Desk X WHERE X.drawer[Y].color['red']").unwrap();
         let Query::Select(s) = q else { panic!() };
         assert_eq!(s.items.len(), 1);
-        assert_eq!(s.from, vec![FromItem { class: "Desk".into(), var: "X".into() }]);
+        assert_eq!(s.from, vec![FromItem::new("Desk", "X")]);
         match s.where_clause.unwrap() {
             Cond::PathPred(p) => {
                 assert_eq!(p.root, Selector::Var("X".into()));
@@ -619,7 +730,7 @@ mod tests {
         .unwrap();
         let Query::Select(s) = q else { panic!() };
         match &s.items[1].value {
-            SelectValue::Formula(Formula::Proj { vars, body }) => {
+            SelectValue::Formula(Formula::Proj { vars, body, .. }) => {
                 assert_eq!(vars, &vec!["u".to_string(), "v".to_string()]);
                 // body is an AND tree with Pred and Chain leaves
                 fn count_preds(f: &Formula) -> usize {
@@ -692,10 +803,8 @@ mod tests {
         }
         assert!(find_sat(&s.where_clause.unwrap()));
         // Grouped Boolean condition with strings: falls back to Cond.
-        let q = parse_query(
-            "SELECT X FROM Desk X WHERE (X.color = 'red' OR X.color = 'blue')",
-        )
-        .unwrap();
+        let q = parse_query("SELECT X FROM Desk X WHERE (X.color = 'red' OR X.color = 'blue')")
+            .unwrap();
         let Query::Select(s) = q else { panic!() };
         assert!(matches!(s.where_clause.unwrap(), Cond::Or(..)));
     }
@@ -715,7 +824,10 @@ mod tests {
         let Query::Select(s) = q else { panic!() };
         assert!(matches!(
             &s.items[0].value,
-            SelectValue::Optimize { kind: OptKind::MinPoint, .. }
+            SelectValue::Optimize {
+                kind: OptKind::MinPoint,
+                ..
+            }
         ));
     }
 
@@ -772,7 +884,7 @@ mod tests {
     fn arith_with_paths_and_parens() {
         let f = parse_formula("(x + 1) * 2 <= D.height - 3").unwrap();
         match f {
-            Formula::Chain { first, rest } => {
+            Formula::Chain { first, rest, .. } => {
                 assert!(matches!(first, Arith::Mul(..)));
                 assert_eq!(rest.len(), 1);
                 assert!(matches!(rest[0].1, Arith::Sub(..)));
@@ -785,7 +897,7 @@ mod tests {
     fn nested_projection() {
         let f = parse_formula("((u) | ((v) | u = v AND v >= 0))").unwrap();
         match f {
-            Formula::Proj { vars, body } => {
+            Formula::Proj { vars, body, .. } => {
                 assert_eq!(vars, vec!["u".to_string()]);
                 assert!(matches!(*body, Formula::Proj { .. }));
             }

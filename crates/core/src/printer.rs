@@ -19,7 +19,11 @@ impl fmt::Display for Query {
 
 impl fmt::Display for ViewQuery {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "CREATE VIEW {} AS SUBCLASS OF {} {}", self.name, self.parent, self.select)
+        write!(
+            f,
+            "CREATE VIEW {} AS SUBCLASS OF {} {}",
+            self.name, self.parent, self.select
+        )
     }
 }
 
@@ -78,7 +82,11 @@ impl fmt::Display for SelectValue {
         match self {
             SelectValue::Path(p) => write!(f, "{p}"),
             SelectValue::Formula(formula) => write!(f, "{formula}"),
-            SelectValue::Optimize { kind, objective, formula } => {
+            SelectValue::Optimize {
+                kind,
+                objective,
+                formula,
+            } => {
                 let name = match kind {
                     OptKind::Max => "MAX",
                     OptKind::Min => "MIN",
@@ -138,11 +146,7 @@ impl fmt::Display for Cond {
             }
             Cond::Not(a) => {
                 write!(f, "NOT ")?;
-                write_cond_operand(
-                    f,
-                    a,
-                    matches!(a.as_ref(), Cond::Or(..) | Cond::And(..)),
-                )
+                write_cond_operand(f, a, matches!(a.as_ref(), Cond::Or(..) | Cond::And(..)))
             }
             Cond::PathPred(p) => write!(f, "{p}"),
             Cond::Compare { lhs, op, rhs } => write!(f, "{lhs} {op} {rhs}"),
@@ -212,7 +216,7 @@ impl fmt::Display for Formula {
                     matches!(a.as_ref(), Formula::Or(..) | Formula::And(..)),
                 )
             }
-            Formula::Proj { vars, body } => {
+            Formula::Proj { vars, body, .. } => {
                 write!(f, "(({}) | {body})", vars.join(","))
             }
             Formula::Pred { path, vars } => {
@@ -222,7 +226,7 @@ impl fmt::Display for Formula {
                 }
                 Ok(())
             }
-            Formula::Chain { first, rest } => {
+            Formula::Chain { first, rest, .. } => {
                 write!(f, "{first}")?;
                 for (op, a) in rest {
                     let op_str = match op {
@@ -310,18 +314,16 @@ mod tests {
     fn roundtrip_query(src: &str) {
         let q1 = parse_query(src).expect("first parse");
         let printed = q1.to_string();
-        let q2 = parse_query(&printed).unwrap_or_else(|e| {
-            panic!("printed form failed to parse: {printed}\nerror: {e}")
-        });
+        let q2 = parse_query(&printed)
+            .unwrap_or_else(|e| panic!("printed form failed to parse: {printed}\nerror: {e}"));
         assert_eq!(q1, q2, "round-trip drift via: {printed}");
     }
 
     fn roundtrip_formula(src: &str) {
         let f1 = parse_formula(src).expect("first parse");
         let printed = f1.to_string();
-        let f2 = parse_formula(&printed).unwrap_or_else(|e| {
-            panic!("printed form failed to parse: {printed}\nerror: {e}")
-        });
+        let f2 = parse_formula(&printed)
+            .unwrap_or_else(|e| panic!("printed form failed to parse: {printed}\nerror: {e}"));
         assert_eq!(f1, f2, "round-trip drift via: {printed}");
     }
 
@@ -356,9 +358,7 @@ mod tests {
             "SELECT X FROM Desk X WHERE (X.color = 'red' OR X.color = 'blue') AND X.drawer[D]",
         );
         roundtrip_query("SELECT X FROM Desk X WHERE NOT X.color = 'red'");
-        roundtrip_query(
-            "SELECT X FROM Desk X WHERE NOT (X.color = 'red' AND X.color = 'blue')",
-        );
+        roundtrip_query("SELECT X FROM Desk X WHERE NOT (X.color = 'red' AND X.color = 'blue')");
     }
 
     #[test]
@@ -376,10 +376,9 @@ mod tests {
 
     #[test]
     fn printer_output_is_readable() {
-        let q = parse_query(
-            "SELECT CO, ((u,v) | E AND D) FROM Office_Object CO WHERE CO.extent[E]",
-        )
-        .unwrap();
+        let q =
+            parse_query("SELECT CO, ((u,v) | E AND D) FROM Office_Object CO WHERE CO.extent[E]")
+                .unwrap();
         assert_eq!(
             q.to_string(),
             "SELECT CO, ((u,v) | E AND D) FROM Office_Object CO WHERE CO.extent[E]"

@@ -172,7 +172,10 @@ mod tests {
         let o = vec![Oid::named("o")];
         let preds = vec![pred(&o, &["w"], &["a"]), pred(&o, &["w"], &["b"])];
         let eqs = implicit_equalities(&preds, &[]);
-        assert_eq!(eqs, vec![Atom::eq(LinExpr::var(v("a")), LinExpr::var(v("b")))]);
+        assert_eq!(
+            eqs,
+            vec![Atom::eq(LinExpr::var(v("a")), LinExpr::var(v("b")))]
+        );
     }
 
     #[test]
@@ -204,13 +207,13 @@ mod tests {
                 pairs: vec![(v("b"), v("c"))],
             },
         ];
-        let preds = vec![
-            pred(&room, &["a"], &["qa"]),
-            pred(&drawer, &["c"], &["qc"]),
-        ];
+        let preds = vec![pred(&room, &["a"], &["qa"]), pred(&drawer, &["c"], &["qc"])];
         let eqs = implicit_equalities(&preds, &links);
         assert_eq!(eqs.len(), 1);
-        assert_eq!(eqs[0], Atom::eq(LinExpr::var(v("qa")), LinExpr::var(v("qc"))));
+        assert_eq!(
+            eqs[0],
+            Atom::eq(LinExpr::var(v("qa")), LinExpr::var(v("qc")))
+        );
     }
 
     #[test]

@@ -87,8 +87,7 @@ pub fn save(db: &Database) -> Result<String, LyricError> {
     writeln!(out).expect("string write");
     // ---- objects ----
     for (oid, data) in db.objects() {
-        writeln!(out, "OBJECT {} CLASS {}", write_oid(oid)?, data.class())
-            .expect("string write");
+        writeln!(out, "OBJECT {} CLASS {}", write_oid(oid)?, data.class()).expect("string write");
         for (attr, value) in data.attrs() {
             match value {
                 Value::Scalar(v) => {
@@ -96,8 +95,7 @@ pub fn save(db: &Database) -> Result<String, LyricError> {
                 }
                 Value::Set(s) => {
                     for v in s {
-                        writeln!(out, "  ADD {attr} = {}", write_oid(v)?)
-                            .expect("string write");
+                        writeln!(out, "  ADD {attr} = {}", write_oid(v)?).expect("string write");
                     }
                     if s.is_empty() {
                         writeln!(out, "  EMPTYSET {attr}").expect("string write");
@@ -112,7 +110,10 @@ pub fn save(db: &Database) -> Result<String, LyricError> {
 
 /// Load a database from the textual format.
 pub fn load(text: &str) -> Result<Database, LyricError> {
-    let mut lines = text.lines().map(str::trim).filter(|l| !l.is_empty() && !l.starts_with('#'));
+    let mut lines = text
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'));
     let header = lines.next().ok_or_else(|| storage_err("empty input"))?;
     if header != "LYRIC-DB 1" {
         return Err(storage_err(format!("bad header {header:?}")));
@@ -134,8 +135,7 @@ pub fn load(text: &str) -> Result<Database, LyricError> {
                 } else if let Some(p) = body.strip_prefix("PARENT ") {
                     def = def.is_a(p.trim());
                 } else if let Some(d) = body.strip_prefix("CSTDIM ") {
-                    let dim: usize =
-                        d.trim().parse().map_err(|_| storage_err("bad CSTDIM"))?;
+                    let dim: usize = d.trim().parse().map_err(|_| storage_err("bad CSTDIM"))?;
                     def = def.cst_class(dim);
                 } else if let Some(a) = body.strip_prefix("ATTR ") {
                     def = def.attr(parse_attr(a)?);
@@ -169,9 +169,7 @@ pub fn load(text: &str) -> Result<Database, LyricError> {
                             s.insert(value);
                         }
                         Some(_) => {
-                            return Err(storage_err(format!(
-                                "attribute {attr} mixes SET and ADD"
-                            )))
+                            return Err(storage_err(format!("attribute {attr} mixes SET and ADD")))
                         }
                         None => attrs.push((attr, Value::set([value]))),
                     }
@@ -199,7 +197,7 @@ pub fn load(text: &str) -> Result<Database, LyricError> {
 }
 
 fn storage_err(msg: impl std::fmt::Display) -> LyricError {
-    LyricError::Parse(format!("storage: {msg}"))
+    LyricError::parse(format!("storage: {msg}"))
 }
 
 fn join_vars(vars: &[Var]) -> String {
@@ -213,36 +211,51 @@ fn split_vars(text: &str) -> Vec<Var> {
 fn parse_attr(text: &str) -> Result<AttrDef, LyricError> {
     // <name> SCALAR|SET CST v,... | CLASS <c> [RENAME v,...]
     let mut parts = text.split_whitespace();
-    let name = parts.next().ok_or_else(|| storage_err("ATTR needs a name"))?;
-    let card = parts.next().ok_or_else(|| storage_err("ATTR needs a cardinality"))?;
+    let name = parts
+        .next()
+        .ok_or_else(|| storage_err("ATTR needs a name"))?;
+    let card = parts
+        .next()
+        .ok_or_else(|| storage_err("ATTR needs a cardinality"))?;
     let is_set = match card {
         "SCALAR" => false,
         "SET" => true,
         other => return Err(storage_err(format!("bad cardinality {other:?}"))),
     };
-    let kind = parts.next().ok_or_else(|| storage_err("ATTR needs a target"))?;
+    let kind = parts
+        .next()
+        .ok_or_else(|| storage_err("ATTR needs a target"))?;
     let target = match kind {
         "CST" => {
-            let vars = parts.next().ok_or_else(|| storage_err("CST needs variables"))?;
-            AttrTarget::Cst { vars: split_vars(vars) }
+            let vars = parts
+                .next()
+                .ok_or_else(|| storage_err("CST needs variables"))?;
+            AttrTarget::Cst {
+                vars: split_vars(vars),
+            }
         }
         "CLASS" => {
-            let class = parts.next().ok_or_else(|| storage_err("CLASS needs a name"))?;
+            let class = parts
+                .next()
+                .ok_or_else(|| storage_err("CLASS needs a name"))?;
             match parts.next() {
                 Some("RENAME") => {
-                    let vars =
-                        parts.next().ok_or_else(|| storage_err("RENAME needs variables"))?;
+                    let vars = parts
+                        .next()
+                        .ok_or_else(|| storage_err("RENAME needs variables"))?;
                     AttrTarget::class_renamed(class, split_vars(vars))
                 }
-                Some(other) => {
-                    return Err(storage_err(format!("unexpected token {other:?}")))
-                }
+                Some(other) => return Err(storage_err(format!("unexpected token {other:?}"))),
                 None => AttrTarget::class(class),
             }
         }
         other => return Err(storage_err(format!("bad attribute target {other:?}"))),
     };
-    Ok(AttrDef { name: name.to_string(), is_set, target })
+    Ok(AttrDef {
+        name: name.to_string(),
+        is_set,
+        target,
+    })
 }
 
 fn parse_assignment(text: &str) -> Result<(String, Oid), LyricError> {
@@ -308,10 +321,14 @@ fn parse_oid(text: &str) -> Result<Oid, LyricError> {
         return Ok(Oid::Int(i.parse().map_err(|_| storage_err("bad int oid"))?));
     }
     if let Some(r) = text.strip_prefix("rat:") {
-        return Ok(Oid::Rat(r.parse().map_err(|_| storage_err("bad rational oid"))?));
+        return Ok(Oid::Rat(
+            r.parse().map_err(|_| storage_err("bad rational oid"))?,
+        ));
     }
     if let Some(b) = text.strip_prefix("bool:") {
-        return Ok(Oid::Bool(b.parse().map_err(|_| storage_err("bad bool oid"))?));
+        return Ok(Oid::Bool(
+            b.parse().map_err(|_| storage_err("bad bool oid"))?,
+        ));
     }
     if let Some(s) = text.strip_prefix("str:") {
         let inner = s
@@ -361,14 +378,14 @@ fn parse_oid(text: &str) -> Result<Oid, LyricError> {
 /// but any path-free formula converts.
 pub(crate) fn formula_to_cst(f: &Formula) -> Result<CstObject, LyricError> {
     match f {
-        Formula::Proj { vars, body } => {
+        Formula::Proj { vars, body, .. } => {
             let inner = formula_to_cst(body)?;
             Ok(inner.project(vars.iter().map(Var::new).collect()))
         }
         Formula::And(a, b) => Ok(formula_to_cst(a)?.and(&formula_to_cst(b)?)),
         Formula::Or(a, b) => Ok(formula_to_cst(a)?.or(&formula_to_cst(b)?)),
         Formula::Not(a) => Ok(formula_to_cst(a)?.negate()?),
-        Formula::Chain { first, rest } => {
+        Formula::Chain { first, rest, .. } => {
             let mut atoms = Vec::new();
             let mut prev = arith_to_linexpr_pure(first)?;
             for (op, next) in rest {
@@ -394,9 +411,7 @@ pub(crate) fn formula_to_cst(f: &Formula) -> Result<CstObject, LyricError> {
     }
 }
 
-fn arith_to_linexpr_pure(
-    a: &crate::ast::Arith,
-) -> Result<lyric_constraint::LinExpr, LyricError> {
+fn arith_to_linexpr_pure(a: &crate::ast::Arith) -> Result<lyric_constraint::LinExpr, LyricError> {
     use crate::ast::Arith;
     use lyric_constraint::LinExpr;
     match a {
@@ -508,8 +523,14 @@ mod tests {
         let obj = CstObject::new(
             vec![Var::new("u")],
             [Conjunction::of([
-                Atom::le(LinExpr::var(Var::new("u")), LinExpr::var(Var::new("hidden_a"))),
-                Atom::le(LinExpr::var(Var::new("hidden_a")), LinExpr::var(Var::new("hidden_b"))),
+                Atom::le(
+                    LinExpr::var(Var::new("u")),
+                    LinExpr::var(Var::new("hidden_a")),
+                ),
+                Atom::le(
+                    LinExpr::var(Var::new("hidden_a")),
+                    LinExpr::var(Var::new("hidden_b")),
+                ),
                 Atom::le(LinExpr::var(Var::new("hidden_b")), LinExpr::from(0)),
                 Atom::ge(LinExpr::var(Var::new("hidden_a")), LinExpr::from(-10)),
                 Atom::ge(LinExpr::var(Var::new("hidden_b")), LinExpr::from(-10)),

@@ -44,14 +44,14 @@ pub enum Token {
     RBracket,
     Dot,
     Comma,
-    Bar,      // |
-    Entails,  // |=
-    Eq,       // =
-    Neq,      // != or <>
-    Le,       // <=
-    Lt,       // <
-    Ge,       // >=
-    Gt,       // >
+    Bar,     // |
+    Entails, // |=
+    Eq,      // =
+    Neq,     // != or <>
+    Le,      // <=
+    Lt,      // <
+    Ge,      // >=
+    Gt,      // >
     Plus,
     Minus,
     Star,

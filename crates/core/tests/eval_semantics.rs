@@ -84,7 +84,10 @@ fn multi_valued_select_item_produces_row_per_value() {
     // member.
     let res = execute(&mut db, "SELECT F, F.drawer_center FROM File_Cabinet F").unwrap();
     assert_eq!(res.rows.len(), 2);
-    assert!(res.rows.iter().all(|r| r[0] == Oid::named("standard_cabinet")));
+    assert!(res
+        .rows
+        .iter()
+        .all(|r| r[0] == Oid::named("standard_cabinet")));
 }
 
 #[test]
@@ -117,8 +120,15 @@ fn attribute_variable_dimension_error_is_reported() {
 #[test]
 fn ordered_comparison_requires_numbers() {
     let mut db = db();
-    let err =
-        execute(&mut db, "SELECT X FROM Office_Object X WHERE X.name < 3").unwrap_err();
+    // Caught statically: `name` is a string attribute.
+    let src = "SELECT X FROM Office_Object X WHERE X.name < 3";
+    let err = execute(&mut db, src).unwrap_err();
+    assert!(
+        matches!(&err, LyricError::Analysis(ds) if ds.iter().any(|d| d.code == "LYA011")),
+        "{err}"
+    );
+    // The evaluator reports the same failure when analysis is skipped.
+    let err = lyric::execute_unchecked(&mut db, src).unwrap_err();
     assert!(matches!(err, LyricError::TypeError(_)), "{err}");
 }
 
@@ -160,11 +170,7 @@ fn ground_selector_roots_traverse() {
     let mut db = db();
     // A ground oid (standard_desk) as path root, no FROM binding needed
     // for it.
-    let res = execute(
-        &mut db,
-        "SELECT standard_desk.drawer.extent FROM Desk D",
-    )
-    .unwrap();
+    let res = execute(&mut db, "SELECT standard_desk.drawer.extent FROM Desk D").unwrap();
     assert_eq!(res.rows.len(), 1);
     let extent = res.rows[0][0].as_cst().unwrap();
     assert!(extent.denotes_same(&box2("w", "z", -1, 1, -1, 1)));
@@ -189,7 +195,10 @@ fn shared_selector_variable_joins() {
         [
             ("name", Value::Scalar(Oid::str("clone"))),
             ("color", Value::Scalar(Oid::str("blue"))),
-            ("extent", Value::Scalar(Oid::cst(box2("w", "z", -4, 4, -2, 2)))),
+            (
+                "extent",
+                Value::Scalar(Oid::cst(box2("w", "z", -4, 4, -2, 2))),
+            ),
             ("translation", Value::Scalar(Oid::cst(translation2()))),
             (
                 "drawer_center",
@@ -250,4 +259,37 @@ fn location_update_via_point_helper() {
     )
     .unwrap();
     assert_eq!(res.rows, vec![vec![Oid::named("my_desk")]]);
+}
+
+#[test]
+fn unknown_attribute_reports_searched_is_a_chain() {
+    let mut db = db();
+    // The evaluator walks the IS-A chain from the static class of the
+    // step upward; the error reports exactly the classes it inspected.
+    let err =
+        lyric::execute_unchecked(&mut db, "SELECT X FROM Desk X WHERE X.whatever[Y]").unwrap_err();
+    match err {
+        LyricError::UnknownAttribute {
+            class,
+            attr,
+            searched,
+        } => {
+            assert_eq!(class, "Desk");
+            assert_eq!(attr, "whatever");
+            assert_eq!(
+                searched,
+                vec!["Desk".to_string(), "Office_Object".to_string()]
+            );
+        }
+        other => panic!("expected UnknownAttribute, got {other:?}"),
+    }
+    // The rendered message includes the chain, so a user can see which
+    // classes were consulted.
+    let msg = lyric::execute_unchecked(&mut db, "SELECT X FROM Desk X WHERE X.whatever[Y]")
+        .unwrap_err()
+        .to_string();
+    assert!(
+        msg.contains("searched IS-A chain: Desk -> Office_Object"),
+        "{msg}"
+    );
 }

@@ -50,7 +50,10 @@ fn q2_extent_in_global_coordinates_explicit_vars() {
     assert!(got.denotes_same(&expected), "got {got}");
     // And the cheap canonical form actually discharges all quantifiers,
     // as the paper's printed answer does.
-    assert!(!got.has_bound_vars(), "expected fully simplified form, got {got}");
+    assert!(
+        !got.has_bound_vars(),
+        "expected fully simplified form, got {got}"
+    );
 }
 
 #[test]
@@ -71,7 +74,10 @@ fn q2_extent_in_global_coordinates_schema_copied_vars() {
         .find(|row| row[0] == Oid::named("standard_desk"))
         .unwrap();
     let got = desk_row[1].as_cst().unwrap();
-    assert!(got.denotes_same(&paper_example::box2("u", "v", 2, 10, 2, 6)), "got {got}");
+    assert!(
+        got.denotes_same(&paper_example::box2("u", "v", 2, 10, 2, 6)),
+        "got {got}"
+    );
 }
 
 /// §4.1 query 3: for each desk whose center may appear in the left upper
@@ -230,8 +236,10 @@ fn q6_region_classification_view() {
     // Two regions: the west half and the east half of the room.
     let west = paper_example::box2("u", "v", 0, 10, 0, 10);
     let east = paper_example::box2("u", "v", 10, 20, 0, 10);
-    db.declare_instance("Region", Oid::cst(west.clone())).unwrap();
-    db.declare_instance("Region", Oid::cst(east.clone())).unwrap();
+    db.declare_instance("Region", Oid::cst(west.clone()))
+        .unwrap();
+    db.declare_instance("Region", Oid::cst(east.clone()))
+        .unwrap();
 
     // Classify by where the object's *swept extent in room coordinates*
     // lies: compute it inline and test containment against the region.
@@ -345,11 +353,7 @@ fn lp_operators() {
 #[test]
 fn attribute_variables() {
     let mut db = db();
-    let res = execute(
-        &mut db,
-        "SELECT A FROM Desk D WHERE D.A[V] AND D.extent[V]",
-    )
-    .unwrap();
+    let res = execute(&mut db, "SELECT A FROM Desk D WHERE D.A[V] AND D.extent[V]").unwrap();
     // Only `extent` holds that exact object.
     assert_eq!(res.rows.len(), 1);
     assert_eq!(res.rows[0][0], Oid::str("extent"));
@@ -397,7 +401,11 @@ fn engine_stats_are_reported() {
          FROM Office_Object CO WHERE CO.extent[E] AND CO.translation[D]",
     )
     .unwrap();
-    assert!(res.stats.pivots > 0, "simplex work must be counted: {}", res.stats);
+    assert!(
+        res.stats.pivots > 0,
+        "simplex work must be counted: {}",
+        res.stats
+    );
     assert!(res.stats.lp_runs > 0, "{}", res.stats);
     assert!(res.stats.sat_checks > 0, "{}", res.stats);
 
@@ -410,7 +418,11 @@ fn engine_stats_are_reported() {
     )
     .unwrap();
     assert!(res.stats.entailment_checks >= 2, "{}", res.stats);
-    assert!(res.stats.cache_hits > 0, "repeated entailment must hit: {}", res.stats);
+    assert!(
+        res.stats.cache_hits > 0,
+        "repeated entailment must hit: {}",
+        res.stats
+    );
 }
 
 /// Unbound variables are reported, not silently false: `Y` is declared by
@@ -418,12 +430,21 @@ fn engine_stats_are_reported() {
 #[test]
 fn unbound_variable_error() {
     let mut db = db();
-    let err = execute(
-        &mut db,
-        "SELECT Y FROM Desk X WHERE Y.extent[E] AND X.drawer[Y]",
-    )
-    .unwrap_err();
-    assert!(matches!(err, lyric::LyricError::UnboundVariable(_)), "{err}");
+    // Caught statically: the analyzer replays the left-to-right binding
+    // order and sees `Y` read before the bracket can bind it.
+    let src = "SELECT Y FROM Desk X WHERE Y.extent[E] AND X.drawer[Y]";
+    let err = execute(&mut db, src).unwrap_err();
+    assert!(
+        matches!(&err, lyric::LyricError::Analysis(ds)
+            if ds.iter().any(|d| d.code == "LYA003")),
+        "{err}"
+    );
+    // The evaluator reports the same failure when analysis is skipped.
+    let err = lyric::execute_unchecked(&mut db, src).unwrap_err();
+    assert!(
+        matches!(err, lyric::LyricError::UnboundVariable(_)),
+        "{err}"
+    );
     // An undeclared root identifier is a ground oid (XSQL): a name that
     // matches no object yields no paths, not an error.
     let res = execute(&mut db, "SELECT Z FROM Desk X WHERE nosuch.color[Z]").unwrap();

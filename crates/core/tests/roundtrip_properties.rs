@@ -4,6 +4,7 @@
 //! examples.
 
 use lyric::ast::*;
+use lyric::span::Span;
 use lyric::{parse_formula, parse_query};
 use lyric_arith::Rational;
 use proptest::prelude::*;
@@ -39,10 +40,15 @@ fn path_strategy() -> impl Strategy<Value = PathExpr> {
         ),
     )
         .prop_map(|(root, steps)| PathExpr {
+            span: Span::DUMMY,
             root: Selector::Var(root),
             steps: steps
                 .into_iter()
-                .map(|(attr, selector)| Step { attr, selector })
+                .map(|(attr, selector)| Step {
+                    attr,
+                    selector,
+                    span: Span::DUMMY,
+                })
                 .collect(),
         })
 }
@@ -52,17 +58,17 @@ fn arith_strategy() -> impl Strategy<Value = Arith> {
         // Non-negative integers only: "-3" re-parses as Neg(3).
         (0..=50i64).prop_map(|n| Arith::Num(Rational::from_int(n))),
         ident(CVARS).prop_map(Arith::Var),
-        path_strategy().prop_filter("paths with steps only (bare idents parse as Var)",
-            |p| !p.steps.is_empty()).prop_map(Arith::PathConst),
+        path_strategy()
+            .prop_filter("paths with steps only (bare idents parse as Var)", |p| !p
+                .steps
+                .is_empty())
+            .prop_map(Arith::PathConst),
     ];
     leaf.prop_recursive(3, 16, 2, |inner| {
         prop_oneof![
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Arith::Add(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Arith::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Arith::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Arith::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Arith::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Arith::Mul(Box::new(a), Box::new(b))),
             inner.prop_map(|a| Arith::Neg(Box::new(a))),
         ]
     })
@@ -84,7 +90,11 @@ fn formula_strategy() -> impl Strategy<Value = Formula> {
         arith_strategy(),
         proptest::collection::vec((crelop_strategy(), arith_strategy()), 1..3),
     )
-        .prop_map(|(first, rest)| Formula::Chain { first, rest });
+        .prop_map(|(first, rest)| Formula::Chain {
+            first,
+            rest,
+            span: Span::DUMMY,
+        });
     let pred = (
         path_strategy(),
         proptest::option::of(proptest::collection::vec(ident(CVARS), 1..3)),
@@ -95,14 +105,16 @@ fn formula_strategy() -> impl Strategy<Value = Formula> {
         prop_oneof![
             (inner.clone(), inner.clone())
                 .prop_map(|(a, b)| Formula::And(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone())
-                .prop_map(|(a, b)| Formula::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Formula::Or(Box::new(a), Box::new(b))),
             inner.clone().prop_map(|a| Formula::Not(Box::new(a))),
-            (proptest::collection::vec(ident(CVARS), 1..3), inner)
-                .prop_map(|(mut vars, body)| {
-                    vars.dedup();
-                    Formula::Proj { vars, body: Box::new(body) }
-                }),
+            (proptest::collection::vec(ident(CVARS), 1..3), inner).prop_map(|(mut vars, body)| {
+                vars.dedup();
+                Formula::Proj {
+                    vars,
+                    body: Box::new(body),
+                    span: Span::DUMMY,
+                }
+            }),
         ]
     })
 }
@@ -143,11 +155,14 @@ fn cond_strategy() -> impl Strategy<Value = Cond> {
         path_strategy()
             .prop_filter("non-trivial path", |p| !p.steps.is_empty())
             .prop_map(Cond::PathPred),
-        (cmp_operand_strategy(), cmp_op_strategy(), cmp_operand_strategy())
+        (
+            cmp_operand_strategy(),
+            cmp_op_strategy(),
+            cmp_operand_strategy()
+        )
             .prop_map(|(lhs, op, rhs)| Cond::Compare { lhs, op, rhs }),
         formula_strategy().prop_map(Cond::Sat),
-        (formula_strategy(), formula_strategy())
-            .prop_map(|(a, b)| Cond::Entails(a, b)),
+        (formula_strategy(), formula_strategy()).prop_map(|(a, b)| Cond::Entails(a, b)),
     ];
     let maybe_not = prop_oneof![
         3 => leaf.clone(),
@@ -170,14 +185,24 @@ fn cond_strategy() -> impl Strategy<Value = Cond> {
 fn select_value_strategy() -> impl Strategy<Value = SelectValue> {
     prop_oneof![
         path_strategy().prop_map(SelectValue::Path),
-        (proptest::collection::vec(ident(CVARS), 1..3), formula_strategy()).prop_map(
-            |(mut vars, body)| {
+        (
+            proptest::collection::vec(ident(CVARS), 1..3),
+            formula_strategy()
+        )
+            .prop_map(|(mut vars, body)| {
                 vars.dedup();
-                SelectValue::Formula(Formula::Proj { vars, body: Box::new(body) })
-            }
-        ),
+                SelectValue::Formula(Formula::Proj {
+                    vars,
+                    body: Box::new(body),
+                    span: Span::DUMMY,
+                })
+            }),
         (arith_strategy(), formula_strategy()).prop_map(|(objective, formula)| {
-            SelectValue::Optimize { kind: OptKind::Max, objective, formula }
+            SelectValue::Optimize {
+                kind: OptKind::Max,
+                objective,
+                formula,
+            }
         }),
     ]
 }
@@ -195,14 +220,19 @@ fn query_strategy() -> impl Strategy<Value = Query> {
             Query::Select(SelectQuery {
                 items: values
                     .into_iter()
-                    .map(|value| SelectItem { label: None, value })
+                    .map(|value| SelectItem {
+                        label: None,
+                        value,
+                        span: Span::DUMMY,
+                    })
                     .collect(),
                 signature: vec![],
                 from: from
                     .into_iter()
-                    .map(|(class, var)| FromItem { class, var })
+                    .map(|(class, var)| FromItem::new(class, var))
                     .collect(),
                 oid_function: None,
+                oid_function_spans: vec![],
                 where_clause,
             })
         })

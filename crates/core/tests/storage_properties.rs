@@ -26,7 +26,12 @@ fn item_strategy() -> impl Strategy<Value = RawItem> {
         proptest::collection::vec((-9..=0i32, 0..=9i32, -9..=0i32, 0..=9i32), 1..3),
         proptest::collection::vec(0..NAMES.len(), 0..3),
     )
-        .prop_map(|(name_idx, kind, boxes, tags)| RawItem { name_idx, kind, boxes, tags })
+        .prop_map(|(name_idx, kind, boxes, tags)| RawItem {
+            name_idx,
+            kind,
+            boxes,
+            tags,
+        })
 }
 
 fn mk_region(boxes: &[(i32, i32, i32, i32)]) -> CstObject {

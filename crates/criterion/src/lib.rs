@@ -152,7 +152,8 @@ impl Bencher {
         let start = Instant::now();
         std::hint::black_box(routine());
         let once = start.elapsed().max(Duration::from_nanos(1));
-        let iters = (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+        let iters =
+            (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
 
         self.samples.clear();
         for _ in 0..self.sample_count {

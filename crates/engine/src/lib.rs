@@ -28,6 +28,8 @@
 //! signatures — exactly the "degrade gracefully instead of hanging"
 //! contract from the roadmap.
 
+#![warn(missing_docs)]
+
 use std::cell::RefCell;
 use std::fmt;
 use std::panic::{catch_unwind, panic_any, resume_unwind, AssertUnwindSafe};
@@ -47,6 +49,7 @@ pub enum Resource {
 }
 
 impl Resource {
+    /// Human-readable resource name, as used in budget error messages.
     pub fn name(self) -> &'static str {
         match self {
             Resource::Pivots => "simplex pivots",
@@ -68,8 +71,11 @@ impl fmt::Display for Resource {
 /// counter resources, milliseconds for [`Resource::Time`].
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct BudgetExceeded {
+    /// The resource whose limit was crossed.
     pub resource: Resource,
+    /// The configured limit for that resource.
     pub limit: u64,
+    /// How much had been consumed when the evaluation was aborted.
     pub consumed: u64,
 }
 
@@ -90,9 +96,13 @@ impl std::error::Error for BudgetExceeded {}
 /// changes results.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EngineBudget {
+    /// Cap on simplex pivot steps across all LP runs of the query.
     pub max_pivots: Option<u64>,
+    /// Cap on atoms produced by Fourier–Motzkin elimination.
     pub max_fm_atoms: Option<u64>,
+    /// Cap on disjuncts produced by DNF products and negation.
     pub max_disjuncts: Option<u64>,
+    /// Wall-clock deadline for the whole evaluation.
     pub deadline: Option<Duration>,
 }
 
@@ -114,21 +124,25 @@ impl EngineBudget {
         }
     }
 
+    /// Replace the pivot cap.
     pub fn with_max_pivots(mut self, n: u64) -> Self {
         self.max_pivots = Some(n);
         self
     }
 
+    /// Replace the Fourier–Motzkin atom cap.
     pub fn with_max_fm_atoms(mut self, n: u64) -> Self {
         self.max_fm_atoms = Some(n);
         self
     }
 
+    /// Replace the DNF disjunct cap.
     pub fn with_max_disjuncts(mut self, n: u64) -> Self {
         self.max_disjuncts = Some(n);
         self
     }
 
+    /// Replace the wall-clock deadline.
     pub fn with_deadline(mut self, d: Duration) -> Self {
         self.deadline = Some(d);
         self
@@ -430,15 +444,11 @@ mod tests {
 
     #[test]
     fn budget_aborts_with_payload() {
-        let err = run_with(
-            EngineBudget::unlimited().with_max_pivots(10),
-            false,
-            || {
-                for _ in 0..100 {
-                    note(Resource::Pivots);
-                }
-            },
-        )
+        let err = run_with(EngineBudget::unlimited().with_max_pivots(10), false, || {
+            for _ in 0..100 {
+                note(Resource::Pivots);
+            }
+        })
         .expect_err("limit of 10 must trip");
         assert_eq!(err.resource, Resource::Pivots);
         assert_eq!(err.limit, 10);

@@ -60,10 +60,14 @@ impl Relation {
     /// ⋈: natural join on explicit oid-column pairs; constraints conjoin
     /// (shared constraint variables unify by name).
     pub fn join(&self, other: &Relation, on: JoinOn<'_>) -> Relation {
-        let left_idx: Vec<usize> =
-            on.iter().map(|(l, _)| self.col(l).expect("left join column")).collect();
-        let right_idx: Vec<usize> =
-            on.iter().map(|(_, r)| other.col(r).expect("right join column")).collect();
+        let left_idx: Vec<usize> = on
+            .iter()
+            .map(|(l, _)| self.col(l).expect("left join column"))
+            .collect();
+        let right_idx: Vec<usize> = on
+            .iter()
+            .map(|(_, r)| other.col(r).expect("right join column"))
+            .collect();
         // Output columns: all left + right-except-join-columns. Name
         // clashes on non-join columns are prefixed with the relation name.
         let mut columns = self.columns().to_vec();
@@ -116,10 +120,16 @@ impl Relation {
     /// dropped constraint variables tuple-by-tuple (case-splitting
     /// disequations into extra tuples).
     pub fn project(&self, columns: &[&str], keep_vars: &[Var]) -> Relation {
-        let idx: Vec<usize> =
-            columns.iter().map(|c| self.col(c).expect("unknown column in project")).collect();
-        let drop_vars: Vec<Var> =
-            self.cst_vars().iter().filter(|v| !keep_vars.contains(v)).cloned().collect();
+        let idx: Vec<usize> = columns
+            .iter()
+            .map(|c| self.col(c).expect("unknown column in project"))
+            .collect();
+        let drop_vars: Vec<Var> = self
+            .cst_vars()
+            .iter()
+            .filter(|v| !keep_vars.contains(v))
+            .cloned()
+            .collect();
         let mut out = Relation::new(
             self.name().to_string(),
             columns.iter().map(|s| s.to_string()).collect(),
@@ -138,10 +148,12 @@ impl Relation {
 
     /// ρ: rename constraint variables.
     pub fn rename_vars(&self, map: &BTreeMap<Var, Var>) -> Relation {
-        let cst_vars: Vec<Var> =
-            self.cst_vars().iter().map(|v| map.get(v).unwrap_or(v).clone()).collect();
-        let mut out =
-            Relation::new(self.name().to_string(), self.columns().to_vec(), cst_vars);
+        let cst_vars: Vec<Var> = self
+            .cst_vars()
+            .iter()
+            .map(|v| map.get(v).unwrap_or(v).clone())
+            .collect();
+        let mut out = Relation::new(self.name().to_string(), self.columns().to_vec(), cst_vars);
         for t in self.tuples() {
             out.push(t.values.clone(), t.constraint.rename(map));
         }
@@ -155,8 +167,7 @@ impl Relation {
             .iter()
             .map(|c| if c == from { to.to_string() } else { c.clone() })
             .collect();
-        let mut out =
-            Relation::new(self.name().to_string(), columns, self.cst_vars().to_vec());
+        let mut out = Relation::new(self.name().to_string(), columns, self.cst_vars().to_vec());
         for t in self.tuples() {
             out.push(t.values.clone(), t.constraint.clone());
         }
@@ -224,8 +235,12 @@ mod tests {
         // 5 <= x <= 10.
         let j = r.join(&s, &[("id", "id")]);
         assert_eq!(j.len(), 1);
-        assert!(j.tuples()[0].constraint.implies_atom(&Atom::ge(x(), LinExpr::from(5))));
-        assert!(j.tuples()[0].constraint.implies_atom(&Atom::le(x(), LinExpr::from(10))));
+        assert!(j.tuples()[0]
+            .constraint
+            .implies_atom(&Atom::ge(x(), LinExpr::from(5))));
+        assert!(j.tuples()[0]
+            .constraint
+            .implies_atom(&Atom::le(x(), LinExpr::from(10))));
         // Disjoint id: no tuples.
         let mut s2 = Relation::new("S2", vec!["id".into()], vec![]);
         s2.push(vec![Oid::Int(9)], Conjunction::top());
@@ -242,11 +257,7 @@ mod tests {
     #[test]
     fn projection_eliminates_variables() {
         // R(id; x, y) with y = x + 1, 0 <= x <= 10; project out x.
-        let mut r = Relation::new(
-            "R",
-            vec!["id".into()],
-            vec![Var::new("x"), Var::new("y")],
-        );
+        let mut r = Relation::new("R", vec!["id".into()], vec![Var::new("x"), Var::new("y")]);
         r.push(
             vec![Oid::Int(1)],
             Conjunction::of([
@@ -278,12 +289,10 @@ mod tests {
         );
         let p = r.project(&[], &[Var::new("y")]);
         // The union of the disjuncts is y <= 10.
-        let union = p
-            .tuples()
-            .iter()
-            .fold(Dnf::bottom(), |acc, t| acc.or(&Dnf::from_conjunction(t.constraint.clone())));
-        let expect =
-            Dnf::from_conjunction(Conjunction::of([Atom::le(y(), LinExpr::from(10))]));
+        let union = p.tuples().iter().fold(Dnf::bottom(), |acc, t| {
+            acc.or(&Dnf::from_conjunction(t.constraint.clone()))
+        });
+        let expect = Dnf::from_conjunction(Conjunction::of([Atom::le(y(), LinExpr::from(10))]));
         assert!(union.equivalent(&expect), "got {union}");
     }
 

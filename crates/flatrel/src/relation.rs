@@ -29,14 +29,15 @@ pub struct Relation {
 
 impl Relation {
     /// An empty relation with the given schema.
-    pub fn new(
-        name: impl Into<String>,
-        columns: Vec<String>,
-        cst_vars: Vec<Var>,
-    ) -> Relation {
+    pub fn new(name: impl Into<String>, columns: Vec<String>, cst_vars: Vec<Var>) -> Relation {
         let columns_set: BTreeSet<&String> = columns.iter().collect();
         assert_eq!(columns_set.len(), columns.len(), "duplicate column name");
-        Relation { name: name.into(), columns, cst_vars, tuples: Vec::new() }
+        Relation {
+            name: name.into(),
+            columns,
+            cst_vars,
+            tuples: Vec::new(),
+        }
     }
 
     pub fn name(&self) -> &str {

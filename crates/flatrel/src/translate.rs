@@ -29,8 +29,7 @@ impl FlatDb {
     pub fn from_database(db: &Database) -> FlatDb {
         let mut extents = BTreeMap::new();
         let mut attributes = BTreeMap::new();
-        let class_names: Vec<String> =
-            db.schema().class_names().map(str::to_string).collect();
+        let class_names: Vec<String> = db.schema().class_names().map(str::to_string).collect();
         for class in &class_names {
             let members = db.extent(class);
             let mut ext = Relation::new(class.clone(), vec!["obj".into()], vec![]);
@@ -50,13 +49,18 @@ impl FlatDb {
                     }
                 };
                 for m in &members {
-                    let Some(value) = db.attr(m, &attr) else { continue };
+                    let Some(value) = db.attr(m, &attr) else {
+                        continue;
+                    };
                     push_attr(&mut rel, m, value, &decl.target);
                 }
                 attributes.insert((class.clone(), attr.clone()), rel);
             }
         }
-        FlatDb { extents, attributes }
+        FlatDb {
+            extents,
+            attributes,
+        }
     }
 
     /// The extent relation of a class.
@@ -137,10 +141,7 @@ mod tests {
         let r = flat.attr("Desk", "extent").unwrap();
         assert_eq!(r.len(), 1);
         let c = &r.tuples()[0].constraint;
-        assert!(c.implies_atom(&Atom::le(
-            LinExpr::var(Var::new("w")),
-            LinExpr::from(4)
-        )));
+        assert!(c.implies_atom(&Atom::le(LinExpr::var(Var::new("w")), LinExpr::from(4))));
     }
 
     #[test]
@@ -155,7 +156,10 @@ mod tests {
             .join(flat.attr("Desk", "drawer").unwrap(), &[("obj", "obj")])
             .rename_col("val", "drawer_obj")
             .join(
-                &flat.attr("Drawer", "extent").unwrap().rename_col("obj", "drawer_obj"),
+                &flat
+                    .attr("Drawer", "extent")
+                    .unwrap()
+                    .rename_col("obj", "drawer_obj"),
                 &[("drawer_obj", "drawer_obj")],
             );
         assert_eq!(plan.len(), 1);

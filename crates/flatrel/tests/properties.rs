@@ -23,7 +23,11 @@ struct RawAtom {
 }
 
 fn atom_strategy() -> impl Strategy<Value = RawAtom> {
-    (proptest::collection::vec(-3..=3i32, NVARS), 0..3u8, -6..=6i32)
+    (
+        proptest::collection::vec(-3..=3i32, NVARS),
+        0..3u8,
+        -6..=6i32,
+    )
         .prop_map(|(coeffs, op, rhs)| RawAtom { coeffs, op, rhs })
 }
 
@@ -51,11 +55,7 @@ fn relation_strategy(
         0..4,
     )
     .prop_map(move |tuples| {
-        let mut r = Relation::new(
-            name,
-            vec!["id".into()],
-            (0..NVARS).map(var).collect(),
-        );
+        let mut r = Relation::new(name, vec!["id".into()], (0..NVARS).map(var).collect());
         for (id, atoms) in &tuples {
             r.push(
                 vec![Oid::Int(*id)],
@@ -75,9 +75,8 @@ fn assignment(p: &[i32]) -> Assignment {
 
 /// Does (id, point) belong to the relation's denotation?
 fn denotes(raw: &[(i64, Vec<RawAtom>)], id: i64, point: &Assignment) -> bool {
-    raw.iter().any(|(tid, atoms)| {
-        *tid == id && atoms.iter().all(|a| build_atom(a).eval(point))
-    })
+    raw.iter()
+        .any(|(tid, atoms)| *tid == id && atoms.iter().all(|a| build_atom(a).eval(point)))
 }
 
 proptest! {

@@ -46,7 +46,11 @@ impl Database {
     /// Validate the schema and create an empty database.
     pub fn new(schema: Schema) -> Result<Database, DbError> {
         schema.validate()?;
-        Ok(Database { schema, objects: BTreeMap::new(), extents: BTreeMap::new() })
+        Ok(Database {
+            schema,
+            objects: BTreeMap::new(),
+            extents: BTreeMap::new(),
+        })
     }
 
     pub fn schema(&self) -> &Schema {
@@ -94,10 +98,12 @@ impl Database {
         let mut stored = BTreeMap::new();
         for (name, value) in attrs {
             let name = name.into();
-            let decl = visible.get(&name).ok_or_else(|| DbError::UnknownAttribute {
-                class: class.to_string(),
-                attr: name.clone(),
-            })?;
+            let decl = visible
+                .get(&name)
+                .ok_or_else(|| DbError::UnknownAttribute {
+                    class: class.to_string(),
+                    attr: name.clone(),
+                })?;
             if decl.is_set != value.is_set() {
                 return Err(DbError::Cardinality {
                     class: class.to_string(),
@@ -110,8 +116,17 @@ impl Database {
             }
             stored.insert(name, value);
         }
-        self.objects.insert(oid.clone(), ObjectData { class: class.to_string(), attrs: stored });
-        self.extents.entry(class.to_string()).or_default().insert(oid);
+        self.objects.insert(
+            oid.clone(),
+            ObjectData {
+                class: class.to_string(),
+                attrs: stored,
+            },
+        );
+        self.extents
+            .entry(class.to_string())
+            .or_default()
+            .insert(oid);
         Ok(())
     }
 
@@ -134,7 +149,10 @@ impl Database {
                 }
             }
         }
-        self.extents.entry(class.to_string()).or_default().insert(oid);
+        self.extents
+            .entry(class.to_string())
+            .or_default()
+            .insert(oid);
         Ok(())
     }
 
@@ -163,7 +181,10 @@ impl Database {
                     detail: format!("value {oid} is not a constraint object"),
                 }),
             },
-            AttrTarget::Class { class: target_class, .. } => {
+            AttrTarget::Class {
+                class: target_class,
+                ..
+            } => {
                 // Literals are checked against built-in classes eagerly;
                 // object references may be forward references and are
                 // checked by validate_references().
@@ -192,7 +213,9 @@ impl Database {
         for data in self.objects.values() {
             let visible = self.schema.attributes_of(&data.class);
             for (name, value) in &data.attrs {
-                let Some(decl) = visible.get(name) else { continue };
+                let Some(decl) = visible.get(name) else {
+                    continue;
+                };
                 if let AttrTarget::Class { class: target, .. } = &decl.target {
                     for member in value.iter() {
                         if matches!(member, Oid::Named(_) | Oid::Func(..) | Oid::Cst(_))
@@ -387,7 +410,8 @@ mod tests {
                 .attr(AttrDef::set("tags", AttrTarget::class("string"))),
         )
         .unwrap();
-        s.add_class(ClassDef::new("Desk").is_a("Furniture")).unwrap();
+        s.add_class(ClassDef::new("Desk").is_a("Furniture"))
+            .unwrap();
         s.add_class(ClassDef::new("Region").cst_class(1)).unwrap();
         s
     }
@@ -424,8 +448,10 @@ mod tests {
     #[test]
     fn extent_includes_subclasses() {
         let mut db = db();
-        db.insert(Oid::named("f1"), "Furniture", [] as [(&str, Value); 0]).unwrap();
-        db.insert(Oid::named("d1"), "Desk", [] as [(&str, Value); 0]).unwrap();
+        db.insert(Oid::named("f1"), "Furniture", [] as [(&str, Value); 0])
+            .unwrap();
+        db.insert(Oid::named("d1"), "Desk", [] as [(&str, Value); 0])
+            .unwrap();
         assert_eq!(db.extent("Furniture").len(), 2);
         assert_eq!(db.extent("Desk"), vec![Oid::named("d1")]);
         assert!(db.is_instance(&Oid::named("d1"), "Furniture"));
@@ -443,33 +469,57 @@ mod tests {
         ));
         // Unknown attribute.
         assert!(matches!(
-            db.insert(Oid::named("x"), "Desk", [("wheels", Value::Scalar(Oid::Int(4)))]),
+            db.insert(
+                Oid::named("x"),
+                "Desk",
+                [("wheels", Value::Scalar(Oid::Int(4)))]
+            ),
             Err(DbError::UnknownAttribute { .. })
         ));
         // Cardinality.
         assert!(matches!(
-            db.insert(Oid::named("x"), "Desk", [("tags", Value::Scalar(Oid::str("a")))]),
+            db.insert(
+                Oid::named("x"),
+                "Desk",
+                [("tags", Value::Scalar(Oid::str("a")))]
+            ),
             Err(DbError::Cardinality { .. })
         ));
         // CST dimension mismatch (2-d value into 1-d attribute).
         let two_d = CstObject::top(vec![Var::new("a"), Var::new("b")]);
         assert!(matches!(
-            db.insert(Oid::named("x"), "Desk", [("span", Value::Scalar(Oid::cst(two_d)))]),
+            db.insert(
+                Oid::named("x"),
+                "Desk",
+                [("span", Value::Scalar(Oid::cst(two_d)))]
+            ),
             Err(DbError::CstMismatch { .. })
         ));
         // Non-CST value into CST attribute.
         assert!(matches!(
-            db.insert(Oid::named("x"), "Desk", [("span", Value::Scalar(Oid::Int(3)))]),
+            db.insert(
+                Oid::named("x"),
+                "Desk",
+                [("span", Value::Scalar(Oid::Int(3)))]
+            ),
             Err(DbError::CstMismatch { .. })
         ));
         // Wrong literal class.
         assert!(matches!(
-            db.insert(Oid::named("x"), "Desk", [("name", Value::Scalar(Oid::Int(3)))]),
+            db.insert(
+                Oid::named("x"),
+                "Desk",
+                [("name", Value::Scalar(Oid::Int(3)))]
+            ),
             Err(DbError::NotAnInstance { .. })
         ));
         // Literal not declared in user class.
         assert!(matches!(
-            db.insert(Oid::named("x"), "Desk", [("color", Value::Scalar(Oid::str("teal")))]),
+            db.insert(
+                Oid::named("x"),
+                "Desk",
+                [("color", Value::Scalar(Oid::str("teal")))]
+            ),
             Err(DbError::NotAnInstance { .. })
         ));
     }
@@ -477,7 +527,8 @@ mod tests {
     #[test]
     fn duplicate_oid_rejected() {
         let mut db = db();
-        db.insert(Oid::named("d1"), "Desk", [] as [(&str, Value); 0]).unwrap();
+        db.insert(Oid::named("d1"), "Desk", [] as [(&str, Value); 0])
+            .unwrap();
         assert!(matches!(
             db.insert(Oid::named("d1"), "Desk", [] as [(&str, Value); 0]),
             Err(DbError::DuplicateObject(_))
@@ -487,10 +538,8 @@ mod tests {
     #[test]
     fn forward_references_validated_lazily() {
         let mut s = Schema::new();
-        s.add_class(
-            ClassDef::new("A").attr(AttrDef::scalar("next", AttrTarget::class("A"))),
-        )
-        .unwrap();
+        s.add_class(ClassDef::new("A").attr(AttrDef::scalar("next", AttrTarget::class("A"))))
+            .unwrap();
         let mut db = Database::new(s).unwrap();
         // a1 references a2 before a2 exists: insert succeeds...
         db.insert(
@@ -500,9 +549,13 @@ mod tests {
         )
         .unwrap();
         // ...but reference validation catches the dangling link...
-        assert!(matches!(db.validate_references(), Err(DbError::NotAnInstance { .. })));
+        assert!(matches!(
+            db.validate_references(),
+            Err(DbError::NotAnInstance { .. })
+        ));
         // ...until the target arrives.
-        db.insert(Oid::named("a2"), "A", [] as [(&str, Value); 0]).unwrap();
+        db.insert(Oid::named("a2"), "A", [] as [(&str, Value); 0])
+            .unwrap();
         assert!(db.validate_references().is_ok());
     }
 
@@ -553,8 +606,12 @@ mod tests {
         }
         let mut db = Database::new(s3).unwrap();
         let r = Oid::cst(interval("x", 0, 5));
-        db.insert(r.clone(), "Region", [("name", Value::Scalar(Oid::str("lobby")))])
-            .unwrap();
+        db.insert(
+            r.clone(),
+            "Region",
+            [("name", Value::Scalar(Oid::str("lobby")))],
+        )
+        .unwrap();
         assert_eq!(db.attr(&r, "name"), Some(&Value::Scalar(Oid::str("lobby"))));
     }
 
@@ -578,7 +635,9 @@ mod tests {
         let cst = v.as_scalar().unwrap().as_cst().unwrap();
         assert!(cst.contains_point(&[lyric_arith::Rational::from_int(8)]));
         // Bad update rejected.
-        assert!(db.set_attr(&Oid::named("d1"), "span", Value::Scalar(Oid::Int(1))).is_err());
+        assert!(db
+            .set_attr(&Oid::named("d1"), "span", Value::Scalar(Oid::Int(1)))
+            .is_err());
         assert!(db
             .set_attr(&Oid::named("missing"), "span", Value::Scalar(Oid::Int(1)))
             .is_err());
@@ -587,9 +646,12 @@ mod tests {
     #[test]
     fn view_classes() {
         let mut db = db();
-        db.insert(Oid::named("d1"), "Desk", [] as [(&str, Value); 0]).unwrap();
-        db.insert(Oid::named("d2"), "Desk", [] as [(&str, Value); 0]).unwrap();
-        db.create_view_class("Red_Desk", Some("Desk"), [Oid::named("d1")]).unwrap();
+        db.insert(Oid::named("d1"), "Desk", [] as [(&str, Value); 0])
+            .unwrap();
+        db.insert(Oid::named("d2"), "Desk", [] as [(&str, Value); 0])
+            .unwrap();
+        db.create_view_class("Red_Desk", Some("Desk"), [Oid::named("d1")])
+            .unwrap();
         assert!(db.is_instance(&Oid::named("d1"), "Red_Desk"));
         assert!(!db.is_instance(&Oid::named("d2"), "Red_Desk"));
         // The view is part of the Desk extent computation as a subclass.

@@ -8,21 +8,43 @@ pub enum DbError {
     DuplicateClass(String),
     UnknownClass(String),
     CyclicIsA(String),
-    InterfaceArityMismatch { class: String, attr: String, expected: usize, got: usize },
-    UnknownAttribute { class: String, attr: String },
+    InterfaceArityMismatch {
+        class: String,
+        attr: String,
+        expected: usize,
+        got: usize,
+    },
+    UnknownAttribute {
+        class: String,
+        attr: String,
+    },
     DuplicateObject(String),
     UnknownObject(String),
     /// Scalar value supplied for a set-valued attribute or vice versa.
-    Cardinality { class: String, attr: String, expected_set: bool },
+    Cardinality {
+        class: String,
+        attr: String,
+        expected_set: bool,
+    },
     /// A CST attribute received a non-CST oid, or one of the wrong
     /// dimension.
-    CstMismatch { class: String, attr: String, detail: String },
+    CstMismatch {
+        class: String,
+        attr: String,
+        detail: String,
+    },
     /// An attribute over class C received an oid that is not an instance
     /// of C.
-    NotAnInstance { oid: String, class: String },
+    NotAnInstance {
+        oid: String,
+        class: String,
+    },
     /// Instance of a CST class must be a constraint oid of the declared
     /// dimension.
-    CstClassInstance { class: String, detail: String },
+    CstClassInstance {
+        class: String,
+        detail: String,
+    },
 }
 
 impl fmt::Display for DbError {
@@ -31,7 +53,12 @@ impl fmt::Display for DbError {
             DbError::DuplicateClass(c) => write!(f, "class {c} already defined"),
             DbError::UnknownClass(c) => write!(f, "unknown class {c}"),
             DbError::CyclicIsA(c) => write!(f, "IS-A cycle through class {c}"),
-            DbError::InterfaceArityMismatch { class, attr, expected, got } => write!(
+            DbError::InterfaceArityMismatch {
+                class,
+                attr,
+                expected,
+                got,
+            } => write!(
                 f,
                 "attribute {class}.{attr}: interface renaming has {got} variables, \
                  target class interface has {expected}"
@@ -41,12 +68,20 @@ impl fmt::Display for DbError {
             }
             DbError::DuplicateObject(o) => write!(f, "object {o} already exists"),
             DbError::UnknownObject(o) => write!(f, "unknown object {o}"),
-            DbError::Cardinality { class, attr, expected_set } => write!(
+            DbError::Cardinality {
+                class,
+                attr,
+                expected_set,
+            } => write!(
                 f,
                 "attribute {class}.{attr} is {}-valued",
                 if *expected_set { "set" } else { "scalar" }
             ),
-            DbError::CstMismatch { class, attr, detail } => {
+            DbError::CstMismatch {
+                class,
+                attr,
+                detail,
+            } => {
                 write!(f, "CST attribute {class}.{attr}: {detail}")
             }
             DbError::NotAnInstance { oid, class } => {

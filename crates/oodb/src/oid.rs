@@ -29,7 +29,10 @@ impl CstOid {
     pub fn new(obj: CstObject) -> CstOid {
         let display = obj.canonicalize();
         let canonical = display.canonical_form();
-        CstOid { display: Arc::new(display), canonical: Arc::new(canonical) }
+        CstOid {
+            display: Arc::new(display),
+            canonical: Arc::new(canonical),
+        }
     }
 
     /// The canonicalized object with its original variable names.

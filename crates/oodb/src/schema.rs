@@ -14,7 +14,10 @@ pub enum AttrTarget {
     /// A class of objects. `actuals`, when present, positionally renames
     /// the target class's interface variables into the owner's variable
     /// space — the paper's `drawer : (p,q)` against `Drawer(x,y)`.
-    Class { class: String, actuals: Option<Vec<Var>> },
+    Class {
+        class: String,
+        actuals: Option<Vec<Var>>,
+    },
     /// A constraint object with the given variable schema: `CST(w,z)`.
     Cst { vars: Vec<Var> },
 }
@@ -22,17 +25,25 @@ pub enum AttrTarget {
 impl AttrTarget {
     /// Attribute over a plain class.
     pub fn class(name: impl Into<String>) -> AttrTarget {
-        AttrTarget::Class { class: name.into(), actuals: None }
+        AttrTarget::Class {
+            class: name.into(),
+            actuals: None,
+        }
     }
 
     /// Attribute over a class with interface renaming.
     pub fn class_renamed(name: impl Into<String>, actuals: Vec<Var>) -> AttrTarget {
-        AttrTarget::Class { class: name.into(), actuals: Some(actuals) }
+        AttrTarget::Class {
+            class: name.into(),
+            actuals: Some(actuals),
+        }
     }
 
     /// CST attribute with a declared variable list.
     pub fn cst(vars: impl IntoIterator<Item = impl Into<Var>>) -> AttrTarget {
-        AttrTarget::Cst { vars: vars.into_iter().map(Into::into).collect() }
+        AttrTarget::Cst {
+            vars: vars.into_iter().map(Into::into).collect(),
+        }
     }
 }
 
@@ -48,12 +59,20 @@ pub struct AttrDef {
 impl AttrDef {
     /// A scalar attribute.
     pub fn scalar(name: impl Into<String>, target: AttrTarget) -> AttrDef {
-        AttrDef { name: name.into(), is_set: false, target }
+        AttrDef {
+            name: name.into(),
+            is_set: false,
+            target,
+        }
     }
 
     /// A set-valued attribute.
     pub fn set(name: impl Into<String>, target: AttrTarget) -> AttrDef {
-        AttrDef { name: name.into(), is_set: true, target }
+        AttrDef {
+            name: name.into(),
+            is_set: true,
+            target,
+        }
     }
 }
 
@@ -192,26 +211,53 @@ impl Schema {
     /// declaration if any, otherwise the nearest inherited one
     /// (depth-first over parents, declaration order).
     pub fn attribute<'a>(&'a self, class: &str, attr: &str) -> Option<&'a AttrDef> {
+        self.attribute_with_declarer(class, attr).map(|(_, a)| a)
+    }
+
+    /// Like [`Schema::attribute`], but also reports which class in the
+    /// IS-A chain actually declares the attribute.
+    pub fn attribute_with_declarer<'a>(
+        &'a self,
+        class: &str,
+        attr: &str,
+    ) -> Option<(&'a str, &'a AttrDef)> {
         let def = self.classes.get(class)?;
         if let Some(a) = def.attributes.get(attr) {
-            return Some(a);
+            return Some((def.name.as_str(), a));
         }
         for p in &def.parents {
-            if let Some(a) = self.attribute(p, attr) {
-                return Some(a);
+            if let Some(hit) = self.attribute_with_declarer(p, attr) {
+                return Some(hit);
             }
         }
         None
     }
 
+    /// The IS-A chain searched during attribute lookup, starting at
+    /// `class` and walking parents depth-first in declaration order
+    /// (each class listed once).
+    pub fn ancestors(&self, class: &str) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        fn walk<'a>(schema: &'a Schema, class: &str, out: &mut Vec<&'a str>) {
+            if out.contains(&class) {
+                return;
+            }
+            let Some(def) = schema.classes.get(class) else {
+                return;
+            };
+            out.push(def.name.as_str());
+            for p in &def.parents {
+                walk(schema, p, out);
+            }
+        }
+        walk(self, class, &mut out);
+        out
+    }
+
     /// All attributes visible from `class` (own shadowing inherited).
     pub fn attributes_of(&self, class: &str) -> BTreeMap<String, &AttrDef> {
         let mut out = BTreeMap::new();
-        fn walk<'a>(
-            schema: &'a Schema,
-            class: &str,
-            out: &mut BTreeMap<String, &'a AttrDef>,
-        ) {
+        fn walk<'a>(schema: &'a Schema, class: &str, out: &mut BTreeMap<String, &'a AttrDef>) {
             if let Some(def) = schema.classes.get(class) {
                 for p in &def.parents {
                     walk(schema, p, out);
@@ -235,8 +281,11 @@ impl Schema {
             Grey,
             Black,
         }
-        let mut color: BTreeMap<&str, Color> =
-            self.classes.keys().map(|k| (k.as_str(), Color::White)).collect();
+        let mut color: BTreeMap<&str, Color> = self
+            .classes
+            .keys()
+            .map(|k| (k.as_str(), Color::White))
+            .collect();
         fn dfs<'a>(
             schema: &'a Schema,
             node: &'a str,
@@ -317,7 +366,10 @@ mod tests {
         s.add_class(
             ClassDef::new("Desk")
                 .is_a("Office_Object")
-                .attr(AttrDef::scalar("drawer_center", AttrTarget::cst(["p", "q"])))
+                .attr(AttrDef::scalar(
+                    "drawer_center",
+                    AttrTarget::cst(["p", "q"]),
+                ))
                 .attr(AttrDef::scalar(
                     "drawer",
                     AttrTarget::class_renamed("Drawer", vec!["p".into(), "q".into()]),
@@ -398,27 +450,28 @@ mod tests {
         assert_eq!(s.validate(), Err(DbError::UnknownClass("Missing".into())));
 
         let mut s = Schema::new();
-        s.add_class(
-            ClassDef::new("A").attr(AttrDef::scalar("b", AttrTarget::class("Missing"))),
-        )
-        .unwrap();
+        s.add_class(ClassDef::new("A").attr(AttrDef::scalar("b", AttrTarget::class("Missing"))))
+            .unwrap();
         assert_eq!(s.validate(), Err(DbError::UnknownClass("Missing".into())));
     }
 
     #[test]
     fn interface_arity_checked() {
         let mut s = Schema::new();
-        s.add_class(ClassDef::new("Part").interface(["x", "y"])).unwrap();
-        s.add_class(
-            ClassDef::new("Whole").attr(AttrDef::scalar(
-                "part",
-                AttrTarget::class_renamed("Part", vec!["p".into()]),
-            )),
-        )
+        s.add_class(ClassDef::new("Part").interface(["x", "y"]))
+            .unwrap();
+        s.add_class(ClassDef::new("Whole").attr(AttrDef::scalar(
+            "part",
+            AttrTarget::class_renamed("Part", vec!["p".into()]),
+        )))
         .unwrap();
         assert!(matches!(
             s.validate(),
-            Err(DbError::InterfaceArityMismatch { expected: 2, got: 1, .. })
+            Err(DbError::InterfaceArityMismatch {
+                expected: 2,
+                got: 1,
+                ..
+            })
         ));
     }
 

@@ -132,7 +132,10 @@ impl LpOptimum {
 impl LpProblem {
     /// A problem over `num_vars` free variables and no constraints yet.
     pub fn new(num_vars: usize) -> Self {
-        LpProblem { num_vars, constraints: Vec::new() }
+        LpProblem {
+            num_vars,
+            constraints: Vec::new(),
+        }
     }
 
     pub fn num_vars(&self) -> usize {
@@ -197,8 +200,11 @@ impl LpProblem {
             return LpOutcome::Infeasible;
         }
         // Internally minimize: negate the objective for maximization.
-        let costs: Vec<Rational> =
-            if maximize { objective.iter().map(|c| -c).collect() } else { objective.to_vec() };
+        let costs: Vec<Rational> = if maximize {
+            objective.iter().map(|c| -c).collect()
+        } else {
+            objective.to_vec()
+        };
         if !t.phase2(&costs) {
             return LpOutcome::Unbounded;
         }

@@ -30,8 +30,11 @@ impl Tableau {
     pub(crate) fn build(problem: &LpProblem) -> Tableau {
         let n = problem.num_vars();
         let nstruct = 2 * n;
-        let n_slacks =
-            problem.constraints().iter().filter(|c| c.relop != Relop::Eq).count();
+        let n_slacks = problem
+            .constraints()
+            .iter()
+            .filter(|c| c.relop != Relop::Eq)
+            .count();
         let n_nonartificial = nstruct + n_slacks;
 
         // First pass: build rows with structural + slack coefficients,
@@ -95,7 +98,12 @@ impl Tableau {
             }
         }
 
-        Tableau { rows, basis: final_basis, ncols, n_nonartificial }
+        Tableau {
+            rows,
+            basis: final_basis,
+            ncols,
+            n_nonartificial,
+        }
     }
 
     /// Reduced-cost row `r_j = c_j − Σᵢ c_{basis[i]}·T[i][j]` for the given
@@ -239,8 +247,7 @@ impl Tableau {
         let mut i = 0;
         while i < self.rows.len() {
             if self.basis[i] >= self.n_nonartificial {
-                let q = (0..self.n_nonartificial)
-                    .find(|&j| !self.rows[i].coeffs[j].is_zero());
+                let q = (0..self.n_nonartificial).find(|&j| !self.rows[i].coeffs[j].is_zero());
                 match q {
                     Some(q) => {
                         // Reduced costs are irrelevant here; use a scratch row.

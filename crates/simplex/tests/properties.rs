@@ -39,7 +39,10 @@ fn build(raw: &[RawConstraint]) -> LpProblem {
     let mut lp = LpProblem::new(NVARS);
     for c in raw {
         lp.push(
-            c.coeffs.iter().map(|&v| Rational::from_int(v as i64)).collect(),
+            c.coeffs
+                .iter()
+                .map(|&v| Rational::from_int(v as i64))
+                .collect(),
             c.relop,
             Rational::from_int(c.rhs as i64),
         );

@@ -39,9 +39,10 @@ fn klee_minty(n: usize) -> (LpProblem, Vec<Rational>, Rational) {
 fn klee_minty_cubes() {
     for n in [2usize, 4, 6, 8] {
         let (lp, objective, optimum) = klee_minty(n);
-        let opt = lp.maximize(&objective).optimal().unwrap_or_else(|| {
-            panic!("Klee–Minty n={n} must have an optimum")
-        });
+        let opt = lp
+            .maximize(&objective)
+            .optimal()
+            .unwrap_or_else(|| panic!("Klee–Minty n={n} must have an optimum"));
         assert_eq!(opt.supremum(), &optimum, "Klee–Minty n={n}");
         assert!(opt.attained());
     }
@@ -66,7 +67,10 @@ fn beale_cycling_example_terminates() {
         lp.push(nonneg, Relop::Le, Rational::zero());
     }
     let objective = vec![q(-3, 4), r(150), q(-1, 50), r(6)];
-    let opt = lp.minimize(&objective).optimal().expect("Beale LP is bounded");
+    let opt = lp
+        .minimize(&objective)
+        .optimal()
+        .expect("Beale LP is bounded");
     // Known optimum: -1/20 at x = (1/25, 0, 1, 0).
     assert_eq!(opt.supremum(), &q(-1, 20));
     let p = opt.concrete_point(&lp);

@@ -27,7 +27,10 @@ fn process(
 ) -> CstObject {
     let v = |n: &str| LinExpr::var(Var::new(n));
     let rate = |name: &str, r: i64| {
-        Atom::eq(v(name), LinExpr::term(Var::new("run"), Rational::from_int(r)))
+        Atom::eq(
+            v(name),
+            LinExpr::term(Var::new("run"), Rational::from_int(r)),
+        )
     };
     CstObject::new(
         vec![

@@ -134,13 +134,19 @@ fn main() {
          WHERE S.footprint[F] AND (F(u,v) |= R(u,v))",
     )
     .expect("classification view");
-    println!("classification view created ({} memberships):\n{res}", res.rows.len());
+    println!(
+        "classification view created ({} memberships):\n{res}",
+        res.rows.len()
+    );
 
     // The park's view class now contains exactly the bandstand.
     let park_class = Oid::cst(park.clone()).to_string();
     println!(
         "instances of the park's view class: {:?}",
-        db.extent(&park_class).iter().map(|o| o.to_string()).collect::<Vec<_>>()
+        db.extent(&park_class)
+            .iter()
+            .map(|o| o.to_string())
+            .collect::<Vec<_>>()
     );
 
     // 4. Overlay analysis without stored objects: the part of the harbor
@@ -164,8 +170,7 @@ fn main() {
     for (name, r) in [("park", &park), ("harbor", &harbor), ("core", &core)] {
         let polygons = r.vertices_2d().expect("regions are bounded 2-D");
         for poly in polygons {
-            let pts: Vec<String> =
-                poly.iter().map(|(x, y)| format!("({x},{y})")).collect();
+            let pts: Vec<String> = poly.iter().map(|(x, y)| format!("({x},{y})")).collect();
             println!("  {name}: {}", pts.join(" "));
         }
     }

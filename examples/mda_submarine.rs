@@ -41,10 +41,7 @@ fn main() {
             ClassDef::new("Goal")
                 .attr(AttrDef::scalar("name", AttrTarget::class("string")))
                 .attr(AttrDef::scalar("priority", AttrTarget::class("int")))
-                .attr(AttrDef::scalar(
-                    "region",
-                    AttrTarget::cst(DIMS),
-                )),
+                .attr(AttrDef::scalar("region", AttrTarget::cst(DIMS))),
         )
         .expect("schema");
     let mut db = Database::new(schema).expect("validates");
@@ -117,7 +114,10 @@ fn main() {
            AND (RA(course,speed,depth,time) AND RB(course,speed,depth,time))",
     )
     .expect("compatibility query");
-    println!("compatible goal pairs: {} of 12 ordered pairs\n", res.rows.len());
+    println!(
+        "compatible goal pairs: {} of 12 ordered pairs\n",
+        res.rows.len()
+    );
 
     // 2. The joint maneuver region of all priority-1 and priority-2 goals,
     //    as a new constraint object.
@@ -183,6 +183,10 @@ fn main() {
     .expect("contradiction query");
     println!(
         "sprint-while-quiet-and-shallow is feasible: {}",
-        if res.rows.is_empty() { "no (goals contradict, as expected)" } else { "yes" }
+        if res.rows.is_empty() {
+            "no (goals contradict, as expected)"
+        } else {
+            "yes"
+        }
     );
 }

@@ -25,26 +25,39 @@ fn place(db: &mut Database, i: usize, class: &str, w: i64, h: i64, x: i64, y: i6
         Oid::named(&drawer),
         "Drawer",
         [
-            ("extent", Value::Scalar(Oid::cst(box2("w", "z", -1, 1, -1, 1)))),
+            (
+                "extent",
+                Value::Scalar(Oid::cst(box2("w", "z", -1, 1, -1, 1))),
+            ),
             ("translation", Value::Scalar(Oid::cst(translation2()))),
         ],
     )
     .expect("drawer insert");
     let catalog = format!("ex_catalog_{i}");
-    let (cv0, cv1) = if class == "Desk" { ("p", "q") } else { ("p1", "q1") };
+    let (cv0, cv1) = if class == "Desk" {
+        ("p", "q")
+    } else {
+        ("p1", "q1")
+    };
     let center = CstObject::point(
         vec![Var::new(cv0), Var::new(cv1)],
         &[Rational::from_int(-w), Rational::zero()],
     );
-    let center_value =
-        if class == "Desk" { Value::Scalar(Oid::cst(center)) } else { Value::set([Oid::cst(center)]) };
+    let center_value = if class == "Desk" {
+        Value::Scalar(Oid::cst(center))
+    } else {
+        Value::set([Oid::cst(center)])
+    };
     db.insert(
         Oid::named(&catalog),
         class,
         [
             ("name", Value::Scalar(Oid::str(format!("{class} #{i}")))),
             ("color", Value::Scalar(Oid::str("red"))),
-            ("extent", Value::Scalar(Oid::cst(box2("w", "z", -w, w, -h, h)))),
+            (
+                "extent",
+                Value::Scalar(Oid::cst(box2("w", "z", -w, w, -h, h))),
+            ),
             ("translation", Value::Scalar(Oid::cst(translation2()))),
             ("drawer_center", center_value),
             ("drawer", Value::Scalar(Oid::named(&drawer))),
@@ -65,7 +78,8 @@ fn place(db: &mut Database, i: usize, class: &str, w: i64, h: i64, x: i64, y: i6
 
 fn main() {
     let mut db = Database::new(lyric::paper_example::schema()).expect("schema validates");
-    db.declare_instance("Color", Oid::str("red")).expect("color");
+    db.declare_instance("Color", Oid::str("red"))
+        .expect("color");
 
     // Two desks and a file cabinet in a 20×10 room.
     place(&mut db, 0, "Desk", 4, 2, 5, 3);
@@ -91,7 +105,10 @@ fn main() {
                 AND EY(w2,z2) AND DY(w2,z2,x2,y2,u,v) AND LY(x2,y2))",
     )
     .expect("overlap view");
-    println!("overlapping pairs: {} (expected 0 — the layout is clean)\n", res.rows.len());
+    println!(
+        "overlapping pairs: {} (expected 0 — the layout is clean)\n",
+        res.rows.len()
+    );
 
     // 2. Where can an additional 2×2 desk center go? Build the free-space
     //    region programmatically: room shrunk by the new desk's half-size,
@@ -161,6 +178,14 @@ fn main() {
     for row in &res.rows {
         let footprint = row[1].as_cst().expect("cst column");
         let cut = footprint.slice(&Var::new("v"), &Rational::from_int(3));
-        println!("  {}: {}", row[0], if cut.satisfiable() { cut.to_string() } else { "empty".into() });
+        println!(
+            "  {}: {}",
+            row[0],
+            if cut.satisfiable() {
+                cut.to_string()
+            } else {
+                "empty".into()
+            }
+        );
     }
 }

@@ -13,10 +13,11 @@ fn main() {
 
     println!("== LyriC quickstart: the paper's office-design database ==\n");
 
-    // Plain XSQL: path expressions and comparisons.
+    // Plain XSQL: path expressions and comparisons. (`inv_number` lives
+    // on Object_In_Room, not on the catalog object.)
     let res = execute(
         &mut db,
-        "SELECT X.name, X.inv_number
+        "SELECT X.name, O.inv_number
          FROM Office_Object X, Object_In_Room O
          WHERE O.catalog_object[X] AND O.inv_number[N] AND X.name[M]",
     );

@@ -12,8 +12,8 @@
 //!    ...> FROM Office_Object CO WHERE CO.extent[E] AND CO.translation[D];
 //! ```
 //!
-//! Meta-commands: `:help`, `:schema`, `:classes`, `:extent <Class>`,
-//! `:stats`, `:save <file>`, `:load <file>`, `:quit`.
+//! Meta-commands: `:help`, `:check <query>`, `:schema`, `:classes`,
+//! `:extent <Class>`, `:stats`, `:save <file>`, `:load <file>`, `:quit`.
 //!
 //! Queries run under the engine's *interactive* evaluation budget, so an
 //! adversarial constraint blowup reports `evaluation budget exceeded`
@@ -97,6 +97,7 @@ fn meta_command(db: &mut lyric::oodb::Database, session: &mut Session, cmd: &str
         Some(":quit") | Some(":q") | Some(":exit") => return false,
         Some(":help") | Some(":h") => {
             println!(":help             this help");
+            println!(":check <query>    analyze a query without running it (strict + deep)");
             println!(":schema           list classes with their attributes");
             println!(":classes          list class names");
             println!(":extent <Class>   list the instances of a class");
@@ -105,6 +106,23 @@ fn meta_command(db: &mut lyric::oodb::Database, session: &mut Session, cmd: &str
             println!(":load <file>      replace the database from a dump");
             println!(":quit             leave");
             println!("anything else     a LyriC statement, terminated by ';'");
+        }
+        Some(":check") => {
+            let src = cmd[":check".len()..].trim().trim_end_matches(';').trim();
+            if src.is_empty() {
+                println!("usage: :check <query>  (single line, ';' optional)");
+            } else {
+                let diags = lyric_analyze::analyze_src(
+                    db.schema(),
+                    src,
+                    &lyric_analyze::AnalyzerOptions::deep(),
+                );
+                if diags.is_empty() {
+                    println!("ok: no diagnostics");
+                } else {
+                    print!("{}", lyric_analyze::render_all(&diags, src));
+                }
+            }
         }
         Some(":stats") => {
             session.show_stats = !session.show_stats;
@@ -123,8 +141,7 @@ fn meta_command(db: &mut lyric::oodb::Database, session: &mut Session, cmd: &str
                 let def = db.schema().class(name).expect("listed class exists");
                 print!("{name}");
                 if !def.interface.is_empty() {
-                    let vars: Vec<&str> =
-                        def.interface.iter().map(|v| v.name()).collect();
+                    let vars: Vec<&str> = def.interface.iter().map(|v| v.name()).collect();
                     print!("({})", vars.join(","));
                 }
                 if !def.parents.is_empty() {
@@ -138,16 +155,13 @@ fn meta_command(db: &mut lyric::oodb::Database, session: &mut Session, cmd: &str
                             let vs: Vec<&str> = vars.iter().map(|v| v.name()).collect();
                             println!("  {attr}{star} : CST({})", vs.join(","));
                         }
-                        lyric::oodb::AttrTarget::Class { class, actuals } => {
-                            match actuals {
-                                Some(a) => {
-                                    let vs: Vec<&str> =
-                                        a.iter().map(|v| v.name()).collect();
-                                    println!("  {attr}{star} : ({}) -> {class}", vs.join(","));
-                                }
-                                None => println!("  {attr}{star} : {class}"),
+                        lyric::oodb::AttrTarget::Class { class, actuals } => match actuals {
+                            Some(a) => {
+                                let vs: Vec<&str> = a.iter().map(|v| v.name()).collect();
+                                println!("  {attr}{star} : ({}) -> {class}", vs.join(","));
                             }
-                        }
+                            None => println!("  {attr}{star} : {class}"),
+                        },
                     }
                 }
             }

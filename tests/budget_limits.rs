@@ -33,7 +33,10 @@ fn fm_blowup_aborts_under_atom_budget() {
     assert_eq!(err.limit, 10_000);
     assert!(err.consumed > err.limit, "{err}");
     // Graceful degradation means promptly, not after the blowup finishes.
-    assert!(started.elapsed() < Duration::from_secs(10), "abort was not prompt");
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "abort was not prompt"
+    );
 }
 
 #[test]
@@ -50,7 +53,10 @@ fn fm_blowup_aborts_under_deadline() {
     assert!(err.consumed >= err.limit, "{err}");
     // The clock is checked between atoms, so the overshoot is bounded by
     // one FM step, not by the whole blowup.
-    assert!(started.elapsed() < Duration::from_secs(10), "abort was not prompt");
+    assert!(
+        started.elapsed() < Duration::from_secs(10),
+        "abort was not prompt"
+    );
 }
 
 #[test]
@@ -74,14 +80,14 @@ fn query_level_budget_returns_structured_error() {
     let mut db = lyric::paper_example::database();
     let query = "SELECT CO, ((u,v) | E AND D AND x = 6 AND y = 4)
          FROM Office_Object CO WHERE CO.extent[E] AND CO.translation[D]";
-    let err = execute_with_budget(
-        &mut db,
-        query,
-        EngineBudget::unlimited().with_max_pivots(1),
-    )
-    .expect_err("1 pivot cannot evaluate a paper query");
+    let err = execute_with_budget(&mut db, query, EngineBudget::unlimited().with_max_pivots(1))
+        .expect_err("1 pivot cannot evaluate a paper query");
     match err {
-        LyricError::BudgetExceeded { resource, limit, consumed } => {
+        LyricError::BudgetExceeded {
+            resource,
+            limit,
+            consumed,
+        } => {
             assert_eq!(resource, Resource::Pivots);
             assert_eq!(limit, 1);
             assert!(consumed > limit);

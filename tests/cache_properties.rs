@@ -65,7 +65,10 @@ fn repeated_checks_produce_cache_hits() {
     // without recursing).
     assert_eq!(stats.sat_checks, 6);
     assert_eq!(stats.entailment_checks, 5);
-    assert!(stats.cache_hits >= 8, "4 repeats of each check must hit: {stats}");
+    assert!(
+        stats.cache_hits >= 8,
+        "4 repeats of each check must hit: {stats}"
+    );
     assert!(
         stats.cache_hit_rate().expect("probes happened") > 0.5,
         "hit rate should dominate on a repeated workload: {stats}"
@@ -87,5 +90,9 @@ fn query_evaluation_reuses_cached_answers() {
     // the duplicate SELECT rows collapse to one.
     assert_eq!(res.rows.len(), 1);
     assert!(res.stats.entailment_checks >= 2, "{}", res.stats);
-    assert!(res.stats.cache_hits > 0, "repeated entailment must hit: {}", res.stats);
+    assert!(
+        res.stats.cache_hits > 0,
+        "repeated entailment must hit: {}",
+        res.stats
+    );
 }

@@ -49,8 +49,7 @@ fn update_then_requery() {
         .clone();
     assert!(!desk_region_after.contains_point(&[r(2), r(2)]));
     assert!(desk_region_after.contains_point(&[r(12), r(2)]));
-    assert!(desk_region_after
-        .denotes_same(&box2("u", "v", 12, 20, 2, 6)));
+    assert!(desk_region_after.denotes_same(&box2("u", "v", 12, 20, 2, 6)));
 }
 
 /// The same CST object inserted twice has one logical oid (identity =
@@ -83,7 +82,10 @@ fn disjunctive_extent() {
         Oid::named("l_drawer"),
         "Drawer",
         [
-            ("extent", Value::Scalar(Oid::cst(box2("w", "z", -1, 1, -1, 1)))),
+            (
+                "extent",
+                Value::Scalar(Oid::cst(box2("w", "z", -1, 1, -1, 1))),
+            ),
             ("translation", Value::Scalar(Oid::cst(translation2()))),
         ],
     )
@@ -204,12 +206,24 @@ fn disequation_predicate() {
 #[test]
 fn error_paths() {
     let mut db = lyric::paper_example::database();
+    // Schema errors are now caught by static analysis before evaluation;
+    // the raw evaluator errors stay reachable through execute_unchecked.
+    let analysis_code = |r: Result<lyric::QueryResult, LyricError>| match r {
+        Err(LyricError::Analysis(ds)) => ds.first().map(|d| d.code),
+        _ => None,
+    };
+    assert_eq!(
+        analysis_code(execute(&mut db, "SELECT X FROM Nonexistent X")),
+        Some("LYA001")
+    );
     assert!(matches!(
-        execute(&mut db, "SELECT X FROM Nonexistent X"),
+        lyric::execute_unchecked(&mut db, "SELECT X FROM Nonexistent X"),
         Err(LyricError::UnknownClass(_))
     ));
+    let bogus = "SELECT X.bogus_attr FROM Desk X WHERE X.bogus_attr[Y]";
+    assert_eq!(analysis_code(execute(&mut db, bogus)), Some("LYA002"));
     assert!(matches!(
-        execute(&mut db, "SELECT X.bogus_attr FROM Desk X WHERE X.bogus_attr[Y]"),
+        lyric::execute_unchecked(&mut db, bogus),
         Err(LyricError::UnknownAttribute { .. })
     ));
     assert!(matches!(
@@ -217,8 +231,10 @@ fn error_paths() {
         Err(LyricError::Parse(_))
     ));
     // Dimension mismatch in an explicit variable list.
+    let mismatch = "SELECT X FROM Desk X WHERE X.extent[E] AND (E(a,b,c))";
+    assert_eq!(analysis_code(execute(&mut db, mismatch)), Some("LYA012"));
     assert!(matches!(
-        execute(&mut db, "SELECT X FROM Desk X WHERE X.extent[E] AND (E(a,b,c))"),
+        lyric::execute_unchecked(&mut db, mismatch),
         Err(LyricError::DimensionMismatch { .. })
     ));
     // Unbounded optimization is an error, not a silent answer.

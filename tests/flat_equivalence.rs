@@ -13,7 +13,10 @@ fn flat_linear_regions(flat: &FlatDb) -> Vec<(Oid, CstObject)> {
     let oir = flat.extent("Object_In_Room").unwrap();
     let loc = flat.attr("Object_In_Room", "location").unwrap();
     let cat = flat.attr("Object_In_Room", "catalog_object").unwrap();
-    let ext = flat.attr("Office_Object", "extent").unwrap().rename_col("obj", "cat_obj");
+    let ext = flat
+        .attr("Office_Object", "extent")
+        .unwrap()
+        .rename_col("obj", "cat_obj");
     let tr = flat
         .attr("Office_Object", "translation")
         .unwrap()
@@ -48,11 +51,19 @@ fn flat_translation_matches_direct_evaluator() {
         let flat = FlatDb::from_database(&db);
         let regions = flat_linear_regions(&flat);
 
-        assert_eq!(direct.rows.len(), regions.len(), "row count at n={n} seed={seed}");
+        assert_eq!(
+            direct.rows.len(),
+            regions.len(),
+            "row count at n={n} seed={seed}"
+        );
         for row in &direct.rows {
             let obj = &row[0];
             let want = row[1].as_cst().unwrap();
-            let got = &regions.iter().find(|(o, _)| o == obj).expect("object present").1;
+            let got = &regions
+                .iter()
+                .find(|(o, _)| o == obj)
+                .expect("object present")
+                .1;
             assert!(
                 got.denotes_same(want),
                 "region mismatch for {obj} at n={n} seed={seed}: flat={got} direct={want}"
@@ -106,11 +117,20 @@ fn flat_constraint_selection_matches_satisfiability_predicate() {
     let joined = flat
         .extent("Object_In_Room")
         .unwrap()
-        .join(flat.attr("Object_In_Room", "location").unwrap(), &[("obj", "obj")])
-        .join(flat.attr("Object_In_Room", "catalog_object").unwrap(), &[("obj", "obj")])
+        .join(
+            flat.attr("Object_In_Room", "location").unwrap(),
+            &[("obj", "obj")],
+        )
+        .join(
+            flat.attr("Object_In_Room", "catalog_object").unwrap(),
+            &[("obj", "obj")],
+        )
         .rename_col("val", "cat_obj")
         .join(
-            &flat.attr("Office_Object", "extent").unwrap().rename_col("obj", "cat_obj"),
+            &flat
+                .attr("Office_Object", "extent")
+                .unwrap()
+                .rename_col("obj", "cat_obj"),
             &[("cat_obj", "cat_obj")],
         )
         .join(
@@ -125,7 +145,11 @@ fn flat_constraint_selection_matches_satisfiability_predicate() {
             lyric_constraint::LinExpr::from(150),
         )]);
     let mut direct_set: Vec<Oid> = direct.rows.iter().map(|r| r[0].clone()).collect();
-    let mut flat_set: Vec<Oid> = joined.tuples().iter().map(|t| t.values[0].clone()).collect();
+    let mut flat_set: Vec<Oid> = joined
+        .tuples()
+        .iter()
+        .map(|t| t.values[0].clone())
+        .collect();
     direct_set.sort();
     direct_set.dedup();
     flat_set.sort();

@@ -99,11 +99,15 @@ fn optimization_over_quantified_formula() {
 #[test]
 fn objective_outside_formula_dimensions_is_an_error() {
     let mut db = db_with_extent(diamond());
-    let err = execute(
-        &mut db,
-        "SELECT MAX(q SUBJECT TO ((w,z) | E)) FROM Office_Object O WHERE O.extent[E]",
-    )
-    .unwrap_err();
+    // Caught statically: `q` is not among the projected dimensions (w, z).
+    let src = "SELECT MAX(q SUBJECT TO ((w,z) | E)) FROM Office_Object O WHERE O.extent[E]";
+    let err = execute(&mut db, src).unwrap_err();
+    assert!(
+        matches!(&err, LyricError::Analysis(ds) if ds.iter().any(|d| d.code == "LYA014")),
+        "{err}"
+    );
+    // The evaluator reports the same failure when analysis is skipped.
+    let err = lyric::execute_unchecked(&mut db, src).unwrap_err();
     assert!(matches!(err, LyricError::TypeError(_)), "{err}");
 }
 

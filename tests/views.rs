@@ -105,8 +105,10 @@ fn grouped_view_one_class_per_binding() {
     let mut db = paper_example::database();
     let west = paper_example::box2("u", "v", 0, 10, 0, 10);
     let east = paper_example::box2("u", "v", 10, 20, 0, 10);
-    db.declare_instance("Region", Oid::cst(west.clone())).unwrap();
-    db.declare_instance("Region", Oid::cst(east.clone())).unwrap();
+    db.declare_instance("Region", Oid::cst(west.clone()))
+        .unwrap();
+    db.declare_instance("Region", Oid::cst(east.clone()))
+        .unwrap();
     execute(
         &mut db,
         "CREATE VIEW X AS SUBCLASS OF Object_In_Room
@@ -146,5 +148,8 @@ fn duplicate_view_name_rejected() {
         "CREATE VIEW V AS SUBCLASS OF object SELECT X FROM Desk X",
     )
     .unwrap_err();
-    assert!(matches!(err, LyricError::Db(lyric_oodb::DbError::DuplicateClass(_))), "{err}");
+    assert!(
+        matches!(err, LyricError::Db(lyric_oodb::DbError::DuplicateClass(_))),
+        "{err}"
+    );
 }
