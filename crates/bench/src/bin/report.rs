@@ -4,13 +4,14 @@
 //! Run with `cargo run -p lyric-bench --bin report --release`.
 
 use lyric::paper_example::{self, box2};
+use lyric::trace::Json;
 use lyric::{execute, parse_query};
 use lyric_bench::gridrep::Grid;
 use lyric_bench::workload::{self, Q_LINEAR, Q_PAIRWISE};
 use lyric_constraint::{Conjunction, CstObject, Var};
 use lyric_flatrel::FlatDb;
 use lyric_oodb::{Database, Oid};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use lyric_algebra::{eval as alg_eval, optimize as alg_optimize, Func, Value as AlgValue};
 
@@ -26,25 +27,68 @@ fn time_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
     (best, last.expect("reps >= 1"))
 }
 
+/// Where the machine-readable companion of the markdown report lands.
+const REPORT_JSON: &str = "BENCH_report.json";
+
 fn main() {
     println!("# LyriC reproduction — experiment report\n");
-    e1();
-    e2();
-    e3();
-    e4();
-    e5();
-    e6();
-    e7();
-    e8();
-    e9();
+    let mut report: Vec<Json> = Vec::new();
+    record(&mut report, "e1_paper_queries", e1);
+    record(&mut report, "e2_data_complexity", || void(e2));
+    record(&mut report, "e3_constraint_vs_adhoc", || void(e3));
+    record(&mut report, "e4_canonical_forms", || void(e4));
+    record(&mut report, "e5_projection", || void(e5));
+    record(&mut report, "e6_factory_lp", || void(e6));
+    record(&mut report, "e7_flat_translation", || void(e7));
+    record(&mut report, "e8_algebra_optimizer", || void(e8));
+    record(&mut report, "e9_telemetry_budgets", || void(e9));
+    record(&mut report, "e10_hot_spans", e10);
+    let doc = Json::obj([("experiments", Json::Arr(report))]);
+    match std::fs::write(REPORT_JSON, doc.to_string()) {
+        Ok(()) => eprintln!("machine-readable report written to {REPORT_JSON}"),
+        Err(e) => eprintln!("could not write {REPORT_JSON}: {e}"),
+    }
 }
 
-/// E1 — the §4.1 worked examples, with answer checks against the paper.
-fn e1() {
-    println!("## E1 — §4.1 worked example queries (Figure 2 instance)\n");
-    println!("| query | rows | time (ms) | answer check |");
-    println!("|---|---|---|---|");
-    let queries: Vec<(&str, &str)> = vec![
+/// Run one experiment, timing it and collecting its JSON detail (if any)
+/// into the machine-readable report.
+fn record(report: &mut Vec<Json>, name: &str, f: impl FnOnce() -> Json) {
+    let t = Instant::now();
+    let detail = f();
+    let mut entry = vec![
+        ("experiment".to_string(), Json::str(name)),
+        (
+            "duration_ms".to_string(),
+            Json::Num(t.elapsed().as_secs_f64() * 1e3),
+        ),
+    ];
+    if !matches!(detail, Json::Null) {
+        entry.push(("detail".to_string(), detail));
+    }
+    report.push(Json::Obj(entry));
+}
+
+fn void(f: impl FnOnce()) -> Json {
+    f();
+    Json::Null
+}
+
+/// All ten counters of an [`EngineStats`](lyric::EngineStats) as a JSON
+/// object, in declaration order.
+fn stats_json(s: &lyric::EngineStats) -> Json {
+    Json::Obj(
+        lyric::trace::stats::COUNTER_NAMES
+            .into_iter()
+            .zip(s.counters())
+            .map(|(n, v)| (n.to_string(), Json::int(v)))
+            .collect(),
+    )
+}
+
+/// The §4.1 worked-example queries shared by E1 (answers/timings) and E10
+/// (hot-span aggregation).
+fn paper_queries() -> Vec<(&'static str, &'static str)> {
+    vec![
         (
             "q1 drawer extents",
             "SELECT Y FROM Desk X WHERE X.drawer.extent[Y]",
@@ -75,8 +119,16 @@ fn e1() {
             "SELECT MAX(w + z SUBJECT TO ((w,z) | E)), MIN(w SUBJECT TO ((w,z) | E))
              FROM Desk D WHERE D.extent[E]",
         ),
-    ];
-    for (label, q) in queries {
+    ]
+}
+
+/// E1 — the §4.1 worked examples, with answer checks against the paper.
+fn e1() -> Json {
+    println!("## E1 — §4.1 worked example queries (Figure 2 instance)\n");
+    println!("| query | rows | time (ms) | answer check |");
+    println!("|---|---|---|---|");
+    let mut detail: Vec<Json> = Vec::new();
+    for (label, q) in paper_queries() {
         let (ms, res) = time_ms(5, || {
             let mut db = paper_example::database();
             execute(&mut db, q).expect("paper query evaluates")
@@ -120,8 +172,16 @@ fn e1() {
             _ => "max w+z = 6, min w = -4",
         };
         println!("| {label} | {} | {ms:.2} | {check} |", res.rows.len());
+        detail.push(Json::obj([
+            ("query", Json::str(label)),
+            ("rows", Json::int(res.rows.len() as u64)),
+            ("best_ms", Json::Num(ms)),
+            ("check", Json::str(check)),
+            ("stats", stats_json(&res.stats)),
+        ]));
     }
     println!();
+    Json::obj([("queries", Json::Arr(detail))])
 }
 
 /// E2 — PTIME data complexity (§5): evaluation time vs database size.
@@ -501,6 +561,63 @@ fn e9() {
         ),
     }
     println!("\nthe telemetry quantifies the paper's tractability story (polynomially growing LP work, §5) and the budget enforces it against the exponential corners §3.1 excludes.\n");
+}
+
+/// E10 — span aggregation: the hot evaluation sites across the §4.1
+/// queries, from per-query traces folded by (kind, label, source range).
+fn e10() -> Json {
+    println!("## E10 — hot spans across the §4.1 queries (trace aggregation)\n");
+    let mut traces = Vec::new();
+    for (_, q) in paper_queries() {
+        let mut db = paper_example::database();
+        let (_, trace) = lyric::execute_traced(&mut db, q, lyric::EngineBudget::unlimited())
+            .expect("paper query evaluates");
+        traces.push(trace);
+    }
+    let total: Duration = traces.iter().map(lyric::trace::Trace::total_duration).sum();
+    let rows = lyric::trace::hot_spans(&traces);
+    println!("| span site | count | self (ms) | total (ms) | share | counters |");
+    println!("|---|---|---|---|---|---|");
+    const TOP: usize = 12;
+    let mut detail: Vec<Json> = Vec::new();
+    for r in rows.iter().take(TOP) {
+        let site = if r.label.is_empty() {
+            r.kind.name().to_string()
+        } else {
+            format!("{} {}", r.kind.name(), r.label)
+        };
+        let counters: Vec<String> = r
+            .stats
+            .nonzero_counters()
+            .iter()
+            .map(|(n, v)| format!("{n}={v}"))
+            .collect();
+        println!(
+            "| {site} | {} | {:.3} | {:.3} | {:.1}% | {} |",
+            r.count,
+            r.self_time.as_secs_f64() * 1e3,
+            r.total.as_secs_f64() * 1e3,
+            r.percent_of(total),
+            if counters.is_empty() {
+                "—".to_string()
+            } else {
+                counters.join(" ")
+            },
+        );
+        detail.push(Json::obj([
+            ("site", Json::str(site)),
+            ("count", Json::int(r.count)),
+            ("self_ms", Json::Num(r.self_time.as_secs_f64() * 1e3)),
+            ("total_ms", Json::Num(r.total.as_secs_f64() * 1e3)),
+            ("share_pct", Json::Num(r.percent_of(total))),
+            ("stats", stats_json(&r.stats)),
+        ]));
+    }
+    if rows.len() > TOP {
+        println!("\n(top {TOP} of {} sites by self time)", rows.len());
+    }
+    println!("\nsites fold every span with the same (kind, label, source range) across all five traces — the same WHERE predicate over many bindings becomes one row. Constraint checks and LP solves carry the counters, matching the §5 cost story.\n");
+    Json::obj([("hot_spans", Json::Arr(detail))])
 }
 
 fn answers_match(db: &Database, direct: &lyric::QueryResult, flat: &[(Oid, CstObject)]) -> bool {

@@ -30,9 +30,13 @@ impl Dnf {
     /// duplicates (already maintained by construction).
     pub fn simplify(&self) -> Dnf {
         let out = Dnf::of(self.disjuncts().iter().filter(|d| d.satisfiable()).cloned());
-        lyric_engine::tally(|s| {
-            s.disjuncts_pruned += (self.disjuncts().len() - out.disjuncts().len()) as u64;
-        });
+        let pruned = (self.disjuncts().len() - out.disjuncts().len()) as u64;
+        lyric_engine::tally(|s| s.disjuncts_pruned += pruned);
+        if pruned > 0 {
+            lyric_engine::trace_event(|| lyric_engine::EventKind::DisjunctsPruned {
+                count: pruned,
+            });
+        }
         out
     }
 
@@ -87,9 +91,13 @@ impl CstObject {
             .map(|d| self.simplify_disjunct(d))
             .filter(|d| d.satisfiable())
             .collect();
-        lyric_engine::tally(|s| {
-            s.disjuncts_pruned += (self.disjuncts().len() - ds.len()) as u64;
-        });
+        let pruned = (self.disjuncts().len() - ds.len()) as u64;
+        lyric_engine::tally(|s| s.disjuncts_pruned += pruned);
+        if pruned > 0 {
+            lyric_engine::trace_event(|| lyric_engine::EventKind::DisjunctsPruned {
+                count: pruned,
+            });
+        }
         CstObject::new(self.free().to_vec(), ds)
     }
 

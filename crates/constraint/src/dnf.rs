@@ -69,6 +69,10 @@ impl Dnf {
 
     /// Logical conjunction (distributes: `|self|·|other|` disjuncts).
     pub fn and(&self, other: &Dnf) -> Dnf {
+        lyric_engine::trace_event(|| lyric_engine::EventKind::DnfProduct {
+            left: self.disjuncts.len(),
+            right: other.disjuncts.len(),
+        });
         let mut out = Vec::with_capacity(self.disjuncts.len() * other.disjuncts.len());
         for a in &self.disjuncts {
             for b in &other.disjuncts {

@@ -31,6 +31,11 @@ impl Conjunction {
     /// projection of a punctured polyhedron is not in general a single
     /// conjunction. (DNF-level elimination case-splits instead.)
     pub fn eliminate(&self, v: &Var) -> Result<Conjunction, ConstraintError> {
+        let _span = lyric_engine::span(
+            lyric_engine::SpanKind::FmEliminate,
+            || v.name().to_string(),
+            None,
+        );
         lyric_engine::tally(|s| s.eliminations += 1);
         // Equality substitution first: an equality `c·v + e = 0` gives
         // `v = -e/c`, valid for every other atom including disequations.

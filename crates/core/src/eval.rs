@@ -19,6 +19,7 @@ use crate::parser::parse_query;
 use crate::scope::{ScopeKey, ScopeLink};
 use lyric_arith::Rational;
 use lyric_constraint::{CstObject, Extremum, Var};
+use lyric_engine::{span, SpanKind};
 use lyric_oodb::{AttrDef, AttrTarget, ClassDef, Database, Oid, Value};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
@@ -115,6 +116,7 @@ pub fn execute_parsed_unchecked(db: &mut Database, q: &Query) -> Result<QueryRes
 /// reject the query on any error-severity diagnostic, *before* the
 /// evaluator — and before any engine budget — is touched.
 fn check(db: &Database, q: &Query) -> Result<(), LyricError> {
+    let _span = lyric_engine::span(SpanKind::Analyze, String::new, None);
     let diags: Vec<_> =
         crate::analyze::analyze(db.schema(), q, &crate::analyze::AnalyzerOptions::default())
             .into_iter()
@@ -124,6 +126,36 @@ fn check(db: &Database, q: &Query) -> Result<(), LyricError> {
         Ok(())
     } else {
         Err(LyricError::Analysis(diags))
+    }
+}
+
+/// Parse and execute a statement under a span collector: evaluation runs
+/// inside [`lyric_engine::run_traced`], so every instrumented phase (lex,
+/// parse, analyze, FROM binding, WHERE predicates, SELECT items, LP
+/// solves, FM eliminations) records a span, and the sealed
+/// [`Trace`](lyric_engine::trace::Trace) is returned alongside the result.
+/// The trace's aggregate stats equal [`QueryResult::stats`] exactly — the
+/// per-span deltas partition the query's total work.
+///
+/// The context is installed *before* parsing (unlike [`execute`], whose
+/// parse runs outside any context), so front-end time is attributed too.
+pub fn execute_traced(
+    db: &mut Database,
+    src: &str,
+    budget: lyric_engine::EngineBudget,
+) -> Result<(QueryResult, lyric_engine::trace::Trace), LyricError> {
+    let label = src.trim().to_string();
+    let outcome = lyric_engine::run_traced(budget, true, label, src.len(), || {
+        let q = parse_query(src)?;
+        check(db, &q)?;
+        execute_in_context(db, &q)
+    });
+    match outcome {
+        Ok((inner, stats, trace)) => inner.map(|mut res| {
+            res.stats = stats;
+            (res, trace)
+        }),
+        Err(exceeded) => Err(exceeded.into()),
     }
 }
 
@@ -176,6 +208,11 @@ fn execute_in_context(db: &mut Database, q: &Query) -> Result<QueryResult, Lyric
 }
 
 fn execute_view(db: &mut Database, v: &ViewQuery) -> Result<QueryResult, LyricError> {
+    let _span = span(
+        SpanKind::ViewMaterialize,
+        || v.name.clone(),
+        v.name_span.byte_range(),
+    );
     let grouped = v.select.from.iter().any(|f| f.var == v.name);
     let (columns, rows) = {
         let ctx = Ctx::new(db, &v.select, Some(&v.name));
@@ -628,18 +665,21 @@ fn eval_cond(ctx: &Ctx<'_>, cond: &Cond, binding: &Binding) -> Result<Vec<Bindin
             }
         }
         Cond::PathPred(p) => {
+            let _span = span(SpanKind::PathPred, || display_path(p), p.span.byte_range());
             let hits = eval_path(ctx, p, binding)?;
             Ok(dedup_bindings(
                 hits.into_iter().map(|h| h.binding).collect(),
             ))
         }
         Cond::Compare { lhs, op, rhs } => {
+            let _span = span(SpanKind::Compare, String::new, cond.span().byte_range());
             let l = operand_values(ctx, lhs, binding)?;
             let r = operand_values(ctx, rhs, binding)?;
             let holds = compare_sets(&l, *op, &r)?;
             Ok(if holds { vec![binding.clone()] } else { vec![] })
         }
         Cond::Sat(f) => {
+            let _span = span(SpanKind::SatCheck, String::new, f.span().byte_range());
             let obj = instantiate(ctx, f, binding)?;
             Ok(if obj.satisfiable() {
                 vec![binding.clone()]
@@ -648,6 +688,7 @@ fn eval_cond(ctx: &Ctx<'_>, cond: &Cond, binding: &Binding) -> Result<Vec<Bindin
             })
         }
         Cond::Entails(f1, f2) => {
+            let _span = span(SpanKind::EntailCheck, String::new, cond.span().byte_range());
             let holds = entails(ctx, f1, f2, binding)?;
             Ok(if holds { vec![binding.clone()] } else { vec![] })
         }
@@ -733,6 +774,11 @@ fn eval_select(ctx: &Ctx<'_>, q: &SelectQuery) -> Result<(Vec<String>, SelectRow
     }
     let mut bindings: Vec<Binding> = vec![Binding::default()];
     for f in &q.from {
+        let _span = span(
+            SpanKind::FromBind,
+            || format!("{} {}", f.class, f.var),
+            f.class_span.join(f.var_span).byte_range(),
+        );
         let extent = ctx.db.extent(&f.class);
         let mut next = Vec::with_capacity(bindings.len() * extent.len());
         for b in &bindings {
@@ -746,6 +792,7 @@ fn eval_select(ctx: &Ctx<'_>, q: &SelectQuery) -> Result<(Vec<String>, SelectRow
     }
     // WHERE.
     if let Some(w) = &q.where_clause {
+        let _span = span(SpanKind::Where, String::new, w.span().byte_range());
         let mut filtered = Vec::new();
         for b in bindings {
             filtered.extend(eval_cond(ctx, w, &b)?);
@@ -762,7 +809,12 @@ fn eval_select(ctx: &Ctx<'_>, q: &SelectQuery) -> Result<(Vec<String>, SelectRow
     let mut rows: SelectRows = Vec::new();
     for b in bindings {
         let mut per_item: Vec<Vec<Oid>> = Vec::with_capacity(q.items.len());
-        for item in &q.items {
+        for (i, item) in q.items.iter().enumerate() {
+            let _span = span(
+                SpanKind::SelectItem,
+                || column_name(i, item),
+                item.span.byte_range(),
+            );
             per_item.push(eval_item(ctx, item, &b)?);
         }
         if per_item.iter().any(|v| v.is_empty()) {
@@ -840,9 +892,19 @@ fn eval_item(ctx: &Ctx<'_>, item: &SelectItem, b: &Binding) -> Result<Vec<Oid>, 
                     missing[0]
                 )));
             }
-            let extremum = match kind {
-                OptKind::Max | OptKind::MaxPoint => obj.maximize(&goal),
-                OptKind::Min | OptKind::MinPoint => obj.minimize(&goal),
+            let extremum = {
+                let _span = span(
+                    SpanKind::Optimize,
+                    || match kind {
+                        OptKind::Max | OptKind::MaxPoint => "max".to_string(),
+                        OptKind::Min | OptKind::MinPoint => "min".to_string(),
+                    },
+                    objective.span().join(formula.span()).byte_range(),
+                );
+                match kind {
+                    OptKind::Max | OptKind::MaxPoint => obj.maximize(&goal),
+                    OptKind::Min | OptKind::MinPoint => obj.minimize(&goal),
+                }
             };
             match extremum {
                 Extremum::Infeasible => Err(LyricError::EmptyOptimization),

@@ -28,6 +28,11 @@ pub(crate) fn instantiate(
     f: &Formula,
     binding: &Binding,
 ) -> Result<CstObject, LyricError> {
+    let _span = lyric_engine::span(
+        lyric_engine::SpanKind::Instantiate,
+        String::new,
+        f.span().byte_range(),
+    );
     let mut preds: Vec<ResolvedPred> = Vec::new();
     let mut links: Vec<ScopeLink> = binding.links.clone();
     let (proj, body) = match f {

@@ -60,8 +60,8 @@ pub use analyze::{analyze, analyze_src, AnalyzerOptions};
 pub use diag::{Diagnostic, Severity};
 pub use error::{LexError, LyricError, ParseError};
 pub use eval::{
-    execute, execute_parsed, execute_parsed_unchecked, execute_unchecked, execute_with_budget,
-    QueryResult,
+    execute, execute_parsed, execute_parsed_unchecked, execute_traced, execute_unchecked,
+    execute_with_budget, QueryResult,
 };
 pub use lexer::{lex, lex_spanned};
 pub use parser::{parse_formula, parse_query};
@@ -76,3 +76,7 @@ pub use lyric_oodb as oodb;
 // a direct lyric-engine dependency.
 pub use lyric_engine as engine;
 pub use lyric_engine::{EngineBudget, EngineStats};
+
+// Re-export the tracing surface (span trees, renderers, exporters) for
+// consumers of [`execute_traced`].
+pub use lyric_engine::trace;

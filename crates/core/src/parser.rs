@@ -18,7 +18,12 @@ use crate::token::Token;
 
 /// Parse a complete LyriC statement.
 pub fn parse_query(src: &str) -> Result<Query, LyricError> {
-    let (toks, spans) = lex_spanned(src)?;
+    let source = Some((0, src.len()));
+    let (toks, spans) = {
+        let _span = lyric_engine::span(lyric_engine::SpanKind::Lex, String::new, source);
+        lex_spanned(src)?
+    };
+    let _span = lyric_engine::span(lyric_engine::SpanKind::Parse, String::new, source);
     let mut p = Parser {
         toks,
         spans,

@@ -35,6 +35,12 @@ impl Span {
         self.start == 0 && self.end == 0
     }
 
+    /// The range as a `(start, end)` tuple for trace attribution; `None`
+    /// for the dummy span (synthesized nodes have no source position).
+    pub fn byte_range(self) -> Option<(usize, usize)> {
+        (!self.is_dummy()).then_some((self.start, self.end))
+    }
+
     /// Smallest span covering both `self` and `other`; dummy spans are
     /// treated as absent rather than as position zero.
     pub fn join(self, other: Span) -> Span {

@@ -28,12 +28,28 @@
 //! signatures — exactly the "degrade gracefully instead of hanging"
 //! contract from the roadmap.
 
+//!
+//! # Tracing
+//!
+//! [`run_traced`] installs the same context with a [`trace::Collector`]
+//! attached: cost sites additionally open hierarchical spans via [`span`]
+//! and attach structured events via [`trace_event`], and the collector
+//! seals the per-query span tree ([`trace::Trace`]) at the boundary. With
+//! a plain [`run_with`] context (or none), every tracing hook is a no-op
+//! that allocates nothing and never invokes its label/event closures —
+//! tracing is strictly opt-in per query.
+
 #![warn(missing_docs)]
 
 use std::cell::RefCell;
 use std::fmt;
 use std::panic::{catch_unwind, panic_any, resume_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
+
+/// The trace data model and sinks (re-exported so dependents need no
+/// direct `lyric-trace` dependency).
+pub use lyric_trace as trace;
+pub use lyric_trace::{EventKind, SpanKind};
 
 /// The budgetable resources of the constraint pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -158,80 +174,21 @@ impl EngineBudget {
     }
 }
 
-/// Monotonic work counters for one engine context. All counters are
-/// cumulative over the context's lifetime; [`snapshot`] reads them out
-/// mid-run.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct EngineStats {
-    /// Simplex pivot steps performed.
-    pub pivots: u64,
-    /// Number of simplex solves (phase-1/phase-2 runs counted once each).
-    pub lp_runs: u64,
-    /// Variables eliminated by Fourier–Motzkin / equality substitution.
-    pub eliminations: u64,
-    /// Atoms produced by FM elimination products.
-    pub fm_atoms: u64,
-    /// Disjuncts produced by DNF `and`/`negate` products.
-    pub disjuncts_produced: u64,
-    /// Disjuncts discarded as unsatisfiable or subsumed by simplification.
-    pub disjuncts_pruned: u64,
-    /// Conjunction satisfiability checks requested.
-    pub sat_checks: u64,
-    /// Entailment (`implies_atom`) checks requested.
-    pub entailment_checks: u64,
-    /// Memo-cache hits across the sat/entailment caches.
-    pub cache_hits: u64,
-    /// Memo-cache misses (an actual solve was performed and stored).
-    pub cache_misses: u64,
-}
+/// Monotonic work counters for one engine context (defined in
+/// [`lyric_trace::stats`] so trace spans can carry typed deltas; see that
+/// module for the counter list). [`snapshot`] reads them out mid-run.
+pub use lyric_trace::EngineStats;
 
-impl EngineStats {
-    /// Cache hit rate in `[0, 1]`, or `None` when no cacheable check ran.
-    pub fn cache_hit_rate(&self) -> Option<f64> {
-        let total = self.cache_hits + self.cache_misses;
-        (total > 0).then(|| self.cache_hits as f64 / total as f64)
-    }
-
-    /// Merge counters from another snapshot (used when aggregating
-    /// per-query stats into a report).
-    pub fn absorb(&mut self, other: &EngineStats) {
-        self.pivots += other.pivots;
-        self.lp_runs += other.lp_runs;
-        self.eliminations += other.eliminations;
-        self.fm_atoms += other.fm_atoms;
-        self.disjuncts_produced += other.disjuncts_produced;
-        self.disjuncts_pruned += other.disjuncts_pruned;
-        self.sat_checks += other.sat_checks;
-        self.entailment_checks += other.entailment_checks;
-        self.cache_hits += other.cache_hits;
-        self.cache_misses += other.cache_misses;
-    }
-}
-
-impl fmt::Display for EngineStats {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "pivots={} lp_runs={} eliminations={} fm_atoms={} \
-             disjuncts={}(+{} pruned) sat_checks={} entailment_checks={} \
-             cache={}/{} hits",
-            self.pivots,
-            self.lp_runs,
-            self.eliminations,
-            self.fm_atoms,
-            self.disjuncts_produced,
-            self.disjuncts_pruned,
-            self.sat_checks,
-            self.entailment_checks,
-            self.cache_hits,
-            self.cache_hits + self.cache_misses,
-        )
-    }
-}
-
-/// How often the deadline clock is consulted, in `note` calls. Reading
+/// How often the deadline clock is consulted, in [`note`] calls. Reading
 /// `Instant::now()` on every counted atom would dominate small solves.
-const DEADLINE_STRIDE: u64 = 64;
+///
+/// The trade-off is *overshoot*: after the configured
+/// [`EngineBudget::deadline`] passes, evaluation keeps running until the
+/// next clock consultation, i.e. for at most `DEADLINE_STRIDE − 1` further
+/// counted notes (plus whatever uncounted work sits between them). A
+/// `Resource::Time` abort is therefore guaranteed within one stride of the
+/// first note after the deadline — the engine tests pin exactly that.
+pub const DEADLINE_STRIDE: u64 = 64;
 
 struct ActiveContext {
     budget: EngineBudget,
@@ -239,6 +196,10 @@ struct ActiveContext {
     started: Instant,
     notes_since_clock: u64,
     cache_enabled: bool,
+    /// Span/event collector; `Some` only under [`run_traced`].
+    tracer: Option<trace::Collector>,
+    /// How many deadline thresholds (50%, 90%) have been announced.
+    time_thresholds_emitted: usize,
 }
 
 thread_local! {
@@ -286,6 +247,9 @@ pub fn generation() -> u64 {
     GENERATION.with(|g| *g.borrow())
 }
 
+/// The budget-consumption thresholds announced as trace events, percent.
+const BUDGET_THRESHOLDS: [u64; 2] = [50, 90];
+
 /// Count `n` units of `r`, aborting the enclosing [`run_with`] when a
 /// budget limit is crossed. A no-op without an active context.
 pub fn note_many(r: Resource, n: u64) {
@@ -308,6 +272,22 @@ pub fn note_many(r: Resource, n: u64) {
             Resource::Time => 0,
         };
         if let Some(limit) = active.budget.limit_for(r) {
+            // Counters are monotonic, so each percent line is crossed by
+            // exactly one note; announce crossings to the tracer.
+            if let Some(tracer) = active.tracer.as_mut() {
+                for pct in BUDGET_THRESHOLDS {
+                    let before = (counter - n) as u128 * 100;
+                    let line = limit as u128 * pct as u128;
+                    if before <= line && (counter as u128 * 100) > line {
+                        tracer.event(EventKind::BudgetThreshold {
+                            resource: r.name(),
+                            percent: pct as u8,
+                            consumed: counter,
+                            limit,
+                        });
+                    }
+                }
+            }
             if counter > limit {
                 return Some(BudgetExceeded {
                     resource: r,
@@ -322,6 +302,25 @@ pub fn note_many(r: Resource, n: u64) {
             active.notes_since_clock = 0;
             if let Some(deadline) = active.budget.deadline {
                 let elapsed = active.started.elapsed();
+                if !deadline.is_zero() {
+                    if let Some(tracer) = active.tracer.as_mut() {
+                        let pct_elapsed =
+                            (elapsed.as_nanos().saturating_mul(100) / deadline.as_nanos()) as u64;
+                        while let Some(&pct) = BUDGET_THRESHOLDS.get(active.time_thresholds_emitted)
+                        {
+                            if pct_elapsed <= pct {
+                                break;
+                            }
+                            active.time_thresholds_emitted += 1;
+                            tracer.event(EventKind::BudgetThreshold {
+                                resource: Resource::Time.name(),
+                                percent: pct as u8,
+                                consumed: elapsed.as_millis() as u64,
+                                limit: deadline.as_millis() as u64,
+                            });
+                        }
+                    }
+                }
                 if elapsed > deadline {
                     return Some(BudgetExceeded {
                         resource: Resource::Time,
@@ -352,13 +351,23 @@ pub fn tally(f: impl FnOnce(&mut EngineStats)) {
     });
 }
 
-/// Record a memo-cache probe outcome.
+/// Record a memo-cache probe outcome (and, when tracing, attach a
+/// cache-hit/miss event to the enclosing span).
 pub fn note_cache(hit: bool) {
-    tally(|s| {
-        if hit {
-            s.cache_hits += 1;
-        } else {
-            s.cache_misses += 1;
+    CONTEXT.with(|c| {
+        if let Some(active) = c.borrow_mut().as_mut() {
+            if hit {
+                active.stats.cache_hits += 1;
+            } else {
+                active.stats.cache_misses += 1;
+            }
+            if let Some(t) = active.tracer.as_mut() {
+                t.event(if hit {
+                    EventKind::CacheHit
+                } else {
+                    EventKind::CacheMiss
+                });
+            }
         }
     });
 }
@@ -366,6 +375,75 @@ pub fn note_cache(hit: bool) {
 /// Read the current context's counters, or `None` outside a context.
 pub fn snapshot() -> Option<EngineStats> {
     CONTEXT.with(|c| c.borrow().as_ref().map(|a| a.stats))
+}
+
+// ---------------------------------------------------------------- tracing
+
+/// True when the active context is collecting a trace. Instrumentation
+/// sites may use this to skip building expensive labels, though [`span`]
+/// and [`trace_event`] already defer closure evaluation behind the check.
+pub fn tracing() -> bool {
+    CONTEXT.with(|c| c.borrow().as_ref().is_some_and(|a| a.tracer.is_some()))
+}
+
+/// Closes its span when dropped. Returned by [`span`]; inert (and
+/// allocation-free) when tracing is off.
+#[must_use = "the span closes when this guard drops"]
+pub struct SpanGuard {
+    active: bool,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        CONTEXT.with(|c| {
+            if let Some(active) = c.borrow_mut().as_mut() {
+                let stats = active.stats;
+                if let Some(t) = active.tracer.as_mut() {
+                    t.exit(stats);
+                }
+            }
+        });
+    }
+}
+
+/// Open a trace span for the current scope: the span covers the lifetime
+/// of the returned guard (drop order closes it even when a budget abort
+/// unwinds through). `label` is only invoked — and nothing is allocated —
+/// when the active context is tracing; `source` is the byte range of the
+/// source fragment the span evaluates, when known.
+pub fn span(
+    kind: SpanKind,
+    label: impl FnOnce() -> String,
+    source: Option<(usize, usize)>,
+) -> SpanGuard {
+    CONTEXT.with(|c| {
+        let mut borrow = c.borrow_mut();
+        let Some(active) = borrow.as_mut() else {
+            return SpanGuard { active: false };
+        };
+        if active.tracer.is_none() {
+            return SpanGuard { active: false };
+        }
+        let stats = active.stats;
+        let tracer = active.tracer.as_mut().expect("checked above");
+        tracer.enter(kind, label(), source, stats);
+        SpanGuard { active: true }
+    })
+}
+
+/// Attach a structured event to the innermost open span. `event` is only
+/// invoked when the active context is tracing.
+pub fn trace_event(event: impl FnOnce() -> EventKind) {
+    CONTEXT.with(|c| {
+        if let Some(active) = c.borrow_mut().as_mut() {
+            if let Some(t) = active.tracer.as_mut() {
+                t.event(event());
+            }
+        }
+    });
 }
 
 /// Install `budget` for the duration of `f`, returning `f`'s value and
@@ -378,6 +456,34 @@ pub fn run_with<T>(
     cache: bool,
     f: impl FnOnce() -> T,
 ) -> Result<(T, EngineStats), BudgetExceeded> {
+    run_inner(budget, cache, None, f).map(|(value, stats, _)| (value, stats))
+}
+
+/// [`run_with`] with a span/event collector attached: cost sites record a
+/// hierarchical [`trace::Trace`] via [`span`] and [`trace_event`], sealed
+/// and returned alongside the stats. `label` names the root span (the
+/// query text, typically) and `source_len` is the source's byte length.
+///
+/// On a budget abort the partial trace is discarded with the context —
+/// the caller gets the same `Err(BudgetExceeded)` as [`run_with`].
+pub fn run_traced<T>(
+    budget: EngineBudget,
+    cache: bool,
+    label: impl Into<String>,
+    source_len: usize,
+    f: impl FnOnce() -> T,
+) -> Result<(T, EngineStats, trace::Trace), BudgetExceeded> {
+    let collector = trace::Collector::new(label, source_len);
+    run_inner(budget, cache, Some(collector), f)
+        .map(|(value, stats, trace)| (value, stats, trace.expect("collector was installed")))
+}
+
+fn run_inner<T>(
+    budget: EngineBudget,
+    cache: bool,
+    tracer: Option<trace::Collector>,
+    f: impl FnOnce() -> T,
+) -> Result<(T, EngineStats, Option<trace::Trace>), BudgetExceeded> {
     silence_budget_unwinds();
     CONTEXT.with(|c| {
         let mut borrow = c.borrow_mut();
@@ -391,18 +497,21 @@ pub fn run_with<T>(
             started: Instant::now(),
             notes_since_clock: 0,
             cache_enabled: cache,
+            tracer,
+            time_thresholds_emitted: 0,
         });
     });
     GENERATION.with(|g| *g.borrow_mut() += 1);
 
     let outcome = catch_unwind(AssertUnwindSafe(f));
-    let stats = CONTEXT
+    let context = CONTEXT
         .with(|c| c.borrow_mut().take())
-        .expect("context still installed")
-        .stats;
+        .expect("context still installed");
+    let stats = context.stats;
+    let trace = context.tracer.map(|t| t.finish(stats));
 
     match outcome {
-        Ok(value) => Ok((value, stats)),
+        Ok(value) => Ok((value, stats, trace)),
         Err(payload) => match payload.downcast::<BudgetUnwind>() {
             Ok(unwound) => Err(unwound.0),
             Err(other) => resume_unwind(other),
@@ -488,5 +597,104 @@ mod tests {
         let _ = run_with(EngineBudget::unlimited(), true, || {});
         let _ = run_with(EngineBudget::unlimited(), true, || {});
         assert_eq!(generation(), before + 2);
+    }
+
+    /// Pins the overshoot contract documented on [`DEADLINE_STRIDE`]: with
+    /// an already-expired deadline, the abort lands on the first clock
+    /// consultation — within one stride of the first note.
+    #[test]
+    fn deadline_trips_within_one_stride() {
+        use std::cell::Cell;
+        let noted = Cell::new(0u64);
+        let err = run_with(
+            EngineBudget::unlimited().with_deadline(Duration::ZERO),
+            false,
+            || loop {
+                noted.set(noted.get() + 1);
+                note(Resource::Pivots);
+            },
+        )
+        .expect_err("expired deadline must trip");
+        assert_eq!(err.resource, Resource::Time);
+        assert!(
+            noted.get() <= DEADLINE_STRIDE,
+            "aborted only after {} notes; stride is {DEADLINE_STRIDE}",
+            noted.get()
+        );
+    }
+
+    #[test]
+    fn traced_run_records_spans_events_and_thresholds() {
+        let ((), stats, trace) = run_traced(
+            EngineBudget::unlimited().with_max_pivots(1_000),
+            true,
+            "test query",
+            10,
+            || {
+                let _w = span(SpanKind::Where, || "w".into(), Some((2, 8)));
+                note_many(Resource::Pivots, 600); // crosses the 50% line
+                note_many(Resource::Pivots, 350); // crosses the 90% line
+                note_cache(true);
+            },
+        )
+        .expect("within budget");
+        assert_eq!(stats.pivots, 950);
+        assert_eq!(*trace.total_stats(), stats);
+        assert_eq!(trace.summed_self_stats(), stats);
+        assert_eq!(trace.root.children.len(), 1);
+        let w = &trace.root.children[0];
+        assert_eq!(w.source, Some((2, 8)));
+        let crossings: Vec<u8> = w
+            .events
+            .iter()
+            .filter_map(|e| match e.kind {
+                EventKind::BudgetThreshold { percent, .. } => Some(percent),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(crossings, vec![50, 90]);
+        assert!(w
+            .events
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::CacheHit)));
+    }
+
+    #[test]
+    fn span_guard_closes_during_budget_unwind() {
+        // A budget abort unwinds through open SpanGuards; Drop must close
+        // them so the sealed trace stays well-formed for run_with callers
+        // (run_traced discards the trace on Err, but the collector still
+        // sees balanced enter/exit).
+        let err = run_traced(
+            EngineBudget::unlimited().with_max_pivots(5),
+            false,
+            "q",
+            1,
+            || {
+                let _g = span(SpanKind::LpSolve, || "solve".into(), None);
+                note_many(Resource::Pivots, 50);
+            },
+        )
+        .expect_err("limit of 5 must trip");
+        assert_eq!(err.resource, Resource::Pivots);
+        assert!(!is_active());
+    }
+
+    #[test]
+    fn span_and_event_are_inert_without_tracing() {
+        let ((), stats) = run_with(EngineBudget::unlimited(), false, || {
+            let _g = span(
+                SpanKind::Where,
+                || unreachable!("label closure must not run when tracing is off"),
+                None,
+            );
+            trace_event(|| unreachable!("event closure must not run when tracing is off"));
+            assert!(!tracing());
+        })
+        .expect("unlimited budget");
+        assert!(stats.is_zero());
+        // And outside any context at all.
+        let _g = span(SpanKind::Where, || unreachable!(), None);
+        trace_event(|| unreachable!());
     }
 }

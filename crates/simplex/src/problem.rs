@@ -163,6 +163,11 @@ impl LpProblem {
 
     /// A feasible point in ε-extended coordinates, if one exists.
     pub fn find_point(&self) -> Option<Vec<EpsRational>> {
+        let _span = lyric_engine::span(
+            lyric_engine::SpanKind::LpSolve,
+            || format!("feasibility ({} constraints)", self.constraints.len()),
+            None,
+        );
         lyric_engine::tally(|s| s.lp_runs += 1);
         let mut t = Tableau::build(self);
         if !t.phase1() {
@@ -189,6 +194,17 @@ impl LpProblem {
     }
 
     fn optimize(&self, objective: &[Rational], maximize: bool) -> LpOutcome {
+        let _span = lyric_engine::span(
+            lyric_engine::SpanKind::LpSolve,
+            || {
+                format!(
+                    "{} ({} constraints)",
+                    if maximize { "maximize" } else { "minimize" },
+                    self.constraints.len()
+                )
+            },
+            None,
+        );
         lyric_engine::tally(|s| s.lp_runs += 1);
         assert_eq!(
             objective.len(),

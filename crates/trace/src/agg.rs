@@ -1,0 +1,117 @@
+//! The aggregation sink: fold one or more traces into per-site totals.
+//!
+//! A "site" is a `(kind, label, source range)` triple — e.g. *every*
+//! `sat_check` of the same WHERE predicate across all bindings groups into
+//! one row. The bench `report` binary's `e10` hot-span table is built on
+//! this, and the REPL's `:profile` prints the top rows for queries whose
+//! full tree would scroll.
+
+use crate::model::{SpanKind, Trace, TraceSpan};
+use crate::stats::EngineStats;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// Aggregated totals for one span site across one or more traces.
+#[derive(Debug, Clone)]
+pub struct HotSpan {
+    /// The site's span kind.
+    pub kind: SpanKind,
+    /// The site's label.
+    pub label: String,
+    /// The site's source byte range, when attributed.
+    pub source: Option<(usize, usize)>,
+    /// How many spans folded into this row.
+    pub count: u64,
+    /// Summed inclusive wall-clock.
+    pub total: Duration,
+    /// Summed exclusive (self) wall-clock — the hot-path metric.
+    pub self_time: Duration,
+    /// Summed exclusive counter deltas.
+    pub stats: EngineStats,
+}
+
+impl HotSpan {
+    /// This site's share of `total_duration`, in percent, by self time.
+    pub fn percent_of(&self, total_duration: Duration) -> f64 {
+        if total_duration.is_zero() {
+            return 0.0;
+        }
+        100.0 * self.self_time.as_secs_f64() / total_duration.as_secs_f64()
+    }
+}
+
+/// Group every span of every trace by `(kind, label, source)` and sum
+/// counts, durations, and counter deltas. Rows are sorted by descending
+/// self time — the first row is the hot path.
+pub fn hot_spans<'a>(traces: impl IntoIterator<Item = &'a Trace>) -> Vec<HotSpan> {
+    type Key = (SpanKind, String, Option<(usize, usize)>);
+    let mut groups: BTreeMap<Key, HotSpan> = BTreeMap::new();
+    for trace in traces {
+        trace.root.walk(&mut |span: &TraceSpan, _| {
+            let key = (span.kind, span.label.clone(), span.source);
+            let row = groups.entry(key).or_insert_with(|| HotSpan {
+                kind: span.kind,
+                label: span.label.clone(),
+                source: span.source,
+                count: 0,
+                total: Duration::ZERO,
+                self_time: Duration::ZERO,
+                stats: EngineStats::default(),
+            });
+            row.count += 1;
+            row.total += span.duration;
+            row.self_time += span.self_time();
+            row.stats.absorb(&span.self_stats());
+        });
+    }
+    let mut rows: Vec<HotSpan> = groups.into_values().collect();
+    rows.sort_by(|a, b| b.self_time.cmp(&a.self_time).then(a.label.cmp(&b.label)));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::Collector;
+    use crate::model::SpanKind;
+
+    fn stats(pivots: u64) -> EngineStats {
+        EngineStats {
+            pivots,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn groups_by_site_and_sums() {
+        let mut c = Collector::new("q", 0);
+        for i in 0..3u64 {
+            c.enter(
+                SpanKind::SatCheck,
+                "sat".into(),
+                Some((4, 9)),
+                stats(i * 10),
+            );
+            c.exit(stats(i * 10 + 7));
+        }
+        c.enter(SpanKind::SatCheck, "sat".into(), Some((12, 20)), stats(27));
+        c.exit(stats(30));
+        let t = c.finish(stats(30));
+
+        let rows = hot_spans([&t]);
+        // Root + two sat sites (4..9 grouped over 3 bindings, 12..20 once).
+        assert_eq!(rows.len(), 3);
+        let grouped = rows
+            .iter()
+            .find(|r| r.source == Some((4, 9)))
+            .expect("grouped site");
+        assert_eq!(grouped.count, 3);
+        assert_eq!(grouped.stats.pivots, 21);
+        let single = rows.iter().find(|r| r.source == Some((12, 20))).unwrap();
+        assert_eq!(single.count, 1);
+        assert_eq!(single.stats.pivots, 3);
+        // Self stats across all rows sum to the aggregate.
+        let summed: u64 = rows.iter().map(|r| r.stats.pivots).sum();
+        assert_eq!(summed, 30);
+    }
+}

@@ -1,0 +1,35 @@
+//! CI smoke validator for exported Chrome trace-event files.
+//!
+//! ```sh
+//! cargo run -p lyric-trace --bin validate_trace -- trace.json
+//! ```
+//!
+//! Exits 0 when the file is a structurally valid Chrome trace (parses as
+//! JSON, non-empty `traceEvents`, every event carries the required
+//! fields); exits 1 with a diagnostic otherwise.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: validate_trace <trace.json>");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("validate_trace: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match lyric_trace::chrome::validate_chrome_trace(&text) {
+        Ok(n) => {
+            println!("{path}: valid chrome trace with {n} events");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("validate_trace: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! The Chrome trace-event sink.
+//!
+//! Serializes a [`Trace`] as the Trace Event Format's JSON object form
+//! (`{"traceEvents": [...]}`): one complete (`"ph": "X"`) event per span
+//! with microsecond `ts`/`dur`, and one instant (`"ph": "i"`) event per
+//! structured [`TraceEvent`]. The output loads in `chrome://tracing` and
+//! in Perfetto's legacy-trace importer. Spans carry their source byte
+//! range and nonzero self counter deltas in `args`, so the counters are
+//! inspectable from the flame view.
+
+use crate::json::Json;
+use crate::model::{Trace, TraceSpan};
+use std::time::Duration;
+
+fn us(d: Duration) -> Json {
+    Json::Num(d.as_secs_f64() * 1e6)
+}
+
+fn span_event(span: &TraceSpan) -> Json {
+    let name = if span.label.is_empty() {
+        span.kind.name().to_string()
+    } else {
+        format!("{} {}", span.kind.name(), span.label)
+    };
+    let mut args: Vec<(String, Json)> = Vec::new();
+    if let Some((a, b)) = span.source {
+        args.push(("src_start".into(), Json::int(a as u64)));
+        args.push(("src_end".into(), Json::int(b as u64)));
+    }
+    for (counter, value) in span.self_stats().nonzero_counters() {
+        args.push((counter.to_string(), Json::int(value)));
+    }
+    Json::obj([
+        ("name", Json::str(name)),
+        ("cat", Json::str(span.kind.name())),
+        ("ph", Json::str("X")),
+        ("ts", us(span.start)),
+        ("dur", us(span.duration)),
+        ("pid", Json::int(1)),
+        ("tid", Json::int(1)),
+        ("args", Json::Obj(args)),
+    ])
+}
+
+/// Serialize the trace to a Chrome trace-event JSON document.
+pub fn to_chrome_trace(trace: &Trace) -> String {
+    let mut events: Vec<Json> = Vec::with_capacity(trace.span_count());
+    trace.root.walk(&mut |span, _| {
+        events.push(span_event(span));
+        for e in &span.events {
+            events.push(Json::obj([
+                ("name", Json::str(e.kind.label())),
+                ("ph", Json::str("i")),
+                ("ts", us(e.at)),
+                ("s", Json::str("t")),
+                ("pid", Json::int(1)),
+                ("tid", Json::int(1)),
+            ]));
+        }
+    });
+    Json::obj([
+        ("traceEvents", Json::Arr(events)),
+        ("displayTimeUnit", Json::str("ms")),
+    ])
+    .to_string()
+}
+
+/// Structural validation of a Chrome trace-event document, shared by the
+/// test suite and the `validate_trace` CI smoke binary: the document must
+/// parse, expose a non-empty `traceEvents` array, and every event must
+/// carry `name`/`ph`/`ts`/`pid`/`tid`, with complete (`"X"`) events also
+/// carrying a `dur`. Returns the number of events on success.
+pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
+    let doc = crate::json::parse(text).map_err(|e| e.to_string())?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(Json::as_arr)
+        .ok_or("missing traceEvents array")?;
+    if events.is_empty() {
+        return Err("traceEvents is empty".into());
+    }
+    for (i, e) in events.iter().enumerate() {
+        for key in ["name", "ph", "ts", "pid", "tid"] {
+            if e.get(key).is_none() {
+                return Err(format!("event {i} lacks {key}"));
+            }
+        }
+        let ph = e.get("ph").and_then(Json::as_str).unwrap_or_default();
+        if ph == "X" && e.get("dur").and_then(Json::as_f64).is_none() {
+            return Err(format!("complete event {i} lacks dur"));
+        }
+        if e.get("ts").and_then(Json::as_f64).is_none() {
+            return Err(format!("event {i} has a non-numeric ts"));
+        }
+    }
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::collect::Collector;
+    use crate::model::{EventKind, SpanKind};
+    use crate::stats::EngineStats;
+
+    #[test]
+    fn export_validates_and_nests() {
+        let mut c = Collector::new("q", 4);
+        c.enter(
+            SpanKind::Where,
+            "w".into(),
+            Some((1, 3)),
+            EngineStats::default(),
+        );
+        c.event(EventKind::BudgetThreshold {
+            resource: "simplex pivots",
+            percent: 50,
+            consumed: 51,
+            limit: 100,
+        });
+        let after = EngineStats {
+            pivots: 51,
+            ..Default::default()
+        };
+        c.exit(after);
+        let text = to_chrome_trace(&c.finish(after));
+        // 2 spans + 1 instant event.
+        assert_eq!(validate_chrome_trace(&text), Ok(3));
+        let doc = crate::json::parse(&text).unwrap();
+        let events = doc.get("traceEvents").and_then(Json::as_arr).unwrap();
+        let where_ev = events
+            .iter()
+            .find(|e| e.get("cat").and_then(Json::as_str) == Some("where"))
+            .expect("where span exported");
+        assert_eq!(
+            where_ev
+                .get("args")
+                .and_then(|a| a.get("pivots"))
+                .and_then(Json::as_f64),
+            Some(51.0)
+        );
+        assert_eq!(
+            where_ev
+                .get("args")
+                .and_then(|a| a.get("src_start"))
+                .and_then(Json::as_f64),
+            Some(1.0)
+        );
+        let instant = events
+            .iter()
+            .find(|e| e.get("ph").and_then(Json::as_str) == Some("i"))
+            .expect("instant event exported");
+        assert!(instant
+            .get("name")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("budget 50% crossed"));
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\": []}").is_err());
+        assert!(
+            validate_chrome_trace("{\"traceEvents\": [{\"ph\": \"X\"}]}")
+                .unwrap_err()
+                .contains("lacks"),
+        );
+    }
+}

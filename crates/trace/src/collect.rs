@@ -1,0 +1,233 @@
+//! The span collector: an open-span stack that `lyric-engine` drives.
+//!
+//! The collector does not read the clock semantics or the counters itself;
+//! the engine passes an [`EngineStats`] snapshot at every enter/exit so
+//! the span's inclusive delta is exactly the counters consumed between the
+//! two calls. Wall-clock offsets are measured against a single origin
+//! `Instant`, which makes the nesting invariant (children contained in
+//! their parent's `[start, end]`) exact by construction.
+//!
+//! The collector is bounded: once [`Collector::MAX_SPANS`] spans have been
+//! recorded, further `enter` calls are counted (so `exit`s stay balanced)
+//! but not materialized — their time and counters are absorbed by the
+//! nearest recorded ancestor, keeping the sum invariants intact on
+//! adversarial traces.
+
+use crate::model::{EventKind, SpanKind, Trace, TraceEvent, TraceSpan};
+use crate::stats::EngineStats;
+use std::time::{Duration, Instant};
+
+struct Pending {
+    kind: SpanKind,
+    label: String,
+    source: Option<(usize, usize)>,
+    start: Duration,
+    stats_at_enter: EngineStats,
+    events: Vec<TraceEvent>,
+    children: Vec<TraceSpan>,
+}
+
+/// Accumulates one query's span tree. Created by `lyric_engine::run_traced`
+/// and fed through the engine's span/event hooks.
+pub struct Collector {
+    origin: Instant,
+    /// Open spans, outermost first; index 0 is the root and is only closed
+    /// by [`finish`](Collector::finish).
+    stack: Vec<Pending>,
+    recorded: usize,
+    /// Depth of currently-open spans that were *not* recorded (cap hit).
+    suppressed: usize,
+    dropped: u64,
+}
+
+impl Collector {
+    /// Cap on recorded spans per trace. Generous for interactive queries
+    /// (the paper's §4.1 queries record well under a thousand) while
+    /// bounding memory on pathological binding sets.
+    pub const MAX_SPANS: usize = 65_536;
+
+    /// A fresh collector whose root span (kind [`SpanKind::Query`]) covers
+    /// the whole run. `label` names the query for the sinks.
+    pub fn new(label: impl Into<String>, source_len: usize) -> Collector {
+        Collector {
+            origin: Instant::now(),
+            stack: vec![Pending {
+                kind: SpanKind::Query,
+                label: label.into(),
+                source: Some((0, source_len)),
+                start: Duration::ZERO,
+                stats_at_enter: EngineStats::default(),
+                events: Vec::new(),
+                children: Vec::new(),
+            }],
+            recorded: 1,
+            suppressed: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Open a child span. `stats` is the context's current counter
+    /// snapshot.
+    pub fn enter(
+        &mut self,
+        kind: SpanKind,
+        label: String,
+        source: Option<(usize, usize)>,
+        stats: EngineStats,
+    ) {
+        if self.recorded >= Self::MAX_SPANS {
+            self.suppressed += 1;
+            self.dropped += 1;
+            return;
+        }
+        self.recorded += 1;
+        self.stack.push(Pending {
+            kind,
+            label,
+            source,
+            start: self.origin.elapsed(),
+            stats_at_enter: stats,
+            events: Vec::new(),
+            children: Vec::new(),
+        });
+    }
+
+    /// Close the innermost open span. `stats` is the context's current
+    /// counter snapshot; the span's delta is `stats − stats_at_enter`.
+    pub fn exit(&mut self, stats: EngineStats) {
+        if self.suppressed > 0 {
+            self.suppressed -= 1;
+            return;
+        }
+        if self.stack.len() <= 1 {
+            // Unbalanced exit; the root is only closed by `finish`.
+            return;
+        }
+        let done = self.stack.pop().expect("stack has an open span");
+        let span = TraceSpan {
+            kind: done.kind,
+            label: done.label,
+            source: done.source,
+            start: done.start,
+            duration: self.origin.elapsed().saturating_sub(done.start),
+            stats: stats.delta_since(&done.stats_at_enter),
+            events: done.events,
+            children: done.children,
+        };
+        self.stack
+            .last_mut()
+            .expect("root span remains")
+            .children
+            .push(span);
+    }
+
+    /// Attach an event to the innermost open span.
+    pub fn event(&mut self, kind: EventKind) {
+        let at = self.origin.elapsed();
+        self.stack
+            .last_mut()
+            .expect("root span remains")
+            .events
+            .push(TraceEvent { at, kind });
+    }
+
+    /// Current open-span depth (root included). Exposed for tests.
+    pub fn depth(&self) -> usize {
+        self.stack.len() + self.suppressed
+    }
+
+    /// Close every remaining span (a budget abort can unwind past guards
+    /// whose drops already ran; any genuinely unbalanced remainder is
+    /// closed here) and seal the trace. `stats` is the context's final
+    /// counter state, which becomes the root's inclusive delta.
+    pub fn finish(mut self, stats: EngineStats) -> Trace {
+        self.suppressed = 0;
+        while self.stack.len() > 1 {
+            self.exit(stats);
+        }
+        let root = self.stack.pop().expect("root span");
+        Trace {
+            root: TraceSpan {
+                kind: root.kind,
+                label: root.label,
+                source: root.source,
+                start: Duration::ZERO,
+                duration: self.origin.elapsed(),
+                stats,
+                events: root.events,
+                children: root.children,
+            },
+            dropped_spans: self.dropped,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(pivots: u64) -> EngineStats {
+        EngineStats {
+            pivots,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn nesting_and_deltas() {
+        let mut c = Collector::new("q", 10);
+        c.enter(SpanKind::Parse, "parse".into(), Some((0, 10)), stats(0));
+        c.exit(stats(0));
+        c.enter(SpanKind::Where, "where".into(), None, stats(0));
+        c.enter(SpanKind::SatCheck, "sat".into(), Some((3, 7)), stats(1));
+        c.event(EventKind::CacheMiss);
+        c.exit(stats(5));
+        c.exit(stats(6));
+        let t = c.finish(stats(6));
+
+        assert_eq!(t.root.kind, SpanKind::Query);
+        assert_eq!(t.root.children.len(), 2);
+        let wher = &t.root.children[1];
+        assert_eq!(wher.stats.pivots, 6);
+        let sat = &wher.children[0];
+        assert_eq!(sat.stats.pivots, 4);
+        assert_eq!(sat.events.len(), 1);
+        assert_eq!(wher.self_stats().pivots, 2);
+        assert_eq!(t.summed_self_stats().pivots, 6);
+        assert_eq!(t.span_count(), 4);
+        assert_eq!(t.dropped_spans, 0);
+        // Children nest inside their parents in time.
+        t.root.walk(&mut |s, _| {
+            for ch in &s.children {
+                assert!(ch.start >= s.start);
+                assert!(ch.end() <= s.end());
+            }
+        });
+    }
+
+    #[test]
+    fn unbalanced_spans_are_closed_by_finish() {
+        let mut c = Collector::new("q", 0);
+        c.enter(SpanKind::Where, "w".into(), None, stats(0));
+        c.enter(SpanKind::SatCheck, "s".into(), None, stats(0));
+        let t = c.finish(stats(9));
+        assert_eq!(t.span_count(), 3);
+        assert_eq!(t.total_stats().pivots, 9);
+        assert_eq!(t.summed_self_stats().pivots, 9);
+    }
+
+    #[test]
+    fn cap_suppresses_but_keeps_balance() {
+        let mut c = Collector::new("q", 0);
+        for _ in 0..(Collector::MAX_SPANS + 10) {
+            c.enter(SpanKind::SatCheck, "s".into(), None, stats(0));
+            c.exit(stats(0));
+        }
+        assert_eq!(c.depth(), 1);
+        let t = c.finish(stats(1));
+        assert_eq!(t.dropped_spans, 11);
+        assert_eq!(t.span_count(), Collector::MAX_SPANS);
+        // The suppressed spans' work is still in the root's delta.
+        assert_eq!(t.summed_self_stats().pivots, 1);
+    }
+}

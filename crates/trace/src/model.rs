@@ -1,0 +1,232 @@
+//! The trace data model: span taxonomy, structured events, and the
+//! finished span tree.
+
+use crate::stats::EngineStats;
+use std::time::Duration;
+
+/// The evaluation phase a span measures. One variant per phase of the
+/// pipeline, top (whole query) to bottom (a single simplex run).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SpanKind {
+    /// The whole statement, root of every trace.
+    Query,
+    /// Tokenization of the source text.
+    Lex,
+    /// Parsing the token stream into the AST.
+    Parse,
+    /// The static-analysis admission gate.
+    Analyze,
+    /// Enumerating the extent bindings of one FROM item.
+    FromBind,
+    /// Filtering the binding set through the whole WHERE clause.
+    Where,
+    /// One satisfiability predicate (`(φ)` in WHERE) on one binding.
+    SatCheck,
+    /// One entailment predicate (`φ |= ψ`) on one binding.
+    EntailCheck,
+    /// One comparison predicate (`=`, `<`, `CONTAINS`, …) on one binding.
+    Compare,
+    /// One path predicate (`X.drawer[Y]`) on one binding.
+    PathPred,
+    /// Evaluating one SELECT item on one binding.
+    SelectItem,
+    /// Instantiating a CST formula as a constraint object.
+    Instantiate,
+    /// A `MAX/MIN/MAX_POINT/MIN_POINT … SUBJECT TO` operator.
+    Optimize,
+    /// One simplex run (feasibility or optimization).
+    LpSolve,
+    /// One Fourier–Motzkin / equality-substitution variable elimination.
+    FmEliminate,
+    /// Materializing a `CREATE VIEW` result into the database.
+    ViewMaterialize,
+}
+
+impl SpanKind {
+    /// Stable snake_case name, used by every sink.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::Query => "query",
+            SpanKind::Lex => "lex",
+            SpanKind::Parse => "parse",
+            SpanKind::Analyze => "analyze",
+            SpanKind::FromBind => "from_bind",
+            SpanKind::Where => "where",
+            SpanKind::SatCheck => "sat_check",
+            SpanKind::EntailCheck => "entail_check",
+            SpanKind::Compare => "compare",
+            SpanKind::PathPred => "path_pred",
+            SpanKind::SelectItem => "select_item",
+            SpanKind::Instantiate => "instantiate",
+            SpanKind::Optimize => "optimize",
+            SpanKind::LpSolve => "lp_solve",
+            SpanKind::FmEliminate => "fm_eliminate",
+            SpanKind::ViewMaterialize => "view_materialize",
+        }
+    }
+}
+
+/// A structured event attached to the span that was open when it fired.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind {
+    /// A sat/entailment memo-cache probe answered from the cache.
+    CacheHit,
+    /// A memo-cache probe that fell through to an actual solve.
+    CacheMiss,
+    /// Canonicalization dropped `count` infeasible/duplicate disjuncts.
+    DisjunctsPruned {
+        /// How many disjuncts were discarded.
+        count: u64,
+    },
+    /// A DNF conjunction distributed a `left × right` disjunct product.
+    DnfProduct {
+        /// Disjuncts on the left operand.
+        left: usize,
+        /// Disjuncts on the right operand.
+        right: usize,
+    },
+    /// Consumption of a budgeted resource crossed `percent`% of its limit.
+    BudgetThreshold {
+        /// The resource's display name (`lyric_engine::Resource::name`).
+        resource: &'static str,
+        /// The threshold crossed: 50 or 90.
+        percent: u8,
+        /// Units consumed when the crossing was observed.
+        consumed: u64,
+        /// The configured limit.
+        limit: u64,
+    },
+}
+
+impl EventKind {
+    /// Short label for renderers.
+    pub fn label(&self) -> String {
+        match self {
+            EventKind::CacheHit => "cache hit".into(),
+            EventKind::CacheMiss => "cache miss".into(),
+            EventKind::DisjunctsPruned { count } => format!("{count} disjuncts pruned"),
+            EventKind::DnfProduct { left, right } => format!("dnf product {left}x{right}"),
+            EventKind::BudgetThreshold {
+                resource,
+                percent,
+                consumed,
+                limit,
+            } => format!("budget {percent}% crossed: {resource} {consumed}/{limit}"),
+        }
+    }
+}
+
+/// An event plus when it fired, as an offset from the trace origin.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Offset from the trace origin.
+    pub at: Duration,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// One finished span: a phase of the evaluation with its timing, source
+/// attribution, counter delta, events, and child spans.
+#[derive(Debug, Clone)]
+pub struct TraceSpan {
+    /// The phase this span measures.
+    pub kind: SpanKind,
+    /// Human label (variable/class names, column name, LP direction, …).
+    pub label: String,
+    /// Byte range of the source fragment this span evaluates, when known.
+    pub source: Option<(usize, usize)>,
+    /// Start, as an offset from the trace origin.
+    pub start: Duration,
+    /// Wall-clock duration (inclusive of children).
+    pub duration: Duration,
+    /// [`EngineStats`] delta consumed inside this span, children included.
+    pub stats: EngineStats,
+    /// Events that fired while this span was the innermost open one.
+    pub events: Vec<TraceEvent>,
+    /// Child spans, in execution order.
+    pub children: Vec<TraceSpan>,
+}
+
+impl TraceSpan {
+    /// End offset (`start + duration`).
+    pub fn end(&self) -> Duration {
+        self.start + self.duration
+    }
+
+    /// The *exclusive* counter delta: this span's consumption minus its
+    /// children's. Summing `self_stats` over a whole tree reproduces the
+    /// root's inclusive delta exactly (counters are monotonic and child
+    /// intervals are disjoint sub-intervals of the parent).
+    pub fn self_stats(&self) -> EngineStats {
+        let mut inherited = EngineStats::default();
+        for c in &self.children {
+            inherited.absorb(&c.stats);
+        }
+        self.stats.delta_since(&inherited)
+    }
+
+    /// The *exclusive* wall-clock time: duration minus children durations
+    /// (saturating, for robustness against clock granularity).
+    pub fn self_time(&self) -> Duration {
+        let inherited: Duration = self.children.iter().map(|c| c.duration).sum();
+        self.duration.saturating_sub(inherited)
+    }
+
+    /// Number of spans in this subtree, itself included.
+    pub fn tree_size(&self) -> usize {
+        1 + self
+            .children
+            .iter()
+            .map(TraceSpan::tree_size)
+            .sum::<usize>()
+    }
+
+    /// Visit every span in the subtree, depth-first, with its depth.
+    pub fn walk(&self, f: &mut impl FnMut(&TraceSpan, usize)) {
+        fn go(s: &TraceSpan, depth: usize, f: &mut impl FnMut(&TraceSpan, usize)) {
+            f(s, depth);
+            for c in &s.children {
+                go(c, depth + 1, f);
+            }
+        }
+        go(self, 0, f);
+    }
+}
+
+/// A finished trace: the root [`TraceSpan`] (always [`SpanKind::Query`])
+/// plus collection metadata.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// The root span; its `stats` are the query's aggregate counters and
+    /// its `duration` the whole evaluation wall-clock.
+    pub root: TraceSpan,
+    /// Spans not recorded because the collector's cap was reached. Their
+    /// time and counters are still absorbed by their recorded ancestors.
+    pub dropped_spans: u64,
+}
+
+impl Trace {
+    /// The query's aggregate counters (the root span's inclusive delta).
+    pub fn total_stats(&self) -> &EngineStats {
+        &self.root.stats
+    }
+
+    /// Total evaluation wall-clock.
+    pub fn total_duration(&self) -> Duration {
+        self.root.duration
+    }
+
+    /// Number of recorded spans.
+    pub fn span_count(&self) -> usize {
+        self.root.tree_size()
+    }
+
+    /// Sum of [`TraceSpan::self_stats`] over every recorded span. Always
+    /// equals `total_stats()` — the well-formedness invariant the property
+    /// suite pins.
+    pub fn summed_self_stats(&self) -> EngineStats {
+        let mut acc = EngineStats::default();
+        self.root.walk(&mut |s, _| acc.absorb(&s.self_stats()));
+        acc
+    }
+}

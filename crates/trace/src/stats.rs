@@ -1,0 +1,225 @@
+//! Monotonic work counters for one engine context.
+//!
+//! [`EngineStats`] is defined here (rather than in `lyric-engine`, which
+//! re-exports it) so that trace spans can carry typed counter deltas
+//! without a dependency cycle: `lyric-trace` is the bottom of the
+//! telemetry stack, `lyric-engine` builds the thread-local context on top
+//! of it.
+
+use std::fmt;
+
+/// Monotonic work counters for one engine context. All counters are
+/// cumulative over the context's lifetime; `lyric_engine::snapshot` reads
+/// them out mid-run, and trace spans store start/stop differences
+/// (see [`EngineStats::delta_since`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EngineStats {
+    /// Simplex pivot steps performed.
+    pub pivots: u64,
+    /// Number of simplex solves (phase-1/phase-2 runs counted once each).
+    pub lp_runs: u64,
+    /// Variables eliminated by Fourier–Motzkin / equality substitution.
+    pub eliminations: u64,
+    /// Atoms produced by FM elimination products.
+    pub fm_atoms: u64,
+    /// Disjuncts produced by DNF `and`/`negate` products.
+    pub disjuncts_produced: u64,
+    /// Disjuncts discarded as unsatisfiable or subsumed by simplification.
+    pub disjuncts_pruned: u64,
+    /// Conjunction satisfiability checks requested.
+    pub sat_checks: u64,
+    /// Entailment (`implies_atom`) checks requested.
+    pub entailment_checks: u64,
+    /// Memo-cache hits across the sat/entailment caches.
+    pub cache_hits: u64,
+    /// Memo-cache misses (an actual solve was performed and stored).
+    pub cache_misses: u64,
+}
+
+/// The counter fields of [`EngineStats`], in declaration order, paired
+/// with their snake_case names. Sinks iterate this instead of hard-coding
+/// the field list, so a new counter propagates to every sink.
+pub const COUNTER_NAMES: [&str; 10] = [
+    "pivots",
+    "lp_runs",
+    "eliminations",
+    "fm_atoms",
+    "disjuncts_produced",
+    "disjuncts_pruned",
+    "sat_checks",
+    "entailment_checks",
+    "cache_hits",
+    "cache_misses",
+];
+
+impl EngineStats {
+    /// Cache hit rate in `[0, 1]`, or `None` when no cacheable check ran.
+    pub fn cache_hit_rate(&self) -> Option<f64> {
+        let total = self.cache_hits + self.cache_misses;
+        (total > 0).then(|| self.cache_hits as f64 / total as f64)
+    }
+
+    /// Merge counters from another snapshot (used when aggregating
+    /// per-query stats into a report).
+    pub fn absorb(&mut self, other: &EngineStats) {
+        for (mine, theirs) in self.counters_mut().into_iter().zip(other.counters()) {
+            *mine += theirs;
+        }
+    }
+
+    /// The counters consumed since `earlier` (an older snapshot of the
+    /// same monotonic context). Saturating, so a mismatched pair degrades
+    /// to zeros instead of wrapping.
+    pub fn delta_since(&self, earlier: &EngineStats) -> EngineStats {
+        let mut out = *self;
+        for (mine, theirs) in out.counters_mut().into_iter().zip(earlier.counters()) {
+            *mine = mine.saturating_sub(theirs);
+        }
+        out
+    }
+
+    /// All counters, in [`COUNTER_NAMES`] order.
+    pub fn counters(&self) -> [u64; 10] {
+        [
+            self.pivots,
+            self.lp_runs,
+            self.eliminations,
+            self.fm_atoms,
+            self.disjuncts_produced,
+            self.disjuncts_pruned,
+            self.sat_checks,
+            self.entailment_checks,
+            self.cache_hits,
+            self.cache_misses,
+        ]
+    }
+
+    fn counters_mut(&mut self) -> [&mut u64; 10] {
+        [
+            &mut self.pivots,
+            &mut self.lp_runs,
+            &mut self.eliminations,
+            &mut self.fm_atoms,
+            &mut self.disjuncts_produced,
+            &mut self.disjuncts_pruned,
+            &mut self.sat_checks,
+            &mut self.entailment_checks,
+            &mut self.cache_hits,
+            &mut self.cache_misses,
+        ]
+    }
+
+    /// `(name, value)` pairs for the counters that are nonzero — the
+    /// compact form sinks print for per-span deltas.
+    pub fn nonzero_counters(&self) -> Vec<(&'static str, u64)> {
+        COUNTER_NAMES
+            .into_iter()
+            .zip(self.counters())
+            .filter(|(_, v)| *v > 0)
+            .collect()
+    }
+
+    /// True when every counter is zero.
+    pub fn is_zero(&self) -> bool {
+        self.counters().iter().all(|v| *v == 0)
+    }
+}
+
+impl fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pivots={} lp_runs={} eliminations={} fm_atoms={} \
+             disjuncts={}(+{} pruned) sat_checks={} entailment_checks={} \
+             cache_hits={} cache_misses={} cache_hit_rate={}",
+            self.pivots,
+            self.lp_runs,
+            self.eliminations,
+            self.fm_atoms,
+            self.disjuncts_produced,
+            self.disjuncts_pruned,
+            self.sat_checks,
+            self.entailment_checks,
+            self.cache_hits,
+            self.cache_misses,
+            match self.cache_hit_rate() {
+                Some(r) => format!("{:.1}%", r * 100.0),
+                None => "n/a".to_string(),
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_format_is_pinned() {
+        let stats = EngineStats {
+            pivots: 31,
+            lp_runs: 4,
+            eliminations: 2,
+            fm_atoms: 12,
+            disjuncts_produced: 5,
+            disjuncts_pruned: 1,
+            sat_checks: 3,
+            entailment_checks: 1,
+            cache_hits: 3,
+            cache_misses: 1,
+        };
+        assert_eq!(
+            stats.to_string(),
+            "pivots=31 lp_runs=4 eliminations=2 fm_atoms=12 \
+             disjuncts=5(+1 pruned) sat_checks=3 entailment_checks=1 \
+             cache_hits=3 cache_misses=1 cache_hit_rate=75.0%"
+        );
+    }
+
+    #[test]
+    fn display_without_cache_probes_says_na() {
+        let stats = EngineStats::default();
+        assert!(stats.to_string().ends_with("cache_hit_rate=n/a"));
+        assert!(stats.to_string().contains("cache_misses=0"));
+    }
+
+    #[test]
+    fn delta_since_subtracts_per_counter() {
+        let later = EngineStats {
+            pivots: 10,
+            cache_hits: 4,
+            ..Default::default()
+        };
+        let earlier = EngineStats {
+            pivots: 7,
+            cache_hits: 1,
+            ..Default::default()
+        };
+        let d = later.delta_since(&earlier);
+        assert_eq!(d.pivots, 3);
+        assert_eq!(d.cache_hits, 3);
+        assert_eq!(d.lp_runs, 0);
+        // Saturates instead of wrapping on mismatched snapshots.
+        assert_eq!(earlier.delta_since(&later).pivots, 0);
+    }
+
+    #[test]
+    fn absorb_matches_counter_list() {
+        let mut acc = EngineStats::default();
+        let one = EngineStats {
+            fm_atoms: 2,
+            entailment_checks: 5,
+            ..Default::default()
+        };
+        acc.absorb(&one);
+        acc.absorb(&one);
+        assert_eq!(acc.fm_atoms, 4);
+        assert_eq!(acc.entailment_checks, 10);
+        assert_eq!(
+            acc.nonzero_counters(),
+            vec![("fm_atoms", 4), ("entailment_checks", 10)]
+        );
+        assert!(!acc.is_zero());
+        assert!(EngineStats::default().is_zero());
+    }
+}

@@ -12,25 +12,41 @@
 //!    ...> FROM Office_Object CO WHERE CO.extent[E] AND CO.translation[D];
 //! ```
 //!
-//! Meta-commands: `:help`, `:check <query>`, `:schema`, `:classes`,
+//! Meta-commands: `:help`, `:check <query>`, `:profile <query>`,
+//! `:trace on|off`, `:trace chrome <file>`, `:schema`, `:classes`,
 //! `:extent <Class>`, `:stats`, `:save <file>`, `:load <file>`, `:quit`.
 //!
 //! Queries run under the engine's *interactive* evaluation budget, so an
 //! adversarial constraint blowup reports `evaluation budget exceeded`
 //! instead of hanging the shell. `:stats` toggles a per-query engine
 //! statistics line (pivots, FM atoms, disjuncts, cache hits).
+//!
+//! `:profile <query>` runs one query with tracing and prints its span
+//! tree: per-phase wall-clock with hot-path percentages, source byte
+//! ranges, and engine counter deltas. `:trace on` does the same for every
+//! subsequent statement; `:trace chrome <file>` additionally writes each
+//! traced query's Chrome trace-event JSON (load it in `chrome://tracing`
+//! or Perfetto).
 
-use lyric::{execute_with_budget, paper_example, EngineBudget};
+use lyric::{execute_traced, execute_with_budget, paper_example, EngineBudget};
 use std::io::{self, BufRead, Write};
 
 /// Shell state beyond the database itself.
 struct Session {
     show_stats: bool,
+    /// Print a span tree after every statement.
+    trace: bool,
+    /// Also export each traced query's Chrome trace JSON here.
+    chrome_path: Option<String>,
 }
 
 fn main() {
     let mut db = paper_example::database();
-    let mut session = Session { show_stats: false };
+    let mut session = Session {
+        show_stats: false,
+        trace: false,
+        chrome_path: None,
+    };
     println!("LyriC shell — the Figure 2 office database is loaded.");
     println!("End statements with ';'. Type :help for commands.\n");
 
@@ -56,25 +72,59 @@ fn main() {
             let stmt = buffer.trim().trim_end_matches(';').to_string();
             buffer.clear();
             if !stmt.is_empty() {
-                match execute_with_budget(&mut db, &stmt, EngineBudget::interactive()) {
-                    Ok(result) => {
-                        if result.rows.is_empty() {
-                            println!("(no rows)");
-                        } else {
-                            print!("{result}");
-                            println!("({} row{})", result.rows.len(), plural(result.rows.len()));
-                        }
-                        if session.show_stats {
-                            println!("[engine: {}]", result.stats);
-                        }
-                    }
-                    Err(e) => println!("error: {e}"),
-                }
+                run_statement(&mut db, &session, &stmt);
             }
         }
         prompt(buffer.is_empty());
     }
     println!();
+}
+
+/// Execute one statement, tracing it when the session asks for it.
+fn run_statement(db: &mut lyric::oodb::Database, session: &Session, stmt: &str) {
+    let traced = session.trace || session.chrome_path.is_some();
+    let (result, trace) = if traced {
+        match execute_traced(db, stmt, EngineBudget::interactive()) {
+            Ok((r, t)) => (r, Some(t)),
+            Err(e) => {
+                println!("error: {e}");
+                return;
+            }
+        }
+    } else {
+        match execute_with_budget(db, stmt, EngineBudget::interactive()) {
+            Ok(r) => (r, None),
+            Err(e) => {
+                println!("error: {e}");
+                return;
+            }
+        }
+    };
+    if result.rows.is_empty() {
+        println!("(no rows)");
+    } else {
+        print!("{result}");
+        println!("({} row{})", result.rows.len(), plural(result.rows.len()));
+    }
+    if let Some(trace) = &trace {
+        if session.trace {
+            print!("{}", lyric::trace::render_tree(trace));
+        }
+        export_chrome(session, trace);
+    }
+    if session.show_stats {
+        println!("[engine: {}]", result.stats);
+    }
+}
+
+/// Write the trace's Chrome JSON to the session's export path, if set.
+fn export_chrome(session: &Session, trace: &lyric::trace::Trace) {
+    if let Some(path) = &session.chrome_path {
+        match std::fs::write(path, lyric::trace::to_chrome_trace(trace)) {
+            Ok(()) => println!("[trace written to {path}]"),
+            Err(e) => println!("[trace write to {path} failed: {e}]"),
+        }
+    }
 }
 
 fn prompt(fresh: bool) {
@@ -98,6 +148,9 @@ fn meta_command(db: &mut lyric::oodb::Database, session: &mut Session, cmd: &str
         Some(":help") | Some(":h") => {
             println!(":help             this help");
             println!(":check <query>    analyze a query without running it (strict + deep)");
+            println!(":profile <query>  run a query with tracing and print its span tree");
+            println!(":trace on|off     trace every statement (span tree after the rows)");
+            println!(":trace chrome <file>  also export Chrome trace JSON per traced query");
             println!(":schema           list classes with their attributes");
             println!(":classes          list class names");
             println!(":extent <Class>   list the instances of a class");
@@ -124,6 +177,41 @@ fn meta_command(db: &mut lyric::oodb::Database, session: &mut Session, cmd: &str
                 }
             }
         }
+        Some(":profile") => {
+            let src = cmd[":profile".len()..].trim().trim_end_matches(';').trim();
+            if src.is_empty() {
+                println!("usage: :profile <query>  (single line, ';' optional)");
+            } else {
+                match execute_traced(db, src, EngineBudget::interactive()) {
+                    Ok((result, trace)) => {
+                        println!("({} row{})", result.rows.len(), plural(result.rows.len()));
+                        print!("{}", lyric::trace::render_tree(&trace));
+                        println!("[engine: {}]", result.stats);
+                        export_chrome(session, &trace);
+                    }
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+        }
+        Some(":trace") => match parts.next() {
+            Some("on") => {
+                session.trace = true;
+                println!("tracing on");
+            }
+            Some("off") => {
+                session.trace = false;
+                session.chrome_path = None;
+                println!("tracing off");
+            }
+            Some("chrome") => match parts.next() {
+                Some(path) => {
+                    session.chrome_path = Some(path.to_string());
+                    println!("chrome trace export to {path}");
+                }
+                None => println!("usage: :trace chrome <file>"),
+            },
+            _ => println!("usage: :trace on|off  or  :trace chrome <file>"),
+        },
         Some(":stats") => {
             session.show_stats = !session.show_stats;
             println!(

@@ -1,0 +1,149 @@
+//! Well-formedness properties of emitted span trees.
+//!
+//! Every trace from [`lyric::execute_traced`] must satisfy: a single
+//! `query` root covering the whole source; children nested within their
+//! parent's time interval, in disjoint start order; and per-span
+//! *exclusive* counter deltas that sum exactly to the query's aggregate
+//! [`lyric::EngineStats`] — the trace partitions the query's work with
+//! nothing counted twice and nothing lost. The Chrome export of every
+//! checked trace must also validate structurally.
+
+use lyric::trace::{SpanKind, Trace, TraceSpan};
+use lyric::{execute_traced, paper_example, EngineBudget, EngineStats};
+use lyric_bench::workload::{self, Q_LINEAR, Q_PAIRWISE};
+use proptest::prelude::*;
+
+/// The §4.1 worked-example queries (the same set the bench report runs).
+const PAPER_QUERIES: [&str; 5] = [
+    "SELECT Y FROM Desk X WHERE X.drawer.extent[Y]",
+    "SELECT CO, ((u,v) | E AND D AND x = 6 AND y = 4)
+     FROM Office_Object CO WHERE CO.extent[E] AND CO.translation[D]",
+    "SELECT DSK, ((w,z) | DSK.drawer.extent(w,z) AND z >= w)
+     FROM Desk DSK
+     WHERE DSK.color = 'red' AND DSK.drawer_center[C] AND (C(p,q) |= p = 0)",
+    "SELECT DSK FROM Object_In_Room O, Desk DSK
+     WHERE O.catalog_object[DSK] AND O.location[L]
+       AND DSK.drawer_center[C] AND DSK.translation[D]
+       AND DSK.drawer.extent[DRE] AND DSK.drawer.translation[DRD]
+       AND (C(p,q) AND DRE(w1,z1) AND DRD(w1,z1,x1,y1,u1,v1)
+            AND D(w,z,x,y,u,v) AND L(x,y) AND w = u1 AND z = v1
+            AND 0 < u AND u < 20 AND 0 < v AND v < 10)",
+    "SELECT MAX(w + z SUBJECT TO ((w,z) | E)), MIN(w SUBJECT TO ((w,z) | E))
+     FROM Desk D WHERE D.extent[E]",
+];
+
+/// Children must sit inside their parent's interval, pairwise disjoint and
+/// in start order (the collector is single-threaded, so sibling spans
+/// cannot overlap).
+fn assert_nested(span: &TraceSpan) {
+    let mut cursor = span.start;
+    for c in &span.children {
+        assert!(
+            c.start >= cursor,
+            "sibling spans overlap or are out of order"
+        );
+        assert!(c.end() <= span.end(), "child span escapes its parent");
+        cursor = c.end();
+        assert_nested(c);
+    }
+}
+
+fn assert_well_formed(trace: &Trace, aggregate: &EngineStats) {
+    assert_eq!(trace.root.kind, SpanKind::Query, "single query root");
+    assert_eq!(trace.dropped_spans, 0, "no spans over the cap");
+    assert_nested(&trace.root);
+    // The exclusive (self) deltas partition the aggregate exactly:
+    // nothing counted twice, nothing lost.
+    assert_eq!(trace.summed_self_stats(), *aggregate);
+    assert_eq!(*trace.total_stats(), *aggregate);
+    // And the Chrome export of the same tree is structurally valid.
+    let chrome = lyric::trace::to_chrome_trace(trace);
+    let events =
+        lyric::trace::chrome::validate_chrome_trace(&chrome).expect("chrome export validates");
+    assert!(events >= trace.span_count());
+}
+
+/// The acceptance case: `:profile` on the paper's Q1 yields a span tree
+/// whose per-span deltas sum exactly to `QueryResult::stats`, plus a
+/// valid Chrome export.
+#[test]
+fn q1_trace_partitions_query_stats() {
+    let mut db = paper_example::database();
+    let src = PAPER_QUERIES[0];
+    let (res, trace) =
+        execute_traced(&mut db, src, EngineBudget::unlimited()).expect("q1 evaluates");
+    assert_eq!(res.rows.len(), 1);
+    assert_well_formed(&trace, &res.stats);
+    // The root covers the whole source and the front-end phases are there.
+    assert_eq!(trace.root.source, Some((0, src.len())));
+    let kinds: Vec<SpanKind> = trace.root.children.iter().map(|c| c.kind).collect();
+    for expected in [
+        SpanKind::Lex,
+        SpanKind::Parse,
+        SpanKind::Analyze,
+        SpanKind::FromBind,
+        SpanKind::Where,
+    ] {
+        assert!(kinds.contains(&expected), "missing {expected:?} phase");
+    }
+}
+
+/// Every §4.1 paper query produces a well-formed trace; the queries cover
+/// path predicates, sat and entailment checks, and the LP operators.
+#[test]
+fn paper_query_traces_are_well_formed() {
+    for src in PAPER_QUERIES {
+        let mut db = paper_example::database();
+        let (res, trace) =
+            execute_traced(&mut db, src, EngineBudget::unlimited()).expect("paper query evaluates");
+        assert_well_formed(&trace, &res.stats);
+    }
+    // The entailment query (Q4) actually records an entailment-check span.
+    let mut db = paper_example::database();
+    let (_, trace) =
+        execute_traced(&mut db, PAPER_QUERIES[2], EngineBudget::unlimited()).expect("q4 evaluates");
+    let mut saw_entail = false;
+    trace
+        .root
+        .walk(&mut |s, _| saw_entail |= s.kind == SpanKind::EntailCheck);
+    assert!(saw_entail, "q4 must record an entail_check span");
+}
+
+/// A budget abort under tracing returns the same error as the untraced
+/// path — the partial trace is discarded, not half-sealed.
+#[test]
+fn traced_budget_abort_matches_untraced() {
+    let budget = EngineBudget::unlimited().with_max_pivots(1);
+    let mut db = workload::office_db(8, 42);
+    let traced = execute_traced(&mut db.clone(), Q_PAIRWISE, budget.clone());
+    let untraced = lyric::execute_with_budget(&mut db, Q_PAIRWISE, budget);
+    match (traced, untraced) {
+        (
+            Err(lyric::LyricError::BudgetExceeded { resource: a, .. }),
+            Err(lyric::LyricError::BudgetExceeded { resource: b, .. }),
+        ) => {
+            assert_eq!(a, b);
+        }
+        other => panic!("both runs must abort on the 1-pivot budget, got {other:?}"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Traces of the E2 workload query stay well-formed across database
+    /// sizes and seeds, and tracing never changes the answer.
+    #[test]
+    fn workload_traces_are_well_formed(n in 2usize..12, seed in 0u64..1_000) {
+        let db = workload::office_db(n, seed);
+        let (traced_res, trace) = execute_traced(
+            &mut db.clone(),
+            Q_LINEAR,
+            EngineBudget::unlimited(),
+        )
+        .expect("linear query evaluates");
+        assert_well_formed(&trace, &traced_res.stats);
+        let plain_res = lyric::execute(&mut db.clone(), Q_LINEAR).expect("linear query evaluates");
+        prop_assert_eq!(traced_res, plain_res);
+    }
+}
