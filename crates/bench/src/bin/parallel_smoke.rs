@@ -1,0 +1,88 @@
+//! CI smoke check for parallel evaluation: serial-vs-parallel answer
+//! equality on the paper queries, plus concurrent `execute_shared` calls
+//! on one shared database. Exits nonzero on any mismatch.
+//!
+//! Run with `cargo run -p lyric-bench --bin parallel_smoke --release`.
+
+use lyric::paper_example;
+use lyric::{execute_shared, execute_with_options, ExecOptions};
+use lyric_bench::workload::{self, Q_LINEAR};
+use std::sync::Arc;
+
+const QUERIES: &[&str] = &[
+    "SELECT Y FROM Desk X WHERE X.drawer.extent[Y]",
+    "SELECT CO, ((u,v) | E AND D AND x = 6 AND y = 4)
+     FROM Office_Object CO WHERE CO.extent[E] AND CO.translation[D]",
+    "SELECT DSK FROM Object_In_Room O, Desk DSK
+     WHERE O.catalog_object[DSK] AND O.location[L]
+       AND DSK.drawer_center[C] AND DSK.translation[D]
+       AND DSK.drawer.extent[DRE] AND DSK.drawer.translation[DRD]
+       AND (C(p,q) AND DRE(w1,z1) AND DRD(w1,z1,x1,y1,u1,v1)
+            AND D(w,z,x,y,u,v) AND L(x,y) AND w = u1 AND z = v1
+            AND 0 < u AND u < 20 AND 0 < v AND v < 10)",
+];
+
+fn main() {
+    let mut failures = 0usize;
+
+    // (a) Serial vs parallel answers on the paper database.
+    for q in QUERIES {
+        let serial = {
+            let mut db = paper_example::database();
+            execute_with_options(&mut db, q, &ExecOptions::default().with_threads(1))
+                .expect("paper query evaluates serially")
+        };
+        for threads in [2usize, 4, 8] {
+            let mut db = paper_example::database();
+            let par =
+                execute_with_options(&mut db, q, &ExecOptions::default().with_threads(threads))
+                    .expect("paper query evaluates in parallel");
+            if par != serial {
+                eprintln!("MISMATCH at {threads} threads for query: {q}");
+                failures += 1;
+            }
+        }
+    }
+    println!(
+        "paper queries: {} queries x 3 thread counts match serial",
+        QUERIES.len()
+    );
+
+    // (b) Concurrent queries on one shared database.
+    let db = Arc::new(workload::office_db(12, 42));
+    let expected = execute_shared(&db, Q_LINEAR, &ExecOptions::default().with_threads(1))
+        .expect("linear query evaluates");
+    let mismatches = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..8)
+            .map(|i| {
+                let db = Arc::clone(&db);
+                let expected = &expected;
+                s.spawn(move || {
+                    let opts = ExecOptions::default().with_threads(1 + i % 4);
+                    (0..4)
+                        .filter(|_| {
+                            execute_shared(&db, Q_LINEAR, &opts)
+                                .map(|r| r != *expected)
+                                .unwrap_or(true)
+                        })
+                        .count()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .sum::<usize>()
+    });
+    if mismatches > 0 {
+        eprintln!("MISMATCH: {mismatches} concurrent executions diverged");
+        failures += mismatches;
+    }
+    println!("concurrent shared-db runs: 8 threads x 4 repeats match");
+
+    if failures > 0 {
+        eprintln!("parallel smoke FAILED with {failures} mismatches");
+        std::process::exit(1);
+    }
+    println!("parallel smoke OK");
+}

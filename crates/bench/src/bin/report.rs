@@ -5,7 +5,7 @@
 
 use lyric::paper_example::{self, box2};
 use lyric::trace::Json;
-use lyric::{execute, parse_query};
+use lyric::{execute, execute_with_options, parse_query, ExecOptions};
 use lyric_bench::gridrep::Grid;
 use lyric_bench::workload::{self, Q_LINEAR, Q_PAIRWISE};
 use lyric_constraint::{Conjunction, CstObject, Var};
@@ -43,6 +43,7 @@ fn main() {
     record(&mut report, "e8_algebra_optimizer", || void(e8));
     record(&mut report, "e9_telemetry_budgets", || void(e9));
     record(&mut report, "e10_hot_spans", e10);
+    record(&mut report, "e11_parallel_speedup", e11);
     let doc = Json::obj([("experiments", Json::Arr(report))]);
     match std::fs::write(REPORT_JSON, doc.to_string()) {
         Ok(()) => eprintln!("machine-readable report written to {REPORT_JSON}"),
@@ -618,6 +619,50 @@ fn e10() -> Json {
     }
     println!("\nsites fold every span with the same (kind, label, source range) across all five traces — the same WHERE predicate over many bindings becomes one row. Constraint checks and LP solves carry the counters, matching the §5 cost story.\n");
     Json::obj([("hot_spans", Json::Arr(detail))])
+}
+
+/// E11 — parallel evaluation: the E2 pairwise workload (tracing off)
+/// at 1/2/4/8 evaluation threads, with per-thread-count answer equality
+/// against the serial run. Speedups are relative to the 1-thread run on
+/// *this* host — on a single-core machine they are ~1.0x by construction,
+/// so the host's available parallelism is recorded alongside.
+fn e11() -> Json {
+    println!("## E11 — parallel evaluation (work-stealing pool, deterministic merge)\n");
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("host available parallelism: {host}\n");
+    println!("| threads | pairwise query, n=32 (ms) | speedup vs 1 thread | answers == serial |");
+    println!("|---|---|---|---|");
+    let db = workload::office_db(32, 42);
+    let serial = {
+        let mut d = db.clone();
+        execute_with_options(&mut d, Q_PAIRWISE, &ExecOptions::default().with_threads(1))
+            .expect("pairwise query evaluates")
+    };
+    let mut base_ms = None;
+    let mut detail: Vec<Json> = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let opts = ExecOptions::default().with_threads(threads);
+        let (ms, res) = time_ms(3, || {
+            let mut d = db.clone();
+            execute_with_options(&mut d, Q_PAIRWISE, &opts).expect("pairwise query evaluates")
+        });
+        let base = *base_ms.get_or_insert(ms);
+        let equal = res == serial;
+        println!("| {threads} | {ms:.1} | {:.2}x | {equal} |", base / ms);
+        detail.push(Json::obj([
+            ("threads", Json::int(threads as u64)),
+            ("best_ms", Json::Num(ms)),
+            ("speedup", Json::Num(base / ms)),
+            ("answers_equal_serial", Json::Bool(equal)),
+        ]));
+    }
+    println!("\nanswers are bit-identical at every thread count (work is handed out by index and merged in index order). Speedup scales with the host's cores; regenerate with `cargo run -p lyric-bench --bin report --release` to measure this machine.\n");
+    Json::obj([
+        ("host_parallelism", Json::int(host as u64)),
+        ("runs", Json::Arr(detail)),
+    ])
 }
 
 fn answers_match(db: &Database, direct: &lyric::QueryResult, flat: &[(Oid, CstObject)]) -> bool {

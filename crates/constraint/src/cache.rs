@@ -7,43 +7,86 @@
 //! normalized and ordered by construction, so the value *is* its canonical
 //! cache key.
 //!
-//! The caches are thread-local and only consulted while an engine context
-//! with caching enabled is installed ([`lyric_engine::cache_enabled`]);
-//! standalone library use pays nothing. Entries are invalidated wholesale
-//! whenever [`lyric_engine::generation`] moves (a new context was
-//! installed), and each map is bounded: on overflow it is cleared rather
-//! than grown, keeping worst-case memory flat.
+//! The caches are process-global and *sharded*: each map is split across
+//! [`SHARDS`] hash-partitioned segments behind their own mutexes, so the
+//! worker threads of a parallel region (and fully independent queries on
+//! different threads) share memo entries without contending on one lock.
+//! They are only consulted while an engine context with caching enabled is
+//! installed ([`lyric_engine::cache_enabled`]); standalone library use
+//! pays nothing. Entries carry the [`lyric_engine::generation`] they were
+//! stored under — a probe under a different generation is a miss (all
+//! workers of one parallel region share their query's generation, so they
+//! do share entries), and each shard is bounded: on overflow it is cleared
+//! rather than grown, keeping worst-case memory flat.
+//!
+//! Solving happens *outside* the shard lock, so two threads missing on the
+//! same key may both solve it (benign duplicated work, last write wins);
+//! a lock is only ever held for a probe or an insert, never across a
+//! recursive solve, which also rules out lock-order deadlocks.
 
 use crate::atom::Atom;
 use crate::conjunction::Conjunction;
-use std::cell::RefCell;
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::{LazyLock, Mutex, MutexGuard};
 
-/// Per-cache entry bound; crossing it clears the cache (cheap, and the
+/// Number of hash-partitioned segments per cache. More shards than any
+/// plausible thread budget, so workers rarely collide on a lock.
+const SHARDS: usize = 16;
+
+/// Per-shard entry bound; crossing it clears the shard (cheap, and the
 /// generation mechanism already makes entries short-lived).
-const MAX_ENTRIES: usize = 16_384;
+const MAX_SHARD_ENTRIES: usize = 1_024;
 
-struct Memo<K> {
-    generation: u64,
-    map: HashMap<K, bool>,
+/// Lock a shard, surviving poisoning: a budget abort can unwind a worker
+/// thread at any `note` site, but never while a shard lock is held (locks
+/// only guard pure map operations), so the data is always consistent.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
 }
 
-impl<K> Memo<K> {
+/// Values carry the generation they were stored under instead of the maps
+/// being cleared on a generation change: probing compares generations, so
+/// stale entries die lazily (and are overwritten in place on re-solve).
+struct ShardedMemo<K> {
+    shards: Vec<Mutex<HashMap<K, (u64, bool)>>>,
+}
+
+impl<K: Hash + Eq> ShardedMemo<K> {
     fn new() -> Self {
-        Memo {
-            generation: 0,
-            map: HashMap::new(),
+        ShardedMemo {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
         }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<HashMap<K, (u64, bool)>> {
+        let mut h = DefaultHasher::new();
+        key.hash(&mut h);
+        &self.shards[(h.finish() as usize) % SHARDS]
+    }
+
+    fn probe(&self, key: &K, generation: u64) -> Option<bool> {
+        lock(self.shard(key))
+            .get(key)
+            .filter(|&&(g, _)| g == generation)
+            .map(|&(_, answer)| answer)
+    }
+
+    fn insert(&self, key: K, generation: u64, answer: bool) {
+        let mut shard = lock(self.shard(&key));
+        if shard.len() >= MAX_SHARD_ENTRIES {
+            shard.clear();
+        }
+        shard.insert(key, (generation, answer));
     }
 }
 
-thread_local! {
-    static SAT: RefCell<Memo<Conjunction>> = RefCell::new(Memo::new());
-    static ENTAIL: RefCell<Memo<(Conjunction, Atom)>> = RefCell::new(Memo::new());
-}
+static SAT: LazyLock<ShardedMemo<Conjunction>> = LazyLock::new(ShardedMemo::new);
+static ENTAIL: LazyLock<ShardedMemo<(Conjunction, Atom)>> = LazyLock::new(ShardedMemo::new);
 
-fn memoized<K: std::hash::Hash + Eq>(
-    cell: &'static std::thread::LocalKey<RefCell<Memo<K>>>,
+fn memoized<K: Hash + Eq>(
+    memo: &ShardedMemo<K>,
     key: impl FnOnce() -> K,
     solve: impl FnOnce() -> bool,
 ) -> bool {
@@ -52,29 +95,15 @@ fn memoized<K: std::hash::Hash + Eq>(
     }
     let generation = lyric_engine::generation();
     let key = key();
-    let cached = cell.with(|c| {
-        let mut memo = c.borrow_mut();
-        if memo.generation != generation {
-            memo.generation = generation;
-            memo.map.clear();
-        }
-        memo.map.get(&key).copied()
-    });
-    if let Some(answer) = cached {
+    if let Some(answer) = memo.probe(&key, generation) {
         lyric_engine::note_cache(true);
         return answer;
     }
     lyric_engine::note_cache(false);
-    // Solve *outside* the borrow: the solve path may recurse into another
+    // Solve *outside* the lock: the solve path may recurse into another
     // cached query (entailment probes satisfiability underneath).
     let answer = solve();
-    cell.with(|c| {
-        let mut memo = c.borrow_mut();
-        if memo.map.len() >= MAX_ENTRIES {
-            memo.map.clear();
-        }
-        memo.map.insert(key, answer);
-    });
+    memo.insert(key, generation, answer);
     answer
 }
 
@@ -152,5 +181,23 @@ mod tests {
             run_with(EngineBudget::unlimited(), true, || assert!(c.satisfiable())).unwrap();
         assert_eq!(second.cache_hits, 0);
         assert_eq!(second.cache_misses, 1);
+    }
+
+    #[test]
+    fn workers_share_their_querys_entries() {
+        // One parallel region: the first evaluation of each distinct key
+        // misses, every repeat — on whichever worker — hits, because all
+        // workers share the query's generation.
+        let c = x_box();
+        let opts = lyric_engine::ExecOptions::default().with_threads(4);
+        let ((), stats) = lyric_engine::run_with_opts(opts, || {
+            assert!(c.satisfiable()); // miss, on the coordinator
+            let items = [(); 8];
+            let answers = lyric_engine::parallel_map(&items, |_, _| c.satisfiable());
+            assert!(answers.into_iter().all(|a| a));
+        })
+        .unwrap();
+        assert_eq!(stats.cache_misses, 1);
+        assert_eq!(stats.cache_hits, 8);
     }
 }

@@ -28,8 +28,19 @@ impl Dnf {
     /// The paper's chosen disjunction simplification: drop semantically
     /// inconsistent disjuncts (one feasibility check each) and syntactic
     /// duplicates (already maintained by construction).
+    ///
+    /// The per-disjunct feasibility checks are independent LP solves, so
+    /// they run parallel under a multi-threaded engine context; the
+    /// surviving disjuncts keep their order either way.
     pub fn simplify(&self) -> Dnf {
-        let out = Dnf::of(self.disjuncts().iter().filter(|d| d.satisfiable()).cloned());
+        let sat = lyric_engine::parallel_map(self.disjuncts(), |_, d| d.satisfiable());
+        let out = Dnf::of(
+            self.disjuncts()
+                .iter()
+                .zip(&sat)
+                .filter(|&(_, &s)| s)
+                .map(|(d, _)| d.clone()),
+        );
         let pruned = (self.disjuncts().len() - out.disjuncts().len()) as u64;
         lyric_engine::tally(|s| s.disjuncts_pruned += pruned);
         if pruned > 0 {
@@ -46,12 +57,14 @@ impl Dnf {
     /// DNF would be co-NP; pairwise subsumption is the polynomial-LP-calls
     /// fragment.
     pub fn strong_simplify(&self) -> Dnf {
-        let reduced: Vec<Conjunction> = self
-            .disjuncts()
-            .iter()
-            .filter(|d| d.satisfiable())
-            .map(Conjunction::remove_redundant)
-            .collect();
+        // Feasibility + per-disjunct redundancy removal are independent;
+        // only the pairwise subsumption pass below needs the full set.
+        let reduced: Vec<Conjunction> = lyric_engine::parallel_map(self.disjuncts(), |_, d| {
+            d.satisfiable().then(|| d.remove_redundant())
+        })
+        .into_iter()
+        .flatten()
+        .collect();
         Dnf::of(prune_subsumed(reduced, |a, b| b.implies(a)))
     }
 }
@@ -84,13 +97,18 @@ impl CstObject {
     /// The paper's canonical form: simplifying quantifier eliminations per
     /// disjunct, deletion of inconsistent disjuncts, deletion of syntactic
     /// duplicates. Polynomial.
+    ///
+    /// Each disjunct is simplified and feasibility-checked independently —
+    /// parallel under a multi-threaded engine context, with the surviving
+    /// disjuncts kept in order.
     pub fn canonicalize(&self) -> CstObject {
-        let ds: Vec<Conjunction> = self
-            .disjuncts()
-            .iter()
-            .map(|d| self.simplify_disjunct(d))
-            .filter(|d| d.satisfiable())
-            .collect();
+        let ds: Vec<Conjunction> = lyric_engine::parallel_map(self.disjuncts(), |_, d| {
+            let s = self.simplify_disjunct(d);
+            s.satisfiable().then_some(s)
+        })
+        .into_iter()
+        .flatten()
+        .collect();
         let pruned = (self.disjuncts().len() - ds.len()) as u64;
         lyric_engine::tally(|s| s.disjuncts_pruned += pruned);
         if pruned > 0 {
@@ -106,11 +124,8 @@ impl CstObject {
     /// (on quantifier-free disjuncts).
     pub fn strong_canonical(&self) -> CstObject {
         let base = self.canonicalize();
-        let reduced: Vec<Conjunction> = base
-            .disjuncts()
-            .iter()
-            .map(Conjunction::remove_redundant)
-            .collect();
+        let reduced: Vec<Conjunction> =
+            lyric_engine::parallel_map(base.disjuncts(), |_, d| d.remove_redundant());
         let pruned = prune_subsumed(reduced, |a, b| {
             // Only compare quantifier-free disjuncts; quantified ones would
             // need eager elimination (out of canonical-form budget).

@@ -10,6 +10,12 @@ use crate::var::Var;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
+/// DNF products below this many pairs are never worth forking a parallel
+/// region for: each pair is one conjunction merge, so the spawn cost
+/// dominates tiny products (and the paper's worked examples stay on their
+/// exact serial path).
+const PAR_PRODUCT_MIN_PAIRS: usize = 64;
+
 /// A disjunction of conjunctions of normalized atoms.
 ///
 /// Invariants: syntactically false disjuncts are dropped and duplicates
@@ -68,12 +74,30 @@ impl Dnf {
     }
 
     /// Logical conjunction (distributes: `|self|·|other|` disjuncts).
+    ///
+    /// Products of at least [`PAR_PRODUCT_MIN_PAIRS`] pairs are evaluated
+    /// row-parallel under a multi-threaded engine context; [`Dnf::of`]
+    /// re-sorts the disjuncts, so the result is identical either way.
     pub fn and(&self, other: &Dnf) -> Dnf {
         lyric_engine::trace_event(|| lyric_engine::EventKind::DnfProduct {
             left: self.disjuncts.len(),
             right: other.disjuncts.len(),
         });
-        let mut out = Vec::with_capacity(self.disjuncts.len() * other.disjuncts.len());
+        let pairs = self.disjuncts.len() * other.disjuncts.len();
+        if pairs >= PAR_PRODUCT_MIN_PAIRS {
+            let rows = lyric_engine::parallel_map(&self.disjuncts, |_, a| {
+                other
+                    .disjuncts
+                    .iter()
+                    .map(|b| {
+                        lyric_engine::note(lyric_engine::Resource::Disjuncts);
+                        a.and(b)
+                    })
+                    .collect::<Vec<Conjunction>>()
+            });
+            return Dnf::of(rows.into_iter().flatten());
+        }
+        let mut out = Vec::with_capacity(pairs);
         for a in &self.disjuncts {
             for b in &other.disjuncts {
                 lyric_engine::note(lyric_engine::Resource::Disjuncts);

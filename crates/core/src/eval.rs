@@ -85,9 +85,57 @@ pub fn execute_with_budget(
     src: &str,
     budget: lyric_engine::EngineBudget,
 ) -> Result<QueryResult, LyricError> {
+    execute_with_options(
+        db,
+        src,
+        &lyric_engine::ExecOptions::default().with_budget(budget),
+    )
+}
+
+/// Parse and execute a statement under explicit
+/// [`ExecOptions`](lyric_engine::ExecOptions): budget, memo cache, and the
+/// thread budget for parallel regions. With `threads` above 1, FROM-clause
+/// binding, WHERE filtering, SELECT items, and large DNF operations fan
+/// out across a scoped worker pool; answers are identical to the serial
+/// (`threads == 1`) evaluation — work is handed out by index and merged
+/// back in index order.
+pub fn execute_with_options(
+    db: &mut Database,
+    src: &str,
+    opts: &lyric_engine::ExecOptions,
+) -> Result<QueryResult, LyricError> {
     let q = parse_query(src)?;
     check(db, &q)?;
-    run_in_context(db, &q, budget)
+    run_in_context(db, &q, opts.clone())
+}
+
+/// Execute a `SELECT` statement against a *shared* database reference.
+/// This is the concurrency entry point: many threads may call it on the
+/// same `&Database` simultaneously, each evaluation getting its own
+/// engine context (so budgets and stats stay per-query) while sharing the
+/// process-global memo caches. `CREATE VIEW` statements are rejected —
+/// they mutate the database and need [`execute`]'s exclusive access.
+pub fn execute_shared(
+    db: &Database,
+    src: &str,
+    opts: &lyric_engine::ExecOptions,
+) -> Result<QueryResult, LyricError> {
+    let q = parse_query(src)?;
+    check(db, &q)?;
+    match &q {
+        Query::Select(s) => {
+            match lyric_engine::run_with_opts(opts.clone(), || eval_select_query(db, s)) {
+                Ok((inner, stats)) => inner.map(|mut res| {
+                    res.stats = stats;
+                    res
+                }),
+                Err(exceeded) => Err(exceeded.into()),
+            }
+        }
+        Query::CreateView(_) => Err(LyricError::type_error(
+            "execute_shared evaluates SELECT statements only; CREATE VIEW mutates the database",
+        )),
+    }
 }
 
 /// Execute an already-parsed statement (unlimited budget, cache enabled).
@@ -109,7 +157,7 @@ pub fn execute_parsed_unchecked(db: &mut Database, q: &Query) -> Result<QueryRes
         }
         return Ok(res);
     }
-    run_in_context(db, q, lyric_engine::EngineBudget::unlimited())
+    run_in_context(db, q, lyric_engine::ExecOptions::default())
 }
 
 /// The admission gate: run the static analyzer (default options) and
@@ -144,8 +192,24 @@ pub fn execute_traced(
     src: &str,
     budget: lyric_engine::EngineBudget,
 ) -> Result<(QueryResult, lyric_engine::trace::Trace), LyricError> {
+    execute_traced_with_options(
+        db,
+        src,
+        &lyric_engine::ExecOptions::default().with_budget(budget),
+    )
+}
+
+/// [`execute_traced`] with explicit [`ExecOptions`](lyric_engine::ExecOptions).
+/// Under a thread budget above 1, the trace grafts per-worker subtrees
+/// (distinct `tid`s) into the single logical query tree; Σ per-span self
+/// stats still equals [`QueryResult::stats`].
+pub fn execute_traced_with_options(
+    db: &mut Database,
+    src: &str,
+    opts: &lyric_engine::ExecOptions,
+) -> Result<(QueryResult, lyric_engine::trace::Trace), LyricError> {
     let label = src.trim().to_string();
-    let outcome = lyric_engine::run_traced(budget, true, label, src.len(), || {
+    let outcome = lyric_engine::run_traced_opts(opts.clone(), label, src.len(), || {
         let q = parse_query(src)?;
         check(db, &q)?;
         execute_in_context(db, &q)
@@ -164,9 +228,9 @@ pub fn execute_traced(
 fn run_in_context(
     db: &mut Database,
     q: &Query,
-    budget: lyric_engine::EngineBudget,
+    opts: lyric_engine::ExecOptions,
 ) -> Result<QueryResult, LyricError> {
-    match lyric_engine::run_with(budget, true, || execute_in_context(db, q)) {
+    match lyric_engine::run_with_opts(opts, || execute_in_context(db, q)) {
         Ok((inner, stats)) => inner.map(|mut res| {
             res.stats = stats;
             res
@@ -178,33 +242,37 @@ fn run_in_context(
 /// The evaluator proper; runs inside whatever engine context is installed.
 fn execute_in_context(db: &mut Database, q: &Query) -> Result<QueryResult, LyricError> {
     match q {
-        Query::Select(s) => {
-            let ctx = Ctx::new(db, s, None);
-            let (columns, rows) = eval_select(&ctx, s)?;
-            let mut out_rows = Vec::new();
-            for (binding, row) in rows {
-                let mut r = Vec::new();
-                if let Some(vars) = &s.oid_function {
-                    r.push(oid_function_value("f", vars, &binding)?);
-                }
-                r.extend(row);
-                if !out_rows.contains(&r) {
-                    out_rows.push(r);
-                }
-            }
-            let mut cols = Vec::new();
-            if s.oid_function.is_some() {
-                cols.push("oid".to_string());
-            }
-            cols.extend(columns);
-            Ok(QueryResult {
-                columns: cols,
-                rows: out_rows,
-                stats: Default::default(),
-            })
-        }
+        Query::Select(s) => eval_select_query(db, s),
         Query::CreateView(v) => execute_view(db, v),
     }
+}
+
+/// The `SELECT` arm of the evaluator: needs only shared access to the
+/// database, so [`execute_shared`] can run it from many threads at once.
+fn eval_select_query(db: &Database, s: &SelectQuery) -> Result<QueryResult, LyricError> {
+    let ctx = Ctx::new(db, s, None);
+    let (columns, rows) = eval_select(&ctx, s)?;
+    let mut out_rows = Vec::new();
+    for (binding, row) in rows {
+        let mut r = Vec::new();
+        if let Some(vars) = &s.oid_function {
+            r.push(oid_function_value("f", vars, &binding)?);
+        }
+        r.extend(row);
+        if !out_rows.contains(&r) {
+            out_rows.push(r);
+        }
+    }
+    let mut cols = Vec::new();
+    if s.oid_function.is_some() {
+        cols.push("oid".to_string());
+    }
+    cols.extend(columns);
+    Ok(QueryResult {
+        columns: cols,
+        rows: out_rows,
+        stats: Default::default(),
+    })
 }
 
 fn execute_view(db: &mut Database, v: &ViewQuery) -> Result<QueryResult, LyricError> {
@@ -780,22 +848,31 @@ fn eval_select(ctx: &Ctx<'_>, q: &SelectQuery) -> Result<(Vec<String>, SelectRow
             f.class_span.join(f.var_span).byte_range(),
         );
         let extent = ctx.db.extent(&f.class);
-        let mut next = Vec::with_capacity(bindings.len() * extent.len());
-        for b in &bindings {
-            for oid in &extent {
-                let mut b2 = b.clone();
-                b2.bind(&f.var, oid.clone(), vec![oid.clone()]);
-                next.push(b2);
-            }
-        }
-        bindings = next;
+        // Each prior binding expands independently; rows come back in
+        // binding order, so the cross product is identical to the serial
+        // nested loop.
+        let expanded = lyric_engine::parallel_map(&bindings, |_, b| {
+            extent
+                .iter()
+                .map(|oid| {
+                    let mut b2 = b.clone();
+                    b2.bind(&f.var, oid.clone(), vec![oid.clone()]);
+                    b2
+                })
+                .collect::<Vec<Binding>>()
+        });
+        bindings = expanded.into_iter().flatten().collect();
     }
-    // WHERE.
+    // WHERE: each binding is filtered independently (the per-binding
+    // sat/entailment checks dominate query time). Results are merged in
+    // binding order, then deduplicated exactly as in the serial loop; on
+    // error, the lowest-index binding's error is reported.
     if let Some(w) = &q.where_clause {
         let _span = span(SpanKind::Where, String::new, w.span().byte_range());
+        let evaluated = lyric_engine::parallel_map(&bindings, |_, b| eval_cond(ctx, w, b));
         let mut filtered = Vec::new();
-        for b in bindings {
-            filtered.extend(eval_cond(ctx, w, &b)?);
+        for r in evaluated {
+            filtered.extend(r?);
         }
         bindings = dedup_bindings(filtered);
     }
@@ -806,8 +883,10 @@ fn eval_select(ctx: &Ctx<'_>, q: &SelectQuery) -> Result<(Vec<String>, SelectRow
         .enumerate()
         .map(|(i, item)| column_name(i, item))
         .collect();
-    let mut rows: SelectRows = Vec::new();
-    for b in bindings {
+    // SELECT items evaluate per binding with no cross-binding dependency;
+    // combos are rebuilt in binding order so row order matches the serial
+    // loop exactly.
+    let per_binding = lyric_engine::parallel_map(&bindings, |_, b| {
         let mut per_item: Vec<Vec<Oid>> = Vec::with_capacity(q.items.len());
         for (i, item) in q.items.iter().enumerate() {
             let _span = span(
@@ -815,10 +894,10 @@ fn eval_select(ctx: &Ctx<'_>, q: &SelectQuery) -> Result<(Vec<String>, SelectRow
                 || column_name(i, item),
                 item.span.byte_range(),
             );
-            per_item.push(eval_item(ctx, item, &b)?);
+            per_item.push(eval_item(ctx, item, b)?);
         }
         if per_item.iter().any(|v| v.is_empty()) {
-            continue;
+            return Ok(Vec::new());
         }
         // Cross product of multi-valued items.
         let mut combos: Vec<Vec<Oid>> = vec![Vec::new()];
@@ -833,7 +912,11 @@ fn eval_select(ctx: &Ctx<'_>, q: &SelectQuery) -> Result<(Vec<String>, SelectRow
             }
             combos = next;
         }
-        for c in combos {
+        Ok::<Vec<Vec<Oid>>, LyricError>(combos)
+    });
+    let mut rows: SelectRows = Vec::new();
+    for (b, combos) in bindings.into_iter().zip(per_binding) {
+        for c in combos? {
             rows.push((b.clone(), c));
         }
     }

@@ -60,8 +60,9 @@ pub use analyze::{analyze, analyze_src, AnalyzerOptions};
 pub use diag::{Diagnostic, Severity};
 pub use error::{LexError, LyricError, ParseError};
 pub use eval::{
-    execute, execute_parsed, execute_parsed_unchecked, execute_traced, execute_unchecked,
-    execute_with_budget, QueryResult,
+    execute, execute_parsed, execute_parsed_unchecked, execute_shared, execute_traced,
+    execute_traced_with_options, execute_unchecked, execute_with_budget, execute_with_options,
+    QueryResult,
 };
 pub use lexer::{lex, lex_spanned};
 pub use parser::{parse_formula, parse_query};
@@ -75,7 +76,7 @@ pub use lyric_oodb as oodb;
 // Re-export the budget/statistics surface so downstream code does not need
 // a direct lyric-engine dependency.
 pub use lyric_engine as engine;
-pub use lyric_engine::{EngineBudget, EngineStats};
+pub use lyric_engine::{default_threads, EngineBudget, EngineStats, ExecOptions};
 
 // Re-export the tracing surface (span trees, renderers, exporters) for
 // consumers of [`execute_traced`].

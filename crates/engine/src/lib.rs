@@ -44,7 +44,14 @@
 use std::cell::RefCell;
 use std::fmt;
 use std::panic::{catch_unwind, panic_any, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+mod parallel;
+mod pool;
+
+pub use parallel::{parallel_map, MIN_PARALLEL_ITEMS};
 
 /// The trace data model and sinks (re-exported so dependents need no
 /// direct `lyric-trace` dependency).
@@ -200,15 +207,38 @@ struct ActiveContext {
     tracer: Option<trace::Collector>,
     /// How many deadline thresholds (50%, 90%) have been announced.
     time_thresholds_emitted: usize,
+    /// This context's cache generation (copied from [`GENERATION`] at
+    /// install time; worker contexts copy their parent's so all workers of
+    /// one query share memo entries).
+    generation: u64,
+    /// Thread budget for parallel regions opened under this context; 1
+    /// means strictly serial evaluation.
+    threads: usize,
+    /// Cross-worker budget state of the enclosing parallel region; `Some`
+    /// only in worker contexts. Budgeted counters are mirrored into these
+    /// atomics so a limit crossed by the *sum* of all workers aborts
+    /// promptly, not just one worker's local share.
+    shared: Option<Arc<parallel::SharedRegion>>,
+}
+
+impl ActiveContext {
+    /// True for a parallel-region worker context (nested regions fall back
+    /// to serial evaluation inside workers).
+    fn is_worker(&self) -> bool {
+        self.shared.is_some()
+    }
 }
 
 thread_local! {
     static CONTEXT: RefCell<Option<ActiveContext>> = const { RefCell::new(None) };
-    /// Bumped every time a context is installed; memo caches in dependent
-    /// crates key their validity on this so entries never leak across
-    /// queries with different budgets or databases.
-    static GENERATION: RefCell<u64> = const { RefCell::new(0) };
 }
+
+/// Bumped every time a context is installed; memo caches in dependent
+/// crates key their validity on this so entries never leak across
+/// queries with different budgets or databases. Process-global (not
+/// thread-local) so concurrent contexts on different threads get distinct
+/// generations while the workers of one parallel region share one.
+static GENERATION: AtomicU64 = AtomicU64::new(0);
 
 /// Private unwind payload; `run_with` downcasts it at the boundary.
 struct BudgetUnwind(BudgetExceeded);
@@ -241,10 +271,13 @@ pub fn cache_enabled() -> bool {
     CONTEXT.with(|c| c.borrow().as_ref().is_some_and(|a| a.cache_enabled))
 }
 
-/// The current cache generation. Memo caches must clear themselves when
-/// this changes.
+/// The current cache generation: the active context's generation, or the
+/// process-global counter outside any context. Memo caches must treat
+/// entries stored under a different generation as stale.
 pub fn generation() -> u64 {
-    GENERATION.with(|g| *g.borrow())
+    CONTEXT
+        .with(|c| c.borrow().as_ref().map(|a| a.generation))
+        .unwrap_or_else(|| GENERATION.load(Ordering::Relaxed))
 }
 
 /// The budget-consumption thresholds announced as trace events, percent.
@@ -256,7 +289,12 @@ pub fn note_many(r: Resource, n: u64) {
     let exceeded = CONTEXT.with(|c| {
         let mut borrow = c.borrow_mut();
         let active = borrow.as_mut()?;
-        let counter = match r {
+        // Local stats always take the delta (they feed span deltas and the
+        // merged per-worker sums); inside a parallel region the budgeted
+        // counters are additionally mirrored into the region's shared
+        // atomics, and the limit is checked against the *global* total so
+        // an abort fires promptly no matter how work is split.
+        let local = match r {
             Resource::Pivots => {
                 active.stats.pivots += n;
                 active.stats.pivots
@@ -271,12 +309,28 @@ pub fn note_many(r: Resource, n: u64) {
             }
             Resource::Time => 0,
         };
+        let (counter, before) = match (&active.shared, r) {
+            (_, Resource::Time) => (0, 0),
+            (Some(shared), _) => {
+                let cell = match r {
+                    Resource::Pivots => &shared.pivots,
+                    Resource::FmAtoms => &shared.fm_atoms,
+                    Resource::Disjuncts => &shared.disjuncts,
+                    Resource::Time => unreachable!("handled above"),
+                };
+                let prev = cell.fetch_add(n, Ordering::Relaxed);
+                (prev + n, prev)
+            }
+            (None, _) => (local, local - n),
+        };
         if let Some(limit) = active.budget.limit_for(r) {
             // Counters are monotonic, so each percent line is crossed by
-            // exactly one note; announce crossings to the tracer.
+            // exactly one note (under a shared region, by exactly one
+            // worker — fetch_add hands out disjoint intervals); announce
+            // crossings to the tracer.
             if let Some(tracer) = active.tracer.as_mut() {
                 for pct in BUDGET_THRESHOLDS {
-                    let before = (counter - n) as u128 * 100;
+                    let before = before as u128 * 100;
                     let line = limit as u128 * pct as u128;
                     if before <= line && (counter as u128 * 100) > line {
                         tracer.event(EventKind::BudgetThreshold {
@@ -446,17 +500,87 @@ pub fn trace_event(event: impl FnOnce() -> EventKind) {
     });
 }
 
+/// Per-execution options: the resource budget, whether the sat/entailment
+/// memo cache is consulted, and how many threads parallel regions may use.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Resource limits for the evaluation.
+    pub budget: EngineBudget,
+    /// Consult the sat/entailment memo cache?
+    pub cache: bool,
+    /// Thread budget for parallel regions ([`parallel_map`]); 1 means
+    /// strictly serial. Defaults to [`default_threads`].
+    pub threads: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        ExecOptions {
+            budget: EngineBudget::unlimited(),
+            cache: true,
+            threads: default_threads(),
+        }
+    }
+}
+
+impl ExecOptions {
+    /// Replace the budget.
+    pub fn with_budget(mut self, budget: EngineBudget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Enable or disable the memo cache.
+    pub fn with_cache(mut self, cache: bool) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Replace the thread budget (clamped to at least 1).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+}
+
+/// The default thread budget: the `LYRIC_THREADS` environment variable
+/// when set to a positive integer, else
+/// [`std::thread::available_parallelism`] (1 when unknown).
+pub fn default_threads() -> usize {
+    std::env::var("LYRIC_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
 /// Install `budget` for the duration of `f`, returning `f`'s value and
 /// the accumulated [`EngineStats`], or `Err(BudgetExceeded)` if a limit
 /// was crossed. Contexts do not nest: a `run_with` inside an active
 /// context would silently re-scope the outer budget, so it panics —
-/// callers gate on [`is_active`] instead.
+/// callers gate on [`is_active`] instead. The thread budget is
+/// [`default_threads`]; use [`run_with_opts`] to pick one explicitly.
 pub fn run_with<T>(
     budget: EngineBudget,
     cache: bool,
     f: impl FnOnce() -> T,
 ) -> Result<(T, EngineStats), BudgetExceeded> {
-    run_inner(budget, cache, None, f).map(|(value, stats, _)| (value, stats))
+    run_with_opts(
+        ExecOptions::default().with_budget(budget).with_cache(cache),
+        f,
+    )
+}
+
+/// [`run_with`] with explicit [`ExecOptions`] (budget, cache, threads).
+pub fn run_with_opts<T>(
+    opts: ExecOptions,
+    f: impl FnOnce() -> T,
+) -> Result<(T, EngineStats), BudgetExceeded> {
+    run_inner(opts, None, f).map(|(value, stats, _)| (value, stats))
 }
 
 /// [`run_with`] with a span/event collector attached: cost sites record a
@@ -473,18 +597,35 @@ pub fn run_traced<T>(
     source_len: usize,
     f: impl FnOnce() -> T,
 ) -> Result<(T, EngineStats, trace::Trace), BudgetExceeded> {
+    run_traced_opts(
+        ExecOptions::default().with_budget(budget).with_cache(cache),
+        label,
+        source_len,
+        f,
+    )
+}
+
+/// [`run_traced`] with explicit [`ExecOptions`]. Under a thread budget
+/// above 1, parallel regions record per-worker subtrees (distinct `tid`s)
+/// grafted into the single logical trace tree.
+pub fn run_traced_opts<T>(
+    opts: ExecOptions,
+    label: impl Into<String>,
+    source_len: usize,
+    f: impl FnOnce() -> T,
+) -> Result<(T, EngineStats, trace::Trace), BudgetExceeded> {
     let collector = trace::Collector::new(label, source_len);
-    run_inner(budget, cache, Some(collector), f)
+    run_inner(opts, Some(collector), f)
         .map(|(value, stats, trace)| (value, stats, trace.expect("collector was installed")))
 }
 
 fn run_inner<T>(
-    budget: EngineBudget,
-    cache: bool,
+    opts: ExecOptions,
     tracer: Option<trace::Collector>,
     f: impl FnOnce() -> T,
 ) -> Result<(T, EngineStats, Option<trace::Trace>), BudgetExceeded> {
     silence_budget_unwinds();
+    let generation = GENERATION.fetch_add(1, Ordering::Relaxed) + 1;
     CONTEXT.with(|c| {
         let mut borrow = c.borrow_mut();
         assert!(
@@ -492,16 +633,18 @@ fn run_inner<T>(
             "engine contexts do not nest; check engine::is_active() first"
         );
         *borrow = Some(ActiveContext {
-            budget,
+            budget: opts.budget,
             stats: EngineStats::default(),
             started: Instant::now(),
             notes_since_clock: 0,
-            cache_enabled: cache,
+            cache_enabled: opts.cache,
             tracer,
             time_thresholds_emitted: 0,
+            generation,
+            threads: opts.threads.max(1),
+            shared: None,
         });
     });
-    GENERATION.with(|g| *g.borrow_mut() += 1);
 
     let outcome = catch_unwind(AssertUnwindSafe(f));
     let context = CONTEXT

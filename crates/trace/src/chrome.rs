@@ -37,7 +37,7 @@ fn span_event(span: &TraceSpan) -> Json {
         ("ts", us(span.start)),
         ("dur", us(span.duration)),
         ("pid", Json::int(1)),
-        ("tid", Json::int(1)),
+        ("tid", Json::int(span.tid as u64)),
         ("args", Json::Obj(args)),
     ])
 }
@@ -54,7 +54,7 @@ pub fn to_chrome_trace(trace: &Trace) -> String {
                 ("ts", us(e.at)),
                 ("s", Json::str("t")),
                 ("pid", Json::int(1)),
-                ("tid", Json::int(1)),
+                ("tid", Json::int(span.tid as u64)),
             ]));
         }
     });
@@ -68,8 +68,10 @@ pub fn to_chrome_trace(trace: &Trace) -> String {
 /// Structural validation of a Chrome trace-event document, shared by the
 /// test suite and the `validate_trace` CI smoke binary: the document must
 /// parse, expose a non-empty `traceEvents` array, and every event must
-/// carry `name`/`ph`/`ts`/`pid`/`tid`, with complete (`"X"`) events also
-/// carrying a `dur`. Returns the number of events on success.
+/// carry `name`/`ph`/`ts`/`pid`/`tid` (with `ts` and `tid` numeric), with
+/// complete (`"X"`) events also carrying a `dur`. Events may span any
+/// number of distinct `tid`s — parallel evaluation exports one track per
+/// worker thread. Returns the number of events on success.
 pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
     let doc = crate::json::parse(text).map_err(|e| e.to_string())?;
     let events = doc
@@ -91,6 +93,9 @@ pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
         }
         if e.get("ts").and_then(Json::as_f64).is_none() {
             return Err(format!("event {i} has a non-numeric ts"));
+        }
+        if e.get("tid").and_then(Json::as_f64).is_none() {
+            return Err(format!("event {i} has a non-numeric tid"));
         }
     }
     Ok(events.len())

@@ -13,7 +13,7 @@
 //! nearest recorded ancestor, keeping the sum invariants intact on
 //! adversarial traces.
 
-use crate::model::{EventKind, SpanKind, Trace, TraceEvent, TraceSpan};
+use crate::model::{EventKind, SpanKind, Trace, TraceEvent, TraceSpan, MAIN_TID};
 use crate::stats::EngineStats;
 use std::time::{Duration, Instant};
 
@@ -28,9 +28,15 @@ struct Pending {
 }
 
 /// Accumulates one query's span tree. Created by `lyric_engine::run_traced`
-/// and fed through the engine's span/event hooks.
+/// and fed through the engine's span/event hooks. Parallel regions create
+/// one [`Collector::worker`] per worker thread against the *same* origin
+/// `Instant`, so worker offsets nest inside the parent's open span; the
+/// sealed worker subtrees are grafted back with
+/// [`Collector::attach_subtree`].
 pub struct Collector {
     origin: Instant,
+    /// Thread id stamped on every span this collector records.
+    tid: u32,
     /// Open spans, outermost first; index 0 is the root and is only closed
     /// by [`finish`](Collector::finish).
     stack: Vec<Pending>,
@@ -51,6 +57,7 @@ impl Collector {
     pub fn new(label: impl Into<String>, source_len: usize) -> Collector {
         Collector {
             origin: Instant::now(),
+            tid: MAIN_TID,
             stack: vec![Pending {
                 kind: SpanKind::Query,
                 label: label.into(),
@@ -64,6 +71,37 @@ impl Collector {
             suppressed: 0,
             dropped: 0,
         }
+    }
+
+    /// A per-thread sub-collector for one worker of a parallel region. It
+    /// measures against the parent's `origin`, so its offsets are directly
+    /// comparable with (and nest inside) the parent tree's, and stamps
+    /// `tid` on every span. The root span is a [`SpanKind::Worker`] whose
+    /// interval is the worker's lifetime; seal it with
+    /// [`finish_subtree`](Collector::finish_subtree).
+    pub fn worker(origin: Instant, tid: u32, label: impl Into<String>) -> Collector {
+        Collector {
+            origin,
+            tid,
+            stack: vec![Pending {
+                kind: SpanKind::Worker,
+                label: label.into(),
+                source: None,
+                start: origin.elapsed(),
+                stats_at_enter: EngineStats::default(),
+                events: Vec::new(),
+                children: Vec::new(),
+            }],
+            recorded: 1,
+            suppressed: 0,
+            dropped: 0,
+        }
+    }
+
+    /// The origin `Instant` all offsets are measured against. Parallel
+    /// regions pass this to [`Collector::worker`].
+    pub fn origin(&self) -> Instant {
+        self.origin
     }
 
     /// Open a child span. `stats` is the context's current counter
@@ -106,6 +144,7 @@ impl Collector {
         let done = self.stack.pop().expect("stack has an open span");
         let span = TraceSpan {
             kind: done.kind,
+            tid: self.tid,
             label: done.label,
             source: done.source,
             start: done.start,
@@ -119,6 +158,26 @@ impl Collector {
             .expect("root span remains")
             .children
             .push(span);
+    }
+
+    /// Graft a sealed worker subtree under the innermost open span, in
+    /// merge order. `dropped` is the worker collector's own drop count.
+    /// If recording the subtree would cross the span cap it is folded
+    /// (dropped) instead — its time and counters are already covered by
+    /// the parent span's inclusive delta, so the sum invariants hold.
+    pub fn attach_subtree(&mut self, subtree: TraceSpan, dropped: u64) {
+        self.dropped += dropped;
+        let size = subtree.tree_size();
+        if self.recorded + size > Self::MAX_SPANS {
+            self.dropped += size as u64;
+            return;
+        }
+        self.recorded += size;
+        self.stack
+            .last_mut()
+            .expect("root span remains")
+            .children
+            .push(subtree);
     }
 
     /// Attach an event to the innermost open span.
@@ -141,23 +200,40 @@ impl Collector {
     /// closed here) and seal the trace. `stats` is the context's final
     /// counter state, which becomes the root's inclusive delta.
     pub fn finish(mut self, stats: EngineStats) -> Trace {
+        let dropped = self.dropped;
+        let root = self.seal_root(stats);
+        Trace {
+            root,
+            dropped_spans: dropped,
+        }
+    }
+
+    /// Seal a [`Collector::worker`] sub-collector: close any remaining
+    /// spans and return the worker-root span (for
+    /// [`attach_subtree`](Collector::attach_subtree)) plus the drop count.
+    /// `stats` is the worker's final *local* counter state, which becomes
+    /// the subtree root's inclusive delta.
+    pub fn finish_subtree(mut self, stats: EngineStats) -> (TraceSpan, u64) {
+        let dropped = self.dropped;
+        (self.seal_root(stats), dropped)
+    }
+
+    fn seal_root(&mut self, stats: EngineStats) -> TraceSpan {
         self.suppressed = 0;
         while self.stack.len() > 1 {
             self.exit(stats);
         }
         let root = self.stack.pop().expect("root span");
-        Trace {
-            root: TraceSpan {
-                kind: root.kind,
-                label: root.label,
-                source: root.source,
-                start: Duration::ZERO,
-                duration: self.origin.elapsed(),
-                stats,
-                events: root.events,
-                children: root.children,
-            },
-            dropped_spans: self.dropped,
+        TraceSpan {
+            kind: root.kind,
+            tid: self.tid,
+            label: root.label,
+            source: root.source,
+            start: root.start,
+            duration: self.origin.elapsed().saturating_sub(root.start),
+            stats: stats.delta_since(&root.stats_at_enter),
+            events: root.events,
+            children: root.children,
         }
     }
 }
@@ -214,6 +290,60 @@ mod tests {
         assert_eq!(t.span_count(), 3);
         assert_eq!(t.total_stats().pivots, 9);
         assert_eq!(t.summed_self_stats().pivots, 9);
+    }
+
+    #[test]
+    fn worker_subtrees_graft_with_tids_and_partition_stats() {
+        let mut main = Collector::new("q", 2);
+        main.enter(SpanKind::Where, "w".into(), None, stats(0));
+        // Two workers measured against the same origin; their local stats
+        // are deltas, absorbed by the parent context before the Where span
+        // closes (mirrored here by exiting with the merged total).
+        let mut w0 = Collector::worker(main.origin(), 2, "worker 0");
+        w0.enter(SpanKind::SatCheck, "s".into(), None, stats(0));
+        w0.exit(stats(3));
+        let (s0, d0) = w0.finish_subtree(stats(3));
+        let w1 = Collector::worker(main.origin(), 3, "worker 1");
+        let (s1, d1) = w1.finish_subtree(stats(4));
+        assert_eq!(s0.tid, 2);
+        assert_eq!(s0.children[0].tid, 2);
+        assert_eq!(s1.tid, 3);
+        assert_eq!(s0.stats.pivots, 3);
+        main.attach_subtree(s0, d0);
+        main.attach_subtree(s1, d1);
+        main.exit(stats(7));
+        let t = main.finish(stats(7));
+        assert_eq!(t.root.tid, crate::model::MAIN_TID);
+        assert_eq!(t.distinct_tids(), vec![1, 2, 3]);
+        let wher = &t.root.children[0];
+        assert_eq!(wher.children.len(), 2);
+        // The workers' inclusive deltas partition the Where span's delta;
+        // nothing is counted twice, nothing lost.
+        assert_eq!(wher.self_stats().pivots, 0);
+        assert_eq!(t.summed_self_stats().pivots, 7);
+        // Worker subtrees still nest in time inside their parent span.
+        assert!(wher.children.iter().all(|c| c.start >= wher.start));
+        assert!(wher.children.iter().all(|c| c.end() <= wher.end()));
+        // And the Chrome export carries one track per tid.
+        let text = crate::chrome::to_chrome_trace(&t);
+        assert!(crate::chrome::validate_chrome_trace(&text).is_ok());
+    }
+
+    #[test]
+    fn attach_over_cap_folds_into_dropped() {
+        let mut main = Collector::new("q", 0);
+        for _ in 0..(Collector::MAX_SPANS - 1) {
+            main.enter(SpanKind::SatCheck, "s".into(), None, stats(0));
+            main.exit(stats(0));
+        }
+        let mut w = Collector::worker(main.origin(), 2, "worker 0");
+        w.enter(SpanKind::SatCheck, "s".into(), None, stats(0));
+        w.exit(stats(0));
+        let (sub, d) = w.finish_subtree(stats(0));
+        main.attach_subtree(sub, d);
+        let t = main.finish(stats(0));
+        assert_eq!(t.span_count(), Collector::MAX_SPANS);
+        assert_eq!(t.dropped_spans, 2, "folded worker subtree is counted");
     }
 
     #[test]

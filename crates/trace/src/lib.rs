@@ -44,6 +44,6 @@ pub use agg::{hot_spans, HotSpan};
 pub use chrome::to_chrome_trace;
 pub use collect::Collector;
 pub use json::Json;
-pub use model::{EventKind, SpanKind, Trace, TraceEvent, TraceSpan};
+pub use model::{EventKind, SpanKind, Trace, TraceEvent, TraceSpan, MAIN_TID};
 pub use render::render_tree;
 pub use stats::EngineStats;

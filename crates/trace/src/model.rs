@@ -40,6 +40,9 @@ pub enum SpanKind {
     FmEliminate,
     /// Materializing a `CREATE VIEW` result into the database.
     ViewMaterialize,
+    /// One worker thread's share of a parallel region; its children are
+    /// the spans recorded on that thread.
+    Worker,
 }
 
 impl SpanKind {
@@ -62,6 +65,7 @@ impl SpanKind {
             SpanKind::LpSolve => "lp_solve",
             SpanKind::FmEliminate => "fm_eliminate",
             SpanKind::ViewMaterialize => "view_materialize",
+            SpanKind::Worker => "worker",
         }
     }
 }
@@ -125,12 +129,20 @@ pub struct TraceEvent {
     pub kind: EventKind,
 }
 
+/// Thread id of the coordinating (query) thread in exported traces.
+pub const MAIN_TID: u32 = 1;
+
 /// One finished span: a phase of the evaluation with its timing, source
 /// attribution, counter delta, events, and child spans.
 #[derive(Debug, Clone)]
 pub struct TraceSpan {
     /// The phase this span measures.
     pub kind: SpanKind,
+    /// Logical thread id: [`MAIN_TID`] on the coordinating thread; worker
+    /// subtrees of a parallel region carry their worker's id. Siblings
+    /// with *different* tids ran concurrently and may overlap in time;
+    /// the nesting invariant (disjoint, ordered siblings) holds per tid.
+    pub tid: u32,
     /// Human label (variable/class names, column name, LP direction, …).
     pub label: String,
     /// Byte range of the source fragment this span evaluates, when known.
@@ -228,5 +240,16 @@ impl Trace {
         let mut acc = EngineStats::default();
         self.root.walk(&mut |s, _| acc.absorb(&s.self_stats()));
         acc
+    }
+
+    /// The distinct thread ids appearing anywhere in the tree, sorted.
+    /// `[MAIN_TID]` for a serial trace; parallel regions add one id per
+    /// worker that recorded spans.
+    pub fn distinct_tids(&self) -> Vec<u32> {
+        let mut tids = std::collections::BTreeSet::new();
+        self.root.walk(&mut |s, _| {
+            tids.insert(s.tid);
+        });
+        tids.into_iter().collect()
     }
 }

@@ -13,8 +13,9 @@
 //! ```
 //!
 //! Meta-commands: `:help`, `:check <query>`, `:profile <query>`,
-//! `:trace on|off`, `:trace chrome <file>`, `:schema`, `:classes`,
-//! `:extent <Class>`, `:stats`, `:save <file>`, `:load <file>`, `:quit`.
+//! `:trace on|off`, `:trace chrome <file>`, `:threads [n]`, `:schema`,
+//! `:classes`, `:extent <Class>`, `:stats`, `:save <file>`, `:load <file>`,
+//! `:quit`.
 //!
 //! Queries run under the engine's *interactive* evaluation budget, so an
 //! adversarial constraint blowup reports `evaluation budget exceeded`
@@ -26,9 +27,16 @@
 //! ranges, and engine counter deltas. `:trace on` does the same for every
 //! subsequent statement; `:trace chrome <file>` additionally writes each
 //! traced query's Chrome trace-event JSON (load it in `chrome://tracing`
-//! or Perfetto).
+//! or Perfetto — parallel queries show one track per worker thread).
+//!
+//! `:threads <n>` sets the evaluation thread budget (`:threads` shows
+//! it). The shell starts from `LYRIC_THREADS` or the machine's available
+//! parallelism; answers are identical at every setting.
 
-use lyric::{execute_traced, execute_with_budget, paper_example, EngineBudget};
+use lyric::{
+    default_threads, execute_traced_with_options, execute_with_options, paper_example,
+    EngineBudget, ExecOptions,
+};
 use std::io::{self, BufRead, Write};
 
 /// Shell state beyond the database itself.
@@ -38,6 +46,16 @@ struct Session {
     trace: bool,
     /// Also export each traced query's Chrome trace JSON here.
     chrome_path: Option<String>,
+    /// Thread budget for parallel evaluation (`:threads`).
+    threads: usize,
+}
+
+impl Session {
+    fn exec_options(&self) -> ExecOptions {
+        ExecOptions::default()
+            .with_budget(EngineBudget::interactive())
+            .with_threads(self.threads)
+    }
 }
 
 fn main() {
@@ -46,6 +64,7 @@ fn main() {
         show_stats: false,
         trace: false,
         chrome_path: None,
+        threads: default_threads(),
     };
     println!("LyriC shell — the Figure 2 office database is loaded.");
     println!("End statements with ';'. Type :help for commands.\n");
@@ -84,7 +103,7 @@ fn main() {
 fn run_statement(db: &mut lyric::oodb::Database, session: &Session, stmt: &str) {
     let traced = session.trace || session.chrome_path.is_some();
     let (result, trace) = if traced {
-        match execute_traced(db, stmt, EngineBudget::interactive()) {
+        match execute_traced_with_options(db, stmt, &session.exec_options()) {
             Ok((r, t)) => (r, Some(t)),
             Err(e) => {
                 println!("error: {e}");
@@ -92,7 +111,7 @@ fn run_statement(db: &mut lyric::oodb::Database, session: &Session, stmt: &str) 
             }
         }
     } else {
-        match execute_with_budget(db, stmt, EngineBudget::interactive()) {
+        match execute_with_options(db, stmt, &session.exec_options()) {
             Ok(r) => (r, None),
             Err(e) => {
                 println!("error: {e}");
@@ -151,6 +170,7 @@ fn meta_command(db: &mut lyric::oodb::Database, session: &mut Session, cmd: &str
             println!(":profile <query>  run a query with tracing and print its span tree");
             println!(":trace on|off     trace every statement (span tree after the rows)");
             println!(":trace chrome <file>  also export Chrome trace JSON per traced query");
+            println!(":threads [n]      show or set the evaluation thread budget");
             println!(":schema           list classes with their attributes");
             println!(":classes          list class names");
             println!(":extent <Class>   list the instances of a class");
@@ -182,7 +202,7 @@ fn meta_command(db: &mut lyric::oodb::Database, session: &mut Session, cmd: &str
             if src.is_empty() {
                 println!("usage: :profile <query>  (single line, ';' optional)");
             } else {
-                match execute_traced(db, src, EngineBudget::interactive()) {
+                match execute_traced_with_options(db, src, &session.exec_options()) {
                     Ok((result, trace)) => {
                         println!("({} row{})", result.rows.len(), plural(result.rows.len()));
                         print!("{}", lyric::trace::render_tree(&trace));
@@ -211,6 +231,16 @@ fn meta_command(db: &mut lyric::oodb::Database, session: &mut Session, cmd: &str
                 None => println!("usage: :trace chrome <file>"),
             },
             _ => println!("usage: :trace on|off  or  :trace chrome <file>"),
+        },
+        Some(":threads") => match parts.next() {
+            None => println!("threads: {}", session.threads),
+            Some(n) => match n.parse::<usize>() {
+                Ok(n) if n >= 1 => {
+                    session.threads = n;
+                    println!("threads set to {n}");
+                }
+                _ => println!("usage: :threads <positive integer>"),
+            },
         },
         Some(":stats") => {
             session.show_stats = !session.show_stats;

@@ -2,16 +2,23 @@
 //!
 //! Every trace from [`lyric::execute_traced`] must satisfy: a single
 //! `query` root covering the whole source; children nested within their
-//! parent's time interval, in disjoint start order; and per-span
-//! *exclusive* counter deltas that sum exactly to the query's aggregate
-//! [`lyric::EngineStats`] — the trace partitions the query's work with
-//! nothing counted twice and nothing lost. The Chrome export of every
-//! checked trace must also validate structurally.
+//! parent's time interval, in disjoint start order *per logical thread*
+//! (siblings with different `tid`s ran concurrently and may overlap); and
+//! per-span *exclusive* counter deltas that sum exactly to the query's
+//! aggregate [`lyric::EngineStats`] — the trace partitions the query's
+//! work with nothing counted twice and nothing lost, whether it ran
+//! serially or across a worker pool. The Chrome export of every checked
+//! trace must also validate structurally.
 
-use lyric::trace::{SpanKind, Trace, TraceSpan};
-use lyric::{execute_traced, paper_example, EngineBudget, EngineStats};
+use lyric::trace::{SpanKind, Trace, TraceSpan, MAIN_TID};
+use lyric::ExecOptions;
+use lyric::{
+    execute_traced, execute_traced_with_options, paper_example, EngineBudget, EngineStats,
+};
 use lyric_bench::workload::{self, Q_LINEAR, Q_PAIRWISE};
 use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::time::Duration;
 
 /// The §4.1 worked-example queries (the same set the bench report runs).
 const PAPER_QUERIES: [&str; 5] = [
@@ -32,18 +39,20 @@ const PAPER_QUERIES: [&str; 5] = [
      FROM Desk D WHERE D.extent[E]",
 ];
 
-/// Children must sit inside their parent's interval, pairwise disjoint and
-/// in start order (the collector is single-threaded, so sibling spans
-/// cannot overlap).
+/// Children must sit inside their parent's interval and, *per logical
+/// thread id*, be pairwise disjoint and in start order. Siblings with
+/// different tids are worker subtrees of a parallel region: they ran
+/// concurrently, so only the per-tid sequences are ordered.
 fn assert_nested(span: &TraceSpan) {
-    let mut cursor = span.start;
+    let mut cursors: BTreeMap<u32, Duration> = BTreeMap::new();
     for c in &span.children {
+        let cursor = cursors.entry(c.tid).or_insert(span.start);
         assert!(
-            c.start >= cursor,
-            "sibling spans overlap or are out of order"
+            c.start >= *cursor,
+            "same-tid sibling spans overlap or are out of order"
         );
         assert!(c.end() <= span.end(), "child span escapes its parent");
-        cursor = c.end();
+        *cursor = c.end();
         assert_nested(c);
     }
 }
@@ -125,6 +134,38 @@ fn traced_budget_abort_matches_untraced() {
             assert_eq!(a, b);
         }
         other => panic!("both runs must abort on the 1-pivot budget, got {other:?}"),
+    }
+}
+
+/// Multi-threaded evaluation still yields ONE well-formed logical trace:
+/// a single query root, per-tid nesting, self-stats partitioning the
+/// aggregate exactly, multiple distinct tids present, and a Chrome export
+/// that validates — while the answer stays identical to the serial run.
+#[test]
+fn multithreaded_traces_are_well_formed() {
+    let db = workload::office_db(10, 42);
+    let serial = lyric::execute(&mut db.clone(), Q_LINEAR).expect("linear query evaluates");
+    for threads in [2usize, 4, 8] {
+        let opts = ExecOptions::default().with_threads(threads);
+        let (res, trace) = execute_traced_with_options(&mut db.clone(), Q_LINEAR, &opts)
+            .expect("linear query evaluates");
+        assert_well_formed(&trace, &res.stats);
+        assert_eq!(
+            res, serial,
+            "tracing + {threads} threads changed the answer"
+        );
+        let tids = trace.distinct_tids();
+        assert_eq!(tids[0], MAIN_TID);
+        assert!(
+            tids.len() >= 2,
+            "expected worker subtrees at {threads} threads, got tids {tids:?}"
+        );
+        // Worker subtrees are explicit worker-kind spans.
+        let mut workers = 0usize;
+        trace
+            .root
+            .walk(&mut |s, _| workers += usize::from(s.kind == SpanKind::Worker));
+        assert!(workers >= 1, "worker spans must be recorded");
     }
 }
 
