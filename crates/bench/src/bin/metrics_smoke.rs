@@ -1,0 +1,144 @@
+//! CI smoke check for the metrics pipeline, end to end through HTTP:
+//! start `lyric-serve` in-process on an ephemeral port, run the paper
+//! queries via `POST /query`, scrape `GET /metrics`, and assert that the
+//! scraped counters are *exactly* consistent with the work performed —
+//! `lyric_queries_total` advanced by the number of queries sent, the
+//! latency histogram saw one observation per query, and every
+//! `lyric_engine_<counter>_total` advanced by the sum of the per-query
+//! `stats` objects the server itself returned. Exits nonzero on any
+//! inconsistency.
+//!
+//! Run with `cargo run -p lyric-bench --bin metrics_smoke --release`.
+
+use lyric::trace::stats::COUNTER_NAMES;
+use lyric::ExecOptions;
+use lyric_serve::{http_request, Server};
+use std::net::SocketAddr;
+use std::sync::Arc;
+
+const QUERIES: &[&str] = &[
+    "SELECT Y FROM Desk X WHERE X.drawer.extent[Y]",
+    "SELECT CO, ((u,v) | E AND D AND x = 6 AND y = 4)
+     FROM Office_Object CO WHERE CO.extent[E] AND CO.translation[D]",
+    "SELECT DSK FROM Object_In_Room O, Desk DSK
+     WHERE O.catalog_object[DSK] AND O.location[L]
+       AND DSK.drawer_center[C] AND DSK.translation[D]
+       AND DSK.drawer.extent[DRE] AND DSK.drawer.translation[DRD]
+       AND (C(p,q) AND DRE(w1,z1) AND DRD(w1,z1,x1,y1,u1,v1)
+            AND D(w,z,x,y,u,v) AND L(x,y) AND w = u1 AND z = v1
+            AND 0 < u AND u < 20 AND 0 < v AND v < 10)",
+];
+
+/// Scrape `/metrics` and return the parsed exposition.
+fn scrape(addr: SocketAddr) -> lyric::metrics::prometheus::Exposition {
+    let (status, body) = http_request(addr, "GET", "/metrics", "").expect("scrape succeeds");
+    assert_eq!(status, 200, "/metrics must answer 200");
+    lyric::metrics::prometheus::parse(&body).expect("scrape output is valid text format 0.0.4")
+}
+
+/// Sum of every sample named `name` across all label sets (0 when
+/// absent). Matches sample names, so `_count`/`_sum` histogram samples
+/// resolve too.
+fn counter_total(exp: &lyric::metrics::prometheus::Exposition, name: &str) -> f64 {
+    exp.families
+        .iter()
+        .flat_map(|f| &f.samples)
+        .filter(|s| s.name == name)
+        .map(|s| s.value)
+        .sum()
+}
+
+fn main() {
+    let mut failures = 0usize;
+
+    let db = Arc::new(lyric::paper_example::database());
+    let addr = Server::bind("127.0.0.1:0", db, ExecOptions::default().with_threads(2))
+        .expect("bind an ephemeral port")
+        .spawn()
+        .expect("start the accept loop");
+    println!("serving on http://{addr}");
+
+    let (status, body) = http_request(addr, "GET", "/healthz", "").expect("healthz reachable");
+    assert_eq!((status, body.as_str()), (200, "ok\n"), "liveness check");
+
+    let before = scrape(addr);
+    let queries_before = counter_total(&before, "lyric_queries_total");
+    let hist_before = counter_total(&before, "lyric_query_duration_us_count");
+
+    // Drive the paper queries through POST /query, summing the per-query
+    // stats objects the server reports back.
+    let mut sent = 0f64;
+    let mut expected = vec![0f64; COUNTER_NAMES.len()];
+    for q in QUERIES {
+        for _rep in 0..3 {
+            let (status, body) = http_request(addr, "POST", "/query", q).expect("query sent");
+            if status != 200 {
+                eprintln!("FAIL: /query answered {status} for: {q}\n{body}");
+                failures += 1;
+                continue;
+            }
+            let json = lyric::trace::json::parse(&body).expect("query response is valid JSON");
+            let stats = json.get("stats").expect("response carries stats");
+            for (i, name) in COUNTER_NAMES.iter().enumerate() {
+                expected[i] += stats.get(name).and_then(|v| v.as_f64()).unwrap_or(0.0);
+            }
+            sent += 1.0;
+        }
+    }
+    println!("sent {sent} queries over HTTP");
+
+    // A malformed query must not count as an executed query… but it is
+    // *parsed* server-side before reaching the engine, so it never touches
+    // the counters at all.
+    let (status, _) = http_request(addr, "POST", "/query", "SELECT ???").expect("bad query sent");
+    assert_eq!(status, 400, "malformed queries answer 400");
+
+    let after = scrape(addr);
+
+    let queries_delta = counter_total(&after, "lyric_queries_total") - queries_before;
+    if queries_delta != sent {
+        eprintln!("FAIL: lyric_queries_total advanced by {queries_delta}, sent {sent}");
+        failures += 1;
+    }
+    let hist_delta = counter_total(&after, "lyric_query_duration_us_count") - hist_before;
+    if hist_delta != sent {
+        eprintln!("FAIL: latency histogram recorded {hist_delta} observations, sent {sent}");
+        failures += 1;
+    }
+    for (i, name) in COUNTER_NAMES.iter().enumerate() {
+        let family = format!("lyric_engine_{name}_total");
+        let delta = counter_total(&after, &family) - counter_total(&before, &family);
+        if delta != expected[i] {
+            eprintln!(
+                "FAIL: {family} advanced by {delta}, but the per-query stats sum to {}",
+                expected[i]
+            );
+            failures += 1;
+        }
+    }
+
+    // The histogram's +Inf bucket and _count must agree — the scrape is
+    // internally consistent, not just consistent with the client's sums.
+    let inf = after
+        .families
+        .iter()
+        .filter(|f| f.name == "lyric_query_duration_us")
+        .flat_map(|f| &f.samples)
+        .filter(|s| {
+            s.name == "lyric_query_duration_us_bucket"
+                && s.labels.iter().any(|(k, v)| k == "le" && v == "+Inf")
+        })
+        .map(|s| s.value)
+        .sum::<f64>();
+    let count = counter_total(&after, "lyric_query_duration_us_count");
+    if inf != count {
+        eprintln!("FAIL: +Inf bucket ({inf}) disagrees with _count ({count})");
+        failures += 1;
+    }
+
+    if failures > 0 {
+        eprintln!("metrics smoke FAILED with {failures} inconsistencies");
+        std::process::exit(1);
+    }
+    println!("metrics smoke OK: scraped counters match {sent} queries exactly");
+}

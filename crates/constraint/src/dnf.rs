@@ -10,11 +10,14 @@ use crate::var::Var;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
-/// DNF products below this many pairs are never worth forking a parallel
-/// region for: each pair is one conjunction merge, so the spawn cost
-/// dominates tiny products (and the paper's worked examples stay on their
-/// exact serial path).
-const PAR_PRODUCT_MIN_PAIRS: usize = 64;
+// DNF products below a minimum pair count are never worth forking a
+// parallel region for: each pair is one conjunction merge, so the spawn
+// cost dominates tiny products (and the paper's worked examples stay on
+// their exact serial path). The default lives in
+// `lyric_engine::DNF_PARALLEL_MIN_PAIRS`; per-query overrides come from
+// `ExecOptions::with_dnf_min_pairs` / `LYRIC_DNF_MIN_PAIRS` and are
+// consulted through `lyric_engine::dnf_parallel_min_pairs` at each
+// product site.
 
 /// A disjunction of conjunctions of normalized atoms.
 ///
@@ -75,16 +78,17 @@ impl Dnf {
 
     /// Logical conjunction (distributes: `|self|·|other|` disjuncts).
     ///
-    /// Products of at least [`PAR_PRODUCT_MIN_PAIRS`] pairs are evaluated
-    /// row-parallel under a multi-threaded engine context; [`Dnf::of`]
-    /// re-sorts the disjuncts, so the result is identical either way.
+    /// Products of at least [`lyric_engine::dnf_parallel_min_pairs`]
+    /// pairs are evaluated row-parallel under a multi-threaded engine
+    /// context; [`Dnf::of`] re-sorts the disjuncts, so the result is
+    /// identical either way.
     pub fn and(&self, other: &Dnf) -> Dnf {
         lyric_engine::trace_event(|| lyric_engine::EventKind::DnfProduct {
             left: self.disjuncts.len(),
             right: other.disjuncts.len(),
         });
         let pairs = self.disjuncts.len() * other.disjuncts.len();
-        if pairs >= PAR_PRODUCT_MIN_PAIRS {
+        if pairs >= lyric_engine::dnf_parallel_min_pairs() {
             let rows = lyric_engine::parallel_map(&self.disjuncts, |_, a| {
                 other
                     .disjuncts

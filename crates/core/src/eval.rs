@@ -21,8 +21,11 @@ use lyric_arith::Rational;
 use lyric_constraint::{CstObject, Extremum, Var};
 use lyric_engine::{span, SpanKind};
 use lyric_oodb::{AttrDef, AttrTarget, ClassDef, Database, Oid, Value};
+use std::cell::Cell;
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::sync::OnceLock;
+use std::time::Instant;
 
 /// The answer of a query: column names, rows of oids, and the engine
 /// work counters accumulated while evaluating it.
@@ -106,7 +109,7 @@ pub fn execute_with_options(
 ) -> Result<QueryResult, LyricError> {
     let q = parse_query(src)?;
     check(db, &q)?;
-    run_in_context(db, &q, opts.clone())
+    run_in_context(db, &q, opts.clone(), Some(src))
 }
 
 /// Execute a `SELECT` statement against a *shared* database reference.
@@ -124,13 +127,20 @@ pub fn execute_shared(
     check(db, &q)?;
     match &q {
         Query::Select(s) => {
-            match lyric_engine::run_with_opts(opts.clone(), || eval_select_query(db, s)) {
+            let started = Instant::now();
+            let trace_id = Cell::new(0u64);
+            let result = match lyric_engine::run_with_opts(opts.clone(), || {
+                trace_id.set(lyric_engine::generation());
+                eval_select_query(db, s)
+            }) {
                 Ok((inner, stats)) => inner.map(|mut res| {
                     res.stats = stats;
                     res
                 }),
                 Err(exceeded) => Err(exceeded.into()),
-            }
+            };
+            log_query(src, opts.threads.max(1), started, trace_id.get(), &result);
+            result
         }
         Query::CreateView(_) => Err(LyricError::type_error(
             "execute_shared evaluates SELECT statements only; CREATE VIEW mutates the database",
@@ -157,7 +167,7 @@ pub fn execute_parsed_unchecked(db: &mut Database, q: &Query) -> Result<QueryRes
         }
         return Ok(res);
     }
-    run_in_context(db, q, lyric_engine::ExecOptions::default())
+    run_in_context(db, q, lyric_engine::ExecOptions::default(), None)
 }
 
 /// The admission gate: run the static analyzer (default options) and
@@ -173,8 +183,61 @@ fn check(db: &Database, q: &Query) -> Result<(), LyricError> {
     if diags.is_empty() {
         Ok(())
     } else {
+        analyzer_rejections().inc();
         Err(LyricError::Analysis(diags))
     }
+}
+
+/// Queries the static analyzer turned away before any engine work ran.
+fn analyzer_rejections() -> &'static lyric_metrics::Counter {
+    static C: OnceLock<lyric_metrics::Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        lyric_metrics::global().counter(
+            "lyric_analyzer_rejections_total",
+            "Queries rejected by the static analyzer before evaluation.",
+        )
+    })
+}
+
+/// Write one structured query-log line (see `lyric_metrics::querylog`
+/// for the schema). A no-op unless a log sink is installed. `trace_id`
+/// is the engine context generation captured inside the run, so log
+/// lines correlate with memo-cache generations and trace output; on a
+/// budget abort the engine discards the context's counters, so `stats`
+/// are zero for non-`ok` outcomes.
+fn log_query(
+    src: &str,
+    threads: usize,
+    started: Instant,
+    trace_id: u64,
+    result: &Result<QueryResult, LyricError>,
+) {
+    use lyric_metrics::querylog::{self, Outcome, Record};
+    if !lyric_metrics::enabled() || !querylog::active() {
+        return;
+    }
+    let zero = lyric_engine::EngineStats::default();
+    let (outcome, rows, stats) = match result {
+        Ok(res) => (Outcome::Ok, res.rows.len() as u64, &res.stats),
+        Err(LyricError::BudgetExceeded { resource, .. }) => {
+            (Outcome::BudgetExceeded(resource.name()), 0, &zero)
+        }
+        Err(_) => (Outcome::Error, 0, &zero),
+    };
+    let named: Vec<(&'static str, u64)> = lyric_engine::trace::stats::COUNTER_NAMES
+        .iter()
+        .copied()
+        .zip(stats.counters())
+        .collect();
+    querylog::log(&Record {
+        query: src,
+        outcome,
+        rows,
+        duration_us: started.elapsed().as_micros() as u64,
+        threads,
+        trace_id,
+        stats: &named,
+    });
 }
 
 /// Parse and execute a statement under a span collector: evaluation runs
@@ -209,34 +272,59 @@ pub fn execute_traced_with_options(
     opts: &lyric_engine::ExecOptions,
 ) -> Result<(QueryResult, lyric_engine::trace::Trace), LyricError> {
     let label = src.trim().to_string();
+    let started = Instant::now();
+    let trace_id = Cell::new(0u64);
     let outcome = lyric_engine::run_traced_opts(opts.clone(), label, src.len(), || {
+        trace_id.set(lyric_engine::generation());
         let q = parse_query(src)?;
         check(db, &q)?;
         execute_in_context(db, &q)
     });
-    match outcome {
+    let result = match outcome {
         Ok((inner, stats, trace)) => inner.map(|mut res| {
             res.stats = stats;
             (res, trace)
         }),
         Err(exceeded) => Err(exceeded.into()),
+    };
+    if lyric_metrics::querylog::active() {
+        let flat = match &result {
+            Ok((res, _)) => Ok(res.clone()),
+            Err(e) => Err(e.clone()),
+        };
+        log_query(src, opts.threads.max(1), started, trace_id.get(), &flat);
     }
+    result
 }
 
 /// Install an engine context around the evaluator and translate a budget
-/// abort into [`LyricError::BudgetExceeded`].
+/// abort into [`LyricError::BudgetExceeded`]. With `log_src` present the
+/// query is also written to the structured query log (when a sink is
+/// installed); parsed-only entry points pass `None` since the log keys
+/// lines by source hash.
 fn run_in_context(
     db: &mut Database,
     q: &Query,
     opts: lyric_engine::ExecOptions,
+    log_src: Option<&str>,
 ) -> Result<QueryResult, LyricError> {
-    match lyric_engine::run_with_opts(opts, || execute_in_context(db, q)) {
+    let started = Instant::now();
+    let trace_id = Cell::new(0u64);
+    let threads = opts.threads.max(1);
+    let result = match lyric_engine::run_with_opts(opts, || {
+        trace_id.set(lyric_engine::generation());
+        execute_in_context(db, q)
+    }) {
         Ok((inner, stats)) => inner.map(|mut res| {
             res.stats = stats;
             res
         }),
         Err(exceeded) => Err(exceeded.into()),
+    };
+    if let Some(src) = log_src {
+        log_query(src, threads, started, trace_id.get(), &result);
     }
+    result
 }
 
 /// The evaluator proper; runs inside whatever engine context is installed.

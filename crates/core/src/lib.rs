@@ -78,6 +78,11 @@ pub use lyric_oodb as oodb;
 pub use lyric_engine as engine;
 pub use lyric_engine::{default_threads, EngineBudget, EngineStats, ExecOptions};
 
+/// Process-lifetime metrics: the global registry, Prometheus exposition,
+/// and the structured query log (re-exported so dependents need no
+/// direct `lyric-metrics` dependency).
+pub use lyric_metrics as metrics;
+
 // Re-export the tracing surface (span trees, renderers, exporters) for
 // consumers of [`execute_traced`].
 pub use lyric_engine::trace;

@@ -48,10 +48,17 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+mod metrics;
 mod parallel;
 mod pool;
 
 pub use parallel::{parallel_map, MIN_PARALLEL_ITEMS};
+
+/// Default minimum `|left|·|right|` pair count before a DNF product is
+/// evaluated row-parallel (see `lyric-constraint`); tunable per query
+/// via [`ExecOptions::with_dnf_min_pairs`] or the `LYRIC_DNF_MIN_PAIRS`
+/// environment variable.
+pub const DNF_PARALLEL_MIN_PAIRS: usize = 64;
 
 /// The trace data model and sinks (re-exported so dependents need no
 /// direct `lyric-trace` dependency).
@@ -214,6 +221,10 @@ struct ActiveContext {
     /// Thread budget for parallel regions opened under this context; 1
     /// means strictly serial evaluation.
     threads: usize,
+    /// Minimum item count before a [`parallel_map`] region forks.
+    min_parallel: usize,
+    /// Minimum pair count before DNF products go parallel.
+    dnf_min_pairs: usize,
     /// Cross-worker budget state of the enclosing parallel region; `Some`
     /// only in worker contexts. Budgeted counters are mirrored into these
     /// atomics so a limit crossed by the *sum* of all workers aborts
@@ -327,12 +338,13 @@ pub fn note_many(r: Resource, n: u64) {
             // Counters are monotonic, so each percent line is crossed by
             // exactly one note (under a shared region, by exactly one
             // worker — fetch_add hands out disjoint intervals); announce
-            // crossings to the tracer.
-            if let Some(tracer) = active.tracer.as_mut() {
-                for pct in BUDGET_THRESHOLDS {
-                    let before = before as u128 * 100;
-                    let line = limit as u128 * pct as u128;
-                    if before <= line && (counter as u128 * 100) > line {
+            // crossings to the tracer and the process-lifetime registry.
+            for pct in BUDGET_THRESHOLDS {
+                let before = before as u128 * 100;
+                let line = limit as u128 * pct as u128;
+                if before <= line && (counter as u128 * 100) > line {
+                    metrics::budget_threshold(r, pct);
+                    if let Some(tracer) = active.tracer.as_mut() {
                         tracer.event(EventKind::BudgetThreshold {
                             resource: r.name(),
                             percent: pct as u8,
@@ -357,15 +369,15 @@ pub fn note_many(r: Resource, n: u64) {
             if let Some(deadline) = active.budget.deadline {
                 let elapsed = active.started.elapsed();
                 if !deadline.is_zero() {
-                    if let Some(tracer) = active.tracer.as_mut() {
-                        let pct_elapsed =
-                            (elapsed.as_nanos().saturating_mul(100) / deadline.as_nanos()) as u64;
-                        while let Some(&pct) = BUDGET_THRESHOLDS.get(active.time_thresholds_emitted)
-                        {
-                            if pct_elapsed <= pct {
-                                break;
-                            }
-                            active.time_thresholds_emitted += 1;
+                    let pct_elapsed =
+                        (elapsed.as_nanos().saturating_mul(100) / deadline.as_nanos()) as u64;
+                    while let Some(&pct) = BUDGET_THRESHOLDS.get(active.time_thresholds_emitted) {
+                        if pct_elapsed <= pct {
+                            break;
+                        }
+                        active.time_thresholds_emitted += 1;
+                        metrics::budget_threshold(Resource::Time, pct);
+                        if let Some(tracer) = active.tracer.as_mut() {
                             tracer.event(EventKind::BudgetThreshold {
                                 resource: Resource::Time.name(),
                                 percent: pct as u8,
@@ -511,6 +523,14 @@ pub struct ExecOptions {
     /// Thread budget for parallel regions ([`parallel_map`]); 1 means
     /// strictly serial. Defaults to [`default_threads`].
     pub threads: usize,
+    /// Minimum item count before a parallel region forks. Defaults to
+    /// [`default_min_parallel`] (`LYRIC_MIN_PARALLEL`, else
+    /// [`MIN_PARALLEL_ITEMS`]).
+    pub min_parallel: usize,
+    /// Minimum `|left|·|right|` pair count before a DNF product is
+    /// evaluated in parallel. Defaults to [`default_dnf_min_pairs`]
+    /// (`LYRIC_DNF_MIN_PAIRS`, else [`DNF_PARALLEL_MIN_PAIRS`]).
+    pub dnf_min_pairs: usize,
 }
 
 impl Default for ExecOptions {
@@ -519,6 +539,8 @@ impl Default for ExecOptions {
             budget: EngineBudget::unlimited(),
             cache: true,
             threads: default_threads(),
+            min_parallel: default_min_parallel(),
+            dnf_min_pairs: default_dnf_min_pairs(),
         }
     }
 }
@@ -541,6 +563,20 @@ impl ExecOptions {
         self.threads = threads.max(1);
         self
     }
+
+    /// Replace the minimum item count for forking a parallel region
+    /// (clamped to at least 1).
+    pub fn with_min_parallel(mut self, items: usize) -> Self {
+        self.min_parallel = items.max(1);
+        self
+    }
+
+    /// Replace the minimum pair count for parallel DNF products
+    /// (clamped to at least 1).
+    pub fn with_dnf_min_pairs(mut self, pairs: usize) -> Self {
+        self.dnf_min_pairs = pairs.max(1);
+        self
+    }
 }
 
 /// The default thread budget: the `LYRIC_THREADS` environment variable
@@ -556,6 +592,38 @@ pub fn default_threads() -> usize {
                 .map(|n| n.get())
                 .unwrap_or(1)
         })
+}
+
+fn env_threshold(var: &str, fallback: usize) -> usize {
+    std::env::var(var)
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(fallback)
+}
+
+/// The default minimum item count for forking a parallel region: the
+/// `LYRIC_MIN_PARALLEL` environment variable when set to a positive
+/// integer, else [`MIN_PARALLEL_ITEMS`].
+pub fn default_min_parallel() -> usize {
+    env_threshold("LYRIC_MIN_PARALLEL", MIN_PARALLEL_ITEMS)
+}
+
+/// The default minimum pair count for parallel DNF products: the
+/// `LYRIC_DNF_MIN_PAIRS` environment variable when set to a positive
+/// integer, else [`DNF_PARALLEL_MIN_PAIRS`].
+pub fn default_dnf_min_pairs() -> usize {
+    env_threshold("LYRIC_DNF_MIN_PAIRS", DNF_PARALLEL_MIN_PAIRS)
+}
+
+/// The effective minimum pair count for parallel DNF products: the
+/// active context's configured value, or [`default_dnf_min_pairs`]
+/// outside any context. `lyric-constraint` consults this at each
+/// product site.
+pub fn dnf_parallel_min_pairs() -> usize {
+    CONTEXT
+        .with(|c| c.borrow().as_ref().map(|a| a.dnf_min_pairs))
+        .unwrap_or_else(default_dnf_min_pairs)
 }
 
 /// Install `budget` for the duration of `f`, returning `f`'s value and
@@ -626,6 +694,10 @@ fn run_inner<T>(
 ) -> Result<(T, EngineStats, Option<trace::Trace>), BudgetExceeded> {
     silence_budget_unwinds();
     let generation = GENERATION.fetch_add(1, Ordering::Relaxed) + 1;
+    let threads = opts.threads.max(1);
+    let min_parallel = opts.min_parallel.max(1);
+    let dnf_min_pairs = opts.dnf_min_pairs.max(1);
+    metrics::record_options(threads, min_parallel, dnf_min_pairs);
     CONTEXT.with(|c| {
         let mut borrow = c.borrow_mut();
         assert!(
@@ -641,7 +713,9 @@ fn run_inner<T>(
             tracer,
             time_thresholds_emitted: 0,
             generation,
-            threads: opts.threads.max(1),
+            threads,
+            min_parallel,
+            dnf_min_pairs,
             shared: None,
         });
     });
@@ -651,12 +725,22 @@ fn run_inner<T>(
         .with(|c| c.borrow_mut().take())
         .expect("context still installed");
     let stats = context.stats;
+    let elapsed = context.started.elapsed();
     let trace = context.tracer.map(|t| t.finish(stats));
 
+    // The one flush point into the process-lifetime registry: worker
+    // deltas were already merged into `stats` on region join, so the
+    // cumulative counters stay exactly Σ per-query final stats.
     match outcome {
-        Ok(value) => Ok((value, stats, trace)),
+        Ok(value) => {
+            metrics::flush_query(&stats, elapsed, None);
+            Ok((value, stats, trace))
+        }
         Err(payload) => match payload.downcast::<BudgetUnwind>() {
-            Ok(unwound) => Err(unwound.0),
+            Ok(unwound) => {
+                metrics::flush_query(&stats, elapsed, Some(&unwound.0));
+                Err(unwound.0)
+            }
             Err(other) => resume_unwind(other),
         },
     }

@@ -8,7 +8,9 @@
 //! serial loop unless *all* of the following hold: an engine context is
 //! active, its thread budget is at least 2, the caller is not already
 //! inside a worker (nested regions run serial — the outer region owns the
-//! thread budget), and there are at least [`MIN_PARALLEL_ITEMS`] items.
+//! thread budget), and there are at least as many items as the context's
+//! configured minimum (`ExecOptions::min_parallel`, defaulting to
+//! [`MIN_PARALLEL_ITEMS`] via `LYRIC_MIN_PARALLEL`).
 //! The serial path is byte-for-byte the pre-parallel engine: same
 //! iteration order, same note order, same trace shape.
 //!
@@ -50,10 +52,12 @@ pub(crate) struct SharedRegion {
     pub(crate) disjuncts: AtomicU64,
 }
 
-/// Parallel regions with fewer items than this stay serial: forking
-/// threads for a couple of bindings costs more than it saves, and tiny
-/// workloads (the paper's worked examples) keep their exact serial
-/// cache-hit patterns.
+/// Default minimum item count for forking a region: parallel regions
+/// with fewer items stay serial, since forking threads for a couple of
+/// bindings costs more than it saves, and tiny workloads (the paper's
+/// worked examples) keep their exact serial cache-hit patterns.
+/// Override per query with `ExecOptions::with_min_parallel` or
+/// process-wide with `LYRIC_MIN_PARALLEL`.
 pub const MIN_PARALLEL_ITEMS: usize = 4;
 
 /// Worker thread ids start here; [`trace::MAIN_TID`] is the coordinator.
@@ -71,21 +75,23 @@ struct RegionPlan {
     generation: u64,
     started: Instant,
     threads: usize,
+    min_parallel: usize,
+    dnf_min_pairs: usize,
     /// The parent tracer's origin `Instant`; `Some` iff tracing.
     trace_origin: Option<Instant>,
     shared: Arc<SharedRegion>,
 }
 
 /// Decide whether a region over `items` items forks, and capture the plan
-/// if so.
+/// if so. Also records the fork-vs-serial decision in the registry (only
+/// under an active context — standalone library calls are not engine
+/// fallbacks).
 fn plan_region(items: usize) -> Option<RegionPlan> {
-    if items < MIN_PARALLEL_ITEMS {
-        return None;
-    }
-    CONTEXT.with(|c| {
+    let plan = CONTEXT.with(|c| {
         let borrow = c.borrow();
         let active = borrow.as_ref()?;
-        if active.is_worker() || active.threads < 2 {
+        if active.is_worker() || active.threads < 2 || items < active.min_parallel {
+            crate::metrics::parallel_region(false);
             return None;
         }
         Some(RegionPlan {
@@ -94,6 +100,8 @@ fn plan_region(items: usize) -> Option<RegionPlan> {
             generation: active.generation,
             started: active.started,
             threads: active.threads,
+            min_parallel: active.min_parallel,
+            dnf_min_pairs: active.dnf_min_pairs,
             trace_origin: active.tracer.as_ref().map(|t| t.origin()),
             shared: Arc::new(SharedRegion {
                 pivots: AtomicU64::new(active.stats.pivots),
@@ -101,13 +109,19 @@ fn plan_region(items: usize) -> Option<RegionPlan> {
                 disjuncts: AtomicU64::new(active.stats.disjuncts_produced),
             }),
         })
-    })
+    });
+    if plan.is_some() {
+        crate::metrics::parallel_region(true);
+    }
+    plan
 }
 
-/// A worker's exported telemetry: its local counter deltas and, when
-/// tracing, its sealed span subtree plus drop count.
+/// A worker's exported telemetry: its local counter deltas, its per-item
+/// latency histogram, and, when tracing, its sealed span subtree plus
+/// drop count.
 struct WorkerReport {
     stats: EngineStats,
+    items_hist: lyric_metrics::LocalHistogram,
     subtree: Option<(trace::TraceSpan, u64)>,
 }
 
@@ -117,6 +131,10 @@ struct WorkerReport {
 /// merge a complete report.
 struct WorkerContext<'a> {
     slot: &'a Mutex<Option<WorkerReport>>,
+    /// Per-item evaluation latencies, recorded lock-free by this worker
+    /// and merged into the registry histogram on join — the same
+    /// merge-on-join discipline as the worker's `EngineStats`.
+    items_hist: std::cell::RefCell<lyric_metrics::LocalHistogram>,
 }
 
 impl<'a> WorkerContext<'a> {
@@ -140,10 +158,19 @@ impl<'a> WorkerContext<'a> {
                 time_thresholds_emitted: BUDGET_THRESHOLDS.len(),
                 generation: plan.generation,
                 threads: 1,
+                min_parallel: plan.min_parallel,
+                dnf_min_pairs: plan.dnf_min_pairs,
                 shared: Some(plan.shared.clone()),
             });
         });
-        WorkerContext { slot }
+        WorkerContext {
+            slot,
+            items_hist: std::cell::RefCell::new(lyric_metrics::LocalHistogram::new()),
+        }
+    }
+
+    fn observe_item(&self, us: u64) {
+        self.items_hist.borrow_mut().observe(us);
     }
 }
 
@@ -154,7 +181,12 @@ impl Drop for WorkerContext<'_> {
             .expect("worker context still installed");
         let stats = ctx.stats;
         let subtree = ctx.tracer.map(|t| t.finish_subtree(stats));
-        *lock(self.slot) = Some(WorkerReport { stats, subtree });
+        let items_hist = std::mem::take(&mut *self.items_hist.borrow_mut());
+        *lock(self.slot) = Some(WorkerReport {
+            stats,
+            items_hist,
+            subtree,
+        });
     }
 }
 
@@ -187,6 +219,7 @@ where
     let results: Vec<Mutex<Vec<(usize, R)>>> =
         (0..workers).map(|_| Mutex::new(Vec::new())).collect();
     let panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+    let time_items = lyric_metrics::enabled();
 
     std::thread::scope(|s| {
         for w in 0..workers {
@@ -200,10 +233,14 @@ where
                 .name(format!("lyric-worker-{w}"))
                 .spawn_scoped(s, move || {
                     let outcome = catch_unwind(AssertUnwindSafe(|| {
-                        let _ctx = WorkerContext::install(plan, w, report_slot);
+                        let ctx = WorkerContext::install(plan, w, report_slot);
                         let mut out = Vec::new();
                         while let Some(i) = queue.next(w) {
+                            let started = time_items.then(Instant::now);
                             out.push((i, f(i, &items[i])));
+                            if let Some(started) = started {
+                                ctx.observe_item(started.elapsed().as_micros() as u64);
+                            }
                         }
                         out
                     }));
@@ -219,8 +256,10 @@ where
         }
     });
 
-    // Merge per-worker stats and trace subtrees into the parent context in
-    // worker-id order — deterministic regardless of the steal schedule.
+    // Merge per-worker stats, item histograms, and trace subtrees into
+    // the parent context in worker-id order — deterministic regardless
+    // of the steal schedule.
+    let merge_started = time_items.then(Instant::now);
     CONTEXT.with(|c| {
         let mut borrow = c.borrow_mut();
         let active = borrow.as_mut().expect("parent context still installed");
@@ -229,6 +268,7 @@ where
                 continue;
             };
             active.stats.absorb(&report.stats);
+            crate::metrics::merge_worker_items(&report.items_hist);
             if let Some((span, dropped)) = report.subtree {
                 if let Some(tracer) = active.tracer.as_mut() {
                     // Idle workers (stole nothing before the region
@@ -243,6 +283,9 @@ where
             }
         }
     });
+    if let Some(merge_started) = merge_started {
+        crate::metrics::worker_merge_time(merge_started.elapsed());
+    }
 
     // Re-raise the first worker panic (budget unwinds included) on the
     // calling thread, *after* the telemetry merge so the boundary still

@@ -120,6 +120,8 @@ impl StealQueue {
             let mut own = lock(&self.ranges[worker]);
             own.start = stolen.start;
             own.end = stolen.end;
+            drop(own);
+            crate::metrics::pool_steal();
             return true;
         }
     }

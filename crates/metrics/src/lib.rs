@@ -1,0 +1,98 @@
+//! Process-lifetime metrics for the LyriC engine.
+//!
+//! Per-query telemetry ([`EngineStats`], traces) dies with its
+//! `QueryResult`; a long-lived engine needs the *cumulative* picture —
+//! how many pivots since startup, what the p99 query latency is, how
+//! often budgets trip. This crate is that layer, and it is deliberately
+//! dependency-free (std only) so it can sit below every other crate in
+//! the workspace:
+//!
+//! * a global [`Registry`] of named metrics: monotonic [`Counter`]s
+//!   (stripe-sharded atomics, so hot increment sites do not contend),
+//!   [`Gauge`]s, and log-linear [`Histogram`]s with mergeable buckets
+//!   and p50/p90/p99/max quantile estimation (see [`hist`] for the
+//!   documented error bound);
+//! * Prometheus text-format 0.0.4 exposition via [`render_prometheus`],
+//!   with a validating [`prometheus::parse`] used by the tests and the
+//!   `metrics_smoke` CI binary;
+//! * a structured JSON query log ([`querylog`]): one line per query with
+//!   the query hash, row count, duration, per-query engine counters,
+//!   thread count, budget outcome, and trace id, plus a slow-query
+//!   threshold configurable through `LYRIC_SLOW_MS`.
+//!
+//! Metrics are enabled by default; [`set_enabled`] (or the
+//! `LYRIC_METRICS=0` environment variable) turns every recording path
+//! into an early return so the overhead of the disabled path is one
+//! relaxed atomic load (experiment E12 pins the enabled-path overhead).
+//!
+//! [`EngineStats`]: https://example.org/lyric
+
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod prometheus;
+pub mod querylog;
+mod registry;
+
+pub use hist::{HistSnapshot, LocalHistogram};
+pub use registry::{
+    global, render_table, Counter, FamilySnapshot, Gauge, Histogram, MetricKind, MetricValue,
+    Registry, SeriesSnapshot, Snapshot,
+};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Once;
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+static ENV_ONCE: Once = Once::new();
+
+/// Apply the `LYRIC_METRICS` environment default exactly once, before the
+/// first read or explicit override.
+fn apply_env_default() {
+    ENV_ONCE.call_once(|| {
+        if let Ok(v) = std::env::var("LYRIC_METRICS") {
+            let v = v.trim().to_ascii_lowercase();
+            if v == "0" || v == "off" || v == "false" {
+                ENABLED.store(false, Ordering::Relaxed);
+            }
+        }
+    });
+}
+
+/// True when metric recording is enabled (the default). Controlled by
+/// [`set_enabled`] and initially by the `LYRIC_METRICS` environment
+/// variable (`0`/`off`/`false` disables).
+pub fn enabled() -> bool {
+    apply_env_default();
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Enable or disable all metric recording process-wide. Reading
+/// ([`Registry::snapshot`], [`render_prometheus`]) always works; only the
+/// recording paths are gated.
+pub fn set_enabled(on: bool) {
+    apply_env_default();
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Render the global registry in Prometheus text format 0.0.4. Output is
+/// deterministic for a quiescent registry: families sort by name and
+/// series by their label sets.
+pub fn render_prometheus() -> String {
+    prometheus::render(&global().snapshot())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enabled_toggles() {
+        // Registers nothing in the global registry; only flips the flag.
+        assert!(enabled());
+        set_enabled(false);
+        assert!(!enabled());
+        set_enabled(true);
+        assert!(enabled());
+    }
+}

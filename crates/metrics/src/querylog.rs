@@ -1,0 +1,312 @@
+//! A structured JSON query log: one line per executed query.
+//!
+//! # Schema
+//!
+//! Every line is a self-contained JSON object:
+//!
+//! ```json
+//! {"query_hash":"b51c3e4f9a21d807","outcome":"ok","rows":12,
+//!  "duration_us":1834,"threads":4,"trace_id":117,"slow":false,
+//!  "stats":{"pivots":96,"lp_runs":24,...}}
+//! ```
+//!
+//! * `query_hash` — FNV-1a 64-bit hash of the query source, hex; stable
+//!   across runs so log lines for the same query aggregate.
+//! * `outcome` — `"ok"`, `"budget_exceeded"` (plus a `"resource"`
+//!   field), or `"error"`.
+//! * `trace_id` — the engine context generation, matching the per-query
+//!   memo-cache generation; unique per context within a process run.
+//! * `stats` — the per-query engine counters, keyed like
+//!   `EngineStats::COUNTER_NAMES`.
+//! * `slow` — present and `true` when `LYRIC_SLOW_MS` is configured and
+//!   the query met the threshold.
+//!
+//! # Sinks and thresholds
+//!
+//! The log is off until a sink is installed — [`set_sink`]/[`capture`]
+//! in code, or the `LYRIC_QUERY_LOG` environment variable (`stderr` or a
+//! file path, appended). When `LYRIC_SLOW_MS` (or [`set_slow_ms`]) is
+//! set, only queries at or above the threshold are written — a classic
+//! slow-query log — and each one also bumps the
+//! `lyric_slow_queries_total` counter. Lines are written atomically
+//! under one mutex, so concurrent queries never interleave bytes.
+
+use std::io::Write;
+use std::sync::atomic::{AtomicI64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, Once, OnceLock};
+
+/// FNV-1a 64-bit hash of a query's source text.
+pub fn query_hash(src: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in src.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// How one query ended, for the `outcome` field.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome<'a> {
+    /// Evaluation completed.
+    Ok,
+    /// A resource budget tripped; carries the resource name.
+    BudgetExceeded(&'a str),
+    /// Any other evaluation error.
+    Error,
+}
+
+/// One query-log record; [`log`] serializes it as a single JSON line.
+pub struct Record<'a> {
+    /// The query source text (hashed, never logged verbatim).
+    pub query: &'a str,
+    /// How the query ended.
+    pub outcome: Outcome<'a>,
+    /// Result rows (0 on error).
+    pub rows: u64,
+    /// Wall-clock duration in microseconds.
+    pub duration_us: u64,
+    /// The thread budget the query ran with.
+    pub threads: usize,
+    /// The engine context generation (doubles as a per-process trace id).
+    pub trace_id: u64,
+    /// Per-query engine counters as `(name, value)` pairs.
+    pub stats: &'a [(&'static str, u64)],
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+type Sink = Box<dyn Write + Send>;
+
+fn sink_slot() -> &'static Mutex<Option<Sink>> {
+    static SINK: OnceLock<Mutex<Option<Sink>>> = OnceLock::new();
+    static ENV: Once = Once::new();
+    let slot = SINK.get_or_init(|| Mutex::new(None));
+    ENV.call_once(|| {
+        if let Ok(target) = std::env::var("LYRIC_QUERY_LOG") {
+            let target = target.trim().to_string();
+            let sink: Option<Sink> = if target.is_empty() {
+                None
+            } else if target == "stderr" || target == "-" {
+                Some(Box::new(std::io::stderr()))
+            } else {
+                std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&target)
+                    .ok()
+                    .map(|f| Box::new(f) as Sink)
+            };
+            if sink.is_some() {
+                *lock(slot) = sink;
+            }
+        }
+    });
+    slot
+}
+
+/// Install (or, with `None`, remove) the query-log sink. Whole lines are
+/// written and flushed under one lock, so writers never interleave.
+pub fn set_sink(sink: Option<Box<dyn Write + Send>>) {
+    *lock(sink_slot()) = sink;
+}
+
+/// True when a sink is installed (callers can skip building records).
+pub fn active() -> bool {
+    lock(sink_slot()).is_some()
+}
+
+struct BufSink(Arc<Mutex<Vec<u8>>>);
+
+impl Write for BufSink {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        lock(&self.0).extend_from_slice(buf);
+        Ok(buf.len())
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Install an in-memory sink and return the shared buffer — the test and
+/// smoke-binary hook for asserting on log output.
+pub fn capture() -> Arc<Mutex<Vec<u8>>> {
+    let buf = Arc::new(Mutex::new(Vec::new()));
+    set_sink(Some(Box::new(BufSink(Arc::clone(&buf)))));
+    buf
+}
+
+/// Slow threshold in milliseconds; negative = unset. Initialized from
+/// `LYRIC_SLOW_MS` once, overridable via [`set_slow_ms`].
+fn slow_cell() -> &'static AtomicI64 {
+    static SLOW: OnceLock<AtomicI64> = OnceLock::new();
+    SLOW.get_or_init(|| {
+        let from_env = std::env::var("LYRIC_SLOW_MS")
+            .ok()
+            .and_then(|s| s.trim().parse::<i64>().ok())
+            .filter(|&v| v >= 0);
+        AtomicI64::new(from_env.unwrap_or(-1))
+    })
+}
+
+/// Override the slow-query threshold (`None` clears it, logging every
+/// query again).
+pub fn set_slow_ms(ms: Option<u64>) {
+    slow_cell().store(ms.map_or(-1, |v| v as i64), Ordering::Relaxed);
+}
+
+/// The configured slow-query threshold, if any.
+pub fn slow_ms() -> Option<u64> {
+    let v = slow_cell().load(Ordering::Relaxed);
+    (v >= 0).then_some(v as u64)
+}
+
+fn slow_counter() -> &'static crate::Counter {
+    static C: OnceLock<crate::Counter> = OnceLock::new();
+    C.get_or_init(|| {
+        crate::global().counter(
+            "lyric_slow_queries_total",
+            "Queries at or above the LYRIC_SLOW_MS threshold.",
+        )
+    })
+}
+
+fn push_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Serialize a record as its one-line JSON form (no trailing newline).
+pub fn format_record(r: &Record<'_>) -> String {
+    let mut out = String::with_capacity(256);
+    out.push_str("{\"query_hash\":");
+    push_json_str(&mut out, &format!("{:016x}", query_hash(r.query)));
+    out.push_str(",\"outcome\":");
+    match r.outcome {
+        Outcome::Ok => out.push_str("\"ok\""),
+        Outcome::BudgetExceeded(resource) => {
+            out.push_str("\"budget_exceeded\",\"resource\":");
+            push_json_str(&mut out, resource);
+        }
+        Outcome::Error => out.push_str("\"error\""),
+    }
+    out.push_str(&format!(
+        ",\"rows\":{},\"duration_us\":{},\"threads\":{},\"trace_id\":{}",
+        r.rows, r.duration_us, r.threads, r.trace_id
+    ));
+    if let Some(thr) = slow_ms() {
+        let slow = r.duration_us >= thr.saturating_mul(1000);
+        out.push_str(if slow {
+            ",\"slow\":true"
+        } else {
+            ",\"slow\":false"
+        });
+    }
+    out.push_str(",\"stats\":{");
+    for (i, (name, value)) in r.stats.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_str(&mut out, name);
+        out.push_str(&format!(":{value}"));
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Log one query. A no-op when metrics are disabled or no sink is
+/// installed; when a slow threshold is configured, only queries at or
+/// above it are written (each also bumping `lyric_slow_queries_total`).
+pub fn log(r: &Record<'_>) {
+    if !crate::enabled() {
+        return;
+    }
+    let slow = match slow_ms() {
+        Some(thr) => {
+            let slow = r.duration_us >= thr.saturating_mul(1000);
+            if slow {
+                slow_counter().inc();
+            }
+            Some(slow)
+        }
+        None => None,
+    };
+    if slow == Some(false) {
+        return;
+    }
+    let mut guard = lock(sink_slot());
+    let Some(sink) = guard.as_mut() else {
+        return;
+    };
+    let mut line = format_record(r);
+    line.push('\n');
+    let _ = sink.write_all(line.as_bytes());
+    let _ = sink.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record<'a>(stats: &'a [(&'static str, u64)]) -> Record<'a> {
+        Record {
+            query: "SELECT X FROM Desk X",
+            outcome: Outcome::Ok,
+            rows: 3,
+            duration_us: 1500,
+            threads: 2,
+            trace_id: 41,
+            stats,
+        }
+    }
+
+    #[test]
+    fn fnv_hash_is_stable() {
+        assert_eq!(query_hash(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(query_hash("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_ne!(query_hash("SELECT X"), query_hash("SELECT  X"));
+    }
+
+    #[test]
+    fn record_formats_as_one_json_line() {
+        let stats = [("pivots", 7u64), ("cache_hits", 2u64)];
+        let line = format_record(&record(&stats));
+        assert!(!line.contains('\n'));
+        assert!(line.starts_with("{\"query_hash\":\""));
+        assert!(line.contains("\"outcome\":\"ok\""));
+        assert!(line.contains("\"rows\":3"));
+        assert!(line.contains("\"duration_us\":1500"));
+        assert!(line.contains("\"trace_id\":41"));
+        assert!(line.contains("\"stats\":{\"pivots\":7,\"cache_hits\":2}"));
+    }
+
+    #[test]
+    fn budget_outcome_carries_the_resource() {
+        let stats = [("pivots", 100u64)];
+        let mut r = record(&stats);
+        r.outcome = Outcome::BudgetExceeded("simplex pivots");
+        let line = format_record(&r);
+        assert!(line.contains("\"outcome\":\"budget_exceeded\""));
+        assert!(line.contains("\"resource\":\"simplex pivots\""));
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        let mut s = String::new();
+        push_json_str(&mut s, "a\"b\\c\nd\u{1}");
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+}

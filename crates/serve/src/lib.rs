@@ -1,0 +1,304 @@
+//! A std-only HTTP server exposing the LyriC engine for scraping and
+//! remote querying.
+//!
+//! Three endpoints:
+//!
+//! * `GET /metrics` — the global metric registry in Prometheus text
+//!   format 0.0.4 (`lyric::metrics::render_prometheus`);
+//! * `GET /healthz` — liveness (`ok`);
+//! * `POST /query` — the request body is a LyriC `SELECT` statement,
+//!   evaluated against the server's shared [`Database`] via
+//!   [`execute_shared`]; the response is a JSON object with `columns`,
+//!   `row_count`, `rows` (oids as strings), `duration_ms`, and the
+//!   per-query `stats` counters, or `{"error": ...}` with status 400.
+//!
+//! The implementation is deliberately minimal — the workspace builds
+//! offline with no external crates (DESIGN.md §5) — so this is
+//! `std::net::TcpListener`, HTTP/1.0-style request parsing (request
+//! line, headers, `Content-Length` body), one thread per connection,
+//! and `Connection: close` on every response. That is all a Prometheus
+//! scraper or a smoke-test client needs.
+//!
+//! [`Server::bind`] on port 0 picks an ephemeral port, which is how the
+//! `metrics_smoke` CI binary drives an in-process instance.
+
+#![warn(missing_docs)]
+
+use lyric::oodb::Database;
+use lyric::trace::Json;
+use lyric::{execute_shared, ExecOptions};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Largest accepted request body (a query text), in bytes.
+const MAX_BODY: usize = 1 << 20;
+
+/// A bound (but not yet running) server: the listener plus the shared
+/// database and per-query execution options.
+pub struct Server {
+    listener: TcpListener,
+    db: Arc<Database>,
+    opts: ExecOptions,
+}
+
+impl Server {
+    /// Bind `addr` (e.g. `127.0.0.1:0` for an ephemeral port), serving
+    /// queries against `db` under per-query options `opts`.
+    pub fn bind(addr: &str, db: Arc<Database>, opts: ExecOptions) -> std::io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            db,
+            opts,
+        })
+    }
+
+    /// The bound socket address.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accept connections forever, one handler thread per connection.
+    pub fn run(self) -> std::io::Result<()> {
+        for stream in self.listener.incoming() {
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let db = Arc::clone(&self.db);
+            let opts = self.opts.clone();
+            std::thread::spawn(move || {
+                let _ = handle_connection(stream, &db, &opts);
+            });
+        }
+        Ok(())
+    }
+
+    /// Run the accept loop on a detached background thread, returning the
+    /// bound address. Used by in-process clients (`metrics_smoke`, tests);
+    /// the thread lives until process exit.
+    pub fn spawn(self) -> std::io::Result<SocketAddr> {
+        let addr = self.local_addr()?;
+        std::thread::Builder::new()
+            .name("lyric-serve".to_string())
+            .spawn(move || {
+                let _ = self.run();
+            })?;
+        Ok(addr)
+    }
+}
+
+struct Request {
+    method: String,
+    path: String,
+    body: String,
+}
+
+fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("read request line: {e}"))?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().unwrap_or("").to_ascii_uppercase();
+    let path = parts.next().unwrap_or("").to_string();
+    if method.is_empty() || path.is_empty() {
+        return Err("malformed request line".to_string());
+    }
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        let n = reader
+            .read_line(&mut header)
+            .map_err(|e| format!("read header: {e}"))?;
+        let header = header.trim();
+        if n == 0 || header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().unwrap_or(0);
+            }
+        }
+    }
+    if content_length > MAX_BODY {
+        return Err(format!("body too large ({content_length} bytes)"));
+    }
+    let mut body = vec![0u8; content_length];
+    if content_length > 0 {
+        reader
+            .read_exact(&mut body)
+            .map_err(|e| format!("read body: {e}"))?;
+    }
+    Ok(Request {
+        method,
+        path,
+        body: String::from_utf8_lossy(&body).into_owned(),
+    })
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.0 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Evaluate one `POST /query` body and build the JSON reply; `Err`
+/// carries the message for a 400 response.
+fn run_query(db: &Database, opts: &ExecOptions, src: &str) -> Result<Json, String> {
+    let started = Instant::now();
+    let result = execute_shared(db, src.trim(), opts).map_err(|e| e.to_string())?;
+    let duration_ms = started.elapsed().as_secs_f64() * 1e3;
+    let columns: Vec<Json> = result.columns.iter().map(Json::str).collect();
+    let rows: Vec<Json> = result
+        .rows
+        .iter()
+        .map(|row| Json::Arr(row.iter().map(|oid| Json::str(oid.to_string())).collect()))
+        .collect();
+    let stats = Json::obj(
+        lyric::trace::stats::COUNTER_NAMES
+            .iter()
+            .copied()
+            .zip(result.stats.counters())
+            .map(|(name, value)| (name, Json::int(value))),
+    );
+    Ok(Json::obj([
+        ("columns", Json::Arr(columns)),
+        ("row_count", Json::int(rows.len() as u64)),
+        ("rows", Json::Arr(rows)),
+        ("duration_ms", Json::Num(duration_ms)),
+        ("stats", stats),
+    ]))
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    db: &Database,
+    opts: &ExecOptions,
+) -> std::io::Result<()> {
+    let request = match read_request(&mut stream) {
+        Ok(r) => r,
+        Err(msg) => {
+            let body = Json::obj([("error", Json::str(msg))]).to_string();
+            return write_response(&mut stream, 400, "Bad Request", "application/json", &body);
+        }
+    };
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => write_response(&mut stream, 200, "OK", "text/plain", "ok\n"),
+        ("GET", "/metrics") => write_response(
+            &mut stream,
+            200,
+            "OK",
+            "text/plain; version=0.0.4",
+            &lyric::metrics::render_prometheus(),
+        ),
+        ("POST", "/query") => match run_query(db, opts, &request.body) {
+            Ok(json) => write_response(
+                &mut stream,
+                200,
+                "OK",
+                "application/json",
+                &json.to_string(),
+            ),
+            Err(msg) => {
+                let body = Json::obj([("error", Json::str(msg))]).to_string();
+                write_response(&mut stream, 400, "Bad Request", "application/json", &body)
+            }
+        },
+        ("GET" | "POST", _) => write_response(
+            &mut stream,
+            404,
+            "Not Found",
+            "text/plain",
+            "unknown path; try /metrics, /healthz, or POST /query\n",
+        ),
+        _ => write_response(&mut stream, 405, "Method Not Allowed", "text/plain", ""),
+    }
+}
+
+/// A tiny HTTP/1.0 client for the smoke binary and tests: send `method
+/// path` with `body` to `addr`, returning `(status, body)`.
+pub fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    let request = format!(
+        "{method} {path} HTTP/1.0\r\nHost: lyric\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes())?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let status = response
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let payload = match response.find("\r\n\r\n") {
+        Some(i) => response[i + 4..].to_string(),
+        None => String::new(),
+    };
+    Ok((status, payload))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_server() -> SocketAddr {
+        let db = Arc::new(lyric::paper_example::database());
+        let opts = ExecOptions::default().with_threads(2);
+        Server::bind("127.0.0.1:0", db, opts)
+            .expect("bind ephemeral port")
+            .spawn()
+            .expect("spawn accept loop")
+    }
+
+    #[test]
+    fn healthz_and_unknown_paths() {
+        let addr = test_server();
+        let (status, body) = http_request(addr, "GET", "/healthz", "").unwrap();
+        assert_eq!((status, body.as_str()), (200, "ok\n"));
+        let (status, _) = http_request(addr, "GET", "/nope", "").unwrap();
+        assert_eq!(status, 404);
+    }
+
+    #[test]
+    fn metrics_endpoint_serves_parseable_prometheus() {
+        let addr = test_server();
+        let (status, body) = http_request(addr, "GET", "/metrics", "").unwrap();
+        assert_eq!(status, 200);
+        lyric::metrics::prometheus::parse(&body).expect("scrape parses");
+    }
+
+    #[test]
+    fn query_endpoint_answers_and_rejects() {
+        let addr = test_server();
+        let q = "SELECT Y FROM Desk X WHERE X.drawer.extent[Y]";
+        let (status, body) = http_request(addr, "POST", "/query", q).unwrap();
+        assert_eq!(status, 200, "body: {body}");
+        let json = lyric::trace::json::parse(&body).expect("response is valid JSON");
+        assert!(json.get("row_count").is_some());
+        assert!(json.get("stats").is_some());
+
+        let (status, body) = http_request(addr, "POST", "/query", "SELECT nonsense ???").unwrap();
+        assert_eq!(status, 400);
+        let json = lyric::trace::json::parse(&body).expect("error body is valid JSON");
+        assert!(json.get("error").is_some());
+    }
+}

@@ -1,0 +1,86 @@
+//! `lyric-serve` — a scrapeable LyriC query server.
+//!
+//! ```text
+//! lyric-serve [--addr HOST:PORT] [--db FILE] [--threads N]
+//! ```
+//!
+//! Serves `GET /metrics` (Prometheus text format 0.0.4), `GET /healthz`,
+//! and `POST /query` (body: a LyriC `SELECT` statement; response: JSON).
+//! With no `--db`, the paper's office-design database (Figures 1 and 2)
+//! is served. `--addr` defaults to `127.0.0.1:7171`; use port 0 for an
+//! ephemeral port (the bound address is printed on startup).
+
+use lyric::ExecOptions;
+use lyric_serve::Server;
+use std::process::ExitCode;
+use std::sync::Arc;
+
+fn usage() -> ! {
+    eprintln!("usage: lyric-serve [--addr HOST:PORT] [--db FILE] [--threads N]");
+    std::process::exit(2);
+}
+
+fn main() -> ExitCode {
+    let mut addr = "127.0.0.1:7171".to_string();
+    let mut db_path: Option<String> = None;
+    let mut opts = ExecOptions::default();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = args.next().unwrap_or_else(|| usage()),
+            "--db" => db_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--threads" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .unwrap_or_else(|| usage());
+                opts = opts.with_threads(n);
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("lyric-serve: unknown argument '{other}'");
+                usage();
+            }
+        }
+    }
+
+    let db = match &db_path {
+        Some(path) => {
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("lyric-serve: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            match lyric::storage::load(&text) {
+                Ok(db) => db,
+                Err(e) => {
+                    eprintln!("lyric-serve: cannot load {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => lyric::paper_example::database(),
+    };
+
+    let server = match Server::bind(&addr, Arc::new(db), opts) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("lyric-serve: cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(bound) => {
+            eprintln!("lyric-serve: listening on http://{bound} (/metrics, /healthz, POST /query)")
+        }
+        Err(e) => eprintln!("lyric-serve: listening ({e})"),
+    }
+    if let Err(e) = server.run() {
+        eprintln!("lyric-serve: accept loop failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

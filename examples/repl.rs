@@ -14,8 +14,8 @@
 //!
 //! Meta-commands: `:help`, `:check <query>`, `:profile <query>`,
 //! `:trace on|off`, `:trace chrome <file>`, `:threads [n]`, `:schema`,
-//! `:classes`, `:extent <Class>`, `:stats`, `:save <file>`, `:load <file>`,
-//! `:quit`.
+//! `:classes`, `:extent <Class>`, `:stats`, `:metrics`, `:save <file>`,
+//! `:load <file>`, `:quit`.
 //!
 //! Queries run under the engine's *interactive* evaluation budget, so an
 //! adversarial constraint blowup reports `evaluation budget exceeded`
@@ -32,6 +32,11 @@
 //! `:threads <n>` sets the evaluation thread budget (`:threads` shows
 //! it). The shell starts from `LYRIC_THREADS` or the machine's available
 //! parallelism; answers are identical at every setting.
+//!
+//! `:metrics` renders the process-lifetime metric registry as a table:
+//! cumulative engine counters, query-latency quantiles (p50/p90/p99),
+//! budget events, and pool activity — the same data `lyric-serve`
+//! exposes at `/metrics` in Prometheus format.
 
 use lyric::{
     default_threads, execute_traced_with_options, execute_with_options, paper_example,
@@ -175,6 +180,7 @@ fn meta_command(db: &mut lyric::oodb::Database, session: &mut Session, cmd: &str
             println!(":classes          list class names");
             println!(":extent <Class>   list the instances of a class");
             println!(":stats            toggle the per-query engine statistics line");
+            println!(":metrics          process-lifetime metrics (counters, latency quantiles)");
             println!(":save <file>      dump the database as text");
             println!(":load <file>      replace the database from a dump");
             println!(":quit             leave");
@@ -242,6 +248,14 @@ fn meta_command(db: &mut lyric::oodb::Database, session: &mut Session, cmd: &str
                 _ => println!("usage: :threads <positive integer>"),
             },
         },
+        Some(":metrics") => {
+            let snapshot = lyric::metrics::global().snapshot();
+            if snapshot.families.is_empty() {
+                println!("no metrics recorded yet (run a query first)");
+            } else {
+                print!("{}", lyric::metrics::render_table(&snapshot));
+            }
+        }
         Some(":stats") => {
             session.show_stats = !session.show_stats;
             println!(

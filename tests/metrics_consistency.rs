@@ -1,0 +1,113 @@
+//! The PR's exact-counter acceptance check: the process-lifetime metric
+//! registry must agree *exactly* with the per-query `EngineStats` the
+//! evaluator hands back.
+//!
+//! A single `#[test]` (so no other test in this binary races the global
+//! registry) runs a mixed serial/parallel query suite against a shared
+//! database, summing each returned `EngineStats`, then asserts that the
+//! registry deltas match: `lyric_queries_total` equals the number of
+//! queries, the `lyric_query_duration_us` histogram saw one observation
+//! per query, and every `lyric_engine_<counter>_total` delta equals the
+//! corresponding summed per-query counter. A budget-exceeding query is
+//! then checked to land in `lyric_budget_aborts_total` while still
+//! counting as a query.
+
+use lyric::metrics::{global, MetricValue, Snapshot};
+use lyric::trace::stats::COUNTER_NAMES;
+use lyric::{execute_shared, EngineBudget, ExecOptions, LyricError};
+use lyric_bench::workload::{self, Q_LINEAR, Q_PAIRWISE};
+use std::sync::Arc;
+
+/// Sum of a counter family across all its label sets (0 when absent).
+fn counter_total(snap: &Snapshot, name: &str) -> u64 {
+    snap.families
+        .iter()
+        .filter(|f| f.name == name)
+        .flat_map(|f| &f.series)
+        .map(|s| match &s.value {
+            MetricValue::Counter(v) => *v,
+            _ => panic!("{name} is not a counter"),
+        })
+        .sum()
+}
+
+/// Observation count of a histogram family (0 when absent).
+fn hist_count(snap: &Snapshot, name: &str) -> u64 {
+    snap.families
+        .iter()
+        .filter(|f| f.name == name)
+        .flat_map(|f| &f.series)
+        .map(|s| match &s.value {
+            MetricValue::Histogram(h) => h.count,
+            _ => panic!("{name} is not a histogram"),
+        })
+        .sum()
+}
+
+#[test]
+fn registry_deltas_equal_summed_query_stats() {
+    let db = Arc::new(workload::office_db(10, 7));
+    let before = global().snapshot();
+
+    let mut queries = 0u64;
+    let mut expected = [0u64; COUNTER_NAMES.len()];
+    for q in [Q_LINEAR, Q_PAIRWISE] {
+        for threads in [1usize, 2, 4] {
+            let opts = ExecOptions::default().with_threads(threads);
+            let res = execute_shared(&db, q, &opts).expect("suite query evaluates");
+            for (slot, v) in expected.iter_mut().zip(res.stats.counters()) {
+                *slot += v;
+            }
+            queries += 1;
+        }
+    }
+
+    let after = global().snapshot();
+    assert_eq!(
+        counter_total(&after, "lyric_queries_total")
+            - counter_total(&before, "lyric_queries_total"),
+        queries,
+        "every execute_shared call is one query"
+    );
+    assert_eq!(
+        hist_count(&after, "lyric_query_duration_us")
+            - hist_count(&before, "lyric_query_duration_us"),
+        queries,
+        "one latency observation per query"
+    );
+    for (i, name) in COUNTER_NAMES.iter().enumerate() {
+        let family = format!("lyric_engine_{name}_total");
+        let delta = counter_total(&after, &family) - counter_total(&before, &family);
+        assert_eq!(
+            delta, expected[i],
+            "{family}: registry delta {delta} != summed per-query stats {}",
+            expected[i]
+        );
+    }
+
+    // A budget abort still counts as a query, and classifies its resource.
+    let tight = EngineBudget::unlimited().with_max_pivots(1);
+    let before = after;
+    let err = execute_shared(
+        &db,
+        Q_PAIRWISE,
+        &ExecOptions::default().with_threads(2).with_budget(tight),
+    )
+    .expect_err("one pivot cannot evaluate the pairwise query");
+    assert!(
+        matches!(err, LyricError::BudgetExceeded { .. }),
+        "expected a budget error, got {err:?}"
+    );
+    let after = global().snapshot();
+    assert_eq!(
+        counter_total(&after, "lyric_queries_total")
+            - counter_total(&before, "lyric_queries_total"),
+        1
+    );
+    assert_eq!(
+        counter_total(&after, "lyric_budget_aborts_total")
+            - counter_total(&before, "lyric_budget_aborts_total"),
+        1,
+        "the abort is classified under lyric_budget_aborts_total"
+    );
+}

@@ -128,6 +128,100 @@ fn soak_alternating_databases_and_thread_counts() {
     });
 }
 
+/// Observability stays deterministic under concurrency: with many OS
+/// threads logging queries at once, every captured query-log line is a
+/// complete, parseable JSON object (whole-line writes — no byte
+/// interleaving), each concurrent query produced exactly one line with
+/// the right thread count, and the Prometheus rendering keeps its
+/// guaranteed ordering (families sorted by name, label sets sorted
+/// within a family).
+#[test]
+fn query_log_and_metrics_are_deterministic_under_concurrency() {
+    let db = Arc::new(workload::office_db(8, 11));
+    let buf = lyric::metrics::querylog::capture();
+
+    // One whitespace variant of the linear query per (thread, rep): same
+    // answer, distinct FNV hash — so this test's lines are identifiable
+    // even if other tests in this binary log concurrently.
+    let variant = |t: usize, rep: usize| format!("{}{}", Q_LINEAR, " ".repeat(1 + t * 4 + rep));
+    const THREADS: usize = 6;
+    const REPS: usize = 3;
+
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let db = Arc::clone(&db);
+            let variant = &variant;
+            s.spawn(move || {
+                for rep in 0..REPS {
+                    execute_shared(&db, &variant(t, rep), &opts(3))
+                        .expect("logged query evaluates");
+                }
+            });
+        }
+    });
+
+    let captured = String::from_utf8(buf.lock().unwrap().clone()).expect("log is UTF-8");
+    lyric::metrics::querylog::set_sink(None);
+
+    let mut seen = std::collections::BTreeMap::new();
+    for line in captured.lines() {
+        let json = lyric::trace::json::parse(line)
+            .unwrap_or_else(|e| panic!("interleaved or malformed log line ({e}): {line}"));
+        let hash = json
+            .get("query_hash")
+            .and_then(|v| v.as_str())
+            .expect("every line carries a query_hash")
+            .to_string();
+        let threads = json
+            .get("threads")
+            .and_then(|v| v.as_f64())
+            .map(|f| f as u64);
+        *seen.entry((hash, threads)).or_insert(0u32) += 1;
+    }
+    for t in 0..THREADS {
+        for rep in 0..REPS {
+            let hash = format!(
+                "{:016x}",
+                lyric::metrics::querylog::query_hash(&variant(t, rep))
+            );
+            assert_eq!(
+                seen.get(&(hash.clone(), Some(3))).copied(),
+                Some(1),
+                "query variant ({t}, {rep}) must log exactly once with threads=3"
+            );
+        }
+    }
+
+    // The Prometheus exposition keeps its deterministic shape even while
+    // other tests mutate counters: families strictly sorted by name,
+    // series sorted by label set, and the whole text parses.
+    let text = lyric::metrics::render_prometheus();
+    let exp = lyric::metrics::prometheus::parse(&text).expect("scrape parses");
+    let names: Vec<&String> = exp.families.iter().map(|f| &f.name).collect();
+    let mut sorted = names.clone();
+    sorted.sort();
+    assert_eq!(names, sorted, "families must render in sorted order");
+    for family in &exp.families {
+        for sample in &family.samples {
+            // The synthetic `le` bucket label is appended after the
+            // (sorted) series labels; exclude it from the ordering check.
+            let labels: Vec<&String> = sample
+                .labels
+                .iter()
+                .map(|(k, _)| k)
+                .filter(|k| k.as_str() != "le")
+                .collect();
+            let mut sorted = labels.clone();
+            sorted.sort();
+            assert_eq!(
+                labels, sorted,
+                "label keys of {} must render sorted",
+                sample.name
+            );
+        }
+    }
+}
+
 /// `execute_shared` takes `&Database` and therefore cannot run statements
 /// that mutate the database: CREATE VIEW must be rejected as a type error,
 /// not silently dropped.
