@@ -1,0 +1,201 @@
+//! Buffer recycling for the engine's hot loops.
+//!
+//! The simplex pivot loop and Fourier–Motzkin products burn through
+//! short-lived vectors (tableau rows, bound lists, scratch atom sets).
+//! Instead of a bump allocator — which would force lifetime plumbing
+//! through `lyric-simplex` and `lyric-constraint` — the hot paths keep a
+//! thread-local [`Pool`] of reusable buffers: acquiring returns a
+//! [`Lease`] that dereferences to the buffer and, on drop, clears it and
+//! hands it back to the pool with its *capacity intact*. After the first
+//! solve of a given shape, the inner loops run entirely on recycled
+//! capacity and never touch the global allocator (pinned by the
+//! `zero_alloc_pivot` integration test in `lyric-simplex`).
+//!
+//! Pool traffic is reported two ways:
+//! - **Deterministic** byte counts (the logical size of the data a solve
+//!   placed in pooled buffers) are tallied by the *callers* into
+//!   `EngineStats::arena_bytes`, so differential tests can compare them
+//!   exactly across thread counts and arithmetic modes.
+//! - **Nondeterministic** process-lifetime totals (hits, misses, recycled
+//!   capacity) live in the global atomics behind [`arena_stats`] and
+//!   surface as Prometheus gauges via `lyric-metrics`.
+
+use std::cell::RefCell;
+use std::ops::{Deref, DerefMut};
+use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Buffers retained per pool; anything beyond this is dropped on release
+/// so a one-off spike cannot pin memory for the thread's lifetime.
+const POOL_CAP: usize = 8;
+
+static POOL_HITS: AtomicU64 = AtomicU64::new(0);
+static POOL_MISSES: AtomicU64 = AtomicU64::new(0);
+static RECYCLED_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Process-lifetime pool traffic, for metrics gauges. Monotonic and
+/// global across threads, hence *not* part of `EngineStats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArenaStats {
+    /// Acquisitions served by a recycled buffer.
+    pub pool_hits: u64,
+    /// Acquisitions that had to construct a fresh buffer.
+    pub pool_misses: u64,
+    /// Capacity bytes returned to pools across all releases.
+    pub recycled_bytes: u64,
+}
+
+/// Snapshot of the process-lifetime pool counters.
+pub fn arena_stats() -> ArenaStats {
+    ArenaStats {
+        pool_hits: POOL_HITS.load(Ordering::Relaxed),
+        pool_misses: POOL_MISSES.load(Ordering::Relaxed),
+        recycled_bytes: RECYCLED_BYTES.load(Ordering::Relaxed),
+    }
+}
+
+/// A buffer that can be reset for reuse while keeping its allocation.
+pub trait Recycle: Default {
+    /// Clear logical contents; retained capacity is the point.
+    fn recycle(&mut self);
+    /// Capacity bytes this buffer keeps alive while pooled (metrics only).
+    fn retained_bytes(&self) -> usize {
+        0
+    }
+}
+
+impl<T> Recycle for Vec<T> {
+    fn recycle(&mut self) {
+        self.clear();
+    }
+    fn retained_bytes(&self) -> usize {
+        self.capacity() * std::mem::size_of::<T>()
+    }
+}
+
+/// A thread-local free list of reusable buffers. Clone shares the list.
+#[derive(Debug)]
+pub struct Pool<T: Recycle> {
+    free: Rc<RefCell<Vec<T>>>,
+}
+
+impl<T: Recycle> Pool<T> {
+    pub fn new() -> Self {
+        Pool {
+            free: Rc::new(RefCell::new(Vec::new())),
+        }
+    }
+
+    /// Take a recycled buffer (or construct a default one) under a lease
+    /// that returns it to this pool on drop.
+    pub fn acquire(&self) -> Lease<T> {
+        let recycled = self.free.borrow_mut().pop();
+        let value = match recycled {
+            Some(v) => {
+                POOL_HITS.fetch_add(1, Ordering::Relaxed);
+                v
+            }
+            None => {
+                POOL_MISSES.fetch_add(1, Ordering::Relaxed);
+                T::default()
+            }
+        };
+        Lease {
+            value: Some(value),
+            home: Rc::clone(&self.free),
+        }
+    }
+}
+
+impl<T: Recycle> Default for Pool<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Recycle> Clone for Pool<T> {
+    fn clone(&self) -> Self {
+        Pool {
+            free: Rc::clone(&self.free),
+        }
+    }
+}
+
+/// Owning handle to a pooled buffer; recycles it back on drop.
+#[derive(Debug)]
+pub struct Lease<T: Recycle> {
+    value: Option<T>,
+    home: Rc<RefCell<Vec<T>>>,
+}
+
+impl<T: Recycle> Deref for Lease<T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        self.value.as_ref().expect("lease holds a value until drop")
+    }
+}
+
+impl<T: Recycle> DerefMut for Lease<T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        self.value.as_mut().expect("lease holds a value until drop")
+    }
+}
+
+impl<T: Recycle> Drop for Lease<T> {
+    fn drop(&mut self) {
+        let mut v = self.value.take().expect("lease dropped once");
+        v.recycle();
+        let mut free = self.home.borrow_mut();
+        if free.len() < POOL_CAP {
+            RECYCLED_BYTES.fetch_add(v.retained_bytes() as u64, Ordering::Relaxed);
+            free.push(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lease_round_trips_capacity_through_the_pool() {
+        let pool: Pool<Vec<u64>> = Pool::new();
+        let ptr;
+        {
+            let mut a = pool.acquire();
+            a.extend(0..100);
+            assert_eq!(a.len(), 100);
+            ptr = a.as_ptr();
+        }
+        // The recycled buffer comes back cleared but with its allocation.
+        let b = pool.acquire();
+        assert!(b.is_empty());
+        assert!(b.capacity() >= 100);
+        assert_eq!(b.as_ptr(), ptr, "same allocation must be reused");
+    }
+
+    #[test]
+    fn pool_counts_hits_misses_and_recycled_bytes() {
+        let before = arena_stats();
+        let pool: Pool<Vec<u8>> = Pool::new();
+        {
+            let mut a = pool.acquire(); // miss
+            a.extend_from_slice(&[1, 2, 3]);
+        }
+        drop(pool.acquire()); // hit
+        let after = arena_stats();
+        assert!(after.pool_misses > before.pool_misses);
+        assert!(after.pool_hits > before.pool_hits);
+        assert!(after.recycled_bytes > before.recycled_bytes);
+    }
+
+    #[test]
+    fn pool_retains_at_most_the_cap() {
+        let pool: Pool<Vec<u8>> = Pool::new();
+        let leases: Vec<_> = (0..POOL_CAP + 4).map(|_| pool.acquire()).collect();
+        drop(leases);
+        assert_eq!(pool.free.borrow().len(), POOL_CAP);
+    }
+}

@@ -35,16 +35,26 @@
 //! assert!(below_one < EpsRational::from_rational(Rational::one()));
 //! ```
 //!
-//! The implementation deliberately favours simplicity and auditability over
-//! raw throughput: schoolbook multiplication, binary long division, binary
-//! GCD. Coefficients arising from gcd-normalized constraint atoms stay small
-//! in practice, and the benchmark suite (crate `lyric-bench`) measures the
-//! engine end-to-end with this arithmetic.
+//! The implementation favours simplicity and auditability for the
+//! arbitrary-precision tier — schoolbook multiplication, binary long
+//! division, binary GCD — but since coefficients arising from
+//! gcd-normalized constraint atoms stay small in practice, [`Rational`]
+//! keeps a *two-tier* representation: an inline `i64/i64` fast path with
+//! `i128` intermediates that transparently promotes to the [`BigInt`]
+//! pair on overflow (see [`Rational`] and [`fastpath`]). The
+//! [`arena`] module adds buffer recycling for the simplex/FM hot loops.
+//! The benchmark suite (crate `lyric-bench`) measures the engine
+//! end-to-end with this arithmetic; experiment E13 pins the fast-path
+//! speedup.
 
+pub mod arena;
 mod bigint;
 mod eps;
+pub mod fastpath;
 mod rational;
 
+pub use arena::{arena_stats, ArenaStats, Lease, Pool, Recycle};
 pub use bigint::BigInt;
 pub use eps::EpsRational;
-pub use rational::{ParseRationalError, Rational};
+pub use fastpath::{default_fast_path, fast_path_enabled, op_counters, set_fast_path, OpCounters};
+pub use rational::{gcd_u64, ParseRationalError, Rational};

@@ -1,0 +1,250 @@
+//! Differential properties for the two-tier `Rational` representation.
+//!
+//! Every arithmetic operation is computed twice — once with the
+//! small-coefficient fast path enabled (inline `i64/i64` with `i128`
+//! intermediates) and once with it disabled (the all-`BigInt` baseline
+//! that served as the only representation before the fast path landed).
+//! The two results must be indistinguishable: equal as values, equal
+//! under `Ord`, and equal under `Hash`. The input generator is biased
+//! hard toward the overflow boundaries (`i64::MIN`, `i64::MAX`,
+//! near-overflow products) so that the transparent promotion into the
+//! `BigInt` tier is exercised on a large fraction of cases rather than
+//! almost never.
+
+use lyric_arith::{gcd_u64, op_counters, set_fast_path, BigInt, Rational};
+use proptest::prelude::*;
+use std::cmp::Ordering;
+use std::collections::hash_map::DefaultHasher;
+use std::hash::{Hash, Hasher};
+
+/// Run `f` with the fast path forced to `on`, restoring the previous
+/// thread-local mode afterwards.
+fn with_mode<T>(on: bool, f: impl FnOnce() -> T) -> T {
+    let prev = set_fast_path(on);
+    let out = f();
+    set_fast_path(prev);
+    out
+}
+
+/// `i64` values concentrated on the overflow boundaries: the exact
+/// extremes, their immediate neighbourhoods, powers of two whose
+/// products straddle `i64`/`i128`, and a thin tail of uniform values.
+fn boundary_i64() -> impl Strategy<Value = i64> {
+    prop_oneof![
+        Just(i64::MIN),
+        Just(i64::MIN + 1),
+        Just(i64::MAX),
+        Just(i64::MAX - 1),
+        Just(0i64),
+        Just(1i64),
+        Just(-1i64),
+        Just(1i64 << 31),
+        Just(1i64 << 32),
+        Just(1i64 << 62),
+        Just(-(1i64 << 62)),
+        Just(3_037_000_499i64), // floor(sqrt(i64::MAX)): products sit right at the edge
+        (i64::MAX - 1_000)..i64::MAX,
+        i64::MIN..(i64::MIN + 1_000),
+        -1_000i64..1_000,
+        any::<i64>(),
+    ]
+}
+
+fn nonzero_boundary_i64() -> impl Strategy<Value = i64> {
+    boundary_i64().prop_filter("denominator must be non-zero", |v| *v != 0)
+}
+
+/// A boundary-biased rational as raw parts (denominator non-zero).
+fn parts() -> impl Strategy<Value = (i64, i64)> {
+    (boundary_i64(), nonzero_boundary_i64())
+}
+
+fn hash_of(r: &Rational) -> u64 {
+    let mut h = DefaultHasher::new();
+    r.hash(&mut h);
+    h.finish()
+}
+
+/// Canonical-form invariants that must hold for *any* representation:
+/// positive denominator, fully reduced, zero as 0/1.
+fn assert_canonical(r: &Rational) {
+    let num = r.numer();
+    let den = r.denom();
+    assert!(den.is_positive(), "denominator not positive: {r}");
+    if num.is_zero() {
+        assert_eq!(den, BigInt::one(), "zero not canonical: {r}");
+    } else {
+        assert_eq!(num.gcd(&den), BigInt::one(), "not reduced: {r}");
+    }
+    if let Some((n, d)) = r.small_parts() {
+        assert_eq!(BigInt::from(n), num, "small numerator diverges: {r}");
+        assert_eq!(BigInt::from(d), den, "small denominator diverges: {r}");
+    }
+}
+
+/// Check a fast-path result against the all-BigInt oracle for the same
+/// computation: value equality (both directions, catching asymmetric
+/// `PartialEq` bugs), `Ord` equality, hash equality, canonical form.
+fn assert_matches_oracle(fast: &Rational, slow: &Rational) {
+    assert_eq!(fast, slow, "fast {fast} != oracle {slow}");
+    assert_eq!(slow, fast, "oracle {slow} != fast {fast}");
+    assert_eq!(fast.cmp(slow), Ordering::Equal);
+    assert_eq!(hash_of(fast), hash_of(slow), "hash diverges for {fast}");
+    assert_canonical(fast);
+    assert_canonical(slow);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(1024))]
+
+    #[test]
+    fn normalize_matches_oracle(p in parts()) {
+        let fast = with_mode(true, || Rational::from_pair(p.0, p.1));
+        let slow = with_mode(false, || Rational::from_pair(p.0, p.1));
+        prop_assert!(!slow.is_small(), "oracle mode must stay in the BigInt tier");
+        assert_matches_oracle(&fast, &slow);
+    }
+
+    #[test]
+    fn add_matches_oracle(a in parts(), b in parts()) {
+        let fast = with_mode(true, || &Rational::from_pair(a.0, a.1) + &Rational::from_pair(b.0, b.1));
+        let slow = with_mode(false, || &Rational::from_pair(a.0, a.1) + &Rational::from_pair(b.0, b.1));
+        assert_matches_oracle(&fast, &slow);
+    }
+
+    #[test]
+    fn sub_matches_oracle(a in parts(), b in parts()) {
+        let fast = with_mode(true, || &Rational::from_pair(a.0, a.1) - &Rational::from_pair(b.0, b.1));
+        let slow = with_mode(false, || &Rational::from_pair(a.0, a.1) - &Rational::from_pair(b.0, b.1));
+        assert_matches_oracle(&fast, &slow);
+    }
+
+    #[test]
+    fn mul_matches_oracle(a in parts(), b in parts()) {
+        let fast = with_mode(true, || &Rational::from_pair(a.0, a.1) * &Rational::from_pair(b.0, b.1));
+        let slow = with_mode(false, || &Rational::from_pair(a.0, a.1) * &Rational::from_pair(b.0, b.1));
+        assert_matches_oracle(&fast, &slow);
+    }
+
+    #[test]
+    fn div_matches_oracle(a in parts(), b in parts()) {
+        prop_assume!(b.0 != 0);
+        let fast = with_mode(true, || &Rational::from_pair(a.0, a.1) / &Rational::from_pair(b.0, b.1));
+        let slow = with_mode(false, || &Rational::from_pair(a.0, a.1) / &Rational::from_pair(b.0, b.1));
+        assert_matches_oracle(&fast, &slow);
+    }
+
+    #[test]
+    fn neg_and_recip_match_oracle(a in parts()) {
+        let fast = with_mode(true, || -&Rational::from_pair(a.0, a.1));
+        let slow = with_mode(false, || -&Rational::from_pair(a.0, a.1));
+        assert_matches_oracle(&fast, &slow);
+        if a.0 != 0 {
+            let fast = with_mode(true, || Rational::from_pair(a.0, a.1).recip());
+            let slow = with_mode(false, || Rational::from_pair(a.0, a.1).recip());
+            assert_matches_oracle(&fast, &slow);
+        }
+    }
+
+    #[test]
+    fn cmp_matches_oracle(a in parts(), b in parts()) {
+        let fast = with_mode(true, || {
+            let (x, y) = (Rational::from_pair(a.0, a.1), Rational::from_pair(b.0, b.1));
+            (x.cmp(&y), x == y)
+        });
+        let slow = with_mode(false, || {
+            let (x, y) = (Rational::from_pair(a.0, a.1), Rational::from_pair(b.0, b.1));
+            (x.cmp(&y), x == y)
+        });
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn floor_ceil_abs_match_oracle(a in parts()) {
+        let fast = with_mode(true, || {
+            let x = Rational::from_pair(a.0, a.1);
+            (x.floor(), x.ceil(), x.abs(), x.signum(), x.to_string())
+        });
+        let slow = with_mode(false, || {
+            let x = Rational::from_pair(a.0, a.1);
+            (x.floor(), x.ceil(), x.abs(), x.signum(), x.to_string())
+        });
+        prop_assert_eq!(fast, slow);
+    }
+
+    #[test]
+    fn gcd_u64_matches_bigint_gcd(a in any::<u64>(), b in any::<u64>()) {
+        let oracle = BigInt::from(a as i128).gcd(&BigInt::from(b as i128));
+        prop_assert_eq!(BigInt::from(gcd_u64(a, b) as i128), oracle);
+    }
+
+    /// Cross-representation interchangeability: a value freshly promoted
+    /// to the BigInt tier and the same value in the small tier must be
+    /// equal, hash-equal, and order the same against a third value.
+    #[test]
+    fn mixed_representation_ops_match(a in parts(), b in parts()) {
+        let small_a = with_mode(true, || Rational::from_pair(a.0, a.1));
+        let big_a = with_mode(false, || Rational::from_pair(a.0, a.1));
+        let small_b = with_mode(true, || Rational::from_pair(b.0, b.1));
+        // Mixed-tier binary ops must agree with same-tier ops.
+        let mixed = with_mode(true, || (&big_a + &small_b, &big_a * &small_b));
+        let pure = with_mode(true, || (&small_a + &small_b, &small_a * &small_b));
+        prop_assert_eq!(&mixed.0, &pure.0);
+        prop_assert_eq!(&mixed.1, &pure.1);
+        prop_assert_eq!(hash_of(&small_a), hash_of(&big_a));
+        prop_assert_eq!(small_a.cmp(&small_b), big_a.cmp(&small_b));
+    }
+
+    /// Force overflow: products of near-`sqrt(i64::MAX)`-and-above
+    /// factors must transparently promote and still be exact.
+    #[test]
+    fn overflow_products_promote_exactly(shift_a in 32u32..63, shift_b in 32u32..63) {
+        with_mode(true, || {
+            let before = op_counters();
+            let a = Rational::from_int(1i64 << shift_a);
+            let b = Rational::from_int(1i64 << shift_b);
+            let prod = &a * &b;
+            // 2^(sa+sb) with sa+sb >= 64 cannot fit the small tier.
+            assert!(!prod.is_small(), "2^{} stayed small", shift_a + shift_b);
+            assert!(op_counters().promotions > before.promotions,
+                    "overflow product did not count a promotion");
+            // The value is exact: dividing back recovers the factor (and
+            // demotes back into the small tier).
+            let back = &prod / &b;
+            assert_eq!(&back, &a);
+            assert!(back.is_small(), "quotient did not demote");
+        });
+    }
+}
+
+/// The fast path must never be *required*: with the toggle off every
+/// operation stays in the BigInt tier and counts as a big op.
+#[test]
+fn disabled_fast_path_counts_only_big_ops() {
+    with_mode(false, || {
+        let before = op_counters();
+        let a = Rational::from_pair(3, 7);
+        let b = Rational::from_pair(-2, 9);
+        let _ = &(&a + &b) * &(&a - &b);
+        let after = op_counters();
+        assert_eq!(after.small_ops, before.small_ops);
+        assert!(after.big_ops > before.big_ops);
+    });
+}
+
+/// And with the toggle on, all-small inputs stay entirely on the fast
+/// path with zero promotions.
+#[test]
+fn small_workload_never_touches_bigint_tier() {
+    with_mode(true, || {
+        let before = op_counters();
+        let a = Rational::from_pair(3, 7);
+        let b = Rational::from_pair(-2, 9);
+        let c = &(&a + &b) * &(&a - &b);
+        assert!(c.is_small());
+        let after = op_counters();
+        assert_eq!(after.big_ops, before.big_ops);
+        assert_eq!(after.promotions, before.promotions);
+        assert!(after.small_ops >= before.small_ops + 3);
+    });
+}

@@ -45,6 +45,7 @@ fn main() {
     record(&mut report, "e10_hot_spans", e10);
     record(&mut report, "e11_parallel_speedup", e11);
     record(&mut report, "e12_metrics_overhead", e12);
+    record(&mut report, "e13_arith_fast_path", e13);
     let doc = Json::obj([
         (
             "host_parallelism",
@@ -744,6 +745,128 @@ fn e12() -> Json {
         ("disabled_best_ms", Json::Num(disabled_ms)),
         ("overhead_pct", Json::Num(overhead_pct)),
         ("bar_pct", Json::Num(5.0)),
+    ])
+}
+
+/// E13 — small-coefficient arithmetic fast path: the identical E2/E3/E8
+/// workloads with the two-tier `Rational` representation on (inline
+/// `i64/i64` with transparent BigInt promotion) vs off (every value in
+/// the all-BigInt tier, the pre-fast-path engine). With the memo cache
+/// disabled both sides do exactly the same logical work — the semantic
+/// counters are equal by the `arith_differential` test suite — so the
+/// ratio isolates the representation cost alone. Tier counters come from
+/// the per-query [`EngineStats`](lyric::EngineStats).
+fn e13() -> Json {
+    println!("## E13 — small-coefficient arithmetic fast path (two-tier Rational)\n");
+    println!("| workload | fast (ms) | bigint (ms) | speedup | small ops | big ops | promotions | hit rate | arena bytes |");
+    println!("|---|---|---|---|---|---|---|---|---|");
+    let mut detail: Vec<Json> = Vec::new();
+    let mut row = |name: &str, fast: (f64, lyric::EngineStats), big: (f64, lyric::EngineStats)| {
+        let (fast_ms, s) = fast;
+        let (big_ms, _) = big;
+        let hit = s
+            .arith_small_hit_rate()
+            .map_or("—".into(), |r| format!("{:.1}%", r * 100.0));
+        println!(
+            "| {name} | {fast_ms:.2} | {big_ms:.2} | {:.2}x | {} | {} | {} | {hit} | {} |",
+            big_ms / fast_ms,
+            s.arith_small_ops,
+            s.arith_big_ops,
+            s.arith_promotions,
+            s.arena_bytes,
+        );
+        detail.push(Json::obj([
+            ("workload", Json::str(name)),
+            ("fast_ms", Json::Num(fast_ms)),
+            ("bigint_ms", Json::Num(big_ms)),
+            ("speedup", Json::Num(big_ms / fast_ms)),
+            ("arith_small_ops", Json::int(s.arith_small_ops)),
+            ("arith_big_ops", Json::int(s.arith_big_ops)),
+            ("arith_promotions", Json::int(s.arith_promotions)),
+            (
+                "small_hit_rate",
+                s.arith_small_hit_rate().map_or(Json::Null, Json::Num),
+            ),
+            ("arena_bytes", Json::int(s.arena_bytes)),
+        ]));
+    };
+
+    let opts = |fast: bool| {
+        ExecOptions::default()
+            .with_arith_fast(fast)
+            .with_cache(false)
+    };
+    // E2 — the office workloads (linear scan, pairwise LP-heavy join).
+    for (name, n, reps, q) in [
+        ("E2 linear, n=64", 64usize, 3usize, Q_LINEAR),
+        ("E2 pairwise, n=32", 32, 2, Q_PAIRWISE),
+    ] {
+        let db = workload::office_db(n, 42);
+        let measure = |fast: bool| {
+            let (ms, res) = time_ms(reps, || {
+                let mut d = db.clone();
+                execute_with_options(&mut d, q, &opts(fast)).expect("office query evaluates")
+            });
+            (ms, res.stats)
+        };
+        row(name, measure(true), measure(false));
+    }
+    // E3-style raw constraint ops: 3-D box intersect+sat and entailment,
+    // under an engine context so the tier counters land in the stats.
+    {
+        let mk_box = |lo: i64, hi: i64| {
+            use lyric_constraint::{Atom, LinExpr};
+            let axes = ["x", "y", "z"];
+            CstObject::from_conjunction(
+                axes.iter().map(|a| Var::new(*a)).collect(),
+                Conjunction::of(axes.iter().flat_map(|a| {
+                    [
+                        Atom::ge(LinExpr::var(Var::new(*a)), LinExpr::from(lo)),
+                        Atom::le(LinExpr::var(Var::new(*a)), LinExpr::from(hi)),
+                    ]
+                })),
+            )
+        };
+        let (a, b, inner) = (mk_box(0, 10), mk_box(5, 15), mk_box(6, 9));
+        let measure = |fast: bool| {
+            let ((ms, _), stats) = lyric::engine::run_with_opts(opts(fast), || {
+                time_ms(20, || {
+                    for _ in 0..10 {
+                        assert!(a.and(&b).satisfiable());
+                        assert!(inner.implies(&a));
+                    }
+                })
+            })
+            .expect("unlimited budget");
+            (ms, stats)
+        };
+        row("E3 constraint ops, 3-D", measure(true), measure(false));
+    }
+    // E8 — the factory LP workload (MAX … SUBJECT TO), simplex-dominated.
+    {
+        let db = workload::factory_db(16, 6, 4, 17);
+        let q = workload::factory_query(6, 4);
+        let measure = |fast: bool| {
+            let (ms, res) = time_ms(2, || {
+                let mut d = db.clone();
+                execute_with_options(&mut d, &q, &opts(fast)).expect("factory query evaluates")
+            });
+            (ms, res.stats)
+        };
+        row("E8 factory LP, 16 proc", measure(true), measure(false));
+    }
+    let arena = lyric_arith::arena_stats();
+    println!(
+        "\nspeedup is bigint-tier time over fast-path time on the identical cache-off workload; \
+         the hit rate is the small-tier share of all Rational ops in the fast run. \
+         Arena pools (process lifetime): {} buffer reuses, {} fresh allocations, {} bytes of capacity recycled.\n",
+        arena.pool_hits, arena.pool_misses, arena.recycled_bytes
+    );
+    Json::obj([
+        ("rows", Json::Arr(detail)),
+        ("arena_pool_hits", Json::int(arena.pool_hits)),
+        ("arena_pool_misses", Json::int(arena.pool_misses)),
+        ("arena_recycled_bytes", Json::int(arena.recycled_bytes)),
     ])
 }
 

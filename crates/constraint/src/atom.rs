@@ -14,6 +14,17 @@ use lyric_arith::{BigInt, Rational};
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
 
+/// Euclidean gcd with `gcd(0, x) == x`, wide enough for products of two
+/// `i64` magnitudes.
+fn gcd_u128(mut a: u128, mut b: u128) -> u128 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
 /// Relational operator of a source-level linear constraint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RelOp {
@@ -117,46 +128,88 @@ impl Atom {
             self.expr = LinExpr::constant(Rational::from_int(c.signum() as i64));
             return;
         }
-        // lcm of denominators.
-        let mut lcm = BigInt::one();
-        let mut gcd = BigInt::zero();
-        let mut all = Vec::new();
-        for (_, c) in self.expr.terms() {
-            all.push(c.clone());
+        let factor = match self.small_scale_factor() {
+            Some(f) => f,
+            None => match self.big_scale_factor() {
+                Some(f) => f,
+                None => return,
+            },
+        };
+        if factor != Rational::one() {
+            self.expr = self.expr.scale(&factor);
         }
-        all.push(self.expr.constant_term().clone());
-        for c in &all {
-            if c.is_zero() {
-                continue;
-            }
-            let d = c.denom();
-            let g = lcm.gcd(d);
-            lcm = &lcm * &d.div_exact(&g);
-        }
-        for c in &all {
-            if c.is_zero() {
-                continue;
-            }
-            // numerator after clearing denominators
-            let scaled = c.numer() * &lcm.div_exact(c.denom());
-            gcd = gcd.gcd(&scaled);
-        }
-        if gcd.is_zero() {
-            return;
-        }
-        let factor = Rational::new(lcm, gcd);
-        let mut expr = self.expr.scale(&factor);
         if matches!(self.op, NormOp::Eq | NormOp::Neq) {
-            let leading_negative = expr
+            let leading_negative = self
+                .expr
                 .terms()
                 .next()
                 .map(|(_, c)| c.is_negative())
                 .unwrap_or(false);
             if leading_negative {
-                expr = -&expr;
+                self.expr = -&self.expr;
             }
         }
-        self.expr = expr;
+    }
+
+    /// The canonical scaling factor (lcm of coefficient denominators over
+    /// gcd of the cleared numerators) computed entirely in fixed-width
+    /// integers. `None` falls back to the `BigInt` path: the fast path is
+    /// off, a coefficient is stored big, or an `i128` intermediate would
+    /// overflow.
+    fn small_scale_factor(&self) -> Option<Rational> {
+        if !lyric_arith::fast_path_enabled() {
+            return None;
+        }
+        let coeffs = || {
+            self.expr
+                .terms()
+                .map(|(_, c)| c)
+                .chain(std::iter::once(self.expr.constant_term()))
+                .filter(|c| !c.is_zero())
+        };
+        let mut lcm: i128 = 1;
+        for c in coeffs() {
+            let (_, d) = c.small_parts()?;
+            let d = d as i128;
+            let g = gcd_u128(lcm as u128, d as u128) as i128;
+            lcm = lcm.checked_mul(d / g)?;
+        }
+        let mut gcd: u128 = 0;
+        for c in coeffs() {
+            let (n, d) = c.small_parts()?;
+            let scaled = (n as i128).checked_mul(lcm / d as i128)?;
+            gcd = gcd_u128(gcd, scaled.unsigned_abs());
+        }
+        if gcd == 0 {
+            return Some(Rational::one());
+        }
+        let gcd = i128::try_from(gcd).ok()?;
+        Some(Rational::from_i128_pair(lcm, gcd))
+    }
+
+    /// The canonical scaling factor over `BigInt`, or `None` when every
+    /// coefficient is zero (nothing to scale).
+    fn big_scale_factor(&self) -> Option<Rational> {
+        let mut all: Vec<&Rational> = self.expr.terms().map(|(_, c)| c).collect();
+        all.push(self.expr.constant_term());
+        all.retain(|c| !c.is_zero());
+        // lcm of denominators.
+        let mut lcm = BigInt::one();
+        for c in &all {
+            let d = c.denom();
+            let g = lcm.gcd(&d);
+            lcm = &lcm * &d.div_exact(&g);
+        }
+        let mut gcd = BigInt::zero();
+        for c in &all {
+            // numerator after clearing denominators
+            let scaled = &c.numer() * &lcm.div_exact(&c.denom());
+            gcd = gcd.gcd(&scaled);
+        }
+        if gcd.is_zero() {
+            return None;
+        }
+        Some(Rational::new(lcm, gcd))
     }
 
     /// The normalized left-hand side (the atom is `expr() ⊲ 0`).

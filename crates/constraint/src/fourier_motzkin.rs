@@ -17,6 +17,18 @@ use crate::conjunction::Conjunction;
 use crate::error::ConstraintError;
 use crate::linexpr::LinExpr;
 use crate::var::Var;
+use lyric_arith::Pool;
+
+thread_local! {
+    /// Recycled buffers for one elimination step: lower bounds, upper
+    /// bounds, and the surviving/product atoms.
+    #[allow(clippy::type_complexity)]
+    static FM_POOLS: (
+        Pool<Vec<(LinExpr, bool)>>,
+        Pool<Vec<(LinExpr, bool)>>,
+        Pool<Vec<Atom>>,
+    ) = (Pool::new(), Pool::new(), Pool::new());
+}
 
 impl Conjunction {
     /// Eliminate a single variable: `∃v. self`, as a conjunction.
@@ -60,10 +72,11 @@ impl Conjunction {
         {
             return Err(ConstraintError::DisequationElimination(v.clone()));
         }
-        // Fourier–Motzkin over the inequalities.
-        let mut lowers: Vec<(LinExpr, bool)> = Vec::new(); // (bound, strict): bound ⊲ v
-        let mut uppers: Vec<(LinExpr, bool)> = Vec::new(); // v ⊲ bound
-        let mut rest: Vec<Atom> = Vec::new();
+        // Fourier–Motzkin over the inequalities. The bound lists and the
+        // output atom set come from thread-local pools: an elimination
+        // sweep reuses the same buffers instead of reallocating per step.
+        let (mut lowers, mut uppers, mut rest) =
+            FM_POOLS.with(|(lo, hi, out)| (lo.acquire(), hi.acquire(), out.acquire()));
         for a in self.atoms() {
             let c = a.expr().coeff(v);
             if c.is_zero() {
@@ -83,8 +96,8 @@ impl Conjunction {
         // A side with no bound leaves v unconstrained there: all of v's
         // atoms project away.
         if !lowers.is_empty() && !uppers.is_empty() {
-            for (lo, lo_strict) in &lowers {
-                for (hi, hi_strict) in &uppers {
+            for (lo, lo_strict) in lowers.iter() {
+                for (hi, hi_strict) in uppers.iter() {
                     lyric_engine::note(lyric_engine::Resource::FmAtoms);
                     let op = if *lo_strict || *hi_strict {
                         NormOp::Lt
@@ -95,7 +108,11 @@ impl Conjunction {
                 }
             }
         }
-        Ok(Conjunction::of(rest))
+        // Deterministic arena accounting by logical element counts.
+        let bytes = ((lowers.len() + uppers.len()) * std::mem::size_of::<(LinExpr, bool)>()
+            + rest.len() * std::mem::size_of::<Atom>()) as u64;
+        lyric_engine::tally(|s| s.arena_bytes += bytes);
+        Ok(Conjunction::of(rest.drain(..)))
     }
 
     /// Eliminate every variable in `vs`, in order. Unrestricted — see the

@@ -230,6 +230,23 @@ struct ActiveContext {
     /// atomics so a limit crossed by the *sum* of all workers aborts
     /// promptly, not just one worker's local share.
     shared: Option<Arc<parallel::SharedRegion>>,
+    /// The thread's cumulative arithmetic-path counters at the last
+    /// refresh; [`refresh_arith`] drains the delta into `stats`.
+    arith_base: lyric_arith::OpCounters,
+}
+
+/// Fold the thread's cumulative small/big/promotion arithmetic counters
+/// into the active context's stats. Incremental — it adds only the delta
+/// since the previous refresh — so worker contributions merged via
+/// `EngineStats::absorb` are never clobbered. Called at span entry/exit
+/// (so trace self-stats attribute arithmetic to the span that did it), on
+/// [`snapshot`], and at context teardown.
+fn refresh_arith(active: &mut ActiveContext) {
+    let now = lyric_arith::op_counters();
+    active.stats.arith_small_ops += now.small_ops - active.arith_base.small_ops;
+    active.stats.arith_big_ops += now.big_ops - active.arith_base.big_ops;
+    active.stats.arith_promotions += now.promotions - active.arith_base.promotions;
+    active.arith_base = now;
 }
 
 impl ActiveContext {
@@ -440,7 +457,12 @@ pub fn note_cache(hit: bool) {
 
 /// Read the current context's counters, or `None` outside a context.
 pub fn snapshot() -> Option<EngineStats> {
-    CONTEXT.with(|c| c.borrow().as_ref().map(|a| a.stats))
+    CONTEXT.with(|c| {
+        c.borrow_mut().as_mut().map(|a| {
+            refresh_arith(a);
+            a.stats
+        })
+    })
 }
 
 // ---------------------------------------------------------------- tracing
@@ -466,6 +488,7 @@ impl Drop for SpanGuard {
         }
         CONTEXT.with(|c| {
             if let Some(active) = c.borrow_mut().as_mut() {
+                refresh_arith(active);
                 let stats = active.stats;
                 if let Some(t) = active.tracer.as_mut() {
                     t.exit(stats);
@@ -493,6 +516,7 @@ pub fn span(
         if active.tracer.is_none() {
             return SpanGuard { active: false };
         }
+        refresh_arith(active);
         let stats = active.stats;
         let tracer = active.tracer.as_mut().expect("checked above");
         tracer.enter(kind, label(), source, stats);
@@ -531,6 +555,11 @@ pub struct ExecOptions {
     /// evaluated in parallel. Defaults to [`default_dnf_min_pairs`]
     /// (`LYRIC_DNF_MIN_PAIRS`, else [`DNF_PARALLEL_MIN_PAIRS`]).
     pub dnf_min_pairs: usize,
+    /// Use the inline small-coefficient arithmetic fast path? Defaults to
+    /// [`lyric_arith::default_fast_path`] (`LYRIC_ARITH_FAST`, off only
+    /// when set to `0`). `false` forces every rational operation onto the
+    /// `BigInt` path — the measurement baseline and differential oracle.
+    pub arith_fast: bool,
 }
 
 impl Default for ExecOptions {
@@ -541,6 +570,7 @@ impl Default for ExecOptions {
             threads: default_threads(),
             min_parallel: default_min_parallel(),
             dnf_min_pairs: default_dnf_min_pairs(),
+            arith_fast: lyric_arith::default_fast_path(),
         }
     }
 }
@@ -575,6 +605,12 @@ impl ExecOptions {
     /// (clamped to at least 1).
     pub fn with_dnf_min_pairs(mut self, pairs: usize) -> Self {
         self.dnf_min_pairs = pairs.max(1);
+        self
+    }
+
+    /// Enable or disable the small-coefficient arithmetic fast path.
+    pub fn with_arith_fast(mut self, fast: bool) -> Self {
+        self.arith_fast = fast;
         self
     }
 }
@@ -697,7 +733,11 @@ fn run_inner<T>(
     let threads = opts.threads.max(1);
     let min_parallel = opts.min_parallel.max(1);
     let dnf_min_pairs = opts.dnf_min_pairs.max(1);
-    metrics::record_options(threads, min_parallel, dnf_min_pairs);
+    metrics::record_options(threads, min_parallel, dnf_min_pairs, opts.arith_fast);
+    // Pin the thread's arithmetic mode for the run (workers copy it from
+    // the region plan); restored below so nested library use after the
+    // query sees the caller's mode again.
+    let prev_arith_fast = lyric_arith::set_fast_path(opts.arith_fast);
     CONTEXT.with(|c| {
         let mut borrow = c.borrow_mut();
         assert!(
@@ -717,13 +757,16 @@ fn run_inner<T>(
             min_parallel,
             dnf_min_pairs,
             shared: None,
+            arith_base: lyric_arith::op_counters(),
         });
     });
 
     let outcome = catch_unwind(AssertUnwindSafe(f));
-    let context = CONTEXT
+    let mut context = CONTEXT
         .with(|c| c.borrow_mut().take())
         .expect("context still installed");
+    lyric_arith::set_fast_path(prev_arith_fast);
+    refresh_arith(&mut context);
     let stats = context.stats;
     let elapsed = context.started.elapsed();
     let trace = context.tracer.map(|t| t.finish(stats));

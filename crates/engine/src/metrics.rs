@@ -59,6 +59,10 @@ pub(crate) struct EngineMetrics {
     threads_gauge: Gauge,
     min_parallel_gauge: Gauge,
     dnf_min_pairs_gauge: Gauge,
+    arith_fast_gauge: Gauge,
+    arena_pool_hits_gauge: Gauge,
+    arena_pool_misses_gauge: Gauge,
+    arena_recycled_bytes_gauge: Gauge,
 }
 
 pub(crate) fn metrics() -> &'static EngineMetrics {
@@ -134,12 +138,36 @@ pub(crate) fn metrics() -> &'static EngineMetrics {
                 "lyric_dnf_parallel_min_pairs",
                 "Effective minimum pair count for parallel DNF products.",
             ),
+            arith_fast_gauge: r.gauge(
+                "lyric_arith_fast",
+                "1 when the most recent context used the small-coefficient \
+                 arithmetic fast path, 0 for the all-BigInt baseline.",
+            ),
+            arena_pool_hits_gauge: r.gauge(
+                "lyric_arena_pool_hits",
+                "Arena buffer acquisitions served by a recycled buffer \
+                 (process lifetime).",
+            ),
+            arena_pool_misses_gauge: r.gauge(
+                "lyric_arena_pool_misses",
+                "Arena buffer acquisitions that allocated a fresh buffer \
+                 (process lifetime).",
+            ),
+            arena_recycled_bytes_gauge: r.gauge(
+                "lyric_arena_recycled_bytes",
+                "Capacity bytes returned to arena pools (process lifetime).",
+            ),
         }
     })
 }
 
 /// Record the effective execution options of a freshly installed context.
-pub(crate) fn record_options(threads: usize, min_parallel: usize, dnf_min_pairs: usize) {
+pub(crate) fn record_options(
+    threads: usize,
+    min_parallel: usize,
+    dnf_min_pairs: usize,
+    arith_fast: bool,
+) {
     if !lyric_metrics::enabled() {
         return;
     }
@@ -147,6 +175,7 @@ pub(crate) fn record_options(threads: usize, min_parallel: usize, dnf_min_pairs:
     m.threads_gauge.set(threads as u64);
     m.min_parallel_gauge.set(min_parallel as u64);
     m.dnf_min_pairs_gauge.set(dnf_min_pairs as u64);
+    m.arith_fast_gauge.set(arith_fast as u64);
 }
 
 /// Flush one completed context: bump the query counter, observe the
@@ -171,6 +200,10 @@ pub(crate) fn flush_query(
     if let Some(b) = abort {
         m.budget_aborts[resource_index(b.resource)].inc();
     }
+    let arena = lyric_arith::arena_stats();
+    m.arena_pool_hits_gauge.set(arena.pool_hits);
+    m.arena_pool_misses_gauge.set(arena.pool_misses);
+    m.arena_recycled_bytes_gauge.set(arena.recycled_bytes);
 }
 
 /// Record a 50%/90% budget-consumption crossing (mirrors the trace

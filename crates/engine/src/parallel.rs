@@ -77,6 +77,8 @@ struct RegionPlan {
     threads: usize,
     min_parallel: usize,
     dnf_min_pairs: usize,
+    /// The parent thread's arithmetic mode; copied onto worker threads.
+    arith_fast: bool,
     /// The parent tracer's origin `Instant`; `Some` iff tracing.
     trace_origin: Option<Instant>,
     shared: Arc<SharedRegion>,
@@ -102,6 +104,7 @@ fn plan_region(items: usize) -> Option<RegionPlan> {
             threads: active.threads,
             min_parallel: active.min_parallel,
             dnf_min_pairs: active.dnf_min_pairs,
+            arith_fast: lyric_arith::fast_path_enabled(),
             trace_origin: active.tracer.as_ref().map(|t| t.origin()),
             shared: Arc::new(SharedRegion {
                 pivots: AtomicU64::new(active.stats.pivots),
@@ -140,6 +143,7 @@ struct WorkerContext<'a> {
 impl<'a> WorkerContext<'a> {
     fn install(plan: &RegionPlan, worker: usize, slot: &'a Mutex<Option<WorkerReport>>) -> Self {
         let tid = WORKER_TID_BASE + worker as u32;
+        lyric_arith::set_fast_path(plan.arith_fast);
         CONTEXT.with(|c| {
             let mut borrow = c.borrow_mut();
             debug_assert!(borrow.is_none(), "fresh worker thread has no context");
@@ -161,6 +165,7 @@ impl<'a> WorkerContext<'a> {
                 min_parallel: plan.min_parallel,
                 dnf_min_pairs: plan.dnf_min_pairs,
                 shared: Some(plan.shared.clone()),
+                arith_base: lyric_arith::op_counters(),
             });
         });
         WorkerContext {
@@ -176,9 +181,10 @@ impl<'a> WorkerContext<'a> {
 
 impl Drop for WorkerContext<'_> {
     fn drop(&mut self) {
-        let ctx = CONTEXT
+        let mut ctx = CONTEXT
             .with(|c| c.borrow_mut().take())
             .expect("worker context still installed");
+        crate::refresh_arith(&mut ctx);
         let stats = ctx.stats;
         let subtree = ctx.tracer.map(|t| t.finish_subtree(stats));
         let items_hist = std::mem::take(&mut *self.items_hist.borrow_mut());

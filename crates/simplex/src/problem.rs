@@ -156,9 +156,18 @@ impl LpProblem {
         self.constraints.push(Constraint { coeffs, relop, rhs });
     }
 
-    /// Phase-1 feasibility test.
+    /// Phase-1 feasibility test. Unlike [`find_point`](Self::find_point)
+    /// this never materializes the witness, so a warm solve on small
+    /// coefficients stays entirely inside recycled arena buffers (the
+    /// `zero_alloc_pivot` test pins this).
     pub fn is_feasible(&self) -> bool {
-        self.find_point().is_some()
+        let _span = lyric_engine::span(
+            lyric_engine::SpanKind::LpSolve,
+            || format!("feasibility ({} constraints)", self.constraints.len()),
+            None,
+        );
+        lyric_engine::tally(|s| s.lp_runs += 1);
+        Tableau::build(self).phase1()
     }
 
     /// A feasible point in ε-extended coordinates, if one exists.

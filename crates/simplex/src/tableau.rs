@@ -6,21 +6,69 @@
 //! artificial columns. Right-hand sides are [`EpsRational`] so strict
 //! inequalities participate as `b − ε`; all tableau coefficients stay
 //! ordinary rationals (pivoting never multiplies two ε values).
+//!
+//! Storage is *arena-backed*: the coefficient matrix is one flat
+//! row-major `Vec<Rational>` (stride = the column count at build time)
+//! plus side vectors for RHS, basis, and scratch rows, all held in a
+//! thread-local [`Pool`](lyric_arith::Pool) and recycled across solves.
+//! After warm-up, a solve whose coefficients stay on the small-rational
+//! fast path performs **zero** global allocations in the pivot loop (the
+//! `zero_alloc_pivot` integration test pins this). Removing artificial
+//! columns after phase 1 only shrinks the *logical* column count — the
+//! stale tail of each row chunk is simply never read again.
 
 use crate::problem::{LpProblem, Relop};
-use lyric_arith::{EpsRational, Rational};
+use lyric_arith::{EpsRational, Lease, Pool, Rational, Recycle};
 
-struct Row {
+/// The recyclable buffers of one tableau. Everything is `clear()`ed on
+/// release; capacity survives in the pool.
+#[derive(Debug, Default)]
+pub(crate) struct TableauBufs {
+    /// Row-major coefficient matrix, `nrows × stride`.
     coeffs: Vec<Rational>,
-    rhs: EpsRational,
+    rhs: Vec<EpsRational>,
+    basis: Vec<usize>,
+    /// Pivot-row copy, so eliminating other rows needs no split borrow.
+    scratch: Vec<Rational>,
+    /// Reduced-cost row, reused across `optimize` calls.
+    reduced: Vec<Rational>,
+    /// Cost vector for phase 1 / phase 2.
+    costs: Vec<Rational>,
+}
+
+impl Recycle for TableauBufs {
+    fn recycle(&mut self) {
+        self.coeffs.clear();
+        self.rhs.clear();
+        self.basis.clear();
+        self.scratch.clear();
+        self.reduced.clear();
+        self.costs.clear();
+    }
+
+    fn retained_bytes(&self) -> usize {
+        use std::mem::size_of;
+        (self.coeffs.capacity()
+            + self.scratch.capacity()
+            + self.reduced.capacity()
+            + self.costs.capacity())
+            * size_of::<Rational>()
+            + self.rhs.capacity() * size_of::<EpsRational>()
+            + self.basis.capacity() * size_of::<usize>()
+    }
+}
+
+thread_local! {
+    static TABLEAU_POOL: Pool<TableauBufs> = Pool::new();
 }
 
 pub(crate) struct Tableau {
-    rows: Vec<Row>,
-    /// Column basic in each row.
-    basis: Vec<usize>,
-    /// Total column count including artificials.
+    bufs: Lease<TableauBufs>,
+    nrows: usize,
+    /// Live column count; shrinks when artificials are evicted.
     ncols: usize,
+    /// Allocated row width (the column count at build time).
+    stride: usize,
     /// Columns `0..n_nonartificial` are structural + slack; the rest are
     /// phase-1 artificials.
     n_nonartificial: usize,
@@ -30,108 +78,125 @@ impl Tableau {
     pub(crate) fn build(problem: &LpProblem) -> Tableau {
         let n = problem.num_vars();
         let nstruct = 2 * n;
-        let n_slacks = problem
-            .constraints()
-            .iter()
-            .filter(|c| c.relop != Relop::Eq)
-            .count();
+        let constraints = problem.constraints();
+        let nrows = constraints.len();
+        let n_slacks = constraints.iter().filter(|c| c.relop != Relop::Eq).count();
         let n_nonartificial = nstruct + n_slacks;
 
-        // First pass: build rows with structural + slack coefficients,
-        // normalizing to non-negative RHS.
-        let mut rows: Vec<Row> = Vec::with_capacity(problem.constraints().len());
-        let mut basis: Vec<Option<usize>> = Vec::with_capacity(rows.capacity());
-        let mut next_slack = nstruct;
-        for c in problem.constraints() {
-            let mut coeffs = vec![Rational::zero(); n_nonartificial];
-            for (j, a) in c.coeffs.iter().enumerate() {
-                if !a.is_zero() {
-                    coeffs[2 * j] = a.clone();
-                    coeffs[2 * j + 1] = -a;
-                }
-            }
-            let mut rhs = match c.relop {
-                Relop::Lt => EpsRational::new(c.rhs.clone(), -Rational::one()),
-                _ => EpsRational::from_rational(c.rhs.clone()),
-            };
-            let slack = if c.relop == Relop::Eq {
-                None
-            } else {
-                let col = next_slack;
-                next_slack += 1;
-                coeffs[col] = Rational::one();
-                Some(col)
-            };
-            let negate = rhs.is_negative();
-            if negate {
-                for a in &mut coeffs {
+        // A row needs an artificial variable when it cannot start with its
+        // slack basic: equality rows have no slack, and rows normalized by
+        // negation (negative RHS, where `0 − ε` counts as negative) flip
+        // the slack coefficient to −1.
+        let needs_artificial = |c: &crate::problem::Constraint| {
+            c.relop == Relop::Eq || c.rhs.is_negative() || (c.rhs.is_zero() && c.relop == Relop::Lt)
+        };
+        let n_artificial = constraints.iter().filter(|c| needs_artificial(c)).count();
+        let ncols = n_nonartificial + n_artificial;
+
+        let mut bufs = TABLEAU_POOL.with(|p| p.acquire());
+        {
+            let b = &mut *bufs;
+            b.coeffs.resize(nrows * ncols, Rational::zero());
+            b.rhs.reserve(nrows);
+            b.basis.reserve(nrows);
+
+            let mut next_slack = nstruct;
+            let mut next_art = n_nonartificial;
+            for (i, c) in constraints.iter().enumerate() {
+                let row = &mut b.coeffs[i * ncols..(i + 1) * ncols];
+                for (j, a) in c.coeffs.iter().enumerate() {
                     if !a.is_zero() {
-                        *a = -&*a;
+                        row[2 * j] = a.clone();
+                        row[2 * j + 1] = -a;
                     }
                 }
-                rhs = -rhs;
+                let mut rhs = match c.relop {
+                    Relop::Lt => EpsRational::new(c.rhs.clone(), -Rational::one()),
+                    _ => EpsRational::from_rational(c.rhs.clone()),
+                };
+                let slack = if c.relop == Relop::Eq {
+                    None
+                } else {
+                    let col = next_slack;
+                    next_slack += 1;
+                    row[col] = Rational::one();
+                    Some(col)
+                };
+                let negate = rhs.is_negative();
+                if negate {
+                    for a in row.iter_mut() {
+                        if !a.is_zero() {
+                            *a = -&*a;
+                        }
+                    }
+                    rhs = -rhs;
+                }
+                // The slack is a valid initial basic variable only when its
+                // coefficient stayed +1 (row not negated).
+                let basic = match slack {
+                    Some(col) if !negate => col,
+                    _ => {
+                        debug_assert!(needs_artificial(c));
+                        let col = next_art;
+                        next_art += 1;
+                        row[col] = Rational::one();
+                        col
+                    }
+                };
+                b.rhs.push(rhs);
+                b.basis.push(basic);
             }
-            // The slack is a valid initial basic variable only when its
-            // coefficient stayed +1 (row not negated).
-            let basic = match slack {
-                Some(col) if !negate => Some(col),
-                _ => None,
-            };
-            rows.push(Row { coeffs, rhs });
-            basis.push(basic);
+            debug_assert_eq!(next_art, ncols);
         }
 
-        // Second pass: artificial columns for rows lacking a basic variable.
-        let n_artificial = basis.iter().filter(|b| b.is_none()).count();
-        let ncols = n_nonartificial + n_artificial;
-        let mut next_art = n_nonartificial;
-        let mut final_basis = Vec::with_capacity(rows.len());
-        for (row, b) in rows.iter_mut().zip(&basis) {
-            row.coeffs.resize(ncols, Rational::zero());
-            match b {
-                Some(col) => final_basis.push(*col),
-                None => {
-                    row.coeffs[next_art] = Rational::one();
-                    final_basis.push(next_art);
-                    next_art += 1;
-                }
-            }
-        }
+        // Deterministic arena accounting: the logical bytes this solve
+        // placed in pooled buffers (requested sizes, not capacity).
+        let bytes = (nrows * ncols * std::mem::size_of::<Rational>()
+            + nrows * (std::mem::size_of::<EpsRational>() + std::mem::size_of::<usize>()))
+            as u64;
+        lyric_engine::tally(|s| s.arena_bytes += bytes);
 
         Tableau {
-            rows,
-            basis: final_basis,
+            bufs,
+            nrows,
             ncols,
+            stride: ncols,
             n_nonartificial,
         }
     }
 
+    #[inline]
+    fn row(&self, i: usize) -> &[Rational] {
+        &self.bufs.coeffs[i * self.stride..i * self.stride + self.ncols]
+    }
+
     /// Reduced-cost row `r_j = c_j − Σᵢ c_{basis[i]}·T[i][j]` for the given
-    /// cost vector (padded with zeros beyond its length).
-    fn reduced_costs(&self, costs: &[Rational]) -> Vec<Rational> {
+    /// cost vector (padded with zeros beyond its length), written into
+    /// `reduced`.
+    fn reduced_costs(&self, costs: &[Rational], reduced: &mut Vec<Rational>) {
         let cost_of = |col: usize| costs.get(col).cloned().unwrap_or_else(Rational::zero);
-        let mut reduced: Vec<Rational> = (0..self.ncols).map(cost_of).collect();
-        for (i, row) in self.rows.iter().enumerate() {
-            let cb = cost_of(self.basis[i]);
+        reduced.clear();
+        reduced.extend((0..self.ncols).map(cost_of));
+        for i in 0..self.nrows {
+            let cb = cost_of(self.bufs.basis[i]);
             if cb.is_zero() {
                 continue;
             }
-            for (j, a) in row.coeffs.iter().enumerate() {
+            for (j, a) in self.row(i).iter().enumerate() {
                 if !a.is_zero() {
                     reduced[j] -= &(&cb * a);
                 }
             }
         }
-        reduced
     }
 
     /// Current objective value `Σᵢ c_{basis[i]}·rhsᵢ`.
     fn objective_value(&self, costs: &[Rational]) -> EpsRational {
         let mut z = EpsRational::zero();
-        for (i, row) in self.rows.iter().enumerate() {
-            if let Some(c) = costs.get(self.basis[i]) {
+        for i in 0..self.nrows {
+            if let Some(c) = costs.get(self.bufs.basis[i]) {
                 if !c.is_zero() {
-                    z += &row.rhs.scale(c);
+                    z += &self.bufs.rhs[i].scale(c);
                 }
             }
         }
@@ -139,75 +204,84 @@ impl Tableau {
     }
 
     fn pivot(&mut self, r: usize, q: usize, reduced: &mut [Rational]) {
-        // Scale pivot row to make the pivot 1.
-        let piv = self.rows[r].coeffs[q].clone();
-        debug_assert!(!piv.is_zero());
-        if piv != Rational::one() {
-            let inv = piv.recip();
-            for a in &mut self.rows[r].coeffs {
-                if !a.is_zero() {
-                    *a *= &inv;
+        let stride = self.stride;
+        let ncols = self.ncols;
+        // Copy the (scaled) pivot row into the scratch buffer: eliminating
+        // the other rows then needs no split borrow and, once warm, no
+        // allocation.
+        let mut scratch = std::mem::take(&mut self.bufs.scratch);
+        {
+            let b = &mut *self.bufs;
+            let row = &mut b.coeffs[r * stride..r * stride + ncols];
+            let piv = row[q].clone();
+            debug_assert!(!piv.is_zero());
+            if piv != Rational::one() {
+                let inv = piv.recip();
+                for a in row.iter_mut() {
+                    if !a.is_zero() {
+                        *a *= &inv;
+                    }
                 }
+                b.rhs[r] = b.rhs[r].scale(&inv);
             }
-            self.rows[r].rhs = self.rows[r].rhs.scale(&inv);
+            scratch.clear();
+            scratch.extend_from_slice(row);
         }
         // Eliminate the pivot column from all other rows.
-        for i in 0..self.rows.len() {
+        for i in 0..self.nrows {
             if i == r {
                 continue;
             }
-            let f = self.rows[i].coeffs[q].clone();
+            let b = &mut *self.bufs;
+            let row = &mut b.coeffs[i * stride..i * stride + ncols];
+            let f = row[q].clone();
             if f.is_zero() {
                 continue;
             }
-            let delta_rhs = self.rows[r].rhs.scale(&f);
-            // Split borrow: copy the pivot row coefficients we need.
-            let pivot_coeffs: Vec<(usize, Rational)> = self.rows[r]
-                .coeffs
-                .iter()
-                .enumerate()
-                .filter(|(_, a)| !a.is_zero())
-                .map(|(j, a)| (j, a.clone()))
-                .collect();
-            for (j, a) in &pivot_coeffs {
-                self.rows[i].coeffs[*j] -= &(&f * a);
+            for (a, p) in row.iter_mut().zip(scratch.iter()) {
+                if !p.is_zero() {
+                    *a -= &(&f * p);
+                }
             }
-            self.rows[i].rhs -= &delta_rhs;
+            let delta_rhs = b.rhs[r].scale(&f);
+            b.rhs[i] -= &delta_rhs;
         }
         // Update the reduced-cost row the same way.
         let f = reduced[q].clone();
         if !f.is_zero() {
-            for (j, a) in self.rows[r].coeffs.iter().enumerate() {
-                if !a.is_zero() {
-                    reduced[j] -= &(&f * a);
+            for (c, p) in reduced.iter_mut().zip(scratch.iter()) {
+                if !p.is_zero() {
+                    *c -= &(&f * p);
                 }
             }
         }
-        self.basis[r] = q;
+        self.bufs.scratch = scratch;
+        self.bufs.basis[r] = q;
     }
 
     /// Bland's-rule minimization over columns `0..allowed_cols`.
     /// Returns `false` on unboundedness.
     fn optimize(&mut self, costs: &[Rational], allowed_cols: usize) -> bool {
-        let mut reduced = self.reduced_costs(costs);
-        loop {
+        let mut reduced = std::mem::take(&mut self.bufs.reduced);
+        self.reduced_costs(costs, &mut reduced);
+        let bounded = loop {
             // Entering column: smallest index with negative reduced cost.
             let Some(q) = (0..allowed_cols).find(|&j| reduced[j].is_negative()) else {
-                return true;
+                break true;
             };
             // Leaving row: minimum ratio rhs/a over rows with a > 0;
             // ties broken by smallest basic column index (Bland).
             let mut best: Option<(usize, EpsRational)> = None;
-            for (i, row) in self.rows.iter().enumerate() {
-                let a = &row.coeffs[q];
+            for i in 0..self.nrows {
+                let a = &self.row(i)[q];
                 if !a.is_positive() {
                     continue;
                 }
-                let ratio = row.rhs.scale(&a.recip());
+                let ratio = self.bufs.rhs[i].scale(&a.recip());
                 let better = match &best {
                     None => true,
                     Some((bi, br)) => {
-                        ratio < *br || (ratio == *br && self.basis[i] < self.basis[*bi])
+                        ratio < *br || (ratio == *br && self.bufs.basis[i] < self.bufs.basis[*bi])
                     }
                 };
                 if better {
@@ -215,25 +289,31 @@ impl Tableau {
                 }
             }
             let Some((r, _)) = best else {
-                return false;
+                break false;
             };
             lyric_engine::note(lyric_engine::Resource::Pivots);
             self.pivot(r, q, &mut reduced);
-        }
+        };
+        self.bufs.reduced = reduced;
+        bounded
     }
 
     /// Phase 1: drive artificial variables to zero. Returns `false` when the
     /// problem is infeasible. On success, artificial columns are removed.
     pub(crate) fn phase1(&mut self) -> bool {
         if self.ncols > self.n_nonartificial {
-            let mut costs = vec![Rational::zero(); self.ncols];
+            let mut costs = std::mem::take(&mut self.bufs.costs);
+            costs.clear();
+            costs.resize(self.ncols, Rational::zero());
             for c in costs.iter_mut().skip(self.n_nonartificial) {
                 *c = Rational::one();
             }
             // Sum of artificials is bounded below by 0: never unbounded.
             let bounded = self.optimize(&costs, self.ncols);
             debug_assert!(bounded);
-            if self.objective_value(&costs).is_positive() {
+            let feasible = !self.objective_value(&costs).is_positive();
+            self.bufs.costs = costs;
+            if !feasible {
                 return false;
             }
             self.evict_artificials();
@@ -242,33 +322,47 @@ impl Tableau {
     }
 
     /// Pivot basic artificials (at value zero) out of the basis, dropping
-    /// redundant rows, then truncate artificial columns.
+    /// redundant rows, then shrink the live column count so the artificial
+    /// tail of each row chunk is never read again.
     fn evict_artificials(&mut self) {
+        // A zeroed cost row: with every entry zero the pivot's reduced-cost
+        // update is a no-op, so one buffer serves all evictions.
+        let mut zeros = std::mem::take(&mut self.bufs.reduced);
+        zeros.clear();
+        zeros.resize(self.ncols, Rational::zero());
         let mut i = 0;
-        while i < self.rows.len() {
-            if self.basis[i] >= self.n_nonartificial {
-                let q = (0..self.n_nonartificial).find(|&j| !self.rows[i].coeffs[j].is_zero());
+        while i < self.nrows {
+            if self.bufs.basis[i] >= self.n_nonartificial {
+                let q = (0..self.n_nonartificial).find(|&j| !self.row(i)[j].is_zero());
                 match q {
-                    Some(q) => {
-                        // Reduced costs are irrelevant here; use a scratch row.
-                        let mut scratch = vec![Rational::zero(); self.ncols];
-                        self.pivot(i, q, &mut scratch);
-                    }
+                    Some(q) => self.pivot(i, q, &mut zeros),
                     None => {
                         // Row is zero over real columns: redundant constraint.
-                        debug_assert!(self.rows[i].rhs.is_zero());
-                        self.rows.swap_remove(i);
-                        self.basis.swap_remove(i);
+                        debug_assert!(self.bufs.rhs[i].is_zero());
+                        self.swap_remove_row(i);
                         continue;
                     }
                 }
             }
             i += 1;
         }
-        for row in &mut self.rows {
-            row.coeffs.truncate(self.n_nonartificial);
-        }
+        self.bufs.reduced = zeros;
         self.ncols = self.n_nonartificial;
+    }
+
+    /// Remove row `i` by swapping the last row's chunk into its place.
+    fn swap_remove_row(&mut self, i: usize) {
+        let last = self.nrows - 1;
+        let stride = self.stride;
+        let b = &mut *self.bufs;
+        if i != last {
+            let (head, tail) = b.coeffs.split_at_mut(last * stride);
+            head[i * stride..(i + 1) * stride].swap_with_slice(&mut tail[..stride]);
+        }
+        b.coeffs.truncate(last * stride);
+        b.rhs.swap_remove(i);
+        b.basis.swap_remove(i);
+        self.nrows = last;
     }
 
     /// Phase 2: minimize the cost vector (over structural columns; slack
@@ -276,20 +370,24 @@ impl Tableau {
     /// indexed by *original problem variable*, length `num_vars`.
     pub(crate) fn phase2(&mut self, costs: &[Rational]) -> bool {
         debug_assert_eq!(self.ncols, self.n_nonartificial, "phase1 must run first");
-        let mut split = vec![Rational::zero(); self.ncols];
+        let mut split = std::mem::take(&mut self.bufs.costs);
+        split.clear();
+        split.resize(self.ncols, Rational::zero());
         for (j, c) in costs.iter().enumerate() {
             split[2 * j] = c.clone();
             split[2 * j + 1] = -c;
         }
-        self.optimize(&split, self.ncols)
+        let bounded = self.optimize(&split, self.ncols);
+        self.bufs.costs = split;
+        bounded
     }
 
     /// Read the current basic solution back as values of the original
     /// `num_vars` free variables.
     pub(crate) fn extract_point(&self, num_vars: usize) -> Vec<EpsRational> {
         let mut col_value = vec![EpsRational::zero(); self.ncols];
-        for (i, &b) in self.basis.iter().enumerate() {
-            col_value[b] = self.rows[i].rhs.clone();
+        for (i, &b) in self.bufs.basis.iter().enumerate() {
+            col_value[b] = self.bufs.rhs[i].clone();
         }
         (0..num_vars)
             .map(|j| &col_value[2 * j] - &col_value[2 * j + 1])

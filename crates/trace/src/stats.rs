@@ -30,6 +30,16 @@ pub struct EngineStats {
     pub sat_checks: u64,
     /// Entailment (`implies_atom`) checks requested.
     pub entailment_checks: u64,
+    /// Rational ops completed on the inline small-integer fast path.
+    pub arith_small_ops: u64,
+    /// Rational ops that ran on the arbitrary-precision `BigInt` path.
+    pub arith_big_ops: u64,
+    /// Small-path ops whose result overflowed `i64` and promoted.
+    pub arith_promotions: u64,
+    /// Logical bytes placed in recycled arena buffers (tableau rows, FM
+    /// bound lists). Deterministic: counts requested sizes, not retained
+    /// capacity.
+    pub arena_bytes: u64,
     /// Memo-cache hits across the sat/entailment caches.
     pub cache_hits: u64,
     /// Memo-cache misses (an actual solve was performed and stored).
@@ -39,7 +49,7 @@ pub struct EngineStats {
 /// The counter fields of [`EngineStats`], in declaration order, paired
 /// with their snake_case names. Sinks iterate this instead of hard-coding
 /// the field list, so a new counter propagates to every sink.
-pub const COUNTER_NAMES: [&str; 10] = [
+pub const COUNTER_NAMES: [&str; 14] = [
     "pivots",
     "lp_runs",
     "eliminations",
@@ -48,6 +58,10 @@ pub const COUNTER_NAMES: [&str; 10] = [
     "disjuncts_pruned",
     "sat_checks",
     "entailment_checks",
+    "arith_small_ops",
+    "arith_big_ops",
+    "arith_promotions",
+    "arena_bytes",
     "cache_hits",
     "cache_misses",
 ];
@@ -57,6 +71,27 @@ impl EngineStats {
     pub fn cache_hit_rate(&self) -> Option<f64> {
         let total = self.cache_hits + self.cache_misses;
         (total > 0).then(|| self.cache_hits as f64 / total as f64)
+    }
+
+    /// Fraction of counted rational ops that ran on the inline small-int
+    /// path, or `None` when no arithmetic was counted.
+    pub fn arith_small_hit_rate(&self) -> Option<f64> {
+        let total = self.arith_small_ops + self.arith_big_ops;
+        (total > 0).then(|| self.arith_small_ops as f64 / total as f64)
+    }
+
+    /// The counters describing the query's *semantic* work: everything
+    /// except the three arithmetic-path counters, which legitimately
+    /// differ between the small-int fast path and the all-`BigInt`
+    /// baseline (`arena_bytes` stays — it is mode-independent).
+    /// Differential tests compare these across arithmetic modes.
+    pub fn semantic(&self) -> EngineStats {
+        EngineStats {
+            arith_small_ops: 0,
+            arith_big_ops: 0,
+            arith_promotions: 0,
+            ..*self
+        }
     }
 
     /// Merge counters from another snapshot (used when aggregating
@@ -79,7 +114,7 @@ impl EngineStats {
     }
 
     /// All counters, in [`COUNTER_NAMES`] order.
-    pub fn counters(&self) -> [u64; 10] {
+    pub fn counters(&self) -> [u64; 14] {
         [
             self.pivots,
             self.lp_runs,
@@ -89,12 +124,16 @@ impl EngineStats {
             self.disjuncts_pruned,
             self.sat_checks,
             self.entailment_checks,
+            self.arith_small_ops,
+            self.arith_big_ops,
+            self.arith_promotions,
+            self.arena_bytes,
             self.cache_hits,
             self.cache_misses,
         ]
     }
 
-    fn counters_mut(&mut self) -> [&mut u64; 10] {
+    fn counters_mut(&mut self) -> [&mut u64; 14] {
         [
             &mut self.pivots,
             &mut self.lp_runs,
@@ -104,6 +143,10 @@ impl EngineStats {
             &mut self.disjuncts_pruned,
             &mut self.sat_checks,
             &mut self.entailment_checks,
+            &mut self.arith_small_ops,
+            &mut self.arith_big_ops,
+            &mut self.arith_promotions,
+            &mut self.arena_bytes,
             &mut self.cache_hits,
             &mut self.cache_misses,
         ]
@@ -131,6 +174,7 @@ impl fmt::Display for EngineStats {
             f,
             "pivots={} lp_runs={} eliminations={} fm_atoms={} \
              disjuncts={}(+{} pruned) sat_checks={} entailment_checks={} \
+             arith_ops={}small/{}big(+{} promoted) arena_bytes={} \
              cache_hits={} cache_misses={} cache_hit_rate={}",
             self.pivots,
             self.lp_runs,
@@ -140,6 +184,10 @@ impl fmt::Display for EngineStats {
             self.disjuncts_pruned,
             self.sat_checks,
             self.entailment_checks,
+            self.arith_small_ops,
+            self.arith_big_ops,
+            self.arith_promotions,
+            self.arena_bytes,
             self.cache_hits,
             self.cache_misses,
             match self.cache_hit_rate() {
@@ -165,6 +213,10 @@ mod tests {
             disjuncts_pruned: 1,
             sat_checks: 3,
             entailment_checks: 1,
+            arith_small_ops: 90,
+            arith_big_ops: 10,
+            arith_promotions: 2,
+            arena_bytes: 4096,
             cache_hits: 3,
             cache_misses: 1,
         };
@@ -172,8 +224,10 @@ mod tests {
             stats.to_string(),
             "pivots=31 lp_runs=4 eliminations=2 fm_atoms=12 \
              disjuncts=5(+1 pruned) sat_checks=3 entailment_checks=1 \
+             arith_ops=90small/10big(+2 promoted) arena_bytes=4096 \
              cache_hits=3 cache_misses=1 cache_hit_rate=75.0%"
         );
+        assert_eq!(stats.arith_small_hit_rate(), Some(0.9));
     }
 
     #[test]

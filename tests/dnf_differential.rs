@@ -84,6 +84,36 @@ proptest! {
         );
     }
 
+    /// The constraint algebra is arithmetic-tier invariant: running the
+    /// same ops under an engine context with the small-coefficient fast
+    /// path on and off yields *structurally* identical DNFs (Rational
+    /// equality is value-based across the two representations, so this
+    /// pins canonicalization, simplification, and FM elimination — not
+    /// just the denoted point sets).
+    #[test]
+    fn dnf_algebra_is_arith_tier_invariant(seed in 0u64..1_000_000) {
+        let a = random_region(seed, 4, 4);
+        let b = random_region(seed.wrapping_add(0x9E37), 4, 4);
+        let run = |fast: bool| {
+            let o = lyric::ExecOptions::default()
+                .with_cache(false)
+                .with_arith_fast(fast);
+            let (out, _stats) = lyric::engine::run_with_opts(o, || {
+                (a.and(&b), a.or(&b), a.simplify(), a.negate())
+            })
+            .expect("unlimited budget");
+            out
+        };
+        let fast = run(true);
+        let big = run(false);
+        prop_assert_eq!(&fast.0, &big.0, "product differs between tiers");
+        prop_assert_eq!(&fast.1, &big.1, "union differs between tiers");
+        prop_assert_eq!(&fast.2, &big.2, "simplify differs between tiers");
+        prop_assert_eq!(&fast.3, &big.3, "negate differs between tiers");
+        // And both agree with the rasterized oracle.
+        prop_assert_eq!(raster(&fast.0), raster(&a).intersect(&raster(&b)));
+    }
+
     #[test]
     fn grid_occupancy_witnesses_satisfiability(seed in 0u64..1_000_000) {
         // One-directional: a filled cell center is a satisfying point, so

@@ -98,6 +98,41 @@ fn merged_worker_stats_equal_serial_counters() {
     }
 }
 
+/// Arithmetic-tier sweep: at every thread count the answer and the
+/// semantic (mode-independent) counters are identical with the
+/// small-coefficient fast path on and off, so the concurrency layer and
+/// the arithmetic representation compose without observable interaction.
+#[test]
+fn arith_tier_sweep_is_thread_count_invariant() {
+    let db = workload::office_db(10, 42);
+    for threads in THREAD_COUNTS {
+        let run = |fast: bool| {
+            execute_with_options(
+                &mut db.clone(),
+                Q_PAIRWISE,
+                &opts(threads).with_cache(false).with_arith_fast(fast),
+            )
+            .expect("pairwise query evaluates")
+        };
+        let fast = run(true);
+        let big = run(false);
+        assert_same_answer(&big, &fast, &format!("tier sweep at {threads} threads"));
+        assert_eq!(
+            fast.stats.semantic(),
+            big.stats.semantic(),
+            "semantic counters diverge between tiers at {threads} threads"
+        );
+        assert_eq!(
+            big.stats.arith_small_ops, 0,
+            "BigInt-only run used the small tier at {threads} threads"
+        );
+        assert!(
+            fast.stats.arith_small_ops > 0,
+            "fast path never fired at {threads} threads"
+        );
+    }
+}
+
 /// A budget crossed under parallel execution aborts with the same error
 /// classification (resource and limit) as the serial run.
 #[test]
