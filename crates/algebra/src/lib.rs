@@ -22,7 +22,8 @@
 //!   (Backus's /)) over primitive functions on the database
 //!   (`Extent`, `AttrValues`) and on constraints (`CstAnd`, `CstOr`,
 //!   `CstProject`, `Satisfiable`, `Implies`, `Canonicalize`, `Maximize`);
-//! * [`eval`] — the evaluator, over a read-only [`Database`];
+//! * [`eval`] — the evaluator, over a read-only
+//!   [`Database`](lyric_oodb::Database);
 //! * [`optimize`] — a rewrite-based optimizer in the BJM93 spirit:
 //!   composition flattening, map fusion, filter fusion, and
 //!   **constraint-selection pushdown** (filters commute ahead of

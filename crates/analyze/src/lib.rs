@@ -1,7 +1,7 @@
 //! `lyric-analyze` — the static semantic analyzer for LyriC queries.
 //!
 //! This crate is the stable façade over the analysis passes implemented in
-//! [`lyric::analyze`]: name resolution against the IS-A hierarchy, static
+//! [`mod@lyric::analyze`]: name resolution against the IS-A hierarchy, static
 //! typing of extended path expressions, §3.1 constraint-family inference
 //! with closure-rule checking, scope well-formedness, and cheap semantic
 //! lints (plus an opt-in LP-backed deep unsatisfiability check). Every

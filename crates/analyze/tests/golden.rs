@@ -132,10 +132,32 @@ const POSITIVES: &[(&str, Mode, &str, &str)] = &[
         "",
     ),
     (
+        // Box-immune infeasibility: every atom links two variables with
+        // unbounded partners, so interval propagation learns nothing and
+        // the LP fallback is what proves emptiness.
         codes::LP_UNSAT,
         Mode::Deep,
-        "SELECT D, ((x,y) | (x <= 0 OR y <= 0) AND x + y >= 3 AND x <= 1 AND y <= 1)
-         FROM Desk D",
+        "SELECT D, ((x,y) | x <= y AND y <= x AND x + y >= 3 AND x + y <= 1) FROM Desk D",
+        "",
+    ),
+    (
+        // No single atom and no single variable is contradictory; only
+        // propagating y's bound through x + y <= 4 empties x's interval.
+        codes::STATIC_UNSAT,
+        Mode::Default,
+        "SELECT D, ((x,y) | x >= 2 AND y >= 3 AND x + y <= 4) FROM Desk D",
+        "",
+    ),
+    (
+        codes::STATIC_ENTAILED,
+        Mode::Default,
+        "SELECT D, ((x) | x >= 0 AND x <= 2 AND x <= 5) FROM Desk D",
+        "x <= 5",
+    ),
+    (
+        codes::DEAD_DISJUNCT,
+        Mode::Default,
+        "SELECT D, ((x,y) | (x >= 2 AND y >= 3 AND x + y <= 4) OR x <= 1) FROM Desk D",
         "",
     ),
 ];
@@ -197,7 +219,68 @@ const NEGATIVES: &[(Mode, &str)] = &[
         Mode::Deep,
         "SELECT D, ((x,y) | (x <= 0 OR y <= 0) AND x + y >= -3) FROM Desk D",
     ),
+    // Relaxing the STATIC_UNSAT positive's sum keeps every box nonempty.
+    (
+        Mode::Default,
+        "SELECT D, ((x,y) | x >= 2 AND y >= 3 AND x + y <= 10) FROM Desk D",
+    ),
+    // And the relaxed branch is live, so no disjunct is dead.
+    (
+        Mode::Default,
+        "SELECT D, ((x,y) | (x >= 2 AND y >= 3 AND x + y <= 6) OR x <= 1) FROM Desk D",
+    ),
 ];
+
+/// The §4.1 paper queries and the repo's example queries, verbatim. The
+/// interval-box lints are always on, so they must never fire on a
+/// legitimate query — a false positive here would spam every `:check`.
+const PAPER_CORPUS: &[&str] = &[
+    "SELECT Y FROM Desk X WHERE X.drawer[Y].color['red']",
+    "SELECT O, ((u,v) | E AND D AND L(x,y))
+     FROM Office_Object O, Office_Object L
+     WHERE O.extent[E] AND O.translation[D] AND L.extent[M]",
+    "SELECT CO, ((u,v) | E AND D AND x = 6 AND y = 4)
+     FROM Office_Object CO WHERE CO.extent[E] AND CO.translation[D]",
+    "SELECT DSK, ((w,z) | DSK.drawer.extent(w,z) AND z >= w)
+     FROM Desk DSK
+     WHERE DSK.color = 'red' AND DSK.drawer_center[C] AND (C(p,q) |= p = 0)",
+    "CREATE VIEW Overlap AS SUBCLASS OF Thing
+     SELECT first = X, second = Y
+     SIGNATURE first => Office_Object, second =>> Office_Object
+     FROM Office_Object X, Office_Object Y
+     OID FUNCTION OF X, Y
+     WHERE X.extent[U] AND Y.extent[V]",
+    "SELECT MAX(2*x + y SUBJECT TO ((x,y) | C(x,y) AND x >= 0)) FROM Catalog C2",
+    "SELECT D FROM Desk D WHERE D.extent[E] AND (E(w,z) AND w >= 1 AND z >= 1)",
+    "SELECT D FROM Desk D WHERE D.extent[E] AND (E(w,z) AND w <= -1 AND z >= 1)",
+    "SELECT MAX(w SUBJECT TO ((w,z) | E AND z >= 1)) FROM Desk D WHERE D.extent[E]",
+    "SELECT MAX(w SUBJECT TO ((w,z) | E)) FROM Office_Object O WHERE O.extent[E]",
+    "SELECT MAX_POINT(z SUBJECT TO ((w,z) | E)) FROM Office_Object O WHERE O.extent[E]",
+    "SELECT D FROM Desk D WHERE D.drawer_center[C] AND (C(p,q) AND q != -1)",
+    "SELECT D1, D2 FROM Drawer D1, Drawer D2
+     WHERE D1.extent[U] AND D2.extent[V] AND (U AND V) AND D1.color = D2.color",
+    "SELECT X FROM Desk X WHERE (X.color = 'red' OR X.color = 'blue') AND X.drawer[D] AND (D)",
+];
+
+#[test]
+fn paper_corpus_is_clean_of_box_lints() {
+    let new_codes = [
+        codes::STATIC_UNSAT,
+        codes::STATIC_ENTAILED,
+        codes::DEAD_DISJUNCT,
+    ];
+    for src in PAPER_CORPUS {
+        for mode in [Mode::Default, Mode::Strict] {
+            let ds = diags(src, mode);
+            let fired: Vec<&Diagnostic> =
+                ds.iter().filter(|d| new_codes.contains(&d.code)).collect();
+            assert!(
+                fired.is_empty(),
+                "box lint false positive on paper query {src:?}: {fired:?}"
+            );
+        }
+    }
+}
 
 #[test]
 fn every_positive_fires_with_span() {
@@ -252,6 +335,9 @@ fn severities_are_pinned() {
         codes::UNUSED_BINDING,
         codes::TRIVIALLY_UNSAT,
         codes::LP_UNSAT,
+        codes::STATIC_UNSAT,
+        codes::STATIC_ENTAILED,
+        codes::DEAD_DISJUNCT,
     ]
     .into_iter()
     .collect();

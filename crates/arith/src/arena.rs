@@ -80,6 +80,7 @@ pub struct Pool<T: Recycle> {
 }
 
 impl<T: Recycle> Pool<T> {
+    /// An empty pool (no recycled buffers yet).
     pub fn new() -> Self {
         Pool {
             free: Rc::new(RefCell::new(Vec::new())),

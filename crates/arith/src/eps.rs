@@ -52,10 +52,12 @@ impl EpsRational {
     }
 
     /// Construct `real + inf·ε`.
+    /// Build `real + inf·ε`.
     pub fn new(real: Rational, inf: Rational) -> Self {
         EpsRational { real, inf }
     }
 
+    /// Is the value exactly zero (both components)?
     pub fn is_zero(&self) -> bool {
         self.real.is_zero() && self.inf.is_zero()
     }
@@ -87,10 +89,12 @@ impl EpsRational {
         }
     }
 
+    /// Is the value strictly positive (lexicographic order)?
     pub fn is_positive(&self) -> bool {
         self.signum() > 0
     }
 
+    /// Is the value strictly negative (lexicographic order)?
     pub fn is_negative(&self) -> bool {
         self.signum() < 0
     }

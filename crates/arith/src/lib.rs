@@ -47,6 +47,8 @@
 //! end-to-end with this arithmetic; experiment E13 pins the fast-path
 //! speedup.
 
+#![warn(missing_docs)]
+
 pub mod arena;
 mod bigint;
 mod eps;

@@ -252,6 +252,7 @@ impl Rational {
         }
     }
 
+    /// Is the value exactly zero?
     pub fn is_zero(&self) -> bool {
         match &self.repr {
             Repr::Small(n, _) => *n == 0,
@@ -259,10 +260,12 @@ impl Rational {
         }
     }
 
+    /// Is the value strictly positive?
     pub fn is_positive(&self) -> bool {
         self.signum() > 0
     }
 
+    /// Is the value strictly negative?
     pub fn is_negative(&self) -> bool {
         self.signum() < 0
     }

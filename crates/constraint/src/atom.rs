@@ -28,11 +28,17 @@ fn gcd_u128(mut a: u128, mut b: u128) -> u128 {
 /// Relational operator of a source-level linear constraint.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RelOp {
+    /// `=`
     Eq,
+    /// `<=`
     Le,
+    /// `<`
     Lt,
+    /// `>=`
     Ge,
+    /// `>`
     Gt,
+    /// `!=`
     Neq,
 }
 
@@ -52,9 +58,13 @@ impl fmt::Display for RelOp {
 /// Operator of a *normalized* atom `expr ⊲ 0`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum NormOp {
+    /// `expr <= 0`
     Le,
+    /// `expr < 0`
     Lt,
+    /// `expr = 0`
     Eq,
+    /// `expr != 0`
     Neq,
 }
 
@@ -97,22 +107,27 @@ impl Atom {
         atom
     }
 
-    // Convenience constructors.
+    /// Convenience constructor for `lhs <= rhs`.
     pub fn le(lhs: impl Into<LinExpr>, rhs: impl Into<LinExpr>) -> Atom {
         Atom::new(lhs.into(), RelOp::Le, rhs.into())
     }
+    /// Convenience constructor for `lhs < rhs`.
     pub fn lt(lhs: impl Into<LinExpr>, rhs: impl Into<LinExpr>) -> Atom {
         Atom::new(lhs.into(), RelOp::Lt, rhs.into())
     }
+    /// Convenience constructor for `lhs >= rhs`.
     pub fn ge(lhs: impl Into<LinExpr>, rhs: impl Into<LinExpr>) -> Atom {
         Atom::new(lhs.into(), RelOp::Ge, rhs.into())
     }
+    /// Convenience constructor for `lhs > rhs`.
     pub fn gt(lhs: impl Into<LinExpr>, rhs: impl Into<LinExpr>) -> Atom {
         Atom::new(lhs.into(), RelOp::Gt, rhs.into())
     }
+    /// Convenience constructor for `lhs = rhs`.
     pub fn eq(lhs: impl Into<LinExpr>, rhs: impl Into<LinExpr>) -> Atom {
         Atom::new(lhs.into(), RelOp::Eq, rhs.into())
     }
+    /// Convenience constructor for `lhs != rhs`.
     pub fn neq(lhs: impl Into<LinExpr>, rhs: impl Into<LinExpr>) -> Atom {
         Atom::new(lhs.into(), RelOp::Neq, rhs.into())
     }
@@ -227,6 +242,7 @@ impl Atom {
         self.expr.vars()
     }
 
+    /// Does `v` occur (with a nonzero coefficient) in the atom?
     pub fn contains(&self, v: &Var) -> bool {
         self.expr.contains(v)
     }

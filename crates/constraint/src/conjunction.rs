@@ -109,8 +109,18 @@ impl Conjunction {
         &self.atoms
     }
 
+    /// Is this the empty conjunction (no atoms — the whole space, ⊤)?
     pub fn is_top(&self) -> bool {
         self.atoms.is_empty()
+    }
+
+    /// The conjunction's interval abstraction: a per-variable bounding box
+    /// that *over-approximates* the point set (see [`crate::IntervalBox`]).
+    /// An empty box proves the conjunction unsatisfiable; a nonempty box
+    /// proves nothing. Memoized per engine generation under a context with
+    /// box pruning enabled.
+    pub fn interval_box(&self) -> crate::IntervalBox {
+        crate::boxcache::box_of(self)
     }
 
     /// Syntactic check: is this the canonical bottom (or does it contain a
@@ -150,8 +160,26 @@ impl Conjunction {
 
     /// Exact satisfiability over the reals. Answers are memoized under an
     /// engine context with caching enabled (see `crate::cache`).
+    ///
+    /// Under a context with interval-box pruning enabled
+    /// (`ExecOptions::boxes` / `LYRIC_BOXES`), the conjunction's
+    /// [`IntervalBox`](crate::IntervalBox) is consulted first: an empty
+    /// box is a *sound* proof of unsatisfiability, so the LP (and the
+    /// answer memo) are skipped entirely. Entailment inherits the prune
+    /// for free — [`implies_atom`](Self::implies_atom) reduces to a
+    /// satisfiability call on `self ∧ ¬a`. Pruning never changes an
+    /// answer, only how it is obtained; the `boxes_differential` suite
+    /// pins bit-identical results with the switch on and off.
     pub fn satisfiable(&self) -> bool {
         lyric_engine::tally(|s| s.sat_checks += 1);
+        if lyric_engine::boxes_enabled() {
+            lyric_engine::tally(|s| s.box_checks += 1);
+            if crate::boxcache::box_of(self).is_empty() {
+                lyric_engine::tally(|s| s.box_prunes += 1);
+                lyric_engine::trace_event(|| lyric_engine::EventKind::BoxPrune);
+                return false;
+            }
+        }
         crate::cache::satisfiable(self, || {
             let (convex, neqs) = self.split_neq();
             let lp = Lp::build(convex.iter().copied());

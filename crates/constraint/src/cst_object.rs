@@ -18,6 +18,7 @@ use crate::atom::Atom;
 use crate::conjunction::{Conjunction, Extremum};
 use crate::dnf::Dnf;
 use crate::error::ConstraintError;
+use crate::interval::IntervalBox;
 use crate::linexpr::LinExpr;
 use crate::var::Var;
 use lyric_arith::Rational;
@@ -36,9 +37,13 @@ fn fresh_counter() -> usize {
 /// DisjunctiveExistential`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CstFamily {
+    /// One disjunct, no bound variables.
     Conjunctive,
+    /// One disjunct with existentially quantified variables.
     ExistentialConjunctive,
+    /// Multiple disjuncts, no bound variables.
     Disjunctive,
+    /// Multiple disjuncts with existentially quantified variables.
     DisjunctiveExistential,
 }
 
@@ -223,8 +228,26 @@ impl CstObject {
         self.free.len()
     }
 
+    /// The disjuncts, each an implicitly existentially quantified
+    /// conjunction over the schema plus its bound variables.
     pub fn disjuncts(&self) -> &[Conjunction] {
         &self.disjuncts
+    }
+
+    /// The object's interval abstraction: the hull of every disjunct's
+    /// [`Conjunction::interval_box`], restricted to the schema variables.
+    /// Sound in the same direction as the per-conjunction box — the point
+    /// set is contained in the box (restriction to the free variables only
+    /// widens, and the hull of over-approximations over-approximates the
+    /// union) — so an empty result proves the object empty, and two
+    /// objects with disjoint boxes have an unsatisfiable intersection.
+    /// Unlike [`bounding_box`](Self::bounding_box) this runs no LP: it is
+    /// the cheap static estimate, not the exact extremal one.
+    pub fn interval_box(&self) -> IntervalBox {
+        self.disjuncts
+            .iter()
+            .map(|d| d.interval_box().restrict(&self.free))
+            .fold(IntervalBox::empty(), |acc, bx| acc.hull(&bx))
     }
 
     /// Existentially quantified variables of a disjunct.

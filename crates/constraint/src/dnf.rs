@@ -57,6 +57,7 @@ impl Dnf {
         Dnf::of([c])
     }
 
+    /// The disjuncts, in canonical order.
     pub fn disjuncts(&self) -> &[Conjunction] {
         &self.disjuncts
     }

@@ -52,7 +52,10 @@
 //! assert!(!shadow.contains_point(&[2.into()]));
 //! ```
 
+#![warn(missing_docs)]
+
 mod atom;
+mod boxcache;
 mod cache;
 mod canonical;
 mod conjunction;
@@ -61,6 +64,7 @@ mod dnf;
 mod error;
 mod fourier_motzkin;
 mod geometry;
+mod interval;
 mod linexpr;
 mod var;
 
@@ -69,5 +73,6 @@ pub use conjunction::{Conjunction, Extremum};
 pub use cst_object::{CstFamily, CstObject, FamilyOp};
 pub use dnf::Dnf;
 pub use error::ConstraintError;
+pub use interval::{Interval, IntervalBox, MAX_ROUNDS};
 pub use linexpr::{Assignment, LinExpr};
 pub use var::Var;

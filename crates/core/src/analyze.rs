@@ -30,9 +30,15 @@
 //!    [`codes::DUPLICATE_FROM_VARIABLE`]).
 //! 5. **Semantic lints** — interval analysis over single-variable atoms
 //!    finds trivially unsatisfiable conjuncts ([`codes::TRIVIALLY_UNSAT`]);
-//!    unused FROM bindings warn ([`codes::UNUSED_BINDING`]); the opt-in
-//!    deep check instantiates database-free formulas through the LP engine
-//!    under a small budget ([`codes::LP_UNSAT`]).
+//!    the multi-variable box domain (`lyric_absint`) then propagates
+//!    bounds *across* atoms, proving whole conjunctions empty
+//!    ([`codes::STATIC_UNSAT`]), OR branches dead
+//!    ([`codes::DEAD_DISJUNCT`]) and comparisons redundant
+//!    ([`codes::STATIC_ENTAILED`]); unused FROM bindings warn
+//!    ([`codes::UNUSED_BINDING`]); the opt-in deep check instantiates
+//!    database-free formulas through the LP engine under a small budget
+//!    ([`codes::LP_UNSAT`]) — demoted to a fallback for whatever the box
+//!    domain already decided.
 //!
 //! The binding model is *possibly-bound*: a variable counts as bound at a
 //! use point if **some** evaluation path can have bound it (OR unions its
@@ -48,7 +54,7 @@ use crate::ast::{
 use crate::diag::{codes, Diagnostic, Severity};
 use crate::span::Span;
 use lyric_arith::Rational;
-use lyric_constraint::{CstFamily, FamilyOp};
+use lyric_constraint::{Atom, CstFamily, FamilyOp, IntervalBox, LinExpr, RelOp};
 use lyric_oodb::{AttrDef, AttrTarget, Schema};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -596,6 +602,7 @@ impl Analyzer<'_> {
     fn formula_root(&mut self, f: &Formula) -> FamInfo {
         let info = self.formula(f);
         self.unsat_scan(f);
+        self.box_scan(f, codes::STATIC_UNSAT);
         if self.opts.deep_unsat && self.database_free(f) {
             self.deep.push(f.clone());
         }
@@ -1052,6 +1059,136 @@ impl Analyzer<'_> {
         }
     }
 
+    // ------------------------------------------------ interval-box lint
+
+    /// Convert a pseudo-linear term to a [`LinExpr`] over the scope's
+    /// constraint variables. `None` when the term mentions a database
+    /// reference (a path, or a FROM-bound / selector-declared variable)
+    /// or a product of two non-constant factors — dropping such atoms
+    /// only widens the inferred box, which keeps the lint sound.
+    fn arith_to_linexpr(&self, a: &Arith) -> Option<LinExpr> {
+        match a {
+            Arith::Num(n) => Some(LinExpr::constant(n.clone())),
+            Arith::PathConst(_) => None,
+            Arith::Var(v) => {
+                if self.bound.contains(v) || self.declared.contains(v) {
+                    None
+                } else {
+                    Some(LinExpr::var(lyric_constraint::Var::new(v.clone())))
+                }
+            }
+            Arith::Add(x, y) => Some(&self.arith_to_linexpr(x)? + &self.arith_to_linexpr(y)?),
+            Arith::Sub(x, y) => Some(&self.arith_to_linexpr(x)? - &self.arith_to_linexpr(y)?),
+            Arith::Mul(x, y) => match (const_fold(x), const_fold(y)) {
+                (Some(c), _) => Some(self.arith_to_linexpr(y)?.scale(&c)),
+                (_, Some(c)) => Some(self.arith_to_linexpr(x)?.scale(&c)),
+                _ => None,
+            },
+            Arith::Neg(x) => Some(-&self.arith_to_linexpr(x)?),
+        }
+    }
+
+    /// The convertible, deduplicated, non-ground atoms of `f`'s
+    /// conjunctive skeleton (ground atoms are `unsat_scan`'s LYA040
+    /// territory), each with its source span.
+    fn conjunctive_box_atoms(&self, f: &Formula) -> Vec<(Atom, Span)> {
+        let mut raw: Vec<(&Arith, CRelOp, &Arith, Span)> = Vec::new();
+        let mut branches: Vec<&Formula> = Vec::new();
+        collect_conjunctive_atoms(f, &mut raw, &mut branches);
+        let mut atoms: Vec<(Atom, Span)> = Vec::new();
+        for (a, op, b, span) in raw {
+            let (Some(lhs), Some(rhs)) = (self.arith_to_linexpr(a), self.arith_to_linexpr(b))
+            else {
+                continue;
+            };
+            let atom = Atom::new(lhs, crel(op), rhs);
+            if atom.trivial().is_some() || atoms.iter().any(|(seen, _)| seen == &atom) {
+                continue;
+            }
+            atoms.push((atom, span));
+        }
+        atoms
+    }
+
+    /// Multi-variable interval-box lint over the conjunctive skeleton
+    /// (the always-on analyzer face of the `lyric_absint` domain, run
+    /// after [`unsat_scan`](Self::unsat_scan)). Converts every
+    /// pseudo-linear atom to a normalized constraint atom and runs the
+    /// box transfer functions to a truncated fixpoint:
+    ///
+    /// * an empty box fires `code` — [`codes::STATIC_UNSAT`] at a formula
+    ///   root, [`codes::DEAD_DISJUNCT`] inside an OR branch — unless the
+    ///   single-variable scan already flagged the same scope;
+    /// * otherwise each comparison whose negation empties the box of the
+    ///   remaining atoms is redundant ([`codes::STATIC_ENTAILED`]).
+    ///
+    /// OR branches are scanned independently, like `unsat_scan`. The
+    /// domain is sound, so (unlike the LP deep check) this never needs a
+    /// budget and runs on every analysis.
+    fn box_scan(&mut self, f: &Formula, code: &'static str) {
+        let atoms = self.conjunctive_box_atoms(f);
+        // A single non-trivial atom always has a nonempty box, and its
+        // "entailment" would be vacuous; skip the degenerate scope.
+        if atoms.len() >= 2 {
+            let only: Vec<Atom> = atoms.iter().map(|(a, _)| a.clone()).collect();
+            if IntervalBox::of_atoms(&only).is_empty() {
+                let scope = f.span();
+                let already_flagged = self.diags.iter().any(|d| {
+                    d.code == codes::TRIVIALLY_UNSAT
+                        && (scope.is_dummy()
+                            || d.span.is_dummy()
+                            || (d.span.start >= scope.start && d.span.end <= scope.end))
+                });
+                if !already_flagged {
+                    let (msg, help) = if code == codes::DEAD_DISJUNCT {
+                        (
+                            "interval analysis proves this OR branch empty: the disjunct \
+                             is dead",
+                            "the branch contributes nothing; delete it or fix its bounds",
+                        )
+                    } else {
+                        (
+                            "interval analysis proves this conjunction unsatisfiable",
+                            "propagating the atoms' bounds yields an empty interval: the \
+                             formula denotes the empty set",
+                        )
+                    };
+                    self.diags
+                        .push(Diagnostic::warning(code, scope, msg.to_string()).with_help(help));
+                }
+            } else {
+                for (i, (a, span)) in atoms.iter().enumerate() {
+                    let mut rest: Vec<Atom> = atoms
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, _)| *j != i)
+                        .map(|(_, (x, _))| x.clone())
+                        .collect();
+                    rest.push(a.negate());
+                    if IntervalBox::of_atoms(&rest).is_empty() {
+                        self.diags.push(
+                            Diagnostic::warning(
+                                codes::STATIC_ENTAILED,
+                                *span,
+                                "comparison is entailed by the rest of its conjunction".to_string(),
+                            )
+                            .with_help(
+                                "interval analysis proves it redundant; removing it does \
+                                 not change the result",
+                            ),
+                        );
+                    }
+                }
+            }
+        }
+        let mut raw: Vec<(&Arith, CRelOp, &Arith, Span)> = Vec::new();
+        let mut branches: Vec<&Formula> = Vec::new();
+        collect_conjunctive_atoms(f, &mut raw, &mut branches);
+        for b in branches {
+            self.box_scan(b, codes::DEAD_DISJUNCT);
+        }
+    }
+
     // ------------------------------------------------------ deep check
 
     /// Is `f` free of database references (paths and bindable names), so
@@ -1098,6 +1235,18 @@ impl Analyzer<'_> {
         }
         let candidates = std::mem::take(&mut self.deep);
         for f in candidates {
+            // The interval box demotes the LP instantiation to a fallback:
+            // when the box already proved the conjunctive skeleton empty,
+            // LYA050 has fired and the (budgeted, much more expensive)
+            // simplex run adds nothing.
+            let skeleton: Vec<Atom> = self
+                .conjunctive_box_atoms(&f)
+                .into_iter()
+                .map(|(a, _)| a)
+                .collect();
+            if skeleton.len() >= 2 && IntervalBox::of_atoms(&skeleton).is_empty() {
+                continue;
+            }
             let budget = lyric_engine::EngineBudget::unlimited()
                 .with_max_pivots(10_000)
                 .with_max_fm_atoms(5_000)
@@ -1141,6 +1290,18 @@ fn union_vars(
             Some(x)
         }
         _ => None,
+    }
+}
+
+/// The constraint-layer operator of an AST comparison operator.
+fn crel(op: CRelOp) -> RelOp {
+    match op {
+        CRelOp::Eq => RelOp::Eq,
+        CRelOp::Neq => RelOp::Neq,
+        CRelOp::Le => RelOp::Le,
+        CRelOp::Lt => RelOp::Lt,
+        CRelOp::Ge => RelOp::Ge,
+        CRelOp::Gt => RelOp::Gt,
     }
 }
 

@@ -29,7 +29,7 @@ impl fmt::Display for Severity {
 /// One static-analysis finding.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Diagnostic {
-    /// Stable code (`LYA000`–`LYA041`); see [`codes`].
+    /// Stable code (`LYA000`–`LYA052`); see [`codes`].
     pub code: &'static str,
     /// Whether this rejects the query or merely warns.
     pub severity: Severity,
@@ -111,6 +111,14 @@ pub mod codes {
     pub const TRIVIALLY_UNSAT: &str = "LYA040";
     /// (opt-in) The LP-backed deep check found a ground formula infeasible.
     pub const LP_UNSAT: &str = "LYA041";
+    /// Interval analysis proved a ground conjunction unsatisfiable.
+    pub const STATIC_UNSAT: &str = "LYA050";
+    /// Interval analysis proved a comparison atom redundant (entailed by
+    /// the rest of its conjunction).
+    pub const STATIC_ENTAILED: &str = "LYA051";
+    /// Interval analysis proved one branch of an OR unsatisfiable (the
+    /// disjunct is dead and can be deleted).
+    pub const DEAD_DISJUNCT: &str = "LYA052";
 
     /// Every code with its one-line description, in numeric order.
     pub const ALL: &[(&str, &str)] = &[
@@ -150,6 +158,9 @@ pub mod codes {
         (UNUSED_BINDING, "unused FROM binding"),
         (TRIVIALLY_UNSAT, "trivially unsatisfiable conjunction"),
         (LP_UNSAT, "LP-backed infeasibility (opt-in deep check)"),
+        (STATIC_UNSAT, "interval analysis proved a conjunction empty"),
+        (STATIC_ENTAILED, "comparison entailed by its conjunction"),
+        (DEAD_DISJUNCT, "interval analysis proved an OR branch dead"),
     ];
 }
 

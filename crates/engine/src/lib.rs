@@ -7,7 +7,7 @@
 //! This crate is the engine's defense and its instrumentation: a
 //! per-query [`EngineBudget`] (pivots, FM atoms, DNF disjuncts, deadline)
 //! and an [`EngineStats`] counter set, carried in a thread-local
-//! [`context`] so the deep call graph (simplex pivot loop, FM product
+//! context so the deep call graph (simplex pivot loop, FM product
 //! loop, DNF products) does not need threading a handle through every
 //! signature.
 //!
@@ -210,6 +210,8 @@ struct ActiveContext {
     started: Instant,
     notes_since_clock: u64,
     cache_enabled: bool,
+    /// Interval-box pruning of LP calls enabled for this context?
+    boxes: bool,
     /// Span/event collector; `Some` only under [`run_traced`].
     tracer: Option<trace::Collector>,
     /// How many deadline thresholds (50%, 90%) have been announced.
@@ -297,6 +299,14 @@ pub fn is_active() -> bool {
 /// allocation-free).
 pub fn cache_enabled() -> bool {
     CONTEXT.with(|c| c.borrow().as_ref().is_some_and(|a| a.cache_enabled))
+}
+
+/// True when the interval-box disjointness test should run in front of
+/// sat/entailment LP calls. False outside any context: standalone library
+/// use stays exact-LP only, so plain unit tests of the constraint layer
+/// never depend on the abstract domain.
+pub fn boxes_enabled() -> bool {
+    CONTEXT.with(|c| c.borrow().as_ref().is_some_and(|a| a.boxes))
 }
 
 /// The current cache generation: the active context's generation, or the
@@ -560,6 +570,11 @@ pub struct ExecOptions {
     /// when set to `0`). `false` forces every rational operation onto the
     /// `BigInt` path — the measurement baseline and differential oracle.
     pub arith_fast: bool,
+    /// Run the interval-box disjointness test in front of sat/entailment
+    /// LP calls? Defaults to [`default_boxes`] (`LYRIC_BOXES`, off only
+    /// when set to `0`). `false` sends every check straight to simplex —
+    /// the differential baseline for the box-pruning soundness layer.
+    pub boxes: bool,
 }
 
 impl Default for ExecOptions {
@@ -571,6 +586,7 @@ impl Default for ExecOptions {
             min_parallel: default_min_parallel(),
             dnf_min_pairs: default_dnf_min_pairs(),
             arith_fast: lyric_arith::default_fast_path(),
+            boxes: default_boxes(),
         }
     }
 }
@@ -613,6 +629,22 @@ impl ExecOptions {
         self.arith_fast = fast;
         self
     }
+
+    /// Enable or disable interval-box pruning of LP calls.
+    pub fn with_boxes(mut self, boxes: bool) -> Self {
+        self.boxes = boxes;
+        self
+    }
+}
+
+/// The default for interval-box pruning: on unless the `LYRIC_BOXES`
+/// environment variable is set to `0` (mirroring `LYRIC_ARITH_FAST`).
+/// The box test is sound — it only ever skips LPs whose answer is a
+/// foregone conclusion — so it defaults on.
+pub fn default_boxes() -> bool {
+    std::env::var("LYRIC_BOXES")
+        .map(|v| v.trim() != "0")
+        .unwrap_or(true)
 }
 
 /// The default thread budget: the `LYRIC_THREADS` environment variable
@@ -733,7 +765,13 @@ fn run_inner<T>(
     let threads = opts.threads.max(1);
     let min_parallel = opts.min_parallel.max(1);
     let dnf_min_pairs = opts.dnf_min_pairs.max(1);
-    metrics::record_options(threads, min_parallel, dnf_min_pairs, opts.arith_fast);
+    metrics::record_options(
+        threads,
+        min_parallel,
+        dnf_min_pairs,
+        opts.arith_fast,
+        opts.boxes,
+    );
     // Pin the thread's arithmetic mode for the run (workers copy it from
     // the region plan); restored below so nested library use after the
     // query sees the caller's mode again.
@@ -750,6 +788,7 @@ fn run_inner<T>(
             started: Instant::now(),
             notes_since_clock: 0,
             cache_enabled: opts.cache,
+            boxes: opts.boxes,
             tracer,
             time_thresholds_emitted: 0,
             generation,

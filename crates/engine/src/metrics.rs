@@ -60,6 +60,7 @@ pub(crate) struct EngineMetrics {
     min_parallel_gauge: Gauge,
     dnf_min_pairs_gauge: Gauge,
     arith_fast_gauge: Gauge,
+    boxes_gauge: Gauge,
     arena_pool_hits_gauge: Gauge,
     arena_pool_misses_gauge: Gauge,
     arena_recycled_bytes_gauge: Gauge,
@@ -143,6 +144,11 @@ pub(crate) fn metrics() -> &'static EngineMetrics {
                 "1 when the most recent context used the small-coefficient \
                  arithmetic fast path, 0 for the all-BigInt baseline.",
             ),
+            boxes_gauge: r.gauge(
+                "lyric_boxes",
+                "1 when the most recent context ran the interval-box \
+                 disjointness test before LP calls, 0 for exact-LP only.",
+            ),
             arena_pool_hits_gauge: r.gauge(
                 "lyric_arena_pool_hits",
                 "Arena buffer acquisitions served by a recycled buffer \
@@ -167,6 +173,7 @@ pub(crate) fn record_options(
     min_parallel: usize,
     dnf_min_pairs: usize,
     arith_fast: bool,
+    boxes: bool,
 ) {
     if !lyric_metrics::enabled() {
         return;
@@ -176,6 +183,7 @@ pub(crate) fn record_options(
     m.min_parallel_gauge.set(min_parallel as u64);
     m.dnf_min_pairs_gauge.set(dnf_min_pairs as u64);
     m.arith_fast_gauge.set(arith_fast as u64);
+    m.boxes_gauge.set(boxes as u64);
 }
 
 /// Flush one completed context: bump the query counter, observe the

@@ -72,6 +72,9 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 struct RegionPlan {
     budget: crate::EngineBudget,
     cache_enabled: bool,
+    /// Interval-box pruning flag, copied onto worker contexts so every
+    /// worker makes the same prune-or-solve decisions as a serial run.
+    boxes: bool,
     generation: u64,
     started: Instant,
     threads: usize,
@@ -99,6 +102,7 @@ fn plan_region(items: usize) -> Option<RegionPlan> {
         Some(RegionPlan {
             budget: active.budget.clone(),
             cache_enabled: active.cache_enabled,
+            boxes: active.boxes,
             generation: active.generation,
             started: active.started,
             threads: active.threads,
@@ -153,6 +157,7 @@ impl<'a> WorkerContext<'a> {
                 started: plan.started,
                 notes_since_clock: 0,
                 cache_enabled: plan.cache_enabled,
+                boxes: plan.boxes,
                 tracer: plan
                     .trace_origin
                     .map(|o| trace::Collector::worker(o, tid, format!("worker {worker}"))),

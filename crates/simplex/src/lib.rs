@@ -54,6 +54,8 @@
 //! }
 //! ```
 
+#![warn(missing_docs)]
+
 mod problem;
 mod tableau;
 

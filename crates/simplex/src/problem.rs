@@ -34,8 +34,11 @@ impl fmt::Display for Relop {
 /// variables. `coeffs.len()` always equals the problem's variable count.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Constraint {
+    /// Coefficient per problem variable (dense; length = variable count).
     pub coeffs: Vec<Rational>,
+    /// The relational operator.
     pub relop: Relop,
+    /// The right-hand-side constant.
     pub rhs: Rational,
 }
 
@@ -138,10 +141,12 @@ impl LpProblem {
         }
     }
 
+    /// Number of decision variables.
     pub fn num_vars(&self) -> usize {
         self.num_vars
     }
 
+    /// The constraints added so far, in insertion order.
     pub fn constraints(&self) -> &[Constraint] {
         &self.constraints
     }

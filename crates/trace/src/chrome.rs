@@ -3,7 +3,8 @@
 //! Serializes a [`Trace`] as the Trace Event Format's JSON object form
 //! (`{"traceEvents": [...]}`): one complete (`"ph": "X"`) event per span
 //! with microsecond `ts`/`dur`, and one instant (`"ph": "i"`) event per
-//! structured [`TraceEvent`]. The output loads in `chrome://tracing` and
+//! structured [`TraceEvent`](crate::model::TraceEvent). The output loads
+//! in `chrome://tracing` and
 //! in Perfetto's legacy-trace importer. Spans carry their source byte
 //! range and nonzero self counter deltas in `args`, so the counters are
 //! inspectable from the flame view.

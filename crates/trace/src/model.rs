@@ -89,6 +89,9 @@ pub enum EventKind {
         /// Disjuncts on the right operand.
         right: usize,
     },
+    /// An interval-box disjointness test proved a conjunction empty and
+    /// skipped the LP solve entirely.
+    BoxPrune,
     /// Consumption of a budgeted resource crossed `percent`% of its limit.
     BudgetThreshold {
         /// The resource's display name (`lyric_engine::Resource::name`).
@@ -110,6 +113,7 @@ impl EventKind {
             EventKind::CacheMiss => "cache miss".into(),
             EventKind::DisjunctsPruned { count } => format!("{count} disjuncts pruned"),
             EventKind::DnfProduct { left, right } => format!("dnf product {left}x{right}"),
+            EventKind::BoxPrune => "box prune".into(),
             EventKind::BudgetThreshold {
                 resource,
                 percent,

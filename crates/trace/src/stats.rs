@@ -44,12 +44,16 @@ pub struct EngineStats {
     pub cache_hits: u64,
     /// Memo-cache misses (an actual solve was performed and stored).
     pub cache_misses: u64,
+    /// Interval-box disjointness tests performed before LP calls.
+    pub box_checks: u64,
+    /// Box checks that proved emptiness and skipped the LP entirely.
+    pub box_prunes: u64,
 }
 
 /// The counter fields of [`EngineStats`], in declaration order, paired
 /// with their snake_case names. Sinks iterate this instead of hard-coding
 /// the field list, so a new counter propagates to every sink.
-pub const COUNTER_NAMES: [&str; 14] = [
+pub const COUNTER_NAMES: [&str; 16] = [
     "pivots",
     "lp_runs",
     "eliminations",
@@ -64,6 +68,8 @@ pub const COUNTER_NAMES: [&str; 14] = [
     "arena_bytes",
     "cache_hits",
     "cache_misses",
+    "box_checks",
+    "box_prunes",
 ];
 
 impl EngineStats {
@@ -94,6 +100,29 @@ impl EngineStats {
         }
     }
 
+    /// The counters that are invariant under interval-box pruning: the
+    /// check tallies (`sat_checks`, `entailment_checks`) and the DNF/FM
+    /// production counters, which are driven by *answers*, not by how the
+    /// answers were obtained. Everything implementation-dependent —
+    /// LP effort (`pivots`, `lp_runs`), cache traffic, arena bytes, the
+    /// arithmetic-path split, and the box counters themselves — is zeroed.
+    /// The box-pruning differential compares these with `boxes` on vs off.
+    pub fn prune_invariant(&self) -> EngineStats {
+        EngineStats {
+            pivots: 0,
+            lp_runs: 0,
+            arith_small_ops: 0,
+            arith_big_ops: 0,
+            arith_promotions: 0,
+            arena_bytes: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            box_checks: 0,
+            box_prunes: 0,
+            ..*self
+        }
+    }
+
     /// Merge counters from another snapshot (used when aggregating
     /// per-query stats into a report).
     pub fn absorb(&mut self, other: &EngineStats) {
@@ -114,7 +143,7 @@ impl EngineStats {
     }
 
     /// All counters, in [`COUNTER_NAMES`] order.
-    pub fn counters(&self) -> [u64; 14] {
+    pub fn counters(&self) -> [u64; 16] {
         [
             self.pivots,
             self.lp_runs,
@@ -130,10 +159,12 @@ impl EngineStats {
             self.arena_bytes,
             self.cache_hits,
             self.cache_misses,
+            self.box_checks,
+            self.box_prunes,
         ]
     }
 
-    fn counters_mut(&mut self) -> [&mut u64; 14] {
+    fn counters_mut(&mut self) -> [&mut u64; 16] {
         [
             &mut self.pivots,
             &mut self.lp_runs,
@@ -149,6 +180,8 @@ impl EngineStats {
             &mut self.arena_bytes,
             &mut self.cache_hits,
             &mut self.cache_misses,
+            &mut self.box_checks,
+            &mut self.box_prunes,
         ]
     }
 
@@ -175,7 +208,8 @@ impl fmt::Display for EngineStats {
             "pivots={} lp_runs={} eliminations={} fm_atoms={} \
              disjuncts={}(+{} pruned) sat_checks={} entailment_checks={} \
              arith_ops={}small/{}big(+{} promoted) arena_bytes={} \
-             cache_hits={} cache_misses={} cache_hit_rate={}",
+             box_checks={}(-{} pruned) cache_hits={} cache_misses={} \
+             cache_hit_rate={}",
             self.pivots,
             self.lp_runs,
             self.eliminations,
@@ -188,6 +222,8 @@ impl fmt::Display for EngineStats {
             self.arith_big_ops,
             self.arith_promotions,
             self.arena_bytes,
+            self.box_checks,
+            self.box_prunes,
             self.cache_hits,
             self.cache_misses,
             match self.cache_hit_rate() {
@@ -219,15 +255,44 @@ mod tests {
             arena_bytes: 4096,
             cache_hits: 3,
             cache_misses: 1,
+            box_checks: 4,
+            box_prunes: 2,
         };
         assert_eq!(
             stats.to_string(),
             "pivots=31 lp_runs=4 eliminations=2 fm_atoms=12 \
              disjuncts=5(+1 pruned) sat_checks=3 entailment_checks=1 \
              arith_ops=90small/10big(+2 promoted) arena_bytes=4096 \
-             cache_hits=3 cache_misses=1 cache_hit_rate=75.0%"
+             box_checks=4(-2 pruned) cache_hits=3 cache_misses=1 \
+             cache_hit_rate=75.0%"
         );
         assert_eq!(stats.arith_small_hit_rate(), Some(0.9));
+    }
+
+    #[test]
+    fn prune_invariant_keeps_answer_driven_counters() {
+        let stats = EngineStats {
+            pivots: 31,
+            lp_runs: 4,
+            sat_checks: 3,
+            entailment_checks: 1,
+            fm_atoms: 12,
+            box_checks: 3,
+            box_prunes: 1,
+            cache_hits: 2,
+            arena_bytes: 64,
+            ..Default::default()
+        };
+        let inv = stats.prune_invariant();
+        assert_eq!(inv.sat_checks, 3);
+        assert_eq!(inv.entailment_checks, 1);
+        assert_eq!(inv.fm_atoms, 12);
+        assert_eq!(inv.pivots, 0);
+        assert_eq!(inv.lp_runs, 0);
+        assert_eq!(inv.box_checks, 0);
+        assert_eq!(inv.box_prunes, 0);
+        assert_eq!(inv.cache_hits, 0);
+        assert_eq!(inv.arena_bytes, 0);
     }
 
     #[test]

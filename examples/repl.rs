@@ -12,10 +12,10 @@
 //!    ...> FROM Office_Object CO WHERE CO.extent[E] AND CO.translation[D];
 //! ```
 //!
-//! Meta-commands: `:help`, `:check <query>`, `:profile <query>`,
-//! `:trace on|off`, `:trace chrome <file>`, `:threads [n]`, `:schema`,
-//! `:classes`, `:extent <Class>`, `:stats`, `:metrics`, `:save <file>`,
-//! `:load <file>`, `:quit`.
+//! Meta-commands: `:help`, `:check <query>`, `:bounds <query>`,
+//! `:profile <query>`, `:trace on|off`, `:trace chrome <file>`,
+//! `:threads [n]`, `:schema`, `:classes`, `:extent <Class>`, `:stats`,
+//! `:metrics`, `:save <file>`, `:load <file>`, `:quit`.
 //!
 //! Queries run under the engine's *interactive* evaluation budget, so an
 //! adversarial constraint blowup reports `evaluation budget exceeded`
@@ -28,6 +28,11 @@
 //! subsequent statement; `:trace chrome <file>` additionally writes each
 //! traced query's Chrome trace-event JSON (load it in `chrome://tracing`
 //! or Perfetto — parallel queries show one track per worker thread).
+//!
+//! `:bounds <query>` runs a query and prints, for every constraint-valued
+//! result cell, the interval bounding box computed by the abstract
+//! interpreter (`x in [0, 20], y in (-inf, 7]` — the same sound
+//! over-approximation the engine uses to skip LP satisfiability calls).
 //!
 //! `:threads <n>` sets the evaluation thread budget (`:threads` shows
 //! it). The shell starts from `LYRIC_THREADS` or the machine's available
@@ -172,6 +177,7 @@ fn meta_command(db: &mut lyric::oodb::Database, session: &mut Session, cmd: &str
         Some(":help") | Some(":h") => {
             println!(":help             this help");
             println!(":check <query>    analyze a query without running it (strict + deep)");
+            println!(":bounds <query>   run a query and print each CST cell's bounding box");
             println!(":profile <query>  run a query with tracing and print its span tree");
             println!(":trace on|off     trace every statement (span tree after the rows)");
             println!(":trace chrome <file>  also export Chrome trace JSON per traced query");
@@ -200,6 +206,30 @@ fn meta_command(db: &mut lyric::oodb::Database, session: &mut Session, cmd: &str
                     println!("ok: no diagnostics");
                 } else {
                     print!("{}", lyric_analyze::render_all(&diags, src));
+                }
+            }
+        }
+        Some(":bounds") => {
+            let src = cmd[":bounds".len()..].trim().trim_end_matches(';').trim();
+            if src.is_empty() {
+                println!("usage: :bounds <query>  (single line, ';' optional)");
+            } else {
+                match execute_with_options(db, src, &session.exec_options()) {
+                    Ok(result) => {
+                        let mut printed = false;
+                        for (i, row) in result.rows.iter().enumerate() {
+                            for (cell, col) in row.iter().zip(&result.columns) {
+                                if let Some(cst) = cell.as_cst() {
+                                    println!("row {i} {col}: {}", cst.interval_box());
+                                    printed = true;
+                                }
+                            }
+                        }
+                        if !printed {
+                            println!("(no constraint columns)");
+                        }
+                    }
+                    Err(e) => println!("error: {e}"),
                 }
             }
         }

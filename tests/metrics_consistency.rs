@@ -86,12 +86,17 @@ fn registry_deltas_equal_summed_query_stats() {
     }
 
     // A budget abort still counts as a query, and classifies its resource.
+    // Boxes off: interval pruning answers this workload's sat checks
+    // without any pivots, and the point here is hitting the pivot cap.
     let tight = EngineBudget::unlimited().with_max_pivots(1);
     let before = after;
     let err = execute_shared(
         &db,
         Q_PAIRWISE,
-        &ExecOptions::default().with_threads(2).with_budget(tight),
+        &ExecOptions::default()
+            .with_threads(2)
+            .with_budget(tight)
+            .with_boxes(false),
     )
     .expect_err("one pivot cannot evaluate the pairwise query");
     assert!(

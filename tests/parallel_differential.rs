@@ -138,18 +138,20 @@ fn arith_tier_sweep_is_thread_count_invariant() {
 #[test]
 fn budget_aborts_classify_identically_under_parallelism() {
     let db = workload::office_db(8, 42);
+    // Boxes off: interval pruning answers this workload's sat checks
+    // without any pivots, and the point here is hitting the pivot cap.
     let tight = EngineBudget::unlimited().with_max_pivots(20);
     let serial_err = execute_with_options(
         &mut db.clone(),
         Q_PAIRWISE,
-        &opts(1).with_budget(tight.clone()),
+        &opts(1).with_budget(tight.clone()).with_boxes(false),
     )
     .expect_err("20 pivots cannot cover the pairwise query");
     for threads in THREAD_COUNTS {
         let par_err = execute_with_options(
             &mut db.clone(),
             Q_PAIRWISE,
-            &opts(threads).with_budget(tight.clone()),
+            &opts(threads).with_budget(tight.clone()).with_boxes(false),
         )
         .expect_err("budget must also trip in parallel");
         match (&serial_err, &par_err) {

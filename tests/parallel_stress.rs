@@ -65,9 +65,15 @@ fn concurrent_shared_database_queries_agree_with_serial() {
 #[test]
 fn concurrent_budget_aborts_classify_identically() {
     let db = Arc::new(workload::office_db(8, 42));
+    // Boxes off: interval pruning answers this workload's sat checks
+    // without any pivots, and the point here is hitting the pivot cap.
     let tight = EngineBudget::unlimited().with_max_pivots(20);
-    let serial_err = execute_shared(&db, Q_PAIRWISE, &opts(1).with_budget(tight.clone()))
-        .expect_err("20 pivots cannot cover the pairwise query");
+    let serial_err = execute_shared(
+        &db,
+        Q_PAIRWISE,
+        &opts(1).with_budget(tight.clone()).with_boxes(false),
+    )
+    .expect_err("20 pivots cannot cover the pairwise query");
     let (serial_resource, serial_limit) = match &serial_err {
         LyricError::BudgetExceeded {
             resource, limit, ..
@@ -80,7 +86,7 @@ fn concurrent_budget_aborts_classify_identically() {
             let db = Arc::clone(&db);
             let tight = tight.clone();
             s.spawn(move || {
-                let o = opts(1 + t % 4).with_budget(tight);
+                let o = opts(1 + t % 4).with_budget(tight).with_boxes(false);
                 match execute_shared(&db, Q_PAIRWISE, &o) {
                     Err(LyricError::BudgetExceeded {
                         resource, limit, ..

@@ -13,7 +13,8 @@
 use lyric::trace::{SpanKind, Trace, TraceSpan, MAIN_TID};
 use lyric::ExecOptions;
 use lyric::{
-    execute_traced, execute_traced_with_options, paper_example, EngineBudget, EngineStats,
+    execute_traced, execute_traced_with_options, execute_with_options, paper_example, EngineBudget,
+    EngineStats,
 };
 use lyric_bench::workload::{self, Q_LINEAR, Q_PAIRWISE};
 use proptest::prelude::*;
@@ -122,10 +123,14 @@ fn paper_query_traces_are_well_formed() {
 /// path — the partial trace is discarded, not half-sealed.
 #[test]
 fn traced_budget_abort_matches_untraced() {
-    let budget = EngineBudget::unlimited().with_max_pivots(1);
+    // Boxes off: interval pruning answers this workload's sat checks
+    // without any pivots, and the point here is hitting the pivot cap.
+    let opts = ExecOptions::default()
+        .with_budget(EngineBudget::unlimited().with_max_pivots(1))
+        .with_boxes(false);
     let mut db = workload::office_db(8, 42);
-    let traced = execute_traced(&mut db.clone(), Q_PAIRWISE, budget.clone());
-    let untraced = lyric::execute_with_budget(&mut db, Q_PAIRWISE, budget);
+    let traced = execute_traced_with_options(&mut db.clone(), Q_PAIRWISE, &opts).map(|_| ());
+    let untraced = execute_with_options(&mut db, Q_PAIRWISE, &opts).map(|_| ());
     match (traced, untraced) {
         (
             Err(lyric::LyricError::BudgetExceeded { resource: a, .. }),
