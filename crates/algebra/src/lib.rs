@@ -68,5 +68,5 @@ mod value;
 
 pub use error::AlgebraError;
 pub use func::{eval, Func};
-pub use optimize::optimize;
+pub use optimize::{optimize, optimize_explained};
 pub use value::Value;

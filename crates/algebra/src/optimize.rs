@@ -28,33 +28,48 @@ use crate::func::Func;
 
 /// Optimize a program by exhaustive rewriting (to a fixed point).
 pub fn optimize(f: &Func) -> Func {
+    optimize_explained(f).0
+}
+
+/// [`optimize`], also reporting which rewrite rules actually fired, each
+/// at most once, in first-application order. The stable rule names —
+/// `flatten_compose`, `eliminate_id`, `hoist_filter_sat`, `fuse_map`,
+/// `fuse_filter` — annotate explain plans (`lyric_trace::plan`).
+pub fn optimize_explained(f: &Func) -> (Func, Vec<&'static str>) {
+    let mut rules: Vec<&'static str> = Vec::new();
     let mut cur = f.clone();
     loop {
-        let next = rewrite(&cur);
+        let next = rewrite(&cur, &mut rules);
         if next == cur {
-            return cur;
+            let mut seen = Vec::new();
+            for r in rules {
+                if !seen.contains(&r) {
+                    seen.push(r);
+                }
+            }
+            return (cur, seen);
         }
         cur = next;
     }
 }
 
-fn rewrite(f: &Func) -> Func {
+fn rewrite(f: &Func, rules: &mut Vec<&'static str>) -> Func {
     // Bottom-up: rewrite children first.
-    let f = map_children(f, rewrite);
+    let f = map_children(f, rules);
     match f {
-        Func::Compose(fs) => rebuild_compose(fs),
+        Func::Compose(fs) => rebuild_compose(fs, rules),
         other => other,
     }
 }
 
-/// Apply `r` to every direct child program.
-fn map_children(f: &Func, r: impl Fn(&Func) -> Func + Copy) -> Func {
+/// Rewrite every direct child program.
+fn map_children(f: &Func, rules: &mut Vec<&'static str>) -> Func {
     match f {
-        Func::Compose(fs) => Func::Compose(fs.iter().map(r).collect()),
-        Func::Construct(fs) => Func::Construct(fs.iter().map(r).collect()),
-        Func::ApplyToAll(g) => Func::ApplyToAll(Box::new(r(g))),
-        Func::Filter(p) => Func::Filter(Box::new(r(p))),
-        Func::Insert(g, unit) => Func::Insert(Box::new(r(g)), unit.clone()),
+        Func::Compose(fs) => Func::Compose(fs.iter().map(|g| rewrite(g, rules)).collect()),
+        Func::Construct(fs) => Func::Construct(fs.iter().map(|g| rewrite(g, rules)).collect()),
+        Func::ApplyToAll(g) => Func::ApplyToAll(Box::new(rewrite(g, rules))),
+        Func::Filter(p) => Func::Filter(Box::new(rewrite(p, rules))),
+        Func::Insert(g, unit) => Func::Insert(Box::new(rewrite(g, rules)), unit.clone()),
         other => other.clone(),
     }
 }
@@ -78,12 +93,15 @@ fn preserves_satisfiability(f: &Func) -> bool {
 /// Normalize a composition: flatten nested `Compose`, drop `Id`, then
 /// apply the pairwise rules left to right. `flat` is outermost-first:
 /// `flat = [f, g]` denotes `f ∘ g` (g runs first).
-fn rebuild_compose(fs: Vec<Func>) -> Func {
+fn rebuild_compose(fs: Vec<Func>, rules: &mut Vec<&'static str>) -> Func {
     let mut flat: Vec<Func> = Vec::with_capacity(fs.len());
     for g in fs {
         match g {
-            Func::Compose(inner) => flat.extend(inner),
-            Func::Id => {}
+            Func::Compose(inner) => {
+                rules.push("flatten_compose");
+                flat.extend(inner);
+            }
+            Func::Id => rules.push("eliminate_id"),
             other => flat.push(other),
         }
     }
@@ -92,29 +110,41 @@ fn rebuild_compose(fs: Vec<Func>) -> Func {
         changed = false;
         let mut i = 0;
         while i + 1 < flat.len() {
-            let replacement: Option<Vec<Func>> = match (&flat[i], &flat[i + 1]) {
+            let replacement: Option<(Vec<Func>, &'static str)> = match (&flat[i], &flat[i + 1]) {
                 // Hoist: Filter(sat) ∘ α f ⇒ α f ∘ Filter(sat) when f
                 // preserves satisfiability — run the cheap feasibility
                 // test first, the expensive map only on survivors.
                 (Func::Filter(p), Func::ApplyToAll(f1))
                     if matches!(p.as_ref(), Func::Satisfiable) && preserves_satisfiability(f1) =>
                 {
-                    Some(vec![
-                        Func::ApplyToAll(f1.clone()),
-                        Func::Filter(Box::new(Func::Satisfiable)),
-                    ])
+                    Some((
+                        vec![
+                            Func::ApplyToAll(f1.clone()),
+                            Func::Filter(Box::new(Func::Satisfiable)),
+                        ],
+                        "hoist_filter_sat",
+                    ))
                 }
                 // α f ∘ α g ⇒ α (f ∘ g)
-                (Func::ApplyToAll(f1), Func::ApplyToAll(f2)) => Some(vec![Func::ApplyToAll(
-                    Box::new(compose2(f1.as_ref().clone(), f2.as_ref().clone())),
-                )]),
+                (Func::ApplyToAll(f1), Func::ApplyToAll(f2)) => Some((
+                    vec![Func::ApplyToAll(Box::new(compose2(
+                        f1.as_ref().clone(),
+                        f2.as_ref().clone(),
+                    )))],
+                    "fuse_map",
+                )),
                 // Filter p ∘ Filter q ⇒ Filter (q ∧ p), one pass.
-                (Func::Filter(p), Func::Filter(q)) => Some(vec![Func::Filter(Box::new(
-                    and_predicate(q.as_ref().clone(), p.as_ref().clone()),
-                ))]),
+                (Func::Filter(p), Func::Filter(q)) => Some((
+                    vec![Func::Filter(Box::new(and_predicate(
+                        q.as_ref().clone(),
+                        p.as_ref().clone(),
+                    )))],
+                    "fuse_filter",
+                )),
                 _ => None,
             };
-            if let Some(mut rep) = replacement {
+            if let Some((mut rep, rule)) = replacement {
+                rules.push(rule);
                 flat.splice(i..i + 2, rep.drain(..));
                 changed = true;
                 // Restart pair scanning behind the rewrite site so newly
@@ -309,6 +339,29 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn explained_reports_rules_in_application_order() {
+        let f = Func::Compose(vec![
+            Func::Id,
+            Func::Filter(Box::new(Func::Satisfiable)),
+            Func::ApplyToAll(Box::new(Func::Canonicalize)),
+            Func::ApplyToAll(Box::new(Func::CstProject(vec![Var::new("x")]))),
+        ]);
+        let (opt, rules) = optimize_explained(&f);
+        assert_eq!(opt, optimize(&f));
+        assert!(rules.contains(&"eliminate_id"), "{rules:?}");
+        assert!(rules.contains(&"fuse_map"), "{rules:?}");
+        assert!(rules.contains(&"hoist_filter_sat"), "{rules:?}");
+        // Each rule at most once, even though fixed-point iteration may
+        // apply it repeatedly.
+        let mut dedup = rules.clone();
+        dedup.dedup();
+        assert_eq!(rules, dedup);
+        // A program in normal form reports no rules.
+        let (_, none) = optimize_explained(&Func::Length);
+        assert!(none.is_empty(), "{none:?}");
     }
 
     #[test]

@@ -93,6 +93,50 @@ fn main() {
     let (status, _) = http_request(addr, "POST", "/query", "SELECT ???").expect("bad query sent");
     assert_eq!(status, 400, "malformed queries answer 400");
 
+    // A malformed JSON envelope is a structured 400, also uncounted.
+    let (status, body) =
+        http_request(addr, "POST", "/query", r#"{"query": 7}"#).expect("bad JSON body sent");
+    assert_eq!(status, 400, "malformed JSON bodies answer 400");
+    assert!(
+        body.contains("must be a string"),
+        "the 400 body names the offending member: {body}"
+    );
+
+    // An explain=true JSON envelope executes, counts once, and attaches a
+    // plan that passes the schema validator.
+    let (status, body) = http_request(
+        addr,
+        "POST",
+        "/query",
+        r#"{"query": "SELECT Y FROM Desk X WHERE X.drawer.extent[Y]", "explain": true}"#,
+    )
+    .expect("explain query sent");
+    assert_eq!(status, 200, "explain=true answers 200: {body}");
+    let json = lyric::trace::json::parse(&body).expect("explain response is valid JSON");
+    let plan = json.get("plan").expect("explain response carries a plan");
+    lyric::trace::plan::validate_plan_json(&plan.to_string())
+        .expect("the attached plan passes the schema validator");
+    let stats = json.get("stats").expect("explain response carries stats");
+    for (i, name) in COUNTER_NAMES.iter().enumerate() {
+        expected[i] += stats.get(name).and_then(|v| v.as_f64()).unwrap_or(0.0);
+    }
+    sent += 1.0;
+
+    // The explained run fed the cost-profile store; /profiles serves it.
+    let (status, body) = http_request(addr, "GET", "/profiles", "").expect("profiles reachable");
+    assert_eq!(status, 200, "/profiles must answer 200");
+    let profiles = lyric::trace::json::parse(&body).expect("/profiles body is valid JSON");
+    let n = profiles
+        .get("profiles")
+        .and_then(|p| p.as_arr())
+        .map(|a| a.len())
+        .unwrap_or(0);
+    if n == 0 {
+        eprintln!("FAIL: /profiles lists no sites after an explained query");
+        failures += 1;
+    }
+    println!("/profiles serves {n} cost-profile sites");
+
     let after = scrape(addr);
 
     let queries_delta = counter_total(&after, "lyric_queries_total") - queries_before;

@@ -47,6 +47,7 @@ fn main() {
     record(&mut report, "e12_metrics_overhead", e12);
     record(&mut report, "e13_arith_fast_path", e13);
     record(&mut report, "e14_box_pruning", e14);
+    record(&mut report, "e15_explain_overhead", e15);
     let doc = Json::obj([
         (
             "host_parallelism",
@@ -931,6 +932,84 @@ fn e14() -> Json {
          Answers are bit-identical either way (tests/boxes_differential.rs).\n"
     );
     Json::obj([("rows", Json::Arr(detail))])
+}
+
+/// E15 — explain overhead. Two claims: (a) the explain additions —
+/// node-stamped spans, per-node row atomics, the trace→plan fold, the
+/// profile-store feed — cost < 5% over the *traced* evaluation EXPLAIN
+/// ANALYZE is built on (the trace collector itself predates this
+/// subsystem and is priced by E10); (b) the explain-off plain path is
+/// unchanged — its only addition is one armed-gate check per query, so
+/// two plain batches measured the same way bound its overhead by the
+/// noise floor. Batches alternate modes (the E12 protocol) so clock
+/// drift and cache pressure hit every side equally.
+fn e15() -> Json {
+    println!("## E15 — explain overhead (plain vs traced vs EXPLAIN ANALYZE)\n");
+    let db = workload::office_db(24, 42);
+    let opts = ExecOptions::default().with_threads(2);
+    let run_plain = || {
+        lyric::execute_shared(&db, Q_LINEAR, &opts).expect("linear query evaluates");
+    };
+    // One clone up front: the traced entry point takes `&mut Database`
+    // (CREATE VIEW materializes), but a SELECT never mutates, so reusing
+    // the clone keeps the clone cost out of the traced timing.
+    let mut traced_db = db.clone();
+    let mut run_traced = || {
+        lyric::execute_traced_with_options(&mut traced_db, Q_LINEAR, &opts)
+            .expect("traced linear query evaluates");
+    };
+    let run_explained = || {
+        lyric::execute_explained_with_options(&db, Q_LINEAR, &opts)
+            .expect("explained linear query evaluates");
+    };
+    run_plain(); // warm the memo caches so every mode measures steady state
+    let (batches, reps) = (6, 5);
+    let mut plain_a_ms = f64::INFINITY;
+    let mut plain_b_ms = f64::INFINITY;
+    let mut traced_ms = f64::INFINITY;
+    let mut explained_ms = f64::INFINITY;
+    for _ in 0..batches {
+        plain_a_ms = plain_a_ms.min(time_ms(reps, run_plain).0);
+        traced_ms = traced_ms.min(time_ms(reps, &mut run_traced).0);
+        explained_ms = explained_ms.min(time_ms(reps, run_explained).0);
+        plain_b_ms = plain_b_ms.min(time_ms(reps, run_plain).0);
+    }
+    let plain_ms = plain_a_ms.min(plain_b_ms);
+    let explain_pct = (explained_ms / traced_ms - 1.0) * 100.0;
+    let analyze_pct = (explained_ms / plain_ms - 1.0) * 100.0;
+    let noise_pct = (plain_a_ms.max(plain_b_ms) / plain_ms - 1.0) * 100.0;
+    println!(
+        "| mode | linear query, n=24 (best of {} runs, ms) |",
+        batches * reps
+    );
+    println!("|---|---|");
+    println!("| plain (batch A) | {plain_a_ms:.2} |");
+    println!("| traced (E10 collector, no plan) | {traced_ms:.2} |");
+    println!("| EXPLAIN ANALYZE | {explained_ms:.2} |");
+    println!("| plain (batch B) | {plain_b_ms:.2} |");
+    let verdict = if explain_pct <= 0.0 {
+        "below the measurement noise floor".to_string()
+    } else {
+        format!("{explain_pct:.1}%")
+    };
+    println!(
+        "\nexplain additions over the traced run: {verdict} (acceptance bar: < 5%); \
+         EXPLAIN ANALYZE end to end costs {analyze_pct:.1}% over plain, almost all of it \
+         the pre-existing span collector. Explain-off queries take the plain path shown \
+         here — the subsystem adds one armed-gate check before evaluation, nothing per \
+         binding, so its overhead is bounded by the plain-vs-plain noise floor \
+         ({noise_pct:.1}% this run). Answers are bit-identical in every mode \
+         (tests/explain_differential.rs).\n"
+    );
+    Json::obj([
+        ("plain_best_ms", Json::Num(plain_ms)),
+        ("traced_best_ms", Json::Num(traced_ms)),
+        ("explained_best_ms", Json::Num(explained_ms)),
+        ("explain_over_traced_pct", Json::Num(explain_pct)),
+        ("explained_over_plain_pct", Json::Num(analyze_pct)),
+        ("explain_off_noise_floor_pct", Json::Num(noise_pct)),
+        ("bar_pct", Json::Num(5.0)),
+    ])
 }
 
 fn answers_match(db: &Database, direct: &lyric::QueryResult, flat: &[(Oid, CstObject)]) -> bool {

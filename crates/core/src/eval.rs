@@ -127,6 +127,12 @@ pub fn execute_shared(
     check(db, &q)?;
     match &q {
         Query::Select(s) => {
+            // Slow-query forensics: with `LYRIC_SLOW_EXPLAIN=1` and a slow
+            // threshold configured, run under explain instrumentation so
+            // the slow log line can carry the per-operator summary.
+            if crate::explain::slow_explain_active() {
+                return crate::explain::run_explained_select(db, src, s, opts).map(|(res, _)| res);
+            }
             let started = Instant::now();
             let trace_id = Cell::new(0u64);
             let result = match lyric_engine::run_with_opts(opts.clone(), || {
@@ -139,7 +145,14 @@ pub fn execute_shared(
                 }),
                 Err(exceeded) => Err(exceeded.into()),
             };
-            log_query(src, opts.threads.max(1), started, trace_id.get(), &result);
+            log_query(
+                src,
+                opts.threads.max(1),
+                started,
+                trace_id.get(),
+                &result,
+                None,
+            );
             result
         }
         Query::CreateView(_) => Err(LyricError::type_error(
@@ -173,7 +186,7 @@ pub fn execute_parsed_unchecked(db: &mut Database, q: &Query) -> Result<QueryRes
 /// The admission gate: run the static analyzer (default options) and
 /// reject the query on any error-severity diagnostic, *before* the
 /// evaluator — and before any engine budget — is touched.
-fn check(db: &Database, q: &Query) -> Result<(), LyricError> {
+pub(crate) fn check(db: &Database, q: &Query) -> Result<(), LyricError> {
     let _span = lyric_engine::span(SpanKind::Analyze, String::new, None);
     let diags: Vec<_> =
         crate::analyze::analyze(db.schema(), q, &crate::analyze::AnalyzerOptions::default())
@@ -204,13 +217,16 @@ fn analyzer_rejections() -> &'static lyric_metrics::Counter {
 /// is the engine context generation captured inside the run, so log
 /// lines correlate with memo-cache generations and trace output; on a
 /// budget abort the engine discards the context's counters, so `stats`
-/// are zero for non-`ok` outcomes.
-fn log_query(
+/// are zero for non-`ok` outcomes. `explain` is the pre-serialized
+/// compact explain-analyze summary attached to slow-query lines when
+/// `LYRIC_SLOW_EXPLAIN=1` (see `crate::explain`).
+pub(crate) fn log_query(
     src: &str,
     threads: usize,
     started: Instant,
     trace_id: u64,
     result: &Result<QueryResult, LyricError>,
+    explain: Option<&str>,
 ) {
     use lyric_metrics::querylog::{self, Outcome, Record};
     if !lyric_metrics::enabled() || !querylog::active() {
@@ -237,6 +253,7 @@ fn log_query(
         threads,
         trace_id,
         stats: &named,
+        explain,
     });
 }
 
@@ -292,7 +309,14 @@ pub fn execute_traced_with_options(
             Ok((res, _)) => Ok(res.clone()),
             Err(e) => Err(e.clone()),
         };
-        log_query(src, opts.threads.max(1), started, trace_id.get(), &flat);
+        log_query(
+            src,
+            opts.threads.max(1),
+            started,
+            trace_id.get(),
+            &flat,
+            None,
+        );
     }
     result
 }
@@ -308,6 +332,13 @@ fn run_in_context(
     opts: lyric_engine::ExecOptions,
     log_src: Option<&str>,
 ) -> Result<QueryResult, LyricError> {
+    // Slow-query forensics, as in [`execute_shared`]: logged SELECTs run
+    // under explain instrumentation when `LYRIC_SLOW_EXPLAIN=1` is armed.
+    if let (Some(src), Query::Select(s)) = (log_src, q) {
+        if crate::explain::slow_explain_active() {
+            return crate::explain::run_explained_select(db, src, s, &opts).map(|(res, _)| res);
+        }
+    }
     let started = Instant::now();
     let trace_id = Cell::new(0u64);
     let threads = opts.threads.max(1);
@@ -322,7 +353,7 @@ fn run_in_context(
         Err(exceeded) => Err(exceeded.into()),
     };
     if let Some(src) = log_src {
-        log_query(src, threads, started, trace_id.get(), &result);
+        log_query(src, threads, started, trace_id.get(), &result, None);
     }
     result
 }
@@ -338,8 +369,20 @@ fn execute_in_context(db: &mut Database, q: &Query) -> Result<QueryResult, Lyric
 /// The `SELECT` arm of the evaluator: needs only shared access to the
 /// database, so [`execute_shared`] can run it from many threads at once.
 fn eval_select_query(db: &Database, s: &SelectQuery) -> Result<QueryResult, LyricError> {
-    let ctx = Ctx::new(db, s, None);
+    eval_select_query_with(db, s, None)
+}
+
+/// [`eval_select_query`] with optional explain instrumentation: when
+/// `explain` is present the operator spans carry plan-node ids and the
+/// row counters in [`ExplainInfo`](crate::explain::ExplainInfo) are fed.
+pub(crate) fn eval_select_query_with(
+    db: &Database,
+    s: &SelectQuery,
+    explain: Option<&crate::explain::ExplainInfo>,
+) -> Result<QueryResult, LyricError> {
+    let ctx = Ctx::new_explained(db, s, None, explain);
     let (columns, rows) = eval_select(&ctx, s)?;
+    let candidate_rows = rows.len() as u64;
     let mut out_rows = Vec::new();
     for (binding, row) in rows {
         let mut r = Vec::new();
@@ -356,6 +399,10 @@ fn eval_select_query(db: &Database, s: &SelectQuery) -> Result<QueryResult, Lyri
         cols.push("oid".to_string());
     }
     cols.extend(columns);
+    // Root plan node: candidate rows in, deduplicated answer rows out.
+    if let Some(e) = explain {
+        e.add_rows(0, candidate_rows, out_rows.len() as u64);
+    }
     Ok(QueryResult {
         columns: cols,
         rows: out_rows,
@@ -542,10 +589,22 @@ impl Binding {
 pub(crate) struct Ctx<'a> {
     pub(crate) db: &'a Database,
     declared: BTreeSet<String>,
+    /// Explain instrumentation: the plan-node map and row counters fed by
+    /// `execute_explained`. `None` on every plain evaluation path.
+    explain: Option<&'a crate::explain::ExplainInfo>,
 }
 
 impl<'a> Ctx<'a> {
     fn new(db: &'a Database, q: &SelectQuery, view_var: Option<&str>) -> Ctx<'a> {
+        Ctx::new_explained(db, q, view_var, None)
+    }
+
+    fn new_explained(
+        db: &'a Database,
+        q: &SelectQuery,
+        view_var: Option<&str>,
+        explain: Option<&'a crate::explain::ExplainInfo>,
+    ) -> Ctx<'a> {
         let mut declared: BTreeSet<String> = q.from.iter().map(|f| f.var.clone()).collect();
         if let Some(v) = view_var {
             declared.insert(v.to_string());
@@ -622,7 +681,24 @@ impl<'a> Ctx<'a> {
                 }
             }
         }
-        Ctx { db, declared }
+        Ctx {
+            db,
+            declared,
+            explain,
+        }
+    }
+
+    /// The plan-node id of a WHERE condition site (pointer identity: the
+    /// parsed query never moves during evaluation).
+    fn cond_node(&self, c: &Cond) -> Option<u32> {
+        self.explain.and_then(|e| e.cond_node(c))
+    }
+
+    /// Feed the per-node row counters; a no-op on plain evaluations.
+    fn count_rows(&self, node: Option<u32>, rows_in: u64, rows_out: u64) {
+        if let (Some(id), Some(e)) = (node, self.explain) {
+            e.add_rows(id, rows_in, rows_out);
+        }
     }
 }
 
@@ -798,8 +874,22 @@ fn lit_to_oid(l: &OidLit) -> Oid {
 // ------------------------------------------------------------- conditions
 
 /// Evaluate a condition, returning the bindings (extensions of `binding`)
-/// under which it holds.
+/// under which it holds. Under explain instrumentation every condition
+/// site feeds its plan node one input row (this invocation) and one
+/// output row per satisfying binding.
 fn eval_cond(ctx: &Ctx<'_>, cond: &Cond, binding: &Binding) -> Result<Vec<Binding>, LyricError> {
+    let node = ctx.cond_node(cond);
+    let out = eval_cond_inner(ctx, cond, node, binding)?;
+    ctx.count_rows(node, 1, out.len() as u64);
+    Ok(out)
+}
+
+fn eval_cond_inner(
+    ctx: &Ctx<'_>,
+    cond: &Cond,
+    node: Option<u32>,
+    binding: &Binding,
+) -> Result<Vec<Binding>, LyricError> {
     match cond {
         Cond::And(a, b) => {
             let mut out = Vec::new();
@@ -821,21 +911,36 @@ fn eval_cond(ctx: &Ctx<'_>, cond: &Cond, binding: &Binding) -> Result<Vec<Bindin
             }
         }
         Cond::PathPred(p) => {
-            let _span = span(SpanKind::PathPred, || display_path(p), p.span.byte_range());
+            let _span = lyric_engine::span_node(
+                SpanKind::PathPred,
+                node,
+                || display_path(p),
+                p.span.byte_range(),
+            );
             let hits = eval_path(ctx, p, binding)?;
             Ok(dedup_bindings(
                 hits.into_iter().map(|h| h.binding).collect(),
             ))
         }
         Cond::Compare { lhs, op, rhs } => {
-            let _span = span(SpanKind::Compare, String::new, cond.span().byte_range());
+            let _span = lyric_engine::span_node(
+                SpanKind::Compare,
+                node,
+                String::new,
+                cond.span().byte_range(),
+            );
             let l = operand_values(ctx, lhs, binding)?;
             let r = operand_values(ctx, rhs, binding)?;
             let holds = compare_sets(&l, *op, &r)?;
             Ok(if holds { vec![binding.clone()] } else { vec![] })
         }
         Cond::Sat(f) => {
-            let _span = span(SpanKind::SatCheck, String::new, f.span().byte_range());
+            let _span = lyric_engine::span_node(
+                SpanKind::SatCheck,
+                node,
+                String::new,
+                f.span().byte_range(),
+            );
             let obj = instantiate(ctx, f, binding)?;
             Ok(if obj.satisfiable() {
                 vec![binding.clone()]
@@ -844,7 +949,12 @@ fn eval_cond(ctx: &Ctx<'_>, cond: &Cond, binding: &Binding) -> Result<Vec<Bindin
             })
         }
         Cond::Entails(f1, f2) => {
-            let _span = span(SpanKind::EntailCheck, String::new, cond.span().byte_range());
+            let _span = lyric_engine::span_node(
+                SpanKind::EntailCheck,
+                node,
+                String::new,
+                cond.span().byte_range(),
+            );
             let holds = entails(ctx, f1, f2, binding)?;
             Ok(if holds { vec![binding.clone()] } else { vec![] })
         }
@@ -929,13 +1039,16 @@ fn eval_select(ctx: &Ctx<'_>, q: &SelectQuery) -> Result<(Vec<String>, SelectRow
         }
     }
     let mut bindings: Vec<Binding> = vec![Binding::default()];
-    for f in &q.from {
-        let _span = span(
+    for (fi, f) in q.from.iter().enumerate() {
+        let node = ctx.explain.and_then(|e| e.binder_node(fi));
+        let _span = lyric_engine::span_node(
             SpanKind::FromBind,
+            node,
             || format!("{} {}", f.class, f.var),
             f.class_span.join(f.var_span).byte_range(),
         );
         let extent = ctx.db.extent(&f.class);
+        let before = bindings.len() as u64;
         // Each prior binding expands independently; rows come back in
         // binding order, so the cross product is identical to the serial
         // nested loop.
@@ -950,19 +1063,24 @@ fn eval_select(ctx: &Ctx<'_>, q: &SelectQuery) -> Result<(Vec<String>, SelectRow
                 .collect::<Vec<Binding>>()
         });
         bindings = expanded.into_iter().flatten().collect();
+        ctx.count_rows(node, before, bindings.len() as u64);
     }
     // WHERE: each binding is filtered independently (the per-binding
     // sat/entailment checks dominate query time). Results are merged in
     // binding order, then deduplicated exactly as in the serial loop; on
     // error, the lowest-index binding's error is reported.
     if let Some(w) = &q.where_clause {
-        let _span = span(SpanKind::Where, String::new, w.span().byte_range());
+        let node = ctx.explain.and_then(|e| e.where_node());
+        let _span =
+            lyric_engine::span_node(SpanKind::Where, node, String::new, w.span().byte_range());
+        let before = bindings.len() as u64;
         let evaluated = lyric_engine::parallel_map(&bindings, |_, b| eval_cond(ctx, w, b));
         let mut filtered = Vec::new();
         for r in evaluated {
             filtered.extend(r?);
         }
         bindings = dedup_bindings(filtered);
+        ctx.count_rows(node, before, bindings.len() as u64);
     }
     // SELECT items.
     let columns: Vec<String> = q
@@ -977,12 +1095,16 @@ fn eval_select(ctx: &Ctx<'_>, q: &SelectQuery) -> Result<(Vec<String>, SelectRow
     let per_binding = lyric_engine::parallel_map(&bindings, |_, b| {
         let mut per_item: Vec<Vec<Oid>> = Vec::with_capacity(q.items.len());
         for (i, item) in q.items.iter().enumerate() {
-            let _span = span(
+            let node = ctx.explain.and_then(|e| e.item_node(i));
+            let _span = lyric_engine::span_node(
                 SpanKind::SelectItem,
+                node,
                 || column_name(i, item),
                 item.span.byte_range(),
             );
-            per_item.push(eval_item(ctx, item, b)?);
+            let vals = eval_item(ctx, item, b)?;
+            ctx.count_rows(node, 1, vals.len() as u64);
+            per_item.push(vals);
         }
         if per_item.iter().any(|v| v.is_empty()) {
             return Ok(Vec::new());
@@ -1011,7 +1133,7 @@ fn eval_select(ctx: &Ctx<'_>, q: &SelectQuery) -> Result<(Vec<String>, SelectRow
     Ok((columns, rows))
 }
 
-fn column_name(i: usize, item: &SelectItem) -> String {
+pub(crate) fn column_name(i: usize, item: &SelectItem) -> String {
     if let Some(l) = &item.label {
         return l.clone();
     }

@@ -1,0 +1,532 @@
+//! EXPLAIN / EXPLAIN ANALYZE — the operator-level plan report.
+//!
+//! [`explain`] builds a static [`PlanNode`] tree for a query without
+//! running it: one node per evaluator operator site (the SELECT root,
+//! each FROM binding, the WHERE condition tree, each SELECT item),
+//! annotated with the features that govern constraint-query cost —
+//! class extent cardinalities, constraint atom counts, disjunction
+//! alternatives, projection quantifiers — plus the rewrite rules the
+//! FP-algebra optimizer (`lyric_algebra::optimize_explained`) applies to
+//! the query's naive point-free form, reported on the root node.
+//!
+//! [`execute_explained`] additionally runs the query with the plan-node
+//! ids threaded through the evaluator's span instrumentation
+//! (`lyric_engine::span_node`) and per-node row counters, then attributes
+//! the sealed trace back to the plan with
+//! [`lyric_trace::plan::analyze`](lyric_engine::trace::plan::analyze).
+//! Two invariants are pinned by `tests/explain_differential.rs`:
+//!
+//! * Σ per-node exclusive counters equals [`QueryResult::stats`]
+//!   **exactly** (the attribution fold is total);
+//! * Σ per-node exclusive time equals the trace's summed span self-time
+//!   exactly, which equals the traced total up to the collector's
+//!   saturating-subtraction tolerance on serial runs.
+//!
+//! Every analyzed run also feeds the process-lifetime cost-profile store
+//! (`lyric_metrics::profile`), keyed by `(shape hash, node id)`; and when
+//! `LYRIC_SLOW_EXPLAIN=1` arms slow-query forensics, the normal execution
+//! paths route logged SELECTs through here so the slow-query log line can
+//! carry the top-3-nodes summary ([`ExplainReport::summary_json`]).
+//!
+//! Node ids are assigned in preorder (`0` = the SELECT root) and are
+//! stable for a given query text. The node map uses AST pointer identity:
+//! the parsed query is pinned on the caller's stack for the duration of
+//! the evaluation, so `&Cond` addresses identify condition sites.
+
+use crate::ast::*;
+use crate::error::LyricError;
+use crate::eval::{check, column_name, eval_select_query_with, log_query, QueryResult};
+use crate::formula::display_path;
+use crate::parser::parse_query;
+use lyric_engine::trace::plan::{self, PlanAnalysis, PlanNode};
+use lyric_engine::trace::Json;
+use lyric_oodb::Database;
+use std::cell::Cell;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// The product of [`explain`] / [`execute_explained`]: the plan tree, the
+/// runtime attribution (absent for plain EXPLAIN), and the shape hash
+/// keying the cost-profile store.
+#[derive(Debug, Clone)]
+pub struct ExplainReport {
+    /// The operator tree with static annotations.
+    pub plan: PlanNode,
+    /// Per-node runtime observations; `None` for plain EXPLAIN.
+    pub analysis: Option<PlanAnalysis>,
+    /// FNV-1a hash of the plan shape (see [`PlanNode::shape_hash`]).
+    pub shape_hash: u64,
+}
+
+impl ExplainReport {
+    /// The indented text tree (the REPL's `:explain` output).
+    pub fn render(&self) -> String {
+        plan::render_plan(&self.plan, self.analysis.as_ref())
+    }
+
+    /// The machine-readable document (the `POST /query` `plan` member);
+    /// schema pinned by `lyric_trace::plan::validate_plan_json`.
+    pub fn to_json(&self) -> Json {
+        plan::plan_to_json(&self.plan, self.analysis.as_ref())
+    }
+
+    /// Compact JSON array of the `k` hottest nodes by exclusive time —
+    /// the summary the slow-query log attaches. `[]` without an analysis.
+    pub fn summary_json(&self, k: usize) -> String {
+        let Some(a) = &self.analysis else {
+            return "[]".into();
+        };
+        let top = plan::top_self_nodes(&self.plan, a, k);
+        Json::Arr(
+            top.iter()
+                .map(|(n, obs)| {
+                    Json::obj([
+                        ("node", Json::int(n.id as u64)),
+                        ("op", Json::str(n.op)),
+                        ("label", Json::str(n.label.clone())),
+                        ("self_us", Json::int(obs.self_time.as_micros() as u64)),
+                        ("rows_out", Json::int(obs.rows_out)),
+                    ])
+                })
+                .collect(),
+        )
+        .to_string()
+    }
+}
+
+/// EXPLAIN without execution: parse, analyze, and return the static plan
+/// (with the algebra rewrite rules on the root node). For `CREATE VIEW`
+/// the inner SELECT is explained.
+pub fn explain(db: &Database, src: &str) -> Result<ExplainReport, LyricError> {
+    let q = parse_query(src)?;
+    check(db, &q)?;
+    let s = match &q {
+        Query::Select(s) => s,
+        Query::CreateView(v) => &v.select,
+    };
+    let (plan, _info) = build_plan(db, s);
+    Ok(ExplainReport {
+        shape_hash: plan.shape_hash(),
+        plan,
+        analysis: None,
+    })
+}
+
+/// EXPLAIN ANALYZE: execute a `SELECT` statement with plan-node
+/// instrumentation and return the answer alongside the attributed plan.
+/// The answer (columns, rows, semantic stats) is bit-identical to the
+/// plain [`execute_shared`](crate::execute_shared) evaluation — the
+/// instrumentation only observes. Runs under the default
+/// [`ExecOptions`](lyric_engine::ExecOptions).
+pub fn execute_explained(
+    db: &Database,
+    src: &str,
+) -> Result<(QueryResult, ExplainReport), LyricError> {
+    execute_explained_with_options(db, src, &lyric_engine::ExecOptions::default())
+}
+
+/// [`execute_explained`] with explicit
+/// [`ExecOptions`](lyric_engine::ExecOptions). `CREATE VIEW` is rejected
+/// (it mutates the database; use [`explain`] for its static plan).
+pub fn execute_explained_with_options(
+    db: &Database,
+    src: &str,
+    opts: &lyric_engine::ExecOptions,
+) -> Result<(QueryResult, ExplainReport), LyricError> {
+    let q = parse_query(src)?;
+    check(db, &q)?;
+    match &q {
+        Query::Select(s) => run_explained_select(db, src, s, opts),
+        Query::CreateView(_) => Err(LyricError::type_error(
+            "EXPLAIN ANALYZE evaluates SELECT statements only; CREATE VIEW mutates the database",
+        )),
+    }
+}
+
+/// True when slow-query forensics should route plain executions through
+/// the explained runner: a query-log sink is installed, a slow threshold
+/// is configured, and `LYRIC_SLOW_EXPLAIN=1` armed the gate.
+pub(crate) fn slow_explain_active() -> bool {
+    lyric_metrics::enabled()
+        && lyric_metrics::querylog::active()
+        && lyric_metrics::querylog::slow_explain()
+}
+
+/// The explained runner: trace the evaluation with node-stamped spans,
+/// attribute the trace to the plan, fill the evaluator's row counters in,
+/// feed the cost-profile store, and write the query-log line (with the
+/// top-nodes summary when slow-query forensics is armed). The caller has
+/// already parsed and checked the query.
+pub(crate) fn run_explained_select(
+    db: &Database,
+    src: &str,
+    s: &SelectQuery,
+    opts: &lyric_engine::ExecOptions,
+) -> Result<(QueryResult, ExplainReport), LyricError> {
+    let (plan, info) = build_plan(db, s);
+    let shape_hash = plan.shape_hash();
+    let started = Instant::now();
+    let trace_id = Cell::new(0u64);
+    let threads = opts.threads.max(1);
+    let outcome =
+        lyric_engine::run_traced_opts(opts.clone(), src.trim().to_string(), src.len(), || {
+            trace_id.set(lyric_engine::generation());
+            eval_select_query_with(db, s, Some(&info))
+        });
+    let result = match outcome {
+        Ok((inner, stats, trace)) => inner.map(|mut res| {
+            res.stats = stats;
+            (res, trace)
+        }),
+        Err(exceeded) => Err(exceeded.into()),
+    };
+    match result {
+        Ok((res, trace)) => {
+            let mut analysis = plan::analyze(&plan, &trace);
+            for (id, obs) in analysis.nodes.iter_mut().enumerate() {
+                let (rows_in, rows_out) = info.rows_of(id as u32);
+                obs.rows_in = rows_in;
+                obs.rows_out = rows_out;
+            }
+            for node in plan.by_id() {
+                let obs = &analysis.nodes[node.id as usize];
+                let counters = obs.stats.nonzero_counters();
+                lyric_metrics::profile::record(
+                    shape_hash,
+                    node.id,
+                    node.op,
+                    &lyric_metrics::profile::Obs {
+                        self_us: obs.self_time.as_secs_f64() * 1e6,
+                        rows_in: obs.rows_in,
+                        rows_out: obs.rows_out,
+                        counters: &counters,
+                    },
+                );
+            }
+            let report = ExplainReport {
+                plan,
+                analysis: Some(analysis),
+                shape_hash,
+            };
+            let summary = slow_explain_active().then(|| report.summary_json(3));
+            log_query(
+                src,
+                threads,
+                started,
+                trace_id.get(),
+                &Ok(res.clone()),
+                summary.as_deref(),
+            );
+            Ok((res, report))
+        }
+        Err(e) => {
+            log_query(src, threads, started, trace_id.get(), &Err(e.clone()), None);
+            Err(e)
+        }
+    }
+}
+
+// ------------------------------------------------------------- plan build
+
+/// The evaluator-side explain state: plan-node ids for every operator
+/// site, and the per-node row counters the evaluator feeds. Shared across
+/// worker threads (`parallel_map`), hence the atomics; row totals are
+/// multiset-invariant over the work distribution, so they are
+/// deterministic across thread counts.
+pub(crate) struct ExplainInfo {
+    /// Condition sites, keyed by `&Cond` address within the pinned query.
+    cond_ids: BTreeMap<usize, u32>,
+    /// Node ids of the FROM items, in clause order.
+    from_ids: Vec<u32>,
+    /// Node ids of the SELECT items, in clause order.
+    item_ids: Vec<u32>,
+    where_id: Option<u32>,
+    /// `[rows_in, rows_out]` per node id.
+    rows: Vec<[AtomicU64; 2]>,
+}
+
+impl ExplainInfo {
+    pub(crate) fn cond_node(&self, c: &Cond) -> Option<u32> {
+        self.cond_ids.get(&(c as *const Cond as usize)).copied()
+    }
+
+    pub(crate) fn binder_node(&self, i: usize) -> Option<u32> {
+        self.from_ids.get(i).copied()
+    }
+
+    pub(crate) fn item_node(&self, i: usize) -> Option<u32> {
+        self.item_ids.get(i).copied()
+    }
+
+    pub(crate) fn where_node(&self) -> Option<u32> {
+        self.where_id
+    }
+
+    pub(crate) fn add_rows(&self, id: u32, rows_in: u64, rows_out: u64) {
+        if let Some(cell) = self.rows.get(id as usize) {
+            cell[0].fetch_add(rows_in, Ordering::Relaxed);
+            cell[1].fetch_add(rows_out, Ordering::Relaxed);
+        }
+    }
+
+    fn rows_of(&self, id: u32) -> (u64, u64) {
+        match self.rows.get(id as usize) {
+            Some(cell) => (
+                cell[0].load(Ordering::Relaxed),
+                cell[1].load(Ordering::Relaxed),
+            ),
+            None => (0, 0),
+        }
+    }
+}
+
+/// Build the plan tree (preorder ids, static annotations, root rewrite
+/// rules) and the evaluator-side node map for one SELECT query.
+pub(crate) fn build_plan(db: &Database, s: &SelectQuery) -> (PlanNode, ExplainInfo) {
+    let mut info = ExplainInfo {
+        cond_ids: BTreeMap::new(),
+        from_ids: Vec::new(),
+        item_ids: Vec::new(),
+        where_id: None,
+        rows: Vec::new(),
+    };
+    let mut next: u32 = 1;
+    let mut root = PlanNode::new(0, "select", "");
+    root.rules = lyric_algebra::optimize_explained(&query_func(s)).1;
+    for f in &s.from {
+        let mut n = PlanNode::new(next, "from_bind", format!("{} {}", f.class, f.var));
+        info.from_ids.push(next);
+        next += 1;
+        n.source = f.class_span.join(f.var_span).byte_range();
+        n.extent_size = Some(db.extent(&f.class).len() as u64);
+        root.children.push(n);
+    }
+    if let Some(w) = &s.where_clause {
+        let mut wn = PlanNode::new(next, "where", "");
+        info.where_id = Some(next);
+        next += 1;
+        wn.source = w.span().byte_range();
+        wn.children.push(build_cond(w, &mut next, &mut info));
+        root.children.push(wn);
+    }
+    for (i, item) in s.items.iter().enumerate() {
+        let op = match &item.value {
+            SelectValue::Optimize { .. } => "optimize",
+            _ => "select_item",
+        };
+        let mut n = PlanNode::new(next, op, column_name(i, item));
+        info.item_ids.push(next);
+        next += 1;
+        n.source = item.span.byte_range();
+        match &item.value {
+            SelectValue::Formula(f) => formula_features(f, &mut n),
+            SelectValue::Optimize { formula, .. } => formula_features(formula, &mut n),
+            SelectValue::Path(_) => {}
+        }
+        root.children.push(n);
+    }
+    info.rows = (0..next)
+        .map(|_| [AtomicU64::new(0), AtomicU64::new(0)])
+        .collect();
+    (root, info)
+}
+
+fn build_cond(c: &Cond, next: &mut u32, info: &mut ExplainInfo) -> PlanNode {
+    let id = *next;
+    *next += 1;
+    info.cond_ids.insert(c as *const Cond as usize, id);
+    let (op, label) = match c {
+        Cond::And(..) => ("and", String::new()),
+        Cond::Or(..) => ("or", String::new()),
+        Cond::Not(..) => ("not", String::new()),
+        Cond::PathPred(p) => ("path_pred", display_path(p)),
+        Cond::Compare { op, .. } => ("compare", cmp_symbol(*op).to_string()),
+        Cond::Sat(..) => ("sat", String::new()),
+        Cond::Entails(..) => ("entails", String::new()),
+    };
+    let mut n = PlanNode::new(id, op, label);
+    n.source = c.span().byte_range();
+    match c {
+        Cond::And(a, b) | Cond::Or(a, b) => {
+            n.children.push(build_cond(a, next, info));
+            n.children.push(build_cond(b, next, info));
+        }
+        Cond::Not(a) => n.children.push(build_cond(a, next, info)),
+        Cond::Sat(f) => formula_features(f, &mut n),
+        Cond::Entails(f1, f2) => {
+            formula_features(f1, &mut n);
+            formula_features(f2, &mut n);
+        }
+        Cond::PathPred(..) | Cond::Compare { .. } => {}
+    }
+    n
+}
+
+fn cmp_symbol(op: CmpOp) -> &'static str {
+    match op {
+        CmpOp::Eq => "=",
+        CmpOp::Neq => "<>",
+        CmpOp::Lt => "<",
+        CmpOp::Le => "<=",
+        CmpOp::Gt => ">",
+        CmpOp::Ge => ">=",
+        CmpOp::Contains => "CONTAINS",
+    }
+}
+
+/// Accumulate the static cost features of a CST formula onto a plan node:
+/// chained atoms and object references (`atoms`), OR alternatives
+/// (`disjuncts`), projection variables (`quantifiers`).
+fn formula_features(f: &Formula, n: &mut PlanNode) {
+    match f {
+        Formula::And(a, b) => {
+            formula_features(a, n);
+            formula_features(b, n);
+        }
+        Formula::Or(a, b) => {
+            n.disjuncts += 1;
+            formula_features(a, n);
+            formula_features(b, n);
+        }
+        Formula::Not(a) => formula_features(a, n),
+        Formula::Proj { vars, body, .. } => {
+            n.quantifiers += vars.len() as u32;
+            formula_features(body, n);
+        }
+        Formula::Pred { .. } => n.atoms += 1,
+        Formula::Chain { rest, .. } => n.atoms += rest.len() as u32,
+    }
+}
+
+/// The query's naive FP-algebra form (§5): SELECT-item maps over filters
+/// over canonicalized candidates over the FROM extents, outermost first.
+/// This is the program `optimize_explained` rewrites to annotate the root
+/// plan node with the rules that fire (e.g. `hoist_filter_sat` commutes
+/// the satisfiability filter ahead of the per-element canonicalization
+/// map; `fuse_filter` merges conjunct filters).
+fn query_func(s: &SelectQuery) -> lyric_algebra::Func {
+    use lyric_algebra::Func;
+    let mut stages: Vec<Func> = Vec::new();
+    for item in &s.items {
+        match &item.value {
+            SelectValue::Formula(_) => {
+                stages.push(Func::ApplyToAll(Box::new(Func::Canonicalize)));
+            }
+            SelectValue::Optimize { .. } => {
+                stages.push(Func::ApplyToAll(Box::new(Func::Maximize(
+                    lyric_constraint::LinExpr::from(0i64),
+                ))));
+            }
+            SelectValue::Path(_) => {}
+        }
+    }
+    if let Some(w) = &s.where_clause {
+        cond_filters(w, &mut stages);
+    }
+    stages.push(Func::ApplyToAll(Box::new(Func::Canonicalize)));
+    for f in &s.from {
+        stages.push(Func::Extent(f.class.clone()));
+    }
+    Func::Compose(stages)
+}
+
+/// One filter stage per top-level WHERE conjunct: constraint predicates
+/// become satisfiability filters (the form the optimizer hoists);
+/// everything else is an opaque predicate.
+fn cond_filters(c: &Cond, stages: &mut Vec<lyric_algebra::Func>) {
+    use lyric_algebra::Func;
+    match c {
+        Cond::And(a, b) => {
+            cond_filters(a, stages);
+            cond_filters(b, stages);
+        }
+        Cond::Sat(..) | Cond::Entails(..) => {
+            stages.push(Func::Filter(Box::new(Func::Satisfiable)));
+        }
+        _ => stages.push(Func::Filter(Box::new(Func::Id))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_example;
+
+    const Q: &str = "SELECT CO, ((u,v) | E AND D AND x = 6 AND y = 4)
+         FROM Office_Object CO
+         WHERE CO.extent[E] AND CO.translation[D]";
+
+    #[test]
+    fn explain_builds_a_dense_annotated_plan() {
+        let db = paper_example::database();
+        let report = explain(&db, Q).unwrap();
+        let nodes = report.plan.by_id(); // panics unless ids are dense preorder
+        assert_eq!(nodes[0].op, "select");
+        let from = nodes.iter().find(|n| n.op == "from_bind").unwrap();
+        assert_eq!(from.label, "Office_Object CO");
+        assert!(from.extent_size.unwrap() > 0);
+        assert!(nodes.iter().any(|n| n.op == "where"));
+        assert!(nodes.iter().any(|n| n.op == "path_pred"));
+        // The formula item carries atom/quantifier annotations.
+        let item = nodes
+            .iter()
+            .find(|n| n.op == "select_item" && n.atoms > 0)
+            .unwrap();
+        assert_eq!(item.quantifiers, 2, "((u,v) | …) projects two variables");
+        // The naive FP form of this query admits rewrites.
+        assert!(
+            !report.plan.rules.is_empty(),
+            "rules: {:?}",
+            report.plan.rules
+        );
+        assert!(report.analysis.is_none());
+        // Text + JSON renderers agree with the validator.
+        let json = report.to_json().to_string();
+        let n = lyric_engine::trace::plan::validate_plan_json(&json).unwrap();
+        assert_eq!(n, report.plan.node_count());
+    }
+
+    #[test]
+    fn analyze_attributes_everything_and_preserves_the_answer() {
+        let mut db = paper_example::database();
+        let plain = crate::execute(&mut db, Q).unwrap();
+        let (res, report) = execute_explained(&db, Q).unwrap();
+        assert_eq!(res.columns, plain.columns);
+        assert_eq!(res.rows, plain.rows);
+        assert_eq!(res.stats.semantic(), plain.stats.semantic());
+        let a = report.analysis.as_ref().unwrap();
+        // The two pinned invariants.
+        assert_eq!(a.summed_stats(), res.stats);
+        assert_eq!(a.summed_self_time(), a.total_self);
+        // Root rows_out is the answer cardinality.
+        assert_eq!(a.nodes[0].rows_out, res.rows.len() as u64);
+        // The analyzed JSON document validates.
+        let json = report.to_json().to_string();
+        lyric_engine::trace::plan::validate_plan_json(&json).unwrap();
+        // The slow-log summary is a JSON array of at most 3 nodes.
+        let summary = report.summary_json(3);
+        assert!(summary.starts_with('['), "{summary}");
+        assert!(summary.contains("\"self_us\""), "{summary}");
+    }
+
+    #[test]
+    fn explain_analyze_rejects_create_view() {
+        let db = paper_example::database();
+        let err = execute_explained(
+            &db,
+            "CREATE VIEW V AS SUBCLASS OF Thing SELECT D FROM Desk D",
+        );
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn shape_hash_is_stable_for_a_query_text() {
+        let db = paper_example::database();
+        let a = explain(&db, Q).unwrap();
+        let b = explain(&db, Q).unwrap();
+        assert_eq!(a.shape_hash, b.shape_hash);
+        let c = explain(&db, "SELECT D FROM Desk D").unwrap();
+        assert_ne!(a.shape_hash, c.shape_hash);
+    }
+}

@@ -46,6 +46,7 @@ pub mod ast;
 pub mod diag;
 mod error;
 mod eval;
+mod explain;
 mod formula;
 mod lexer;
 pub mod paper_example;
@@ -64,6 +65,7 @@ pub use eval::{
     execute_traced_with_options, execute_unchecked, execute_with_budget, execute_with_options,
     QueryResult,
 };
+pub use explain::{execute_explained, execute_explained_with_options, explain, ExplainReport};
 pub use lexer::{lex, lex_spanned};
 pub use parser::{parse_formula, parse_query};
 pub use span::Span;

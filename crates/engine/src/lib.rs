@@ -518,6 +518,20 @@ pub fn span(
     label: impl FnOnce() -> String,
     source: Option<(usize, usize)>,
 ) -> SpanGuard {
+    span_node(kind, None, label, source)
+}
+
+/// [`span`] with an explain-plan node id stamped on the recorded span.
+/// `execute_explained` threads stable node ids through the evaluator's
+/// operator sites so the trace→plan attribution fold can charge each
+/// span's exclusive time and counters to its plan operator; plain
+/// execution passes `None` everywhere (via [`span`]) and pays nothing.
+pub fn span_node(
+    kind: SpanKind,
+    node: Option<u32>,
+    label: impl FnOnce() -> String,
+    source: Option<(usize, usize)>,
+) -> SpanGuard {
     CONTEXT.with(|c| {
         let mut borrow = c.borrow_mut();
         let Some(active) = borrow.as_mut() else {
@@ -529,7 +543,7 @@ pub fn span(
         refresh_arith(active);
         let stats = active.stats;
         let tracer = active.tracer.as_mut().expect("checked above");
-        tracer.enter(kind, label(), source, stats);
+        tracer.enter_node(kind, label(), source, stats, node);
         SpanGuard { active: true }
     })
 }

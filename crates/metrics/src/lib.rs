@@ -30,6 +30,7 @@
 #![warn(missing_docs)]
 
 pub mod hist;
+pub mod profile;
 pub mod prometheus;
 pub mod querylog;
 mod registry;

@@ -72,6 +72,11 @@ pub struct Record<'a> {
     pub trace_id: u64,
     /// Per-query engine counters as `(name, value)` pairs.
     pub stats: &'a [(&'static str, u64)],
+    /// Pre-serialized compact explain-analyze summary (the top nodes by
+    /// exclusive time), spliced verbatim into the line as the `explain`
+    /// member. Populated only when `LYRIC_SLOW_EXPLAIN=1` and the slow
+    /// threshold is configured; `None` otherwise.
+    pub explain: Option<&'a str>,
 }
 
 fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
@@ -163,6 +168,33 @@ pub fn slow_ms() -> Option<u64> {
     (v >= 0).then_some(v as u64)
 }
 
+/// Whether slow-query log lines should carry an explain-analyze summary;
+/// 0 = off, 1 = on, unset = read `LYRIC_SLOW_EXPLAIN` once.
+fn slow_explain_cell() -> &'static AtomicI64 {
+    static SLOW_EXPLAIN: OnceLock<AtomicI64> = OnceLock::new();
+    SLOW_EXPLAIN.get_or_init(|| {
+        let on = std::env::var("LYRIC_SLOW_EXPLAIN")
+            .map(|s| {
+                let s = s.trim().to_ascii_lowercase();
+                s == "1" || s == "on" || s == "true"
+            })
+            .unwrap_or(false);
+        AtomicI64::new(i64::from(on))
+    })
+}
+
+/// Override the slow-explain gate (the `LYRIC_SLOW_EXPLAIN` default).
+pub fn set_slow_explain(on: bool) {
+    slow_explain_cell().store(i64::from(on), Ordering::Relaxed);
+}
+
+/// True when slow-query lines should carry an explain-analyze summary:
+/// the gate is on **and** a slow threshold is configured (without a
+/// threshold every query would pay the explain instrumentation).
+pub fn slow_explain() -> bool {
+    slow_explain_cell().load(Ordering::Relaxed) != 0 && slow_ms().is_some()
+}
+
 fn slow_counter() -> &'static crate::Counter {
     static C: OnceLock<crate::Counter> = OnceLock::new();
     C.get_or_init(|| {
@@ -173,7 +205,7 @@ fn slow_counter() -> &'static crate::Counter {
     })
 }
 
-fn push_json_str(out: &mut String, s: &str) {
+pub(crate) fn push_json_str(out: &mut String, s: &str) {
     out.push('"');
     for c in s.chars() {
         match c {
@@ -214,6 +246,10 @@ pub fn format_record(r: &Record<'_>) -> String {
         } else {
             ",\"slow\":false"
         });
+    }
+    if let Some(explain) = r.explain {
+        out.push_str(",\"explain\":");
+        out.push_str(explain);
     }
     out.push_str(",\"stats\":{");
     for (i, (name, value)) in r.stats.iter().enumerate() {
@@ -270,6 +306,7 @@ mod tests {
             threads: 2,
             trace_id: 41,
             stats,
+            explain: None,
         }
     }
 
@@ -301,6 +338,30 @@ mod tests {
         let line = format_record(&r);
         assert!(line.contains("\"outcome\":\"budget_exceeded\""));
         assert!(line.contains("\"resource\":\"simplex pivots\""));
+    }
+
+    #[test]
+    fn explain_summary_is_spliced_verbatim() {
+        let stats = [("pivots", 7u64)];
+        let mut r = record(&stats);
+        r.explain = Some("[{\"node\":3,\"op\":\"sat\",\"self_us\":120}]");
+        let line = format_record(&r);
+        assert!(
+            line.contains(",\"explain\":[{\"node\":3,\"op\":\"sat\",\"self_us\":120}],\"stats\":{"),
+            "{line}"
+        );
+    }
+
+    #[test]
+    fn slow_explain_gate_requires_a_threshold() {
+        set_slow_explain(true);
+        set_slow_ms(None);
+        assert!(!slow_explain(), "no threshold, nothing to attach to");
+        set_slow_ms(Some(5));
+        assert!(slow_explain());
+        set_slow_explain(false);
+        assert!(!slow_explain());
+        set_slow_ms(None);
     }
 
     #[test]

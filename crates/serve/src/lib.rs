@@ -1,16 +1,24 @@
 //! A std-only HTTP server exposing the LyriC engine for scraping and
 //! remote querying.
 //!
-//! Three endpoints:
+//! Four endpoints:
 //!
 //! * `GET /metrics` — the global metric registry in Prometheus text
 //!   format 0.0.4 (`lyric::metrics::render_prometheus`);
 //! * `GET /healthz` — liveness (`ok`);
-//! * `POST /query` — the request body is a LyriC `SELECT` statement,
+//! * `GET /profiles` — the cost-profile store
+//!   (`lyric::metrics::profile::snapshot_json`): decayed per-plan-node
+//!   observations keyed by query shape, fed by every explained run;
+//! * `POST /query` — the request body is either a raw LyriC `SELECT`
+//!   statement or a JSON object `{"query": "...", "explain": bool}`,
 //!   evaluated against the server's shared [`Database`] via
-//!   [`execute_shared`]; the response is a JSON object with `columns`,
+//!   [`execute_shared`] (or `execute_explained_with_options` when
+//!   `explain` is true, adding a `plan` member — the operator tree with
+//!   runtime attribution); the response is a JSON object with `columns`,
 //!   `row_count`, `rows` (oids as strings), `duration_ms`, and the
 //!   per-query `stats` counters, or `{"error": ...}` with status 400.
+//!   JSON bodies are validated strictly: unknown members, a non-string
+//!   `query`, or a non-boolean `explain` are structured 400s.
 //!
 //! The implementation is deliberately minimal — the workspace builds
 //! offline with no external crates (DESIGN.md §5) — so this is
@@ -155,11 +163,66 @@ fn write_response(
     stream.flush()
 }
 
+/// A validated `POST /query` request: the statement text plus the
+/// explain flag from the JSON envelope (raw-text bodies never explain).
+struct QueryRequest {
+    query: String,
+    explain: bool,
+}
+
+/// Parse a `POST /query` body. A body starting with `{` must be a JSON
+/// object with a string `query` and an optional boolean `explain`, and
+/// nothing else — unknown members are rejected so client typos
+/// (`"expalin"`, `"qurey"`) fail loudly instead of silently running
+/// without their option. Anything else is the legacy raw statement text.
+fn parse_query_body(body: &str) -> Result<QueryRequest, String> {
+    let trimmed = body.trim();
+    if !trimmed.starts_with('{') {
+        return Ok(QueryRequest {
+            query: trimmed.to_string(),
+            explain: false,
+        });
+    }
+    let doc =
+        lyric::trace::json::parse(trimmed).map_err(|e| format!("malformed JSON body: {e}"))?;
+    let Json::Obj(pairs) = &doc else {
+        return Err("JSON body must be an object".to_string());
+    };
+    let mut query: Option<String> = None;
+    let mut explain = false;
+    for (key, value) in pairs {
+        match (key.as_str(), value) {
+            ("query", Json::Str(s)) => query = Some(s.clone()),
+            ("query", _) => return Err("\"query\" must be a string".to_string()),
+            ("explain", Json::Bool(b)) => explain = *b,
+            ("explain", _) => return Err("\"explain\" must be a boolean".to_string()),
+            (other, _) => {
+                return Err(format!(
+                    "unknown member {other:?}; expected \"query\" and optional \"explain\""
+                ))
+            }
+        }
+    }
+    let query = query.ok_or_else(|| "JSON body lacks a \"query\" member".to_string())?;
+    Ok(QueryRequest { query, explain })
+}
+
 /// Evaluate one `POST /query` body and build the JSON reply; `Err`
 /// carries the message for a 400 response.
-fn run_query(db: &Database, opts: &ExecOptions, src: &str) -> Result<Json, String> {
+fn run_query(db: &Database, opts: &ExecOptions, body: &str) -> Result<Json, String> {
+    let req = parse_query_body(body)?;
+    let src = req.query.trim();
     let started = Instant::now();
-    let result = execute_shared(db, src.trim(), opts).map_err(|e| e.to_string())?;
+    let (result, report) = if req.explain {
+        lyric::execute_explained_with_options(db, src, opts)
+            .map(|(res, rep)| (res, Some(rep)))
+            .map_err(|e| e.to_string())?
+    } else {
+        (
+            execute_shared(db, src, opts).map_err(|e| e.to_string())?,
+            None,
+        )
+    };
     let duration_ms = started.elapsed().as_secs_f64() * 1e3;
     let columns: Vec<Json> = result.columns.iter().map(Json::str).collect();
     let rows: Vec<Json> = result
@@ -174,13 +237,17 @@ fn run_query(db: &Database, opts: &ExecOptions, src: &str) -> Result<Json, Strin
             .zip(result.stats.counters())
             .map(|(name, value)| (name, Json::int(value))),
     );
-    Ok(Json::obj([
-        ("columns", Json::Arr(columns)),
-        ("row_count", Json::int(rows.len() as u64)),
-        ("rows", Json::Arr(rows)),
-        ("duration_ms", Json::Num(duration_ms)),
-        ("stats", stats),
-    ]))
+    let mut reply = vec![
+        ("columns".to_string(), Json::Arr(columns)),
+        ("row_count".to_string(), Json::int(rows.len() as u64)),
+        ("rows".to_string(), Json::Arr(rows)),
+        ("duration_ms".to_string(), Json::Num(duration_ms)),
+        ("stats".to_string(), stats),
+    ];
+    if let Some(report) = report {
+        reply.push(("plan".to_string(), report.to_json()));
+    }
+    Ok(Json::Obj(reply))
 }
 
 fn handle_connection(
@@ -204,6 +271,13 @@ fn handle_connection(
             "text/plain; version=0.0.4",
             &lyric::metrics::render_prometheus(),
         ),
+        ("GET", "/profiles") => write_response(
+            &mut stream,
+            200,
+            "OK",
+            "application/json",
+            &lyric::metrics::profile::snapshot_json(),
+        ),
         ("POST", "/query") => match run_query(db, opts, &request.body) {
             Ok(json) => write_response(
                 &mut stream,
@@ -222,7 +296,7 @@ fn handle_connection(
             404,
             "Not Found",
             "text/plain",
-            "unknown path; try /metrics, /healthz, or POST /query\n",
+            "unknown path; try /metrics, /healthz, /profiles, or POST /query\n",
         ),
         _ => write_response(&mut stream, 405, "Method Not Allowed", "text/plain", ""),
     }
@@ -300,5 +374,58 @@ mod tests {
         assert_eq!(status, 400);
         let json = lyric::trace::json::parse(&body).expect("error body is valid JSON");
         assert!(json.get("error").is_some());
+    }
+
+    #[test]
+    fn json_bodies_run_and_explain() {
+        let addr = test_server();
+        // JSON envelope without explain: same answer shape as raw text.
+        let body = "{\"query\": \"SELECT Y FROM Desk X WHERE X.drawer.extent[Y]\"}";
+        let (status, reply) = http_request(addr, "POST", "/query", body).unwrap();
+        assert_eq!(status, 200, "body: {reply}");
+        let json = lyric::trace::json::parse(&reply).unwrap();
+        assert!(json.get("plan").is_none(), "no plan unless explain=true");
+
+        // explain=true adds a validated plan document.
+        let body =
+            "{\"query\": \"SELECT Y FROM Desk X WHERE X.drawer.extent[Y]\", \"explain\": true}";
+        let (status, reply) = http_request(addr, "POST", "/query", body).unwrap();
+        assert_eq!(status, 200, "body: {reply}");
+        let json = lyric::trace::json::parse(&reply).unwrap();
+        let plan = json.get("plan").expect("explain=true returns a plan");
+        lyric::trace::plan::validate_plan_json(&plan.to_string()).expect("plan validates");
+        assert!(plan.get("total_us").is_some(), "plan is analyzed");
+        // The explained run fed the cost-profile store.
+        let (status, profiles) = http_request(addr, "GET", "/profiles", "").unwrap();
+        assert_eq!(status, 200);
+        let doc = lyric::trace::json::parse(&profiles).unwrap();
+        assert!(doc.get("profiles").and_then(Json::as_arr).is_some());
+    }
+
+    #[test]
+    fn malformed_json_bodies_are_structured_400s() {
+        let addr = test_server();
+        for (body, needle) in [
+            (
+                "{\"query\": \"SELECT D FROM Desk D\", \"expalin\": true}",
+                "unknown member",
+            ),
+            (
+                "{\"query\": \"SELECT D FROM Desk D\", \"explain\": 1}",
+                "must be a boolean",
+            ),
+            ("{\"query\": 42}", "must be a string"),
+            ("{\"explain\": true}", "lacks a \"query\""),
+            ("{\"query\": \"SELECT D FROM Desk D\"", "malformed JSON"),
+        ] {
+            let (status, reply) = http_request(addr, "POST", "/query", body).unwrap();
+            assert_eq!(status, 400, "body {body:?} should be rejected: {reply}");
+            let json = lyric::trace::json::parse(&reply).expect("error body is valid JSON");
+            let msg = json
+                .get("error")
+                .and_then(Json::as_str)
+                .expect("error member");
+            assert!(msg.contains(needle), "{body:?}: {msg}");
+        }
     }
 }

@@ -74,7 +74,7 @@ fn main() -> ExitCode {
     };
     match server.local_addr() {
         Ok(bound) => {
-            eprintln!("lyric-serve: listening on http://{bound} (/metrics, /healthz, POST /query)")
+            eprintln!("lyric-serve: listening on http://{bound} (/metrics, /healthz, /profiles, POST /query)")
         }
         Err(e) => eprintln!("lyric-serve: listening ({e})"),
     }

@@ -28,6 +28,9 @@ fn span_event(span: &TraceSpan) -> Json {
         args.push(("src_start".into(), Json::int(a as u64)));
         args.push(("src_end".into(), Json::int(b as u64)));
     }
+    if let Some(node) = span.node {
+        args.push(("plan_node".into(), Json::int(node as u64)));
+    }
     for (counter, value) in span.self_stats().nonzero_counters() {
         args.push((counter.to_string(), Json::int(value)));
     }

@@ -25,6 +25,7 @@ struct Pending {
     stats_at_enter: EngineStats,
     events: Vec<TraceEvent>,
     children: Vec<TraceSpan>,
+    node: Option<u32>,
 }
 
 /// Accumulates one query's span tree. Created by `lyric_engine::run_traced`
@@ -66,6 +67,7 @@ impl Collector {
                 stats_at_enter: EngineStats::default(),
                 events: Vec::new(),
                 children: Vec::new(),
+                node: None,
             }],
             recorded: 1,
             suppressed: 0,
@@ -91,6 +93,7 @@ impl Collector {
                 stats_at_enter: EngineStats::default(),
                 events: Vec::new(),
                 children: Vec::new(),
+                node: None,
             }],
             recorded: 1,
             suppressed: 0,
@@ -113,6 +116,21 @@ impl Collector {
         source: Option<(usize, usize)>,
         stats: EngineStats,
     ) {
+        self.enter_node(kind, label, source, stats, None);
+    }
+
+    /// [`enter`](Collector::enter) with an explain-plan node id stamped on
+    /// the span; `execute_explained` threads the id so the attribution
+    /// fold ([`crate::plan::analyze`]) can charge the span's exclusive
+    /// time and counters to its plan operator.
+    pub fn enter_node(
+        &mut self,
+        kind: SpanKind,
+        label: String,
+        source: Option<(usize, usize)>,
+        stats: EngineStats,
+        node: Option<u32>,
+    ) {
         if self.recorded >= Self::MAX_SPANS {
             self.suppressed += 1;
             self.dropped += 1;
@@ -127,6 +145,7 @@ impl Collector {
             stats_at_enter: stats,
             events: Vec::new(),
             children: Vec::new(),
+            node,
         });
     }
 
@@ -152,6 +171,7 @@ impl Collector {
             stats: stats.delta_since(&done.stats_at_enter),
             events: done.events,
             children: done.children,
+            node: done.node,
         };
         self.stack
             .last_mut()
@@ -234,6 +254,7 @@ impl Collector {
             stats: stats.delta_since(&root.stats_at_enter),
             events: root.events,
             children: root.children,
+            node: root.node,
         }
     }
 }

@@ -37,6 +37,7 @@ pub mod chrome;
 pub mod collect;
 pub mod json;
 pub mod model;
+pub mod plan;
 pub mod render;
 pub mod stats;
 
@@ -45,5 +46,6 @@ pub use chrome::to_chrome_trace;
 pub use collect::Collector;
 pub use json::Json;
 pub use model::{EventKind, SpanKind, Trace, TraceEvent, TraceSpan, MAIN_TID};
+pub use plan::{NodeObs, PlanAnalysis, PlanNode};
 pub use render::render_tree;
 pub use stats::EngineStats;

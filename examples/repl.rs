@@ -13,14 +13,22 @@
 //! ```
 //!
 //! Meta-commands: `:help`, `:check <query>`, `:bounds <query>`,
-//! `:profile <query>`, `:trace on|off`, `:trace chrome <file>`,
-//! `:threads [n]`, `:schema`, `:classes`, `:extent <Class>`, `:stats`,
-//! `:metrics`, `:save <file>`, `:load <file>`, `:quit`.
+//! `:explain [analyze] <query>`, `:profile <query>`, `:trace on|off`,
+//! `:trace chrome <file>`, `:threads [n]`, `:schema`, `:classes`,
+//! `:extent <Class>`, `:stats`, `:metrics`, `:save <file>`,
+//! `:load <file>`, `:quit`.
 //!
 //! Queries run under the engine's *interactive* evaluation budget, so an
 //! adversarial constraint blowup reports `evaluation budget exceeded`
 //! instead of hanging the shell. `:stats` toggles a per-query engine
 //! statistics line (pivots, FM atoms, disjuncts, cache hits).
+//!
+//! `:explain <query>` prints the static operator plan (extent sizes,
+//! constraint atom/disjunct counts, the algebra rewrite rules that
+//! apply); `:explain analyze <query>` runs the query and annotates each
+//! operator with rows in/out, exclusive/inclusive time and its engine
+//! counter share — the same report `lyric-serve` returns for
+//! `{"explain": true}` query bodies.
 //!
 //! `:profile <query>` runs one query with tracing and prints its span
 //! tree: per-phase wall-clock with hot-path percentages, source byte
@@ -178,6 +186,8 @@ fn meta_command(db: &mut lyric::oodb::Database, session: &mut Session, cmd: &str
             println!(":help             this help");
             println!(":check <query>    analyze a query without running it (strict + deep)");
             println!(":bounds <query>   run a query and print each CST cell's bounding box");
+            println!(":explain <query>  print the operator plan without running the query");
+            println!(":explain analyze <query>  run it and annotate the plan with rows/time");
             println!(":profile <query>  run a query with tracing and print its span tree");
             println!(":trace on|off     trace every statement (span tree after the rows)");
             println!(":trace chrome <file>  also export Chrome trace JSON per traced query");
@@ -229,6 +239,32 @@ fn meta_command(db: &mut lyric::oodb::Database, session: &mut Session, cmd: &str
                             println!("(no constraint columns)");
                         }
                     }
+                    Err(e) => println!("error: {e}"),
+                }
+            }
+        }
+        Some(":explain") => {
+            let rest = cmd[":explain".len()..].trim();
+            let (analyze, src) = match rest.strip_prefix("analyze") {
+                // `analyze` must be the whole word, not a query starting
+                // with it — require whitespace after.
+                Some(after) if after.starts_with(char::is_whitespace) => (true, after),
+                _ => (false, rest),
+            };
+            let src = src.trim().trim_end_matches(';').trim();
+            if src.is_empty() {
+                println!("usage: :explain [analyze] <query>  (single line, ';' optional)");
+            } else if analyze {
+                match lyric::execute_explained_with_options(db, src, &session.exec_options()) {
+                    Ok((result, report)) => {
+                        println!("({} row{})", result.rows.len(), plural(result.rows.len()));
+                        print!("{}", report.render());
+                    }
+                    Err(e) => println!("error: {e}"),
+                }
+            } else {
+                match lyric::explain(db, src) {
+                    Ok(report) => print!("{}", report.render()),
                     Err(e) => println!("error: {e}"),
                 }
             }

@@ -1,0 +1,104 @@
+//! Slow-query forensics end to end: with `LYRIC_SLOW_EXPLAIN=1` (here
+//! via the programmatic override) and a slow threshold configured, a
+//! *plain* `execute_shared` call reroutes through the explained runner
+//! and its query-log line carries an `explain` member — the top (≤3)
+//! plan nodes by exclusive time, each with node id, operator, self
+//! micros and output rows, sorted descending. No caller opted into
+//! explain; the log gains the forensics on its own.
+//!
+//! This lives in its own test binary: the gate is process-global, and
+//! while armed it reroutes every logged SELECT in the process.
+
+use lyric::metrics::querylog;
+use lyric::{execute_shared, paper_example, ExecOptions};
+
+const Q: &str = "SELECT DSK, ((w,z) | DSK.drawer.extent(w,z) AND z >= w)
+     FROM Desk DSK
+     WHERE DSK.color = 'red' AND DSK.drawer_center[C] AND (C(p,q) |= p = 0)";
+
+#[test]
+fn slow_log_lines_carry_a_top_nodes_summary() {
+    let db = paper_example::database();
+    lyric::metrics::set_enabled(true);
+    let buf = querylog::capture();
+    querylog::set_slow_ms(Some(0)); // every query is "slow"
+    querylog::set_slow_explain(true);
+
+    let res = execute_shared(&db, Q, &ExecOptions::default());
+
+    querylog::set_slow_explain(false);
+    querylog::set_slow_ms(None);
+    querylog::set_sink(None);
+    let res = res.expect("query evaluates");
+
+    let captured = String::from_utf8(buf.lock().unwrap().clone()).expect("log is UTF-8");
+    let hash = format!("{:016x}", querylog::query_hash(Q));
+    let line = captured
+        .lines()
+        .find(|l| l.contains(&hash))
+        .expect("the query logged exactly while armed");
+    let json = lyric::trace::json::parse(line).expect("log line is valid JSON");
+
+    assert_eq!(
+        json.get("slow").and_then(|v| match v {
+            lyric::trace::Json::Bool(b) => Some(*b),
+            _ => None,
+        }),
+        Some(true),
+        "threshold 0 marks the query slow: {line}"
+    );
+    assert_eq!(
+        json.get("rows").and_then(|v| v.as_f64()),
+        Some(res.rows.len() as f64),
+        "the rerouted run logs the real answer cardinality"
+    );
+
+    let summary = json
+        .get("explain")
+        .and_then(|v| v.as_arr())
+        .unwrap_or_else(|| panic!("slow line carries an explain array: {line}"));
+    assert!(
+        !summary.is_empty() && summary.len() <= 3,
+        "top-3 summary has 1..=3 nodes, got {}",
+        summary.len()
+    );
+    let mut last_self = f64::INFINITY;
+    for entry in summary {
+        for key in ["node", "op", "self_us", "rows_out"] {
+            assert!(
+                entry.get(key).is_some(),
+                "summary entry lacks {key:?}: {line}"
+            );
+        }
+        let self_us = entry.get("self_us").and_then(|v| v.as_f64()).unwrap();
+        assert!(
+            self_us <= last_self,
+            "summary is sorted by self time: {line}"
+        );
+        last_self = self_us;
+    }
+    // The hottest node of this query is the entailment check, not the root.
+    let top_op = summary[0].get("op").and_then(|v| v.as_str()).unwrap();
+    assert!(
+        ["entails", "select"].contains(&top_op),
+        "top node is a real operator, got {top_op:?}"
+    );
+
+    // Disarmed, the same plain call logs without an explain member.
+    let buf = querylog::capture();
+    querylog::set_slow_ms(Some(0));
+    let res = execute_shared(&db, Q, &ExecOptions::default());
+    querylog::set_slow_ms(None);
+    querylog::set_sink(None);
+    res.expect("query evaluates");
+    let captured = String::from_utf8(buf.lock().unwrap().clone()).expect("log is UTF-8");
+    let line = captured
+        .lines()
+        .find(|l| l.contains(&hash))
+        .expect("the query logged while captured");
+    let json = lyric::trace::json::parse(line).expect("log line is valid JSON");
+    assert!(
+        json.get("explain").is_none(),
+        "without the gate the line has no explain member: {line}"
+    );
+}
