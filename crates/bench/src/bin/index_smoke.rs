@@ -1,0 +1,72 @@
+//! CI smoke check for the store index and the snapshot container:
+//! build a scaling database, save it as a binary snapshot, reload it,
+//! and verify (a) the snapshot round trip is byte-identical, (b) every
+//! selective probe answers bit-identically with the index on and off on
+//! both the original and the reloaded database, and (c) the accounting
+//! holds — probes fire only when the index is on. Exits nonzero on any
+//! mismatch.
+//!
+//! Run with `cargo run -p lyric-bench --bin index_smoke --release`.
+
+use lyric::snapshot::SnapshotExt;
+use lyric::{execute_shared, ExecOptions};
+use lyric_bench::workload;
+use lyric_oodb::Database;
+
+fn main() {
+    let mut failures = 0usize;
+    let n = 5_000usize;
+    let db = workload::scaling_db(n, 42);
+
+    // (a) Snapshot round trip: save -> load -> save, byte-identical.
+    let path = std::env::temp_dir().join(format!("lyric_index_smoke_{}.snap", std::process::id()));
+    db.save_snapshot(&path).expect("snapshot saves");
+    let reloaded = Database::load_snapshot(&path).expect("snapshot loads");
+    let first = std::fs::read(&path).expect("snapshot readable");
+    let again = lyric::snapshot::to_bytes(&reloaded).expect("reloaded database re-encodes");
+    if first == again {
+        println!("snapshot round trip: {} bytes, byte-identical", first.len());
+    } else {
+        eprintln!("MISMATCH: snapshot round trip is not byte-identical");
+        failures += 1;
+    }
+    let _ = std::fs::remove_file(&path);
+
+    // (b) Probe-vs-scan answer equality on both databases.
+    let queries = [
+        workload::q_weight_eq(1_234),
+        workload::q_weight_ge(n as i64 - 25),
+        workload::q_region_window(n as i64 / 2),
+    ];
+    let opts = |index: bool| ExecOptions::default().with_index(index);
+    for (label, d) in [("original", &db), ("reloaded", &reloaded)] {
+        for q in &queries {
+            let on = execute_shared(d, q, &opts(true)).expect("indexed run evaluates");
+            let off = execute_shared(d, q, &opts(false)).expect("scan run evaluates");
+            if on.rows != off.rows {
+                eprintln!("MISMATCH on {label} db: probe != scan for query: {q}");
+                failures += 1;
+            }
+            // (c) Accounting: probes only when on; pruning actually bites
+            // on these selective queries at n = 5000.
+            if off.stats.index_probes != 0 {
+                eprintln!("MISMATCH on {label} db: index off probed for query: {q}");
+                failures += 1;
+            }
+            if on.stats.index_probes == 0 || on.stats.index_pruned == 0 {
+                eprintln!("MISMATCH on {label} db: no probe/prune recorded for query: {q}");
+                failures += 1;
+            }
+        }
+    }
+    println!(
+        "probe vs scan: {} queries x 2 databases match exactly",
+        queries.len()
+    );
+
+    if failures > 0 {
+        eprintln!("index_smoke: {failures} failure(s)");
+        std::process::exit(1);
+    }
+    println!("index_smoke: OK");
+}

@@ -48,6 +48,7 @@ fn main() {
     record(&mut report, "e13_arith_fast_path", e13);
     record(&mut report, "e14_box_pruning", e14);
     record(&mut report, "e15_explain_overhead", e15);
+    record(&mut report, "e16_store_index", e16);
     let doc = Json::obj([
         (
             "host_parallelism",
@@ -1009,6 +1010,85 @@ fn e15() -> Json {
         ("explained_over_plain_pct", Json::Num(analyze_pct)),
         ("explain_off_noise_floor_pct", Json::Num(noise_pct)),
         ("bar_pct", Json::Num(5.0)),
+    ])
+}
+
+/// E16 — the store index at scale. Selective probes over the 10⁵-object
+/// scaling workload, index on (FROM bindings filtered through the sorted
+/// scalar column / paged box column) vs index off (full-extent scan).
+/// The one-time per-generation index build is priced separately — the
+/// per-query timings race steady state against steady state, which is
+/// what a server answering many queries over one generation sees.
+/// Acceptance bars (asserted): ≥ 5× speedup on each selective probe and,
+/// for the box-selective window, `index_pruned` > 0.9 × extent.
+fn e16() -> Json {
+    println!("## E16 — store index: probe vs scan at 10^5 objects\n");
+    let n = 100_000usize;
+    let db = workload::scaling_db(n, 42);
+    let (build_ms, _) = time_ms(1, || lyric::store::index_for(&db));
+    let opts = |index: bool| ExecOptions::default().with_index(index);
+    println!("| query | index on (ms) | index off (ms) | speedup | rows | probes | pruned | pruned/extent |");
+    println!("|---|---|---|---|---|---|---|---|");
+    let mut detail: Vec<Json> = Vec::new();
+    let queries = [
+        ("weight equality", 3usize, workload::q_weight_eq(67_321)),
+        ("weight range", 3, workload::q_weight_ge(n as i64 - 50)),
+        ("region window", 1, workload::q_region_window(n as i64 / 2)),
+    ];
+    for (name, reps, q) in &queries {
+        let measure = |index: bool| {
+            let (ms, res) = time_ms(*reps, || {
+                lyric::execute_shared(&db, q, &opts(index)).expect("scaling query evaluates")
+            });
+            (ms, res.stats, res.rows.len())
+        };
+        let (on_ms, on, rows_on) = measure(true);
+        let (off_ms, off, rows_off) = measure(false);
+        assert_eq!(rows_on, rows_off, "{name}: probe and scan answers differ");
+        assert_eq!(off.index_probes, 0, "{name}: index off must not probe");
+        let speedup = off_ms / on_ms;
+        let frac = on.index_pruned as f64 / n as f64;
+        assert!(
+            speedup >= 5.0,
+            "{name}: selective probe must be >= 5x a scan, got {speedup:.2}x"
+        );
+        println!(
+            "| {name} | {on_ms:.3} | {off_ms:.2} | {speedup:.1}x | {rows_on} | {} | {} | {:.1}% |",
+            on.index_probes,
+            on.index_pruned,
+            frac * 100.0,
+        );
+        detail.push(Json::obj([
+            ("query", Json::str(*name)),
+            ("index_on_ms", Json::Num(on_ms)),
+            ("index_off_ms", Json::Num(off_ms)),
+            ("speedup", Json::Num(speedup)),
+            ("rows", Json::int(rows_on as u64)),
+            ("index_probes", Json::int(on.index_probes)),
+            ("index_pruned", Json::int(on.index_pruned)),
+            ("pruned_over_extent", Json::Num(frac)),
+        ]));
+    }
+    let window_frac = detail
+        .last()
+        .and_then(|d| d.get("pruned_over_extent"))
+        .and_then(|v| v.as_f64())
+        .unwrap_or(0.0);
+    assert!(
+        window_frac > 0.9,
+        "box-selective window must prune > 90% of the extent, got {:.1}%",
+        window_frac * 100.0
+    );
+    println!(
+        "\nindex build: {build_ms:.1} ms once per generation, amortized across every \
+         query until the next write. Probe answers are bit-identical to scans across \
+         the whole matrix (tests/index_differential.rs); the speedup and prune-fraction \
+         bars above are asserted, so a regression fails this binary.\n"
+    );
+    Json::obj([
+        ("objects", Json::int(n as u64)),
+        ("index_build_ms", Json::Num(build_ms)),
+        ("rows", Json::Arr(detail)),
     ])
 }
 

@@ -112,6 +112,68 @@ pub const Q_PAIRWISE: &str = "SELECT X, Y
        AND (EX(w,z) AND DX(w,z,x,y,u,v) AND LX(x,y)
             AND EY(w2,z2) AND DY(w2,z2,x2,y2,u,v) AND LY(x2,y2))";
 
+// ---------------------------------------------------------------- scaling
+
+/// The store-index scaling workload (E16): `n` flat `Item` objects, each
+/// with a numeric `weight` (unique, `0..n`), a low-cardinality string
+/// `label`, and a 2-d constraint `region` — a 10×10 box whose lower-left
+/// corner sits at a seeded random position in `[0, n) × [0, 1000)`.
+/// Selective probes over `weight` hit the sorted scalar column and
+/// selective windows over `region` hit the paged bounding-box column,
+/// while a full scan pays one binding per object; E16 and the
+/// `index_smoke` CI binary race the two against each other.
+pub fn scaling_db(n: usize, seed: u64) -> Database {
+    let mut r = rng(seed);
+    let mut schema = Schema::new();
+    schema
+        .add_class(
+            ClassDef::new("Item")
+                .attr(AttrDef::scalar("weight", AttrTarget::class("int")))
+                .attr(AttrDef::scalar("label", AttrTarget::class("string")))
+                .attr(AttrDef::scalar("region", AttrTarget::cst(["u", "v"]))),
+        )
+        .expect("fresh schema");
+    let mut db = Database::new(schema).expect("schema validates");
+    for i in 0..n {
+        let x = r.gen_range(0..n.max(1) as i64);
+        let y = r.gen_range(0..1000i64);
+        db.insert(
+            Oid::named(format!("item_{i}")),
+            "Item",
+            [
+                ("weight", Value::Scalar(Oid::Int(i as i64))),
+                ("label", Value::Scalar(Oid::str(format!("L{}", i % 7)))),
+                (
+                    "region",
+                    Value::Scalar(Oid::cst(box2("u", "v", x, x + 10, y, y + 10))),
+                ),
+            ],
+        )
+        .expect("item insert");
+    }
+    db
+}
+
+/// The E16 scalar-equality probe: one `weight` out of `n` (point lookup
+/// in the sorted scalar column vs a full-extent scan).
+pub fn q_weight_eq(k: i64) -> String {
+    format!("SELECT X FROM Item X WHERE X.weight = {k}")
+}
+
+/// The E16 scalar-range probe: the top slice of the `weight` column.
+pub fn q_weight_ge(lo: i64) -> String {
+    format!("SELECT X FROM Item X WHERE X.weight >= {lo}")
+}
+
+/// The E16 window probe: items whose `region` meets a thin vertical
+/// strip (bounding-box column probe vs per-object sat checks).
+pub fn q_region_window(lo: i64) -> String {
+    format!(
+        "SELECT X FROM Item X WHERE X.region[E] AND (E(a,b) AND a >= {lo} AND a <= {hi} AND b >= 0)",
+        hi = lo + 10
+    )
+}
+
 // ---------------------------------------------------------------- factory
 
 /// A chemical-factory database (§1.2's LP application realm): `processes`
@@ -352,6 +414,19 @@ mod tests {
         let res = execute(&mut db, Q_PAIRWISE).unwrap();
         // Overlap is symmetric: even count.
         assert_eq!(res.rows.len() % 2, 0);
+    }
+
+    #[test]
+    fn scaling_db_probes_answer_exactly() {
+        let mut db = scaling_db(64, 11);
+        assert_eq!(db.extent("Item").len(), 64);
+        let eq = execute(&mut db, &q_weight_eq(17)).unwrap();
+        assert_eq!(eq.rows.len(), 1);
+        assert_eq!(eq.rows[0][0], Oid::named("item_17"));
+        let range = execute(&mut db, &q_weight_ge(60)).unwrap();
+        assert_eq!(range.rows.len(), 4);
+        let window = execute(&mut db, &q_region_window(0)).unwrap();
+        assert!(!window.rows.is_empty() && window.rows.len() < 64);
     }
 
     #[test]

@@ -71,6 +71,13 @@ impl Interval {
         Interval::default()
     }
 
+    /// An interval with explicit endpoints: `Some((bound, strict))` per
+    /// side, `None` for unbounded. The constructor the store index uses to
+    /// turn a scalar comparison (`X.a < 5`) into a probe window.
+    pub fn of_bounds(lo: Option<(Rational, bool)>, hi: Option<(Rational, bool)>) -> Interval {
+        Interval { lo, hi }
+    }
+
     /// The lower endpoint: `Some((bound, strict))`, or `None` for −∞.
     pub fn lo(&self) -> Option<(&Rational, bool)> {
         self.lo.as_ref().map(|(b, s)| (b, *s))

@@ -84,6 +84,11 @@ pub enum LyricError {
         limit: u64,
         consumed: u64,
     },
+    /// A binary snapshot failed structural verification (bad magic,
+    /// version skew, checksum mismatch, truncation, bad section layout,
+    /// or an undecodable payload). No partially-decoded database ever
+    /// escapes a load that returns this.
+    SnapshotCorrupt(String),
 }
 
 impl LyricError {
@@ -140,6 +145,12 @@ impl From<DbError> for LyricError {
 impl From<ConstraintError> for LyricError {
     fn from(e: ConstraintError) -> Self {
         LyricError::Constraint(e)
+    }
+}
+
+impl From<lyric_store::snapshot::SnapshotError> for LyricError {
+    fn from(e: lyric_store::snapshot::SnapshotError) -> Self {
+        LyricError::SnapshotCorrupt(e.to_string())
     }
 }
 
@@ -207,6 +218,7 @@ impl fmt::Display for LyricError {
                 f,
                 "evaluation budget exceeded: {resource} (consumed {consumed} of limit {limit})"
             ),
+            LyricError::SnapshotCorrupt(m) => write!(f, "snapshot corrupt: {m}"),
         }
     }
 }

@@ -18,7 +18,7 @@ use crate::formula::{arith_to_linexpr, display_path, entails, instantiate};
 use crate::parser::parse_query;
 use crate::scope::{ScopeKey, ScopeLink};
 use lyric_arith::Rational;
-use lyric_constraint::{CstObject, Extremum, Var};
+use lyric_constraint::{Atom, CstObject, Extremum, Interval, IntervalBox, RelOp, Var};
 use lyric_engine::{span, SpanKind};
 use lyric_oodb::{AttrDef, AttrTarget, ClassDef, Database, Oid, Value};
 use std::cell::Cell;
@@ -1027,6 +1027,336 @@ fn compare_sets(l: &BTreeSet<Oid>, op: CmpOp, r: &BTreeSet<Oid>) -> Result<bool,
     }
 }
 
+// --------------------------------------------------------- index planning
+//
+// When [`ExecOptions::index`](lyric_engine::ExecOptions) is on, each FROM
+// extent is pre-filtered through the generation-stamped store index
+// (`lyric_store`) before binding. A WHERE conjunct is *index-answerable*
+// for FROM variable `X` when it has one of two shapes:
+//
+// * scalar — `X.attr <op> lit` (or mirrored) over a declared
+//   single-valued scalar attribute, `<op>` one of `=`, `<`, `<=`, `>`,
+//   `>=` with a literal comparand;
+// * box — `X.attr[E]` over a declared CST attribute, paired with a
+//   top-level `(E(v1,…,vk) AND chains)` satisfiability conjunct whose
+//   chains are path-free pseudo-linear constraints: the chains'
+//   interval-box reading at `v1,…,vk` is the positional query window,
+//   and objects all of whose stored members are box-disjoint from it
+//   cannot satisfy the pair.
+//
+// Every probe returns a *superset* of the oids a full scan could keep or
+// error on (see `lyric_store`'s soundness contract), so filtering the
+// extent never changes the answer. The one latitude it takes — like the
+// evaluator's own `AND` short-circuit — is that conjuncts are never
+// evaluated at all for pruned bindings, so a sibling conjunct that would
+// *error* under a scan of an excluded object is skipped.
+
+/// The leaves of a WHERE condition's top-level `AND` tree, in
+/// evaluation order.
+fn top_conjuncts(c: &Cond) -> Vec<&Cond> {
+    fn walk<'q>(c: &'q Cond, out: &mut Vec<&'q Cond>) {
+        match c {
+            Cond::And(a, b) => {
+                walk(a, out);
+                walk(b, out);
+            }
+            other => out.push(other),
+        }
+    }
+    let mut out = Vec::new();
+    walk(c, &mut out);
+    out
+}
+
+/// One index probe derived from a WHERE conjunct.
+enum ProbeReq<'q> {
+    Eq {
+        attr: &'q str,
+        key: Oid,
+    },
+    Range {
+        attr: &'q str,
+        window: Interval,
+    },
+    Box {
+        attr: &'q str,
+        window: Vec<Interval>,
+    },
+}
+
+/// `var.attr` as a single-step, selector-free path over a declared
+/// single-valued scalar attribute — the shape the scalar index covers.
+fn indexed_scalar_attr<'q>(
+    ctx: &Ctx<'_>,
+    class: &str,
+    var: &str,
+    operand: &'q CmpOperand,
+) -> Option<&'q str> {
+    let CmpOperand::Path(p) = operand else {
+        return None;
+    };
+    match &p.root {
+        Selector::Var(v) if v == var => {}
+        _ => return None,
+    }
+    let [step] = p.steps.as_slice() else {
+        return None;
+    };
+    if step.selector.is_some() {
+        return None;
+    }
+    let decl = ctx.db.schema().attribute(class, &step.attr)?;
+    (!decl.is_set && matches!(decl.target, AttrTarget::Class { .. })).then_some(step.attr.as_str())
+}
+
+/// A literal comparison operand as an index key.
+fn literal_key(operand: &CmpOperand) -> Option<Oid> {
+    match operand {
+        CmpOperand::Num(n) => Some(Oid::Rat(n.clone())),
+        CmpOperand::Str(s) => Some(Oid::str(s.clone())),
+        CmpOperand::Bool(b) => Some(Oid::Bool(*b)),
+        CmpOperand::Path(_) => None,
+    }
+}
+
+/// Derive a scalar probe from a comparison conjunct, if it has the
+/// index-answerable shape for `var`.
+fn scalar_probe<'q>(
+    ctx: &Ctx<'_>,
+    class: &str,
+    var: &str,
+    lhs: &'q CmpOperand,
+    op: CmpOp,
+    rhs: &'q CmpOperand,
+) -> Option<ProbeReq<'q>> {
+    // Orient so the path is on the left.
+    let (attr, key_side, op) = if let Some(a) = indexed_scalar_attr(ctx, class, var, lhs) {
+        (a, rhs, op)
+    } else if let Some(a) = indexed_scalar_attr(ctx, class, var, rhs) {
+        let mirrored = match op {
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+            other => other,
+        };
+        (a, lhs, mirrored)
+    } else {
+        return None;
+    };
+    match op {
+        CmpOp::Eq => Some(ProbeReq::Eq {
+            attr,
+            key: literal_key(key_side)?,
+        }),
+        CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge => {
+            let CmpOperand::Num(n) = key_side else {
+                return None;
+            };
+            let bound = Some((n.clone(), matches!(op, CmpOp::Lt | CmpOp::Gt)));
+            let window = match op {
+                CmpOp::Lt | CmpOp::Le => Interval::of_bounds(None, bound),
+                _ => Interval::of_bounds(bound, None),
+            };
+            Some(ProbeReq::Range { attr, window })
+        }
+        CmpOp::Neq | CmpOp::Contains => None,
+    }
+}
+
+/// Derive a bounding-box probe from a `var.attr[E]` path predicate, if a
+/// top-level satisfiability conjunct supplies a query window for `E`.
+fn box_probe<'q>(
+    ctx: &Ctx<'_>,
+    class: &str,
+    var: &str,
+    p: &'q PathExpr,
+    conjuncts: &[&'q Cond],
+) -> Option<ProbeReq<'q>> {
+    match &p.root {
+        Selector::Var(v) if v == var => {}
+        _ => return None,
+    }
+    let [step] = p.steps.as_slice() else {
+        return None;
+    };
+    let Some(Selector::Var(member_var)) = &step.selector else {
+        return None;
+    };
+    if member_var == var {
+        return None;
+    }
+    let decl = ctx.db.schema().attribute(class, &step.attr)?;
+    let AttrTarget::Cst { vars } = &decl.target else {
+        return None;
+    };
+    let arity = vars.len();
+    for c in conjuncts {
+        let Cond::Sat(f) = c else { continue };
+        if let Some(window) = sat_window(ctx, f, member_var, arity) {
+            return Some(ProbeReq::Box {
+                attr: step.attr.as_str(),
+                window,
+            });
+        }
+    }
+    None
+}
+
+/// The positional query window of a `Sat` conjunct of the exact shape
+/// `E(v1,…,vk) AND <chains>`: one reference to the member variable with
+/// an explicit renaming list, conjoined only with path-free
+/// pseudo-linear chains. The window is the chains' interval-box reading
+/// at each renaming variable; any other shape yields `None` (no
+/// pruning). Chains may mention further variables — the box treats them
+/// as free, which only *widens* the reading, so the window stays a
+/// sound over-approximation.
+fn sat_window(ctx: &Ctx<'_>, f: &Formula, member_var: &str, arity: usize) -> Option<Vec<Interval>> {
+    let mut pred_vars: Option<&Vec<String>> = None;
+    let mut atoms: Vec<Atom> = Vec::new();
+    if !collect_sat_shape(f, member_var, &mut pred_vars, &mut atoms) {
+        return None;
+    }
+    let vs = pred_vars?;
+    if vs.len() != arity || atoms.is_empty() {
+        return None;
+    }
+    // A renaming variable that is also a query variable would be
+    // substituted per-binding by the evaluator; the positional reading
+    // below would then be meaningless. Refuse to prune.
+    if vs.iter().any(|v| ctx.declared.contains(v)) {
+        return None;
+    }
+    let bx = IntervalBox::of_atoms(&atoms);
+    if bx.is_empty() {
+        // The chains alone are unsatisfiable; an empty box has no
+        // per-variable reading, so let the Sat checks decide.
+        return None;
+    }
+    Some(vs.iter().map(|v| bx.interval(&Var::new(v))).collect())
+}
+
+/// Walk a `Sat` formula's `AND` tree, recording the single `member_var`
+/// reference's renaming list and lowering every chain to atoms. Returns
+/// `false` as soon as any non-conforming node appears.
+fn collect_sat_shape<'q>(
+    f: &'q Formula,
+    member_var: &str,
+    pred_vars: &mut Option<&'q Vec<String>>,
+    atoms: &mut Vec<Atom>,
+) -> bool {
+    match f {
+        Formula::And(a, b) => {
+            collect_sat_shape(a, member_var, pred_vars, atoms)
+                && collect_sat_shape(b, member_var, pred_vars, atoms)
+        }
+        Formula::Pred { path, vars } => {
+            let Some(vs) = vars else { return false };
+            if !path.steps.is_empty() || pred_vars.is_some() {
+                return false;
+            }
+            match &path.root {
+                Selector::Var(v) if v == member_var => {
+                    *pred_vars = Some(vs);
+                    true
+                }
+                _ => false,
+            }
+        }
+        Formula::Chain { first, rest, .. } => {
+            let Ok(mut prev) = crate::storage::arith_to_linexpr_pure(first) else {
+                return false;
+            };
+            for (op, next) in rest {
+                let Ok(rhs) = crate::storage::arith_to_linexpr_pure(next) else {
+                    return false;
+                };
+                let relop = match op {
+                    CRelOp::Eq => RelOp::Eq,
+                    CRelOp::Neq => RelOp::Neq,
+                    CRelOp::Le => RelOp::Le,
+                    CRelOp::Lt => RelOp::Lt,
+                    CRelOp::Ge => RelOp::Ge,
+                    CRelOp::Gt => RelOp::Gt,
+                };
+                atoms.push(Atom::new(prev.clone(), relop, rhs.clone()));
+                prev = rhs;
+            }
+            true
+        }
+        Formula::Or(..) | Formula::Not(..) | Formula::Proj { .. } => false,
+    }
+}
+
+/// Pre-filter a FROM extent through the store index: intersect the
+/// candidate sets of every index-answerable WHERE conjunct (each merged
+/// with the novelty overlay of post-build writes) and keep only extent
+/// members inside the intersection. Counts one `index_probes` per probe
+/// answered and the dropped members as `index_pruned`.
+fn index_filter_extent(ctx: &Ctx<'_>, w: &Cond, f: &FromItem, extent: Vec<Oid>) -> Vec<Oid> {
+    if extent.is_empty() {
+        return extent;
+    }
+    let conjuncts = top_conjuncts(w);
+    let mut reqs: Vec<ProbeReq<'_>> = Vec::new();
+    for c in &conjuncts {
+        match c {
+            Cond::Compare { lhs, op, rhs } => {
+                if let Some(r) = scalar_probe(ctx, &f.class, &f.var, lhs, *op, rhs) {
+                    reqs.push(r);
+                }
+            }
+            Cond::PathPred(p) => {
+                if let Some(r) = box_probe(ctx, &f.class, &f.var, p, &conjuncts) {
+                    reqs.push(r);
+                }
+            }
+            _ => {}
+        }
+    }
+    if reqs.is_empty() {
+        return extent;
+    }
+    let idx = lyric_store::index_for(ctx.db);
+    let novelty = ctx.db.oids_touched_since(idx.generation());
+    let mut probes = 0u64;
+    let mut candidates: Option<Vec<Oid>> = None;
+    for req in reqs {
+        let hit = match req {
+            ProbeReq::Eq { attr, key } => idx.probe_eq(&f.class, attr, &key),
+            ProbeReq::Range { attr, window } => idx.probe_range(&f.class, attr, &window),
+            ProbeReq::Box { attr, window } => idx.probe_box(&f.class, attr, &window),
+        };
+        let Some(hit) = hit else { continue };
+        probes += 1;
+        // Writes since the index build are invisible to it; every probe
+        // result must re-admit them.
+        let hit = lyric_store::merge_with_novelty(&hit, &novelty);
+        candidates = Some(match candidates {
+            None => hit,
+            Some(prev) => lyric_store::intersect_sorted(&prev, &hit),
+        });
+    }
+    let Some(cand) = candidates else {
+        return extent;
+    };
+    let total = extent.len();
+    let kept: Vec<Oid> = extent
+        .into_iter()
+        .filter(|oid| cand.binary_search(oid).is_ok())
+        .collect();
+    let pruned = (total - kept.len()) as u64;
+    lyric_engine::tally(|s| {
+        s.index_probes += probes;
+        s.index_pruned += pruned;
+    });
+    lyric_engine::trace_event(|| lyric_engine::trace::EventKind::IndexProbe {
+        candidates: total as u64,
+        pruned,
+    });
+    kept
+}
+
 // ----------------------------------------------------------------- select
 
 type SelectRows = Vec<(Binding, Vec<Oid>)>;
@@ -1047,7 +1377,12 @@ fn eval_select(ctx: &Ctx<'_>, q: &SelectQuery) -> Result<(Vec<String>, SelectRow
             || format!("{} {}", f.class, f.var),
             f.class_span.join(f.var_span).byte_range(),
         );
-        let extent = ctx.db.extent(&f.class);
+        let mut extent = ctx.db.extent(&f.class);
+        if lyric_engine::index_enabled() {
+            if let Some(w) = &q.where_clause {
+                extent = index_filter_extent(ctx, w, f, extent);
+            }
+        }
         let before = bindings.len() as u64;
         // Each prior binding expands independently; rows come back in
         // binding order, so the cross product is identical to the serial

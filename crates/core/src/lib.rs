@@ -53,6 +53,7 @@ pub mod paper_example;
 mod parser;
 mod printer;
 mod scope;
+pub mod snapshot;
 pub mod span;
 pub mod storage;
 mod token;
@@ -71,9 +72,16 @@ pub use parser::{parse_formula, parse_query};
 pub use span::Span;
 pub use token::Token;
 
+pub use snapshot::SnapshotExt;
+
 // Re-export the building blocks users need to construct databases.
 pub use lyric_constraint as constraint;
 pub use lyric_oodb as oodb;
+
+/// The storage engine: the generation-stamped scan index and the binary
+/// snapshot container (re-exported so dependents need no direct
+/// `lyric-store` dependency).
+pub use lyric_store as store;
 
 // Re-export the budget/statistics surface so downstream code does not need
 // a direct lyric-engine dependency.

@@ -1,0 +1,146 @@
+//! Binary snapshot persistence for constraint-object databases.
+//!
+//! A snapshot is a [`lyric_store::snapshot`] container with two sections:
+//!
+//! * `META` — a small `key=value` text block; today one line,
+//!   `objects=<count>`, cross-checked against the reloaded database so a
+//!   payload that decodes but drops objects is still rejected;
+//! * `DBTX` — the full textual dump of [`crate::storage::save`].
+//!
+//! The textual dump iterates `BTreeMap`-ordered schema and extents, so
+//! save → load → save is byte-identical. Every structural failure —
+//! truncation, bad magic, version skew, checksum mismatch, section
+//! layout, undecodable payload, object-count drift — surfaces as
+//! [`LyricError::SnapshotCorrupt`] and never as a partial [`Database`].
+
+use crate::error::LyricError;
+use crate::storage;
+use lyric_oodb::Database;
+use lyric_store::snapshot::{read_container, write_container};
+use std::path::Path;
+
+/// Serialize a database to snapshot container bytes.
+pub fn to_bytes(db: &Database) -> Result<Vec<u8>, LyricError> {
+    let text = storage::save(db)?;
+    let meta = format!("objects={}\n", db.objects().count());
+    Ok(write_container(&[
+        (*b"META", meta.into_bytes()),
+        (*b"DBTX", text.into_bytes()),
+    ]))
+}
+
+/// Decode and fully verify snapshot container bytes into a database.
+pub fn from_bytes(bytes: &[u8]) -> Result<Database, LyricError> {
+    let sections = read_container(bytes)?;
+    let [(meta_tag, meta), (db_tag, dbtx)] = sections.as_slice() else {
+        return Err(LyricError::SnapshotCorrupt(format!(
+            "expected 2 sections (META, DBTX), found {}",
+            sections.len()
+        )));
+    };
+    if meta_tag != b"META" || db_tag != b"DBTX" {
+        return Err(LyricError::SnapshotCorrupt(
+            "expected section order META, DBTX".into(),
+        ));
+    }
+    let meta = std::str::from_utf8(meta)
+        .map_err(|_| LyricError::SnapshotCorrupt("META section is not UTF-8".into()))?;
+    let declared: usize = meta
+        .lines()
+        .find_map(|l| l.strip_prefix("objects="))
+        .and_then(|n| n.trim().parse().ok())
+        .ok_or_else(|| LyricError::SnapshotCorrupt("META section lacks objects=<n>".into()))?;
+    let text = std::str::from_utf8(dbtx)
+        .map_err(|_| LyricError::SnapshotCorrupt("DBTX section is not UTF-8".into()))?;
+    let db = storage::load(text)
+        .map_err(|e| LyricError::SnapshotCorrupt(format!("DBTX section: {e}")))?;
+    let loaded = db.objects().count();
+    if loaded != declared {
+        return Err(LyricError::SnapshotCorrupt(format!(
+            "META declares {declared} objects, DBTX holds {loaded}"
+        )));
+    }
+    Ok(db)
+}
+
+/// `Database::{save_snapshot, load_snapshot}` — file-level snapshot
+/// persistence as method syntax on [`Database`].
+pub trait SnapshotExt: Sized {
+    /// Write a snapshot of `self` to `path` (atomicity is the caller's
+    /// concern; the write is a single `std::fs::write`).
+    fn save_snapshot(&self, path: impl AsRef<Path>) -> Result<(), LyricError>;
+
+    /// Read and fully verify a snapshot file.
+    fn load_snapshot(path: impl AsRef<Path>) -> Result<Self, LyricError>;
+}
+
+impl SnapshotExt for Database {
+    fn save_snapshot(&self, path: impl AsRef<Path>) -> Result<(), LyricError> {
+        let bytes = to_bytes(self)?;
+        std::fs::write(path.as_ref(), bytes)
+            .map_err(|e| LyricError::SnapshotCorrupt(format!("io: {e}")))
+    }
+
+    fn load_snapshot(path: impl AsRef<Path>) -> Result<Database, LyricError> {
+        let bytes = std::fs::read(path.as_ref())
+            .map_err(|e| LyricError::SnapshotCorrupt(format!("io: {e}")))?;
+        from_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paper_example;
+
+    #[test]
+    fn snapshot_round_trip_is_byte_identical() {
+        let db = paper_example::database();
+        let bytes = to_bytes(&db).expect("serializes");
+        let reloaded = from_bytes(&bytes).expect("verifies");
+        assert_eq!(to_bytes(&reloaded).expect("re-serializes"), bytes);
+    }
+
+    #[test]
+    fn file_round_trip_answers_queries() {
+        let db = paper_example::database();
+        let path = std::env::temp_dir().join(format!("lyric_snapshot_{}.snap", std::process::id()));
+        db.save_snapshot(&path).expect("writes");
+        let mut reloaded = Database::load_snapshot(&path).expect("reads");
+        std::fs::remove_file(&path).ok();
+        let q = "SELECT CO FROM Office_Object CO WHERE CO.color['red']";
+        let mut db = db;
+        let before = crate::execute(&mut db, q).expect("original");
+        let after = crate::execute(&mut reloaded, q).expect("reloaded");
+        assert_eq!(before, after);
+    }
+
+    #[test]
+    fn meta_object_count_drift_is_corrupt() {
+        let db = paper_example::database();
+        let text = crate::storage::save(&db).unwrap();
+        let bytes = lyric_store::snapshot::write_container(&[
+            (*b"META", b"objects=1\n".to_vec()),
+            (*b"DBTX", text.into_bytes()),
+        ]);
+        let err = from_bytes(&bytes).unwrap_err();
+        assert!(matches!(err, LyricError::SnapshotCorrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn wrong_section_layouts_are_corrupt() {
+        let one = lyric_store::snapshot::write_container(&[(*b"META", b"objects=0\n".to_vec())]);
+        assert!(matches!(
+            from_bytes(&one).unwrap_err(),
+            LyricError::SnapshotCorrupt(_)
+        ));
+        let swapped = lyric_store::snapshot::write_container(&[
+            (*b"DBTX", b"LYRIC-DB 1\n".to_vec()),
+            (*b"META", b"objects=0\n".to_vec()),
+        ]);
+        assert!(matches!(
+            from_bytes(&swapped).unwrap_err(),
+            LyricError::SnapshotCorrupt(_)
+        ));
+    }
+}

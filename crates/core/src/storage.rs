@@ -411,7 +411,9 @@ pub(crate) fn formula_to_cst(f: &Formula) -> Result<CstObject, LyricError> {
     }
 }
 
-fn arith_to_linexpr_pure(a: &crate::ast::Arith) -> Result<lyric_constraint::LinExpr, LyricError> {
+pub(crate) fn arith_to_linexpr_pure(
+    a: &crate::ast::Arith,
+) -> Result<lyric_constraint::LinExpr, LyricError> {
     use crate::ast::Arith;
     use lyric_constraint::LinExpr;
     match a {

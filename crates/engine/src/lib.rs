@@ -212,6 +212,8 @@ struct ActiveContext {
     cache_enabled: bool,
     /// Interval-box pruning of LP calls enabled for this context?
     boxes: bool,
+    /// Store-index probing of FROM extents enabled for this context?
+    index: bool,
     /// Span/event collector; `Some` only under [`run_traced`].
     tracer: Option<trace::Collector>,
     /// How many deadline thresholds (50%, 90%) have been announced.
@@ -307,6 +309,13 @@ pub fn cache_enabled() -> bool {
 /// never depend on the abstract domain.
 pub fn boxes_enabled() -> bool {
     CONTEXT.with(|c| c.borrow().as_ref().is_some_and(|a| a.boxes))
+}
+
+/// True when FROM extents should be pre-filtered through the store index
+/// before binding. False outside any context: standalone library use
+/// never builds an index behind the caller's back.
+pub fn index_enabled() -> bool {
+    CONTEXT.with(|c| c.borrow().as_ref().is_some_and(|a| a.index))
 }
 
 /// The current cache generation: the active context's generation, or the
@@ -589,6 +598,12 @@ pub struct ExecOptions {
     /// when set to `0`). `false` sends every check straight to simplex —
     /// the differential baseline for the box-pruning soundness layer.
     pub boxes: bool,
+    /// Pre-filter FROM extents through the store index (scalar postings
+    /// and bounding-box pages) before binding? Defaults to
+    /// [`default_index`] (`LYRIC_INDEX`, off only when set to `0`).
+    /// `false` scans every extent in full — the differential baseline for
+    /// the scan-vs-index soundness layer.
+    pub index: bool,
 }
 
 impl Default for ExecOptions {
@@ -601,6 +616,7 @@ impl Default for ExecOptions {
             dnf_min_pairs: default_dnf_min_pairs(),
             arith_fast: lyric_arith::default_fast_path(),
             boxes: default_boxes(),
+            index: default_index(),
         }
     }
 }
@@ -649,6 +665,12 @@ impl ExecOptions {
         self.boxes = boxes;
         self
     }
+
+    /// Enable or disable store-index pre-filtering of FROM extents.
+    pub fn with_index(mut self, index: bool) -> Self {
+        self.index = index;
+        self
+    }
 }
 
 /// The default for interval-box pruning: on unless the `LYRIC_BOXES`
@@ -657,6 +679,17 @@ impl ExecOptions {
 /// foregone conclusion — so it defaults on.
 pub fn default_boxes() -> bool {
     std::env::var("LYRIC_BOXES")
+        .map(|v| v.trim() != "0")
+        .unwrap_or(true)
+}
+
+/// The default for store-index probing of FROM extents: on unless the
+/// `LYRIC_INDEX` environment variable is set to `0` (mirroring
+/// `LYRIC_BOXES`). Probes are sound — every probe returns a superset of
+/// the oids a full scan could keep or error on — so the index defaults
+/// on.
+pub fn default_index() -> bool {
+    std::env::var("LYRIC_INDEX")
         .map(|v| v.trim() != "0")
         .unwrap_or(true)
 }
@@ -785,6 +818,7 @@ fn run_inner<T>(
         dnf_min_pairs,
         opts.arith_fast,
         opts.boxes,
+        opts.index,
     );
     // Pin the thread's arithmetic mode for the run (workers copy it from
     // the region plan); restored below so nested library use after the
@@ -803,6 +837,7 @@ fn run_inner<T>(
             notes_since_clock: 0,
             cache_enabled: opts.cache,
             boxes: opts.boxes,
+            index: opts.index,
             tracer,
             time_thresholds_emitted: 0,
             generation,

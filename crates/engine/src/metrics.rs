@@ -61,6 +61,7 @@ pub(crate) struct EngineMetrics {
     dnf_min_pairs_gauge: Gauge,
     arith_fast_gauge: Gauge,
     boxes_gauge: Gauge,
+    index_gauge: Gauge,
     arena_pool_hits_gauge: Gauge,
     arena_pool_misses_gauge: Gauge,
     arena_recycled_bytes_gauge: Gauge,
@@ -149,6 +150,11 @@ pub(crate) fn metrics() -> &'static EngineMetrics {
                 "1 when the most recent context ran the interval-box \
                  disjointness test before LP calls, 0 for exact-LP only.",
             ),
+            index_gauge: r.gauge(
+                "lyric_index",
+                "1 when the most recent context pre-filtered FROM extents \
+                 through the store index, 0 for full-extent scans.",
+            ),
             arena_pool_hits_gauge: r.gauge(
                 "lyric_arena_pool_hits",
                 "Arena buffer acquisitions served by a recycled buffer \
@@ -174,6 +180,7 @@ pub(crate) fn record_options(
     dnf_min_pairs: usize,
     arith_fast: bool,
     boxes: bool,
+    index: bool,
 ) {
     if !lyric_metrics::enabled() {
         return;
@@ -184,6 +191,7 @@ pub(crate) fn record_options(
     m.dnf_min_pairs_gauge.set(dnf_min_pairs as u64);
     m.arith_fast_gauge.set(arith_fast as u64);
     m.boxes_gauge.set(boxes as u64);
+    m.index_gauge.set(index as u64);
 }
 
 /// Flush one completed context: bump the query counter, observe the

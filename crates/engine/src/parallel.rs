@@ -75,6 +75,9 @@ struct RegionPlan {
     /// Interval-box pruning flag, copied onto worker contexts so every
     /// worker makes the same prune-or-solve decisions as a serial run.
     boxes: bool,
+    /// Store-index probing flag, copied onto worker contexts for the
+    /// same reason.
+    index: bool,
     generation: u64,
     started: Instant,
     threads: usize,
@@ -103,6 +106,7 @@ fn plan_region(items: usize) -> Option<RegionPlan> {
             budget: active.budget.clone(),
             cache_enabled: active.cache_enabled,
             boxes: active.boxes,
+            index: active.index,
             generation: active.generation,
             started: active.started,
             threads: active.threads,
@@ -158,6 +162,7 @@ impl<'a> WorkerContext<'a> {
                 notes_since_clock: 0,
                 cache_enabled: plan.cache_enabled,
                 boxes: plan.boxes,
+                index: plan.index,
                 tracer: plan
                     .trace_origin
                     .map(|o| trace::Collector::worker(o, tid, format!("worker {worker}"))),

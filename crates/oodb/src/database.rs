@@ -4,7 +4,9 @@ use crate::error::DbError;
 use crate::oid::Oid;
 use crate::schema::{AttrTarget, ClassDef, Schema, BUILTIN_CLASSES};
 use crate::value::Value;
+use std::any::Any;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, RwLock};
 
 /// Stored state of one object: its (most specific) class and attribute
 /// values.
@@ -31,6 +33,68 @@ impl ObjectData {
     }
 }
 
+/// A generation-stamped, type-erased cache slot for a derived index over
+/// the database (built and downcast by `lyric-store`). The slot lives on
+/// the [`Database`] so index reuse survives across queries against the
+/// same value, while any mutation — which bumps
+/// [`Database::data_generation`] — makes the cached entry unreachable.
+///
+/// Cloning a database gives the clone a *fresh, empty* slot: the two
+/// values mutate independently afterwards, so sharing a slot would make
+/// them invalidate each other's caches.
+pub struct IndexSlot {
+    slot: RwLock<Option<(u64, Arc<dyn Any + Send + Sync>)>>,
+}
+
+impl IndexSlot {
+    fn new() -> IndexSlot {
+        IndexSlot {
+            slot: RwLock::new(None),
+        }
+    }
+
+    /// The cached value, if one was stored for exactly this generation.
+    pub fn get(&self, generation: u64) -> Option<Arc<dyn Any + Send + Sync>> {
+        let guard = self.slot.read().ok()?;
+        match &*guard {
+            Some((gen, value)) if *gen == generation => Some(Arc::clone(value)),
+            _ => None,
+        }
+    }
+
+    /// Store a value for `generation`, replacing any previous entry.
+    pub fn set(&self, generation: u64, value: Arc<dyn Any + Send + Sync>) {
+        if let Ok(mut guard) = self.slot.write() {
+            *guard = Some((generation, value));
+        }
+    }
+}
+
+impl Clone for IndexSlot {
+    fn clone(&self) -> IndexSlot {
+        IndexSlot::new()
+    }
+}
+
+impl Default for IndexSlot {
+    fn default() -> IndexSlot {
+        IndexSlot::new()
+    }
+}
+
+impl std::fmt::Debug for IndexSlot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let gen = self
+            .slot
+            .read()
+            .ok()
+            .and_then(|g| g.as_ref().map(|(gen, _)| *gen));
+        f.debug_struct("IndexSlot")
+            .field("generation", &gen)
+            .finish()
+    }
+}
+
 /// An object database: a validated [`Schema`], class extents, and typed
 /// per-object attribute values.
 #[derive(Debug, Clone)]
@@ -40,6 +104,20 @@ pub struct Database {
     /// Direct extents: objects inserted *into* each class (subclass
     /// members are found by walking the hierarchy at read time).
     extents: BTreeMap<String, BTreeSet<Oid>>,
+    /// Monotonic mutation counter: bumped by every successful write
+    /// (insert, declare, attribute update, schema change). Derived
+    /// structures — the store index, memo caches — stamp themselves with
+    /// the generation they were built against and rebuild on mismatch.
+    data_generation: u64,
+    /// The novelty log: oids touched by writes, tagged with the
+    /// generation of the write. Index probes merge
+    /// [`Database::oids_touched_since`] the index build generation into
+    /// their candidate sets, so an index built at an older generation
+    /// stays *sound* (never prunes a freshly written object) even before
+    /// it is rebuilt.
+    touched: Vec<(u64, Oid)>,
+    /// Cache slot for the store index (see [`IndexSlot`]).
+    index_slot: IndexSlot,
 }
 
 impl Database {
@@ -50,11 +128,49 @@ impl Database {
             schema,
             objects: BTreeMap::new(),
             extents: BTreeMap::new(),
+            data_generation: 0,
+            touched: Vec::new(),
+            index_slot: IndexSlot::new(),
         })
     }
 
     pub fn schema(&self) -> &Schema {
         &self.schema
+    }
+
+    /// The current mutation generation: 0 for a fresh database, bumped by
+    /// every successful write.
+    pub fn data_generation(&self) -> u64 {
+        self.data_generation
+    }
+
+    /// The sorted, duplicate-free run of oids touched by writes *after*
+    /// `generation` — the novelty overlay an index built at `generation`
+    /// must merge into every probe result to stay sound.
+    pub fn oids_touched_since(&self, generation: u64) -> Vec<Oid> {
+        let mut out: Vec<Oid> = self
+            .touched
+            .iter()
+            .filter(|(gen, _)| *gen > generation)
+            .map(|(_, oid)| oid.clone())
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    /// The generation-stamped cache slot for the store index.
+    pub fn index_slot(&self) -> &IndexSlot {
+        &self.index_slot
+    }
+
+    /// Record a successful write: bump the generation and log the touched
+    /// oid (schema-only changes pass `None`; they still invalidate).
+    fn touch(&mut self, oid: Option<Oid>) {
+        self.data_generation += 1;
+        if let Some(oid) = oid {
+            self.touched.push((self.data_generation, oid));
+        }
     }
 
     /// Insert an object with attribute values. Typechecks cardinality, CST
@@ -126,7 +242,8 @@ impl Database {
         self.extents
             .entry(class.to_string())
             .or_default()
-            .insert(oid);
+            .insert(oid.clone());
+        self.touch(Some(oid));
         Ok(())
     }
 
@@ -152,7 +269,8 @@ impl Database {
         self.extents
             .entry(class.to_string())
             .or_default()
-            .insert(oid);
+            .insert(oid.clone());
+        self.touch(Some(oid));
         Ok(())
     }
 
@@ -274,6 +392,7 @@ impl Database {
             .expect("checked above")
             .attrs
             .insert(attr.to_string(), value);
+        self.touch(Some(oid.clone()));
         Ok(())
     }
 
@@ -332,7 +451,9 @@ impl Database {
     /// query's SIGNATURE clause). Re-validates the schema.
     pub fn add_class(&mut self, def: ClassDef) -> Result<(), DbError> {
         self.schema.add_class(def)?;
-        self.schema.validate()
+        self.schema.validate()?;
+        self.touch(None);
+        Ok(())
     }
 
     /// Create a view class (used by `CREATE VIEW name AS SUBCLASS OF
@@ -362,6 +483,7 @@ impl Database {
             }
         }
         self.schema.add_class(def)?;
+        self.touch(None);
         for m in members {
             self.declare_instance(name, m)?;
         }

@@ -56,7 +56,7 @@ mod oid;
 mod schema;
 mod value;
 
-pub use database::{Database, ObjectData};
+pub use database::{Database, IndexSlot, ObjectData};
 pub use error::DbError;
 pub use oid::{CstOid, Oid};
 pub use schema::{AttrDef, AttrTarget, ClassDef, Schema};

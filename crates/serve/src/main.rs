@@ -1,28 +1,34 @@
 //! `lyric-serve` — a scrapeable LyriC query server.
 //!
 //! ```text
-//! lyric-serve [--addr HOST:PORT] [--db FILE] [--threads N]
+//! lyric-serve [--addr HOST:PORT] [--db FILE] [--save-db FILE] [--threads N]
 //! ```
 //!
 //! Serves `GET /metrics` (Prometheus text format 0.0.4), `GET /healthz`,
 //! and `POST /query` (body: a LyriC `SELECT` statement; response: JSON).
 //! With no `--db`, the paper's office-design database (Figures 1 and 2)
-//! is served. `--addr` defaults to `127.0.0.1:7171`; use port 0 for an
+//! is served. `--db` accepts either format — binary snapshots (sniffed by
+//! their 8-byte magic) or the textual `LYRIC-DB 1` dump. `--save-db FILE`
+//! writes the loaded database back out as a verified binary snapshot and
+//! exits instead of serving, so it doubles as a text → snapshot
+//! converter. `--addr` defaults to `127.0.0.1:7171`; use port 0 for an
 //! ephemeral port (the bound address is printed on startup).
 
+use lyric::snapshot::SnapshotExt;
 use lyric::ExecOptions;
 use lyric_serve::Server;
 use std::process::ExitCode;
 use std::sync::Arc;
 
 fn usage() -> ! {
-    eprintln!("usage: lyric-serve [--addr HOST:PORT] [--db FILE] [--threads N]");
+    eprintln!("usage: lyric-serve [--addr HOST:PORT] [--db FILE] [--save-db FILE] [--threads N]");
     std::process::exit(2);
 }
 
 fn main() -> ExitCode {
     let mut addr = "127.0.0.1:7171".to_string();
     let mut db_path: Option<String> = None;
+    let mut save_path: Option<String> = None;
     let mut opts = ExecOptions::default();
 
     let mut args = std::env::args().skip(1);
@@ -30,6 +36,7 @@ fn main() -> ExitCode {
         match arg.as_str() {
             "--addr" => addr = args.next().unwrap_or_else(|| usage()),
             "--db" => db_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--save-db" => save_path = Some(args.next().unwrap_or_else(|| usage())),
             "--threads" => {
                 let n = args
                     .next()
@@ -47,14 +54,27 @@ fn main() -> ExitCode {
 
     let db = match &db_path {
         Some(path) => {
-            let text = match std::fs::read_to_string(path) {
-                Ok(t) => t,
+            let bytes = match std::fs::read(path) {
+                Ok(b) => b,
                 Err(e) => {
                     eprintln!("lyric-serve: cannot read {path}: {e}");
                     return ExitCode::FAILURE;
                 }
             };
-            match lyric::storage::load(&text) {
+            // Sniff the format: binary snapshots open with the container
+            // magic; anything else is the textual dump.
+            let loaded = if bytes.starts_with(&lyric::store::snapshot::MAGIC) {
+                lyric::snapshot::from_bytes(&bytes)
+            } else {
+                match String::from_utf8(bytes) {
+                    Ok(text) => lyric::storage::load(&text),
+                    Err(_) => {
+                        eprintln!("lyric-serve: {path} is neither a snapshot nor UTF-8 text");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            };
+            match loaded {
                 Ok(db) => db,
                 Err(e) => {
                     eprintln!("lyric-serve: cannot load {path}: {e}");
@@ -64,6 +84,19 @@ fn main() -> ExitCode {
         }
         None => lyric::paper_example::database(),
     };
+
+    if let Some(path) = &save_path {
+        return match db.save_snapshot(path) {
+            Ok(()) => {
+                eprintln!("lyric-serve: wrote snapshot {path}");
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("lyric-serve: cannot write {path}: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
 
     let server = match Server::bind(&addr, Arc::new(db), opts) {
         Ok(s) => s,

@@ -92,6 +92,13 @@ pub enum EventKind {
     /// An interval-box disjointness test proved a conjunction empty and
     /// skipped the LP solve entirely.
     BoxPrune,
+    /// A store-index probe filtered one FROM extent before binding.
+    IndexProbe {
+        /// Extent members examined by the probe.
+        candidates: u64,
+        /// Members discarded without instantiation.
+        pruned: u64,
+    },
     /// Consumption of a budgeted resource crossed `percent`% of its limit.
     BudgetThreshold {
         /// The resource's display name (`lyric_engine::Resource::name`).
@@ -114,6 +121,9 @@ impl EventKind {
             EventKind::DisjunctsPruned { count } => format!("{count} disjuncts pruned"),
             EventKind::DnfProduct { left, right } => format!("dnf product {left}x{right}"),
             EventKind::BoxPrune => "box prune".into(),
+            EventKind::IndexProbe { candidates, pruned } => {
+                format!("index probe {pruned}/{candidates} pruned")
+            }
             EventKind::BudgetThreshold {
                 resource,
                 percent,

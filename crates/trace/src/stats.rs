@@ -48,12 +48,17 @@ pub struct EngineStats {
     pub box_checks: u64,
     /// Box checks that proved emptiness and skipped the LP entirely.
     pub box_prunes: u64,
+    /// Store-index probes answered (scalar equality/range lookups and
+    /// bounding-box intersections) while planning FROM bindings.
+    pub index_probes: u64,
+    /// Extent members discarded by index probes before instantiation.
+    pub index_pruned: u64,
 }
 
 /// The counter fields of [`EngineStats`], in declaration order, paired
 /// with their snake_case names. Sinks iterate this instead of hard-coding
 /// the field list, so a new counter propagates to every sink.
-pub const COUNTER_NAMES: [&str; 16] = [
+pub const COUNTER_NAMES: [&str; 18] = [
     "pivots",
     "lp_runs",
     "eliminations",
@@ -70,6 +75,8 @@ pub const COUNTER_NAMES: [&str; 16] = [
     "cache_misses",
     "box_checks",
     "box_prunes",
+    "index_probes",
+    "index_pruned",
 ];
 
 impl EngineStats {
@@ -105,8 +112,9 @@ impl EngineStats {
     /// production counters, which are driven by *answers*, not by how the
     /// answers were obtained. Everything implementation-dependent —
     /// LP effort (`pivots`, `lp_runs`), cache traffic, arena bytes, the
-    /// arithmetic-path split, and the box counters themselves — is zeroed.
-    /// The box-pruning differential compares these with `boxes` on vs off.
+    /// arithmetic-path split, and the box and index counters themselves —
+    /// is zeroed. The box-pruning differential compares these with
+    /// `boxes` on vs off.
     pub fn prune_invariant(&self) -> EngineStats {
         EngineStats {
             pivots: 0,
@@ -119,6 +127,8 @@ impl EngineStats {
             cache_misses: 0,
             box_checks: 0,
             box_prunes: 0,
+            index_probes: 0,
+            index_pruned: 0,
             ..*self
         }
     }
@@ -143,7 +153,7 @@ impl EngineStats {
     }
 
     /// All counters, in [`COUNTER_NAMES`] order.
-    pub fn counters(&self) -> [u64; 16] {
+    pub fn counters(&self) -> [u64; 18] {
         [
             self.pivots,
             self.lp_runs,
@@ -161,10 +171,12 @@ impl EngineStats {
             self.cache_misses,
             self.box_checks,
             self.box_prunes,
+            self.index_probes,
+            self.index_pruned,
         ]
     }
 
-    fn counters_mut(&mut self) -> [&mut u64; 16] {
+    fn counters_mut(&mut self) -> [&mut u64; 18] {
         [
             &mut self.pivots,
             &mut self.lp_runs,
@@ -182,6 +194,8 @@ impl EngineStats {
             &mut self.cache_misses,
             &mut self.box_checks,
             &mut self.box_prunes,
+            &mut self.index_probes,
+            &mut self.index_pruned,
         ]
     }
 
@@ -208,8 +222,8 @@ impl fmt::Display for EngineStats {
             "pivots={} lp_runs={} eliminations={} fm_atoms={} \
              disjuncts={}(+{} pruned) sat_checks={} entailment_checks={} \
              arith_ops={}small/{}big(+{} promoted) arena_bytes={} \
-             box_checks={}(-{} pruned) cache_hits={} cache_misses={} \
-             cache_hit_rate={}",
+             box_checks={}(-{} pruned) index_probes={}(-{} pruned) \
+             cache_hits={} cache_misses={} cache_hit_rate={}",
             self.pivots,
             self.lp_runs,
             self.eliminations,
@@ -224,6 +238,8 @@ impl fmt::Display for EngineStats {
             self.arena_bytes,
             self.box_checks,
             self.box_prunes,
+            self.index_probes,
+            self.index_pruned,
             self.cache_hits,
             self.cache_misses,
             match self.cache_hit_rate() {
@@ -257,14 +273,16 @@ mod tests {
             cache_misses: 1,
             box_checks: 4,
             box_prunes: 2,
+            index_probes: 6,
+            index_pruned: 5,
         };
         assert_eq!(
             stats.to_string(),
             "pivots=31 lp_runs=4 eliminations=2 fm_atoms=12 \
              disjuncts=5(+1 pruned) sat_checks=3 entailment_checks=1 \
              arith_ops=90small/10big(+2 promoted) arena_bytes=4096 \
-             box_checks=4(-2 pruned) cache_hits=3 cache_misses=1 \
-             cache_hit_rate=75.0%"
+             box_checks=4(-2 pruned) index_probes=6(-5 pruned) \
+             cache_hits=3 cache_misses=1 cache_hit_rate=75.0%"
         );
         assert_eq!(stats.arith_small_hit_rate(), Some(0.9));
     }
@@ -281,6 +299,8 @@ mod tests {
             box_prunes: 1,
             cache_hits: 2,
             arena_bytes: 64,
+            index_probes: 2,
+            index_pruned: 9,
             ..Default::default()
         };
         let inv = stats.prune_invariant();
@@ -293,6 +313,8 @@ mod tests {
         assert_eq!(inv.box_prunes, 0);
         assert_eq!(inv.cache_hits, 0);
         assert_eq!(inv.arena_bytes, 0);
+        assert_eq!(inv.index_probes, 0);
+        assert_eq!(inv.index_pruned, 0);
     }
 
     #[test]

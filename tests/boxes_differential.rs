@@ -43,10 +43,15 @@ const PAPER_QUERIES: [&str; 5] = [
 const Q_DISJOINT: &str =
     "SELECT D FROM Desk D WHERE D.extent[E] AND (E(w,z) AND w >= 1000 AND z >= 1000)";
 
+/// The suite isolates the sat-check-level box-prune layer, so the store
+/// index stays off: with it on, a box-disjoint query is pruned at FROM
+/// binding and the sat checks under test never run (that interplay is
+/// covered by `tests/index_differential.rs`).
 fn opts(threads: usize, boxes: bool) -> ExecOptions {
     ExecOptions::default()
         .with_threads(threads)
         .with_boxes(boxes)
+        .with_index(false)
 }
 
 /// Structural equality plus denotation equality for constraint columns,
@@ -129,7 +134,7 @@ fn disjoint_windows_prune_and_save_lp_runs() {
             &format!("disjoint at {threads} threads"),
         );
     }
-    let base = ExecOptions::default().with_cache(false);
+    let base = ExecOptions::default().with_cache(false).with_index(false);
     let on = execute_with_options(&mut db.clone(), Q_DISJOINT, &base.clone().with_boxes(true))
         .expect("boxes-on run");
     let off = execute_with_options(&mut db.clone(), Q_DISJOINT, &base.with_boxes(false))

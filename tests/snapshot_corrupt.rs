@@ -1,0 +1,169 @@
+//! Corrupt-snapshot golden suite: every way a snapshot file can be
+//! damaged must surface as a structured `LyricError::SnapshotCorrupt` —
+//! no panics, and no partially-decoded `Database` ever escaping. Each
+//! corruption mode pins the *message* too, so a regression that folds
+//! two failure modes together (or starts panicking) is caught here.
+
+use lyric::snapshot::{from_bytes, to_bytes, SnapshotExt};
+use lyric::store::snapshot::MAGIC;
+use lyric::{paper_example, LyricError};
+use lyric_oodb::Database;
+
+fn snapshot_bytes() -> Vec<u8> {
+    to_bytes(&paper_example::database()).expect("paper database encodes")
+}
+
+/// Decode must fail with `SnapshotCorrupt` and the message must contain
+/// `needle` (the golden fragment naming the failure mode).
+fn assert_corrupt(bytes: &[u8], needle: &str, label: &str) {
+    match from_bytes(bytes) {
+        Err(LyricError::SnapshotCorrupt(msg)) => assert!(
+            msg.contains(needle),
+            "{label}: expected {needle:?} in message, got: {msg}"
+        ),
+        Err(other) => panic!("{label}: wrong error kind: {other}"),
+        Ok(_) => panic!("{label}: corrupt snapshot decoded successfully"),
+    }
+}
+
+/// Truncation at *every* byte offset: always a structured error, never a
+/// panic, never a partial database.
+#[test]
+fn truncation_at_every_offset_is_corrupt() {
+    let bytes = snapshot_bytes();
+    for cut in 0..bytes.len() {
+        match from_bytes(&bytes[..cut]) {
+            Err(LyricError::SnapshotCorrupt(_)) => {}
+            Err(other) => panic!("cut at {cut}: wrong error kind: {other}"),
+            Ok(_) => panic!("cut at {cut}: truncated snapshot decoded"),
+        }
+    }
+}
+
+#[test]
+fn flipped_magic_is_corrupt() {
+    let mut bytes = snapshot_bytes();
+    bytes[0] ^= 0xff;
+    assert_corrupt(&bytes, "bad magic", "flipped magic byte");
+}
+
+#[test]
+fn wrong_version_tag_is_corrupt() {
+    let mut bytes = snapshot_bytes();
+    bytes[8] = 99; // version field follows the 8-byte magic
+    assert_corrupt(&bytes, "unsupported snapshot version 99", "version skew");
+}
+
+#[test]
+fn flipped_payload_byte_fails_its_checksum() {
+    let mut bytes = snapshot_bytes();
+    // First payload byte of the first (META) section: after magic(8),
+    // version(4), count(4), tag(4), len(8).
+    bytes[28] ^= 0x01;
+    assert_corrupt(
+        &bytes,
+        "checksum mismatch in section 'META'",
+        "payload flip",
+    );
+}
+
+#[test]
+fn flipped_checksum_byte_is_corrupt() {
+    let bytes = snapshot_bytes();
+    // Corrupt the *stored checksum* of the last section instead of its
+    // payload: the trailing 8 bytes of the file.
+    let mut bad = bytes.clone();
+    let n = bad.len();
+    bad[n - 1] ^= 0xff;
+    assert_corrupt(&bad, "checksum mismatch", "stored checksum flip");
+}
+
+#[test]
+fn zero_length_section_is_corrupt() {
+    let bytes = lyric::store::snapshot::write_container(&[(*b"META", vec![])]);
+    assert_corrupt(&bytes, "zero-length section 'META'", "empty section");
+}
+
+#[test]
+fn trailing_garbage_is_corrupt() {
+    let mut bytes = snapshot_bytes();
+    bytes.push(0);
+    assert_corrupt(&bytes, "trailing bytes", "trailing garbage");
+}
+
+#[test]
+fn wrong_section_layout_is_corrupt() {
+    // A structurally valid container with the wrong sections.
+    let bytes = lyric::store::snapshot::write_container(&[(*b"WHAT", b"objects=0\n".to_vec())]);
+    assert_corrupt(&bytes, "expected 2 sections", "wrong section count");
+}
+
+#[test]
+fn undecodable_payload_is_corrupt() {
+    // Valid container, valid layout, garbage database text inside.
+    let bytes = lyric::store::snapshot::write_container(&[
+        (*b"META", b"objects=1\n".to_vec()),
+        (*b"DBTX", b"not a database dump".to_vec()),
+    ]);
+    assert_corrupt(&bytes, "", "garbage DBTX payload");
+}
+
+#[test]
+fn object_count_drift_is_corrupt() {
+    // Re-wrap the real DBTX payload under a lying META count.
+    let sections = lyric::store::snapshot::read_container(&snapshot_bytes()).expect("decodes");
+    let dbtx = sections[1].1.clone();
+    let bytes = lyric::store::snapshot::write_container(&[
+        (*b"META", b"objects=999999\n".to_vec()),
+        (*b"DBTX", dbtx),
+    ]);
+    assert_corrupt(&bytes, "declares 999999 objects", "META/DBTX drift");
+}
+
+/// The file-level loader wraps I/O failures the same way: a missing path
+/// is `SnapshotCorrupt`, not a panic.
+#[test]
+fn missing_file_is_corrupt_not_a_panic() {
+    let err = Database::load_snapshot("/nonexistent/lyric_nope.snap")
+        .expect_err("missing file must not load");
+    assert!(
+        matches!(err, LyricError::SnapshotCorrupt(_)),
+        "wrong error kind: {err}"
+    );
+}
+
+/// A corrupt file on disk round-trips through the same structured error,
+/// and a good file loads a database that answers queries — the positive
+/// control for the suite.
+#[test]
+fn file_level_corruption_and_recovery() {
+    let dir = std::env::temp_dir();
+    let path = dir.join(format!("lyric_corrupt_suite_{}.snap", std::process::id()));
+    let db = paper_example::database();
+    db.save_snapshot(&path).expect("snapshot saves");
+
+    // Flip one byte in the middle of the file on disk.
+    let mut bytes = std::fs::read(&path).expect("file readable");
+    assert_eq!(&bytes[..8], &MAGIC, "snapshot starts with the magic");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x20;
+    std::fs::write(&path, &bytes).expect("file writable");
+    let err = Database::load_snapshot(&path).expect_err("corrupt file must not load");
+    assert!(
+        matches!(err, LyricError::SnapshotCorrupt(_)),
+        "wrong error kind: {err}"
+    );
+
+    // Restore it; loading works again and the database answers.
+    bytes[mid] ^= 0x20;
+    std::fs::write(&path, &bytes).expect("file writable");
+    let reloaded = Database::load_snapshot(&path).expect("restored file loads");
+    let res = lyric::execute_shared(
+        &reloaded,
+        "SELECT Y FROM Desk X WHERE X.drawer.extent[Y]",
+        &lyric::ExecOptions::default(),
+    )
+    .expect("reloaded database answers");
+    assert!(!res.rows.is_empty());
+    let _ = std::fs::remove_file(&path);
+}
