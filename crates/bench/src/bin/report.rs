@@ -49,6 +49,7 @@ fn main() {
     record(&mut report, "e14_box_pruning", e14);
     record(&mut report, "e15_explain_overhead", e15);
     record(&mut report, "e16_store_index", e16);
+    record(&mut report, "e17_flight_overhead", e17);
     let doc = Json::obj([
         (
             "host_parallelism",
@@ -1089,6 +1090,63 @@ fn e16() -> Json {
         ("objects", Json::int(n as u64)),
         ("index_build_ms", Json::Num(build_ms)),
         ("rows", Json::Arr(detail)),
+    ])
+}
+
+/// E17 — flight-recorder overhead: the identical warmed workload with
+/// the recorder on (the default: in-flight registration, live progress
+/// mirroring into the slot's atomics, one ring push per completion) vs
+/// off (`set_enabled(false)`, the same switch as `LYRIC_FLIGHT=0`, which
+/// also skips registration). The event tee stays off in both modes —
+/// that is the sampled, opt-in layer. Alternating batches per the E12
+/// protocol; acceptance bar < 5%.
+fn e17() -> Json {
+    println!("## E17 — flight-recorder overhead (recorder on vs off)\n");
+    let db = workload::office_db(24, 42);
+    let opts = ExecOptions::default().with_threads(2);
+    let run = || {
+        lyric::execute_shared(&db, Q_LINEAR, &opts).expect("linear query evaluates");
+    };
+    run(); // warm the memo caches so both modes measure steady state
+    lyric::flight::recorder::set_events_enabled(false);
+    let (batches, reps) = (6, 5);
+    let mut on_ms = f64::INFINITY;
+    let mut off_ms = f64::INFINITY;
+    for _ in 0..batches {
+        lyric::flight::recorder::set_enabled(true);
+        on_ms = on_ms.min(time_ms(reps, run).0);
+        lyric::flight::recorder::set_enabled(false);
+        off_ms = off_ms.min(time_ms(reps, run).0);
+    }
+    lyric::flight::recorder::set_enabled(true);
+    let overhead_pct = (on_ms / off_ms - 1.0) * 100.0;
+    println!(
+        "| mode | linear query, n=24 (best of {} runs, ms) |",
+        batches * reps
+    );
+    println!("|---|---|");
+    println!("| recorder on | {on_ms:.2} |");
+    println!("| recorder off | {off_ms:.2} |");
+    let verdict = if overhead_pct <= 0.0 {
+        "below the measurement noise floor".to_string()
+    } else {
+        format!("{overhead_pct:.1}%")
+    };
+    println!(
+        "\nmeasured overhead: {verdict} (acceptance bar: < 5%). The recording path is one \
+         registry insert and one striped-ring push per query plus relaxed atomic adds at \
+         counter-flush sites the engine already visits; the disabled path is a single \
+         relaxed load, pinned allocation-free by crates/flight/tests/zero_alloc.rs.\n"
+    );
+    assert!(
+        overhead_pct < 5.0,
+        "flight recorder overhead {overhead_pct:.1}% breaches the 5% bar"
+    );
+    Json::obj([
+        ("on_best_ms", Json::Num(on_ms)),
+        ("off_best_ms", Json::Num(off_ms)),
+        ("overhead_pct", Json::Num(overhead_pct)),
+        ("bar_pct", Json::Num(5.0)),
     ])
 }
 

@@ -74,6 +74,15 @@ impl ShardedBoxMemo {
 
 static BOXES: LazyLock<ShardedBoxMemo> = LazyLock::new(ShardedBoxMemo::new);
 
+/// Occupancy of the interval-box memo (see
+/// [`crate::cache::CacheOccupancy`]).
+pub fn occupancy() -> crate::cache::CacheOccupancy {
+    crate::cache::CacheOccupancy {
+        entries: BOXES.shards.iter().map(|s| lock(s).len()).sum(),
+        capacity: SHARDS * MAX_SHARD_ENTRIES,
+    }
+}
+
 /// The (memoized, when a boxes-enabled context is installed) interval box
 /// of `c`. Outside any context, or with boxes disabled, this computes the
 /// box directly without touching the cache.

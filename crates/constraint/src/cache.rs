@@ -85,6 +85,38 @@ impl<K: Hash + Eq> ShardedMemo<K> {
 static SAT: LazyLock<ShardedMemo<Conjunction>> = LazyLock::new(ShardedMemo::new);
 static ENTAIL: LazyLock<ShardedMemo<(Conjunction, Atom)>> = LazyLock::new(ShardedMemo::new);
 
+/// Point-in-time occupancy of one process-global memo cache, for the
+/// `/debug/caches` introspection surface. `entries` counts live map
+/// entries of *any* generation (stale ones die lazily, so they still
+/// occupy memory); `capacity` is the hard bound (shards × per-shard
+/// limit) past which a shard clears.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheOccupancy {
+    /// Entries currently held, across every shard.
+    pub entries: usize,
+    /// Bound on held entries: shard count × per-shard entry limit.
+    pub capacity: usize,
+}
+
+impl<K: Hash + Eq> ShardedMemo<K> {
+    fn occupancy(&self) -> CacheOccupancy {
+        CacheOccupancy {
+            entries: self.shards.iter().map(|s| lock(s).len()).sum(),
+            capacity: SHARDS * MAX_SHARD_ENTRIES,
+        }
+    }
+}
+
+/// Occupancy of the satisfiability memo.
+pub fn sat_occupancy() -> CacheOccupancy {
+    SAT.occupancy()
+}
+
+/// Occupancy of the entailment memo.
+pub fn entail_occupancy() -> CacheOccupancy {
+    ENTAIL.occupancy()
+}
+
 fn memoized<K: Hash + Eq>(
     memo: &ShardedMemo<K>,
     key: impl FnOnce() -> K,

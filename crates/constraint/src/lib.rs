@@ -69,6 +69,8 @@ mod linexpr;
 mod var;
 
 pub use atom::{Atom, NormOp, RelOp};
+pub use boxcache::occupancy as box_occupancy;
+pub use cache::{entail_occupancy, sat_occupancy, CacheOccupancy};
 pub use conjunction::{Conjunction, Extremum};
 pub use cst_object::{CstFamily, CstObject, FamilyOp};
 pub use dnf::Dnf;

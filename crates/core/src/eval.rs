@@ -135,8 +135,13 @@ pub fn execute_shared(
             }
             let started = Instant::now();
             let trace_id = Cell::new(0u64);
-            let result = match lyric_engine::run_with_opts(opts.clone(), || {
+            let fguard = flight_begin(src, opts);
+            let progress = fguard.as_ref().map(|g| g.progress());
+            let result = match lyric_engine::run_with_opts_flight(opts.clone(), progress, || {
                 trace_id.set(lyric_engine::generation());
+                if let Some(g) = &fguard {
+                    g.set_trace_id(lyric_engine::generation());
+                }
                 eval_select_query(db, s)
             }) {
                 Ok((inner, stats)) => inner.map(|mut res| {
@@ -146,6 +151,15 @@ pub fn execute_shared(
                 Err(exceeded) => Err(exceeded.into()),
             };
             log_query(
+                src,
+                opts.threads.max(1),
+                started,
+                trace_id.get(),
+                &result,
+                None,
+            );
+            flight_finish(
+                fguard,
                 src,
                 opts.threads.max(1),
                 started,
@@ -257,6 +271,118 @@ pub(crate) fn log_query(
     });
 }
 
+/// Register `src` in the in-flight registry (when the flight recorder is
+/// enabled) for the duration of one execution. One switch —
+/// `LYRIC_FLIGHT=0` or `flight::set_enabled(false)` — turns off both the
+/// registry and the completed-query ring, which is the recorder-off
+/// baseline experiment E17 measures against.
+pub(crate) fn flight_begin(
+    src: &str,
+    opts: &lyric_engine::ExecOptions,
+) -> Option<lyric_engine::flight::InflightGuard> {
+    use lyric_engine::flight;
+    if !flight::recorder::enabled() {
+        return None;
+    }
+    let b = &opts.budget;
+    Some(flight::register(flight::InflightDesc {
+        query: src.to_string(),
+        query_hash: lyric_metrics::querylog::query_hash(src),
+        threads: opts.threads.max(1),
+        caps: flight::BudgetCaps {
+            pivots: b.max_pivots,
+            fm_atoms: b.max_fm_atoms,
+            disjuncts: b.max_disjuncts,
+            deadline_ms: b.deadline.map(|d| d.as_millis() as u64),
+        },
+        trace_id: 0,
+    }))
+}
+
+/// Complete a flight scope opened by [`flight_begin`]: push a completed
+/// [`QuerySummary`](lyric_engine::flight::QuerySummary) into the recorder
+/// ring and, on an anomaly — budget abort, engine error after the
+/// analyzer admitted the query, or a `LYRIC_SLOW_MS` breach — write a
+/// black-box dump *before* the guard deregisters, so the dump's in-flight
+/// section still contains the offender with its live counters.
+/// `plan_summary` is the pre-serialized explain-analyze summary when the
+/// query ran under slow-query forensics.
+pub(crate) fn flight_finish(
+    guard: Option<lyric_engine::flight::InflightGuard>,
+    src: &str,
+    threads: usize,
+    started: Instant,
+    trace_id: u64,
+    result: &Result<QueryResult, LyricError>,
+    plan_summary: Option<&str>,
+) {
+    use lyric_engine::flight::{self, Trigger};
+    use lyric_engine::trace::json::Json;
+    let Some(guard) = guard else { return };
+    let zero = lyric_engine::EngineStats::default();
+    let (outcome, resource, rows, stats) = match result {
+        Ok(res) => ("ok", "", res.rows.len() as u64, &res.stats),
+        Err(LyricError::BudgetExceeded { resource, .. }) => {
+            ("budget_exceeded", resource.name(), 0, &zero)
+        }
+        Err(_) => ("error", "", 0, &zero),
+    };
+    let duration_us = started.elapsed().as_micros() as u64;
+    flight::record_query(flight::QuerySummary {
+        query_hash: lyric_metrics::querylog::query_hash(src),
+        query: flight::inflight::truncate_query(src),
+        outcome,
+        resource: resource.to_string(),
+        rows,
+        duration_us,
+        threads,
+        trace_id,
+        end_unix_ms: flight::recorder::unix_ms(),
+        stats: *stats,
+    });
+    let trigger = match result {
+        Err(LyricError::BudgetExceeded { .. }) => Some(Trigger::BudgetAbort),
+        // Front-end rejections are ordinary user errors, not engine
+        // anomalies — no black box for a typo.
+        Err(LyricError::Lex(_) | LyricError::Parse(_) | LyricError::Analysis(_)) => None,
+        Err(_) => Some(Trigger::EngineError),
+        Ok(_) => lyric_metrics::querylog::slow_ms()
+            .filter(|&ms| duration_us / 1000 >= ms)
+            .map(|_| Trigger::Slow),
+    };
+    if let Some(trigger) = trigger {
+        let mut offender = match flight::inflight::current_snapshot().map(|s| s.to_json()) {
+            Some(Json::Obj(pairs)) => pairs,
+            _ => vec![
+                (
+                    "query".to_string(),
+                    Json::str(flight::inflight::truncate_query(src)),
+                ),
+                (
+                    "query_hash".to_string(),
+                    Json::str(format!("{:016x}", lyric_metrics::querylog::query_hash(src))),
+                ),
+            ],
+        };
+        offender.push(("outcome".to_string(), Json::str(outcome)));
+        if !resource.is_empty() {
+            offender.push(("resource".to_string(), Json::str(resource)));
+        }
+        if let Err(e) = result {
+            offender.push(("error".to_string(), Json::str(e.to_string())));
+        }
+        offender.push(("rows".to_string(), Json::int(rows)));
+        offender.push(("duration_us".to_string(), Json::int(duration_us)));
+        if let Some(summary) = plan_summary {
+            let plan =
+                lyric_engine::trace::json::parse(summary).unwrap_or_else(|_| Json::str(summary));
+            offender.push(("plan".to_string(), plan));
+        }
+        let _ = flight::dump(trigger, Some(Json::Obj(offender)));
+    }
+    drop(guard);
+}
+
 /// Parse and execute a statement under a span collector: evaluation runs
 /// inside [`lyric_engine::run_traced`], so every instrumented phase (lex,
 /// parse, analyze, FROM binding, WHERE predicates, SELECT items, LP
@@ -291,12 +417,18 @@ pub fn execute_traced_with_options(
     let label = src.trim().to_string();
     let started = Instant::now();
     let trace_id = Cell::new(0u64);
-    let outcome = lyric_engine::run_traced_opts(opts.clone(), label, src.len(), || {
-        trace_id.set(lyric_engine::generation());
-        let q = parse_query(src)?;
-        check(db, &q)?;
-        execute_in_context(db, &q)
-    });
+    let fguard = flight_begin(src, opts);
+    let progress = fguard.as_ref().map(|g| g.progress());
+    let outcome =
+        lyric_engine::run_traced_opts_flight(opts.clone(), progress, label, src.len(), || {
+            trace_id.set(lyric_engine::generation());
+            if let Some(g) = &fguard {
+                g.set_trace_id(lyric_engine::generation());
+            }
+            let q = parse_query(src)?;
+            check(db, &q)?;
+            execute_in_context(db, &q)
+        });
     let result = match outcome {
         Ok((inner, stats, trace)) => inner.map(|mut res| {
             res.stats = stats;
@@ -304,12 +436,21 @@ pub fn execute_traced_with_options(
         }),
         Err(exceeded) => Err(exceeded.into()),
     };
-    if lyric_metrics::querylog::active() {
+    if lyric_metrics::querylog::active() || fguard.is_some() {
         let flat = match &result {
             Ok((res, _)) => Ok(res.clone()),
             Err(e) => Err(e.clone()),
         };
         log_query(
+            src,
+            opts.threads.max(1),
+            started,
+            trace_id.get(),
+            &flat,
+            None,
+        );
+        flight_finish(
+            fguard,
             src,
             opts.threads.max(1),
             started,
@@ -342,8 +483,13 @@ fn run_in_context(
     let started = Instant::now();
     let trace_id = Cell::new(0u64);
     let threads = opts.threads.max(1);
-    let result = match lyric_engine::run_with_opts(opts, || {
+    let fguard = log_src.and_then(|src| flight_begin(src, &opts));
+    let progress = fguard.as_ref().map(|g| g.progress());
+    let result = match lyric_engine::run_with_opts_flight(opts, progress, || {
         trace_id.set(lyric_engine::generation());
+        if let Some(g) = &fguard {
+            g.set_trace_id(lyric_engine::generation());
+        }
         execute_in_context(db, q)
     }) {
         Ok((inner, stats)) => inner.map(|mut res| {
@@ -354,6 +500,7 @@ fn run_in_context(
     };
     if let Some(src) = log_src {
         log_query(src, threads, started, trace_id.get(), &result, None);
+        flight_finish(fguard, src, threads, started, trace_id.get(), &result, None);
     }
     result
 }

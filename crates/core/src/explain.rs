@@ -169,11 +169,21 @@ pub(crate) fn run_explained_select(
     let started = Instant::now();
     let trace_id = Cell::new(0u64);
     let threads = opts.threads.max(1);
-    let outcome =
-        lyric_engine::run_traced_opts(opts.clone(), src.trim().to_string(), src.len(), || {
+    let fguard = crate::eval::flight_begin(src, opts);
+    let progress = fguard.as_ref().map(|g| g.progress());
+    let outcome = lyric_engine::run_traced_opts_flight(
+        opts.clone(),
+        progress,
+        src.trim().to_string(),
+        src.len(),
+        || {
             trace_id.set(lyric_engine::generation());
+            if let Some(g) = &fguard {
+                g.set_trace_id(lyric_engine::generation());
+            }
             eval_select_query_with(db, s, Some(&info))
-        });
+        },
+    );
     let result = match outcome {
         Ok((inner, stats, trace)) => inner.map(|mut res| {
             res.stats = stats;
@@ -218,10 +228,28 @@ pub(crate) fn run_explained_select(
                 &Ok(res.clone()),
                 summary.as_deref(),
             );
+            crate::eval::flight_finish(
+                fguard,
+                src,
+                threads,
+                started,
+                trace_id.get(),
+                &Ok(res.clone()),
+                summary.as_deref(),
+            );
             Ok((res, report))
         }
         Err(e) => {
             log_query(src, threads, started, trace_id.get(), &Err(e.clone()), None);
+            crate::eval::flight_finish(
+                fguard,
+                src,
+                threads,
+                started,
+                trace_id.get(),
+                &Err(e.clone()),
+                None,
+            );
             Err(e)
         }
     }

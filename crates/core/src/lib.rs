@@ -96,3 +96,8 @@ pub use lyric_metrics as metrics;
 // Re-export the tracing surface (span trees, renderers, exporters) for
 // consumers of [`execute_traced`].
 pub use lyric_engine::trace;
+
+// Re-export the flight recorder and in-flight registry so the serving
+// surfaces (HTTP endpoints, REPL commands) reach them through one
+// dependency.
+pub use lyric_engine::flight;

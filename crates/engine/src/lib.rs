@@ -65,6 +65,13 @@ pub const DNF_PARALLEL_MIN_PAIRS: usize = 64;
 pub use lyric_trace as trace;
 pub use lyric_trace::{EventKind, SpanKind};
 
+/// The flight recorder and in-flight registry (re-exported so dependents
+/// need no direct `lyric-flight` dependency). The engine mirrors its
+/// budgeted counters into a registered query's [`flight::Progress`] when
+/// one is attached via [`run_with_opts_flight`] /
+/// [`run_traced_opts_flight`].
+pub use lyric_flight as flight;
+
 /// The budgetable resources of the constraint pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Resource {
@@ -237,6 +244,36 @@ struct ActiveContext {
     /// The thread's cumulative arithmetic-path counters at the last
     /// refresh; [`refresh_arith`] drains the delta into `stats`.
     arith_base: lyric_arith::OpCounters,
+    /// Live-progress cell of the in-flight registry slot this query
+    /// registered, if any. Budgeted counters are mirrored in [`note_many`]
+    /// and the non-budgeted trio (sat checks, box prunes, index probes)
+    /// is flushed as deltas in [`tally`] — one relaxed `fetch_add` each,
+    /// the same cost class as the shared-region mirror.
+    flight: Option<Arc<lyric_flight::Progress>>,
+    /// The stats values (sat_checks, box_prunes, index_probes) already
+    /// flushed into `flight`; [`flush_flight`] sends only the delta since,
+    /// and the parallel merge bumps this past absorbed worker sums the
+    /// workers already mirrored themselves.
+    flight_base: [u64; 3],
+}
+
+/// Flush the non-budgeted progress counters (sat checks, box prunes,
+/// index probes) into the context's flight cell as deltas since the last
+/// flush. No-op without an attached flight cell.
+fn flush_flight(active: &mut ActiveContext) {
+    let Some(fl) = &active.flight else { return };
+    let now = [
+        active.stats.sat_checks,
+        active.stats.box_prunes,
+        active.stats.index_probes,
+    ];
+    let cells = [&fl.sat_checks, &fl.box_prunes, &fl.index_probes];
+    for ((cell, now), base) in cells.iter().zip(now).zip(&mut active.flight_base) {
+        if now > *base {
+            cell.fetch_add(now - *base, Ordering::Relaxed);
+            *base = now;
+        }
+    }
 }
 
 /// Fold the thread's cumulative small/big/promotion arithmetic counters
@@ -278,13 +315,22 @@ struct BudgetUnwind(BudgetExceeded);
 /// The default panic hook prints a backtrace banner for every panic,
 /// including our internal budget unwind. Install (once, process-wide) a
 /// hook that stays silent for [`BudgetUnwind`] payloads and delegates to
-/// the previous hook otherwise.
+/// the previous hook otherwise — after handing genuine panics to the
+/// flight recorder, which writes a black-box dump when the panicking
+/// thread has an in-flight query and a dump directory is configured.
 fn silence_budget_unwinds() {
     static HOOK: std::sync::Once = std::sync::Once::new();
     HOOK.call_once(|| {
         let previous = std::panic::take_hook();
         std::panic::set_hook(Box::new(move |info| {
             if info.payload().downcast_ref::<BudgetUnwind>().is_none() {
+                let payload = info.payload();
+                let message = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                lyric_flight::panic_dump(&message);
                 previous(info);
             }
         }));
@@ -356,6 +402,14 @@ pub fn note_many(r: Resource, n: u64) {
             }
             Resource::Time => 0,
         };
+        if let Some(fl) = &active.flight {
+            match r {
+                Resource::Pivots => fl.add_budgeted(n, 0, 0),
+                Resource::FmAtoms => fl.add_budgeted(0, n, 0),
+                Resource::Disjuncts => fl.add_budgeted(0, 0, n),
+                Resource::Time => {}
+            }
+        }
         let (counter, before) = match (&active.shared, r) {
             (_, Resource::Time) => (0, 0),
             (Some(shared), _) => {
@@ -449,6 +503,9 @@ pub fn tally(f: impl FnOnce(&mut EngineStats)) {
     CONTEXT.with(|c| {
         if let Some(active) = c.borrow_mut().as_mut() {
             f(&mut active.stats);
+            if active.flight.is_some() {
+                flush_flight(active);
+            }
         }
     });
 }
@@ -557,13 +614,25 @@ pub fn span_node(
     })
 }
 
-/// Attach a structured event to the innermost open span. `event` is only
-/// invoked when the active context is tracing.
+/// Attach a structured event to the innermost open span, and tee a
+/// sampled copy into the flight recorder's event ring when the query is
+/// registered in-flight and the tee is on. `event` is only invoked when
+/// at least one consumer wants it — with tracing off and the tee off (or
+/// the query unregistered) this remains one thread-local read plus at
+/// most one relaxed atomic load, allocating nothing.
 pub fn trace_event(event: impl FnOnce() -> EventKind) {
     CONTEXT.with(|c| {
         if let Some(active) = c.borrow_mut().as_mut() {
+            let tee = active.flight.is_some() && lyric_flight::event_tick();
+            if active.tracer.is_none() && !tee {
+                return;
+            }
+            let kind = event();
+            if tee {
+                lyric_flight::record_event(active.generation, &kind);
+            }
             if let Some(t) = active.tracer.as_mut() {
-                t.event(event());
+                t.event(kind);
             }
         }
     });
@@ -763,7 +832,20 @@ pub fn run_with_opts<T>(
     opts: ExecOptions,
     f: impl FnOnce() -> T,
 ) -> Result<(T, EngineStats), BudgetExceeded> {
-    run_inner(opts, None, f).map(|(value, stats, _)| (value, stats))
+    run_inner(opts, None, None, f).map(|(value, stats, _)| (value, stats))
+}
+
+/// [`run_with_opts`] with an in-flight registry progress cell attached:
+/// budgeted counters and the sat/box/index tallies are mirrored into the
+/// cell as the query runs, so `/debug/inflight` shows live movement. Pass
+/// the cell from [`flight::InflightGuard::progress`]; `None` behaves
+/// exactly like [`run_with_opts`].
+pub fn run_with_opts_flight<T>(
+    opts: ExecOptions,
+    flight: Option<Arc<lyric_flight::Progress>>,
+    f: impl FnOnce() -> T,
+) -> Result<(T, EngineStats), BudgetExceeded> {
+    run_inner(opts, None, flight, f).map(|(value, stats, _)| (value, stats))
 }
 
 /// [`run_with`] with a span/event collector attached: cost sites record a
@@ -797,14 +879,27 @@ pub fn run_traced_opts<T>(
     source_len: usize,
     f: impl FnOnce() -> T,
 ) -> Result<(T, EngineStats, trace::Trace), BudgetExceeded> {
+    run_traced_opts_flight(opts, None, label, source_len, f)
+}
+
+/// [`run_traced_opts`] with an in-flight registry progress cell attached
+/// (see [`run_with_opts_flight`]).
+pub fn run_traced_opts_flight<T>(
+    opts: ExecOptions,
+    flight: Option<Arc<lyric_flight::Progress>>,
+    label: impl Into<String>,
+    source_len: usize,
+    f: impl FnOnce() -> T,
+) -> Result<(T, EngineStats, trace::Trace), BudgetExceeded> {
     let collector = trace::Collector::new(label, source_len);
-    run_inner(opts, Some(collector), f)
+    run_inner(opts, Some(collector), flight, f)
         .map(|(value, stats, trace)| (value, stats, trace.expect("collector was installed")))
 }
 
 fn run_inner<T>(
     opts: ExecOptions,
     tracer: Option<trace::Collector>,
+    flight: Option<Arc<lyric_flight::Progress>>,
     f: impl FnOnce() -> T,
 ) -> Result<(T, EngineStats, Option<trace::Trace>), BudgetExceeded> {
     silence_budget_unwinds();
@@ -846,6 +941,8 @@ fn run_inner<T>(
             dnf_min_pairs,
             shared: None,
             arith_base: lyric_arith::op_counters(),
+            flight,
+            flight_base: [0; 3],
         });
     });
 
@@ -855,6 +952,7 @@ fn run_inner<T>(
         .expect("context still installed");
     lyric_arith::set_fast_path(prev_arith_fast);
     refresh_arith(&mut context);
+    flush_flight(&mut context);
     let stats = context.stats;
     let elapsed = context.started.elapsed();
     let trace = context.tracer.map(|t| t.finish(stats));

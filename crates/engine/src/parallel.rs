@@ -87,6 +87,9 @@ struct RegionPlan {
     arith_fast: bool,
     /// The parent tracer's origin `Instant`; `Some` iff tracing.
     trace_origin: Option<Instant>,
+    /// The query's in-flight progress cell, shared with every worker so
+    /// `/debug/inflight` shows whole-region totals.
+    flight: Option<Arc<lyric_flight::Progress>>,
     shared: Arc<SharedRegion>,
 }
 
@@ -114,6 +117,7 @@ fn plan_region(items: usize) -> Option<RegionPlan> {
             dnf_min_pairs: active.dnf_min_pairs,
             arith_fast: lyric_arith::fast_path_enabled(),
             trace_origin: active.tracer.as_ref().map(|t| t.origin()),
+            flight: active.flight.clone(),
             shared: Arc::new(SharedRegion {
                 pivots: AtomicU64::new(active.stats.pivots),
                 fm_atoms: AtomicU64::new(active.stats.fm_atoms),
@@ -176,6 +180,8 @@ impl<'a> WorkerContext<'a> {
                 dnf_min_pairs: plan.dnf_min_pairs,
                 shared: Some(plan.shared.clone()),
                 arith_base: lyric_arith::op_counters(),
+                flight: plan.flight.clone(),
+                flight_base: [0; 3],
             });
         });
         WorkerContext {
@@ -284,6 +290,15 @@ where
                 continue;
             };
             active.stats.absorb(&report.stats);
+            if active.flight.is_some() {
+                // Workers mirrored their own sat/box/index tallies into the
+                // shared flight cell as they ran; absorbing their stats into
+                // the parent must advance the parent's flushed base past
+                // those sums, or the parent's next tally would re-send them.
+                active.flight_base[0] += report.stats.sat_checks;
+                active.flight_base[1] += report.stats.box_prunes;
+                active.flight_base[2] += report.stats.index_probes;
+            }
             crate::metrics::merge_worker_items(&report.items_hist);
             if let Some((span, dropped)) = report.subtree {
                 if let Some(tracer) = active.tracer.as_mut() {

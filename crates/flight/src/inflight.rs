@@ -1,0 +1,401 @@
+//! The in-flight query registry: who is running *right now*, and how
+//! far along are they?
+//!
+//! Every `execute*` entry point registers a slot before evaluation
+//! starts and holds the returned [`InflightGuard`] across the run; the
+//! guard's `Drop` deregisters the slot on **every** exit path — normal
+//! return, error return, budget unwind, and panic — so the registry can
+//! never leak a ghost query. While the query runs, the engine mirrors
+//! its budgeted counters into the slot's shared [`Progress`] atomics
+//! (the same delta stream that feeds the parallel region's shared
+//! budget), so a `/debug/inflight` scrape or REPL `:inflight` sees live
+//! pivot/FM/sat-check movement and the percentage of the budget already
+//! consumed — the difference between "hung" and "three more minutes of
+//! quantifier elimination".
+
+use lyric_trace::json::Json;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+use std::time::Instant;
+
+/// Query source text is truncated to this many characters in slots,
+/// summaries, and dumps (enough to recognize the query, bounded enough
+/// that rings and dumps stay small).
+pub const QUERY_TRUNCATE: usize = 160;
+
+/// Truncate query text for display, appending an ellipsis when cut, and
+/// collapsing newlines so truncated text stays one line.
+pub fn truncate_query(src: &str) -> String {
+    let mut out = String::with_capacity(QUERY_TRUNCATE + 1);
+    for (taken, c) in src.chars().enumerate() {
+        if taken == QUERY_TRUNCATE {
+            out.push('…');
+            break;
+        }
+        out.push(if c == '\n' || c == '\r' { ' ' } else { c });
+    }
+    out
+}
+
+/// Live progress counters for one in-flight query, mirrored by the
+/// engine's `note_many`/`tally` paths as relaxed deltas. Coordinator
+/// and worker threads share one `Arc<Progress>`, so the values are the
+/// query's whole-region totals.
+#[derive(Default)]
+pub struct Progress {
+    /// Simplex pivot steps (budgeted).
+    pub pivots: AtomicU64,
+    /// Fourier–Motzkin atoms produced (budgeted).
+    pub fm_atoms: AtomicU64,
+    /// DNF disjuncts produced (budgeted).
+    pub disjuncts: AtomicU64,
+    /// Satisfiability checks completed.
+    pub sat_checks: AtomicU64,
+    /// Interval-box prunes (LP solves skipped).
+    pub box_prunes: AtomicU64,
+    /// Store-index probes answered.
+    pub index_probes: AtomicU64,
+}
+
+impl Progress {
+    /// Add deltas to the three budgeted counters (the engine's
+    /// `note_many` mirror; zero deltas are skipped).
+    pub fn add_budgeted(&self, pivots: u64, fm_atoms: u64, disjuncts: u64) {
+        if pivots > 0 {
+            self.pivots.fetch_add(pivots, Ordering::Relaxed);
+        }
+        if fm_atoms > 0 {
+            self.fm_atoms.fetch_add(fm_atoms, Ordering::Relaxed);
+        }
+        if disjuncts > 0 {
+            self.disjuncts.fetch_add(disjuncts, Ordering::Relaxed);
+        }
+    }
+}
+
+/// The budget limits the query was admitted with, for the "% consumed"
+/// readout. A flight-local copy of the engine's budget shape (this
+/// crate sits below `lyric-engine`, so it cannot name the real type).
+#[derive(Clone, Copy, Default)]
+pub struct BudgetCaps {
+    /// Max simplex pivots, if capped.
+    pub pivots: Option<u64>,
+    /// Max FM atoms, if capped.
+    pub fm_atoms: Option<u64>,
+    /// Max disjuncts, if capped.
+    pub disjuncts: Option<u64>,
+    /// Wall-clock deadline in milliseconds, if capped.
+    pub deadline_ms: Option<u64>,
+}
+
+/// What a query registers about itself on entry.
+pub struct InflightDesc {
+    /// The query source (registry truncates it; hash is of the full text).
+    pub query: String,
+    /// FNV-1a hash of the full query source.
+    pub query_hash: u64,
+    /// Thread budget the query was admitted with.
+    pub threads: usize,
+    /// Budget caps, for percentage readouts.
+    pub caps: BudgetCaps,
+    /// Engine context generation (the per-process trace id).
+    pub trace_id: u64,
+}
+
+struct Slot {
+    desc: InflightDesc,
+    started: Instant,
+    progress: Arc<Progress>,
+}
+
+/// A point-in-time copy of one in-flight slot.
+pub struct InflightSnapshot {
+    /// Registry slot id (monotonic per process).
+    pub id: u64,
+    /// Truncated query text.
+    pub query: String,
+    /// FNV-1a hash of the full query source.
+    pub query_hash: u64,
+    /// Thread budget.
+    pub threads: usize,
+    /// Engine context generation.
+    pub trace_id: u64,
+    /// Microseconds since registration.
+    pub elapsed_us: u64,
+    /// Live counters: (pivots, fm_atoms, disjuncts, sat_checks,
+    /// box_prunes, index_probes).
+    pub counters: [u64; 6],
+    /// Percent of the tightest budget cap consumed (counters and
+    /// elapsed-vs-deadline), rounded down; `None` when nothing is capped.
+    pub budget_pct: Option<u64>,
+}
+
+impl InflightSnapshot {
+    /// The snapshot as a JSON object (the `/debug/inflight` element).
+    pub fn to_json(&self) -> Json {
+        let [pivots, fm_atoms, disjuncts, sat_checks, box_prunes, index_probes] = self.counters;
+        let mut pairs = vec![
+            ("id".to_string(), Json::int(self.id)),
+            (
+                "query_hash".to_string(),
+                Json::str(format!("{:016x}", self.query_hash)),
+            ),
+            ("query".to_string(), Json::str(self.query.clone())),
+            ("trace_id".to_string(), Json::int(self.trace_id)),
+            ("threads".to_string(), Json::int(self.threads as u64)),
+            ("elapsed_us".to_string(), Json::int(self.elapsed_us)),
+            (
+                "progress".to_string(),
+                Json::obj([
+                    ("pivots", Json::int(pivots)),
+                    ("fm_atoms", Json::int(fm_atoms)),
+                    ("disjuncts", Json::int(disjuncts)),
+                    ("sat_checks", Json::int(sat_checks)),
+                    ("box_prunes", Json::int(box_prunes)),
+                    ("index_probes", Json::int(index_probes)),
+                ]),
+            ),
+        ];
+        pairs.push((
+            "budget_pct".to_string(),
+            self.budget_pct.map_or(Json::Null, Json::int),
+        ));
+        Json::Obj(pairs)
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn slots() -> &'static Mutex<BTreeMap<u64, Slot>> {
+    static SLOTS: OnceLock<Mutex<BTreeMap<u64, Slot>>> = OnceLock::new();
+    SLOTS.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn inflight_gauge() -> &'static lyric_metrics::Gauge {
+    static G: OnceLock<lyric_metrics::Gauge> = OnceLock::new();
+    G.get_or_init(|| {
+        lyric_metrics::global().gauge(
+            "lyric_inflight_queries",
+            "Queries currently registered as executing.",
+        )
+    })
+}
+
+thread_local! {
+    /// The slot id registered by this thread, if any — the panic hook's
+    /// way of asking "did an in-flight query die here?". 0 = none.
+    static CURRENT: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Deregisters its slot when dropped — the reason no exit path (early
+/// return, budget unwind, panic) can leak a registry entry.
+pub struct InflightGuard {
+    id: u64,
+    progress: Arc<Progress>,
+}
+
+impl InflightGuard {
+    /// The shared progress cell the engine mirrors deltas into.
+    pub fn progress(&self) -> Arc<Progress> {
+        Arc::clone(&self.progress)
+    }
+
+    /// This slot's registry id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Stamp the engine context generation once it is known —
+    /// registration happens before the engine context (and therefore the
+    /// trace id) exists, so the caller back-fills it from inside the run.
+    pub fn set_trace_id(&self, trace_id: u64) {
+        if let Some(slot) = lock(slots()).get_mut(&self.id) {
+            slot.desc.trace_id = trace_id;
+        }
+    }
+}
+
+impl Drop for InflightGuard {
+    fn drop(&mut self) {
+        let mut slots = lock(slots());
+        slots.remove(&self.id);
+        inflight_gauge().set(slots.len() as u64);
+        CURRENT.with(|c| {
+            if c.get() == self.id {
+                c.set(0);
+            }
+        });
+    }
+}
+
+/// Register a query as in-flight. The returned guard must live for the
+/// whole evaluation; progress mirroring starts once the engine attaches
+/// [`InflightGuard::progress`] to its context.
+pub fn register(desc: InflightDesc) -> InflightGuard {
+    static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    let progress = Arc::new(Progress::default());
+    let slot = Slot {
+        desc: InflightDesc {
+            query: truncate_query(&desc.query),
+            ..desc
+        },
+        started: Instant::now(),
+        progress: Arc::clone(&progress),
+    };
+    let mut slots_guard = lock(slots());
+    slots_guard.insert(id, slot);
+    inflight_gauge().set(slots_guard.len() as u64);
+    drop(slots_guard);
+    CURRENT.with(|c| c.set(id));
+    InflightGuard { id, progress }
+}
+
+fn snapshot_slot(id: u64, slot: &Slot) -> InflightSnapshot {
+    let p = &slot.progress;
+    let counters = [
+        p.pivots.load(Ordering::Relaxed),
+        p.fm_atoms.load(Ordering::Relaxed),
+        p.disjuncts.load(Ordering::Relaxed),
+        p.sat_checks.load(Ordering::Relaxed),
+        p.box_prunes.load(Ordering::Relaxed),
+        p.index_probes.load(Ordering::Relaxed),
+    ];
+    let elapsed_us = slot.started.elapsed().as_micros() as u64;
+    let caps = &slot.desc.caps;
+    let pct_of = |consumed: u64, cap: Option<u64>| {
+        cap.filter(|&c| c > 0)
+            .map(|c| consumed.saturating_mul(100) / c)
+    };
+    let budget_pct = [
+        pct_of(counters[0], caps.pivots),
+        pct_of(counters[1], caps.fm_atoms),
+        pct_of(counters[2], caps.disjuncts),
+        pct_of(elapsed_us / 1000, caps.deadline_ms),
+    ]
+    .into_iter()
+    .flatten()
+    .max();
+    InflightSnapshot {
+        id,
+        query: slot.desc.query.clone(),
+        query_hash: slot.desc.query_hash,
+        threads: slot.desc.threads,
+        trace_id: slot.desc.trace_id,
+        elapsed_us,
+        counters,
+        budget_pct,
+    }
+}
+
+/// Every in-flight query, oldest registration first.
+pub fn snapshot() -> Vec<InflightSnapshot> {
+    lock(slots())
+        .iter()
+        .map(|(id, slot)| snapshot_slot(*id, slot))
+        .collect()
+}
+
+/// The slot registered by the *calling* thread, if one is live — used
+/// by the panic hook to attribute a crash to the query that caused it.
+pub fn current_snapshot() -> Option<InflightSnapshot> {
+    let id = CURRENT.with(|c| c.get());
+    if id == 0 {
+        return None;
+    }
+    lock(slots()).get(&id).map(|slot| snapshot_slot(id, slot))
+}
+
+/// Number of in-flight queries.
+pub fn len() -> usize {
+    lock(slots()).len()
+}
+
+/// The whole registry as a JSON document (the `/debug/inflight` body).
+pub fn to_json() -> Json {
+    Json::obj([
+        ("inflight", Json::int(len() as u64)),
+        (
+            "queries",
+            Json::Arr(snapshot().iter().map(|s| s.to_json()).collect()),
+        ),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn desc(q: &str) -> InflightDesc {
+        InflightDesc {
+            query: q.to_string(),
+            query_hash: lyric_metrics::querylog::query_hash(q),
+            threads: 1,
+            caps: BudgetCaps {
+                pivots: Some(1000),
+                ..Default::default()
+            },
+            trace_id: 7,
+        }
+    }
+
+    #[test]
+    fn guard_registers_and_deregisters() {
+        let before = len();
+        let g = register(desc("SELECT X FROM Desk X"));
+        assert_eq!(len(), before + 1);
+        g.progress().add_budgeted(250, 0, 0);
+        let snap = current_snapshot().expect("this thread registered");
+        assert_eq!(snap.counters[0], 250);
+        assert_eq!(snap.budget_pct, Some(25));
+        drop(g);
+        assert_eq!(len(), before);
+        assert!(current_snapshot().is_none());
+    }
+
+    #[test]
+    fn guard_survives_a_panic_exit() {
+        let before = len();
+        let result = std::panic::catch_unwind(|| {
+            let _g = register(desc("SELECT Y FROM Desk Y"));
+            panic!("mid-query");
+        });
+        assert!(result.is_err());
+        assert_eq!(len(), before, "drop ran during unwind");
+    }
+
+    #[test]
+    fn truncation_is_char_safe_and_single_line() {
+        let long = "é".repeat(QUERY_TRUNCATE + 40);
+        let cut = truncate_query(&long);
+        assert_eq!(cut.chars().count(), QUERY_TRUNCATE + 1);
+        assert!(cut.ends_with('…'));
+        assert_eq!(truncate_query("a\nb"), "a b");
+    }
+
+    #[test]
+    fn json_shape_has_the_pinned_members() {
+        let g = register(desc("SELECT Z FROM Desk Z"));
+        let doc = to_json();
+        let queries = doc.get("queries").unwrap().as_arr().unwrap();
+        let mine = queries
+            .iter()
+            .find(|q| q.get("id").unwrap().as_f64() == Some(g.id() as f64))
+            .expect("registered slot serialized");
+        for key in [
+            "query_hash",
+            "query",
+            "trace_id",
+            "threads",
+            "elapsed_us",
+            "progress",
+            "budget_pct",
+        ] {
+            assert!(mine.get(key).is_some(), "missing {key}");
+        }
+        assert!(mine.get("progress").unwrap().get("pivots").is_some());
+    }
+}

@@ -1,0 +1,49 @@
+//! Process-lifetime flight recorder and in-flight query registry.
+//!
+//! Quantifier elimination is worst-case exponential, so a legitimate
+//! LyriC query can run for minutes — and while it runs, or after it
+//! aborts, the process has historically been a black box. This crate is
+//! the live-introspection and post-mortem layer the ROADMAP's serving
+//! and streaming items sit on. Three pieces:
+//!
+//! * [`inflight`] — a registry of currently-executing queries. Every
+//!   `execute*` entry registers a slot (query hash + truncated text,
+//!   start time, thread count, budget caps) and the engine mirrors its
+//!   budgeted counters into the slot's shared atomics, so
+//!   `/debug/inflight` and REPL `:inflight` show live progress and
+//!   percent-of-budget. A guard type deregisters on every exit path,
+//!   including budget unwind and panic.
+//! * [`recorder`] — fixed-capacity lock-striped [`ring::Ring`]s of
+//!   completed-query summaries and sampled trace events (teed from the
+//!   existing `lyric-trace` instrumentation sites; zero-alloc when
+//!   disabled, 1-in-N sampled when enabled).
+//! * [`dump`] — the anomaly black box: on budget abort, panic,
+//!   analyzer-pass-but-engine-error, or a `LYRIC_SLOW_MS` breach, the
+//!   recorder state plus the offender's summary is serialized to a
+//!   structured JSON file under `LYRIC_FLIGHT_DIR`.
+//!
+//! Like `lyric-trace` and `lyric-metrics`, this crate is dependency-free
+//! (std plus those two) and sits *below* `lyric-engine` in the
+//! workspace: the engine pushes deltas in, surfaces pull JSON out, and
+//! nothing here ever blocks a query on more than a striped mutex.
+//!
+//! Environment: `LYRIC_FLIGHT=0` disables query recording,
+//! `LYRIC_FLIGHT_EVENTS=1` enables the event tee,
+//! `LYRIC_FLIGHT_SAMPLE=N` sets the event sampling stride, and
+//! `LYRIC_FLIGHT_DIR=...` configures (and thereby enables) anomaly
+//! dumps. Overhead is pinned by experiment E17 and the allocator-guard
+//! test in `crates/engine/tests/trace_overhead.rs`.
+
+#![warn(missing_docs)]
+
+pub mod dump;
+pub mod inflight;
+pub mod recorder;
+pub mod ring;
+
+pub use dump::{dump, panic_dump, set_dump_dir, Trigger};
+pub use inflight::{register, BudgetCaps, InflightDesc, InflightGuard, Progress};
+pub use recorder::{
+    event_tick, record_event, record_query, set_enabled, set_events_enabled, QuerySummary,
+};
+pub use ring::Ring;

@@ -1,0 +1,112 @@
+//! Build / host identification, exposed as the `lyric_build_info` metric
+//! and stamped into query-log lines and flight-recorder dumps.
+//!
+//! Production triage starts with "what exactly is running?": a scrape or
+//! a black-box dump is only actionable if it names the revision that
+//! produced it. `BENCH_report.json` has carried the git revision since
+//! E12; this module makes the same identity available at runtime to
+//! every surface — the Prometheus exposition (a gauge-style `…_info`
+//! metric with the values as labels and a constant sample of 1, the
+//! Prometheus idiom for build metadata), the structured query log
+//! (`git_rev` on every line), and `lyric-flight` anomaly dumps.
+//!
+//! The revision is resolved once per process: the `LYRIC_GIT_REV`
+//! environment variable wins (containers without a `.git` checkout set
+//! it at deploy time), then `git rev-parse --short HEAD` (matching the
+//! bench `report` binary), then the literal `"unknown"`.
+
+use std::sync::OnceLock;
+
+/// The short git revision of the running build, or `"unknown"`.
+pub fn git_rev() -> &'static str {
+    static REV: OnceLock<String> = OnceLock::new();
+    REV.get_or_init(|| {
+        if let Ok(rev) = std::env::var("LYRIC_GIT_REV") {
+            let rev = rev.trim().to_string();
+            if !rev.is_empty() {
+                return rev;
+            }
+        }
+        std::process::Command::new("git")
+            .args(["rev-parse", "--short", "HEAD"])
+            .output()
+            .ok()
+            .filter(|o| o.status.success())
+            .and_then(|o| String::from_utf8(o.stdout).ok())
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .unwrap_or_else(|| "unknown".to_string())
+    })
+}
+
+/// The workspace crate version (`CARGO_PKG_VERSION` of this build).
+pub fn version() -> &'static str {
+    env!("CARGO_PKG_VERSION")
+}
+
+/// The host's available parallelism (1 when unknown), as a decimal
+/// string for use as a label value.
+pub fn host_parallelism() -> &'static str {
+    static HP: OnceLock<String> = OnceLock::new();
+    HP.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .to_string()
+    })
+}
+
+/// Register the `lyric_build_info` gauge in the global registry (idempotent)
+/// and set its constant sample of 1. Called by every long-lived surface at
+/// startup — the engine's metric bootstrap, `lyric-serve`, the REPL, the
+/// bench `report` binary — so a `/metrics` scrape always identifies the
+/// build even before the first query.
+pub fn register_build_info() {
+    crate::global()
+        .gauge_with(
+            "lyric_build_info",
+            "Build identification; value is constant 1, the identity is in the labels.",
+            &[
+                ("git_rev", git_rev()),
+                ("version", version()),
+                ("host_parallelism", host_parallelism()),
+            ],
+        )
+        .set(1);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_stable_and_nonempty() {
+        assert!(!git_rev().is_empty());
+        assert_eq!(git_rev(), git_rev());
+        assert_eq!(version(), env!("CARGO_PKG_VERSION"));
+        assert!(host_parallelism().parse::<u64>().unwrap() >= 1);
+    }
+
+    #[test]
+    fn build_info_gauge_registers_idempotently() {
+        register_build_info();
+        register_build_info();
+        let snap = crate::global().snapshot();
+        let fam = snap
+            .families
+            .iter()
+            .find(|f| f.name == "lyric_build_info")
+            .expect("registered");
+        assert_eq!(
+            fam.series.len(),
+            1,
+            "one series regardless of re-registration"
+        );
+        let series = &fam.series[0];
+        assert!(series
+            .labels
+            .iter()
+            .any(|(k, v)| k == "git_rev" && v == git_rev()));
+        assert_eq!(series.value, crate::MetricValue::Gauge(1));
+    }
+}

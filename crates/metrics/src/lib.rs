@@ -29,6 +29,7 @@
 
 #![warn(missing_docs)]
 
+pub mod build;
 pub mod hist;
 pub mod profile;
 pub mod prometheus;

@@ -1,17 +1,23 @@
 //! A structured JSON query log: one line per executed query.
 //!
-//! # Schema
+//! # Schema (v2)
 //!
 //! Every line is a self-contained JSON object:
 //!
 //! ```json
-//! {"query_hash":"b51c3e4f9a21d807","outcome":"ok","rows":12,
-//!  "duration_us":1834,"threads":4,"trace_id":117,"slow":false,
-//!  "stats":{"pivots":96,"lp_runs":24,...}}
+//! {"v":2,"query_hash":"b51c3e4f9a21d807","git_rev":"13d0522",
+//!  "outcome":"ok","rows":12,"duration_us":1834,"threads":4,
+//!  "trace_id":117,"slow":false,"stats":{"pivots":96,"lp_runs":24,...}}
 //! ```
 //!
+//! * `v` — schema version, currently [`SCHEMA_VERSION`] (2). v1 lines
+//!   (no `v`, no `git_rev`) remain parseable; consumers should treat a
+//!   missing `v` as 1.
 //! * `query_hash` — FNV-1a 64-bit hash of the query source, hex; stable
 //!   across runs so log lines for the same query aggregate.
+//! * `git_rev` — the build's short git revision ([`crate::build`]), so
+//!   log lines from mixed deployments attribute to the right build.
+//!   New in v2.
 //! * `outcome` — `"ok"`, `"budget_exceeded"` (plus a `"resource"`
 //!   field), or `"error"`.
 //! * `trace_id` — the engine context generation, matching the per-query
@@ -20,6 +26,9 @@
 //!   `EngineStats::COUNTER_NAMES`.
 //! * `slow` — present and `true` when `LYRIC_SLOW_MS` is configured and
 //!   the query met the threshold.
+//!
+//! The full member-by-member schema (both versions) is documented in
+//! DESIGN.md §4g.
 //!
 //! # Sinks and thresholds
 //!
@@ -34,6 +43,11 @@
 use std::io::Write;
 use std::sync::atomic::{AtomicI64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, Once, OnceLock};
+
+/// The query-log line schema version written by [`format_record`].
+/// Bumped to 2 when `git_rev` (and the `v` member itself) were added;
+/// v1 lines carry neither.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// FNV-1a 64-bit hash of a query's source text.
 pub fn query_hash(src: &str) -> u64 {
@@ -224,8 +238,10 @@ pub(crate) fn push_json_str(out: &mut String, s: &str) {
 /// Serialize a record as its one-line JSON form (no trailing newline).
 pub fn format_record(r: &Record<'_>) -> String {
     let mut out = String::with_capacity(256);
-    out.push_str("{\"query_hash\":");
+    out.push_str(&format!("{{\"v\":{SCHEMA_VERSION},\"query_hash\":"));
     push_json_str(&mut out, &format!("{:016x}", query_hash(r.query)));
+    out.push_str(",\"git_rev\":");
+    push_json_str(&mut out, crate::build::git_rev());
     out.push_str(",\"outcome\":");
     match r.outcome {
         Outcome::Ok => out.push_str("\"ok\""),
@@ -322,12 +338,26 @@ mod tests {
         let stats = [("pivots", 7u64), ("cache_hits", 2u64)];
         let line = format_record(&record(&stats));
         assert!(!line.contains('\n'));
-        assert!(line.starts_with("{\"query_hash\":\""));
+        assert!(line.starts_with("{\"v\":2,\"query_hash\":\""));
+        assert!(line.contains("\"git_rev\":\""));
         assert!(line.contains("\"outcome\":\"ok\""));
         assert!(line.contains("\"rows\":3"));
         assert!(line.contains("\"duration_us\":1500"));
         assert!(line.contains("\"trace_id\":41"));
         assert!(line.contains("\"stats\":{\"pivots\":7,\"cache_hits\":2}"));
+    }
+
+    #[test]
+    fn v2_members_precede_the_v1_body() {
+        // The v2 additions are a prefix extension: everything after
+        // `git_rev` is byte-identical to a v1 line, so consumers that
+        // scan for `"outcome"`, `"explain"`, or `"stats"` substrings
+        // keep working unchanged on both versions.
+        let stats = [("pivots", 7u64)];
+        let line = format_record(&record(&stats));
+        let outcome_at = line.find("\"outcome\"").unwrap();
+        assert!(line.find("\"v\":2").unwrap() < outcome_at);
+        assert!(line.find("\"git_rev\"").unwrap() < outcome_at);
     }
 
     #[test]

@@ -237,7 +237,14 @@ impl Registry {
 
     /// Register (or fetch) an unlabelled gauge.
     pub fn gauge(&self, name: &str, help: &str) -> Gauge {
-        match self.register(name, help, &[], MetricKind::Gauge, || {
+        self.gauge_with(name, help, &[])
+    }
+
+    /// Register (or fetch) a gauge with labels. Re-registering the same
+    /// name and labels returns the existing handle; the same name with a
+    /// different kind panics.
+    pub fn gauge_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        match self.register(name, help, labels, MetricKind::Gauge, || {
             Metric::Gauge(Gauge(Arc::new(AtomicU64::new(0))))
         }) {
             Metric::Gauge(g) => g,

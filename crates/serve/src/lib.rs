@@ -1,14 +1,25 @@
 //! A std-only HTTP server exposing the LyriC engine for scraping and
 //! remote querying.
 //!
-//! Four endpoints:
+//! Endpoints:
 //!
 //! * `GET /metrics` — the global metric registry in Prometheus text
 //!   format 0.0.4 (`lyric::metrics::render_prometheus`);
 //! * `GET /healthz` — liveness (`ok`);
+//! * `GET /version` — build identity: crate version, git revision, and
+//!   the host's available parallelism, as JSON;
 //! * `GET /profiles` — the cost-profile store
 //!   (`lyric::metrics::profile::snapshot_json`): decayed per-plan-node
 //!   observations keyed by query shape, fed by every explained run;
+//! * `GET /debug/inflight` — the in-flight query registry
+//!   (`lyric::flight::inflight`): every currently-executing query with
+//!   its live progress counters and percent-of-budget;
+//! * `GET /debug/flight` — the flight recorder rings
+//!   (`lyric::flight::recorder`): recent completed-query summaries and
+//!   sampled trace events;
+//! * `GET /debug/caches` — occupancy and generation of the process-global
+//!   memo caches (sat, entailment, interval-box) plus the server
+//!   database's store-index state;
 //! * `POST /query` — the request body is either a raw LyriC `SELECT`
 //!   statement or a JSON object `{"query": "...", "explain": bool}`,
 //!   evaluated against the server's shared [`Database`] via
@@ -250,6 +261,65 @@ fn run_query(db: &Database, opts: &ExecOptions, body: &str) -> Result<Json, Stri
     Ok(Json::Obj(reply))
 }
 
+/// Every path the server answers, for the 404 body and the startup
+/// banner.
+pub const ENDPOINTS: [&str; 8] = [
+    "GET /metrics",
+    "GET /healthz",
+    "GET /version",
+    "GET /profiles",
+    "GET /debug/inflight",
+    "GET /debug/flight",
+    "GET /debug/caches",
+    "POST /query",
+];
+
+/// The `GET /version` body: build identity for correlating scrapes,
+/// dumps, and log lines with a binary.
+pub fn version_json() -> Json {
+    Json::obj([
+        ("version", Json::str(lyric::metrics::build::version())),
+        ("git_rev", Json::str(lyric::metrics::build::git_rev())),
+        (
+            "host_parallelism",
+            Json::int(
+                lyric::metrics::build::host_parallelism()
+                    .parse()
+                    .unwrap_or(1),
+            ),
+        ),
+    ])
+}
+
+/// The `GET /debug/caches` body: occupancy of the process-global memo
+/// caches and the state of the server database's store index.
+fn caches_json(db: &Database) -> Json {
+    let occ = |o: lyric::constraint::CacheOccupancy| {
+        Json::obj([
+            ("entries", Json::int(o.entries as u64)),
+            ("capacity", Json::int(o.capacity as u64)),
+        ])
+    };
+    let data_generation = db.data_generation();
+    Json::obj([
+        ("generation", Json::int(lyric::engine::generation())),
+        ("sat", occ(lyric::constraint::sat_occupancy())),
+        ("entail", occ(lyric::constraint::entail_occupancy())),
+        ("boxes", occ(lyric::constraint::box_occupancy())),
+        (
+            "index",
+            Json::obj([
+                ("data_generation", Json::int(data_generation)),
+                (
+                    "built",
+                    Json::Bool(db.index_slot().get(data_generation).is_some()),
+                ),
+                ("objects", Json::int(db.num_objects() as u64)),
+            ]),
+        ),
+    ])
+}
+
 fn handle_connection(
     mut stream: TcpStream,
     db: &Database,
@@ -271,12 +341,40 @@ fn handle_connection(
             "text/plain; version=0.0.4",
             &lyric::metrics::render_prometheus(),
         ),
+        ("GET", "/version") => write_response(
+            &mut stream,
+            200,
+            "OK",
+            "application/json",
+            &version_json().to_string(),
+        ),
         ("GET", "/profiles") => write_response(
             &mut stream,
             200,
             "OK",
             "application/json",
             &lyric::metrics::profile::snapshot_json(),
+        ),
+        ("GET", "/debug/inflight") => write_response(
+            &mut stream,
+            200,
+            "OK",
+            "application/json",
+            &lyric::flight::inflight::to_json().to_string(),
+        ),
+        ("GET", "/debug/flight") => write_response(
+            &mut stream,
+            200,
+            "OK",
+            "application/json",
+            &lyric::flight::recorder::to_json().to_string(),
+        ),
+        ("GET", "/debug/caches") => write_response(
+            &mut stream,
+            200,
+            "OK",
+            "application/json",
+            &caches_json(db).to_string(),
         ),
         ("POST", "/query") => match run_query(db, opts, &request.body) {
             Ok(json) => write_response(
@@ -291,13 +389,20 @@ fn handle_connection(
                 write_response(&mut stream, 400, "Bad Request", "application/json", &body)
             }
         },
-        ("GET" | "POST", _) => write_response(
-            &mut stream,
-            404,
-            "Not Found",
-            "text/plain",
-            "unknown path; try /metrics, /healthz, /profiles, or POST /query\n",
-        ),
+        ("GET" | "POST", _) => {
+            let body = Json::obj([
+                (
+                    "error",
+                    Json::str(format!("unknown path {:?}", request.path)),
+                ),
+                (
+                    "endpoints",
+                    Json::Arr(ENDPOINTS.iter().map(|e| Json::str(*e)).collect()),
+                ),
+            ])
+            .to_string();
+            write_response(&mut stream, 404, "Not Found", "application/json", &body)
+        }
         _ => write_response(&mut stream, 405, "Method Not Allowed", "text/plain", ""),
     }
 }
@@ -348,8 +453,55 @@ mod tests {
         let addr = test_server();
         let (status, body) = http_request(addr, "GET", "/healthz", "").unwrap();
         assert_eq!((status, body.as_str()), (200, "ok\n"));
-        let (status, _) = http_request(addr, "GET", "/nope", "").unwrap();
+        // 404s are structured JSON enumerating every endpoint.
+        let (status, body) = http_request(addr, "GET", "/nope", "").unwrap();
         assert_eq!(status, 404);
+        let json = lyric::trace::json::parse(&body).expect("404 body is valid JSON");
+        assert!(json
+            .get("error")
+            .and_then(Json::as_str)
+            .is_some_and(|m| m.contains("/nope")));
+        let endpoints = json.get("endpoints").and_then(Json::as_arr).unwrap();
+        assert_eq!(endpoints.len(), ENDPOINTS.len());
+        assert!(endpoints
+            .iter()
+            .any(|e| e.as_str() == Some("GET /debug/inflight")));
+    }
+
+    #[test]
+    fn version_and_debug_surfaces_serve_valid_json() {
+        let addr = test_server();
+        let (status, body) = http_request(addr, "GET", "/version", "").unwrap();
+        assert_eq!(status, 200);
+        let json = lyric::trace::json::parse(&body).expect("version is valid JSON");
+        for key in ["version", "git_rev", "host_parallelism"] {
+            assert!(json.get(key).is_some(), "missing {key}");
+        }
+
+        // A query so the recorder ring has something to show.
+        let q = "SELECT Y FROM Desk X WHERE X.drawer.extent[Y]";
+        let (status, _) = http_request(addr, "POST", "/query", q).unwrap();
+        assert_eq!(status, 200);
+
+        let (status, body) = http_request(addr, "GET", "/debug/flight", "").unwrap();
+        assert_eq!(status, 200);
+        let json = lyric::trace::json::parse(&body).expect("flight is valid JSON");
+        assert!(json.get("queries").and_then(Json::as_arr).is_some());
+        assert!(json.get("query_capacity").is_some());
+
+        let (status, body) = http_request(addr, "GET", "/debug/inflight", "").unwrap();
+        assert_eq!(status, 200);
+        let json = lyric::trace::json::parse(&body).expect("inflight is valid JSON");
+        assert!(json.get("inflight").is_some());
+
+        let (status, body) = http_request(addr, "GET", "/debug/caches", "").unwrap();
+        assert_eq!(status, 200);
+        let json = lyric::trace::json::parse(&body).expect("caches is valid JSON");
+        for key in ["generation", "sat", "entail", "boxes", "index"] {
+            assert!(json.get(key).is_some(), "missing {key}");
+        }
+        let sat = json.get("sat").unwrap();
+        assert!(sat.get("entries").is_some() && sat.get("capacity").is_some());
     }
 
     #[test]

@@ -1,11 +1,13 @@
 //! `lyric-serve` — a scrapeable LyriC query server.
 //!
 //! ```text
-//! lyric-serve [--addr HOST:PORT] [--db FILE] [--save-db FILE] [--threads N]
+//! lyric-serve [--addr HOST:PORT] [--db FILE] [--save-db FILE] [--threads N] [--version]
 //! ```
 //!
 //! Serves `GET /metrics` (Prometheus text format 0.0.4), `GET /healthz`,
-//! and `POST /query` (body: a LyriC `SELECT` statement; response: JSON).
+//! `GET /version`, the `/debug/*` introspection surfaces (in-flight
+//! registry, flight recorder, cache occupancy — see `lyric_serve`), and
+//! `POST /query` (body: a LyriC `SELECT` statement; response: JSON).
 //! With no `--db`, the paper's office-design database (Figures 1 and 2)
 //! is served. `--db` accepts either format — binary snapshots (sniffed by
 //! their 8-byte magic) or the textual `LYRIC-DB 1` dump. `--save-db FILE`
@@ -21,7 +23,9 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 fn usage() -> ! {
-    eprintln!("usage: lyric-serve [--addr HOST:PORT] [--db FILE] [--save-db FILE] [--threads N]");
+    eprintln!(
+        "usage: lyric-serve [--addr HOST:PORT] [--db FILE] [--save-db FILE] [--threads N] [--version]"
+    );
     std::process::exit(2);
 }
 
@@ -43,6 +47,14 @@ fn main() -> ExitCode {
                     .and_then(|v| v.parse::<usize>().ok())
                     .unwrap_or_else(|| usage());
                 opts = opts.with_threads(n);
+            }
+            "--version" | "-V" => {
+                println!(
+                    "lyric-serve {} ({})",
+                    lyric::metrics::build::version(),
+                    lyric::metrics::build::git_rev()
+                );
+                return ExitCode::SUCCESS;
             }
             "--help" | "-h" => usage(),
             other => {
@@ -98,6 +110,11 @@ fn main() -> ExitCode {
         };
     }
 
+    // Long-lived surface: publish the build-identity gauge and default
+    // the flight recorder's event tee on (explicit env still wins).
+    lyric::metrics::build::register_build_info();
+    lyric::flight::recorder::enable_events_default();
+
     let server = match Server::bind(&addr, Arc::new(db), opts) {
         Ok(s) => s,
         Err(e) => {
@@ -107,7 +124,10 @@ fn main() -> ExitCode {
     };
     match server.local_addr() {
         Ok(bound) => {
-            eprintln!("lyric-serve: listening on http://{bound} (/metrics, /healthz, /profiles, POST /query)")
+            eprintln!(
+                "lyric-serve: listening on http://{bound} ({})",
+                lyric_serve::ENDPOINTS.join(", ")
+            )
         }
         Err(e) => eprintln!("lyric-serve: listening ({e})"),
     }

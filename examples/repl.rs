@@ -15,8 +15,8 @@
 //! Meta-commands: `:help`, `:check <query>`, `:bounds <query>`,
 //! `:explain [analyze] <query>`, `:profile <query>`, `:trace on|off`,
 //! `:trace chrome <file>`, `:threads [n]`, `:schema`, `:classes`,
-//! `:extent <Class>`, `:stats`, `:metrics`, `:save <file>`,
-//! `:load <file>`, `:quit`.
+//! `:extent <Class>`, `:stats`, `:metrics`, `:inflight`,
+//! `:flight [dump <file>]`, `:save <file>`, `:load <file>`, `:quit`.
 //!
 //! Queries run under the engine's *interactive* evaluation budget, so an
 //! adversarial constraint blowup reports `evaluation budget exceeded`
@@ -50,6 +50,17 @@
 //! cumulative engine counters, query-latency quantiles (p50/p90/p99),
 //! budget events, and pool activity — the same data `lyric-serve`
 //! exposes at `/metrics` in Prometheus format.
+//!
+//! `:inflight` lists the queries registered as executing right now (the
+//! shell itself runs queries synchronously, so from the prompt this
+//! shows other threads of the process — it mirrors `lyric-serve`'s
+//! `GET /debug/inflight`). `:flight` summarizes the process-lifetime
+//! flight recorder: the recent completed-query ring with outcomes,
+//! durations and engine counters. `:flight dump <file>` writes the full
+//! recorder state (rings, registry, build identity) as one JSON
+//! document — the same black box the engine drops into
+//! `LYRIC_FLIGHT_DIR` on a budget abort, panic, or `LYRIC_SLOW_MS`
+//! breach.
 
 use lyric::{
     default_threads, execute_traced_with_options, execute_with_options, paper_example,
@@ -84,6 +95,10 @@ fn main() {
         chrome_path: None,
         threads: default_threads(),
     };
+    // Long-lived surface: publish the build-identity gauge and default
+    // the flight recorder's event tee on (explicit env still wins).
+    lyric::metrics::build::register_build_info();
+    lyric::flight::recorder::enable_events_default();
     println!("LyriC shell — the Figure 2 office database is loaded.");
     println!("End statements with ';'. Type :help for commands.\n");
 
@@ -197,6 +212,9 @@ fn meta_command(db: &mut lyric::oodb::Database, session: &mut Session, cmd: &str
             println!(":extent <Class>   list the instances of a class");
             println!(":stats            toggle the per-query engine statistics line");
             println!(":metrics          process-lifetime metrics (counters, latency quantiles)");
+            println!(":inflight         queries executing right now, with live progress");
+            println!(":flight           recent completed queries from the flight recorder");
+            println!(":flight dump <file>  write the full recorder state as JSON");
             println!(":save <file>      dump the database as text");
             println!(":load <file>      replace the database from a dump");
             println!(":quit             leave");
@@ -322,6 +340,90 @@ fn meta_command(db: &mut lyric::oodb::Database, session: &mut Session, cmd: &str
                 print!("{}", lyric::metrics::render_table(&snapshot));
             }
         }
+        Some(":inflight") => {
+            let snapshots = lyric::flight::inflight::snapshot();
+            if snapshots.is_empty() {
+                println!("(no queries in flight)");
+            } else {
+                for s in &snapshots {
+                    let pct = s
+                        .budget_pct
+                        .map_or(String::new(), |p| format!(" {p}% of budget"));
+                    println!(
+                        "#{} [{:.1}s{pct}, {} thread{}] {}",
+                        s.id,
+                        s.elapsed_us as f64 / 1e6,
+                        s.threads,
+                        plural(s.threads),
+                        s.query
+                    );
+                    let [pivots, fm_atoms, disjuncts, sat_checks, box_prunes, index_probes] =
+                        s.counters;
+                    println!(
+                        "    pivots {pivots}, FM atoms {fm_atoms}, disjuncts {disjuncts}, \
+                         sat checks {sat_checks}, box prunes {box_prunes}, index probes {index_probes}"
+                    );
+                }
+            }
+        }
+        Some(":flight") => match parts.next() {
+            None => {
+                let queries = lyric::flight::recorder::recent_queries();
+                println!(
+                    "flight recorder: {} (events {}), {} quer{} held",
+                    if lyric::flight::recorder::enabled() {
+                        "on"
+                    } else {
+                        "off"
+                    },
+                    if lyric::flight::recorder::events_enabled() {
+                        "on"
+                    } else {
+                        "off"
+                    },
+                    queries.len(),
+                    if queries.len() == 1 { "y" } else { "ies" },
+                );
+                // Newest last, like a log; cap the scrollback.
+                const SHOW: usize = 16;
+                if queries.len() > SHOW {
+                    println!(
+                        "  … {} older entries (':flight dump <file>' for all)",
+                        queries.len() - SHOW
+                    );
+                }
+                for q in queries.iter().rev().take(SHOW).rev() {
+                    let outcome = if q.resource.is_empty() {
+                        q.outcome.to_string()
+                    } else {
+                        format!("{} ({})", q.outcome, q.resource)
+                    };
+                    println!(
+                        "  {:>9.1}ms {outcome:<16} {} row{} trace {}  {}",
+                        q.duration_us as f64 / 1e3,
+                        q.rows,
+                        plural(q.rows as usize),
+                        q.trace_id,
+                        q.query
+                    );
+                }
+            }
+            Some("dump") => match parts.next() {
+                Some(path) => {
+                    let doc = lyric::flight::dump::build_doc(lyric::flight::Trigger::Manual, None);
+                    let mut text = doc.to_string();
+                    text.push('\n');
+                    match std::fs::write(path, text) {
+                        Ok(()) => println!("flight recorder dumped to {path}"),
+                        Err(e) => println!("dump write to {path} failed: {e}"),
+                    }
+                }
+                None => println!("usage: :flight dump <file>"),
+            },
+            Some(other) => {
+                println!("unknown :flight subcommand {other} (try :flight or :flight dump <file>)")
+            }
+        },
         Some(":stats") => {
             session.show_stats = !session.show_stats;
             println!(
